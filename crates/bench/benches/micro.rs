@@ -1,0 +1,91 @@
+//! Criterion micro-benchmarks for the numeric substrates: matmul, the
+//! Jacobi eigensolver, the Hungarian matcher, k-means, soft assignment,
+//! and one full autoencoder forward/backward/update step.
+
+use adec_classic::{kmeans, KMeansConfig};
+use adec_core::{ArchPreset, Autoencoder};
+use adec_metrics::hungarian_min_cost;
+use adec_nn::{soft_assignment, Optimizer, ParamStore, Sgd, Tape};
+use adec_tensor::{symmetric_eigen, Matrix, SeedRng};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut rng = SeedRng::new(1);
+    let a = Matrix::randn(128, 256, 0.0, 1.0, &mut rng);
+    let b = Matrix::randn(256, 128, 0.0, 1.0, &mut rng);
+    c.bench_function("matmul_128x256x128", |bench| {
+        bench.iter(|| black_box(a.matmul(&b)))
+    });
+    c.bench_function("matmul_tn_128x256x128", |bench| {
+        bench.iter(|| black_box(b.matmul_tn(&b)))
+    });
+}
+
+fn bench_eigen(c: &mut Criterion) {
+    let mut rng = SeedRng::new(2);
+    let raw = Matrix::randn(60, 60, 0.0, 1.0, &mut rng);
+    let sym = raw.matmul_tn(&raw);
+    c.bench_function("jacobi_eigen_60x60", |bench| {
+        bench.iter(|| black_box(symmetric_eigen(&sym).unwrap()))
+    });
+}
+
+fn bench_hungarian(c: &mut Criterion) {
+    let mut rng = SeedRng::new(3);
+    let n = 64;
+    let cost: Vec<Vec<i64>> = (0..n)
+        .map(|_| (0..n).map(|_| rng.below(1000) as i64).collect())
+        .collect();
+    c.bench_function("hungarian_64x64", |bench| {
+        bench.iter(|| black_box(hungarian_min_cost(&cost)))
+    });
+}
+
+fn bench_kmeans(c: &mut Criterion) {
+    let mut rng = SeedRng::new(4);
+    let data = Matrix::randn(400, 10, 0.0, 1.0, &mut rng);
+    c.bench_function("kmeans_400x10_k10", |bench| {
+        bench.iter(|| {
+            let mut r = SeedRng::new(5);
+            black_box(kmeans(&data, &KMeansConfig::fast(10), &mut r))
+        })
+    });
+}
+
+fn bench_soft_assignment(c: &mut Criterion) {
+    let mut rng = SeedRng::new(6);
+    let z = Matrix::randn(512, 10, 0.0, 1.0, &mut rng);
+    let mu = Matrix::randn(10, 10, 0.0, 1.0, &mut rng);
+    c.bench_function("soft_assignment_512x10_k10", |bench| {
+        bench.iter(|| black_box(soft_assignment(&z, &mu, 1.0)))
+    });
+}
+
+fn bench_ae_step(c: &mut Criterion) {
+    let mut rng = SeedRng::new(7);
+    let mut store = ParamStore::new();
+    let ae = Autoencoder::new(&mut store, 256, ArchPreset::Medium, &mut rng);
+    let x = Matrix::randn(128, 256, 0.0, 1.0, &mut rng);
+    let mut opt = Sgd::new(0.01, 0.9);
+    c.bench_function("ae_fwd_bwd_step_medium_b128", |bench| {
+        bench.iter(|| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let z = ae.encoder.forward(&mut tape, &store, xv);
+            let xhat = ae.decoder.forward(&mut tape, &store, z);
+            let target = tape.leaf(x.clone());
+            let loss = tape.mse(xhat, target);
+            tape.backward(loss);
+            opt.step(&tape, &mut store);
+            black_box(tape.scalar(loss))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).warm_up_time(std::time::Duration::from_millis(300)).measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_matmul, bench_eigen, bench_hungarian, bench_kmeans, bench_soft_assignment, bench_ae_step
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! **Theorem 1** — numeric verification of the DCN loss decomposition
+//! `L_DCN = (1+γ)·J₁ − ½·J₂ + γ·J₃` under a linear row-orthonormal
+//! encoder, across sizes and γ values, plus the competition reading:
+//! reconstruction scales the distance-shrinking J₁ term that fights J₂'s
+//! between-cluster separation.
+
+use adec_bench::write_csv;
+use adec_core::theory::verify_theorem1;
+
+fn main() {
+    println!("Theorem 1 verification — L_DCN = (1+γ)J1 − ½J2 + γJ3");
+    println!(
+        "\n{:>4} {:>4} {:>6} | {:>10} {:>10} {:>10} {:>10} {:>10} | {:>9} {:>9} {:>9}",
+        "n", "d", "γ", "L_k", "L_r", "J1", "J2", "J3", "res(km)", "res(rec)", "res(tot)"
+    );
+    let mut rows = Vec::new();
+    let mut worst: f32 = 0.0;
+    for &(n, ambient, latent) in &[(20usize, 8usize, 3usize), (40, 12, 4), (80, 24, 6)] {
+        for &gamma in &[0.0f32, 0.1, 0.5, 1.0, 5.0] {
+            let r = verify_theorem1(n, ambient, latent, gamma, 42);
+            let scale = r.l_k.abs().max(r.l_r.abs()).max(1.0);
+            worst = worst
+                .max(r.kmeans_residual / scale)
+                .max(r.reconstruction_residual / scale)
+                .max(r.total_residual / scale);
+            println!(
+                "{:>4} {:>4} {:>6.1} | {:>10.3} {:>10.3} {:>10.3} {:>10.3} {:>10.3} | {:>9.2e} {:>9.2e} {:>9.2e}",
+                n, latent, gamma, r.l_k, r.l_r, r.j1, r.j2, r.j3,
+                r.kmeans_residual, r.reconstruction_residual, r.total_residual
+            );
+            rows.push(format!(
+                "{n},{latent},{gamma},{:.4},{:.4},{:.4},{:.4},{:.4},{:.3e}",
+                r.l_k, r.l_r, r.j1, r.j2, r.j3, r.total_residual
+            ));
+        }
+    }
+    println!("\nworst relative residual: {worst:.2e}");
+    println!(
+        "Theorem 1 decomposition: {}",
+        if worst < 1e-3 { "VERIFIED" } else { "residuals above tolerance" }
+    );
+    println!("\nReading: J2 > 0 rewards between-cluster separation; J1 (weighted 1+γ)");
+    println!("shrinks ALL pairwise distances. Raising γ (more reconstruction) strengthens");
+    println!("the very term that competes with separation — the Feature-Drift mechanism.");
+    let path = write_csv("thm1.csv", "n,d,gamma,l_k,l_r,j1,j2,j3,residual", &rows);
+    println!("CSV written to {}", path.display());
+}

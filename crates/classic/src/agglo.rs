@@ -1,0 +1,185 @@
+//! Agglomerative clustering with Ward linkage (the paper's AC row).
+//!
+//! Uses the Lance–Williams recurrence with the nearest-neighbor-chain
+//! algorithm, which finds the same merges as naive Ward in O(n²) time and
+//! O(n²) memory for the distance matrix.
+
+use adec_tensor::{linalg::pairwise_sq_dists, Matrix};
+
+/// Ward agglomerative clustering down to `k` clusters.
+///
+/// Returns hard labels in `0..k`.
+///
+/// # Panics
+/// Panics if `k == 0` or `k > n`.
+pub fn ward_agglomerative(data: &Matrix, k: usize) -> Vec<usize> {
+    let n = data.rows();
+    assert!(k > 0 && k <= n, "ward: invalid k={k} for n={n}");
+    if k == n {
+        return (0..n).collect();
+    }
+
+    // Squared Euclidean distances seed the Ward objective.
+    let mut dist = pairwise_sq_dists(data, data);
+    let mut size = vec![1usize; n];
+    let mut active = vec![true; n];
+    // Union-find parents for final label extraction.
+    let mut parent: Vec<usize> = (0..n).collect();
+
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+
+    let mut remaining = n;
+    let mut chain: Vec<usize> = Vec::with_capacity(n);
+
+    while remaining > k {
+        // Grow a nearest-neighbor chain until a reciprocal pair appears.
+        if chain.is_empty() {
+            let start = active.iter().position(|&a| a).expect("ward: no active clusters");
+            chain.push(start);
+        }
+        loop {
+            let top = *chain.last().unwrap();
+            // Nearest active neighbor of `top`, preferring the previous
+            // chain element on ties (guarantees termination).
+            let prev = if chain.len() >= 2 {
+                Some(chain[chain.len() - 2])
+            } else {
+                None
+            };
+            let mut best = usize::MAX;
+            let mut best_d = f32::INFINITY;
+            for j in 0..n {
+                if j == top || !active[j] {
+                    continue;
+                }
+                let d = dist.get(top, j);
+                if d < best_d || (d == best_d && Some(j) == prev) {
+                    best_d = d;
+                    best = j;
+                }
+            }
+            if Some(best) == prev {
+                // Reciprocal nearest neighbors: merge top and best.
+                let (a, b) = (top, best);
+                chain.pop();
+                chain.pop();
+                merge(&mut dist, &mut size, &mut active, &mut parent, a, b, n);
+                remaining -= 1;
+                break;
+            }
+            chain.push(best);
+        }
+    }
+
+    // Compact cluster roots to 0..k.
+    let mut roots: Vec<usize> = (0..n).filter(|&i| active[i]).collect();
+    roots.sort_unstable();
+    let remap: std::collections::HashMap<usize, usize> =
+        roots.iter().enumerate().map(|(i, &r)| (r, i)).collect();
+    (0..n).map(|i| remap[&find(&mut parent, i)]).collect()
+}
+
+/// Merges cluster `b` into cluster `a`, updating Ward distances via the
+/// Lance–Williams recurrence.
+fn merge(
+    dist: &mut Matrix,
+    size: &mut [usize],
+    active: &mut [bool],
+    parent: &mut [usize],
+    a: usize,
+    b: usize,
+    n: usize,
+) {
+    let (na, nb) = (size[a] as f32, size[b] as f32);
+    let dab = dist.get(a, b);
+    for j in 0..n {
+        if j == a || j == b || !active[j] {
+            continue;
+        }
+        let nj = size[j] as f32;
+        let total = na + nb + nj;
+        let new_d = ((na + nj) * dist.get(a, j) + (nb + nj) * dist.get(b, j) - nj * dab) / total;
+        dist.set(a, j, new_d);
+        dist.set(j, a, new_d);
+    }
+    size[a] += size[b];
+    active[b] = false;
+    parent[b] = a;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adec_tensor::SeedRng;
+
+    fn blobs(n_per: usize, rng: &mut SeedRng) -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &(cx, cy)) in [(0.0f32, 0.0f32), (12.0, 0.0), (0.0, 12.0)].iter().enumerate() {
+            for _ in 0..n_per {
+                rows.push(vec![cx + rng.normal(0.0, 0.6), cy + rng.normal(0.0, 0.6)]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn recovers_separable_blobs() {
+        let mut rng = SeedRng::new(1);
+        let (data, truth) = blobs(30, &mut rng);
+        let pred = ward_agglomerative(&data, 3);
+        let acc = adec_metrics::accuracy(&truth, &pred);
+        assert!(acc > 0.99, "ACC {acc}");
+    }
+
+    #[test]
+    fn k_equals_n_is_identity_partition() {
+        let data = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        assert_eq!(ward_agglomerative(&data, 3), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn k_one_merges_everything() {
+        let mut rng = SeedRng::new(2);
+        let (data, _) = blobs(10, &mut rng);
+        let labels = ward_agglomerative(&data, 1);
+        assert!(labels.iter().all(|&l| l == 0));
+    }
+
+    #[test]
+    fn ward_prefers_compact_merges() {
+        // Two tight pairs and one distant singleton → at k=3, the pairs
+        // stay intact and the singleton stays alone.
+        let data = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![5.0, 5.0],
+            vec![5.1, 5.0],
+            vec![20.0, 20.0],
+        ]);
+        let labels = ward_agglomerative(&data, 3);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[2], labels[3]);
+        assert_ne!(labels[0], labels[2]);
+        assert_ne!(labels[4], labels[0]);
+        assert_ne!(labels[4], labels[2]);
+    }
+
+    #[test]
+    fn labels_are_compact_range() {
+        let mut rng = SeedRng::new(3);
+        let (data, _) = blobs(15, &mut rng);
+        let labels = ward_agglomerative(&data, 4);
+        let mut uniq: Vec<usize> = labels.clone();
+        uniq.sort_unstable();
+        uniq.dedup();
+        assert_eq!(uniq, vec![0, 1, 2, 3]);
+    }
+}

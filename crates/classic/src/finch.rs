@@ -1,0 +1,223 @@
+//! FINCH: efficient parameter-free clustering using first-neighbor
+//! relations (Sarfraz et al., CVPR 2019) — the paper's AE+FINCH row.
+//!
+//! Each FINCH step links every point to its first (nearest) neighbor and
+//! takes connected components of the resulting adjacency as clusters; the
+//! recursion repeats on cluster means, producing a hierarchy of
+//! partitions. [`finch`] returns the partition in that hierarchy whose
+//! cluster count is closest to the requested `k` (FINCH itself is
+//! parameter-free; the paper evaluates it at the ground-truth K).
+
+use adec_tensor::{linalg::pairwise_sq_dists, Matrix};
+
+/// One FINCH linking step on the given points; returns component labels.
+fn first_neighbor_partition(points: &Matrix) -> Vec<usize> {
+    let n = points.rows();
+    if n == 1 {
+        return vec![0];
+    }
+    let d2 = pairwise_sq_dists(points, points);
+    // First neighbor of every point.
+    let mut nn = vec![0usize; n];
+    for i in 0..n {
+        let mut best = usize::MAX;
+        let mut best_d = f32::INFINITY;
+        for j in 0..n {
+            if j != i && d2.get(i, j) < best_d {
+                best_d = d2.get(i, j);
+                best = j;
+            }
+        }
+        nn[i] = best;
+    }
+    // Union components over the (symmetrized) first-neighbor graph:
+    // the FINCH adjacency links i—j if nn(i)=j, nn(j)=i, or nn(i)=nn(j).
+    let mut parent: Vec<usize> = (0..n).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    let union = |parent: &mut [usize], a: usize, b: usize| {
+        let ra = find(parent, a);
+        let rb = find(parent, b);
+        if ra != rb {
+            parent[ra] = rb;
+        }
+    };
+    for i in 0..n {
+        union(&mut parent, i, nn[i]);
+        for j in (i + 1)..n {
+            if nn[i] == nn[j] {
+                union(&mut parent, i, j);
+            }
+        }
+    }
+    // Compact to 0..c.
+    let mut remap = std::collections::HashMap::new();
+    let mut labels = vec![0usize; n];
+    for i in 0..n {
+        let r = find(&mut parent, i);
+        let next = remap.len();
+        let id = *remap.entry(r).or_insert(next);
+        labels[i] = id;
+    }
+    labels
+}
+
+/// Cluster means for a partition.
+fn partition_means(points: &Matrix, labels: &[usize], n_clusters: usize) -> Matrix {
+    let d = points.cols();
+    let mut sums = Matrix::zeros(n_clusters, d);
+    let mut counts = vec![0usize; n_clusters];
+    for (i, &l) in labels.iter().enumerate() {
+        counts[l] += 1;
+        for (s, &v) in sums.row_mut(l).iter_mut().zip(points.row(i)) {
+            *s += v;
+        }
+    }
+    for (j, &c) in counts.iter().enumerate() {
+        let inv = 1.0 / c.max(1) as f32;
+        for v in sums.row_mut(j) {
+            *v *= inv;
+        }
+    }
+    sums
+}
+
+/// Runs FINCH and refines the result to exactly `target_k` clusters.
+///
+/// The first-neighbor recursion produces a hierarchy of partitions with
+/// rapidly shrinking cluster counts; following the FINCH paper's
+/// "required number of clusters" mode, we take the finest partition whose
+/// cluster count is ≥ `target_k` and then merge the two closest cluster
+/// means one step at a time until exactly `target_k` remain.
+pub fn finch(data: &Matrix, target_k: usize) -> Vec<usize> {
+    assert!(target_k > 0, "finch: target_k must be positive");
+    let n = data.rows();
+    assert!(n > 0, "finch: empty data");
+    if target_k >= n {
+        return (0..n).collect();
+    }
+
+    // Level 0: every point its own cluster.
+    let mut current_labels: Vec<usize> = (0..n).collect();
+    let mut current_points = data.clone();
+    let mut current_k = n;
+
+    loop {
+        let step = first_neighbor_partition(&current_points);
+        let n_new = step.iter().copied().max().unwrap_or(0) + 1;
+        if n_new >= current_points.rows() {
+            break; // no merging progress
+        }
+        let composed: Vec<usize> = current_labels.iter().map(|&c| step[c]).collect();
+        if n_new < target_k {
+            // This step would overshoot below the target; stop before it.
+            break;
+        }
+        current_points = partition_means(&current_points, &step, n_new);
+        current_labels = composed;
+        current_k = n_new;
+        if n_new == target_k {
+            break;
+        }
+    }
+
+    // Agglomerative refinement: merge the two closest cluster means until
+    // exactly target_k clusters remain.
+    while current_k > target_k {
+        let means = partition_means(data, &current_labels, current_k);
+        let sizes = {
+            let mut s = vec![0usize; current_k];
+            for &l in &current_labels {
+                s[l] += 1;
+            }
+            s
+        };
+        let d2 = pairwise_sq_dists(&means, &means);
+        let mut best = (0usize, 1usize);
+        let mut best_d = f32::INFINITY;
+        for a in 0..current_k {
+            for b in (a + 1)..current_k {
+                // Ward-style weighting keeps merges size-aware.
+                let w = (sizes[a] * sizes[b]) as f32 / (sizes[a] + sizes[b]) as f32;
+                let d = w * d2.get(a, b);
+                if d < best_d {
+                    best_d = d;
+                    best = (a, b);
+                }
+            }
+        }
+        let (keep, drop) = best;
+        for l in current_labels.iter_mut() {
+            if *l == drop {
+                *l = keep;
+            } else if *l > drop {
+                *l -= 1;
+            }
+        }
+        current_k -= 1;
+    }
+    current_labels
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adec_tensor::SeedRng;
+
+    fn blobs(n_per: usize, rng: &mut SeedRng) -> (Matrix, Vec<usize>) {
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for (c, &(cx, cy)) in [(0.0f32, 0.0f32), (14.0, 0.0), (0.0, 14.0), (14.0, 14.0)]
+            .iter()
+            .enumerate()
+        {
+            for _ in 0..n_per {
+                rows.push(vec![cx + rng.normal(0.0, 0.5), cy + rng.normal(0.0, 0.5)]);
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn recovers_separable_blobs() {
+        let mut rng = SeedRng::new(1);
+        let (data, truth) = blobs(25, &mut rng);
+        let pred = finch(&data, 4);
+        let acc = adec_metrics::accuracy(&truth, &pred);
+        assert!(acc > 0.95, "ACC {acc}");
+    }
+
+    #[test]
+    fn first_neighbor_step_merges() {
+        let mut rng = SeedRng::new(2);
+        let (data, _) = blobs(10, &mut rng);
+        let labels = first_neighbor_partition(&data);
+        let n_clusters = labels.iter().copied().max().unwrap() + 1;
+        assert!(n_clusters < data.rows(), "a FINCH step must merge something");
+    }
+
+    #[test]
+    fn single_point() {
+        let data = Matrix::from_rows(&[vec![1.0, 2.0]]);
+        assert_eq!(finch(&data, 1), vec![0]);
+    }
+
+    #[test]
+    fn partition_labels_compact() {
+        let mut rng = SeedRng::new(3);
+        let (data, _) = blobs(8, &mut rng);
+        let labels = finch(&data, 4);
+        let max = labels.iter().copied().max().unwrap();
+        let mut seen = vec![false; max + 1];
+        for &l in &labels {
+            seen[l] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "labels must form a compact range");
+    }
+}

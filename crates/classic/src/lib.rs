@@ -1,0 +1,43 @@
+//! # adec-classic
+//!
+//! The classical, subspace, and manifold clustering baselines evaluated in
+//! the ADEC paper's Table 1, implemented from scratch on `adec-tensor`:
+//!
+//! | paper row | module |
+//! |---|---|
+//! | k-means | [`kmeans`] (Lloyd + k-means++ with restarts) |
+//! | GMM | [`gmm`] (diagonal-covariance EM) |
+//! | LSNMF | [`nmf`] (least-squares NMF, multiplicative updates) |
+//! | AC (agglomerative) | [`agglo`] (Ward linkage, nearest-neighbor chain) |
+//! | SSC-OMP | [`ssc`] (orthogonal-matching-pursuit self-expressive coding) |
+//! | EnSC | [`ssc`] (elastic-net variant via coordinate descent) |
+//! | SC (normalized cut) | [`spectral`] |
+//! | RBF k-means | [`kernel_kmeans`] |
+//! | FINCH | [`finch`] (first-neighbor chaining) |
+//!
+//! Every algorithm takes an `n × d` data matrix and returns hard labels,
+//! is deterministic under a caller-provided seed, and exposes its key
+//! hyperparameters through a config struct with paper-faithful defaults.
+
+// Numeric kernels index with explicit loop counters throughout; the
+// iterator rewrites clippy suggests are less readable for the math here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod agglo;
+pub mod finch;
+pub mod gmm;
+pub mod kernel_kmeans;
+pub mod kmeans;
+pub mod nmf;
+pub mod spectral;
+pub mod ssc;
+
+pub use agglo::ward_agglomerative;
+pub use finch::finch;
+pub use gmm::{Gmm, GmmConfig};
+pub use kernel_kmeans::{kernel_kmeans, rbf_kernel_kmeans};
+pub use kmeans::{kmeans, KMeans, KMeansConfig};
+pub use nmf::{lsnmf_cluster, Nmf, NmfConfig};
+pub use spectral::{spectral_clustering, SpectralConfig};
+pub use ssc::{ensc, ssc_omp, EnscConfig, SscOmpConfig};

@@ -1,0 +1,182 @@
+//! Least-squares non-negative matrix factorization (the paper's LSNMF row)
+//! with Lee–Seung multiplicative updates, plus clustering by dominant
+//! factor.
+
+use adec_tensor::{Matrix, SeedRng};
+
+/// NMF configuration.
+#[derive(Debug, Clone)]
+pub struct NmfConfig {
+    /// Factorization rank (number of clusters when used for clustering).
+    pub rank: usize,
+    /// Maximum multiplicative-update iterations.
+    pub max_iter: usize,
+    /// Relative reconstruction-error improvement tolerance.
+    pub tol: f32,
+}
+
+impl NmfConfig {
+    /// Standard configuration.
+    pub fn new(rank: usize) -> Self {
+        NmfConfig {
+            rank,
+            max_iter: 200,
+            tol: 1e-4,
+        }
+    }
+}
+
+/// A fitted factorization `X ≈ W · H` with `W ≥ 0`, `H ≥ 0`.
+#[derive(Debug, Clone)]
+pub struct Nmf {
+    /// Sample loadings, `n × rank`.
+    pub w: Matrix,
+    /// Basis, `rank × d`.
+    pub h: Matrix,
+    /// Final Frobenius reconstruction error `‖X − WH‖`.
+    pub reconstruction_error: f32,
+    /// Iterations performed.
+    pub iterations: usize,
+}
+
+const EPS: f32 = 1e-9;
+
+/// Fits NMF via multiplicative updates.
+///
+/// # Panics
+/// Panics if `data` contains negative entries or `rank` is invalid.
+pub fn fit(data: &Matrix, cfg: &NmfConfig, rng: &mut SeedRng) -> Nmf {
+    let (n, d) = data.shape();
+    assert!(cfg.rank > 0 && cfg.rank <= n.min(d), "nmf: invalid rank {}", cfg.rank);
+    assert!(
+        data.as_slice().iter().all(|&v| v >= 0.0),
+        "nmf: data must be non-negative"
+    );
+
+    let scale = (data.mean() / cfg.rank as f32).max(1e-3).sqrt();
+    let mut w = Matrix::rand_uniform(n, cfg.rank, 0.1 * scale, scale, rng);
+    let mut h = Matrix::rand_uniform(cfg.rank, d, 0.1 * scale, scale, rng);
+
+    let err = |w: &Matrix, h: &Matrix| -> f32 { data.sub(&w.matmul(h)).norm() };
+    let mut last = err(&w, &h);
+    let mut iterations = 0usize;
+    for it in 0..cfg.max_iter {
+        iterations = it + 1;
+        // H ← H ∘ (WᵀX) / (WᵀWH)
+        let wtx = w.matmul_tn(data);
+        let wtwh = w.matmul_tn(&w.matmul(&h));
+        h = h.zip_with(&wtx, |hv, num| hv * num).zip_with(&wtwh, |hv, den| hv / (den + EPS));
+        // W ← W ∘ (XHᵀ) / (WHHᵀ)
+        let xht = data.matmul_nt(&h);
+        let whht = w.matmul(&h.matmul_nt(&h));
+        w = w.zip_with(&xht, |wv, num| wv * num).zip_with(&whht, |wv, den| wv / (den + EPS));
+
+        let e = err(&w, &h);
+        if (last - e) / last.max(1e-12) < cfg.tol {
+            last = e;
+            break;
+        }
+        last = e;
+    }
+    Nmf {
+        w,
+        h,
+        reconstruction_error: last,
+        iterations,
+    }
+}
+
+/// LSNMF clustering: factorize and assign each sample to its dominant
+/// loading (`argmax_j W[i][j]`).
+pub fn lsnmf_cluster(data: &Matrix, k: usize, rng: &mut SeedRng) -> Vec<usize> {
+    let model = fit(data, &NmfConfig::new(k), rng);
+    (0..data.rows()).map(|i| model.w.row_argmax(i)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn factors_stay_nonnegative() {
+        let mut rng = SeedRng::new(1);
+        let data = Matrix::rand_uniform(20, 8, 0.0, 1.0, &mut rng);
+        let model = fit(&data, &NmfConfig::new(3), &mut rng);
+        assert!(model.w.as_slice().iter().all(|&v| v >= 0.0));
+        assert!(model.h.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn reconstruction_error_decreases() {
+        let mut rng = SeedRng::new(2);
+        let data = Matrix::rand_uniform(30, 10, 0.0, 1.0, &mut rng);
+        let short = fit(
+            &data,
+            &NmfConfig {
+                max_iter: 2,
+                tol: 0.0,
+                ..NmfConfig::new(4)
+            },
+            &mut SeedRng::new(3),
+        );
+        let long = fit(
+            &data,
+            &NmfConfig {
+                max_iter: 100,
+                tol: 0.0,
+                ..NmfConfig::new(4)
+            },
+            &mut SeedRng::new(3),
+        );
+        assert!(long.reconstruction_error <= short.reconstruction_error + 1e-4);
+    }
+
+    #[test]
+    fn exact_low_rank_is_recovered_well() {
+        // X = WH with rank 2 → NMF should reach near-zero error.
+        let mut rng = SeedRng::new(4);
+        let w_true = Matrix::rand_uniform(15, 2, 0.0, 1.0, &mut rng);
+        let h_true = Matrix::rand_uniform(2, 6, 0.0, 1.0, &mut rng);
+        let data = w_true.matmul(&h_true);
+        let model = fit(
+            &data,
+            &NmfConfig {
+                max_iter: 500,
+                tol: 0.0,
+                ..NmfConfig::new(2)
+            },
+            &mut rng,
+        );
+        let rel = model.reconstruction_error / data.norm();
+        assert!(rel < 0.05, "relative error {rel}");
+    }
+
+    #[test]
+    fn clusters_block_structured_data() {
+        // Two disjoint feature blocks → perfect NMF clustering.
+        let mut rng = SeedRng::new(5);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for i in 0..40 {
+            let c = i % 2;
+            let mut row = vec![0.0f32; 8];
+            for t in 0..4 {
+                row[c * 4 + t] = rng.uniform(0.5, 1.0);
+            }
+            rows.push(row);
+            labels.push(c);
+        }
+        let data = Matrix::from_rows(&rows);
+        let pred = lsnmf_cluster(&data, 2, &mut rng);
+        let acc = adec_metrics::accuracy(&labels, &pred);
+        assert!(acc > 0.95, "ACC {acc}");
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_data_panics() {
+        let data = Matrix::from_vec(2, 2, vec![1.0, -1.0, 0.0, 2.0]);
+        let mut rng = SeedRng::new(6);
+        let _ = fit(&data, &NmfConfig::new(2), &mut rng);
+    }
+}

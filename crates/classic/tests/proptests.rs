@@ -1,0 +1,121 @@
+//! Property-based tests for the clustering baselines: partition validity,
+//! objective monotonicity, determinism, and scale invariances.
+
+use adec_classic::*;
+use adec_tensor::{Matrix, SeedRng};
+use proptest::prelude::*;
+
+fn blob_data(seed: u64, n_per: usize, k: usize, spread: f32) -> (Matrix, Vec<usize>) {
+    let mut rng = SeedRng::new(seed);
+    let centers = Matrix::randn(k, 3, 0.0, 8.0, &mut rng);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..k {
+        for _ in 0..n_per {
+            rows.push(
+                (0..3)
+                    .map(|t| centers.get(c, t) + rng.normal(0.0, spread))
+                    .collect(),
+            );
+            labels.push(c);
+        }
+    }
+    (Matrix::from_rows(&rows), labels)
+}
+
+fn is_valid_partition(labels: &[usize], n: usize, max_k: usize) -> bool {
+    labels.len() == n && labels.iter().all(|&l| l < max_k)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn kmeans_partitions_are_valid_and_deterministic(seed in 0u64..5_000, k in 2usize..5) {
+        let (data, _) = blob_data(seed, 12, k, 1.0);
+        let mut r1 = SeedRng::new(seed ^ 1);
+        let mut r2 = SeedRng::new(seed ^ 1);
+        let m1 = kmeans(&data, &KMeansConfig::fast(k), &mut r1);
+        let m2 = kmeans(&data, &KMeansConfig::fast(k), &mut r2);
+        prop_assert!(is_valid_partition(&m1.labels, data.rows(), k));
+        prop_assert_eq!(&m1.labels, &m2.labels);
+        prop_assert!(m1.inertia >= 0.0);
+        // Assignments are nearest-centroid consistent.
+        prop_assert_eq!(m1.predict(&data), m1.labels);
+    }
+
+    #[test]
+    fn kmeans_inertia_improves_with_restarts(seed in 0u64..5_000) {
+        let (data, _) = blob_data(seed, 15, 3, 1.5);
+        let mut r1 = SeedRng::new(seed);
+        let one = kmeans(&data, &KMeansConfig { k: 3, max_iter: 50, n_init: 1, tol: 1e-4 }, &mut r1);
+        let mut r2 = SeedRng::new(seed);
+        let many = kmeans(&data, &KMeansConfig { k: 3, max_iter: 50, n_init: 8, tol: 1e-4 }, &mut r2);
+        prop_assert!(many.inertia <= one.inertia + 1e-3);
+    }
+
+    #[test]
+    fn ward_partition_counts_are_exact(seed in 0u64..5_000, k in 1usize..6) {
+        let (data, _) = blob_data(seed, 8, 3, 1.0);
+        let labels = ward_agglomerative(&data, k);
+        prop_assert!(is_valid_partition(&labels, data.rows(), k));
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), k, "ward must return exactly k clusters");
+    }
+
+    #[test]
+    fn finch_hits_requested_k(seed in 0u64..5_000, k in 2usize..5) {
+        let (data, _) = blob_data(seed, 10, 4, 0.8);
+        let labels = finch(&data, k);
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        prop_assert_eq!(distinct.len(), k);
+    }
+
+    #[test]
+    fn gmm_weights_form_distribution(seed in 0u64..5_000, k in 2usize..4) {
+        let (data, _) = blob_data(seed, 12, k, 1.0);
+        let mut rng = SeedRng::new(seed ^ 3);
+        let model = gmm::fit(&data, &GmmConfig::new(k), &mut rng);
+        let total: f32 = model.weights.iter().sum();
+        prop_assert!((total - 1.0).abs() < 1e-3);
+        prop_assert!(model.weights.iter().all(|&w| w >= 0.0));
+        prop_assert!(model.variances.as_slice().iter().all(|&v| v > 0.0));
+        prop_assert!(is_valid_partition(&model.labels, data.rows(), k));
+    }
+
+    #[test]
+    fn kmeans_is_translation_invariant(seed in 0u64..5_000) {
+        // Shifting every point by a constant must not change the partition.
+        let (data, _) = blob_data(seed, 10, 3, 1.0);
+        let shifted = data.map(|v| v + 42.0);
+        let mut r1 = SeedRng::new(seed ^ 5);
+        let mut r2 = SeedRng::new(seed ^ 5);
+        let a = kmeans(&data, &KMeansConfig::fast(3), &mut r1);
+        let b = kmeans(&shifted, &KMeansConfig::fast(3), &mut r2);
+        prop_assert_eq!(a.labels, b.labels);
+    }
+
+    #[test]
+    fn spectral_handles_separable_blobs(seed in 0u64..1_000) {
+        let (data, truth) = blob_data(seed, 12, 3, 0.4);
+        let mut rng = SeedRng::new(seed ^ 7);
+        let pred = spectral_clustering(&data, &SpectralConfig::new(3), &mut rng);
+        prop_assert!(is_valid_partition(&pred, data.rows(), 3));
+        // Tight random blobs with centers ~N(0, 8): occasionally two
+        // centers nearly coincide, so require clearly-above-chance rather
+        // than perfection.
+        let acc = adec_metrics::accuracy(&truth, &pred);
+        prop_assert!(acc > 0.5, "spectral ACC {acc}");
+    }
+
+    #[test]
+    fn nmf_error_nonincreasing_in_rank(seed in 0u64..2_000) {
+        let mut rng = SeedRng::new(seed);
+        let data = Matrix::rand_uniform(20, 8, 0.0, 1.0, &mut rng);
+        let lo = nmf::fit(&data, &NmfConfig { rank: 2, max_iter: 120, tol: 0.0 }, &mut SeedRng::new(seed ^ 1));
+        let hi = nmf::fit(&data, &NmfConfig { rank: 5, max_iter: 120, tol: 0.0 }, &mut SeedRng::new(seed ^ 1));
+        // Higher rank has strictly more capacity; allow small optimizer slack.
+        prop_assert!(hi.reconstruction_error <= lo.reconstruction_error * 1.10,
+            "rank 5 error {} vs rank 2 error {}", hi.reconstruction_error, lo.reconstruction_error);
+    }
+}

@@ -1,0 +1,343 @@
+//! Command-line argument parsing (hand-rolled; the workspace deliberately
+//! avoids non-approved dependencies).
+
+use adec_datagen::{Benchmark, Size};
+
+/// Every runnable method.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// k-means in raw feature space.
+    Kmeans,
+    /// Gaussian mixture (EM).
+    Gmm,
+    /// Least-squares NMF clustering.
+    Lsnmf,
+    /// Ward agglomerative clustering.
+    Agglomerative,
+    /// Sparse subspace clustering by OMP.
+    SscOmp,
+    /// Elastic-net subspace clustering.
+    Ensc,
+    /// Normalized-cut spectral clustering.
+    Spectral,
+    /// RBF kernel k-means.
+    RbfKmeans,
+    /// FINCH first-neighbor clustering.
+    Finch,
+    /// k-means on the pretrained embedding.
+    AeKmeans,
+    /// FINCH on the pretrained embedding.
+    AeFinch,
+    /// DeepCluster (fully-connected lite variant).
+    DeepCluster,
+    /// Deep Clustering Network.
+    Dcn,
+    /// Deep Embedded Clustering.
+    Dec,
+    /// Improved DEC.
+    Idec,
+    /// SR-k-means (lite variant).
+    SrKmeans,
+    /// DEPICT (fully-connected lite variant).
+    Depict,
+    /// JULE (lite variant).
+    Jule,
+    /// VaDE (lite variant).
+    Vade,
+    /// The paper's ADEC.
+    Adec,
+}
+
+impl Method {
+    /// All methods with their CLI names.
+    pub const ALL: [(&'static str, Method); 20] = [
+        ("kmeans", Method::Kmeans),
+        ("gmm", Method::Gmm),
+        ("lsnmf", Method::Lsnmf),
+        ("ac", Method::Agglomerative),
+        ("ssc-omp", Method::SscOmp),
+        ("ensc", Method::Ensc),
+        ("sc", Method::Spectral),
+        ("rbf-kmeans", Method::RbfKmeans),
+        ("finch", Method::Finch),
+        ("ae-kmeans", Method::AeKmeans),
+        ("ae-finch", Method::AeFinch),
+        ("deepcluster", Method::DeepCluster),
+        ("dcn", Method::Dcn),
+        ("dec", Method::Dec),
+        ("idec", Method::Idec),
+        ("sr-kmeans", Method::SrKmeans),
+        ("depict", Method::Depict),
+        ("jule", Method::Jule),
+        ("vade", Method::Vade),
+        ("adec", Method::Adec),
+    ];
+
+    /// Parses a CLI method name.
+    pub fn parse(name: &str) -> Option<Method> {
+        Method::ALL
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|&(_, m)| m)
+    }
+
+    /// Whether the method needs a pretrained autoencoder.
+    pub fn is_deep(&self) -> bool {
+        matches!(
+            self,
+            Method::AeKmeans
+                | Method::AeFinch
+                | Method::DeepCluster
+                | Method::Dcn
+                | Method::Dec
+                | Method::Idec
+                | Method::SrKmeans
+                | Method::Depict
+                | Method::Jule
+                | Method::Adec
+        )
+    }
+}
+
+/// Pretraining strategy selector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PretrainKind {
+    /// Plain reconstruction (original DEC/IDEC).
+    Vanilla,
+    /// ACAI interpolation regularizer.
+    Acai,
+    /// ACAI + image augmentation (the paper's `*` setting; default).
+    AcaiAugment,
+    /// Greedy stacked-denoising (Vincent et al., original DEC init).
+    Sdae,
+}
+
+/// Parsed command-line arguments.
+#[derive(Debug, Clone)]
+pub struct Args {
+    /// Benchmark to generate.
+    pub dataset: Benchmark,
+    /// Method to run.
+    pub method: Method,
+    /// Dataset scale.
+    pub size: Size,
+    /// Experiment seed.
+    pub seed: u64,
+    /// Pretraining strategy for deep methods.
+    pub pretrain: PretrainKind,
+    /// Pretraining iterations.
+    pub pretrain_iters: usize,
+    /// Clustering iterations.
+    pub iters: usize,
+    /// Optional path to write predicted labels as CSV.
+    pub labels_out: Option<String>,
+    /// Optional path to save pretrained weights.
+    pub save_weights: Option<String>,
+    /// Print per-interval ACC/NMI while training.
+    pub trace: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Args {
+            dataset: Benchmark::DigitsTest,
+            method: Method::Adec,
+            size: Size::Small,
+            seed: 7,
+            pretrain: PretrainKind::AcaiAugment,
+            pretrain_iters: 1_200,
+            iters: 1_800,
+            labels_out: None,
+            save_weights: None,
+            trace: false,
+        }
+    }
+}
+
+/// Argument-parsing failure with a user-facing message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError(pub String);
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn parse_dataset(name: &str) -> Result<Benchmark, ParseError> {
+    match name {
+        "digits-full" | "mnist-full" => Ok(Benchmark::DigitsFull),
+        "digits-test" | "mnist-test" => Ok(Benchmark::DigitsTest),
+        "usps" => Ok(Benchmark::DigitsUsps),
+        "fashion" => Ok(Benchmark::Fashion),
+        "reuters" | "tfidf" => Ok(Benchmark::Tfidf),
+        "protein" | "mice" => Ok(Benchmark::Protein),
+        other => Err(ParseError(format!(
+            "unknown dataset '{other}' (try digits-full, digits-test, usps, fashion, reuters, protein)"
+        ))),
+    }
+}
+
+/// The `--help` text.
+pub fn usage() -> String {
+    let methods: Vec<&str> = Method::ALL.iter().map(|(n, _)| *n).collect();
+    format!(
+        "adec — Adversarial Deep Embedded Clustering (paper reproduction)\n\
+         \n\
+         USAGE:\n\
+           adec [OPTIONS]\n\
+         \n\
+         OPTIONS:\n\
+           --dataset <NAME>        digits-full | digits-test | usps | fashion | reuters | protein\n\
+           --method <NAME>         {}\n\
+           --size <SIZE>           small | medium | paper        (default small)\n\
+           --seed <N>              experiment seed               (default 7)\n\
+           --pretrain <KIND>       vanilla | acai | acai-aug | sdae (default acai-aug)\n\
+           --pretrain-iters <N>    pretraining iterations        (default 1200)\n\
+           --iters <N>             clustering iterations         (default 1800)\n\
+           --labels-out <PATH>     write predicted labels as CSV\n\
+           --save-weights <PATH>   save pretrained weights (deep methods)\n\
+           --trace                 print per-interval ACC/NMI\n\
+           --list                  list methods and datasets\n\
+           --help                  this message\n",
+        methods.join(" | ")
+    )
+}
+
+/// Parses a raw argument list (without the program name).
+pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
+    let mut args = Args::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--dataset" => args.dataset = parse_dataset(value("--dataset")?)?,
+            "--method" => {
+                let name = value("--method")?;
+                args.method = Method::parse(name)
+                    .ok_or_else(|| ParseError(format!("unknown method '{name}'")))?;
+            }
+            "--size" => {
+                args.size = match value("--size")?.as_str() {
+                    "small" => Size::Small,
+                    "medium" => Size::Medium,
+                    "paper" => Size::Paper,
+                    other => return Err(ParseError(format!("unknown size '{other}'"))),
+                }
+            }
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid seed '{v}'")))?;
+            }
+            "--pretrain" => {
+                args.pretrain = match value("--pretrain")?.as_str() {
+                    "vanilla" => PretrainKind::Vanilla,
+                    "acai" => PretrainKind::Acai,
+                    "acai-aug" => PretrainKind::AcaiAugment,
+                    "sdae" => PretrainKind::Sdae,
+                    other => return Err(ParseError(format!("unknown pretraining '{other}'"))),
+                }
+            }
+            "--pretrain-iters" => {
+                let v = value("--pretrain-iters")?;
+                args.pretrain_iters = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid iteration count '{v}'")))?;
+            }
+            "--iters" => {
+                let v = value("--iters")?;
+                args.iters = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid iteration count '{v}'")))?;
+            }
+            "--labels-out" => args.labels_out = Some(value("--labels-out")?.clone()),
+            "--save-weights" => args.save_weights = Some(value("--save-weights")?.clone()),
+            "--trace" => args.trace = true,
+            other => {
+                return Err(ParseError(format!(
+                    "unknown flag '{other}' (see --help)"
+                )))
+            }
+        }
+    }
+    Ok(args)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strs(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn defaults_when_empty() {
+        let args = parse(&[]).unwrap();
+        assert_eq!(args.method, Method::Adec);
+        assert_eq!(args.dataset, Benchmark::DigitsTest);
+        assert_eq!(args.seed, 7);
+    }
+
+    #[test]
+    fn full_flag_set() {
+        let args = parse(&strs(&[
+            "--dataset", "reuters", "--method", "idec", "--size", "medium", "--seed", "42",
+            "--pretrain", "vanilla", "--iters", "500", "--pretrain-iters", "300",
+            "--labels-out", "out.csv", "--trace",
+        ]))
+        .unwrap();
+        assert_eq!(args.dataset, Benchmark::Tfidf);
+        assert_eq!(args.method, Method::Idec);
+        assert_eq!(args.size, Size::Medium);
+        assert_eq!(args.seed, 42);
+        assert_eq!(args.pretrain, PretrainKind::Vanilla);
+        assert_eq!(args.iters, 500);
+        assert_eq!(args.pretrain_iters, 300);
+        assert_eq!(args.labels_out.as_deref(), Some("out.csv"));
+        assert!(args.trace);
+    }
+
+    #[test]
+    fn every_method_name_parses() {
+        for (name, method) in Method::ALL {
+            assert_eq!(Method::parse(name), Some(method), "{name}");
+        }
+        assert_eq!(Method::parse("nope"), None);
+    }
+
+    #[test]
+    fn errors_are_descriptive() {
+        assert!(parse(&strs(&["--method"])).unwrap_err().0.contains("requires a value"));
+        assert!(parse(&strs(&["--method", "zzz"])).unwrap_err().0.contains("unknown method"));
+        assert!(parse(&strs(&["--dataset", "zzz"])).unwrap_err().0.contains("unknown dataset"));
+        assert!(parse(&strs(&["--wat"])).unwrap_err().0.contains("unknown flag"));
+        assert!(parse(&strs(&["--seed", "abc"])).unwrap_err().0.contains("invalid seed"));
+    }
+
+    #[test]
+    fn deep_flag_classification() {
+        assert!(Method::Adec.is_deep());
+        assert!(Method::AeKmeans.is_deep());
+        assert!(!Method::Kmeans.is_deep());
+        assert!(!Method::Spectral.is_deep());
+        // VaDE builds its own networks (not the shared AE), so it is not
+        // "deep" in the needs-shared-pretraining sense.
+        assert!(!Method::Vade.is_deep());
+    }
+
+    #[test]
+    fn usage_mentions_every_method() {
+        let text = usage();
+        for (name, _) in Method::ALL {
+            assert!(text.contains(name), "usage text missing {name}");
+        }
+    }
+}

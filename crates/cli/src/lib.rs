@@ -1,0 +1,19 @@
+//! # adec-cli
+//!
+//! Library backing the `adec` command-line tool: argument parsing and the
+//! method dispatcher that runs any clustering method from the paper on any
+//! benchmark simulator.
+//!
+//! ```sh
+//! adec --dataset digits-test --method adec --size small --seed 7
+//! adec --dataset reuters --method kmeans
+//! adec --list
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod runner;
+
+pub use args::{Args, Method, ParseError};
+pub use runner::{run, RunReport};

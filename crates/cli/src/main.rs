@@ -1,0 +1,61 @@
+//! The `adec` command-line tool. See `adec --help`.
+
+use adec_cli::args::{parse, usage, Method};
+use adec_cli::runner::run;
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{}", usage());
+        return;
+    }
+    if argv.iter().any(|a| a == "--list") {
+        println!("methods:");
+        for (name, method) in Method::ALL {
+            println!(
+                "  {name:<12} {}",
+                if method.is_deep() { "(deep, uses shared pretrained autoencoder)" } else { "" }
+            );
+        }
+        println!("\ndatasets: digits-full digits-test usps fashion reuters protein");
+        return;
+    }
+
+    let args = match parse(&argv) {
+        Ok(args) => args,
+        Err(e) => {
+            eprintln!("error: {e}\n");
+            eprint!("{}", usage());
+            std::process::exit(2);
+        }
+    };
+
+    eprintln!(
+        "running {:?} on {:?} (size {:?}, seed {})…",
+        args.method, args.dataset, args.size, args.seed
+    );
+    match run(&args) {
+        Ok(report) => {
+            println!(
+                "{} / {}: ACC {:.4}  NMI {:.4}  ARI {:.4}  purity {:.4}  ({:.2}s)",
+                report.dataset, report.method, report.acc, report.nmi, report.ari, report.purity,
+                report.seconds
+            );
+            if let Some(path) = &args.labels_out {
+                let mut body = String::from("index,label\n");
+                for (i, l) in report.labels.iter().enumerate() {
+                    body.push_str(&format!("{i},{l}\n"));
+                }
+                if let Err(e) = std::fs::write(path, body) {
+                    eprintln!("error writing {path}: {e}");
+                    std::process::exit(1);
+                }
+                eprintln!("labels written to {path}");
+            }
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,267 @@
+//! Method dispatch: generates the dataset, runs the selected method, and
+//! returns an evaluation report.
+
+use crate::args::{Args, Method, PretrainKind};
+use adec_classic::{
+    ensc, finch, gmm, kernel_kmeans::rbf_kernel_kmeans, kmeans, lsnmf_cluster,
+    spectral_clustering, ssc_omp, ward_agglomerative, EnscConfig, GmmConfig, KMeansConfig,
+    SpectralConfig, SscOmpConfig,
+};
+use adec_core::jule::{self, JuleConfig};
+use adec_core::lite::{ae_finch, ae_kmeans, deepcluster_lite, depict_lite, sr_kmeans_lite, LiteConfig};
+use adec_core::prelude::*;
+use adec_core::pretrain::{PretrainConfig, SdaeConfig};
+use adec_core::vade::{self, VadeConfig};
+use adec_core::{pretrain_stacked_denoising, ArchPreset};
+use adec_datagen::Size;
+use adec_metrics::{accuracy, ari, nmi, purity};
+use adec_tensor::SeedRng;
+use std::time::Instant;
+
+/// Result of one CLI run.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Dataset display name.
+    pub dataset: &'static str,
+    /// Method CLI name.
+    pub method: String,
+    /// Predicted labels.
+    pub labels: Vec<usize>,
+    /// Clustering accuracy.
+    pub acc: f32,
+    /// Normalized mutual information.
+    pub nmi: f32,
+    /// Adjusted Rand index.
+    pub ari: f32,
+    /// Purity.
+    pub purity: f32,
+    /// Total wall-clock seconds (including pretraining for deep methods).
+    pub seconds: f64,
+}
+
+fn arch_for(size: Size) -> ArchPreset {
+    match size {
+        Size::Small | Size::Medium => ArchPreset::Medium,
+        Size::Paper => ArchPreset::Paper,
+    }
+}
+
+/// Runs the configured method and returns the report.
+pub fn run(args: &Args) -> Result<RunReport, String> {
+    let ds = args.dataset.generate(args.size, args.seed);
+    let k = ds.n_classes;
+    let mut rng = SeedRng::new(args.seed ^ 0xC11);
+    let start = Instant::now();
+
+    let labels: Vec<usize> = if args.method.is_deep() {
+        let mut session = Session::new(&ds, arch_for(args.size), args.seed);
+        match args.pretrain {
+            PretrainKind::Sdae => {
+                let cfg = SdaeConfig {
+                    layer_iterations: args.pretrain_iters / 4,
+                    finetune_iterations: args.pretrain_iters / 2,
+                    ..SdaeConfig::default()
+                };
+                pretrain_stacked_denoising(&session.ae, &mut session.store, &session.data, &cfg, &mut rng);
+            }
+            kind => {
+                let cfg = match kind {
+                    PretrainKind::Vanilla => PretrainConfig {
+                        iterations: args.pretrain_iters,
+                        ..PretrainConfig::vanilla_fast()
+                    },
+                    PretrainKind::Acai => PretrainConfig {
+                        iterations: args.pretrain_iters,
+                        augment: false,
+                        ..PretrainConfig::acai_fast()
+                    },
+                    _ => PretrainConfig {
+                        iterations: args.pretrain_iters,
+                        ..PretrainConfig::acai_fast()
+                    },
+                };
+                session.pretrain(&cfg);
+            }
+        }
+        if let Some(path) = &args.save_weights {
+            adec_nn::io::save_store(&session.store, path).map_err(|e| e.to_string())?;
+            eprintln!("saved weights to {path}");
+        }
+        let trace = if args.trace {
+            TraceConfig::curves(&ds.labels)
+        } else {
+            TraceConfig::default()
+        };
+
+        let out = match args.method {
+            Method::AeKmeans => {
+                let labels = ae_kmeans(&session.ae, &session.store, &session.data, k, &mut rng);
+                return Ok(finish(&ds, args, labels, start));
+            }
+            Method::AeFinch => {
+                let labels = ae_finch(&session.ae, &session.store, &session.data, k);
+                return Ok(finish(&ds, args, labels, start));
+            }
+            Method::DeepCluster => {
+                let mut cfg = LiteConfig::fast(k);
+                cfg.rounds = (args.iters / cfg.steps_per_round).max(4);
+                cfg.trace = trace;
+                let mut lrng = session.fork_rng(0xDC);
+                deepcluster_lite(&session.ae, &mut session.store, &session.data, &cfg, &mut lrng)
+            }
+            Method::SrKmeans => {
+                let mut cfg = LiteConfig::fast(k);
+                cfg.rounds = (args.iters / cfg.steps_per_round).max(4);
+                cfg.trace = trace;
+                let mut lrng = session.fork_rng(0x51);
+                sr_kmeans_lite(&session.ae, &mut session.store, &session.data, &cfg, &mut lrng)
+            }
+            Method::Depict => {
+                let mut cfg = LiteConfig::fast(k);
+                cfg.rounds = (args.iters / cfg.steps_per_round).max(4);
+                cfg.trace = trace;
+                let mut lrng = session.fork_rng(0xDE);
+                depict_lite(&session.ae, &mut session.store, &session.data, &cfg, &mut lrng)
+            }
+            Method::Dcn => {
+                let mut cfg = DcnConfig::fast(k);
+                cfg.max_iter = args.iters;
+                cfg.trace = trace;
+                session.run_dcn(&cfg)
+            }
+            Method::Dec => {
+                let mut cfg = DecConfig::fast(k);
+                cfg.max_iter = args.iters;
+                cfg.trace = trace;
+                session.run_dec(&cfg)
+            }
+            Method::Idec => {
+                let mut cfg = IdecConfig::fast(k);
+                cfg.max_iter = args.iters;
+                cfg.trace = trace;
+                session.run_idec(&cfg)
+            }
+            Method::Jule => {
+                let mut cfg = JuleConfig::fast(k);
+                cfg.rounds = (args.iters / cfg.steps_per_round).clamp(3, 12);
+                cfg.trace = trace;
+                let mut lrng = session.fork_rng(0x3B1E);
+                jule::run(&session.ae, &mut session.store, &session.data, &cfg, &mut lrng)
+            }
+            Method::Adec => {
+                let mut cfg = AdecConfig::fast(k);
+                cfg.max_iter = args.iters;
+                cfg.trace = trace;
+                session.run_adec(&cfg)
+            }
+            _ => unreachable!("non-deep methods handled below"),
+        };
+        if args.trace {
+            for p in &out.trace.points {
+                if let (Some(a), Some(n)) = (p.acc, p.nmi) {
+                    eprintln!("iter {:>6}: ACC {a:.3} NMI {n:.3}", p.iter);
+                }
+            }
+        }
+        out.labels
+    } else {
+        match args.method {
+            Method::Kmeans => kmeans(&ds.data, &KMeansConfig::new(k), &mut rng).labels,
+            Method::Gmm => gmm::fit(&ds.data, &GmmConfig::new(k), &mut rng).labels,
+            Method::Lsnmf => lsnmf_cluster(&ds.data, k, &mut rng),
+            Method::Agglomerative => ward_agglomerative(&ds.data, k),
+            Method::SscOmp => ssc_omp(&ds.data, &SscOmpConfig::new(k), &mut rng),
+            Method::Ensc => ensc(&ds.data, &EnscConfig::new(k), &mut rng),
+            Method::Spectral => spectral_clustering(&ds.data, &SpectralConfig::new(k), &mut rng),
+            Method::RbfKmeans => rbf_kernel_kmeans(&ds.data, k, &mut rng),
+            Method::Finch => finch(&ds.data, k),
+            Method::Vade => {
+                let mut store = adec_nn::ParamStore::new();
+                let mut cfg = VadeConfig::fast(k);
+                cfg.vae_iterations = args.pretrain_iters;
+                cfg.cluster_iterations = args.iters;
+                if args.trace {
+                    cfg.trace = TraceConfig::curves(&ds.labels);
+                }
+                vade::run(&mut store, &ds.data, arch_for(args.size), &cfg, &mut rng).labels
+            }
+            _ => unreachable!("deep methods handled above"),
+        }
+    };
+
+    Ok(finish(&ds, args, labels, start))
+}
+
+fn finish(
+    ds: &adec_datagen::Dataset,
+    args: &Args,
+    labels: Vec<usize>,
+    start: Instant,
+) -> RunReport {
+    RunReport {
+        dataset: ds.name,
+        method: Method::ALL
+            .iter()
+            .find(|(_, m)| *m == args.method)
+            .map(|(n, _)| n.to_string())
+            .unwrap_or_default(),
+        acc: accuracy(&ds.labels, &labels),
+        nmi: nmi(&ds.labels, &labels),
+        ari: ari(&ds.labels, &labels),
+        purity: purity(&ds.labels, &labels),
+        labels,
+        seconds: start.elapsed().as_secs_f64(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::args::parse;
+
+    fn quick_args(extra: &[&str]) -> Args {
+        let mut base = vec![
+            "--size".to_string(),
+            "small".to_string(),
+            "--iters".to_string(),
+            "120".to_string(),
+            "--pretrain-iters".to_string(),
+            "100".to_string(),
+        ];
+        base.extend(extra.iter().map(|s| s.to_string()));
+        parse(&base).unwrap()
+    }
+
+    #[test]
+    fn shallow_method_runs() {
+        let args = quick_args(&["--method", "kmeans", "--dataset", "protein"]);
+        let report = run(&args).unwrap();
+        assert_eq!(report.labels.len(), 240);
+        assert!(report.acc > 0.2);
+        assert!(report.seconds >= 0.0);
+    }
+
+    #[test]
+    fn deep_method_runs() {
+        let args = quick_args(&["--method", "dec", "--dataset", "protein"]);
+        let report = run(&args).unwrap();
+        assert_eq!(report.labels.len(), 240);
+        assert!((0.0..=1.0).contains(&report.acc));
+    }
+
+    #[test]
+    fn vade_runs() {
+        let args = quick_args(&["--method", "vade", "--dataset", "protein"]);
+        let report = run(&args).unwrap();
+        assert_eq!(report.labels.len(), 240);
+    }
+
+    #[test]
+    fn sdae_pretraining_path_runs() {
+        let args = quick_args(&[
+            "--method", "ae-kmeans", "--dataset", "protein", "--pretrain", "sdae",
+        ]);
+        let report = run(&args).unwrap();
+        assert_eq!(report.labels.len(), 240);
+    }
+}

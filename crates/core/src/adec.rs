@@ -1,0 +1,543 @@
+//! ADEC — Adversarial Deep Embedded Clustering (paper §4.2–4.3,
+//! Algorithm 1).
+//!
+//! Three networks are trained **separately**, never through a shared
+//! weighted loss, which is how ADEC escapes the Feature-Drift competition:
+//!
+//! * **Encoder E_φ** minimizes eq. 10 — the DEC KL objective plus the
+//!   adversarial regularizer `E[log(1 − D(G(E(x))))]`, which penalizes
+//!   embeddings whose decodings the discriminator can tell from real data
+//!   (reducing Feature Randomness without a balancing hyperparameter).
+//! * **Decoder G_θ** minimizes eq. 11 — plain reconstruction with the
+//!   encoder *frozen*, acting as a monitor that catches up with the
+//!   encoder's moves without drifting them.
+//! * **Discriminator D_ω** ascends eq. 12 — the standard GAN value
+//!   separating real samples from decoded embeddings.
+//!
+//! Because the decoder needs more steps than the others to stay in sync,
+//! Algorithm 1 alternates M decoder-only iterations with M joint
+//! iterations (`aux_iterations`), refreshing the target distribution P
+//! every `update_interval` iterations and stopping when fewer than `tol`
+//! of the labels change between refreshes.
+
+use crate::autoencoder::Autoencoder;
+use crate::dec::{init_centroids, label_change, record_trace_point, training_view};
+use crate::trace::{ClusterOutput, GradLoss, TraceConfig, TrainTrace};
+use adec_nn::{
+    hard_labels, soft_assignment, target_distribution, Activation, Mlp, Optimizer, ParamId,
+    ParamStore, Sgd, Tape,
+};
+use adec_tensor::{Matrix, SeedRng};
+use std::time::Instant;
+
+/// ADEC configuration (paper defaults in [`AdecConfig::paper`]).
+#[derive(Debug, Clone)]
+pub struct AdecConfig {
+    /// Number of clusters K.
+    pub k: usize,
+    /// Student-t degrees of freedom (paper: α = 1).
+    pub alpha: f32,
+    /// SGD learning rate ϑ (paper: 0.001).
+    pub lr: f32,
+    /// SGD momentum (paper: 0.9).
+    pub momentum: f32,
+    /// Mini-batch size (paper: 256).
+    pub batch_size: usize,
+    /// Maximum mini-batch iterations MaxIter (paper: 10⁵).
+    pub max_iter: usize,
+    /// Label-change convergence threshold tol (paper: 0.001).
+    pub tol: f32,
+    /// Target-distribution refresh interval T.
+    pub update_interval: usize,
+    /// Auxiliary decoder-only iterations M per alternation block.
+    pub aux_iterations: usize,
+    /// Hidden width of the discriminator.
+    pub disc_hidden: usize,
+    /// Discriminator warm-up iterations before clustering starts
+    /// (Algorithm 1's "pretrain the discriminator" step).
+    pub disc_pretrain: usize,
+    /// Share of the clustering-gradient norm the adversarial regularizer
+    /// may contribute in the encoder step (see [`encoder_step`]'s adaptive
+    /// balancing). `0.0` disables the regularizer (ablation); values in
+    /// `[0.1, 0.5]` behave nearly identically (the flat region the paper's
+    /// "no critical balancing hyperparameter" claim corresponds to, swept
+    /// by Ablation B), while `1.0` lets the discriminator fight the
+    /// within-class collapse it is supposed to permit. Default `0.3`.
+    pub adversarial_weight: f32,
+    /// Use the paper's literal saturating generator term
+    /// `E[log(1 − D(G(E(x))))]` instead of the default non-saturating
+    /// `−E[log D(G(E(x)))]`. The literal form is unbounded below in the
+    /// discriminator logit, so whenever the encoder outruns the
+    /// discriminator it can inflate the embedding without limit and
+    /// collapse the clustering; the non-saturating form (standard since
+    /// Goodfellow et al. 2014, §3) has the same gradient direction but is
+    /// bounded below by 0. See `DESIGN.md` §3 (compute substitutions).
+    pub saturating_adversarial: bool,
+    /// Train on augmented views (see [`crate::DecConfig::augment`]); the
+    /// discriminator's "real" samples are augmented too, which matches the
+    /// paper's "x stands for the data samples after carrying out the
+    /// random transformations" and keeps the critic from overfitting the
+    /// finite sample.
+    pub augment: Option<(usize, usize)>,
+    /// What to record while training.
+    pub trace: TraceConfig,
+}
+
+impl AdecConfig {
+    /// Paper-faithful hyperparameters.
+    pub fn paper(k: usize) -> Self {
+        AdecConfig {
+            k,
+            alpha: 1.0,
+            lr: 0.001,
+            momentum: 0.9,
+            batch_size: 256,
+            max_iter: 100_000,
+            tol: 0.001,
+            update_interval: 140,
+            aux_iterations: 5,
+            disc_hidden: 256,
+            disc_pretrain: 500,
+            adversarial_weight: 0.3,
+            saturating_adversarial: false,
+            augment: None,
+            trace: TraceConfig::default(),
+        }
+    }
+
+    /// CPU-budget configuration for harnesses and tests.
+    pub fn fast(k: usize) -> Self {
+        AdecConfig {
+            k,
+            alpha: 1.0,
+            lr: 0.01,
+            momentum: 0.9,
+            batch_size: 128,
+            max_iter: 1_200,
+            tol: 0.001,
+            update_interval: 140,
+            aux_iterations: 5,
+            disc_hidden: 64,
+            disc_pretrain: 100,
+            adversarial_weight: 0.3,
+            saturating_adversarial: false,
+            augment: None,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// ADEC runner. Owns the discriminator it builds for a run.
+pub struct Adec {
+    /// The trained discriminator (available after [`Adec::run`] for
+    /// inspection).
+    pub discriminator: Mlp,
+}
+
+impl Adec {
+    /// Builds the discriminator, runs Algorithm 1, and returns the
+    /// assignment plus the runner holding the trained discriminator.
+    pub fn run(
+        ae: &Autoencoder,
+        store: &mut ParamStore,
+        data: &Matrix,
+        cfg: &AdecConfig,
+        rng: &mut SeedRng,
+    ) -> (Adec, ClusterOutput) {
+        let start = Instant::now();
+        let n = data.rows();
+        let input_dim = ae.input_dim();
+
+        let discriminator = Mlp::new(
+            store,
+            &[input_dim, cfg.disc_hidden, cfg.disc_hidden, 1],
+            Activation::Relu,
+            Activation::Linear,
+            rng,
+        );
+
+        let mu0 = init_centroids(ae, store, data, cfg.k, rng);
+        let mu_id = store.register("adec.centroids", mu0);
+
+        let encoder_ids: std::collections::HashSet<ParamId> =
+            ae.encoder.param_ids().into_iter().collect();
+        let decoder_ids: std::collections::HashSet<ParamId> =
+            ae.decoder.param_ids().into_iter().collect();
+        let disc_ids: std::collections::HashSet<ParamId> =
+            discriminator.param_ids().into_iter().collect();
+
+        let mut enc_opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
+        let mut dec_opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
+        let mut disc_opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
+
+        // ---- Discriminator warm-up (Algorithm 1 line 2) ----
+        for _ in 0..cfg.disc_pretrain {
+            let idx = rng.sample_indices(n, cfg.batch_size.min(n));
+            let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
+            let fake = ae.reconstruct(store, &x_b);
+            discriminator_step(
+                &discriminator,
+                store,
+                &x_b,
+                &fake,
+                &mut disc_opt,
+                &disc_ids,
+            );
+        }
+
+        // ---- Clustering phase ----
+        let mut trace = TrainTrace::default();
+        let mut p_full = Matrix::zeros(0, 0);
+        let mut y_prev: Option<Vec<usize>> = None;
+        let mut converged = false;
+        let mut iterations = 0usize;
+        let mut decoder_only = true; // Algorithm 1's `test` flag
+        let mut block_j = 0usize;
+
+        for i in 0..cfg.max_iter {
+            iterations = i + 1;
+            if i % cfg.update_interval == 0 {
+                let z = ae.embed(store, data);
+                let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
+                p_full = target_distribution(&q);
+                let y_pred = hard_labels(&q);
+                record_trace_point(
+                    &mut trace,
+                    i,
+                    &q,
+                    &p_full,
+                    data,
+                    ae,
+                    store,
+                    mu_id,
+                    cfg.alpha,
+                    &cfg.trace,
+                    Some(GradLoss::Adversarial {
+                        decoder: &ae.decoder,
+                        discriminator: &discriminator,
+                    }),
+                    rng,
+                );
+                if let Some(prev) = &y_prev {
+                    if label_change(prev, &y_pred) < cfg.tol {
+                        converged = true;
+                        break;
+                    }
+                }
+                y_prev = Some(y_pred);
+            }
+
+            let idx = rng.sample_indices(n, cfg.batch_size.min(n));
+            let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
+
+            if decoder_only {
+                // Auxiliary block: decoder catch-up only (eq. 11).
+                decoder_step(ae, store, &x_b, &mut dec_opt, &decoder_ids);
+                block_j += 1;
+                if block_j >= cfg.aux_iterations {
+                    decoder_only = false;
+                    block_j = 0;
+                }
+            } else {
+                // Joint block: encoder (eq. 10), decoder (eq. 11),
+                // discriminator (eq. 12), centroids (Theorem 3).
+                let p_b = p_full.gather_rows(&idx);
+                encoder_step(
+                    ae,
+                    &discriminator,
+                    store,
+                    &x_b,
+                    &p_b,
+                    mu_id,
+                    cfg,
+                    &mut enc_opt,
+                    &encoder_ids,
+                );
+                decoder_step(ae, store, &x_b, &mut dec_opt, &decoder_ids);
+                let fake = ae.reconstruct(store, &x_b);
+                discriminator_step(
+                    &discriminator,
+                    store,
+                    &x_b,
+                    &fake,
+                    &mut disc_opt,
+                    &disc_ids,
+                );
+                block_j += 1;
+                if block_j >= cfg.aux_iterations {
+                    decoder_only = true;
+                    block_j = 0;
+                }
+            }
+        }
+
+        let z = ae.embed(store, data);
+        let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
+        let output = ClusterOutput {
+            labels: hard_labels(&q),
+            q,
+            iterations,
+            converged,
+            trace,
+            seconds: start.elapsed().as_secs_f64(),
+        };
+        (Adec { discriminator }, output)
+    }
+}
+
+/// Encoder update minimizing eq. 10 with **adaptive gradient balancing**:
+/// the adversarial regularizer's gradient is rescaled so its norm never
+/// exceeds the clustering gradient's norm. This keeps the paper's
+/// "no balancing hyperparameter" property while making the combination
+/// scale-free — without it, the regularizer's raw gradient (flowing through
+/// decoder *and* discriminator) can be an order of magnitude larger than
+/// the KL gradient and drag the embedding off to a GAN-style collapse.
+/// Centroids receive the Theorem-3 KL gradient only (the adversarial term
+/// does not depend on μ).
+#[allow(clippy::too_many_arguments)]
+fn encoder_step(
+    ae: &Autoencoder,
+    discriminator: &Mlp,
+    store: &mut ParamStore,
+    x_b: &Matrix,
+    p_b: &Matrix,
+    mu_id: ParamId,
+    cfg: &AdecConfig,
+    opt: &mut Sgd,
+    _encoder_ids: &std::collections::HashSet<ParamId>,
+) {
+    let b = x_b.rows() as f32;
+    let enc_ids: Vec<ParamId> = ae.encoder.param_ids();
+
+    // Pass 1: clustering gradient (encoder + centroids).
+    let mut kl_tape = Tape::new();
+    {
+        let xv = kl_tape.leaf(x_b.clone());
+        let z = ae.encoder.forward(&mut kl_tape, store, xv);
+        let mu = kl_tape.param(store, mu_id);
+        let kl = kl_tape.dec_kl(z, mu, p_b, cfg.alpha);
+        let loss = kl_tape.scale(kl, 1.0 / b);
+        kl_tape.backward(loss);
+    }
+    let grad_of = |tape: &Tape, id: ParamId| -> Matrix {
+        let var = tape
+            .bindings()
+            .iter()
+            .find(|(bid, _)| *bid == id)
+            .map(|&(_, v)| v)
+            .expect("parameter bound on tape");
+        tape.grad(var)
+    };
+    let mut kl_grads: Vec<(ParamId, Matrix)> = enc_ids
+        .iter()
+        .map(|&id| (id, grad_of(&kl_tape, id)))
+        .collect();
+    let mu_grad = grad_of(&kl_tape, mu_id);
+
+    if cfg.adversarial_weight != 0.0 {
+        // Pass 2: adversarial gradient (encoder only; decoder and
+        // discriminator frozen).
+        let mut adv_tape = Tape::new();
+        {
+            let xv = adv_tape.leaf(x_b.clone());
+            let z = ae.encoder.forward(&mut adv_tape, store, xv);
+            let xhat = ae.decoder.forward(&mut adv_tape, store, z);
+            let logits = discriminator.forward(&mut adv_tape, store, xhat);
+            let loss = if cfg.saturating_adversarial {
+                // Literal eq. 10: E[log(1 − σ(s))] = −E[softplus(s)].
+                // Unbounded below; kept for the faithfulness ablation.
+                let sp = adv_tape.softplus(logits);
+                let m = adv_tape.mean_all(sp);
+                adv_tape.scale(m, -1.0)
+            } else {
+                // Non-saturating form −E[log σ(s)] = E[softplus(−s)]:
+                // same gradient direction, bounded below by 0.
+                let neg = adv_tape.scale(logits, -1.0);
+                let sp = adv_tape.softplus(neg);
+                adv_tape.mean_all(sp)
+            };
+            adv_tape.backward(loss);
+        }
+        let adv_grads: Vec<Matrix> = enc_ids.iter().map(|&id| grad_of(&adv_tape, id)).collect();
+        let norm = |gs: &[Matrix]| -> f32 {
+            gs.iter().map(|g| g.sq_norm()).sum::<f32>().sqrt()
+        };
+        let kl_norm = norm(&kl_grads.iter().map(|(_, g)| g.clone()).collect::<Vec<_>>());
+        let adv_norm = norm(&adv_grads);
+        let scale = if adv_norm > 1e-12 {
+            cfg.adversarial_weight * (kl_norm / adv_norm).min(1.0)
+        } else {
+            0.0
+        };
+        for ((_, g_kl), g_adv) in kl_grads.iter_mut().zip(adv_grads.iter()) {
+            g_kl.axpy(scale, g_adv);
+        }
+    }
+
+    kl_grads.push((mu_id, mu_grad));
+    opt.step_grads(store, &kl_grads);
+}
+
+/// Decoder update minimizing eq. 11 with the encoder frozen: the embedding
+/// is computed without gradient and fed to the decoder as a constant.
+fn decoder_step(
+    ae: &Autoencoder,
+    store: &mut ParamStore,
+    x_b: &Matrix,
+    opt: &mut Sgd,
+    decoder_ids: &std::collections::HashSet<ParamId>,
+) {
+    let z = ae.encoder.infer(store, x_b); // detached
+    let mut tape = Tape::new();
+    let zv = tape.leaf(z);
+    let xhat = ae.decoder.forward(&mut tape, store, zv);
+    let target = tape.leaf(x_b.clone());
+    let loss = tape.mse(xhat, target);
+    tape.backward(loss);
+    opt.step_filtered(&tape, store, |id| decoder_ids.contains(&id));
+}
+
+/// Discriminator update ascending eq. 12, i.e. minimizing
+/// `BCE(D(x), 1) + BCE(D(fake), 0)` on logits, with one-sided label
+/// smoothing (real target 0.9, Salimans et al. 2016): the discriminator
+/// stays informative without becoming the over-confident critic that
+/// would fight the within-class collapse ADEC aims for.
+fn discriminator_step(
+    discriminator: &Mlp,
+    store: &mut ParamStore,
+    real: &Matrix,
+    fake: &Matrix,
+    opt: &mut Sgd,
+    disc_ids: &std::collections::HashSet<ParamId>,
+) {
+    let mut tape = Tape::new();
+    let rv = tape.leaf(real.clone());
+    let r_logits = discriminator.forward(&mut tape, store, rv);
+    let ones = Matrix::full(real.rows(), 1, 0.9);
+    let l_real = tape.bce_with_logits(r_logits, &ones);
+    let fv = tape.leaf(fake.clone());
+    let f_logits = discriminator.forward(&mut tape, store, fv);
+    let zeros = Matrix::zeros(fake.rows(), 1);
+    let l_fake = tape.bce_with_logits(f_logits, &zeros);
+    let loss = tape.add(l_real, l_fake);
+    tape.backward(loss);
+    opt.step_filtered(&tape, store, |id| disc_ids.contains(&id));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::ArchPreset;
+    use crate::dec::tests::blob_manifold;
+    use crate::pretrain::{pretrain_autoencoder, PretrainConfig};
+    use adec_datagen::Modality;
+
+    fn pretrained_setup(seed: u64) -> (Matrix, Vec<usize>, ParamStore, Autoencoder, SeedRng) {
+        let mut rng = SeedRng::new(seed);
+        let (data, y) = blob_manifold(40, 3, 24, &mut rng);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 24, ArchPreset::Small, &mut rng);
+        pretrain_autoencoder(
+            &ae,
+            &mut store,
+            &data,
+            Modality::Tabular,
+            &PretrainConfig {
+                iterations: 400,
+                batch_size: 64,
+                lr: 1e-3,
+                ..PretrainConfig::vanilla(400)
+            },
+            &mut rng,
+        );
+        (data, y, store, ae, rng)
+    }
+
+    #[test]
+    fn adec_clusters_structured_data() {
+        let (data, y, mut store, ae, mut rng) = pretrained_setup(41);
+        let mut cfg = AdecConfig::fast(3);
+        cfg.max_iter = 600;
+        cfg.trace = TraceConfig::curves(&y);
+        let (_model, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let acc = out.acc(&y);
+        assert!(acc > 0.75, "ADEC ACC {acc}");
+    }
+
+    #[test]
+    fn discriminator_separates_real_from_fake_after_warmup() {
+        let (data, _y, mut store, ae, mut rng) = pretrained_setup(42);
+        let mut cfg = AdecConfig::fast(3);
+        cfg.max_iter = 50;
+        cfg.disc_pretrain = 300;
+        let (model, _out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        // Real samples should receive higher logits than reconstructions on
+        // average.
+        let real_logits = model.discriminator.infer(&store, &data);
+        let fake = ae.reconstruct(&store, &data);
+        let fake_logits = model.discriminator.infer(&store, &fake);
+        assert!(
+            real_logits.mean() > fake_logits.mean(),
+            "real {} vs fake {}",
+            real_logits.mean(),
+            fake_logits.mean()
+        );
+    }
+
+    #[test]
+    fn alternation_trains_decoder_more_than_encoder() {
+        // With aux blocks, the decoder receives ~2x the updates of the
+        // encoder. Verify indirectly: reconstruction after ADEC stays
+        // reasonable (the decoder caught up with the moving encoder).
+        let (data, _y, mut store, ae, mut rng) = pretrained_setup(43);
+        let before = ae.reconstruction_error(&store, &data);
+        let mut cfg = AdecConfig::fast(3);
+        cfg.max_iter = 600;
+        let (_m, _out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let after = ae.reconstruction_error(&store, &data);
+        assert!(
+            after < before * 4.0,
+            "decoder must track the encoder: {before} -> {after}"
+        );
+    }
+
+    #[test]
+    fn adversarial_ablation_runs() {
+        let (data, y, mut store, ae, mut rng) = pretrained_setup(44);
+        let mut cfg = AdecConfig::fast(3);
+        cfg.max_iter = 300;
+        cfg.adversarial_weight = 0.0;
+        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        // Without the adversarial term this degenerates toward DEC with a
+        // decoder side-car; it must still produce a valid clustering.
+        assert_eq!(out.labels.len(), data.rows());
+        let acc = out.acc(&y);
+        assert!(acc > 0.4, "ablated ADEC ACC {acc}");
+    }
+
+    #[test]
+    fn adec_records_tradeoff_metrics() {
+        let (data, y, mut store, ae, mut rng) = pretrained_setup(45);
+        let mut cfg = AdecConfig::fast(3);
+        cfg.max_iter = 200;
+        cfg.trace = TraceConfig::full(&y);
+        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        assert!(!out.trace.fr_series().is_empty());
+        assert!(!out.trace.fd_series().is_empty());
+        for (_, v) in out.trace.fd_series() {
+            assert!((-1.0..=1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn convergence_flag_reflects_tol() {
+        let (data, _y, mut store, ae, mut rng) = pretrained_setup(46);
+        let mut cfg = AdecConfig::fast(3);
+        cfg.max_iter = 3;
+        cfg.update_interval = 1;
+        cfg.tol = 1.1; // any change fraction < 1.1 → immediate convergence
+        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        assert!(out.converged);
+        assert!(out.iterations <= 3);
+    }
+}

@@ -1,0 +1,140 @@
+//! The encoder/decoder pair shared by every deep model in the paper.
+//!
+//! The paper's fully-connected architecture is n–500–500–2000–10 with ReLU
+//! hidden activations and linear bottleneck/output layers (§5.2.4); the
+//! scaled-down presets keep that shape (widening then bottleneck, latent 10)
+//! at laptop-CPU cost.
+
+use adec_nn::{Activation, Mlp, ParamId, ParamStore};
+use adec_tensor::{Matrix, SeedRng};
+
+/// Architecture presets (see `DESIGN.md` §3 on compute substitution).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchPreset {
+    /// Unit-test scale: n–64–32–10.
+    Small,
+    /// Experiment-harness scale: n–128–64–10.
+    Medium,
+    /// The published architecture: n–500–500–2000–10.
+    Paper,
+}
+
+/// Encoder layer widths for a preset (decoder mirrors them).
+pub fn arch_dims(input_dim: usize, preset: ArchPreset) -> Vec<usize> {
+    match preset {
+        ArchPreset::Small => vec![input_dim, 64, 32, 10],
+        ArchPreset::Medium => vec![input_dim, 128, 64, 10],
+        ArchPreset::Paper => vec![input_dim, 500, 500, 2000, 10],
+    }
+}
+
+/// An encoder E_φ and mirrored decoder G_θ over a shared [`ParamStore`].
+#[derive(Debug, Clone)]
+pub struct Autoencoder {
+    /// Encoder E_φ: data space → latent space.
+    pub encoder: Mlp,
+    /// Decoder G_θ: latent space → data space.
+    pub decoder: Mlp,
+}
+
+impl Autoencoder {
+    /// Builds encoder + mirrored decoder with Glorot init.
+    ///
+    /// Hidden layers are ReLU; the bottleneck and the reconstruction output
+    /// are linear, as in the paper.
+    pub fn new(
+        store: &mut ParamStore,
+        input_dim: usize,
+        preset: ArchPreset,
+        rng: &mut SeedRng,
+    ) -> Self {
+        let enc_dims = arch_dims(input_dim, preset);
+        let dec_dims: Vec<usize> = enc_dims.iter().rev().copied().collect();
+        Autoencoder {
+            encoder: Mlp::new(store, &enc_dims, Activation::Relu, Activation::Linear, rng),
+            decoder: Mlp::new(store, &dec_dims, Activation::Relu, Activation::Linear, rng),
+        }
+    }
+
+    /// Latent dimensionality.
+    pub fn latent_dim(&self) -> usize {
+        self.encoder.output_dim()
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.encoder.input_dim()
+    }
+
+    /// No-grad embedding of a data matrix.
+    pub fn embed(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        self.encoder.infer(store, x)
+    }
+
+    /// No-grad reconstruction `G(E(x))`.
+    pub fn reconstruct(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        self.decoder.infer(store, &self.encoder.infer(store, x))
+    }
+
+    /// Mean reconstruction MSE on a data matrix (no-grad).
+    pub fn reconstruction_error(&self, store: &ParamStore, x: &Matrix) -> f32 {
+        let recon = self.reconstruct(store, x);
+        recon.sub(x).sq_norm() / x.len() as f32
+    }
+
+    /// Every parameter id of encoder then decoder.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        let mut ids = self.encoder.param_ids();
+        ids.extend(self.decoder.param_ids());
+        ids
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_have_latent_ten() {
+        for preset in [ArchPreset::Small, ArchPreset::Medium, ArchPreset::Paper] {
+            let dims = arch_dims(77, preset);
+            assert_eq!(dims[0], 77);
+            assert_eq!(*dims.last().unwrap(), 10);
+        }
+        assert_eq!(arch_dims(784, ArchPreset::Paper), vec![784, 500, 500, 2000, 10]);
+    }
+
+    #[test]
+    fn autoencoder_round_trip_shapes() {
+        let mut rng = SeedRng::new(1);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 20, ArchPreset::Small, &mut rng);
+        assert_eq!(ae.input_dim(), 20);
+        assert_eq!(ae.latent_dim(), 10);
+        let x = Matrix::randn(5, 20, 0.0, 1.0, &mut rng);
+        let z = ae.embed(&store, &x);
+        assert_eq!(z.shape(), (5, 10));
+        let recon = ae.reconstruct(&store, &x);
+        assert_eq!(recon.shape(), (5, 20));
+    }
+
+    #[test]
+    fn param_ids_cover_both_networks() {
+        let mut rng = SeedRng::new(2);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 16, ArchPreset::Small, &mut rng);
+        // Small preset: 3 encoder layers + 3 decoder layers, 2 params each.
+        assert_eq!(ae.param_ids().len(), 12);
+        assert_eq!(store.len(), 12);
+    }
+
+    #[test]
+    fn untrained_error_is_finite_positive() {
+        let mut rng = SeedRng::new(3);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 12, ArchPreset::Small, &mut rng);
+        let x = Matrix::randn(8, 12, 0.0, 1.0, &mut rng);
+        let err = ae.reconstruction_error(&store, &x);
+        assert!(err.is_finite() && err > 0.0);
+    }
+}

@@ -1,0 +1,237 @@
+//! Deep Clustering Network (Yang et al. 2017): joint reconstruction and
+//! *latent k-means*, `L = L_r + (λ/2)·Σᵢ ‖zᵢ − M·sᵢ‖²` — the loss whose
+//! clustering/reconstruction decomposition the paper's Theorem 1 analyzes.
+//!
+//! Follows the DCN paper's alternating scheme: network update by SGD on
+//! the joint loss with assignments fixed, then hard reassignment and
+//! count-weighted incremental centroid updates.
+
+use crate::autoencoder::Autoencoder;
+use crate::dec::{init_centroids, label_change};
+use crate::trace::{ClusterOutput, TraceConfig, TracePoint, TrainTrace};
+use adec_nn::{Optimizer, ParamId, ParamStore, Sgd, Tape};
+use adec_tensor::{linalg::pairwise_sq_dists, Matrix, SeedRng};
+use std::time::Instant;
+
+/// DCN configuration.
+#[derive(Debug, Clone)]
+pub struct DcnConfig {
+    /// Number of clusters K.
+    pub k: usize,
+    /// Latent k-means weight λ.
+    pub lambda: f32,
+    /// SGD learning rate.
+    pub lr: f32,
+    /// SGD momentum.
+    pub momentum: f32,
+    /// Mini-batch size.
+    pub batch_size: usize,
+    /// Maximum mini-batch iterations.
+    pub max_iter: usize,
+    /// Label-change convergence threshold.
+    pub tol: f32,
+    /// Assignment/metric refresh interval.
+    pub update_interval: usize,
+    /// What to record while training.
+    pub trace: TraceConfig,
+}
+
+impl DcnConfig {
+    /// CPU-budget configuration.
+    pub fn fast(k: usize) -> Self {
+        DcnConfig {
+            k,
+            lambda: 0.5,
+            lr: 0.01,
+            momentum: 0.9,
+            batch_size: 128,
+            max_iter: 1_200,
+            tol: 0.001,
+            update_interval: 140,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// DCN runner.
+pub struct Dcn;
+
+fn nearest_centroids(z: &Matrix, centroids: &Matrix) -> Vec<usize> {
+    let d = pairwise_sq_dists(z, centroids);
+    (0..z.rows())
+        .map(|i| {
+            let row = d.row(i);
+            let mut best = 0usize;
+            let mut best_v = f32::INFINITY;
+            for (j, &v) in row.iter().enumerate() {
+                if v < best_v {
+                    best_v = v;
+                    best = j;
+                }
+            }
+            best
+        })
+        .collect()
+}
+
+impl Dcn {
+    /// Runs DCN fine-tuning.
+    pub fn run(
+        ae: &Autoencoder,
+        store: &mut ParamStore,
+        data: &Matrix,
+        cfg: &DcnConfig,
+        rng: &mut SeedRng,
+    ) -> ClusterOutput {
+        let start = Instant::now();
+        let mut centroids = init_centroids(ae, store, data, cfg.k, rng);
+        // Per-cluster assignment counts drive the DCN incremental centroid
+        // learning rate 1/count.
+        let mut counts = vec![1usize; cfg.k];
+        let trainable: std::collections::HashSet<ParamId> = ae.param_ids().into_iter().collect();
+        let mut opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
+        let mut trace = TrainTrace::default();
+        let mut y_prev: Option<Vec<usize>> = None;
+        let mut converged = false;
+        let mut iterations = 0usize;
+
+        for i in 0..cfg.max_iter {
+            iterations = i + 1;
+            if i % cfg.update_interval == 0 {
+                let z = ae.embed(store, data);
+                let y_pred = nearest_centroids(&z, &centroids);
+                let (acc, nmi_v) = match &cfg.trace.y_true {
+                    Some(y) => (
+                        Some(adec_metrics::accuracy(y, &y_pred)),
+                        Some(adec_metrics::nmi(y, &y_pred)),
+                    ),
+                    None => (None, None),
+                };
+                trace.points.push(TracePoint {
+                    iter: i,
+                    acc,
+                    nmi: nmi_v,
+                    delta_fr: None,
+                    delta_fd: None,
+                    kl_loss: 0.0,
+                });
+                if let Some(prev) = &y_prev {
+                    if label_change(prev, &y_pred) < cfg.tol {
+                        converged = true;
+                        break;
+                    }
+                }
+                y_prev = Some(y_pred);
+            }
+
+            let idx = rng.sample_indices(data.rows(), cfg.batch_size.min(data.rows()));
+            let x_b = data.gather_rows(&idx);
+
+            // Assignments with the current network (fixed during the step).
+            let z_now = ae.embed(store, &x_b);
+            let assign = nearest_centroids(&z_now, &centroids);
+            let targets = centroids.gather_rows(&assign);
+
+            // Network update on L_r + (λ/2)‖z − M s‖².
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x_b.clone());
+            let z = ae.encoder.forward(&mut tape, store, xv);
+            let xhat = ae.decoder.forward(&mut tape, store, z);
+            let x_target = tape.leaf(x_b.clone());
+            let rec = tape.mse(xhat, x_target);
+            let t = tape.leaf(targets);
+            let km = tape.mse(z, t);
+            let km_scaled = tape.scale(km, cfg.lambda / 2.0);
+            let loss = tape.add(rec, km_scaled);
+            tape.backward(loss);
+            opt.step_filtered(&tape, store, |id| trainable.contains(&id));
+
+            // Incremental centroid update (DCN eq. 8): per-sample step with
+            // learning rate 1/count.
+            let z_new = ae.embed(store, &x_b);
+            for (row, &c) in assign.iter().enumerate() {
+                counts[c] += 1;
+                let lr_c = 1.0 / counts[c] as f32;
+                for t in 0..centroids.cols() {
+                    let cur = centroids.get(c, t);
+                    centroids.set(c, t, cur + lr_c * (z_new.get(row, t) - cur));
+                }
+            }
+        }
+
+        let z = ae.embed(store, data);
+        let labels = nearest_centroids(&z, &centroids);
+        // DCN is hard-assignment; expose a one-hot Q for interface parity.
+        let mut q = Matrix::zeros(data.rows(), cfg.k);
+        for (i, &l) in labels.iter().enumerate() {
+            q.set(i, l, 1.0);
+        }
+        ClusterOutput {
+            labels,
+            q,
+            iterations,
+            converged,
+            trace,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::autoencoder::ArchPreset;
+    use crate::dec::tests::blob_manifold;
+    use crate::pretrain::{pretrain_autoencoder, PretrainConfig};
+    use adec_datagen::Modality;
+
+    #[test]
+    fn dcn_clusters_structured_data() {
+        let mut rng = SeedRng::new(31);
+        let (data, y) = blob_manifold(40, 3, 24, &mut rng);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 24, ArchPreset::Small, &mut rng);
+        pretrain_autoencoder(
+            &ae,
+            &mut store,
+            &data,
+            Modality::Tabular,
+            &PretrainConfig {
+                iterations: 400,
+                batch_size: 64,
+                lr: 1e-3,
+                ..PretrainConfig::vanilla(400)
+            },
+            &mut rng,
+        );
+        let mut cfg = DcnConfig::fast(3);
+        cfg.max_iter = 600;
+        cfg.trace = TraceConfig::curves(&y);
+        let out = Dcn::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let acc = out.acc(&y);
+        assert!(acc > 0.7, "DCN ACC {acc}");
+    }
+
+    #[test]
+    fn dcn_q_is_one_hot() {
+        let mut rng = SeedRng::new(32);
+        let (data, _) = blob_manifold(15, 2, 12, &mut rng);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 12, ArchPreset::Small, &mut rng);
+        let mut cfg = DcnConfig::fast(2);
+        cfg.max_iter = 100;
+        let out = Dcn::run(&ae, &mut store, &data, &cfg, &mut rng);
+        for i in 0..out.q.rows() {
+            let s: f32 = out.q.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-6);
+            assert!(out.q.row(i).iter().all(|&v| v == 0.0 || v == 1.0));
+        }
+    }
+
+    #[test]
+    fn nearest_centroid_assignment() {
+        let z = Matrix::from_vec(2, 1, vec![0.1, 4.9]);
+        let c = Matrix::from_vec(2, 1, vec![0.0, 5.0]);
+        assert_eq!(nearest_centroids(&z, &c), vec![0, 1]);
+    }
+}

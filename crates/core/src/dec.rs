@@ -1,0 +1,428 @@
+//! Deep Embedded Clustering (paper §2.2; Xie et al. 2016).
+//!
+//! After pretraining, the decoder is discarded and the encoder plus the
+//! embedded centroids are jointly optimized to minimize `KL(P‖Q)` with the
+//! Student-t soft assignment (eq. 1) and the self-sharpening target
+//! distribution (eq. 3), refreshed every `update_interval` iterations.
+
+use crate::autoencoder::Autoencoder;
+use crate::trace::{
+    encoder_gradients, grad_cosine, ClusterOutput, GradLoss, TraceConfig, TracePoint, TrainTrace,
+};
+use adec_classic::{kmeans, KMeansConfig};
+use adec_nn::{
+    hard_labels, kl_divergence, soft_assignment, target_distribution, Optimizer, ParamId,
+    ParamStore, Sgd, Tape,
+};
+use adec_tensor::{Matrix, SeedRng};
+use std::time::Instant;
+
+/// DEC configuration.
+#[derive(Debug, Clone)]
+pub struct DecConfig {
+    /// Number of clusters K.
+    pub k: usize,
+    /// Student-t degrees of freedom (paper: α = 1).
+    pub alpha: f32,
+    /// SGD learning rate (paper: 0.001).
+    pub lr: f32,
+    /// SGD momentum (paper: 0.9).
+    pub momentum: f32,
+    /// Mini-batch size (paper: 256).
+    pub batch_size: usize,
+    /// Maximum mini-batch iterations (paper: 10⁵).
+    pub max_iter: usize,
+    /// Label-change convergence threshold (paper: 0.001).
+    pub tol: f32,
+    /// Target-distribution refresh interval T.
+    pub update_interval: usize,
+    /// Train on augmented views (paper's integrated prior knowledge for
+    /// image data): `Some((h, w))` applies a fresh random
+    /// rotation/translation to every mini-batch while targets stay
+    /// computed from the clean data. [`crate::Session`] fills this
+    /// automatically for image datasets.
+    pub augment: Option<(usize, usize)>,
+    /// What to record while training.
+    pub trace: TraceConfig,
+}
+
+impl DecConfig {
+    /// Paper-faithful hyperparameters.
+    pub fn paper(k: usize) -> Self {
+        DecConfig {
+            k,
+            alpha: 1.0,
+            lr: 0.001,
+            momentum: 0.9,
+            batch_size: 256,
+            max_iter: 100_000,
+            tol: 0.001,
+            update_interval: 140,
+            augment: None,
+            trace: TraceConfig::default(),
+        }
+    }
+
+    /// CPU-budget configuration for harnesses and tests.
+    pub fn fast(k: usize) -> Self {
+        DecConfig {
+            k,
+            alpha: 1.0,
+            lr: 0.01,
+            momentum: 0.9,
+            batch_size: 128,
+            max_iter: 1_200,
+            tol: 0.001,
+            update_interval: 140,
+            augment: None,
+            trace: TraceConfig::default(),
+        }
+    }
+}
+
+/// DEC runner (stateless; operates on a pretrained [`Autoencoder`]).
+pub struct Dec;
+
+/// Initializes embedded centroids with k-means on the encoder output
+/// (Algorithm 1's initialization step, shared by every deep model here).
+pub(crate) fn init_centroids(
+    ae: &Autoencoder,
+    store: &ParamStore,
+    data: &Matrix,
+    k: usize,
+    rng: &mut SeedRng,
+) -> Matrix {
+    let z = ae.embed(store, data);
+    kmeans(&z, &KMeansConfig::fast(k), rng).centroids
+}
+
+/// Applies the paper's clustering-phase augmentation when configured:
+/// a fresh random rotation/translation of the mini-batch (targets are
+/// still computed from the clean data).
+pub(crate) fn training_view(
+    x_b: &Matrix,
+    augment: Option<(usize, usize)>,
+    rng: &mut SeedRng,
+) -> Matrix {
+    match augment {
+        Some((h, w)) => adec_datagen::augment::augment_batch(
+            x_b,
+            h,
+            w,
+            &adec_datagen::augment::AugmentConfig::default(),
+            rng,
+        ),
+        None => x_b.clone(),
+    }
+}
+
+/// Fraction of labels that changed between two assignments (the paper's
+/// `tol` criterion).
+pub(crate) fn label_change(a: &[usize], b: &[usize]) -> f32 {
+    assert_eq!(a.len(), b.len());
+    let changed = a.iter().zip(b.iter()).filter(|(x, y)| x != y).count();
+    changed as f32 / a.len() as f32
+}
+
+impl Dec {
+    /// Runs the DEC clustering phase, mutating the encoder and returning
+    /// the final assignment. The decoder is untouched (discarded).
+    pub fn run(
+        ae: &Autoencoder,
+        store: &mut ParamStore,
+        data: &Matrix,
+        cfg: &DecConfig,
+        rng: &mut SeedRng,
+    ) -> ClusterOutput {
+        let start = Instant::now();
+        let mu0 = init_centroids(ae, store, data, cfg.k, rng);
+        let mu_id = store.register("dec.centroids", mu0);
+        let encoder_ids: std::collections::HashSet<ParamId> =
+            ae.encoder.param_ids().into_iter().collect();
+
+        let mut opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
+        let mut trace = TrainTrace::default();
+        let mut p_full = Matrix::zeros(0, 0);
+        let mut y_prev: Option<Vec<usize>> = None;
+        let mut converged = false;
+        let mut iterations = 0usize;
+
+        for i in 0..cfg.max_iter {
+            iterations = i + 1;
+            if i % cfg.update_interval == 0 {
+                let z = ae.embed(store, data);
+                let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
+                p_full = target_distribution(&q);
+                let y_pred = hard_labels(&q);
+                record_trace_point(
+                    &mut trace,
+                    i,
+                    &q,
+                    &p_full,
+                    data,
+                    ae,
+                    store,
+                    mu_id,
+                    cfg.alpha,
+                    &cfg.trace,
+                    None,
+                    rng,
+                );
+                if let Some(prev) = &y_prev {
+                    if label_change(prev, &y_pred) < cfg.tol {
+                        converged = true;
+                        break;
+                    }
+                }
+                y_prev = Some(y_pred);
+            }
+
+            let idx = rng.sample_indices(data.rows(), cfg.batch_size.min(data.rows()));
+            let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
+            let p_b = p_full.gather_rows(&idx);
+
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x_b);
+            let z = ae.encoder.forward(&mut tape, store, xv);
+            let mu = tape.param(store, mu_id);
+            let kl = tape.dec_kl(z, mu, &p_b, cfg.alpha);
+            let loss = tape.scale(kl, 1.0 / idx.len() as f32);
+            tape.backward(loss);
+            opt.step_filtered(&tape, store, |id| id == mu_id || encoder_ids.contains(&id));
+        }
+
+        let z = ae.embed(store, data);
+        let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
+        ClusterOutput {
+            labels: hard_labels(&q),
+            q,
+            iterations,
+            converged,
+            trace,
+            seconds: start.elapsed().as_secs_f64(),
+        }
+    }
+}
+
+/// Shared trace-point recorder used by DEC/IDEC/ADEC runners. `self_loss`
+/// optionally supplies the model's self-supervised gradient source for
+/// Δ_FD (None → Δ_FD not recorded, as for plain DEC which has no
+/// regularizer).
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn record_trace_point(
+    trace: &mut TrainTrace,
+    iter: usize,
+    q_full: &Matrix,
+    p_full: &Matrix,
+    data: &Matrix,
+    ae: &Autoencoder,
+    store: &ParamStore,
+    mu_id: ParamId,
+    alpha: f32,
+    cfg: &TraceConfig,
+    self_loss: Option<GradLoss<'_>>,
+    rng: &mut SeedRng,
+) {
+    let y_pred = hard_labels(q_full);
+    let (acc, nmi_v) = match &cfg.y_true {
+        Some(y_true) => (
+            Some(adec_metrics::accuracy(y_true, &y_pred)),
+            Some(adec_metrics::nmi(y_true, &y_pred)),
+        ),
+        None => (None, None),
+    };
+    let kl_loss = kl_divergence(p_full, q_full) / q_full.rows() as f32;
+
+    let (mut delta_fr, mut delta_fd) = (None, None);
+    if cfg.tradeoff {
+        let probe = rng.sample_indices(data.rows(), cfg.probe_size.min(data.rows()));
+        let x_probe = data.gather_rows(&probe);
+        let mu = store.get(mu_id).clone();
+
+        // Sharpness-normalized probe: as the embedding spreads out, the
+        // α = 1 assignment saturates to one-hot and the residual gradients
+        // concentrate on the (anti-parallel) error set, which conflates
+        // convergence sharpness with Feature Randomness. Measuring both
+        // models with the Student-t bandwidth matched to the current
+        // nearest-centroid distance scale keeps the probe assignment at
+        // comparable entropy — a measurement-only normalization applied
+        // identically to every model.
+        let z_probe = ae.encoder.infer(store, &x_probe);
+        let probe_alpha = {
+            let d2 = adec_tensor::pairwise_sq_dists(&z_probe, &mu);
+            let mut acc = 0.0f32;
+            for i in 0..d2.rows() {
+                let mut best = f32::INFINITY;
+                for j in 0..d2.cols() {
+                    best = best.min(d2.get(i, j));
+                }
+                acc += best;
+            }
+            (acc / d2.rows().max(1) as f32).max(alpha)
+        };
+        let q_probe = soft_assignment(&z_probe, &mu, probe_alpha);
+        let p_probe = target_distribution(&q_probe);
+        let g_pseudo = encoder_gradients(
+            &ae.encoder,
+            store,
+            &x_probe,
+            GradLoss::DecKl {
+                mu: &mu,
+                p: &p_probe,
+                alpha: probe_alpha,
+            },
+        );
+        if let Some(y_true) = &cfg.y_true {
+            let y_probe: Vec<usize> = probe.iter().map(|&i| y_true[i]).collect();
+            // The cluster↔class mapping comes from the FULL-data
+            // assignment — a probe-sized contingency gives unstable
+            // Hungarian matchings that corrupt the supervised target.
+            let map = crate::trace::class_to_cluster_map(q_full, y_true);
+            let p_sup = crate::trace::supervised_target_with_map(&y_probe, &map, q_full.cols());
+            let g_true = encoder_gradients(
+                &ae.encoder,
+                store,
+                &x_probe,
+                GradLoss::DecKl {
+                    mu: &mu,
+                    p: &p_sup,
+                    alpha: probe_alpha,
+                },
+            );
+            delta_fr = Some(grad_cosine(&g_pseudo, &g_true));
+        }
+        if let Some(self_loss) = self_loss {
+            let g_self = encoder_gradients(&ae.encoder, store, &x_probe, self_loss);
+            delta_fd = Some(grad_cosine(&g_pseudo, &g_self));
+        }
+    }
+
+    trace.points.push(TracePoint {
+        iter,
+        acc,
+        nmi: nmi_v,
+        delta_fr,
+        delta_fd,
+        kl_loss,
+    });
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use crate::autoencoder::ArchPreset;
+    use crate::pretrain::{pretrain_autoencoder, PretrainConfig};
+    use adec_datagen::Modality;
+
+    /// Structured toy data: K latent blobs pushed through a fixed random
+    /// nonlinearity — clusterable but not linearly.
+    pub(crate) fn blob_manifold(
+        n_per: usize,
+        k: usize,
+        dim: usize,
+        rng: &mut SeedRng,
+    ) -> (Matrix, Vec<usize>) {
+        let w = Matrix::randn(4, dim, 0.0, 0.8, rng);
+        let centers = Matrix::randn(k, 4, 0.0, 2.5, rng);
+        let mut rows = Vec::new();
+        let mut labels = Vec::new();
+        for c in 0..k {
+            for _ in 0..n_per {
+                let mut latent = Matrix::zeros(1, 4);
+                for t in 0..4 {
+                    latent.set(0, t, centers.get(c, t) + rng.normal(0.0, 0.35));
+                }
+                let mut out = latent.matmul(&w);
+                out.map_inplace(|v| v.tanh());
+                rows.push(out.row(0).to_vec());
+                labels.push(c);
+            }
+        }
+        (Matrix::from_rows(&rows), labels)
+    }
+
+    #[test]
+    fn dec_improves_over_initial_kmeans() {
+        let mut rng = SeedRng::new(11);
+        let (data, y) = blob_manifold(40, 3, 24, &mut rng);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 24, ArchPreset::Small, &mut rng);
+        pretrain_autoencoder(
+            &ae,
+            &mut store,
+            &data,
+            Modality::Tabular,
+            &PretrainConfig {
+                iterations: 400,
+                batch_size: 64,
+                lr: 1e-3,
+                ..PretrainConfig::vanilla(400)
+            },
+            &mut rng,
+        );
+        let z = ae.embed(&store, &data);
+        let init = kmeans(&z, &KMeansConfig::fast(3), &mut rng);
+        let init_acc = adec_metrics::accuracy(&y, &init.labels);
+
+        let mut cfg = DecConfig::fast(3);
+        cfg.max_iter = 600;
+        cfg.trace = TraceConfig::curves(&y);
+        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let final_acc = out.acc(&y);
+        assert!(
+            final_acc >= init_acc - 0.02,
+            "DEC should not be worse than its init: {init_acc} -> {final_acc}"
+        );
+        assert!(final_acc > 0.75, "DEC final ACC {final_acc}");
+        assert!(!out.trace.points.is_empty());
+    }
+
+    #[test]
+    fn dec_convergence_criterion_fires_on_stable_labels() {
+        let mut rng = SeedRng::new(12);
+        let (data, _) = blob_manifold(30, 2, 16, &mut rng);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 16, ArchPreset::Small, &mut rng);
+        pretrain_autoencoder(
+            &ae,
+            &mut store,
+            &data,
+            Modality::Tabular,
+            &PretrainConfig {
+                iterations: 300,
+                batch_size: 64,
+                lr: 1e-3,
+                ..PretrainConfig::vanilla(300)
+            },
+            &mut rng,
+        );
+        let mut cfg = DecConfig::fast(2);
+        cfg.max_iter = 2_000;
+        cfg.tol = 0.01;
+        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        assert!(out.converged, "well-separated 2-cluster case should converge early");
+        assert!(out.iterations < 2_000);
+    }
+
+    #[test]
+    fn label_change_fraction() {
+        assert_eq!(label_change(&[0, 1, 2], &[0, 1, 2]), 0.0);
+        assert_eq!(label_change(&[0, 1, 2], &[0, 1, 0]), 1.0 / 3.0);
+        assert_eq!(label_change(&[0, 0], &[1, 1]), 1.0);
+    }
+
+    #[test]
+    fn q_stays_row_stochastic_after_training() {
+        let mut rng = SeedRng::new(13);
+        let (data, _) = blob_manifold(20, 2, 12, &mut rng);
+        let mut store = ParamStore::new();
+        let ae = Autoencoder::new(&mut store, 12, ArchPreset::Small, &mut rng);
+        let mut cfg = DecConfig::fast(2);
+        cfg.max_iter = 150;
+        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        for i in 0..out.q.rows() {
+            let s: f32 = out.q.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

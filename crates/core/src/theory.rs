@@ -1,0 +1,282 @@
+//! Numeric verification machinery for the paper's theorems.
+//!
+//! **Theorem 1** decomposes the DCN loss under a linear, row-orthonormal
+//! encoder into `L_DCN = (1+γ)·J₁ − ½·J₂ + γ·J₃`, where J₁ mixes
+//! within- and between-cluster distances (shrunk by reconstruction), while
+//! J₂'s between-cluster term is *maximized* by the k-means loss — the
+//! algebraic form of the clustering↔reconstruction competition (Feature
+//! Drift).
+//!
+//! **Theorems 2–3** give the analytic encoder/centroid gradients of the
+//! ADEC encoder loss; our tape's `DecKl` backward *is* those formulas, so
+//! the checks here compare them against central finite differences.
+
+use adec_nn::{numeric_grad, soft_assignment, target_distribution, Tape};
+use adec_tensor::{gram_schmidt_rows, Matrix, SeedRng};
+
+/// All terms of the Theorem 1 decomposition evaluated on one configuration.
+#[derive(Debug, Clone)]
+pub struct Theorem1Report {
+    /// Direct k-means loss `Σⱼ Σ_{i∈Cⱼ} ‖zᵢ − μⱼ‖²`.
+    pub l_k: f32,
+    /// Direct reconstruction loss `Σᵢ ‖xᵢ − x̂ᵢ‖²`.
+    pub l_r: f32,
+    /// `J₁ = d(C₁,C₂)/N + d(C₁,C₁)/2N + d(C₂,C₂)/2N`.
+    pub j1: f32,
+    /// The weighted between/within contrast term.
+    pub j2: f32,
+    /// The reconstruction cross-term `Σ (ẑ−z̄)² − 2(z−z̄)ᵀ(ẑ−z̄)`.
+    pub j3: f32,
+    /// `|L_k − (J₁ − ½J₂)|` — Ding–He identity residual.
+    pub kmeans_residual: f32,
+    /// `|L_r − (J₁ + J₃)|` — reconstruction identity residual.
+    pub reconstruction_residual: f32,
+    /// `|L_DCN − ((1+γ)J₁ − ½J₂ + γJ₃)|` — full Theorem 1 residual.
+    pub total_residual: f32,
+}
+
+/// Pairwise-distance sum `d(C_a, C_b) = Σ_{i∈Ca} Σ_{j∈Cb} ‖zᵢ − zⱼ‖²`.
+fn cluster_distance(z: &Matrix, cluster_a: &[usize], cluster_b: &[usize]) -> f32 {
+    let mut total = 0.0f64;
+    for &i in cluster_a {
+        for &j in cluster_b {
+            let mut sq = 0.0f32;
+            for t in 0..z.cols() {
+                let d = z.get(i, t) - z.get(j, t);
+                sq += d * d;
+            }
+            total += sq as f64;
+        }
+    }
+    total as f32
+}
+
+/// Evaluates every term of Theorem 1 on a random configuration meeting the
+/// theorem's conditions:
+///
+/// * linear encoder `A` (d×n) with **orthonormal rows** (`A·Aᵀ = I_d`,
+///   equivalently `AᵀA` a projection — the paper's semi-orthogonality);
+/// * data lying in the row space of `A` (so the reconstruction residual is
+///   measurable in latent coordinates);
+/// * decoder `B = Aᵀ·W` for an arbitrary latent map `W`, keeping
+///   reconstructions inside that row space (`ẑ = A·B·z = W·z`).
+///
+/// Returns the report with per-identity residuals; all three should be at
+/// numerical-noise level.
+pub fn verify_theorem1(
+    n_samples: usize,
+    ambient_dim: usize,
+    latent_dim: usize,
+    gamma: f32,
+    seed: u64,
+) -> Theorem1Report {
+    assert!(latent_dim <= ambient_dim, "latent must not exceed ambient");
+    let mut rng = SeedRng::new(seed);
+
+    // Row-orthonormal A (d × n).
+    let a = gram_schmidt_rows(&Matrix::randn(latent_dim, ambient_dim, 0.0, 1.0, &mut rng));
+    // Arbitrary latent map W (d × d) and decoder B = Aᵀ·W … as maps on row
+    // vectors we use x·Aᵀ for encoding and z·(W·A) for decoding.
+    let w = Matrix::randn(latent_dim, latent_dim, 0.0, 0.6, &mut rng);
+
+    // Two latent clusters; X = Y·A lies in rowspace(A).
+    let half = n_samples / 2;
+    let mut y_latent = Matrix::zeros(n_samples, latent_dim);
+    for i in 0..n_samples {
+        let center = if i < half { -2.0 } else { 2.0 };
+        for t in 0..latent_dim {
+            y_latent.set(i, t, center + rng.normal(0.0, 0.8));
+        }
+    }
+    let x = y_latent.matmul(&a); // n_samples × ambient
+    let z = x.matmul_nt(&a); // encode: z = x·Aᵀ = y (A row-orthonormal)
+    let xhat = z.matmul(&w).matmul(&a); // decode via B = Aᵀ W (row form)
+    let zhat = z.matmul(&w); // ẑ = A·B·z = W·z
+
+    let cluster1: Vec<usize> = (0..half).collect();
+    let cluster2: Vec<usize> = (half..n_samples).collect();
+
+    // Direct losses.
+    let centroid = |members: &[usize]| -> Vec<f32> {
+        let mut c = vec![0.0f32; latent_dim];
+        for &i in members {
+            for (t, v) in c.iter_mut().enumerate() {
+                *v += z.get(i, t);
+            }
+        }
+        for v in c.iter_mut() {
+            *v /= members.len() as f32;
+        }
+        c
+    };
+    let mu1 = centroid(&cluster1);
+    let mu2 = centroid(&cluster2);
+    let mut l_k = 0.0f32;
+    for &i in &cluster1 {
+        for t in 0..latent_dim {
+            l_k += (z.get(i, t) - mu1[t]).powi(2);
+        }
+    }
+    for &i in &cluster2 {
+        for t in 0..latent_dim {
+            l_k += (z.get(i, t) - mu2[t]).powi(2);
+        }
+    }
+    let l_r = x.sub(&xhat).sq_norm();
+
+    // Decomposition terms.
+    let n = n_samples as f32;
+    let n1 = cluster1.len() as f32;
+    let n2 = cluster2.len() as f32;
+    let d12 = cluster_distance(&z, &cluster1, &cluster2);
+    let d11 = cluster_distance(&z, &cluster1, &cluster1);
+    let d22 = cluster_distance(&z, &cluster2, &cluster2);
+    let j1 = d12 / n + d11 / (2.0 * n) + d22 / (2.0 * n);
+    let j2 = (n1 * n2 / n) * (2.0 * d12 / (n1 * n2) - d11 / (n1 * n1) - d22 / (n2 * n2));
+
+    let z_bar = z.col_means();
+    let mut j3 = 0.0f32;
+    for i in 0..n_samples {
+        for t in 0..latent_dim {
+            let zc = z.get(i, t) - z_bar[t];
+            let zh = zhat.get(i, t) - z_bar[t];
+            j3 += zh * zh - 2.0 * zc * zh;
+        }
+    }
+
+    let l_dcn = l_k + gamma * l_r;
+    let decomposed = (1.0 + gamma) * j1 - 0.5 * j2 + gamma * j3;
+
+    Theorem1Report {
+        l_k,
+        l_r,
+        j1,
+        j2,
+        j3,
+        kmeans_residual: (l_k - (j1 - 0.5 * j2)).abs(),
+        reconstruction_residual: (l_r - (j1 + j3)).abs(),
+        total_residual: (l_dcn - decomposed).abs(),
+    }
+}
+
+/// Maximum absolute deviation between the Theorem-2 analytic gradient
+/// (as implemented in the tape's `DecKl` backward) and central finite
+/// differences, over a random configuration.
+pub fn verify_theorem2(n: usize, d: usize, k: usize, seed: u64) -> f32 {
+    let mut rng = SeedRng::new(seed);
+    let z0 = Matrix::randn(n, d, 0.0, 1.0, &mut rng);
+    let mu0 = Matrix::randn(k, d, 0.0, 1.0, &mut rng);
+    let q = soft_assignment(&z0, &mu0, 1.0);
+    let p = target_distribution(&q);
+
+    let mut tape = Tape::new();
+    let z = tape.grad_leaf(z0.clone());
+    let mu = tape.leaf(mu0.clone());
+    let loss = tape.dec_kl(z, mu, &p, 1.0);
+    tape.backward(loss);
+    let analytic = tape.grad(z);
+
+    let numeric = numeric_grad(
+        |m| {
+            let mut t = Tape::new();
+            let zv = t.leaf(m.clone());
+            let mv = t.leaf(mu0.clone());
+            let l = t.dec_kl(zv, mv, &p, 1.0);
+            t.scalar(l)
+        },
+        &z0,
+        1e-2,
+    );
+    analytic.sub(&numeric).max_abs()
+}
+
+/// Same as [`verify_theorem2`] but for the centroid gradient (Theorem 3).
+pub fn verify_theorem3(n: usize, d: usize, k: usize, seed: u64) -> f32 {
+    let mut rng = SeedRng::new(seed);
+    let z0 = Matrix::randn(n, d, 0.0, 1.0, &mut rng);
+    let mu0 = Matrix::randn(k, d, 0.0, 1.0, &mut rng);
+    let q = soft_assignment(&z0, &mu0, 1.0);
+    let p = target_distribution(&q);
+
+    let mut tape = Tape::new();
+    let z = tape.leaf(z0.clone());
+    let mu = tape.grad_leaf(mu0.clone());
+    let loss = tape.dec_kl(z, mu, &p, 1.0);
+    tape.backward(loss);
+    let analytic = tape.grad(mu);
+
+    let numeric = numeric_grad(
+        |m| {
+            let mut t = Tape::new();
+            let zv = t.leaf(z0.clone());
+            let mv = t.leaf(m.clone());
+            let l = t.dec_kl(zv, mv, &p, 1.0);
+            t.scalar(l)
+        },
+        &mu0,
+        1e-2,
+    );
+    analytic.sub(&numeric).max_abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn theorem1_identities_hold() {
+        for seed in [1u64, 2, 3] {
+            let report = verify_theorem1(40, 12, 4, 0.5, seed);
+            let scale = report.l_k.abs().max(report.l_r.abs()).max(1.0);
+            assert!(
+                report.kmeans_residual / scale < 1e-3,
+                "k-means identity residual {} (seed {seed})",
+                report.kmeans_residual
+            );
+            assert!(
+                report.reconstruction_residual / scale < 1e-3,
+                "reconstruction identity residual {} (seed {seed})",
+                report.reconstruction_residual
+            );
+            assert!(
+                report.total_residual / scale < 1e-3,
+                "total residual {} (seed {seed})",
+                report.total_residual
+            );
+        }
+    }
+
+    #[test]
+    fn theorem1_terms_expose_competition() {
+        // J₁ appears with weight (1+γ): increasing γ (more reconstruction)
+        // pushes *harder* on shrinking all pairwise distances, including
+        // the between-cluster ones that J₂ wants large — the drift.
+        let report = verify_theorem1(60, 16, 4, 1.0, 7);
+        assert!(report.j1 > 0.0);
+        assert!(report.j2 > 0.0, "separated clusters give positive J2");
+    }
+
+    #[test]
+    fn theorem1_gamma_zero_reduces_to_ding_he() {
+        let report = verify_theorem1(30, 10, 3, 0.0, 11);
+        assert!(report.kmeans_residual < 1e-2);
+        // With γ = 0, total = k-means identity alone.
+        assert!((report.total_residual - report.kmeans_residual).abs() < 1e-2);
+    }
+
+    #[test]
+    fn theorem2_gradient_matches_finite_differences() {
+        for seed in [1u64, 5, 9] {
+            let err = verify_theorem2(8, 4, 3, seed);
+            assert!(err < 5e-2, "theorem 2 deviation {err} (seed {seed})");
+        }
+    }
+
+    #[test]
+    fn theorem3_gradient_matches_finite_differences() {
+        for seed in [2u64, 6, 10] {
+            let err = verify_theorem3(8, 4, 3, seed);
+            assert!(err < 5e-2, "theorem 3 deviation {err} (seed {seed})");
+        }
+    }
+}

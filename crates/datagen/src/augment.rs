@@ -1,0 +1,172 @@
+//! Image data augmentation: small random rotation and translation with
+//! bilinear resampling — the transform the paper applies during ACAI
+//! pretraining and in the `*`-variant models (DEC*, IDEC*, ADEC).
+//!
+//! Augmentation only applies to image-modality datasets; the paper marks
+//! text (‡) and tabular (†) datasets as unsupported, which callers express
+//! by checking [`crate::Dataset::supports_augmentation`].
+
+use adec_tensor::{Matrix, SeedRng};
+
+/// Augmentation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct AugmentConfig {
+    /// Maximum absolute rotation in radians (paper: "slight random
+    /// rotation"; default ±10°).
+    pub max_rotation: f32,
+    /// Maximum absolute translation as a fraction of image size
+    /// (default ±10%).
+    pub max_shift: f32,
+}
+
+impl Default for AugmentConfig {
+    fn default() -> Self {
+        AugmentConfig {
+            max_rotation: 10.0_f32.to_radians(),
+            max_shift: 0.1,
+        }
+    }
+}
+
+/// Bilinear sample of image `img` (`h × w`, row-major) at fractional
+/// coordinates, with zero padding outside the frame.
+fn bilinear(img: &[f32], h: usize, w: usize, x: f32, y: f32) -> f32 {
+    if x < -1.0 || y < -1.0 || x > w as f32 || y > h as f32 {
+        return 0.0;
+    }
+    let x0 = x.floor();
+    let y0 = y.floor();
+    let fx = x - x0;
+    let fy = y - y0;
+    let px = |ix: i64, iy: i64| -> f32 {
+        if ix < 0 || iy < 0 || ix >= w as i64 || iy >= h as i64 {
+            0.0
+        } else {
+            img[iy as usize * w + ix as usize]
+        }
+    };
+    let (x0, y0) = (x0 as i64, y0 as i64);
+    px(x0, y0) * (1.0 - fx) * (1.0 - fy)
+        + px(x0 + 1, y0) * fx * (1.0 - fy)
+        + px(x0, y0 + 1) * (1.0 - fx) * fy
+        + px(x0 + 1, y0 + 1) * fx * fy
+}
+
+/// Rotates and translates a single flattened `h × w` image.
+pub fn rotate_translate(
+    img: &[f32],
+    h: usize,
+    w: usize,
+    theta: f32,
+    dx: f32,
+    dy: f32,
+) -> Vec<f32> {
+    assert_eq!(img.len(), h * w, "rotate_translate: image length mismatch");
+    let (cx, cy) = ((w as f32 - 1.0) / 2.0, (h as f32 - 1.0) / 2.0);
+    let (cos, sin) = (theta.cos(), theta.sin());
+    let mut out = Vec::with_capacity(h * w);
+    for py in 0..h {
+        for px in 0..w {
+            // Inverse map: undo translation, then rotation, around center.
+            let ux = px as f32 - cx - dx;
+            let uy = py as f32 - cy - dy;
+            let sx = cos * ux + sin * uy + cx;
+            let sy = -sin * ux + cos * uy + cy;
+            out.push(bilinear(img, h, w, sx, sy));
+        }
+    }
+    out
+}
+
+/// Applies a fresh random rotation+translation to every row of `batch`
+/// (each row a flattened `h × w` image).
+pub fn augment_batch(
+    batch: &Matrix,
+    h: usize,
+    w: usize,
+    cfg: &AugmentConfig,
+    rng: &mut SeedRng,
+) -> Matrix {
+    assert_eq!(batch.cols(), h * w, "augment_batch: width mismatch");
+    let mut out = Matrix::zeros(batch.rows(), batch.cols());
+    for i in 0..batch.rows() {
+        let theta = rng.uniform(-cfg.max_rotation, cfg.max_rotation);
+        let dx = rng.uniform(-cfg.max_shift, cfg.max_shift) * w as f32;
+        let dy = rng.uniform(-cfg.max_shift, cfg.max_shift) * h as f32;
+        let aug = rotate_translate(batch.row(i), h, w, theta, dx, dy);
+        out.row_mut(i).copy_from_slice(&aug);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cross_image(n: usize) -> Vec<f32> {
+        let mut img = vec![0.0f32; n * n];
+        for i in 0..n {
+            img[(n / 2) * n + i] = 1.0;
+            img[i * n + n / 2] = 1.0;
+        }
+        img
+    }
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let img = cross_image(9);
+        let out = rotate_translate(&img, 9, 9, 0.0, 0.0, 0.0);
+        for (a, b) in img.iter().zip(out.iter()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn translation_moves_mass() {
+        let mut img = vec![0.0f32; 49];
+        img[3 * 7 + 3] = 1.0; // center pixel
+        let out = rotate_translate(&img, 7, 7, 0.0, 2.0, 0.0);
+        assert!(out[3 * 7 + 5] > 0.9, "mass should move 2 px right");
+        assert!(out[3 * 7 + 3] < 0.1);
+    }
+
+    #[test]
+    fn rotation_90_degrees_maps_axes() {
+        let mut img = vec![0.0f32; 49];
+        img[3 * 7 + 6] = 1.0; // rightmost center pixel
+        let out = rotate_translate(&img, 7, 7, std::f32::consts::FRAC_PI_2, 0.0, 0.0);
+        // 90° CCW in image coordinates sends +x to a vertical position.
+        let total: f32 = out.iter().sum();
+        assert!(total > 0.5, "mass must be preserved approximately");
+        assert!(out[3 * 7 + 6] < 0.1, "pixel must have moved");
+    }
+
+    #[test]
+    fn mass_roughly_preserved_under_small_transform() {
+        let img = cross_image(11);
+        let before: f32 = img.iter().sum();
+        let out = rotate_translate(&img, 11, 11, 0.1, 0.5, -0.5);
+        let after: f32 = out.iter().sum();
+        assert!((after - before).abs() / before < 0.15, "{before} vs {after}");
+    }
+
+    #[test]
+    fn batch_augmentation_shapes_and_variation() {
+        let mut rng = SeedRng::new(1);
+        let img = cross_image(8);
+        let batch = Matrix::from_rows(&[img.clone(), img]);
+        let out = augment_batch(&batch, 8, 8, &AugmentConfig::default(), &mut rng);
+        assert_eq!(out.shape(), (2, 64));
+        // Two independent augmentations of the same image should differ.
+        assert_ne!(out.row(0), out.row(1));
+    }
+
+    #[test]
+    fn zero_padding_outside_frame() {
+        let img = vec![1.0f32; 25];
+        // Shift far: most mass leaves the frame, padding fills with zeros.
+        let out = rotate_translate(&img, 5, 5, 0.0, 4.0, 0.0);
+        let filled = out.iter().filter(|&&v| v > 0.5).count();
+        assert!(filled <= 5, "only one column should remain, got {filled}");
+    }
+}

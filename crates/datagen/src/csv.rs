@@ -1,0 +1,259 @@
+//! Loading user-supplied datasets from CSV — the adoption path for running
+//! this library on real data instead of the built-in simulators.
+//!
+//! The format is one sample per line, numeric feature columns, with an
+//! optional label column (by index) used only for evaluation. A header
+//! line is auto-detected (first line whose fields are not all numeric).
+
+use crate::{normalize_paper, Dataset, Modality};
+use adec_tensor::Matrix;
+use std::io::{BufRead, BufReader, Read};
+use std::path::Path;
+
+/// CSV loading options.
+#[derive(Debug, Clone)]
+pub struct CsvOptions {
+    /// Field delimiter.
+    pub delimiter: char,
+    /// Column index (after splitting) holding the class label, if any.
+    /// Labels may be arbitrary strings; they are compacted to `0..k` in
+    /// first-appearance order.
+    pub label_column: Option<usize>,
+    /// Apply the paper's `‖x‖²/d ≈ 1` normalization after loading.
+    pub normalize: bool,
+}
+
+impl Default for CsvOptions {
+    fn default() -> Self {
+        CsvOptions {
+            delimiter: ',',
+            label_column: None,
+            normalize: true,
+        }
+    }
+}
+
+/// A CSV parsing/validation error with line context.
+#[derive(Debug)]
+pub struct CsvError {
+    /// 1-based line number (0 = file-level error).
+    pub line: usize,
+    /// Problem description.
+    pub message: String,
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.line > 0 {
+            write!(f, "line {}: {}", self.line, self.message)
+        } else {
+            write!(f, "{}", self.message)
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+fn err(line: usize, message: impl Into<String>) -> CsvError {
+    CsvError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Parses CSV content from any reader into a [`Dataset`].
+pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Dataset, CsvError> {
+    let buf = BufReader::new(reader);
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    let mut raw_labels: Vec<String> = Vec::new();
+    let mut width: Option<usize> = None;
+
+    for (idx, line) in buf.lines().enumerate() {
+        let line_no = idx + 1;
+        let line = line.map_err(|e| err(line_no, e.to_string()))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let fields: Vec<&str> = trimmed.split(opts.delimiter).map(str::trim).collect();
+        if let Some(label_col) = opts.label_column {
+            if label_col >= fields.len() {
+                return Err(err(
+                    line_no,
+                    format!("label column {label_col} out of range ({} fields)", fields.len()),
+                ));
+            }
+        }
+        let mut feats = Vec::with_capacity(fields.len());
+        let mut label = String::new();
+        let mut numeric = true;
+        for (col, field) in fields.iter().enumerate() {
+            if Some(col) == opts.label_column {
+                label = field.to_string();
+                continue;
+            }
+            match field.parse::<f32>() {
+                Ok(v) if v.is_finite() => feats.push(v),
+                Ok(_) => return Err(err(line_no, format!("non-finite value '{field}'"))),
+                Err(_) => {
+                    numeric = false;
+                    break;
+                }
+            }
+        }
+        if !numeric {
+            if rows.is_empty() {
+                continue; // header line
+            }
+            return Err(err(line_no, "non-numeric feature value"));
+        }
+        match width {
+            None => width = Some(feats.len()),
+            Some(w) if w != feats.len() => {
+                return Err(err(
+                    line_no,
+                    format!("inconsistent width: expected {w} features, got {}", feats.len()),
+                ))
+            }
+            _ => {}
+        }
+        rows.push(feats);
+        raw_labels.push(label);
+    }
+
+    if rows.is_empty() {
+        return Err(err(0, "no data rows"));
+    }
+
+    // Compact labels (or all-zero if no label column).
+    let (labels, n_classes) = if opts.label_column.is_some() {
+        let mut seen: Vec<String> = Vec::new();
+        let labels: Vec<usize> = raw_labels
+            .iter()
+            .map(|l| {
+                if let Some(pos) = seen.iter().position(|s| s == l) {
+                    pos
+                } else {
+                    seen.push(l.clone());
+                    seen.len() - 1
+                }
+            })
+            .collect();
+        let k = seen.len();
+        (labels, k)
+    } else {
+        (vec![0usize; rows.len()], 1)
+    };
+
+    let mut data = Matrix::from_rows(&rows);
+    if opts.normalize {
+        normalize_paper(&mut data);
+    }
+    Ok(Dataset {
+        name: "csv",
+        data,
+        labels,
+        n_classes,
+        modality: Modality::Tabular,
+    })
+}
+
+/// Loads a CSV file from disk.
+pub fn load_csv(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Dataset, CsvError> {
+    let file = std::fs::File::open(&path).map_err(|e| err(0, e.to_string()))?;
+    read_csv(file, opts)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn basic_numeric_csv() {
+        let content = "1.0,2.0,3.0\n4.0,5.0,6.0\n";
+        let ds = read_csv(content.as_bytes(), &CsvOptions {
+            normalize: false,
+            ..CsvOptions::default()
+        })
+        .unwrap();
+        assert_eq!(ds.data.shape(), (2, 3));
+        assert_eq!(ds.n_classes, 1);
+        assert_eq!(ds.data.get(1, 2), 6.0);
+    }
+
+    #[test]
+    fn header_is_skipped() {
+        let content = "a,b,label\n1,2,x\n3,4,y\n5,6,x\n";
+        let ds = read_csv(content.as_bytes(), &CsvOptions {
+            label_column: Some(2),
+            normalize: false,
+            ..CsvOptions::default()
+        })
+        .unwrap();
+        assert_eq!(ds.data.shape(), (3, 2));
+        assert_eq!(ds.n_classes, 2);
+        assert_eq!(ds.labels, vec![0, 1, 0]);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let content = "# comment\n\n1,2\n3,4\n";
+        let ds = read_csv(content.as_bytes(), &CsvOptions {
+            normalize: false,
+            ..CsvOptions::default()
+        })
+        .unwrap();
+        assert_eq!(ds.data.rows(), 2);
+    }
+
+    #[test]
+    fn inconsistent_width_is_an_error_with_line() {
+        let content = "1,2\n3,4,5\n";
+        let e = read_csv(content.as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("inconsistent width"));
+    }
+
+    #[test]
+    fn non_numeric_mid_file_is_an_error() {
+        let content = "1,2\nfoo,4\n";
+        let e = read_csv(content.as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert_eq!(e.line, 2);
+    }
+
+    #[test]
+    fn non_finite_rejected() {
+        let content = "1,inf\n";
+        assert!(read_csv(content.as_bytes(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn normalization_applied_when_requested() {
+        let content = "10,0\n0,10\n";
+        let ds = read_csv(content.as_bytes(), &CsvOptions::default()).unwrap();
+        // Mean of ‖x‖²/d should be 1.
+        let d = ds.dim() as f32;
+        let mean: f32 = (0..ds.len())
+            .map(|i| ds.data.row(i).iter().map(|v| v * v).sum::<f32>() / d)
+            .sum::<f32>()
+            / ds.len() as f32;
+        assert!((mean - 1.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn semicolon_delimiter() {
+        let content = "1;2\n3;4\n";
+        let ds = read_csv(content.as_bytes(), &CsvOptions {
+            delimiter: ';',
+            normalize: false,
+            ..CsvOptions::default()
+        })
+        .unwrap();
+        assert_eq!(ds.data.shape(), (2, 2));
+    }
+
+    #[test]
+    fn empty_file_is_an_error() {
+        assert!(read_csv("".as_bytes(), &CsvOptions::default()).is_err());
+    }
+}

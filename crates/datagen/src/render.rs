@@ -1,0 +1,74 @@
+//! ASCII rendering of image samples — used by the Figure 6 and Figure 14
+//! harnesses to show reconstructions and per-cluster high-confidence
+//! samples in terminal output.
+
+use adec_tensor::Matrix;
+
+const RAMP: &[u8] = b" .:-=+*#%@";
+
+/// Renders one flattened `h × w` image as ASCII art lines.
+pub fn ascii_image(img: &[f32], h: usize, w: usize) -> Vec<String> {
+    assert_eq!(img.len(), h * w, "ascii_image: length mismatch");
+    let max = img.iter().cloned().fold(0.0f32, f32::max).max(1e-6);
+    (0..h)
+        .map(|r| {
+            (0..w)
+                .map(|c| {
+                    let v = (img[r * w + c] / max).clamp(0.0, 1.0);
+                    let idx = ((v * (RAMP.len() - 1) as f32).round() as usize).min(RAMP.len() - 1);
+                    RAMP[idx] as char
+                })
+                .collect()
+        })
+        .collect()
+}
+
+/// Renders a horizontal strip of images (rows of `batch`) side by side,
+/// separated by a single space column.
+pub fn ascii_strip(batch: &Matrix, h: usize, w: usize, indices: &[usize]) -> String {
+    let rendered: Vec<Vec<String>> = indices
+        .iter()
+        .map(|&i| ascii_image(batch.row(i), h, w))
+        .collect();
+    let mut out = String::new();
+    for row in 0..h {
+        for (k, img) in rendered.iter().enumerate() {
+            if k > 0 {
+                out.push(' ');
+            }
+            out.push_str(&img[row]);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ascii_dimensions() {
+        let img = vec![0.5f32; 12];
+        let lines = ascii_image(&img, 3, 4);
+        assert_eq!(lines.len(), 3);
+        assert!(lines.iter().all(|l| l.chars().count() == 4));
+    }
+
+    #[test]
+    fn dark_maps_to_space_bright_to_at() {
+        let img = vec![0.0, 1.0];
+        let lines = ascii_image(&img, 1, 2);
+        assert_eq!(lines[0].as_bytes()[0], b' ');
+        assert_eq!(lines[0].as_bytes()[1], b'@');
+    }
+
+    #[test]
+    fn strip_concatenates_images() {
+        let m = Matrix::from_rows(&[vec![1.0; 4], vec![0.0; 4]]);
+        let strip = ascii_strip(&m, 2, 2, &[0, 1]);
+        let lines: Vec<&str> = strip.lines().collect();
+        assert_eq!(lines.len(), 2);
+        assert_eq!(lines[0], "@@   ");
+    }
+}

@@ -1,0 +1,87 @@
+//! Property-based tests for the dataset simulators and augmentation.
+
+use adec_datagen::augment::{augment_batch, rotate_translate, AugmentConfig};
+use adec_datagen::csv::{read_csv, CsvOptions};
+use adec_datagen::{Benchmark, Modality, Size};
+use adec_tensor::{Matrix, SeedRng};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn every_benchmark_is_deterministic_and_balanced(seed in 0u64..200) {
+        for b in Benchmark::ALL {
+            let a = b.generate(Size::Small, seed);
+            let c = b.generate(Size::Small, seed);
+            prop_assert_eq!(&a.data, &c.data, "{:?} not deterministic", b);
+            prop_assert_eq!(&a.labels, &c.labels);
+            // Balanced classes: min and max class count within a factor 2.
+            let mut counts = vec![0usize; a.n_classes];
+            for &l in &a.labels {
+                counts[l] += 1;
+            }
+            let min = *counts.iter().min().unwrap();
+            let max = *counts.iter().max().unwrap();
+            prop_assert!(max <= 2 * min.max(1), "{:?} imbalanced: {:?}", b, counts);
+            // Paper normalization.
+            let d = a.dim() as f32;
+            let mean_sq: f32 = (0..a.len())
+                .map(|i| a.data.row(i).iter().map(|v| v * v).sum::<f32>() / d)
+                .sum::<f32>() / a.len() as f32;
+            prop_assert!((mean_sq - 1.0).abs() < 1e-2, "{:?}: {mean_sq}", b);
+        }
+    }
+
+    #[test]
+    fn image_dims_match_modality(seed in 0u64..200) {
+        for b in [Benchmark::DigitsFull, Benchmark::DigitsTest, Benchmark::DigitsUsps, Benchmark::Fashion] {
+            let ds = b.generate(Size::Small, seed);
+            match ds.modality {
+                Modality::Image { h, w } => prop_assert_eq!(ds.dim(), h * w),
+                _ => prop_assert!(false, "{:?} must be an image benchmark", b),
+            }
+        }
+    }
+
+    #[test]
+    fn augmentation_preserves_shape_and_range(seed in 0u64..1_000, theta in -0.4f32..0.4) {
+        let mut rng = SeedRng::new(seed);
+        let batch = Matrix::rand_uniform(3, 36, 0.0, 1.0, &mut rng);
+        let out = augment_batch(&batch, 6, 6, &AugmentConfig::default(), &mut rng);
+        prop_assert_eq!(out.shape(), batch.shape());
+        // Bilinear interpolation of values in [0,1] stays in [0,1].
+        prop_assert!(out.as_slice().iter().all(|&v| (-1e-5..=1.0 + 1e-5).contains(&v)));
+        // Plain rotation likewise.
+        let one = rotate_translate(batch.row(0), 6, 6, theta, 0.0, 0.0);
+        prop_assert!(one.iter().all(|&v| (-1e-5..=1.0 + 1e-5).contains(&v)));
+    }
+
+    #[test]
+    fn rotation_roundtrip_recovers_center_mass(theta in -0.3f32..0.3) {
+        // Rotating forward then backward approximately restores the image
+        // away from the border.
+        let mut img = vec![0.0f32; 121];
+        img[5 * 11 + 5] = 1.0;
+        img[5 * 11 + 6] = 0.5;
+        let fwd = rotate_translate(&img, 11, 11, theta, 0.0, 0.0);
+        let back = rotate_translate(&fwd, 11, 11, -theta, 0.0, 0.0);
+        let center_err = (back[5 * 11 + 5] - 1.0).abs();
+        prop_assert!(center_err < 0.35, "center mass lost: {center_err}");
+    }
+
+    #[test]
+    fn csv_roundtrip_of_random_tables(seed in 0u64..1_000, rows in 1usize..8, cols in 1usize..6) {
+        let mut rng = SeedRng::new(seed);
+        let m = Matrix::randn(rows, cols, 0.0, 2.0, &mut rng);
+        let mut body = String::new();
+        for r in 0..rows {
+            let fields: Vec<String> = m.row(r).iter().map(|v| format!("{v:.6}")).collect();
+            body.push_str(&fields.join(","));
+            body.push('\n');
+        }
+        let ds = read_csv(body.as_bytes(), &CsvOptions { normalize: false, ..CsvOptions::default() }).unwrap();
+        prop_assert_eq!(ds.data.shape(), (rows, cols));
+        prop_assert!(ds.data.sub(&m).max_abs() < 1e-4);
+    }
+}

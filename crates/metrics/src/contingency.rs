@@ -1,0 +1,106 @@
+//! Contingency table between a predicted and a ground-truth partition —
+//! the shared substrate of ACC, NMI, ARI, and purity.
+
+/// Co-occurrence counts: `table[pred][true]` = number of samples with the
+/// given predicted cluster and true class. Labels are compacted to dense
+/// ranges, so arbitrary label values are accepted.
+#[derive(Debug, Clone)]
+pub struct Contingency {
+    table: Vec<Vec<usize>>,
+    pred_counts: Vec<usize>,
+    true_counts: Vec<usize>,
+}
+
+impl Contingency {
+    /// Builds the table.
+    ///
+    /// # Panics
+    /// Panics on length mismatch or empty input.
+    pub fn new(y_true: &[usize], y_pred: &[usize]) -> Self {
+        assert_eq!(y_true.len(), y_pred.len(), "Contingency: length mismatch");
+        assert!(!y_true.is_empty(), "Contingency: empty labels");
+        let compact = |labels: &[usize]| -> (Vec<usize>, usize) {
+            let mut uniq: Vec<usize> = labels.to_vec();
+            uniq.sort_unstable();
+            uniq.dedup();
+            let remap: std::collections::HashMap<usize, usize> =
+                uniq.iter().enumerate().map(|(i, &l)| (l, i)).collect();
+            (labels.iter().map(|l| remap[l]).collect(), uniq.len())
+        };
+        let (t_compact, n_true) = compact(y_true);
+        let (p_compact, n_pred) = compact(y_pred);
+        let mut table = vec![vec![0usize; n_true]; n_pred];
+        let mut pred_counts = vec![0usize; n_pred];
+        let mut true_counts = vec![0usize; n_true];
+        for (&t, &p) in t_compact.iter().zip(p_compact.iter()) {
+            table[p][t] += 1;
+            pred_counts[p] += 1;
+            true_counts[t] += 1;
+        }
+        Contingency {
+            table,
+            pred_counts,
+            true_counts,
+        }
+    }
+
+    /// `table[pred][true]` co-occurrence counts.
+    pub fn table(&self) -> &[Vec<usize>] {
+        &self.table
+    }
+
+    /// Number of distinct predicted clusters.
+    pub fn n_pred(&self) -> usize {
+        self.pred_counts.len()
+    }
+
+    /// Number of distinct true classes.
+    pub fn n_true(&self) -> usize {
+        self.true_counts.len()
+    }
+
+    /// Samples per predicted cluster.
+    pub fn pred_counts(&self) -> &[usize] {
+        &self.pred_counts
+    }
+
+    /// Samples per true class.
+    pub fn true_counts(&self) -> &[usize] {
+        &self.true_counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counts_add_up() {
+        let y_true = vec![0, 0, 1, 1, 1];
+        let y_pred = vec![1, 1, 0, 0, 1];
+        let c = Contingency::new(&y_true, &y_pred);
+        assert_eq!(c.n_pred(), 2);
+        assert_eq!(c.n_true(), 2);
+        let total: usize = c.table().iter().flatten().sum();
+        assert_eq!(total, 5);
+        assert_eq!(c.pred_counts().iter().sum::<usize>(), 5);
+        assert_eq!(c.true_counts().iter().sum::<usize>(), 5);
+        // pred 1 / true 0 co-occurs twice.
+        assert_eq!(c.table()[1][0], 2);
+    }
+
+    #[test]
+    fn sparse_label_values_are_compacted() {
+        let y_true = vec![10, 10, 99];
+        let y_pred = vec![7, 5, 5];
+        let c = Contingency::new(&y_true, &y_pred);
+        assert_eq!(c.n_true(), 2);
+        assert_eq!(c.n_pred(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn length_mismatch_panics() {
+        let _ = Contingency::new(&[0, 1], &[0]);
+    }
+}

@@ -1,0 +1,182 @@
+//! Hungarian (Kuhn–Munkres) algorithm for the square assignment problem.
+//!
+//! Used by [`crate::accuracy`] (paper eq. 16) to find the cluster→class
+//! permutation maximizing label agreement. This is the O(n³) potentials /
+//! shortest-augmenting-path formulation.
+
+/// Solves the min-cost square assignment problem.
+///
+/// `cost[r][c]` is the cost of assigning row `r` to column `c`. Returns
+/// `assignment` where `assignment[r]` is the column matched to row `r`.
+///
+/// # Panics
+/// Panics if `cost` is not square or is empty.
+pub fn hungarian_min_cost(cost: &[Vec<i64>]) -> Vec<usize> {
+    let n = cost.len();
+    assert!(n > 0, "hungarian: empty cost matrix");
+    for row in cost {
+        assert_eq!(row.len(), n, "hungarian: cost matrix must be square");
+    }
+
+    const INF: i64 = i64::MAX / 4;
+    // 1-indexed potentials and matching, per the classic formulation.
+    let mut u = vec![0i64; n + 1];
+    let mut v = vec![0i64; n + 1];
+    // p[j] = row matched to column j (0 = none); p[0] = current row.
+    let mut p = vec![0usize; n + 1];
+    let mut way = vec![0usize; n + 1];
+
+    for i in 1..=n {
+        p[0] = i;
+        let mut j0 = 0usize;
+        let mut minv = vec![INF; n + 1];
+        let mut used = vec![false; n + 1];
+        loop {
+            used[j0] = true;
+            let i0 = p[j0];
+            let mut delta = INF;
+            let mut j1 = 0usize;
+            for j in 1..=n {
+                if used[j] {
+                    continue;
+                }
+                let cur = cost[i0 - 1][j - 1] - u[i0] - v[j];
+                if cur < minv[j] {
+                    minv[j] = cur;
+                    way[j] = j0;
+                }
+                if minv[j] < delta {
+                    delta = minv[j];
+                    j1 = j;
+                }
+            }
+            for j in 0..=n {
+                if used[j] {
+                    u[p[j]] += delta;
+                    v[j] -= delta;
+                } else {
+                    minv[j] -= delta;
+                }
+            }
+            j0 = j1;
+            if p[j0] == 0 {
+                break;
+            }
+        }
+        // Augment along the found path.
+        loop {
+            let j1 = way[j0];
+            p[j0] = p[j1];
+            j0 = j1;
+            if j0 == 0 {
+                break;
+            }
+        }
+    }
+
+    let mut assignment = vec![0usize; n];
+    for j in 1..=n {
+        if p[j] > 0 {
+            assignment[p[j] - 1] = j - 1;
+        }
+    }
+    assignment
+}
+
+/// Total cost of an assignment under a cost matrix.
+pub fn assignment_cost(cost: &[Vec<i64>], assignment: &[usize]) -> i64 {
+    assignment
+        .iter()
+        .enumerate()
+        .map(|(r, &c)| cost[r][c])
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force optimum over all permutations (for n ≤ 8).
+    fn brute_force(cost: &[Vec<i64>]) -> i64 {
+        let n = cost.len();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut best = i64::MAX;
+        permute(&mut perm, 0, cost, &mut best);
+        best
+    }
+
+    fn permute(perm: &mut Vec<usize>, k: usize, cost: &[Vec<i64>], best: &mut i64) {
+        let n = perm.len();
+        if k == n {
+            let total: i64 = perm.iter().enumerate().map(|(r, &c)| cost[r][c]).sum();
+            *best = (*best).min(total);
+            return;
+        }
+        for i in k..n {
+            perm.swap(k, i);
+            permute(perm, k + 1, cost, best);
+            perm.swap(k, i);
+        }
+    }
+
+    #[test]
+    fn known_3x3() {
+        let cost = vec![
+            vec![4, 1, 3],
+            vec![2, 0, 5],
+            vec![3, 2, 2],
+        ];
+        let a = hungarian_min_cost(&cost);
+        assert_eq!(assignment_cost(&cost, &a), 5); // 1 + 2 + 2
+    }
+
+    #[test]
+    fn identity_optimal() {
+        let cost = vec![
+            vec![0, 9, 9],
+            vec![9, 0, 9],
+            vec![9, 9, 0],
+        ];
+        assert_eq!(hungarian_min_cost(&cost), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn matches_brute_force_on_random_instances() {
+        // Deterministic pseudo-random instances without pulling in rand.
+        let mut state = 0x12345678u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 50) as i64
+        };
+        for n in 2..=6 {
+            for _ in 0..20 {
+                let cost: Vec<Vec<i64>> =
+                    (0..n).map(|_| (0..n).map(|_| next()).collect()).collect();
+                let a = hungarian_min_cost(&cost);
+                // Assignment must be a permutation.
+                let mut seen = vec![false; n];
+                for &c in &a {
+                    assert!(!seen[c], "duplicate column in assignment");
+                    seen[c] = true;
+                }
+                assert_eq!(
+                    assignment_cost(&cost, &a),
+                    brute_force(&cost),
+                    "suboptimal on {cost:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn single_element() {
+        assert_eq!(hungarian_min_cost(&[vec![7]]), vec![0]);
+    }
+
+    #[test]
+    fn handles_negative_costs() {
+        let cost = vec![vec![-5, 3], vec![2, -4]];
+        let a = hungarian_min_cost(&cost);
+        assert_eq!(assignment_cost(&cost, &a), -9);
+    }
+}

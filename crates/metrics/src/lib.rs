@@ -1,0 +1,215 @@
+//! # adec-metrics
+//!
+//! Clustering-quality metrics used throughout the ADEC reproduction:
+//!
+//! * [`accuracy`] — unsupervised clustering accuracy (paper eq. 16), which
+//!   maximizes over cluster↔class permutations via the Hungarian algorithm.
+//! * [`nmi`] — normalized mutual information (paper eq. 17).
+//! * [`ari`], [`purity`] — additional standard diagnostics.
+//! * [`tradeoff`] — the paper's Δ_FR (eq. 5) and Δ_FD (eq. 6) gradient
+//!   cosines characterizing Feature Randomness and Feature Drift.
+
+#![warn(missing_docs)]
+
+pub mod contingency;
+pub mod hungarian;
+pub mod silhouette;
+pub mod tradeoff;
+
+pub use contingency::Contingency;
+pub use hungarian::hungarian_min_cost;
+pub use silhouette::mean_silhouette;
+pub use tradeoff::{delta_fd, delta_fr, gradient_cosine};
+
+/// Unsupervised clustering accuracy (paper eq. 16): the best achievable
+/// fraction of correct labels over all one-to-one mappings from predicted
+/// clusters to ground-truth classes, found with the Hungarian algorithm.
+///
+/// # Panics
+/// Panics if the label vectors have different lengths or are empty.
+pub fn accuracy(y_true: &[usize], y_pred: &[usize]) -> f32 {
+    let c = Contingency::new(y_true, y_pred);
+    // Build a square max-matching problem: rows = predicted clusters,
+    // cols = true classes, profit = co-occurrence count.
+    let k = c.n_pred().max(c.n_true());
+    let max_count = c.table().iter().flatten().copied().max().unwrap_or(0) as i64;
+    let mut cost = vec![vec![0i64; k]; k];
+    for (r, row) in cost.iter_mut().enumerate() {
+        for (t, slot) in row.iter_mut().enumerate() {
+            let count = if r < c.n_pred() && t < c.n_true() {
+                c.table()[r][t] as i64
+            } else {
+                0
+            };
+            // Convert max-profit to min-cost.
+            *slot = max_count - count;
+        }
+    }
+    let assignment = hungarian_min_cost(&cost);
+    let mut correct = 0usize;
+    for (pred_cluster, true_class) in assignment.into_iter().enumerate() {
+        if pred_cluster < c.n_pred() && true_class < c.n_true() {
+            correct += c.table()[pred_cluster][true_class];
+        }
+    }
+    correct as f32 / y_true.len() as f32
+}
+
+/// Normalized mutual information (paper eq. 17):
+/// `NMI = I(y_true; y_pred) / (½ (H(y_true) + H(y_pred)))`.
+///
+/// Returns 1.0 when both partitions are identical single-cluster
+/// partitions (the degenerate 0/0 case).
+pub fn nmi(y_true: &[usize], y_pred: &[usize]) -> f32 {
+    let c = Contingency::new(y_true, y_pred);
+    let n = y_true.len() as f64;
+    let h_true = entropy(c.true_counts(), n);
+    let h_pred = entropy(c.pred_counts(), n);
+    let mut mi = 0.0f64;
+    for (r, row) in c.table().iter().enumerate() {
+        for (t, &count) in row.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let p_joint = count as f64 / n;
+            let p_r = c.pred_counts()[r] as f64 / n;
+            let p_t = c.true_counts()[t] as f64 / n;
+            mi += p_joint * (p_joint / (p_r * p_t)).ln();
+        }
+    }
+    let denom = 0.5 * (h_true + h_pred);
+    if denom <= 0.0 {
+        // Both partitions are single clusters → identical → perfect score.
+        return 1.0;
+    }
+    (mi / denom) as f32
+}
+
+/// Adjusted Rand index: chance-corrected pair-counting agreement in
+/// `[-1, 1]`, 1 for identical partitions, ≈0 for random ones.
+pub fn ari(y_true: &[usize], y_pred: &[usize]) -> f32 {
+    let c = Contingency::new(y_true, y_pred);
+    let n = y_true.len() as f64;
+    let comb2 = |x: f64| x * (x - 1.0) / 2.0;
+    let sum_ij: f64 = c.table().iter().flatten().map(|&v| comb2(v as f64)).sum();
+    let sum_a: f64 = c.pred_counts().iter().map(|&v| comb2(v as f64)).sum();
+    let sum_b: f64 = c.true_counts().iter().map(|&v| comb2(v as f64)).sum();
+    let total = comb2(n);
+    let expected = sum_a * sum_b / total.max(1.0);
+    let max_index = 0.5 * (sum_a + sum_b);
+    if (max_index - expected).abs() < 1e-12 {
+        return if (sum_ij - expected).abs() < 1e-12 { 1.0 } else { 0.0 };
+    }
+    ((sum_ij - expected) / (max_index - expected)) as f32
+}
+
+/// Purity: fraction of samples assigned to the majority true class of
+/// their predicted cluster. Upper-bounds accuracy; trivially 1 with n
+/// singleton clusters, so only meaningful at fixed K.
+pub fn purity(y_true: &[usize], y_pred: &[usize]) -> f32 {
+    let c = Contingency::new(y_true, y_pred);
+    let majority: usize = c.table().iter().map(|row| row.iter().copied().max().unwrap_or(0)).sum();
+    majority as f32 / y_true.len() as f32
+}
+
+fn entropy(counts: &[usize], n: f64) -> f64 {
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / n;
+            -p * p.ln()
+        })
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_clustering_scores_one() {
+        let y = vec![0, 0, 1, 1, 2, 2];
+        assert_eq!(accuracy(&y, &y), 1.0);
+        assert!((nmi(&y, &y) - 1.0).abs() < 1e-6);
+        assert!((ari(&y, &y) - 1.0).abs() < 1e-6);
+        assert_eq!(purity(&y, &y), 1.0);
+    }
+
+    #[test]
+    fn accuracy_invariant_to_cluster_relabeling() {
+        let y_true = vec![0, 0, 1, 1, 2, 2];
+        let y_pred = vec![2, 2, 0, 0, 1, 1]; // permuted labels, same partition
+        assert_eq!(accuracy(&y_true, &y_pred), 1.0);
+        assert!((nmi(&y_true, &y_pred) - 1.0).abs() < 1e-6);
+        assert!((ari(&y_true, &y_pred) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_half_right() {
+        let y_true = vec![0, 0, 1, 1];
+        let y_pred = vec![0, 1, 0, 1];
+        // Best mapping gets 2 of 4 right.
+        assert_eq!(accuracy(&y_true, &y_pred), 0.5);
+    }
+
+    #[test]
+    fn accuracy_handles_more_clusters_than_classes() {
+        let y_true = vec![0, 0, 0, 1, 1, 1];
+        let y_pred = vec![0, 0, 1, 2, 2, 3];
+        // Map 0→class0 (2 right), 2→class1 (2 right); clusters 1,3 unmatched.
+        assert!((accuracy(&y_true, &y_pred) - 4.0 / 6.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn accuracy_handles_fewer_clusters_than_classes() {
+        let y_true = vec![0, 1, 2, 3];
+        let y_pred = vec![0, 0, 1, 1];
+        assert!((accuracy(&y_true, &y_pred) - 0.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn nmi_zero_for_independent_partitions() {
+        // Prediction splits orthogonally to the truth.
+        let y_true = vec![0, 0, 1, 1, 0, 0, 1, 1];
+        let y_pred = vec![0, 1, 0, 1, 0, 1, 0, 1];
+        assert!(nmi(&y_true, &y_pred).abs() < 1e-6);
+        assert!(ari(&y_true, &y_pred).abs() < 0.2);
+    }
+
+    #[test]
+    fn nmi_bounds() {
+        let y_true = vec![0, 1, 2, 0, 1, 2, 0, 1];
+        let y_pred = vec![1, 1, 2, 0, 2, 2, 0, 1];
+        let v = nmi(&y_true, &y_pred);
+        assert!((0.0..=1.0).contains(&v), "NMI out of bounds: {v}");
+    }
+
+    #[test]
+    fn single_cluster_degenerate_cases() {
+        let y_true = vec![0, 0, 0];
+        let y_pred = vec![0, 0, 0];
+        assert_eq!(accuracy(&y_true, &y_pred), 1.0);
+        assert_eq!(nmi(&y_true, &y_pred), 1.0);
+        // All-in-one prediction against a real partition.
+        let y_true = vec![0, 0, 1, 1];
+        let y_pred = vec![0, 0, 0, 0];
+        assert_eq!(accuracy(&y_true, &y_pred), 0.5);
+        assert!(nmi(&y_true, &y_pred).abs() < 1e-6);
+    }
+
+    #[test]
+    fn purity_upper_bounds_accuracy() {
+        let y_true = vec![0, 0, 1, 1, 2, 2, 0, 1];
+        let y_pred = vec![0, 1, 1, 1, 2, 0, 0, 2];
+        assert!(purity(&y_true, &y_pred) >= accuracy(&y_true, &y_pred) - 1e-6);
+    }
+
+    #[test]
+    fn ari_negative_for_adversarial_partition() {
+        // A partition that disagrees more than chance can push ARI below 0.
+        let y_true = vec![0, 0, 1, 1];
+        let y_pred = vec![0, 1, 0, 1];
+        assert!(ari(&y_true, &y_pred) <= 0.0);
+    }
+}

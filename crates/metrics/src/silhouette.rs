@@ -1,0 +1,93 @@
+//! Silhouette coefficient — the internal cluster-separation statistic the
+//! Figure-13 harness reports for the 2-D embedding visualizations.
+
+use adec_tensor::{linalg::pairwise_sq_dists, Matrix};
+
+/// Mean silhouette coefficient of a labeled point set in `[-1, 1]`.
+///
+/// For each point, `a` is its mean distance to its own cluster and `b` the
+/// smallest mean distance to any other cluster; the silhouette is
+/// `(b − a)/max(a, b)`. Points in singleton clusters contribute 0 (the
+/// scikit-learn convention).
+///
+/// # Panics
+/// Panics if `labels` length differs from the number of points or any
+/// label is ≥ `k`.
+pub fn mean_silhouette(points: &Matrix, labels: &[usize], k: usize) -> f32 {
+    let n = points.rows();
+    assert_eq!(labels.len(), n, "mean_silhouette: label length mismatch");
+    assert!(labels.iter().all(|&l| l < k), "mean_silhouette: label out of range");
+    if n == 0 {
+        return 0.0;
+    }
+    let d2 = pairwise_sq_dists(points, points);
+    let mut total = 0.0f64;
+    for i in 0..n {
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i != j {
+                sums[labels[j]] += (d2.get(i, j) as f64).sqrt();
+                counts[labels[j]] += 1;
+            }
+        }
+        let own = labels[i];
+        if counts[own] == 0 {
+            continue; // singleton cluster → silhouette 0
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        if b.is_finite() {
+            total += (b - a) / a.max(b).max(1e-12);
+        }
+    }
+    (total / n as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn well_separated_clusters_score_high() {
+        let points = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+        ]);
+        let s = mean_silhouette(&points, &[0, 0, 1, 1], 2);
+        assert!(s > 0.9, "silhouette {s}");
+    }
+
+    #[test]
+    fn shuffled_labels_score_low() {
+        let points = Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![10.0, 10.0],
+            vec![10.1, 10.0],
+        ]);
+        let s = mean_silhouette(&points, &[0, 1, 0, 1], 2);
+        assert!(s < 0.0, "mismatched labels should score negative, got {s}");
+    }
+
+    #[test]
+    fn single_cluster_scores_zero() {
+        let points = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![2.0]]);
+        assert_eq!(mean_silhouette(&points, &[0, 0, 0], 1), 0.0);
+    }
+
+    #[test]
+    fn bounds_hold_on_random_data() {
+        use adec_tensor::SeedRng;
+        let mut rng = SeedRng::new(5);
+        let points = Matrix::randn(30, 3, 0.0, 1.0, &mut rng);
+        let labels: Vec<usize> = (0..30).map(|i| i % 3).collect();
+        let s = mean_silhouette(&points, &labels, 3);
+        assert!((-1.0..=1.0).contains(&s));
+    }
+}

@@ -1,0 +1,122 @@
+//! The paper's Feature-Randomness / Feature-Drift diagnostics.
+//!
+//! * **Δ_FR** (eq. 5): cosine between the gradient of the pseudo-supervised
+//!   loss and the gradient of the true-supervised loss w.r.t. the same
+//!   parameters — how well pseudo-labels approximate real supervision.
+//!   Higher is better.
+//! * **Δ_FD** (eq. 6): cosine between the gradient of the pseudo-supervised
+//!   (clustering) loss and the gradient of the self-supervised
+//!   (reconstruction / adversarial) regularizer — how strongly the two
+//!   objectives compete. Values near −1 mean head-on competition (Feature
+//!   Drift); higher is better.
+//!
+//! Both reduce to a cosine over *flattened parameter gradients*, supplied
+//! as lists of gradient matrices (one per parameter tensor, in matching
+//! order).
+
+use adec_tensor::Matrix;
+
+/// Cosine similarity between two gradient sets, flattening every matrix in
+/// order. Returns 0 if either gradient is numerically zero.
+///
+/// # Panics
+/// Panics if the lists differ in length or any pair differs in shape.
+pub fn gradient_cosine(a: &[Matrix], b: &[Matrix]) -> f32 {
+    assert_eq!(a.len(), b.len(), "gradient_cosine: gradient list length mismatch");
+    let mut dot = 0.0f64;
+    let mut na = 0.0f64;
+    let mut nb = 0.0f64;
+    for (ga, gb) in a.iter().zip(b.iter()) {
+        assert_eq!(ga.shape(), gb.shape(), "gradient_cosine: shape mismatch");
+        for (&x, &y) in ga.as_slice().iter().zip(gb.as_slice().iter()) {
+            dot += x as f64 * y as f64;
+            na += x as f64 * x as f64;
+            nb += y as f64 * y as f64;
+        }
+    }
+    let denom = na.sqrt() * nb.sqrt();
+    if denom <= 1e-24 {
+        return 0.0;
+    }
+    (dot / denom) as f32
+}
+
+/// Δ_FR (paper eq. 5): cosine between the pseudo-supervised gradient and
+/// the true-supervised gradient.
+pub fn delta_fr(grad_pseudo: &[Matrix], grad_true: &[Matrix]) -> f32 {
+    gradient_cosine(grad_pseudo, grad_true)
+}
+
+/// Δ_FD (paper eq. 6): cosine between the pseudo-supervised (clustering)
+/// gradient and the self-supervised (regularizer) gradient.
+pub fn delta_fd(grad_pseudo: &[Matrix], grad_self: &[Matrix]) -> f32 {
+    gradient_cosine(grad_pseudo, grad_self)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(v: &[f32]) -> Matrix {
+        Matrix::from_vec(1, v.len(), v.to_vec())
+    }
+
+    #[test]
+    fn identical_gradients_have_cosine_one() {
+        let g = vec![m(&[1.0, 2.0]), m(&[3.0])];
+        assert!((gradient_cosine(&g, &g) - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn opposed_gradients_have_cosine_minus_one() {
+        let a = vec![m(&[1.0, -2.0, 0.5])];
+        let b = vec![m(&[-1.0, 2.0, -0.5])];
+        assert!((gradient_cosine(&a, &b) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn orthogonal_gradients_have_cosine_zero() {
+        let a = vec![m(&[1.0, 0.0])];
+        let b = vec![m(&[0.0, 1.0])];
+        assert!(gradient_cosine(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_gradient_yields_zero() {
+        let a = vec![m(&[0.0, 0.0])];
+        let b = vec![m(&[1.0, 1.0])];
+        assert_eq!(gradient_cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn scale_invariance() {
+        let a = vec![m(&[0.3, -0.7, 1.1])];
+        let b = vec![m(&[0.6, -1.4, 2.2])];
+        assert!((gradient_cosine(&a, &b) - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn flattening_spans_multiple_tensors() {
+        // (1,0 | 0,1) vs (0,1 | 1,0): dot 0 across the concatenation.
+        let a = vec![m(&[1.0, 0.0]), m(&[0.0, 1.0])];
+        let b = vec![m(&[0.0, 1.0]), m(&[1.0, 0.0])];
+        assert!(gradient_cosine(&a, &b).abs() < 1e-6);
+    }
+
+    #[test]
+    fn delta_aliases_agree_with_cosine() {
+        let a = vec![m(&[1.0, 1.0])];
+        let b = vec![m(&[1.0, 0.0])];
+        let expected = 1.0 / 2.0f32.sqrt();
+        assert!((delta_fr(&a, &b) - expected).abs() < 1e-6);
+        assert!((delta_fd(&a, &b) - expected).abs() < 1e-6);
+    }
+
+    #[test]
+    fn bounds_hold() {
+        let a = vec![m(&[0.1, 0.9, -0.3, 0.2])];
+        let b = vec![m(&[-0.5, 0.2, 0.8, -0.1])];
+        let c = gradient_cosine(&a, &b);
+        assert!((-1.0..=1.0).contains(&c));
+    }
+}

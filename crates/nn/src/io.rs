@@ -1,0 +1,184 @@
+//! Weight persistence: save and load a [`ParamStore`] (e.g. pretrained
+//! autoencoder weights) in a small self-describing binary format, so
+//! expensive pretraining can be reused across runs.
+//!
+//! Format (all integers little-endian):
+//!
+//! ```text
+//! magic   b"ADECPS01"
+//! u32     parameter count
+//! per parameter:
+//!   u32       name length, then UTF-8 name bytes
+//!   u32 u32   rows, cols
+//!   f32 × n   row-major data
+//! ```
+
+use crate::store::{ParamId, ParamStore};
+use adec_tensor::Matrix;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+const MAGIC: &[u8; 8] = b"ADECPS01";
+
+/// Serializes every parameter of the store to a writer.
+pub fn write_store<W: Write>(store: &ParamStore, mut w: W) -> io::Result<()> {
+    w.write_all(MAGIC)?;
+    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    for (_, name, value) in store.iter() {
+        let name_bytes = name.as_bytes();
+        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(name_bytes)?;
+        w.write_all(&(value.rows() as u32).to_le_bytes())?;
+        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        for &v in value.as_slice() {
+            w.write_all(&v.to_le_bytes())?;
+        }
+    }
+    Ok(())
+}
+
+/// Deserializes a store previously written with [`write_store`].
+///
+/// Parameter ids are assigned in file order, so a store saved and reloaded
+/// in the same program structure keeps its ids stable.
+pub fn read_store<R: Read>(mut r: R) -> io::Result<ParamStore> {
+    let mut magic = [0u8; 8];
+    r.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "not an ADEC parameter store (bad magic)",
+        ));
+    }
+    let count = read_u32(&mut r)? as usize;
+    let mut store = ParamStore::new();
+    for _ in 0..count {
+        let name_len = read_u32(&mut r)? as usize;
+        if name_len > 1 << 20 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "name too long"));
+        }
+        let mut name_bytes = vec![0u8; name_len];
+        r.read_exact(&mut name_bytes)?;
+        let name = String::from_utf8(name_bytes)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+        let rows = read_u32(&mut r)? as usize;
+        let cols = read_u32(&mut r)? as usize;
+        if rows.saturating_mul(cols) > 1 << 28 {
+            return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
+        }
+        let mut data = vec![0.0f32; rows * cols];
+        let mut buf = [0u8; 4];
+        for v in data.iter_mut() {
+            r.read_exact(&mut buf)?;
+            *v = f32::from_le_bytes(buf);
+        }
+        store.register(name, Matrix::from_vec(rows, cols, data));
+    }
+    Ok(store)
+}
+
+fn read_u32<R: Read>(r: &mut R) -> io::Result<u32> {
+    let mut buf = [0u8; 4];
+    r.read_exact(&mut buf)?;
+    Ok(u32::from_le_bytes(buf))
+}
+
+/// Saves a store to a file path.
+pub fn save_store(store: &ParamStore, path: impl AsRef<Path>) -> io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_store(store, io::BufWriter::new(file))
+}
+
+/// Loads a store from a file path.
+pub fn load_store(path: impl AsRef<Path>) -> io::Result<ParamStore> {
+    let file = std::fs::File::open(path)?;
+    read_store(io::BufReader::new(file))
+}
+
+/// Copies values from `src` into `dst` for every id in `ids`, in order —
+/// used to adopt loaded weights into a freshly-built model whose layers
+/// registered the same parameters in the same order.
+///
+/// # Panics
+/// Panics if an id is missing from either store or shapes mismatch.
+pub fn adopt_weights(dst: &mut ParamStore, src: &ParamStore, ids: &[ParamId]) {
+    for &id in ids {
+        let value = src.get(id).clone();
+        assert_eq!(
+            dst.get(id).shape(),
+            value.shape(),
+            "adopt_weights: shape mismatch for {}",
+            src.name(id)
+        );
+        dst.set(id, value);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use adec_tensor::SeedRng;
+
+    fn sample_store() -> ParamStore {
+        let mut rng = SeedRng::new(1);
+        let mut store = ParamStore::new();
+        store.register("enc.w", Matrix::randn(4, 3, 0.0, 1.0, &mut rng));
+        store.register("enc.b", Matrix::zeros(1, 3));
+        store.register("dec.w", Matrix::randn(3, 4, 0.5, 2.0, &mut rng));
+        store
+    }
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        let loaded = read_store(&buf[..]).unwrap();
+        assert_eq!(loaded.len(), store.len());
+        for ((_, name_a, val_a), (_, name_b, val_b)) in store.iter().zip(loaded.iter()) {
+            assert_eq!(name_a, name_b);
+            assert_eq!(val_a, val_b);
+        }
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let err = read_store(&b"NOTADECX"[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn truncated_file_is_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        buf.truncate(buf.len() - 7);
+        assert!(read_store(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn file_roundtrip() {
+        let store = sample_store();
+        let path = std::env::temp_dir().join("adec_io_test.bin");
+        save_store(&store, &path).unwrap();
+        let loaded = load_store(&path).unwrap();
+        assert_eq!(loaded.len(), 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn adopt_weights_copies_values() {
+        let src = sample_store();
+        let mut rng = SeedRng::new(2);
+        let mut dst = ParamStore::new();
+        let ids = vec![
+            dst.register("enc.w", Matrix::randn(4, 3, 0.0, 1.0, &mut rng)),
+            dst.register("enc.b", Matrix::randn(1, 3, 0.0, 1.0, &mut rng)),
+            dst.register("dec.w", Matrix::randn(3, 4, 0.0, 1.0, &mut rng)),
+        ];
+        adopt_weights(&mut dst, &src, &ids);
+        for (a, b) in dst.iter().zip(src.iter()) {
+            assert_eq!(a.2, b.2);
+        }
+    }
+}

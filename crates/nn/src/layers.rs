@@ -1,0 +1,276 @@
+//! Fully-connected layers and the multi-layer perceptron used for the
+//! paper's encoder (n–500–500–2000–10), decoder (mirror), ACAI critic, and
+//! GAN discriminator.
+
+use crate::store::{ParamId, ParamStore};
+use crate::tape::{Tape, Var};
+use adec_tensor::{Matrix, SeedRng};
+
+/// Pointwise activation applied after a dense layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Activation {
+    /// Identity (used on bottleneck and output layers, per the paper).
+    Linear,
+    /// Rectified linear unit (the paper's hidden activation).
+    Relu,
+    /// Logistic sigmoid (used by discriminator heads when probabilities are
+    /// needed directly; GAN losses here work on logits instead).
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl Activation {
+    fn apply(self, tape: &mut Tape, x: Var) -> Var {
+        match self {
+            Activation::Linear => x,
+            Activation::Relu => tape.relu(x),
+            Activation::Sigmoid => tape.sigmoid(x),
+            Activation::Tanh => tape.tanh(x),
+        }
+    }
+
+    fn apply_plain(self, x: &mut Matrix) {
+        match self {
+            Activation::Linear => {}
+            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
+            Activation::Sigmoid => x.map_inplace(|v| {
+                if v >= 0.0 {
+                    1.0 / (1.0 + (-v).exp())
+                } else {
+                    let e = v.exp();
+                    e / (1.0 + e)
+                }
+            }),
+            Activation::Tanh => x.map_inplace(|v| v.tanh()),
+        }
+    }
+}
+
+/// One dense (fully-connected) layer: `y = act(x · W + b)`.
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Weight matrix id (`in × out`).
+    pub w: ParamId,
+    /// Bias row id (`1 × out`).
+    pub b: ParamId,
+    /// Activation applied after the affine map.
+    pub act: Activation,
+}
+
+impl Dense {
+    /// Creates a dense layer with Glorot-uniform weights and zero bias.
+    pub fn new(
+        store: &mut ParamStore,
+        name: &str,
+        fan_in: usize,
+        fan_out: usize,
+        act: Activation,
+        rng: &mut SeedRng,
+    ) -> Self {
+        let limit = (6.0 / (fan_in + fan_out) as f32).sqrt();
+        let w = Matrix::rand_uniform(fan_in, fan_out, -limit, limit, rng);
+        let b = Matrix::zeros(1, fan_out);
+        Dense {
+            w: store.register(format!("{name}.w"), w),
+            b: store.register(format!("{name}.b"), b),
+            act,
+        }
+    }
+
+    /// Tape forward pass.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let w = tape.param(store, self.w);
+        let b = tape.param(store, self.b);
+        let lin = tape.matmul(x, w);
+        let affine = tape.add_bias(lin, b);
+        self.act.apply(tape, affine)
+    }
+
+    /// No-grad forward pass on plain matrices (inference).
+    pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        let mut y = x
+            .matmul(store.get(self.w))
+            .add_row_broadcast(store.get(self.b).row(0));
+        self.act.apply_plain(&mut y);
+        y
+    }
+}
+
+/// A stack of dense layers.
+///
+/// `dims = [n, 500, 500, 2000, 10]` with `hidden = Relu`, `out = Linear`
+/// reproduces the paper's encoder; the decoder is the reversed dims.
+#[derive(Debug, Clone)]
+pub struct Mlp {
+    layers: Vec<Dense>,
+    dims: Vec<usize>,
+}
+
+impl Mlp {
+    /// Builds an MLP with the given layer widths. All layers use `hidden`
+    /// activation except the last, which uses `out`.
+    ///
+    /// # Panics
+    /// Panics if fewer than two dims are given.
+    pub fn new(
+        store: &mut ParamStore,
+        dims: &[usize],
+        hidden: Activation,
+        out: Activation,
+        rng: &mut SeedRng,
+    ) -> Self {
+        assert!(dims.len() >= 2, "Mlp::new: need at least input and output dims");
+        let mut layers = Vec::with_capacity(dims.len() - 1);
+        for i in 0..dims.len() - 1 {
+            let act = if i + 2 == dims.len() { out } else { hidden };
+            layers.push(Dense::new(
+                store,
+                &format!("mlp{}x{}.l{i}", dims[0], dims[dims.len() - 1]),
+                dims[i],
+                dims[i + 1],
+                act,
+                rng,
+            ));
+        }
+        Mlp {
+            layers,
+            dims: dims.to_vec(),
+        }
+    }
+
+    /// Layer widths, including input and output.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Input dimensionality.
+    pub fn input_dim(&self) -> usize {
+        self.dims[0]
+    }
+
+    /// Output dimensionality.
+    pub fn output_dim(&self) -> usize {
+        *self.dims.last().unwrap()
+    }
+
+    /// Tape forward pass through all layers.
+    pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
+        let mut h = x;
+        for layer in &self.layers {
+            h = layer.forward(tape, store, h);
+        }
+        h
+    }
+
+    /// No-grad forward pass (inference).
+    pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
+        let mut h = x.clone();
+        for layer in &self.layers {
+            h = layer.infer(store, &h);
+        }
+        h
+    }
+
+    /// Ids of every parameter in the network, in layer order.
+    pub fn param_ids(&self) -> Vec<ParamId> {
+        self.layers.iter().flat_map(|l| [l.w, l.b]).collect()
+    }
+
+    /// Number of dense layers.
+    pub fn n_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// Borrow one layer (for greedy layer-wise pretraining).
+    pub fn layer(&self, i: usize) -> &Dense {
+        &self.layers[i]
+    }
+
+    /// No-grad forward through the first `n` layers only.
+    pub fn infer_prefix(&self, store: &ParamStore, x: &Matrix, n: usize) -> Matrix {
+        let mut h = x.clone();
+        for layer in self.layers.iter().take(n) {
+            h = layer.infer(store, &h);
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::optim::{Optimizer, Sgd};
+
+    #[test]
+    fn dense_shapes() {
+        let mut rng = SeedRng::new(1);
+        let mut store = ParamStore::new();
+        let layer = Dense::new(&mut store, "d", 4, 3, Activation::Relu, &mut rng);
+        let x = Matrix::randn(5, 4, 0.0, 1.0, &mut rng);
+        let y = layer.infer(&store, &x);
+        assert_eq!(y.shape(), (5, 3));
+        // ReLU output is non-negative.
+        assert!(y.as_slice().iter().all(|&v| v >= 0.0));
+    }
+
+    #[test]
+    fn mlp_tape_and_infer_agree() {
+        let mut rng = SeedRng::new(2);
+        let mut store = ParamStore::new();
+        let net = Mlp::new(&mut store, &[6, 8, 3], Activation::Relu, Activation::Tanh, &mut rng);
+        let x = Matrix::randn(4, 6, 0.0, 1.0, &mut rng);
+        let inferred = net.infer(&store, &x);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x);
+        let out = net.forward(&mut tape, &store, xv);
+        assert!(tape.value(out).sub(&inferred).max_abs() < 1e-6);
+    }
+
+    #[test]
+    fn glorot_init_scale() {
+        let mut rng = SeedRng::new(3);
+        let mut store = ParamStore::new();
+        let layer = Dense::new(&mut store, "g", 100, 100, Activation::Linear, &mut rng);
+        let limit = (6.0f32 / 200.0).sqrt();
+        let w = store.get(layer.w);
+        assert!(w.max_abs() <= limit + 1e-6);
+        assert!(w.max_abs() > limit * 0.5, "weights suspiciously small");
+        assert_eq!(store.get(layer.b).sum(), 0.0);
+    }
+
+    #[test]
+    fn mlp_learns_linear_map() {
+        // y = x·T for a fixed T; a linear MLP must drive MSE near zero.
+        let mut rng = SeedRng::new(4);
+        let t = Matrix::randn(3, 2, 0.0, 1.0, &mut rng);
+        let x = Matrix::randn(64, 3, 0.0, 1.0, &mut rng);
+        let y = x.matmul(&t);
+
+        let mut store = ParamStore::new();
+        let net = Mlp::new(&mut store, &[3, 2], Activation::Linear, Activation::Linear, &mut rng);
+        let mut opt = Sgd::new(0.1, 0.0);
+        let mut last = f32::INFINITY;
+        for _ in 0..200 {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(x.clone());
+            let out = net.forward(&mut tape, &store, xv);
+            let target = tape.leaf(y.clone());
+            let loss = tape.mse(out, target);
+            last = tape.scalar(loss);
+            tape.backward(loss);
+            opt.step(&tape, &mut store);
+        }
+        assert!(last < 1e-3, "final loss {last}");
+    }
+
+    #[test]
+    fn param_ids_cover_all_layers() {
+        let mut rng = SeedRng::new(5);
+        let mut store = ParamStore::new();
+        let net = Mlp::new(&mut store, &[4, 8, 8, 2], Activation::Relu, Activation::Linear, &mut rng);
+        assert_eq!(net.param_ids().len(), 6); // 3 layers × (w, b)
+        assert_eq!(net.input_dim(), 4);
+        assert_eq!(net.output_dim(), 2);
+    }
+}

@@ -1,0 +1,142 @@
+//! Persistent parameter storage.
+//!
+//! A [`ParamStore`] owns every trainable matrix in a model, identified by a
+//! stable [`ParamId`]. Layers keep `ParamId`s instead of the matrices
+//! themselves, which lets a fresh [`crate::Tape`] be built each step while
+//! optimizers hold per-parameter state (momentum / Adam moments) keyed by
+//! the same ids.
+
+use adec_tensor::Matrix;
+
+/// Stable handle to a parameter inside a [`ParamStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ParamId(pub(crate) usize);
+
+impl ParamId {
+    /// Index into the owning store. Exposed for optimizer state tables.
+    pub fn index(&self) -> usize {
+        self.0
+    }
+}
+
+/// Owns the trainable parameters of one or more networks.
+#[derive(Debug, Default)]
+pub struct ParamStore {
+    values: Vec<Matrix>,
+    names: Vec<String>,
+}
+
+impl ParamStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        ParamStore::default()
+    }
+
+    /// Registers a parameter and returns its id.
+    pub fn register(&mut self, name: impl Into<String>, value: Matrix) -> ParamId {
+        self.values.push(value);
+        self.names.push(name.into());
+        ParamId(self.values.len() - 1)
+    }
+
+    /// Number of registered parameters.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Whether no parameters are registered.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Immutable access to a parameter's current value.
+    pub fn get(&self, id: ParamId) -> &Matrix {
+        &self.values[id.0]
+    }
+
+    /// Mutable access to a parameter's current value.
+    pub fn get_mut(&mut self, id: ParamId) -> &mut Matrix {
+        &mut self.values[id.0]
+    }
+
+    /// Replaces a parameter's value (shape may change; optimizer state for
+    /// the id should be reset by the caller if it does).
+    pub fn set(&mut self, id: ParamId, value: Matrix) {
+        self.values[id.0] = value;
+    }
+
+    /// Human-readable parameter name (for debugging / dumps).
+    pub fn name(&self, id: ParamId) -> &str {
+        &self.names[id.0]
+    }
+
+    /// Iterates over `(id, name, value)` triples.
+    pub fn iter(&self) -> impl Iterator<Item = (ParamId, &str, &Matrix)> + '_ {
+        self.values
+            .iter()
+            .zip(self.names.iter())
+            .enumerate()
+            .map(|(i, (v, n))| (ParamId(i), n.as_str(), v))
+    }
+
+    /// Total number of scalar parameters across the store.
+    pub fn num_scalars(&self) -> usize {
+        self.values.iter().map(|m| m.len()).sum()
+    }
+
+    /// Deep-copies the values of the given parameters (e.g. to snapshot
+    /// pretrained weights shared across DEC*/IDEC*/ADEC runs).
+    pub fn snapshot(&self, ids: &[ParamId]) -> Vec<Matrix> {
+        ids.iter().map(|&id| self.get(id).clone()).collect()
+    }
+
+    /// Restores values captured by [`ParamStore::snapshot`].
+    ///
+    /// # Panics
+    /// Panics if `ids` and `values` lengths differ.
+    pub fn restore(&mut self, ids: &[ParamId], values: &[Matrix]) {
+        assert_eq!(ids.len(), values.len(), "restore: id/value length mismatch");
+        for (&id, v) in ids.iter().zip(values.iter()) {
+            self.set(id, v.clone());
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn register_and_access() {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::eye(2));
+        assert_eq!(store.len(), 1);
+        assert_eq!(store.name(id), "w");
+        assert_eq!(store.get(id).get(0, 0), 1.0);
+        store.get_mut(id).set(0, 0, 5.0);
+        assert_eq!(store.get(id).get(0, 0), 5.0);
+        assert_eq!(store.num_scalars(), 4);
+    }
+
+    #[test]
+    fn snapshot_restore_roundtrip() {
+        let mut store = ParamStore::new();
+        let a = store.register("a", Matrix::full(1, 2, 1.0));
+        let b = store.register("b", Matrix::full(1, 2, 2.0));
+        let snap = store.snapshot(&[a, b]);
+        store.get_mut(a).map_inplace(|_| 9.0);
+        store.get_mut(b).map_inplace(|_| 9.0);
+        store.restore(&[a, b], &snap);
+        assert_eq!(store.get(a).as_slice(), &[1.0, 1.0]);
+        assert_eq!(store.get(b).as_slice(), &[2.0, 2.0]);
+    }
+
+    #[test]
+    fn iter_yields_all() {
+        let mut store = ParamStore::new();
+        store.register("x", Matrix::zeros(1, 1));
+        store.register("y", Matrix::zeros(2, 2));
+        let names: Vec<&str> = store.iter().map(|(_, n, _)| n).collect();
+        assert_eq!(names, vec!["x", "y"]);
+    }
+}

@@ -1,0 +1,995 @@
+//! Tape-based reverse-mode automatic differentiation.
+//!
+//! A [`Tape`] records a computation graph over [`Matrix`] values. Each
+//! operation appends a node holding its forward value and enough cached
+//! state for the backward pass. [`Tape::backward`] seeds the loss gradient
+//! with 1 and walks the tape in reverse, accumulating gradients into every
+//! node that (transitively) requires them.
+//!
+//! The op set is exactly what the ADEC pipeline needs — dense layers,
+//! pointwise nonlinearities, the reductions behind MSE/BCE, row-wise
+//! interpolation for ACAI, and the DEC KL objective as a composite node
+//! whose backward implements the analytic gradients of the paper's
+//! Theorems 2 and 3 (verified against finite differences in the tests).
+
+use crate::store::{ParamId, ParamStore};
+use adec_tensor::Matrix;
+
+/// Handle to a node on a [`Tape`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Var(pub(crate) usize);
+
+/// The operation that produced a node, with cached backward state.
+enum Op {
+    /// Constant or parameter leaf.
+    Leaf,
+    /// `a · b`.
+    MatMul(Var, Var),
+    /// `x + bias` with `bias` a `1 × cols` row broadcast over rows of `x`.
+    AddBias(Var, Var),
+    /// `a + b` (same shape).
+    Add(Var, Var),
+    /// `a − b` (same shape).
+    Sub(Var, Var),
+    /// Hadamard `a ∘ b` (same shape).
+    Mul(Var, Var),
+    /// `c · a` for a compile-time constant scalar.
+    Scale(Var, f32),
+    /// ReLU.
+    Relu(Var),
+    /// Logistic sigmoid.
+    Sigmoid(Var),
+    /// Hyperbolic tangent.
+    Tanh(Var),
+    /// Numerically-stable softplus `ln(1 + eˣ)`.
+    Softplus(Var),
+    /// Elementwise exponential.
+    Exp(Var),
+    /// Elementwise square.
+    Square(Var),
+    /// Mean over all elements, producing a `1 × 1` scalar node.
+    MeanAll(Var),
+    /// Sum over all elements, producing a `1 × 1` scalar node.
+    SumAll(Var),
+    /// Per-row sums, producing an `n × 1` column node.
+    RowSum(Var),
+    /// Each row `i` of `x` scaled by constant weight `w[i]`.
+    RowScale(Var, Vec<f32>),
+    /// Binary cross-entropy with logits against a constant target,
+    /// averaged over all elements.
+    BceWithLogits {
+        logits: Var,
+        targets: Matrix,
+        inv_n: f32,
+    },
+    /// Row-wise softmax cross-entropy against a constant (row-stochastic)
+    /// target, averaged over rows. Caches the softmax for backward.
+    SoftmaxCe {
+        logits: Var,
+        targets: Matrix,
+        softmax: Matrix,
+    },
+    /// DEC clustering objective `KL(P ‖ Q)` (sum over the batch) as a
+    /// composite node. Backward implements Theorems 2–3 of the paper.
+    DecKl {
+        z: Var,
+        mu: Var,
+        /// Target distribution rows aligned with the batch (constant).
+        p: Matrix,
+        /// Student-t degrees of freedom (paper uses α = 1).
+        alpha: f32,
+        /// Cached soft assignment from the forward pass.
+        q: Matrix,
+    },
+}
+
+struct Node {
+    value: Matrix,
+    grad: Option<Matrix>,
+    op: Op,
+    needs_grad: bool,
+}
+
+/// A single-use reverse-mode autodiff tape.
+#[derive(Default)]
+pub struct Tape {
+    nodes: Vec<Node>,
+    bindings: Vec<(ParamId, Var)>,
+}
+
+impl Tape {
+    /// Creates an empty tape.
+    pub fn new() -> Self {
+        Tape {
+            nodes: Vec::with_capacity(64),
+            bindings: Vec::new(),
+        }
+    }
+
+    fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
+        self.nodes.push(Node {
+            value,
+            grad: None,
+            op,
+            needs_grad,
+        });
+        Var(self.nodes.len() - 1)
+    }
+
+    fn needs(&self, v: Var) -> bool {
+        self.nodes[v.0].needs_grad
+    }
+
+    /// Adds a constant leaf (no gradient is propagated into it).
+    pub fn leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, false)
+    }
+
+    /// Adds a leaf that *does* accumulate a gradient without being bound to
+    /// a store parameter. Useful for gradient inspection (Δ_FR / Δ_FD).
+    pub fn grad_leaf(&mut self, value: Matrix) -> Var {
+        self.push(value, Op::Leaf, true)
+    }
+
+    /// Binds a store parameter into the tape as a gradient-tracking leaf and
+    /// records the binding so optimizers can route gradients back.
+    pub fn param(&mut self, store: &ParamStore, id: ParamId) -> Var {
+        let v = self.push(store.get(id).clone(), Op::Leaf, true);
+        self.bindings.push((id, v));
+        v
+    }
+
+    /// The `(ParamId, Var)` bindings recorded by [`Tape::param`].
+    pub fn bindings(&self) -> &[(ParamId, Var)] {
+        &self.bindings
+    }
+
+    /// The forward value of a node.
+    pub fn value(&self, v: Var) -> &Matrix {
+        &self.nodes[v.0].value
+    }
+
+    /// The gradient accumulated into a node by [`Tape::backward`]
+    /// (zeros if the node never received one).
+    pub fn grad(&self, v: Var) -> Matrix {
+        match &self.nodes[v.0].grad {
+            Some(g) => g.clone(),
+            None => Matrix::zeros(self.nodes[v.0].value.rows(), self.nodes[v.0].value.cols()),
+        }
+    }
+
+    /// The scalar value of a `1 × 1` node (e.g. a loss).
+    pub fn scalar(&self, v: Var) -> f32 {
+        let m = self.value(v);
+        assert_eq!(m.shape(), (1, 1), "scalar: node is not 1x1");
+        m.get(0, 0)
+    }
+
+    // ------------------------------------------------------------------
+    // Forward ops
+    // ------------------------------------------------------------------
+
+    /// Matrix product.
+    pub fn matmul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).matmul(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(value, Op::MatMul(a, b), ng)
+    }
+
+    /// Adds a `1 × cols` bias row to every row of `x`.
+    pub fn add_bias(&mut self, x: Var, bias: Var) -> Var {
+        assert_eq!(self.value(bias).rows(), 1, "add_bias: bias must be 1 x cols");
+        let value = self.value(x).add_row_broadcast(self.value(bias).row(0));
+        let ng = self.needs(x) || self.needs(bias);
+        self.push(value, Op::AddBias(x, bias), ng)
+    }
+
+    /// Elementwise sum.
+    pub fn add(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).add(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(value, Op::Add(a, b), ng)
+    }
+
+    /// Elementwise difference.
+    pub fn sub(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).sub(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(value, Op::Sub(a, b), ng)
+    }
+
+    /// Hadamard product.
+    pub fn mul(&mut self, a: Var, b: Var) -> Var {
+        let value = self.value(a).mul(self.value(b));
+        let ng = self.needs(a) || self.needs(b);
+        self.push(value, Op::Mul(a, b), ng)
+    }
+
+    /// Scalar multiple.
+    pub fn scale(&mut self, a: Var, c: f32) -> Var {
+        let value = self.value(a).scale(c);
+        let ng = self.needs(a);
+        self.push(value, Op::Scale(a, c), ng)
+    }
+
+    /// ReLU activation.
+    pub fn relu(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.max(0.0));
+        let ng = self.needs(a);
+        self.push(value, Op::Relu(a), ng)
+    }
+
+    /// Sigmoid activation (numerically stable).
+    pub fn sigmoid(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(stable_sigmoid);
+        let ng = self.needs(a);
+        self.push(value, Op::Sigmoid(a), ng)
+    }
+
+    /// Tanh activation.
+    pub fn tanh(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.tanh());
+        let ng = self.needs(a);
+        self.push(value, Op::Tanh(a), ng)
+    }
+
+    /// Softplus `ln(1 + eˣ)` (numerically stable).
+    pub fn softplus(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(stable_softplus);
+        let ng = self.needs(a);
+        self.push(value, Op::Softplus(a), ng)
+    }
+
+    /// Elementwise exponential (inputs clamped to ≤ 30 to avoid overflow).
+    pub fn exp(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v.min(30.0).exp());
+        let ng = self.needs(a);
+        self.push(value, Op::Exp(a), ng)
+    }
+
+    /// Elementwise square.
+    pub fn square(&mut self, a: Var) -> Var {
+        let value = self.value(a).map(|v| v * v);
+        let ng = self.needs(a);
+        self.push(value, Op::Square(a), ng)
+    }
+
+    /// Mean over all elements (`1 × 1` output).
+    pub fn mean_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).mean()]);
+        let ng = self.needs(a);
+        self.push(value, Op::MeanAll(a), ng)
+    }
+
+    /// Sum over all elements (`1 × 1` output).
+    pub fn sum_all(&mut self, a: Var) -> Var {
+        let value = Matrix::from_vec(1, 1, vec![self.value(a).sum()]);
+        let ng = self.needs(a);
+        self.push(value, Op::SumAll(a), ng)
+    }
+
+    /// Per-row sums (`n × 1` output) — e.g. row-wise squared distances for
+    /// triplet losses.
+    pub fn row_sum(&mut self, a: Var) -> Var {
+        let sums = self.value(a).row_sums();
+        let n = sums.len();
+        let value = Matrix::from_vec(n, 1, sums);
+        let ng = self.needs(a);
+        self.push(value, Op::RowSum(a), ng)
+    }
+
+    /// Scales row `i` of `x` by the constant `weights[i]` — the building
+    /// block of ACAI's latent interpolation `α z₁ + (1−α) z₂` with a
+    /// per-sample α.
+    pub fn row_scale(&mut self, x: Var, weights: &[f32]) -> Var {
+        assert_eq!(
+            self.value(x).rows(),
+            weights.len(),
+            "row_scale: weight length mismatch"
+        );
+        let xv = self.value(x);
+        let mut value = xv.clone();
+        for (r, &w) in weights.iter().enumerate() {
+            for v in value.row_mut(r) {
+                *v *= w;
+            }
+        }
+        let ng = self.needs(x);
+        self.push(value, Op::RowScale(x, weights.to_vec()), ng)
+    }
+
+    // ------------------------------------------------------------------
+    // Composite losses
+    // ------------------------------------------------------------------
+
+    /// Mean-squared-error `mean((a − b)²)` as a scalar node.
+    pub fn mse(&mut self, a: Var, b: Var) -> Var {
+        let d = self.sub(a, b);
+        let s = self.square(d);
+        self.mean_all(s)
+    }
+
+    /// Binary cross-entropy with logits against a constant target matrix in
+    /// `[0, 1]`, averaged over all elements.
+    ///
+    /// Uses the stable form `max(x,0) − x·t + ln(1 + e^{−|x|})`.
+    pub fn bce_with_logits(&mut self, logits: Var, targets: &Matrix) -> Var {
+        let x = self.value(logits);
+        assert_eq!(x.shape(), targets.shape(), "bce_with_logits: shape mismatch");
+        let value = Matrix::from_vec(
+            1,
+            1,
+            vec![x
+                .as_slice()
+                .iter()
+                .zip(targets.as_slice().iter())
+                .map(|(&xi, &ti)| xi.max(0.0) - xi * ti + (1.0 + (-xi.abs()).exp()).ln())
+                .sum::<f32>()
+                / x.len() as f32],
+        );
+        let inv_n = 1.0 / x.len() as f32;
+        let grad_needed = self.needs(logits);
+        self.push(
+            value,
+            Op::BceWithLogits {
+                logits,
+                targets: targets.clone(),
+                inv_n,
+            },
+            grad_needed,
+        )
+    }
+
+    /// Row-wise softmax cross-entropy `−(1/n) Σᵢ Σⱼ tᵢⱼ log softmax(x)ᵢⱼ`
+    /// against a constant target distribution (each row of `targets`
+    /// should sum to 1; one-hot rows give classification CE).
+    pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &Matrix) -> Var {
+        let x = self.value(logits);
+        assert_eq!(x.shape(), targets.shape(), "softmax_cross_entropy: shape mismatch");
+        let (n, k) = x.shape();
+        let mut softmax = Matrix::zeros(n, k);
+        let mut loss = 0.0f64;
+        for i in 0..n {
+            let row = x.row(i);
+            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            let mut denom = 0.0f32;
+            for &v in row {
+                denom += (v - m).exp();
+            }
+            let log_denom = denom.ln();
+            for j in 0..k {
+                let log_p = x.get(i, j) - m - log_denom;
+                softmax.set(i, j, log_p.exp());
+                let t = targets.get(i, j);
+                if t > 0.0 {
+                    loss -= (t as f64) * log_p as f64;
+                }
+            }
+        }
+        let value = Matrix::from_vec(1, 1, vec![(loss / n as f64) as f32]);
+        let ng = self.needs(logits);
+        self.push(
+            value,
+            Op::SoftmaxCe {
+                logits,
+                targets: targets.clone(),
+                softmax,
+            },
+            ng,
+        )
+    }
+
+    /// The DEC clustering loss `KL(P ‖ Q)` summed over the batch.
+    ///
+    /// `z` is the `n × d` batch embedding, `mu` the `k × d` centroid matrix,
+    /// `p` the (constant) target-distribution rows for this batch, and
+    /// `alpha` the Student-t degrees of freedom (paper: α = 1).
+    ///
+    /// Backward implements the analytic gradients of Theorems 2 and 3:
+    /// `∂L/∂zᵢ = ((α+1)/α) Σⱼ (1 + ‖zᵢ−μⱼ‖²/α)⁻¹ (pᵢⱼ − qᵢⱼ)(zᵢ − μⱼ)` and
+    /// the negated, i-summed counterpart for `μⱼ`.
+    pub fn dec_kl(&mut self, z: Var, mu: Var, p: &Matrix, alpha: f32) -> Var {
+        let q = crate::loss::soft_assignment(self.value(z), self.value(mu), alpha);
+        assert_eq!(q.shape(), p.shape(), "dec_kl: P/Q shape mismatch");
+        let mut loss = 0.0f64;
+        for i in 0..q.rows() {
+            for j in 0..q.cols() {
+                let pij = p.get(i, j);
+                if pij > 0.0 {
+                    loss += (pij as f64) * ((pij / q.get(i, j).max(1e-12)) as f64).ln();
+                }
+            }
+        }
+        let value = Matrix::from_vec(1, 1, vec![loss as f32]);
+        let ng = self.needs(z) || self.needs(mu);
+        self.push(
+            value,
+            Op::DecKl {
+                z,
+                mu,
+                p: p.clone(),
+                alpha,
+                q,
+            },
+            ng,
+        )
+    }
+
+    // ------------------------------------------------------------------
+    // Backward
+    // ------------------------------------------------------------------
+
+    fn accumulate(&mut self, v: Var, delta: &Matrix) {
+        if !self.nodes[v.0].needs_grad {
+            return;
+        }
+        match &mut self.nodes[v.0].grad {
+            Some(g) => g.axpy(1.0, delta),
+            slot @ None => *slot = Some(delta.clone()),
+        }
+    }
+
+    /// Runs the backward pass from the scalar node `loss`, accumulating
+    /// gradients into every reachable gradient-tracking node.
+    ///
+    /// # Panics
+    /// Panics if `loss` is not `1 × 1`.
+    pub fn backward(&mut self, loss: Var) {
+        assert_eq!(
+            self.nodes[loss.0].value.shape(),
+            (1, 1),
+            "backward: loss must be a scalar node"
+        );
+        self.nodes[loss.0].grad = Some(Matrix::from_vec(1, 1, vec![1.0]));
+        for idx in (0..=loss.0).rev() {
+            if !self.nodes[idx].needs_grad {
+                continue;
+            }
+            let Some(g) = self.nodes[idx].grad.clone() else {
+                continue;
+            };
+            // Take the op out temporarily to appease the borrow checker.
+            let op = std::mem::replace(&mut self.nodes[idx].op, Op::Leaf);
+            match &op {
+                Op::Leaf => {}
+                Op::MatMul(a, b) => {
+                    if self.needs(*a) {
+                        let da = g.matmul_nt(self.value(*b));
+                        self.accumulate(*a, &da);
+                    }
+                    if self.needs(*b) {
+                        let db = self.value(*a).matmul_tn(&g);
+                        self.accumulate(*b, &db);
+                    }
+                }
+                Op::AddBias(x, bias) => {
+                    if self.needs(*x) {
+                        self.accumulate(*x, &g);
+                    }
+                    if self.needs(*bias) {
+                        let db = Matrix::from_vec(1, g.cols(), g.col_sums());
+                        self.accumulate(*bias, &db);
+                    }
+                }
+                Op::Add(a, b) => {
+                    if self.needs(*a) {
+                        self.accumulate(*a, &g);
+                    }
+                    if self.needs(*b) {
+                        self.accumulate(*b, &g);
+                    }
+                }
+                Op::Sub(a, b) => {
+                    if self.needs(*a) {
+                        self.accumulate(*a, &g);
+                    }
+                    if self.needs(*b) {
+                        let neg = g.scale(-1.0);
+                        self.accumulate(*b, &neg);
+                    }
+                }
+                Op::Mul(a, b) => {
+                    if self.needs(*a) {
+                        let da = g.mul(self.value(*b));
+                        self.accumulate(*a, &da);
+                    }
+                    if self.needs(*b) {
+                        let db = g.mul(self.value(*a));
+                        self.accumulate(*b, &db);
+                    }
+                }
+                Op::Scale(a, c) => {
+                    if self.needs(*a) {
+                        let da = g.scale(*c);
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::Relu(a) => {
+                    if self.needs(*a) {
+                        let da = g.zip_with(self.value(*a), |gi, xi| if xi > 0.0 { gi } else { 0.0 });
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::Sigmoid(a) => {
+                    if self.needs(*a) {
+                        // Use the cached output value s: ds = g·s·(1−s).
+                        let s = &self.nodes[idx].value;
+                        let da = g.zip_with(s, |gi, si| gi * si * (1.0 - si));
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::Tanh(a) => {
+                    if self.needs(*a) {
+                        let t = &self.nodes[idx].value;
+                        let da = g.zip_with(t, |gi, ti| gi * (1.0 - ti * ti));
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::Softplus(a) => {
+                    if self.needs(*a) {
+                        let da = g.zip_with(self.value(*a), |gi, xi| gi * stable_sigmoid(xi));
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::Exp(a) => {
+                    if self.needs(*a) {
+                        // The cached output *is* the derivative.
+                        let out = &self.nodes[idx].value;
+                        let da = g.mul(out);
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::Square(a) => {
+                    if self.needs(*a) {
+                        let da = g.zip_with(self.value(*a), |gi, xi| 2.0 * gi * xi);
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::MeanAll(a) => {
+                    if self.needs(*a) {
+                        let xv = self.value(*a);
+                        let gv = g.get(0, 0) / xv.len() as f32;
+                        let da = Matrix::full(xv.rows(), xv.cols(), gv);
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::SumAll(a) => {
+                    if self.needs(*a) {
+                        let xv = self.value(*a);
+                        let da = Matrix::full(xv.rows(), xv.cols(), g.get(0, 0));
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::RowSum(a) => {
+                    if self.needs(*a) {
+                        let xv = self.value(*a);
+                        let da = Matrix::from_fn(xv.rows(), xv.cols(), |r, _| g.get(r, 0));
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::RowScale(a, weights) => {
+                    if self.needs(*a) {
+                        let mut da = g.clone();
+                        for (r, &w) in weights.iter().enumerate() {
+                            for v in da.row_mut(r) {
+                                *v *= w;
+                            }
+                        }
+                        self.accumulate(*a, &da);
+                    }
+                }
+                Op::BceWithLogits {
+                    logits,
+                    targets,
+                    inv_n,
+                } => {
+                    if self.needs(*logits) {
+                        let gv = g.get(0, 0) * inv_n;
+                        let da = self
+                            .value(*logits)
+                            .zip_with(targets, |xi, ti| gv * (stable_sigmoid(xi) - ti));
+                        self.accumulate(*logits, &da);
+                    }
+                }
+                Op::SoftmaxCe {
+                    logits,
+                    targets,
+                    softmax,
+                } => {
+                    if self.needs(*logits) {
+                        let gv = g.get(0, 0) / softmax.rows() as f32;
+                        let da = softmax.zip_with(targets, |s, t| gv * (s - t));
+                        self.accumulate(*logits, &da);
+                    }
+                }
+                Op::DecKl { z, mu, p, alpha, q } => {
+                    let gv = g.get(0, 0);
+                    let zv = self.value(*z).clone();
+                    let muv = self.value(*mu).clone();
+                    let (n, d) = zv.shape();
+                    let k = muv.rows();
+                    let coeff = (alpha + 1.0) / alpha;
+                    if self.needs(*z) {
+                        let mut dz = Matrix::zeros(n, d);
+                        for i in 0..n {
+                            for j in 0..k {
+                                let mut sq = 0.0f32;
+                                for t in 0..d {
+                                    let diff = zv.get(i, t) - muv.get(j, t);
+                                    sq += diff * diff;
+                                }
+                                let w = coeff / (1.0 + sq / alpha) * (p.get(i, j) - q.get(i, j));
+                                for t in 0..d {
+                                    let diff = zv.get(i, t) - muv.get(j, t);
+                                    dz.set(i, t, dz.get(i, t) + w * diff);
+                                }
+                            }
+                        }
+                        dz.map_inplace(|v| v * gv);
+                        self.accumulate(*z, &dz);
+                    }
+                    if self.needs(*mu) {
+                        let mut dmu = Matrix::zeros(k, d);
+                        for i in 0..n {
+                            for j in 0..k {
+                                let mut sq = 0.0f32;
+                                for t in 0..d {
+                                    let diff = zv.get(i, t) - muv.get(j, t);
+                                    sq += diff * diff;
+                                }
+                                let w = -coeff / (1.0 + sq / alpha) * (p.get(i, j) - q.get(i, j));
+                                for t in 0..d {
+                                    let diff = zv.get(i, t) - muv.get(j, t);
+                                    dmu.set(j, t, dmu.get(j, t) + w * diff);
+                                }
+                            }
+                        }
+                        dmu.map_inplace(|v| v * gv);
+                        self.accumulate(*mu, &dmu);
+                    }
+                }
+            }
+            self.nodes[idx].op = op;
+        }
+    }
+}
+
+impl std::fmt::Debug for Tape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Tape").field("nodes", &self.nodes.len()).finish()
+    }
+}
+
+#[inline]
+fn stable_sigmoid(x: f32) -> f32 {
+    if x >= 0.0 {
+        1.0 / (1.0 + (-x).exp())
+    } else {
+        let e = x.exp();
+        e / (1.0 + e)
+    }
+}
+
+#[inline]
+fn stable_softplus(x: f32) -> f32 {
+    x.max(0.0) + (1.0 + (-x.abs()).exp()).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grad_check::numeric_grad;
+    use adec_tensor::SeedRng;
+
+    /// Finite-difference check of a scalar function of a single input.
+    fn check_unary(build: impl Fn(&mut Tape, Var) -> Var, x: &Matrix, tol: f32) {
+        let mut tape = Tape::new();
+        let xv = tape.grad_leaf(x.clone());
+        let loss = build(&mut tape, xv);
+        tape.backward(loss);
+        let analytic = tape.grad(xv);
+
+        let numeric = numeric_grad(
+            |m| {
+                let mut t = Tape::new();
+                let v = t.leaf(m.clone());
+                let l = build(&mut t, v);
+                t.scalar(l)
+            },
+            x,
+            1e-2,
+        );
+        let diff = analytic.sub(&numeric).max_abs();
+        assert!(diff < tol, "gradient mismatch {diff}\nanalytic {analytic:?}\nnumeric {numeric:?}");
+    }
+
+    #[test]
+    fn grad_mean_of_square() {
+        let mut rng = SeedRng::new(1);
+        let x = Matrix::randn(3, 4, 0.0, 1.0, &mut rng);
+        check_unary(
+            |t, v| {
+                let s = t.square(v);
+                t.mean_all(s)
+            },
+            &x,
+            1e-3,
+        );
+    }
+
+    #[test]
+    fn grad_through_activations() {
+        let mut rng = SeedRng::new(2);
+        let x = Matrix::randn(2, 5, 0.0, 1.0, &mut rng);
+        for f in [
+            (|t: &mut Tape, v: Var| t.sigmoid(v)) as fn(&mut Tape, Var) -> Var,
+            |t, v| t.tanh(v),
+            |t, v| t.softplus(v),
+        ] {
+            check_unary(
+                |t, v| {
+                    let a = f(t, v);
+                    let s = t.square(a);
+                    t.sum_all(s)
+                },
+                &x,
+                5e-2,
+            );
+        }
+    }
+
+    #[test]
+    fn grad_relu_masks_negative() {
+        let x = Matrix::from_vec(1, 4, vec![-2.0, -0.5, 0.5, 2.0]);
+        let mut tape = Tape::new();
+        let xv = tape.grad_leaf(x);
+        let r = tape.relu(xv);
+        let loss = tape.sum_all(r);
+        tape.backward(loss);
+        assert_eq!(tape.grad(xv).as_slice(), &[0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn grad_matmul_both_sides() {
+        let mut rng = SeedRng::new(3);
+        let a0 = Matrix::randn(3, 4, 0.0, 1.0, &mut rng);
+        let b0 = Matrix::randn(4, 2, 0.0, 1.0, &mut rng);
+
+        let mut tape = Tape::new();
+        let a = tape.grad_leaf(a0.clone());
+        let b = tape.grad_leaf(b0.clone());
+        let c = tape.matmul(a, b);
+        let s = tape.square(c);
+        let loss = tape.sum_all(s);
+        tape.backward(loss);
+        let ga = tape.grad(a);
+        let gb = tape.grad(b);
+
+        let num_a = numeric_grad(
+            |m| {
+                let mut t = Tape::new();
+                let av = t.leaf(m.clone());
+                let bv = t.leaf(b0.clone());
+                let c = t.matmul(av, bv);
+                let s = t.square(c);
+                let l = t.sum_all(s);
+                t.scalar(l)
+            },
+            &a0,
+            1e-2,
+        );
+        let num_b = numeric_grad(
+            |m| {
+                let mut t = Tape::new();
+                let av = t.leaf(a0.clone());
+                let bv = t.leaf(m.clone());
+                let c = t.matmul(av, bv);
+                let s = t.square(c);
+                let l = t.sum_all(s);
+                t.scalar(l)
+            },
+            &b0,
+            1e-2,
+        );
+        assert!(ga.sub(&num_a).max_abs() < 5e-2);
+        assert!(gb.sub(&num_b).max_abs() < 5e-2);
+    }
+
+    #[test]
+    fn grad_bias_broadcast() {
+        let mut rng = SeedRng::new(4);
+        let x0 = Matrix::randn(5, 3, 0.0, 1.0, &mut rng);
+        let b0 = Matrix::randn(1, 3, 0.0, 1.0, &mut rng);
+        let mut tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let b = tape.grad_leaf(b0.clone());
+        let y = tape.add_bias(x, b);
+        let s = tape.square(y);
+        let loss = tape.sum_all(s);
+        tape.backward(loss);
+        let gb = tape.grad(b);
+        let num_b = numeric_grad(
+            |m| {
+                let mut t = Tape::new();
+                let xv = t.leaf(x0.clone());
+                let bv = t.leaf(m.clone());
+                let y = t.add_bias(xv, bv);
+                let s = t.square(y);
+                let l = t.sum_all(s);
+                t.scalar(l)
+            },
+            &b0,
+            1e-2,
+        );
+        assert!(gb.sub(&num_b).max_abs() < 5e-2);
+    }
+
+    #[test]
+    fn grad_row_scale() {
+        let mut rng = SeedRng::new(5);
+        let x0 = Matrix::randn(3, 2, 0.0, 1.0, &mut rng);
+        let w = vec![0.2, 0.7, 1.5];
+        let wc = w.clone();
+        check_unary(
+            move |t, v| {
+                let r = t.row_scale(v, &wc);
+                let s = t.square(r);
+                t.sum_all(s)
+            },
+            &x0,
+            5e-2,
+        );
+        let _ = w;
+    }
+
+    #[test]
+    fn grad_bce_with_logits() {
+        let mut rng = SeedRng::new(6);
+        let x0 = Matrix::randn(4, 1, 0.0, 2.0, &mut rng);
+        let t0 = Matrix::from_vec(4, 1, vec![1.0, 0.0, 1.0, 0.0]);
+        let targets = t0.clone();
+        check_unary(
+            move |t, v| t.bce_with_logits(v, &targets),
+            &x0,
+            1e-3,
+        );
+        let _ = t0;
+    }
+
+    #[test]
+    fn bce_forward_matches_naive() {
+        let x = Matrix::from_vec(1, 2, vec![0.3, -1.2]);
+        let t = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let mut tape = Tape::new();
+        let xv = tape.leaf(x.clone());
+        let loss = tape.bce_with_logits(xv, &t);
+        let got = tape.scalar(loss);
+        let naive = -((stable_sigmoid(0.3)).ln() + (1.0 - stable_sigmoid(-1.2)).ln()) / 2.0;
+        assert!((got - naive).abs() < 1e-5, "got {got} naive {naive}");
+    }
+
+    #[test]
+    fn grad_dec_kl_matches_finite_difference() {
+        let mut rng = SeedRng::new(7);
+        let z0 = Matrix::randn(6, 3, 0.0, 1.0, &mut rng);
+        let mu0 = Matrix::randn(2, 3, 0.0, 1.0, &mut rng);
+        let q = crate::loss::soft_assignment(&z0, &mu0, 1.0);
+        let p = crate::loss::target_distribution(&q);
+
+        let mut tape = Tape::new();
+        let z = tape.grad_leaf(z0.clone());
+        let mu = tape.grad_leaf(mu0.clone());
+        let loss = tape.dec_kl(z, mu, &p, 1.0);
+        tape.backward(loss);
+        let gz = tape.grad(z);
+        let gmu = tape.grad(mu);
+
+        let num_z = numeric_grad(
+            |m| {
+                let mut t = Tape::new();
+                let zv = t.leaf(m.clone());
+                let mv = t.leaf(mu0.clone());
+                let l = t.dec_kl(zv, mv, &p, 1.0);
+                t.scalar(l)
+            },
+            &z0,
+            1e-2,
+        );
+        let num_mu = numeric_grad(
+            |m| {
+                let mut t = Tape::new();
+                let zv = t.leaf(z0.clone());
+                let mv = t.leaf(m.clone());
+                let l = t.dec_kl(zv, mv, &p, 1.0);
+                t.scalar(l)
+            },
+            &mu0,
+            1e-2,
+        );
+        assert!(
+            gz.sub(&num_z).max_abs() < 5e-2,
+            "z grad mismatch {:?} vs {:?}",
+            gz,
+            num_z
+        );
+        assert!(
+            gmu.sub(&num_mu).max_abs() < 5e-2,
+            "mu grad mismatch {:?} vs {:?}",
+            gmu,
+            num_mu
+        );
+    }
+
+    #[test]
+    fn grad_row_sum() {
+        let mut rng = SeedRng::new(10);
+        let x = Matrix::randn(3, 4, 0.0, 1.0, &mut rng);
+        check_unary(
+            |t, v| {
+                let r = t.row_sum(v);
+                let s = t.square(r);
+                t.sum_all(s)
+            },
+            &x,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn grad_exp() {
+        let mut rng = SeedRng::new(9);
+        let x = Matrix::randn(2, 3, 0.0, 1.0, &mut rng);
+        check_unary(
+            |t, v| {
+                let e = t.exp(v);
+                t.sum_all(e)
+            },
+            &x,
+            5e-2,
+        );
+    }
+
+    #[test]
+    fn softmax_ce_forward_and_gradient() {
+        let mut rng = SeedRng::new(8);
+        let x0 = Matrix::randn(4, 3, 0.0, 1.5, &mut rng);
+        // One-hot targets.
+        let mut t = Matrix::zeros(4, 3);
+        for (i, c) in [0usize, 2, 1, 2].iter().enumerate() {
+            t.set(i, *c, 1.0);
+        }
+        let targets = t.clone();
+        check_unary(move |tape, v| tape.softmax_cross_entropy(v, &targets), &x0, 5e-3);
+
+        // Forward sanity: a confident correct logit has near-zero loss.
+        let logits = Matrix::from_vec(1, 2, vec![10.0, -10.0]);
+        let onehot = Matrix::from_vec(1, 2, vec![1.0, 0.0]);
+        let mut tape = Tape::new();
+        let lv = tape.leaf(logits);
+        let loss = tape.softmax_cross_entropy(lv, &onehot);
+        assert!(tape.scalar(loss) < 1e-3);
+    }
+
+    #[test]
+    fn shared_subexpression_accumulates() {
+        // loss = sum(x ∘ x) → grad = 2x even when both Mul operands are the
+        // same node.
+        let x0 = Matrix::from_vec(1, 3, vec![1.0, -2.0, 3.0]);
+        let mut tape = Tape::new();
+        let x = tape.grad_leaf(x0.clone());
+        let m = tape.mul(x, x);
+        let loss = tape.sum_all(m);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).as_slice(), &[2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn constants_receive_no_gradient() {
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::full(1, 2, 3.0));
+        let s = tape.square(x);
+        let loss = tape.sum_all(s);
+        tape.backward(loss);
+        assert_eq!(tape.grad(x).sum(), 0.0);
+    }
+}

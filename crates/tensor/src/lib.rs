@@ -1,0 +1,85 @@
+//! # adec-tensor
+//!
+//! The numeric substrate of the ADEC reproduction: a dense, row-major `f32`
+//! matrix type plus the linear algebra the paper's pipeline needs
+//! (blocked matrix multiplication, symmetric eigendecomposition, PCA,
+//! pairwise distances, kernels) and deterministic random number utilities.
+//!
+//! Everything is implemented from scratch — no BLAS, no `ndarray` — because
+//! the numeric kernel is part of what this reproduction rebuilds. The
+//! matrices here are small enough (thousands × thousands at most) that a
+//! cache-blocked ikj matmul is sufficient.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use adec_tensor::{Matrix, rng::SeedRng};
+//!
+//! let mut rng = SeedRng::new(7);
+//! let a = Matrix::randn(4, 3, 0.0, 1.0, &mut rng);
+//! let b = Matrix::randn(3, 2, 0.0, 1.0, &mut rng);
+//! let c = a.matmul(&b);
+//! assert_eq!(c.shape(), (4, 2));
+//! ```
+
+// Numeric kernels index with explicit loop counters throughout; the
+// iterator rewrites clippy suggests are less readable for the math here.
+#![allow(clippy::needless_range_loop)]
+#![warn(missing_docs)]
+
+pub mod linalg;
+pub mod matrix;
+pub mod rng;
+
+pub use linalg::{
+    gram_schmidt_rows, pairwise_sq_dists, pca, rbf_kernel, symmetric_eigen, EigenDecomposition,
+    Pca,
+};
+pub use matrix::Matrix;
+pub use rng::SeedRng;
+
+/// Errors surfaced by fallible tensor operations.
+///
+/// Shape mismatches in hot paths panic with a descriptive message (the
+/// idiomatic choice for a numeric kernel); this error type covers the
+/// conditions a caller can reasonably recover from.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// An iterative algorithm (e.g. the Jacobi eigensolver) failed to reach
+    /// its convergence tolerance within its sweep budget.
+    NoConvergence {
+        /// Human-readable name of the algorithm that failed.
+        algorithm: &'static str,
+        /// Number of iterations/sweeps performed before giving up.
+        iterations: usize,
+    },
+    /// A constructor received data whose length does not match `rows * cols`.
+    ShapeMismatch {
+        /// Expected number of elements.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// The operation requires a non-empty matrix.
+    Empty,
+}
+
+impl std::fmt::Display for TensorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TensorError::NoConvergence {
+                algorithm,
+                iterations,
+            } => write!(f, "{algorithm} did not converge after {iterations} iterations"),
+            TensorError::ShapeMismatch { expected, actual } => {
+                write!(f, "shape mismatch: expected {expected} elements, got {actual}")
+            }
+            TensorError::Empty => write!(f, "operation requires a non-empty matrix"),
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}
+
+/// Convenience alias for tensor results.
+pub type Result<T> = std::result::Result<T, TensorError>;

@@ -1,0 +1,372 @@
+//! Linear-algebra routines built on [`Matrix`]: symmetric eigendecomposition
+//! (cyclic Jacobi), PCA, pairwise distances, kernels, and Gram–Schmidt
+//! orthogonalization.
+//!
+//! These back the spectral/kernel clustering baselines, the 2-D embedding
+//! visualizations (paper Fig. 13), and the semi-orthogonal encoder used in
+//! the Theorem 1 verification.
+
+use crate::matrix::Matrix;
+use crate::TensorError;
+
+/// Result of a symmetric eigendecomposition `A = V · diag(λ) · Vᵀ`.
+///
+/// Eigenpairs are sorted by **descending** eigenvalue; eigenvectors are the
+/// *columns* of `vectors`.
+#[derive(Debug, Clone)]
+pub struct EigenDecomposition {
+    /// Eigenvalues in descending order.
+    pub values: Vec<f32>,
+    /// Orthonormal eigenvectors as columns, aligned with `values`.
+    pub vectors: Matrix,
+}
+
+/// Symmetric eigendecomposition via the cyclic Jacobi rotation method.
+///
+/// `a` must be square and (numerically) symmetric; the routine works on
+/// `(a + aᵀ)/2` to be robust to small asymmetries. Complexity is
+/// O(n³ · sweeps); fine for the `n ≤ ~2000` affinity matrices the
+/// clustering baselines produce.
+///
+/// # Errors
+/// Returns [`TensorError::NoConvergence`] if the off-diagonal mass does not
+/// fall below tolerance within 100 sweeps, and [`TensorError::Empty`] for an
+/// empty input.
+pub fn symmetric_eigen(a: &Matrix) -> crate::Result<EigenDecomposition> {
+    let n = a.rows();
+    assert_eq!(a.rows(), a.cols(), "symmetric_eigen: matrix must be square");
+    if n == 0 {
+        return Err(TensorError::Empty);
+    }
+    // Work on the symmetrized copy.
+    let mut m = a.zip_with(&a.transpose(), |x, y| 0.5 * (x + y));
+    let mut v = Matrix::eye(n);
+
+    let off_diag_norm = |m: &Matrix| -> f32 {
+        let mut s = 0.0f32;
+        for r in 0..n {
+            for c in 0..n {
+                if r != c {
+                    s += m.get(r, c) * m.get(r, c);
+                }
+            }
+        }
+        s.sqrt()
+    };
+
+    let scale = m.max_abs().max(1e-12);
+    let tol = 1e-7 * scale * n as f32;
+    const MAX_SWEEPS: usize = 100;
+    let mut converged = false;
+    for _sweep in 0..MAX_SWEEPS {
+        if off_diag_norm(&m) <= tol {
+            converged = true;
+            break;
+        }
+        for p in 0..n {
+            for q in (p + 1)..n {
+                let apq = m.get(p, q);
+                if apq.abs() <= tol / (n as f32 * n as f32).max(1.0) {
+                    continue;
+                }
+                let app = m.get(p, p);
+                let aqq = m.get(q, q);
+                let theta = 0.5 * (aqq - app) / apq;
+                // Stable computation of tan of the rotation angle.
+                let t = if theta >= 0.0 {
+                    1.0 / (theta + (1.0 + theta * theta).sqrt())
+                } else {
+                    -1.0 / (-theta + (1.0 + theta * theta).sqrt())
+                };
+                let c = 1.0 / (1.0 + t * t).sqrt();
+                let s = t * c;
+
+                // Apply the Givens rotation to rows/cols p and q of M.
+                for k in 0..n {
+                    let mkp = m.get(k, p);
+                    let mkq = m.get(k, q);
+                    m.set(k, p, c * mkp - s * mkq);
+                    m.set(k, q, s * mkp + c * mkq);
+                }
+                for k in 0..n {
+                    let mpk = m.get(p, k);
+                    let mqk = m.get(q, k);
+                    m.set(p, k, c * mpk - s * mqk);
+                    m.set(q, k, s * mpk + c * mqk);
+                }
+                // Accumulate the rotation into V.
+                for k in 0..n {
+                    let vkp = v.get(k, p);
+                    let vkq = v.get(k, q);
+                    v.set(k, p, c * vkp - s * vkq);
+                    v.set(k, q, s * vkp + c * vkq);
+                }
+            }
+        }
+    }
+    if !converged && off_diag_norm(&m) > tol {
+        return Err(TensorError::NoConvergence {
+            algorithm: "jacobi eigensolver",
+            iterations: MAX_SWEEPS,
+        });
+    }
+
+    // Sort eigenpairs by descending eigenvalue.
+    let mut pairs: Vec<(f32, usize)> = (0..n).map(|i| (m.get(i, i), i)).collect();
+    pairs.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    let values: Vec<f32> = pairs.iter().map(|&(val, _)| val).collect();
+    let mut vectors = Matrix::zeros(n, n);
+    for (new_col, &(_, old_col)) in pairs.iter().enumerate() {
+        for r in 0..n {
+            vectors.set(r, new_col, v.get(r, old_col));
+        }
+    }
+    Ok(EigenDecomposition { values, vectors })
+}
+
+/// A fitted principal-component analysis model.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    /// Per-feature means subtracted before projection.
+    pub mean: Vec<f32>,
+    /// Principal axes as columns (`d × k`), unit-norm, by descending variance.
+    pub components: Matrix,
+    /// Variance explained by each retained component.
+    pub explained_variance: Vec<f32>,
+}
+
+impl Pca {
+    /// Projects `x` (`n × d`) onto the retained components (`n × k`).
+    pub fn transform(&self, x: &Matrix) -> Matrix {
+        assert_eq!(x.cols(), self.mean.len(), "Pca::transform: width mismatch");
+        let centered = Matrix::from_fn(x.rows(), x.cols(), |r, c| x.get(r, c) - self.mean[c]);
+        centered.matmul(&self.components)
+    }
+}
+
+/// Fits PCA with `k` components on the rows of `x` via eigendecomposition
+/// of the covariance matrix.
+///
+/// # Errors
+/// Propagates eigensolver failure; returns [`TensorError::Empty`] for an
+/// empty input.
+pub fn pca(x: &Matrix, k: usize) -> crate::Result<Pca> {
+    if x.rows() == 0 || x.cols() == 0 {
+        return Err(TensorError::Empty);
+    }
+    let k = k.min(x.cols());
+    let mean = x.col_means();
+    let centered = Matrix::from_fn(x.rows(), x.cols(), |r, c| x.get(r, c) - mean[c]);
+    let denom = (x.rows().max(2) - 1) as f32;
+    let cov = centered.matmul_tn(&centered).scale(1.0 / denom);
+    let eig = symmetric_eigen(&cov)?;
+    let mut components = Matrix::zeros(x.cols(), k);
+    for c in 0..k {
+        for r in 0..x.cols() {
+            components.set(r, c, eig.vectors.get(r, c));
+        }
+    }
+    Ok(Pca {
+        mean,
+        components,
+        explained_variance: eig.values[..k].to_vec(),
+    })
+}
+
+/// All-pairs squared Euclidean distances between the rows of `a` (`n × d`)
+/// and the rows of `b` (`m × d`), returned as an `n × m` matrix.
+///
+/// Uses the `‖a‖² + ‖b‖² − 2a·b` expansion and clamps tiny negative values
+/// caused by floating-point cancellation to zero.
+pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
+    assert_eq!(a.cols(), b.cols(), "pairwise_sq_dists: dimension mismatch");
+    let a_sq: Vec<f32> = (0..a.rows()).map(|r| a.row(r).iter().map(|v| v * v).sum()).collect();
+    let b_sq: Vec<f32> = (0..b.rows()).map(|r| b.row(r).iter().map(|v| v * v).sum()).collect();
+    let mut out = a.matmul_nt(b);
+    for r in 0..out.rows() {
+        for c in 0..out.cols() {
+            let d = a_sq[r] + b_sq[c] - 2.0 * out.get(r, c);
+            out.set(r, c, d.max(0.0));
+        }
+    }
+    out
+}
+
+/// RBF (Gaussian) kernel matrix `K(i,j) = exp(−γ‖xᵢ − xⱼ‖²)` over the rows
+/// of `x`.
+pub fn rbf_kernel(x: &Matrix, gamma: f32) -> Matrix {
+    let mut k = pairwise_sq_dists(x, x);
+    k.map_inplace(|d| (-gamma * d).exp());
+    k
+}
+
+/// Orthonormalizes the rows of `a` in place via modified Gram–Schmidt and
+/// returns the result. Rows that become numerically zero are replaced by
+/// zero rows.
+///
+/// Used to build the semi-orthogonal linear encoder (`A · Aᵀ = I` on rows,
+/// i.e. `AᵀA = I_d` for the paper's column convention after transposing)
+/// required by the Theorem 1 decomposition check.
+pub fn gram_schmidt_rows(a: &Matrix) -> Matrix {
+    let mut out = a.clone();
+    let (rows, cols) = out.shape();
+    for i in 0..rows {
+        for j in 0..i {
+            let dot: f32 = out
+                .row(i)
+                .iter()
+                .zip(out.row(j).iter())
+                .map(|(&x, &y)| x * y)
+                .sum();
+            let row_j = out.row(j).to_vec();
+            for (v, &w) in out.row_mut(i).iter_mut().zip(row_j.iter()) {
+                *v -= dot * w;
+            }
+        }
+        let norm: f32 = out.row(i).iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm > 1e-8 {
+            for v in out.row_mut(i).iter_mut() {
+                *v /= norm;
+            }
+        } else {
+            for v in out.row_mut(i).iter_mut() {
+                *v = 0.0;
+            }
+            let _ = cols; // silence unused when rows > cols edge case documented
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SeedRng;
+
+    #[test]
+    fn eigen_of_diagonal_matrix() {
+        let a = Matrix::from_vec(3, 3, vec![3.0, 0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0, 2.0]);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-5);
+        assert!((eig.values[1] - 2.0).abs() < 1e-5);
+        assert!((eig.values[2] - 1.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn eigen_known_2x2() {
+        // [[2,1],[1,2]] has eigenvalues 3 and 1.
+        let a = Matrix::from_vec(2, 2, vec![2.0, 1.0, 1.0, 2.0]);
+        let eig = symmetric_eigen(&a).unwrap();
+        assert!((eig.values[0] - 3.0).abs() < 1e-5);
+        assert!((eig.values[1] - 1.0).abs() < 1e-5);
+        // Eigenvector for 3 is (1,1)/sqrt(2) up to sign.
+        let v0 = eig.vectors.col(0);
+        assert!((v0[0].abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 1e-4);
+        assert!((v0[0] - v0[1]).abs() < 1e-4);
+    }
+
+    #[test]
+    fn eigen_reconstructs_matrix() {
+        let mut rng = SeedRng::new(21);
+        let b = Matrix::randn(6, 6, 0.0, 1.0, &mut rng);
+        let a = b.matmul_tn(&b); // symmetric PSD
+        let eig = symmetric_eigen(&a).unwrap();
+        // Rebuild V diag(λ) Vᵀ.
+        let n = 6;
+        let mut lam = Matrix::zeros(n, n);
+        for i in 0..n {
+            lam.set(i, i, eig.values[i]);
+        }
+        let rebuilt = eig.vectors.matmul(&lam).matmul(&eig.vectors.transpose());
+        assert!(a.sub(&rebuilt).max_abs() < 1e-3, "{:?}", a.sub(&rebuilt).max_abs());
+    }
+
+    #[test]
+    fn eigen_vectors_orthonormal() {
+        let mut rng = SeedRng::new(22);
+        let b = Matrix::randn(5, 5, 0.0, 1.0, &mut rng);
+        let a = b.add(&b.transpose());
+        let eig = symmetric_eigen(&a).unwrap();
+        let vtv = eig.vectors.matmul_tn(&eig.vectors);
+        assert!(vtv.sub(&Matrix::eye(5)).max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn pca_recovers_dominant_direction() {
+        // Points along (1, 1) with tiny orthogonal noise.
+        let mut rng = SeedRng::new(23);
+        let mut rows = Vec::new();
+        for _ in 0..200 {
+            let t = rng.normal(0.0, 3.0);
+            let e = rng.normal(0.0, 0.05);
+            rows.push(vec![t + e, t - e]);
+        }
+        let x = Matrix::from_rows(&rows);
+        let model = pca(&x, 1).unwrap();
+        let axis = model.components.col(0);
+        // Axis should be ±(1,1)/sqrt(2).
+        assert!((axis[0].abs() - std::f32::consts::FRAC_1_SQRT_2).abs() < 0.02);
+        assert!((axis[0] - axis[1]).abs() < 0.05);
+        assert!(model.explained_variance[0] > 8.0);
+    }
+
+    #[test]
+    fn pca_transform_shape_and_centering() {
+        let x = Matrix::from_vec(4, 3, (0..12).map(|v| v as f32).collect());
+        let model = pca(&x, 2).unwrap();
+        let z = model.transform(&x);
+        assert_eq!(z.shape(), (4, 2));
+        // Projection of centered data has (near) zero column means.
+        for &m in z.col_means().iter() {
+            assert!(m.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn pairwise_distances_match_naive() {
+        let mut rng = SeedRng::new(24);
+        let a = Matrix::randn(5, 4, 0.0, 1.0, &mut rng);
+        let b = Matrix::randn(3, 4, 0.0, 1.0, &mut rng);
+        let d = pairwise_sq_dists(&a, &b);
+        for i in 0..5 {
+            for j in 0..3 {
+                let naive: f32 = a
+                    .row(i)
+                    .iter()
+                    .zip(b.row(j).iter())
+                    .map(|(&x, &y)| (x - y) * (x - y))
+                    .sum();
+                assert!((d.get(i, j) - naive).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn rbf_kernel_properties() {
+        let mut rng = SeedRng::new(25);
+        let x = Matrix::randn(6, 3, 0.0, 1.0, &mut rng);
+        let k = rbf_kernel(&x, 0.5);
+        for i in 0..6 {
+            assert!((k.get(i, i) - 1.0).abs() < 1e-6);
+            for j in 0..6 {
+                assert!(k.get(i, j) > 0.0 && k.get(i, j) <= 1.0 + 1e-6);
+                assert!((k.get(i, j) - k.get(j, i)).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn gram_schmidt_produces_orthonormal_rows() {
+        let mut rng = SeedRng::new(26);
+        let a = Matrix::randn(3, 8, 0.0, 1.0, &mut rng);
+        let q = gram_schmidt_rows(&a);
+        let qqt = q.matmul_nt(&q);
+        assert!(qqt.sub(&Matrix::eye(3)).max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn eigen_empty_errors() {
+        let a = Matrix::zeros(0, 0);
+        assert!(matches!(symmetric_eigen(&a), Err(TensorError::Empty)));
+    }
+}

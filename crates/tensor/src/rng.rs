@@ -1,0 +1,218 @@
+//! Deterministic random number utilities.
+//!
+//! Every stochastic component in the workspace (weight initialization,
+//! mini-batch sampling, dataset simulation, augmentation) draws from a
+//! [`SeedRng`], so a single `u64` seed makes an entire experiment
+//! reproducible down to the last gradient step.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A seeded random source with the distributions the workspace needs.
+///
+/// Thin wrapper over `rand::StdRng` that adds Gaussian sampling
+/// (Box–Muller with caching) and permutation helpers.
+pub struct SeedRng {
+    inner: StdRng,
+    gauss_cache: Option<f32>,
+}
+
+impl std::fmt::Debug for SeedRng {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SeedRng").finish_non_exhaustive()
+    }
+}
+
+impl SeedRng {
+    /// Creates a generator from a 64-bit seed.
+    pub fn new(seed: u64) -> Self {
+        SeedRng {
+            inner: StdRng::seed_from_u64(seed),
+            gauss_cache: None,
+        }
+    }
+
+    /// Derives an independent child generator; useful for giving each
+    /// component (dataset, model init, batching) its own stream while
+    /// keeping a single experiment-level seed.
+    pub fn fork(&mut self, stream: u64) -> SeedRng {
+        let base: u64 = self.inner.gen();
+        SeedRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Uniform sample in `[lo, hi)`.
+    pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.inner.gen::<f32>()
+    }
+
+    /// Uniform sample in `[0, 1)`.
+    pub fn unit(&mut self) -> f32 {
+        self.inner.gen::<f32>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "SeedRng::below: n must be positive");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Standard normal sample via Box–Muller (second value cached).
+    pub fn standard_normal(&mut self) -> f32 {
+        if let Some(v) = self.gauss_cache.take() {
+            return v;
+        }
+        // Reject u1 == 0 to keep ln finite.
+        let mut u1 = self.inner.gen::<f32>();
+        while u1 <= f32::MIN_POSITIVE {
+            u1 = self.inner.gen::<f32>();
+        }
+        let u2 = self.inner.gen::<f32>();
+        let r = (-2.0 * u1.ln()).sqrt();
+        let theta = 2.0 * std::f32::consts::PI * u2;
+        self.gauss_cache = Some(r * theta.sin());
+        r * theta.cos()
+    }
+
+    /// Gaussian sample `N(mean, std²)`.
+    pub fn normal(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.standard_normal()
+    }
+
+    /// Bernoulli draw with probability `p`.
+    pub fn coin(&mut self, p: f32) -> bool {
+        self.inner.gen::<f32>() < p
+    }
+
+    /// Fisher–Yates shuffle in place.
+    pub fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = self.inner.gen_range(0..=i);
+            xs.swap(i, j);
+        }
+    }
+
+    /// Random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx
+    }
+
+    /// Samples `k` distinct indices from `0..n` (k ≤ n) in random order.
+    pub fn sample_indices(&mut self, n: usize, k: usize) -> Vec<usize> {
+        assert!(k <= n, "sample_indices: k={k} > n={n}");
+        let mut perm = self.permutation(n);
+        perm.truncate(k);
+        perm
+    }
+
+    /// Samples an index from a (not necessarily normalized) non-negative
+    /// weight vector. Falls back to uniform if all weights are zero.
+    pub fn weighted_index(&mut self, weights: &[f32]) -> usize {
+        let total: f32 = weights.iter().sum();
+        if total <= 0.0 {
+            return self.below(weights.len());
+        }
+        let mut target = self.uniform(0.0, total);
+        for (i, &w) in weights.iter().enumerate() {
+            target -= w;
+            if target <= 0.0 {
+                return i;
+            }
+        }
+        weights.len() - 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn determinism_same_seed() {
+        let mut a = SeedRng::new(99);
+        let mut b = SeedRng::new(99);
+        for _ in 0..100 {
+            assert_eq!(a.unit(), b.unit());
+            assert_eq!(a.standard_normal(), b.standard_normal());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = SeedRng::new(1);
+        let mut b = SeedRng::new(2);
+        let va: Vec<f32> = (0..8).map(|_| a.unit()).collect();
+        let vb: Vec<f32> = (0..8).map(|_| b.unit()).collect();
+        assert_ne!(va, vb);
+    }
+
+    #[test]
+    fn fork_streams_are_independent() {
+        let mut root = SeedRng::new(7);
+        let mut c1 = root.fork(1);
+        let mut c2 = root.fork(2);
+        let v1: Vec<f32> = (0..8).map(|_| c1.unit()).collect();
+        let v2: Vec<f32> = (0..8).map(|_| c2.unit()).collect();
+        assert_ne!(v1, v2);
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = SeedRng::new(5);
+        let xs: Vec<f32> = (0..20000).map(|_| rng.normal(3.0, 0.5)).collect();
+        let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+        let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / xs.len() as f32;
+        assert!((mean - 3.0).abs() < 0.02);
+        assert!((var - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = SeedRng::new(11);
+        let mut p = rng.permutation(50);
+        p.sort_unstable();
+        assert_eq!(p, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn sample_indices_distinct() {
+        let mut rng = SeedRng::new(13);
+        let s = rng.sample_indices(20, 10);
+        let mut sorted = s.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 10);
+    }
+
+    #[test]
+    fn weighted_index_respects_weights() {
+        let mut rng = SeedRng::new(17);
+        let weights = [0.0, 0.0, 1.0];
+        for _ in 0..50 {
+            assert_eq!(rng.weighted_index(&weights), 2);
+        }
+        // Rough frequency check.
+        let weights = [1.0, 3.0];
+        let mut hits = 0usize;
+        let n = 20000;
+        for _ in 0..n {
+            if rng.weighted_index(&weights) == 1 {
+                hits += 1;
+            }
+        }
+        let frac = hits as f32 / n as f32;
+        assert!((frac - 0.75).abs() < 0.02, "frac {frac}");
+    }
+
+    #[test]
+    fn below_in_range() {
+        let mut rng = SeedRng::new(19);
+        for _ in 0..100 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+}

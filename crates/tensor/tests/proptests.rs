@@ -1,0 +1,131 @@
+//! Property-based tests for the tensor substrate: algebraic identities of
+//! the matrix kernels and spectral invariants of the eigensolver.
+
+use adec_tensor::{gram_schmidt_rows, pairwise_sq_dists, rbf_kernel, symmetric_eigen, Matrix, SeedRng};
+use proptest::prelude::*;
+
+fn random_matrix(seed: u64, rows: usize, cols: usize) -> Matrix {
+    let mut rng = SeedRng::new(seed);
+    Matrix::randn(rows, cols, 0.0, 1.0, &mut rng)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn matmul_distributes_over_addition(seed in 0u64..10_000) {
+        // A(B + C) = AB + AC at f32 tolerance.
+        let a = random_matrix(seed, 4, 5);
+        let b = random_matrix(seed.wrapping_add(1), 5, 3);
+        let c = random_matrix(seed.wrapping_add(2), 5, 3);
+        let left = a.matmul(&b.add(&c));
+        let right = a.matmul(&b).add(&a.matmul(&c));
+        prop_assert!(left.sub(&right).max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn transpose_reverses_products(seed in 0u64..10_000) {
+        // (AB)ᵀ = BᵀAᵀ.
+        let a = random_matrix(seed, 3, 4);
+        let b = random_matrix(seed.wrapping_add(9), 4, 6);
+        let left = a.matmul(&b).transpose();
+        let right = b.transpose().matmul(&a.transpose());
+        prop_assert!(left.sub(&right).max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn fused_transpose_products_agree(seed in 0u64..10_000, m in 2usize..6, k in 2usize..6, n in 2usize..6) {
+        let a = random_matrix(seed, k, m);
+        let b = random_matrix(seed.wrapping_add(3), k, n);
+        let fused = a.matmul_tn(&b);
+        let explicit = a.transpose().matmul(&b);
+        prop_assert!(fused.sub(&explicit).max_abs() < 1e-4);
+
+        let c = random_matrix(seed.wrapping_add(4), m, k);
+        let d = random_matrix(seed.wrapping_add(5), n, k);
+        let fused = c.matmul_nt(&d);
+        let explicit = c.matmul(&d.transpose());
+        prop_assert!(fused.sub(&explicit).max_abs() < 1e-4);
+    }
+
+    #[test]
+    fn pairwise_distances_are_a_metric_core(seed in 0u64..10_000, n in 2usize..8) {
+        let x = random_matrix(seed, n, 3);
+        let d = pairwise_sq_dists(&x, &x);
+        for i in 0..n {
+            prop_assert!(d.get(i, i) < 1e-4, "self-distance must vanish");
+            for j in 0..n {
+                prop_assert!(d.get(i, j) >= 0.0);
+                prop_assert!((d.get(i, j) - d.get(j, i)).abs() < 1e-4, "symmetry");
+            }
+        }
+    }
+
+    #[test]
+    fn eigen_preserves_trace_and_reconstructs(seed in 0u64..2_000, n in 2usize..7) {
+        let b = random_matrix(seed, n, n);
+        let a = b.matmul_tn(&b); // symmetric PSD
+        let eig = symmetric_eigen(&a).unwrap();
+        // Trace = sum of eigenvalues.
+        let trace: f32 = (0..n).map(|i| a.get(i, i)).sum();
+        let lam_sum: f32 = eig.values.iter().sum();
+        prop_assert!((trace - lam_sum).abs() < 1e-2 * trace.abs().max(1.0));
+        // PSD → all eigenvalues ≥ −ε.
+        prop_assert!(eig.values.iter().all(|&l| l > -1e-3));
+        // Eigenvalues sorted descending.
+        for w in eig.values.windows(2) {
+            prop_assert!(w[0] >= w[1] - 1e-5);
+        }
+        // A v = λ v for the top eigenpair.
+        let v0 = Matrix::from_vec(n, 1, eig.vectors.col(0));
+        let av = a.matmul(&v0);
+        let lv = v0.scale(eig.values[0]);
+        prop_assert!(av.sub(&lv).max_abs() < 1e-2 * eig.values[0].abs().max(1.0));
+    }
+
+    #[test]
+    fn gram_schmidt_rows_are_orthonormal(seed in 0u64..10_000, rows in 1usize..5) {
+        let a = random_matrix(seed, rows, 8);
+        let q = gram_schmidt_rows(&a);
+        let qqt = q.matmul_nt(&q);
+        prop_assert!(qqt.sub(&Matrix::eye(rows)).max_abs() < 1e-3);
+    }
+
+    #[test]
+    fn rbf_kernel_is_psd_on_small_sets(seed in 0u64..2_000) {
+        // All eigenvalues of an RBF Gram matrix are ≥ −ε.
+        let x = random_matrix(seed, 6, 3);
+        let k = rbf_kernel(&x, 0.7);
+        let eig = symmetric_eigen(&k).unwrap();
+        prop_assert!(eig.values.iter().all(|&l| l > -1e-3), "{:?}", eig.values);
+    }
+
+    #[test]
+    fn row_normalization_is_idempotent(seed in 0u64..10_000) {
+        let a = random_matrix(seed, 5, 4);
+        let once = a.normalize_rows();
+        let twice = once.normalize_rows();
+        prop_assert!(once.sub(&twice).max_abs() < 1e-5);
+        for &n in &once.row_norms() {
+            prop_assert!((n - 1.0).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn gather_then_vstack_roundtrip(seed in 0u64..10_000, n in 2usize..8) {
+        let a = random_matrix(seed, n, 3);
+        let top = a.slice_rows(0, n / 2);
+        let bottom = a.slice_rows(n / 2, n);
+        let rebuilt = top.vstack(&bottom);
+        prop_assert_eq!(rebuilt, a);
+    }
+
+    #[test]
+    fn rng_streams_reproduce(seed in 0u64..10_000) {
+        let mut a = SeedRng::new(seed);
+        let mut b = SeedRng::new(seed);
+        let xs: Vec<f32> = (0..16).map(|_| a.normal(0.0, 1.0)).collect();
+        let ys: Vec<f32> = (0..16).map(|_| b.normal(0.0, 1.0)).collect();
+        prop_assert_eq!(xs, ys);
+    }
+}

@@ -1,0 +1,73 @@
+//! Quickstart: pretrain an autoencoder with the paper's ACAI strategy and
+//! cluster a synthetic digits dataset with ADEC, comparing against the
+//! DEC/IDEC baselines and plain k-means.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use adec_classic::{kmeans, KMeansConfig};
+use adec_core::prelude::*;
+use adec_core::pretrain::PretrainConfig;
+use adec_core::ArchPreset;
+use adec_datagen::{Benchmark, Size};
+use adec_metrics::{accuracy, nmi};
+use adec_tensor::SeedRng;
+
+fn main() {
+    // 1) A 10-class synthetic digits dataset (MNIST-test analog).
+    let ds = Benchmark::DigitsTest.generate(Size::Small, 7);
+    println!(
+        "dataset: {} — {} samples, {} dims, {} classes",
+        ds.name,
+        ds.len(),
+        ds.dim(),
+        ds.n_classes
+    );
+
+    // Raw-space k-means floor.
+    let mut rng = SeedRng::new(7);
+    let km = kmeans(&ds.data, &KMeansConfig::new(ds.n_classes), &mut rng);
+    println!(
+        "k-means (raw space):      ACC {:.3}  NMI {:.3}",
+        accuracy(&ds.labels, &km.labels),
+        nmi(&ds.labels, &km.labels)
+    );
+
+    // 2) Session: autoencoder + ACAI/augmentation pretraining (paper §4.1).
+    let mut session = Session::new(&ds, ArchPreset::Medium, 7);
+    let stats = session.pretrain(&PretrainConfig::acai_fast());
+    println!(
+        "pretrained: reconstruction MSE {:.4} ({} iterations)",
+        stats.final_reconstruction_mse, stats.iterations
+    );
+
+    // 3) The three fine-tuning strategies, all from the same weights.
+    let k = ds.n_classes;
+    let dec = session.run_dec(&DecConfig::fast(k));
+    println!(
+        "DEC  (no regularizer):    ACC {:.3}  NMI {:.3}  ({} iters{})",
+        dec.acc(&ds.labels),
+        dec.nmi(&ds.labels),
+        dec.iterations,
+        if dec.converged { ", converged" } else { "" }
+    );
+
+    let idec = session.run_idec(&IdecConfig::fast(k));
+    println!(
+        "IDEC (reconstruction):    ACC {:.3}  NMI {:.3}  ({} iters{})",
+        idec.acc(&ds.labels),
+        idec.nmi(&ds.labels),
+        idec.iterations,
+        if idec.converged { ", converged" } else { "" }
+    );
+
+    let adec = session.run_adec(&AdecConfig::fast(k));
+    println!(
+        "ADEC (adversarial):       ACC {:.3}  NMI {:.3}  ({} iters{})",
+        adec.acc(&ds.labels),
+        adec.nmi(&ds.labels),
+        adec.iterations,
+        if adec.converged { ", converged" } else { "" }
+    );
+}

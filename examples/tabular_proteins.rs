@@ -1,0 +1,75 @@
+//! Tabular-data pipeline on the synthetic protein-expression dataset
+//! (Mice Protein analog): small-N, 77-dimensional, nonlinear cluster
+//! structure — the regime where the paper reports deep methods with plain
+//! pretraining failing (DEC 0.184, IDEC 0.196) and ADEC's pretraining
+//! making the difference.
+//!
+//! ```sh
+//! cargo run --release --example tabular_proteins
+//! ```
+
+use adec_classic::{gmm::fit as gmm_fit, kmeans, ward_agglomerative, GmmConfig, KMeansConfig};
+use adec_core::prelude::*;
+use adec_core::pretrain::PretrainConfig;
+use adec_core::ArchPreset;
+use adec_datagen::{Benchmark, Size};
+use adec_metrics::{accuracy, nmi};
+use adec_tensor::SeedRng;
+
+fn main() {
+    let ds = Benchmark::Protein.generate(Size::Small, 13);
+    println!(
+        "{}: {} samples × {} protein channels, {} classes\n",
+        ds.name,
+        ds.len(),
+        ds.dim(),
+        ds.n_classes
+    );
+    let k = ds.n_classes;
+    let mut rng = SeedRng::new(13);
+
+    let km = kmeans(&ds.data, &KMeansConfig::new(k), &mut rng);
+    println!(
+        "k-means:                ACC {:.3}  NMI {:.3}",
+        accuracy(&ds.labels, &km.labels),
+        nmi(&ds.labels, &km.labels)
+    );
+    let gm = gmm_fit(&ds.data, &GmmConfig::new(k), &mut rng);
+    println!(
+        "GMM:                    ACC {:.3}  NMI {:.3}",
+        accuracy(&ds.labels, &gm.labels),
+        nmi(&ds.labels, &gm.labels)
+    );
+    let ac = ward_agglomerative(&ds.data, k);
+    println!(
+        "agglomerative (Ward):   ACC {:.3}  NMI {:.3}",
+        accuracy(&ds.labels, &ac),
+        nmi(&ds.labels, &ac)
+    );
+
+    // Deep pipeline. Tabular data gets no augmentation (paper's †), only
+    // the ACAI interpolation regularizer.
+    let mut session = Session::new(&ds, ArchPreset::Medium, 13);
+    session.pretrain(&PretrainConfig::acai_fast());
+    let adec = session.run_adec(&AdecConfig::fast(k));
+    println!(
+        "ADEC:                   ACC {:.3}  NMI {:.3}",
+        adec.acc(&ds.labels),
+        adec.nmi(&ds.labels)
+    );
+
+    // Per-cluster composition.
+    println!("\ncluster composition (rows = predicted clusters):");
+    for cluster in 0..k {
+        let mut counts = vec![0usize; k];
+        for i in 0..ds.len() {
+            if adec.labels[i] == cluster {
+                counts[ds.labels[i]] += 1;
+            }
+        }
+        let total: usize = counts.iter().sum();
+        if total > 0 {
+            println!("  cluster {cluster} ({total:>3} samples): {counts:?}");
+        }
+    }
+}

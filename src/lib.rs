@@ -1,0 +1,13 @@
+//! # adec-suite
+//!
+//! Workspace-level façade for the ADEC reproduction. Re-exports the public
+//! surface of every crate so examples and integration tests can use a single
+//! import root. Library users should depend on the individual crates
+//! (`adec-core`, `adec-classic`, …) directly.
+
+pub use adec_classic as classic;
+pub use adec_core as core;
+pub use adec_datagen as datagen;
+pub use adec_metrics as metrics;
+pub use adec_nn as nn;
+pub use adec_tensor as tensor;

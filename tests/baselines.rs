@@ -1,0 +1,96 @@
+//! Integration tests running the Table-1 baseline suite against the
+//! dataset simulators — every algorithm must produce a valid partition and
+//! land in a sane quality band on the benchmark it is suited to.
+
+use adec_classic::*;
+use adec_datagen::{Benchmark, Size};
+use adec_metrics::accuracy;
+use adec_tensor::SeedRng;
+
+fn valid_partition(labels: &[usize], n: usize, k: usize) {
+    assert_eq!(labels.len(), n);
+    assert!(labels.iter().all(|&l| l < k + 1), "label out of range");
+}
+
+#[test]
+fn classical_suite_on_protein() {
+    let ds = Benchmark::Protein.generate(Size::Small, 1);
+    let k = ds.n_classes;
+    let mut rng = SeedRng::new(1);
+
+    let km = kmeans(&ds.data, &KMeansConfig::new(k), &mut rng);
+    valid_partition(&km.labels, ds.len(), k);
+    let km_acc = accuracy(&ds.labels, &km.labels);
+    assert!(km_acc > 1.5 / k as f32, "k-means near chance: {km_acc}");
+
+    let gm = gmm::fit(&ds.data, &GmmConfig::new(k), &mut rng);
+    valid_partition(&gm.labels, ds.len(), k);
+
+    let ac = ward_agglomerative(&ds.data, k);
+    valid_partition(&ac, ds.len(), k);
+
+    let nm = lsnmf_cluster(&ds.data, k, &mut rng);
+    valid_partition(&nm, ds.len(), k);
+}
+
+#[test]
+fn manifold_suite_on_digits() {
+    let ds = Benchmark::DigitsUsps.generate(Size::Small, 2);
+    let k = ds.n_classes;
+    let mut rng = SeedRng::new(2);
+
+    let sc = spectral_clustering(&ds.data, &SpectralConfig::new(k), &mut rng);
+    valid_partition(&sc, ds.len(), k);
+
+    let kk = rbf_kernel_kmeans(&ds.data, k, &mut rng);
+    valid_partition(&kk, ds.len(), k);
+
+    let fi = finch(&ds.data, k);
+    valid_partition(&fi, ds.len(), k);
+}
+
+#[test]
+fn subspace_suite_on_tfidf() {
+    // The paper's subspace rows on text are weak but must run.
+    let ds = Benchmark::Tfidf.generate(Size::Small, 3);
+    let k = ds.n_classes;
+    let mut rng = SeedRng::new(3);
+
+    let mut cfg = SscOmpConfig::new(k);
+    cfg.dict_size = 40; // keep the integration test quick
+    let pred = ssc_omp(&ds.data, &cfg, &mut rng);
+    valid_partition(&pred, ds.len(), k);
+
+    let mut cfg = EnscConfig::new(k);
+    cfg.dict_size = 40;
+    let pred = ensc(&ds.data, &cfg, &mut rng);
+    valid_partition(&pred, ds.len(), k);
+}
+
+#[test]
+fn deep_methods_beat_classical_on_digits() {
+    // The paper's central Table-1 observation: deep clustering outperforms
+    // the shallow baselines on image data by a wide margin.
+    use adec_core::prelude::*;
+    use adec_core::pretrain::PretrainConfig;
+    use adec_core::ArchPreset;
+
+    let ds = Benchmark::DigitsTest.generate(Size::Small, 4);
+    let k = ds.n_classes;
+    let mut rng = SeedRng::new(4);
+    let shallow = kmeans(&ds.data, &KMeansConfig::new(k), &mut rng);
+    let shallow_acc = accuracy(&ds.labels, &shallow.labels);
+
+    let mut session = Session::new(&ds, ArchPreset::Medium, 4);
+    session.pretrain(&PretrainConfig {
+        iterations: 900,
+        ..PretrainConfig::acai_fast()
+    });
+    let mut cfg = AdecConfig::fast(k);
+    cfg.max_iter = 1_500;
+    let deep_acc = session.run_adec(&cfg).acc(&ds.labels);
+    assert!(
+        deep_acc >= shallow_acc - 0.02,
+        "deep ({deep_acc}) must at least match shallow ({shallow_acc}) on digit images"
+    );
+}

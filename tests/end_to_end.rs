@@ -1,0 +1,140 @@
+//! End-to-end integration tests spanning every crate: dataset simulation →
+//! pretraining → deep clustering → evaluation.
+
+use adec_core::prelude::*;
+use adec_core::pretrain::PretrainConfig;
+use adec_core::ArchPreset;
+use adec_datagen::{Benchmark, Size};
+use adec_metrics::accuracy;
+
+fn fast_pretrain() -> PretrainConfig {
+    PretrainConfig {
+        iterations: 1_200,
+        ..PretrainConfig::acai_fast()
+    }
+}
+
+#[test]
+fn full_pipeline_beats_raw_kmeans_on_digits() {
+    // The representation claim behind Table 1: clustering the pretrained
+    // embedding beats clustering raw pixels, and ADEC fine-tuning yields a
+    // solid final score. DigitsFull (600 samples) keeps the seed lottery
+    // small.
+    let ds = Benchmark::DigitsFull.generate(Size::Small, 3);
+    let mut rng = adec_tensor::SeedRng::new(3);
+    let raw = adec_classic::kmeans(&ds.data, &adec_classic::KMeansConfig::new(ds.n_classes), &mut rng);
+    let raw_acc = accuracy(&ds.labels, &raw.labels);
+
+    let mut session = Session::new(&ds, ArchPreset::Medium, 3);
+    session.pretrain(&fast_pretrain());
+    let z = session.embed();
+    let embedded = adec_classic::kmeans(&z, &adec_classic::KMeansConfig::new(ds.n_classes), &mut rng);
+    let embedded_acc = accuracy(&ds.labels, &embedded.labels);
+    assert!(
+        embedded_acc > raw_acc,
+        "embedding k-means ({embedded_acc}) must beat raw k-means ({raw_acc})"
+    );
+
+    let mut cfg = AdecConfig::fast(ds.n_classes);
+    cfg.max_iter = 1_800;
+    let out = session.run_adec(&cfg);
+    let deep_acc = out.acc(&ds.labels);
+    assert!(deep_acc > 0.5, "ADEC ACC {deep_acc} suspiciously low");
+}
+
+#[test]
+fn pipeline_is_deterministic_under_seed() {
+    let run = || {
+        let ds = Benchmark::Protein.generate(Size::Small, 9);
+        let mut session = Session::new(&ds, ArchPreset::Medium, 9);
+        session.pretrain(&PretrainConfig {
+            iterations: 200,
+            ..PretrainConfig::vanilla_fast()
+        });
+        let mut cfg = DecConfig::fast(ds.n_classes);
+        cfg.max_iter = 200;
+        session.run_dec(&cfg).labels
+    };
+    assert_eq!(run(), run(), "same seed must give identical clusterings");
+}
+
+#[test]
+fn adec_regularizer_does_not_destroy_clustering() {
+    // The adversarial term must leave accuracy within noise of the
+    // unregularized variant or better — the "no strong competition"
+    // claim. Averaged over two seeds of the 600-sample digits benchmark
+    // to keep the seed lottery out of CI.
+    let mut with_sum = 0.0f32;
+    let mut without_sum = 0.0f32;
+    for seed in [5u64, 6] {
+        let ds = Benchmark::DigitsFull.generate(Size::Small, seed);
+        let mut session = Session::new(&ds, ArchPreset::Medium, seed);
+        session.pretrain(&fast_pretrain());
+
+        let mut with_adv = AdecConfig::fast(ds.n_classes);
+        with_adv.max_iter = 1_500;
+        with_sum += session.run_adec(&with_adv).acc(&ds.labels);
+
+        let mut without = AdecConfig::fast(ds.n_classes);
+        without.max_iter = 1_500;
+        without.adversarial_weight = 0.0;
+        without_sum += session.run_adec(&without).acc(&ds.labels);
+    }
+    let (a, b) = (with_sum / 2.0, without_sum / 2.0);
+    assert!(
+        a > b - 0.1,
+        "adversarial regularizer hurt badly: with {a} vs without {b}"
+    );
+}
+
+#[test]
+fn convergence_tolerance_stops_training() {
+    let ds = Benchmark::Protein.generate(Size::Small, 4);
+    let mut session = Session::new(&ds, ArchPreset::Medium, 4);
+    session.pretrain(&PretrainConfig {
+        iterations: 300,
+        ..PretrainConfig::vanilla_fast()
+    });
+    let mut cfg = DecConfig::fast(ds.n_classes);
+    cfg.max_iter = 5_000;
+    cfg.tol = 0.05; // generous tolerance → early convergence
+    let out = session.run_dec(&cfg);
+    assert!(out.converged, "generous tol must converge");
+    assert!(out.iterations < 5_000);
+}
+
+#[test]
+fn shared_pretraining_comparison_is_fair() {
+    // After any run, restoring the snapshot reproduces the identical
+    // embedding — the Table-2 fairness requirement.
+    let ds = Benchmark::Tfidf.generate(Size::Small, 6);
+    let mut session = Session::new(&ds, ArchPreset::Medium, 6);
+    session.pretrain(&PretrainConfig {
+        iterations: 300,
+        ..PretrainConfig::acai_fast()
+    });
+    session.restore_pretrained();
+    let z0 = session.embed();
+    let mut cfg = IdecConfig::fast(ds.n_classes);
+    cfg.max_iter = 150;
+    let _ = session.run_idec(&cfg);
+    session.restore_pretrained();
+    assert_eq!(z0, session.embed());
+}
+
+#[test]
+fn all_benchmarks_run_through_dec() {
+    for b in Benchmark::ALL {
+        let ds = b.generate(Size::Small, 2);
+        let mut session = Session::new(&ds, ArchPreset::Medium, 2);
+        session.pretrain(&PretrainConfig {
+            iterations: 150,
+            ..PretrainConfig::vanilla_fast()
+        });
+        let mut cfg = DecConfig::fast(ds.n_classes);
+        cfg.max_iter = 120;
+        let out = session.run_dec(&cfg);
+        assert_eq!(out.labels.len(), ds.len(), "{:?}", b);
+        assert!(out.q.all_finite(), "{:?} produced non-finite Q", b);
+    }
+}

@@ -1,0 +1,67 @@
+//! Integration tests for weight persistence: pretrain once, save, reload
+//! into a fresh process-state, and verify the embedding (and a subsequent
+//! clustering run) are identical.
+
+use adec_core::prelude::*;
+use adec_core::pretrain::PretrainConfig;
+use adec_core::ArchPreset;
+use adec_datagen::{Benchmark, Size};
+use adec_nn::io::{adopt_weights, load_store, save_store};
+
+#[test]
+fn saved_weights_reproduce_the_embedding() {
+    let ds = Benchmark::Protein.generate(Size::Small, 17);
+    let mut session = Session::new(&ds, ArchPreset::Medium, 17);
+    session.pretrain(&PretrainConfig {
+        iterations: 200,
+        ..PretrainConfig::vanilla_fast()
+    });
+    let z_before = session.embed();
+
+    let path = std::env::temp_dir().join("adec_persistence_test.bin");
+    save_store(&session.store, &path).expect("save");
+
+    // Fresh session with the same construction order; adopt the saved
+    // autoencoder weights.
+    let mut fresh = Session::new(&ds, ArchPreset::Medium, 999);
+    let loaded = load_store(&path).expect("load");
+    let ids = fresh.ae.param_ids();
+    adopt_weights(&mut fresh.store, &loaded, &ids);
+    let z_after = fresh.embed();
+    let _ = std::fs::remove_file(&path);
+
+    assert_eq!(
+        z_before, z_after,
+        "reloaded weights must reproduce the embedding bit-for-bit"
+    );
+}
+
+#[test]
+fn cli_save_weights_flag_writes_a_loadable_file() {
+    let path = std::env::temp_dir().join("adec_cli_weights_test.bin");
+    let args = adec_cli_args(&path);
+    let report = adec_cli::runner::run(&args).expect("cli run");
+    assert!(!report.labels.is_empty());
+    let loaded = load_store(&path).expect("cli-saved weights must load");
+    assert!(loaded.len() > 0);
+    let _ = std::fs::remove_file(&path);
+}
+
+fn adec_cli_args(path: &std::path::Path) -> adec_cli::Args {
+    let argv: Vec<String> = [
+        "--dataset",
+        "protein",
+        "--method",
+        "ae-kmeans",
+        "--pretrain-iters",
+        "100",
+        "--iters",
+        "50",
+        "--save-weights",
+        path.to_str().unwrap(),
+    ]
+    .iter()
+    .map(|s| s.to_string())
+    .collect();
+    adec_cli::args::parse(&argv).expect("parse")
+}
