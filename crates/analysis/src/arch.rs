@@ -1,0 +1,635 @@
+//! Declarative architecture/shape checking.
+//!
+//! An [`ArchSpec`] is a small declarative model of a network: one or more
+//! layer chains (encoder, decoder, discriminator, …), an optional cluster
+//! head, and couplings describing which chain feeds which. The
+//! [`ArchSpec::validate`] pass checks the whole graph — dimension chaining,
+//! mirror symmetry, cluster-count vs embedding-dim constraints, parameter
+//! bindings, optimizer attachment — *before* any training step runs, and
+//! returns structured [`Diagnostic`]s instead of panicking mid-epoch.
+
+use crate::diagnostics::{Diagnostic, Report};
+use adec_nn::{Activation, Mlp, ParamStore};
+
+/// Activation kind mirrored from [`adec_nn::Activation`] so specs can be
+/// written without constructing live layers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ActKind {
+    /// Identity.
+    Linear,
+    /// Rectified linear unit.
+    Relu,
+    /// Logistic sigmoid.
+    Sigmoid,
+    /// Hyperbolic tangent.
+    Tanh,
+}
+
+impl From<Activation> for ActKind {
+    fn from(a: Activation) -> Self {
+        match a {
+            Activation::Linear => ActKind::Linear,
+            Activation::Relu => ActKind::Relu,
+            Activation::Sigmoid => ActKind::Sigmoid,
+            Activation::Tanh => ActKind::Tanh,
+        }
+    }
+}
+
+/// One dense layer in a chain.
+#[derive(Debug, Clone)]
+pub struct LayerSpec {
+    /// Human-readable name (usually the parameter-store name of the weight).
+    pub name: String,
+    /// Input width.
+    pub fan_in: usize,
+    /// Output width.
+    pub fan_out: usize,
+    /// Activation applied after the affine map.
+    pub act: ActKind,
+    /// Shape of the bound weight matrix, when the spec was built from a
+    /// live model (`rows × cols`). `None` for hand-written specs.
+    pub w_shape: Option<(usize, usize)>,
+    /// Shape of the bound bias, when available.
+    pub b_shape: Option<(usize, usize)>,
+}
+
+impl LayerSpec {
+    /// A layer spec with no parameter bindings (for hand-written specs).
+    pub fn new(name: impl Into<String>, fan_in: usize, fan_out: usize, act: ActKind) -> Self {
+        LayerSpec { name: name.into(), fan_in, fan_out, act, w_shape: None, b_shape: None }
+    }
+}
+
+/// What role a chain plays in the model graph; some rules are role-specific.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChainRole {
+    /// Maps data space to latent space.
+    Encoder,
+    /// Maps latent space back to data space; checked as the encoder mirror.
+    Decoder,
+    /// Adversarial discriminator/critic; must end in a single logit.
+    Discriminator,
+    /// Any other chain (no role-specific rules).
+    Generic,
+}
+
+/// A named stack of layers plus its optimizer attachment.
+#[derive(Debug, Clone)]
+pub struct ChainSpec {
+    /// Chain name used in diagnostics and couplings ("encoder", …).
+    pub name: String,
+    /// Role, for role-specific rules.
+    pub role: ChainRole,
+    /// The layers, input to output.
+    pub layers: Vec<LayerSpec>,
+    /// Name of the optimizer that updates this chain's parameters, if any
+    /// (e.g. "adam"). `None` means the chain is frozen or forgotten —
+    /// flagged as a warning.
+    pub optimizer: Option<String>,
+}
+
+impl ChainSpec {
+    /// Hand-written chain from `(fan_in, fan_out, act)` triples.
+    pub fn new(name: impl Into<String>, role: ChainRole, layers: Vec<LayerSpec>) -> Self {
+        ChainSpec { name: name.into(), role, layers, optimizer: None }
+    }
+
+    /// Builds a chain spec from a live [`Mlp`], binding each layer's
+    /// parameter shapes from `store` so `validate` can cross-check them.
+    pub fn from_mlp(name: impl Into<String>, role: ChainRole, mlp: &Mlp, store: &ParamStore) -> Self {
+        let dims = mlp.dims();
+        let mut layers = Vec::with_capacity(mlp.n_layers());
+        for i in 0..mlp.n_layers() {
+            let dense = mlp.layer(i);
+            let w = store.get(dense.w);
+            let b = store.get(dense.b);
+            layers.push(LayerSpec {
+                name: store.name(dense.w).to_string(),
+                fan_in: dims[i],
+                fan_out: dims[i + 1],
+                act: dense.act.into(),
+                w_shape: Some((w.rows(), w.cols())),
+                b_shape: Some((b.rows(), b.cols())),
+            });
+        }
+        ChainSpec { name: name.into(), role, layers, optimizer: None }
+    }
+
+    /// Sets the optimizer attachment.
+    #[must_use]
+    pub fn with_optimizer(mut self, name: impl Into<String>) -> Self {
+        self.optimizer = Some(name.into());
+        self
+    }
+
+    /// Input width of the chain (0 for an empty chain).
+    pub fn input_dim(&self) -> usize {
+        self.layers.first().map_or(0, |l| l.fan_in)
+    }
+
+    /// Output width of the chain (0 for an empty chain).
+    pub fn output_dim(&self) -> usize {
+        self.layers.last().map_or(0, |l| l.fan_out)
+    }
+
+    /// Layer widths including input and output, like [`Mlp::dims`].
+    pub fn dims(&self) -> Vec<usize> {
+        let mut d = Vec::with_capacity(self.layers.len() + 1);
+        if let Some(first) = self.layers.first() {
+            d.push(first.fan_in);
+        }
+        for l in &self.layers {
+            d.push(l.fan_out);
+        }
+        d
+    }
+}
+
+/// The clustering head: `k` centroids living in the latent space.
+#[derive(Debug, Clone, Copy)]
+pub struct ClusterHeadSpec {
+    /// Number of clusters.
+    pub k: usize,
+    /// Latent dimensionality the head expects (must match the encoder
+    /// output).
+    pub latent_dim: usize,
+    /// Shape of the bound centroid matrix, when built from a live model.
+    pub centroid_shape: Option<(usize, usize)>,
+}
+
+/// A dataflow edge: `from`'s output feeds `to`'s input.
+#[derive(Debug, Clone)]
+pub struct Coupling {
+    /// Producing chain name.
+    pub from: String,
+    /// Consuming chain name.
+    pub to: String,
+}
+
+/// A declarative model of one trainable architecture.
+#[derive(Debug, Clone)]
+pub struct ArchSpec {
+    /// Model name used in diagnostics ("adec", "dec", "autoencoder", …).
+    pub model: String,
+    /// Input dimensionality of the data the model will train on.
+    pub data_dim: usize,
+    /// All layer chains.
+    pub chains: Vec<ChainSpec>,
+    /// The clustering head, if the model has one.
+    pub head: Option<ClusterHeadSpec>,
+    /// Dataflow edges between chains.
+    pub couplings: Vec<Coupling>,
+}
+
+impl ArchSpec {
+    /// An empty spec for `model` over `data_dim`-dimensional inputs.
+    pub fn new(model: impl Into<String>, data_dim: usize) -> Self {
+        ArchSpec { model: model.into(), data_dim, chains: Vec::new(), head: None, couplings: Vec::new() }
+    }
+
+    /// Adds a chain.
+    #[must_use]
+    pub fn with_chain(mut self, chain: ChainSpec) -> Self {
+        self.chains.push(chain);
+        self
+    }
+
+    /// Adds the cluster head.
+    #[must_use]
+    pub fn with_head(mut self, head: ClusterHeadSpec) -> Self {
+        self.head = Some(head);
+        self
+    }
+
+    /// Adds a dataflow coupling.
+    #[must_use]
+    pub fn with_coupling(mut self, from: impl Into<String>, to: impl Into<String>) -> Self {
+        self.couplings.push(Coupling { from: from.into(), to: to.into() });
+        self
+    }
+
+    /// Looks up a chain by name.
+    pub fn chain(&self, name: &str) -> Option<&ChainSpec> {
+        self.chains.iter().find(|c| c.name == name)
+    }
+
+    fn first_with_role(&self, role: ChainRole) -> Option<&ChainSpec> {
+        self.chains.iter().find(|c| c.role == role)
+    }
+
+    /// Runs every architecture rule and returns the findings.
+    ///
+    /// Error rules: `arch.empty-chain`, `arch.zero-dim`,
+    /// `arch.chain-dim-mismatch`, `arch.data-dim`, `arch.mirror-mismatch`,
+    /// `arch.coupling-dim-mismatch`, `arch.discriminator-output`,
+    /// `arch.cluster-head`, `arch.param-binding`.
+    /// Warning rules: `arch.hidden-activation`, `arch.optimizer-missing`,
+    /// `arch.latent-vs-clusters`.
+    pub fn validate(&self) -> Report {
+        let mut report = Report::new();
+        for chain in &self.chains {
+            self.check_chain(chain, &mut report);
+        }
+        self.check_mirror(&mut report);
+        self.check_couplings(&mut report);
+        self.check_head(&mut report);
+        report
+    }
+
+    /// Validates and panics with the rendered report on any error.
+    ///
+    /// This is the constructor-side gate: models call it after wiring so a
+    /// mis-chained architecture dies with a structured message before the
+    /// first gradient step.
+    ///
+    /// # Panics
+    /// Panics when `validate` reports at least one error.
+    pub fn assert_valid(&self) {
+        let report = self.validate();
+        assert!(
+            report.is_pass(),
+            "architecture check failed for model `{}` ({} error(s)):\n{}",
+            self.model,
+            report.error_count(),
+            report
+        );
+    }
+
+    fn check_chain(&self, chain: &ChainSpec, report: &mut Report) {
+        let at = |i: usize| format!("model \"{}\" chain \"{}\" layer {i}", self.model, chain.name);
+        if chain.layers.is_empty() {
+            report.push(
+                Diagnostic::error(
+                    "arch.empty-chain",
+                    format!("model \"{}\" chain \"{}\"", self.model, chain.name),
+                    "chain has no layers",
+                )
+                .with_hint("every chain needs at least one dense layer"),
+            );
+            return;
+        }
+        for (i, layer) in chain.layers.iter().enumerate() {
+            if layer.fan_in == 0 || layer.fan_out == 0 {
+                report.push(
+                    Diagnostic::error(
+                        "arch.zero-dim",
+                        at(i),
+                        format!("layer `{}` has a zero dimension ({} -> {})", layer.name, layer.fan_in, layer.fan_out),
+                    )
+                    .with_hint("layer widths must be positive"),
+                );
+            }
+            if let Some((wr, wc)) = layer.w_shape {
+                if (wr, wc) != (layer.fan_in, layer.fan_out) {
+                    report.push(
+                        Diagnostic::error(
+                            "arch.param-binding",
+                            at(i),
+                            format!(
+                                "weight `{}` bound to a {wr}x{wc} matrix but the layer is declared {} -> {}",
+                                layer.name, layer.fan_in, layer.fan_out
+                            ),
+                        )
+                        .with_hint("the registered parameter shape must match the declared layer widths"),
+                    );
+                }
+            }
+            if let Some((br, bc)) = layer.b_shape {
+                if (br, bc) != (1, layer.fan_out) {
+                    report.push(
+                        Diagnostic::error(
+                            "arch.param-binding",
+                            at(i),
+                            format!("bias of `{}` bound to a {br}x{bc} matrix but must be 1x{}", layer.name, layer.fan_out),
+                        )
+                        .with_hint("biases are 1 x fan_out rows"),
+                    );
+                }
+            }
+            if i + 1 < chain.layers.len() {
+                let next = &chain.layers[i + 1];
+                if layer.fan_out != next.fan_in {
+                    report.push(
+                        Diagnostic::error(
+                            "arch.chain-dim-mismatch",
+                            at(i),
+                            format!(
+                                "layer {i} outputs {} but layer {} expects {} inputs ({} -> {} then {} -> {})",
+                                layer.fan_out,
+                                i + 1,
+                                next.fan_in,
+                                layer.fan_in,
+                                layer.fan_out,
+                                next.fan_in,
+                                next.fan_out
+                            ),
+                        )
+                        .with_hint(format!("make layer {} take {} inputs, or layer {i} emit {}", i + 1, layer.fan_out, next.fan_in)),
+                    );
+                }
+                // A linear hidden layer collapses into the next affine map.
+                if layer.act == ActKind::Linear {
+                    report.push(Diagnostic::warning(
+                        "arch.hidden-activation",
+                        at(i),
+                        format!("hidden layer `{}` uses a linear activation; consecutive affine maps collapse", layer.name),
+                    ));
+                }
+            }
+        }
+        if chain.role == ChainRole::Encoder && chain.input_dim() != self.data_dim {
+            report.push(
+                Diagnostic::error(
+                    "arch.data-dim",
+                    format!("model \"{}\" chain \"{}\"", self.model, chain.name),
+                    format!("encoder expects {} inputs but the data has {} features", chain.input_dim(), self.data_dim),
+                )
+                .with_hint("the first encoder layer's fan_in must equal the dataset dimensionality"),
+            );
+        }
+        if chain.role == ChainRole::Discriminator && chain.output_dim() != 1 {
+            report.push(
+                Diagnostic::error(
+                    "arch.discriminator-output",
+                    format!("model \"{}\" chain \"{}\"", self.model, chain.name),
+                    format!("discriminator must emit a single logit but outputs {}", chain.output_dim()),
+                )
+                .with_hint("end the discriminator with a width-1 linear layer"),
+            );
+        }
+        if chain.optimizer.is_none() {
+            report.push(Diagnostic::warning(
+                "arch.optimizer-missing",
+                format!("model \"{}\" chain \"{}\"", self.model, chain.name),
+                "chain has no optimizer attached; its parameters will never update",
+            ));
+        }
+    }
+
+    fn check_mirror(&self, report: &mut Report) {
+        let (Some(enc), Some(dec)) = (self.first_with_role(ChainRole::Encoder), self.first_with_role(ChainRole::Decoder))
+        else {
+            return;
+        };
+        let enc_dims = enc.dims();
+        let mut mirrored: Vec<usize> = dec.dims();
+        mirrored.reverse();
+        if enc_dims != mirrored {
+            report.push(
+                Diagnostic::error(
+                    "arch.mirror-mismatch",
+                    format!("model \"{}\" chains \"{}\"/\"{}\"", self.model, enc.name, dec.name),
+                    format!("decoder dims {:?} are not the reverse of encoder dims {enc_dims:?}", dec.dims()),
+                )
+                .with_hint("build the decoder from the reversed encoder widths"),
+            );
+        }
+    }
+
+    fn check_couplings(&self, report: &mut Report) {
+        for c in &self.couplings {
+            let loc = format!("model \"{}\" coupling \"{}\" -> \"{}\"", self.model, c.from, c.to);
+            let (Some(from), Some(to)) = (self.chain(&c.from), self.chain(&c.to)) else {
+                report.push(
+                    Diagnostic::error("arch.coupling-dim-mismatch", loc, "coupling references a chain that does not exist")
+                        .with_hint("coupling endpoints must name declared chains"),
+                );
+                continue;
+            };
+            if from.output_dim() != to.input_dim() {
+                report.push(
+                    Diagnostic::error(
+                        "arch.coupling-dim-mismatch",
+                        loc,
+                        format!(
+                            "\"{}\" outputs {} features but \"{}\" expects {}",
+                            from.name,
+                            from.output_dim(),
+                            to.name,
+                            to.input_dim()
+                        ),
+                    )
+                    .with_hint("the consumer's input width must equal the producer's output width"),
+                );
+            }
+        }
+    }
+
+    fn check_head(&self, report: &mut Report) {
+        let Some(head) = &self.head else { return };
+        let loc = format!("model \"{}\" cluster head", self.model);
+        if head.k < 2 {
+            report.push(
+                Diagnostic::error("arch.cluster-head", loc.clone(), format!("needs at least 2 clusters, got {}", head.k))
+                    .with_hint("set k >= 2"),
+            );
+        }
+        if let Some(enc) = self.first_with_role(ChainRole::Encoder) {
+            if enc.output_dim() != head.latent_dim {
+                report.push(
+                    Diagnostic::error(
+                        "arch.cluster-head",
+                        loc.clone(),
+                        format!(
+                            "head lives in a {}-dimensional latent space but the encoder emits {}",
+                            head.latent_dim,
+                            enc.output_dim()
+                        ),
+                    )
+                    .with_hint("centroids must have the encoder's output dimensionality"),
+                );
+            }
+        }
+        if let Some((r, c)) = head.centroid_shape {
+            if (r, c) != (head.k, head.latent_dim) {
+                report.push(
+                    Diagnostic::error(
+                        "arch.cluster-head",
+                        loc.clone(),
+                        format!("centroid matrix is {r}x{c} but must be {}x{} (k x latent)", head.k, head.latent_dim),
+                    )
+                    .with_hint("register the centroids as a k x latent_dim matrix"),
+                );
+            }
+        }
+        if head.k > head.latent_dim && head.latent_dim > 0 {
+            report.push(Diagnostic::warning(
+                "arch.latent-vs-clusters",
+                loc,
+                format!(
+                    "{} clusters in a {}-dimensional latent space; simplex geometry degrades when k exceeds the embedding dim",
+                    head.k, head.latent_dim
+                ),
+            ));
+        }
+    }
+}
+
+#[cfg(test)]
+// Test code: expect on a just-produced result is the assertion itself.
+#[allow(clippy::expect_used)]
+mod tests {
+    use super::*;
+
+    fn relu_chain(name: &str, role: ChainRole, dims: &[usize]) -> ChainSpec {
+        let layers = dims
+            .windows(2)
+            .enumerate()
+            .map(|(i, w)| {
+                let act = if i + 2 == dims.len() { ActKind::Linear } else { ActKind::Relu };
+                LayerSpec::new(format!("{name}.l{i}"), w[0], w[1], act)
+            })
+            .collect();
+        ChainSpec::new(name, role, layers).with_optimizer("adam")
+    }
+
+    #[test]
+    fn paper_autoencoder_is_clean() {
+        let spec = ArchSpec::new("autoencoder", 784)
+            .with_chain(relu_chain("encoder", ChainRole::Encoder, &[784, 500, 500, 2000, 10]))
+            .with_chain(relu_chain("decoder", ChainRole::Decoder, &[10, 2000, 500, 500, 784]))
+            .with_coupling("encoder", "decoder");
+        let report = spec.validate();
+        assert!(report.is_pass(), "{report}");
+        assert!(report.is_empty(), "{report}");
+    }
+
+    #[test]
+    fn mis_chained_dims_fail_with_chain_rule() {
+        // 500 -> 2000 followed by 500 -> 10: classic copy-paste wiring slip.
+        let chain = ChainSpec::new(
+            "encoder",
+            ChainRole::Encoder,
+            vec![
+                LayerSpec::new("l0", 784, 500, ActKind::Relu),
+                LayerSpec::new("l1", 500, 2000, ActKind::Relu),
+                LayerSpec::new("l2", 500, 10, ActKind::Linear),
+            ],
+        )
+        .with_optimizer("sgd");
+        let report = ArchSpec::new("autoencoder", 784).with_chain(chain).validate();
+        assert!(!report.is_pass());
+        assert!(report.has_rule("arch.chain-dim-mismatch"), "{report}");
+    }
+
+    #[test]
+    fn zero_width_and_empty_chains_are_errors() {
+        let report = ArchSpec::new("m", 8)
+            .with_chain(ChainSpec::new("empty", ChainRole::Generic, vec![]))
+            .with_chain(
+                ChainSpec::new("zero", ChainRole::Generic, vec![LayerSpec::new("l0", 8, 0, ActKind::Relu)])
+                    .with_optimizer("sgd"),
+            )
+            .validate();
+        assert!(report.has_rule("arch.empty-chain"));
+        assert!(report.has_rule("arch.zero-dim"));
+    }
+
+    #[test]
+    fn encoder_input_must_match_data_dim() {
+        let report = ArchSpec::new("dec", 64)
+            .with_chain(relu_chain("encoder", ChainRole::Encoder, &[32, 16, 10]))
+            .validate();
+        assert!(report.has_rule("arch.data-dim"), "{report}");
+    }
+
+    #[test]
+    fn decoder_must_mirror_encoder() {
+        let report = ArchSpec::new("autoencoder", 100)
+            .with_chain(relu_chain("encoder", ChainRole::Encoder, &[100, 64, 10]))
+            .with_chain(relu_chain("decoder", ChainRole::Decoder, &[10, 32, 100]))
+            .validate();
+        assert!(report.has_rule("arch.mirror-mismatch"), "{report}");
+    }
+
+    #[test]
+    fn coupling_checks_widths_and_existence() {
+        let spec = ArchSpec::new("adec", 50)
+            .with_chain(relu_chain("encoder", ChainRole::Encoder, &[50, 32, 10]))
+            .with_chain(relu_chain("disc", ChainRole::Discriminator, &[12, 8, 1]))
+            .with_coupling("encoder", "disc")
+            .with_coupling("encoder", "ghost");
+        let report = spec.validate();
+        let couplings: Vec<_> = report.diagnostics.iter().filter(|d| d.rule == "arch.coupling-dim-mismatch").collect();
+        assert_eq!(couplings.len(), 2, "{report}");
+    }
+
+    #[test]
+    fn discriminator_must_emit_one_logit() {
+        let report = ArchSpec::new("adec", 50)
+            .with_chain(relu_chain("disc", ChainRole::Discriminator, &[10, 8, 2]))
+            .validate();
+        assert!(report.has_rule("arch.discriminator-output"), "{report}");
+    }
+
+    #[test]
+    fn cluster_head_rules() {
+        // Latent mismatch + wrong centroid shape + k too small.
+        let report = ArchSpec::new("dec", 30)
+            .with_chain(relu_chain("encoder", ChainRole::Encoder, &[30, 16, 10]))
+            .with_head(ClusterHeadSpec { k: 1, latent_dim: 12, centroid_shape: Some((3, 12)) })
+            .validate();
+        let head_errors = report.diagnostics.iter().filter(|d| d.rule == "arch.cluster-head").count();
+        assert!(head_errors >= 3, "{report}");
+    }
+
+    #[test]
+    fn more_clusters_than_latent_dims_warns() {
+        let report = ArchSpec::new("dec", 30)
+            .with_chain(relu_chain("encoder", ChainRole::Encoder, &[30, 16, 4]))
+            .with_head(ClusterHeadSpec { k: 10, latent_dim: 4, centroid_shape: Some((10, 4)) })
+            .validate();
+        assert!(report.is_pass(), "{report}");
+        assert!(report.has_rule("arch.latent-vs-clusters"), "{report}");
+    }
+
+    #[test]
+    fn missing_optimizer_warns_but_passes() {
+        let mut chain = relu_chain("encoder", ChainRole::Encoder, &[8, 4]);
+        chain.optimizer = None;
+        let report = ArchSpec::new("m", 8).with_chain(chain).validate();
+        assert!(report.is_pass());
+        assert!(report.has_rule("arch.optimizer-missing"));
+    }
+
+    #[test]
+    fn param_binding_shapes_are_checked() {
+        let mut layer = LayerSpec::new("l0", 8, 4, ActKind::Relu);
+        layer.w_shape = Some((8, 5));
+        layer.b_shape = Some((1, 3));
+        let chain = ChainSpec::new("enc", ChainRole::Generic, vec![layer]).with_optimizer("sgd");
+        let report = ArchSpec::new("m", 8).with_chain(chain).validate();
+        let bindings = report.diagnostics.iter().filter(|d| d.rule == "arch.param-binding").count();
+        assert_eq!(bindings, 2, "{report}");
+    }
+
+    #[test]
+    fn from_mlp_binds_real_shapes() {
+        use adec_tensor::SeedRng;
+        let mut store = ParamStore::new();
+        let mut rng = SeedRng::new(7);
+        let mlp = Mlp::new(&mut store, &[12, 8, 3], Activation::Relu, Activation::Linear, &mut rng);
+        let chain = ChainSpec::from_mlp("encoder", ChainRole::Encoder, &mlp, &store).with_optimizer("sgd");
+        assert_eq!(chain.dims(), vec![12, 8, 3]);
+        assert_eq!(chain.layers[0].w_shape, Some((12, 8)));
+        assert_eq!(chain.layers[1].b_shape, Some((1, 3)));
+        let report = ArchSpec::new("mlp", 12).with_chain(chain).validate();
+        assert!(report.is_pass(), "{report}");
+    }
+
+    #[test]
+    fn assert_valid_panics_with_rule_id_in_message() {
+        let spec = ArchSpec::new("bad", 8).with_chain(
+            ChainSpec::new(
+                "enc",
+                ChainRole::Generic,
+                vec![LayerSpec::new("l0", 8, 4, ActKind::Relu), LayerSpec::new("l1", 5, 2, ActKind::Linear)],
+            )
+            .with_optimizer("sgd"),
+        );
+        let err = std::panic::catch_unwind(|| spec.assert_valid()).expect_err("must panic");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("arch.chain-dim-mismatch"), "{msg}");
+    }
+}

@@ -1,0 +1,110 @@
+//! Workspace lint runner.
+//!
+//! ```text
+//! adec-lint [ROOT] [--no-baseline] [--write-baseline] [--baseline PATH]
+//! ```
+//!
+//! Lints every `.rs` file under ROOT (default: the workspace root inferred
+//! from this crate's manifest, falling back to `.`), subtracts the
+//! grandfathered baseline, prints the remaining findings, and exits
+//! non-zero when any error-severity finding survives.
+
+use adec_analysis::{lint_workspace, Baseline, Report};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+struct Opts {
+    root: PathBuf,
+    baseline_path: PathBuf,
+    use_baseline: bool,
+    write_baseline: bool,
+}
+
+fn default_root() -> PathBuf {
+    // When run via `cargo run -p adec-analysis`, the manifest dir is
+    // crates/analysis; the workspace root is two levels up.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest.parent().and_then(|p| p.parent()).map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+fn parse_opts() -> Result<Opts, String> {
+    let mut root = None;
+    let mut baseline_path = None;
+    let mut use_baseline = true;
+    let mut write_baseline = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--no-baseline" => use_baseline = false,
+            "--write-baseline" => write_baseline = true,
+            "--baseline" => {
+                let path = args.next().ok_or_else(|| "--baseline needs a path".to_string())?;
+                baseline_path = Some(PathBuf::from(path));
+            }
+            "--help" | "-h" => {
+                return Err("usage: adec-lint [ROOT] [--no-baseline] [--write-baseline] [--baseline PATH]".to_string())
+            }
+            other if root.is_none() && !other.starts_with('-') => root = Some(PathBuf::from(other)),
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+    let root = root.unwrap_or_else(default_root);
+    let baseline_path = baseline_path.unwrap_or_else(|| root.join("crates/analysis/lint.baseline"));
+    Ok(Opts { root, baseline_path, use_baseline, write_baseline })
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_opts() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let full = lint_workspace(&opts.root);
+
+    if opts.write_baseline {
+        let baseline = Baseline::from_report(&full);
+        if let Err(e) = std::fs::write(&opts.baseline_path, baseline.render()) {
+            eprintln!("adec-lint: cannot write baseline {}: {e}", opts.baseline_path.display());
+            return ExitCode::FAILURE;
+        }
+        println!(
+            "adec-lint: wrote baseline with {} finding(s) to {}",
+            full.diagnostics.len(),
+            opts.baseline_path.display()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    let effective: Report = if opts.use_baseline {
+        let baseline = std::fs::read_to_string(&opts.baseline_path)
+            .map(|text| Baseline::parse(&text))
+            .unwrap_or_default();
+        baseline.filter_new(&full)
+    } else {
+        full.clone()
+    };
+
+    if effective.is_empty() {
+        println!(
+            "adec-lint: clean ({} file(s) scanned, {} grandfathered finding(s))",
+            adec_analysis::collect_rs_files(&opts.root).len(),
+            full.diagnostics.len() - effective.diagnostics.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    println!("{effective}");
+    println!(
+        "adec-lint: {} error(s), {} warning(s)",
+        effective.error_count(),
+        effective.diagnostics.len() - effective.error_count()
+    );
+    if effective.is_pass() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

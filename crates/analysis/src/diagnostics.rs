@@ -1,0 +1,191 @@
+//! Structured diagnostics shared by every analysis pass.
+//!
+//! Each finding carries a stable rule id, a severity, a human-readable
+//! location, a message, and (when the checker knows one) a fix hint, so
+//! callers can render, filter, and gate on findings programmatically
+//! instead of parsing strings.
+
+use std::fmt;
+
+/// Severity of a diagnostic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Stylistic or suspicious-but-plausible; never fails a gate alone.
+    Warning,
+    /// A definite violation; gates (constructors, CLI `--check`, the lint
+    /// test) fail when at least one error is present.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// A single finding from an analysis pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Stable rule identifier, e.g. `arch.chain-dim-mismatch` or
+    /// `lint.unwrap`. Tests and baselines key on this.
+    pub rule: &'static str,
+    /// How bad it is.
+    pub severity: Severity,
+    /// Where it was found — `chain "encoder" layer 2` for architecture
+    /// findings, `path/to/file.rs:41` for lint findings.
+    pub location: String,
+    /// What is wrong.
+    pub message: String,
+    /// How to fix it, when the checker knows.
+    pub hint: Option<String>,
+}
+
+impl Diagnostic {
+    /// Creates an error diagnostic.
+    pub fn error(rule: &'static str, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            location: location.into(),
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Creates a warning diagnostic.
+    pub fn warning(rule: &'static str, location: impl Into<String>, message: impl Into<String>) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            location: location.into(),
+            message: message.into(),
+            hint: None,
+        }
+    }
+
+    /// Attaches a fix hint.
+    #[must_use]
+    pub fn with_hint(mut self, hint: impl Into<String>) -> Self {
+        self.hint = Some(hint.into());
+        self
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}[{}] {}: {}", self.severity, self.rule, self.location, self.message)?;
+        if let Some(hint) = &self.hint {
+            write!(f, "\n  hint: {hint}")?;
+        }
+        Ok(())
+    }
+}
+
+/// The outcome of one analysis pass: an ordered list of findings.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in discovery order.
+    pub diagnostics: Vec<Diagnostic>,
+}
+
+impl Report {
+    /// An empty (clean) report.
+    pub fn new() -> Self {
+        Report::default()
+    }
+
+    /// Adds a finding.
+    pub fn push(&mut self, d: Diagnostic) {
+        self.diagnostics.push(d);
+    }
+
+    /// Merges another report into this one.
+    pub fn extend(&mut self, other: Report) {
+        self.diagnostics.extend(other.diagnostics);
+    }
+
+    /// Error-severity findings only.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Warning-severity findings only.
+    pub fn warnings(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.severity == Severity::Warning)
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.errors().count()
+    }
+
+    /// True when no finding has error severity (warnings allowed).
+    pub fn is_pass(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// True when there are no findings at all.
+    pub fn is_empty(&self) -> bool {
+        self.diagnostics.is_empty()
+    }
+
+    /// Whether any finding uses the given rule id.
+    pub fn has_rule(&self, rule: &str) -> bool {
+        self.diagnostics.iter().any(|d| d.rule == rule)
+    }
+}
+
+impl fmt::Display for Report {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.diagnostics.is_empty() {
+            return write!(f, "ok: no findings");
+        }
+        for (i, d) in self.diagnostics.iter().enumerate() {
+            if i > 0 {
+                writeln!(f)?;
+            }
+            write!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn severity_ordering_puts_error_above_warning() {
+        assert!(Severity::Error > Severity::Warning);
+    }
+
+    #[test]
+    fn report_gates_on_errors_only() {
+        let mut r = Report::new();
+        assert!(r.is_pass() && r.is_empty());
+        r.push(Diagnostic::warning("arch.hidden-activation", "chain \"encoder\"", "odd activation"));
+        assert!(r.is_pass());
+        assert!(!r.is_empty());
+        r.push(
+            Diagnostic::error("arch.chain-dim-mismatch", "chain \"encoder\" layer 1", "500 -> 2000 vs 500")
+                .with_hint("layer 1 output must equal layer 2 input"),
+        );
+        assert!(!r.is_pass());
+        assert_eq!(r.error_count(), 1);
+        assert!(r.has_rule("arch.chain-dim-mismatch"));
+        assert!(!r.has_rule("arch.zero-dim"));
+    }
+
+    #[test]
+    fn display_includes_rule_location_and_hint() {
+        let d = Diagnostic::error("lint.unwrap", "crates/nn/src/optim.rs:50", "unwrap in library code")
+            .with_hint("use expect with an invariant message or restructure");
+        let s = d.to_string();
+        assert!(s.contains("error[lint.unwrap]"));
+        assert!(s.contains("optim.rs:50"));
+        assert!(s.contains("hint:"));
+    }
+}

@@ -1,0 +1,32 @@
+//! Workspace static-analysis suite for the ADEC reproduction.
+//!
+//! Three passes, one diagnostics vocabulary:
+//!
+//! 1. **Architecture/shape checking** ([`arch`]): a declarative
+//!    [`ArchSpec`] of layer chains, couplings, and the cluster head is
+//!    validated before training — dimension chaining, encoder/decoder
+//!    mirror symmetry, discriminator output width, centroid shape, and
+//!    parameter bindings all produce structured [`Diagnostic`]s with rule
+//!    ids and fix hints instead of a mid-epoch shape panic.
+//! 2. **Source linting** ([`lint`]): a comment/string-masking scanner over
+//!    the workspace's own `.rs` files bans `unwrap`/`expect`/`panic!` in
+//!    library code, float `==`, narrowing `as` casts in kernel crates, and
+//!    assert-less kernel entry points, with a `// lint:allow(rule)` escape
+//!    hatch and a ratcheting [`Baseline`].
+//! 3. **Kernel invariants**: the `debug_assert_finite!`/`debug_assert_dims!`
+//!    macros live in `adec-tensor` (so kernels can use them without a
+//!    dependency cycle); this crate's lint rules enforce their presence.
+
+// Indexing here is over line vectors and spec layers whose bounds are
+// established by construction; the tensor crates carry the hot-path
+// invariant layer this lint suite itself enforces.
+#![allow(clippy::indexing_slicing)]
+#![warn(missing_docs)]
+
+pub mod arch;
+pub mod diagnostics;
+pub mod lint;
+
+pub use arch::{ActKind, ArchSpec, ChainRole, ChainSpec, ClusterHeadSpec, Coupling, LayerSpec};
+pub use diagnostics::{Diagnostic, Report, Severity};
+pub use lint::{collect_rs_files, lint_source, lint_workspace, Baseline};

@@ -1,0 +1,39 @@
+//! The workspace lint gate: `cargo test` fails when a banned pattern is
+//! introduced in library code without a `// lint:allow(rule)` justification
+//! or a baseline entry.
+
+use adec_analysis::{lint_workspace, Baseline};
+use std::path::PathBuf;
+
+fn workspace_root() -> PathBuf {
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map_or_else(|| PathBuf::from("."), PathBuf::from)
+}
+
+#[test]
+fn workspace_sources_pass_the_lint_suite() {
+    let root = workspace_root();
+    let full = lint_workspace(&root);
+    let baseline = std::fs::read_to_string(root.join("crates/analysis/lint.baseline"))
+        .map(|text| Baseline::parse(&text))
+        .unwrap_or_default();
+    let fresh = baseline.filter_new(&full);
+    assert!(
+        fresh.is_pass(),
+        "new lint findings beyond the baseline ({} error(s)):\n{}",
+        fresh.error_count(),
+        fresh
+    );
+}
+
+#[test]
+fn the_scanner_actually_sees_workspace_files() {
+    // Guards against the gate silently passing because path resolution broke
+    // and zero files were scanned.
+    let files = adec_analysis::collect_rs_files(&workspace_root());
+    assert!(files.len() > 40, "only {} .rs files found — wrong root?", files.len());
+    assert!(files.iter().any(|p| p.ends_with("crates/tensor/src/matrix.rs")));
+}

@@ -8,6 +8,9 @@
 //! adversarial term curbs Feature Randomness and the decoder catch-up is
 //! needed for stability.
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_core::trace::TraceConfig;
 use adec_datagen::Benchmark;

@@ -5,6 +5,9 @@
 //! (DEC → DEC*) and behind the ‡/† footnotes: augmentation cannot apply to
 //! text/tabular data, so those datasets only get the ACAI part.
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_core::pretrain::PretrainConfig;
 use adec_core::Session;

@@ -6,6 +6,9 @@
 //! features (Feature Randomness regime), tiny γ reduces to pure
 //! reconstruction — while ADEC needs no such hyperparameter at all.
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_core::trace::TraceConfig;
 use adec_datagen::Benchmark;

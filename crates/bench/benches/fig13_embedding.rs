@@ -6,6 +6,9 @@
 //! Expected shape, matching the paper: well-separated groups (positive
 //! silhouettes) on the digit datasets; weaker separation on Fashion.
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_datagen::Benchmark;
 use adec_metrics::mean_silhouette;

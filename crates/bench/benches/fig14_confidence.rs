@@ -6,6 +6,9 @@
 //! samples of a single class, with cluster purity of the top-10 sets far
 //! above the dataset-level ACC.
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_datagen::render::ascii_strip;
 use adec_datagen::{Benchmark, Modality};

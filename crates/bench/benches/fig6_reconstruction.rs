@@ -11,6 +11,9 @@
 //!    class is a smaller fraction of the input within-class variance than
 //!    for IDEC*.
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_datagen::render::ascii_strip;
 use adec_datagen::{Benchmark, Modality};

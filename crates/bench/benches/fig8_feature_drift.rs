@@ -6,6 +6,9 @@
 //! while ADEC's adversarial regularizer competes far less (Δ_FD near 0,
 //! well above IDEC*'s).
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_core::trace::TraceConfig;
 use adec_datagen::Benchmark;

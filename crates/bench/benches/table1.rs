@@ -7,6 +7,9 @@
 //! variants (JULE only on the image datasets, mirroring the paper's ⋄
 //! marks for one-dimensional data).
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_classic::{
     ensc, kmeans, lsnmf_cluster, rbf_kernel_kmeans, spectral_clustering, ssc_omp,

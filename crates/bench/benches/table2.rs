@@ -3,6 +3,9 @@
 //! paper's controlled comparison isolating the regularization strategy
 //! (none vs reconstruction vs adversarial).
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_datagen::Benchmark;
 

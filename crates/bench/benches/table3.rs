@@ -6,6 +6,9 @@
 //! DeepCluster cheaper than ADEC, ADEC's adversarial training costing a
 //! constant factor, and the `*` pretraining dominating on small datasets.
 
+// Experiment-harness code: indices range over the experiment's own
+// fixed dimensions, and a panic is an acceptable failure mode here.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used, clippy::expect_used)]
 use adec_bench::*;
 use adec_core::lite::{deepcluster_lite, depict_lite, sr_kmeans_lite, LiteConfig};
 use adec_datagen::Benchmark;

@@ -256,6 +256,9 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
 /// Renders a simple ASCII line chart of one or more named series over a
 /// shared x axis (iterations). Used by the figure harnesses to show curve
 /// *shapes* in terminal output.
+// Grid indices are clamped with `.min(...)` and `% marks.len()` right at
+// the use sites, so the indexing cannot go out of bounds.
+#[allow(clippy::indexing_slicing)]
 pub fn ascii_chart(title: &str, series: &[(&str, &[(usize, f32)])], height: usize) {
     println!("\n--- {title} ---");
     let all: Vec<(usize, f32)> = series.iter().flat_map(|(_, s)| s.iter().copied()).collect();

@@ -12,6 +12,9 @@ use adec_tensor::{linalg::pairwise_sq_dists, Matrix};
 ///
 /// # Panics
 /// Panics if `k == 0` or `k > n`.
+// The chain tie-break below needs *exact* distance equality — an epsilon
+// would merge non-reciprocal pairs and break the chain invariant.
+#[allow(clippy::float_cmp)]
 pub fn ward_agglomerative(data: &Matrix, k: usize) -> Vec<usize> {
     let n = data.rows();
     assert!(k > 0 && k <= n, "ward: invalid k={k} for n={n}");
@@ -40,11 +43,16 @@ pub fn ward_agglomerative(data: &Matrix, k: usize) -> Vec<usize> {
     while remaining > k {
         // Grow a nearest-neighbor chain until a reciprocal pair appears.
         if chain.is_empty() {
-            let start = active.iter().position(|&a| a).expect("ward: no active clusters");
+            // `remaining > k >= 1` means an active cluster exists; the
+            // defensive break keeps the loop total even if that invariant
+            // is ever broken.
+            let Some(start) = active.iter().position(|&a| a) else { break };
             chain.push(start);
         }
         loop {
-            let top = *chain.last().unwrap();
+            // Non-empty: seeded above and only ever shrunk by two after a
+            // merge, which re-enters through the seeding branch.
+            let top = chain[chain.len() - 1];
             // Nearest active neighbor of `top`, preferring the previous
             // chain element on ties (guarantees termination).
             let prev = if chain.len() >= 2 {

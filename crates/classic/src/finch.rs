@@ -165,6 +165,9 @@ pub fn finch(data: &Matrix, target_k: usize) -> Vec<usize> {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use adec_tensor::SeedRng;

@@ -169,10 +169,18 @@ pub fn kmeans(data: &Matrix, cfg: &KMeansConfig, rng: &mut SeedRng) -> KMeans {
             best = Some(candidate);
         }
     }
-    best.expect("kmeans: n_init >= 1 guarantees a candidate")
+    match best {
+        Some(b) => b,
+        // The restart loop runs max(n_init, 1) >= 1 times and always fills
+        // an empty `best`.
+        None => unreachable!("kmeans: n_init >= 1 guarantees a candidate"),
+    }
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -72,6 +72,8 @@ fn knn_affinity(data: &Matrix, n_neighbors: usize) -> Matrix {
 
 /// Spectral embedding: rows are the `k` bottom eigenvectors of `L_sym`,
 /// row-normalized (Ng–Jordan–Weiss).
+// expect justified above the call site: infallible public API, loud death.
+#[allow(clippy::expect_used)]
 fn spectral_embedding(affinity: &Matrix, k: usize) -> Matrix {
     let n = affinity.rows();
     let deg = affinity.row_sums();
@@ -79,7 +81,9 @@ fn spectral_embedding(affinity: &Matrix, k: usize) -> Matrix {
     // L_sym = I − D^{-1/2} W D^{-1/2}; its *smallest* eigenvectors equal the
     // *largest* of the normalized affinity, so decompose the latter.
     let norm_aff = Matrix::from_fn(n, n, |i, j| affinity.get(i, j) * inv_sqrt[i] * inv_sqrt[j]);
-    let eig = symmetric_eigen(&norm_aff).expect("spectral: eigensolve failed");
+    // Jacobi failure on a symmetric affinity is unrecoverable here and the
+    // public API is infallible; die loudly with the solver's context.
+    let eig = symmetric_eigen(&norm_aff).expect("spectral: eigensolve failed"); // lint:allow(expect)
     let mut emb = Matrix::zeros(n, k);
     for j in 0..k.min(n) {
         for i in 0..n {
@@ -158,6 +162,9 @@ pub fn spectral_clustering(data: &Matrix, cfg: &SpectralConfig, rng: &mut SeedRn
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

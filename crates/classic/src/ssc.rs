@@ -107,8 +107,8 @@ fn solve_least_squares(atoms: &[&[f32]], x: &[f32]) -> Vec<f32> {
     // Gaussian elimination.
     for col in 0..s {
         let pivot = (col..s)
-            .max_by(|&p, &q| a[p][col].abs().partial_cmp(&a[q][col].abs()).unwrap())
-            .unwrap();
+            .max_by(|&p, &q| a[p][col].abs().total_cmp(&a[q][col].abs()))
+            .unwrap_or(col);
         a.swap(col, pivot);
         let diag = a[col][col];
         if diag.abs() < 1e-14 {
@@ -309,6 +309,9 @@ pub fn ensc(data: &Matrix, cfg: &EnscConfig, rng: &mut SeedRng) -> Vec<usize> {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

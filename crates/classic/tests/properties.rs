@@ -1,0 +1,146 @@
+//! Property-style tests for the clustering baselines: partition validity,
+//! objective monotonicity, determinism, and scale invariances, swept
+//! deterministically over a fixed fan of seeds (hermetic replacement for
+//! the earlier proptest harness).
+
+use adec_classic::*;
+use adec_tensor::{Matrix, SeedRng};
+
+/// Deterministic seed fan shared by every sweep below.
+const SEEDS: [u64; 12] = [0, 1, 2, 5, 11, 42, 99, 255, 1024, 4097, 31337, 123_456];
+
+fn blob_data(seed: u64, n_per: usize, k: usize, spread: f32) -> (Matrix, Vec<usize>) {
+    let mut rng = SeedRng::new(seed);
+    let centers = Matrix::randn(k, 3, 0.0, 8.0, &mut rng);
+    let mut rows = Vec::new();
+    let mut labels = Vec::new();
+    for c in 0..k {
+        for _ in 0..n_per {
+            rows.push(
+                (0..3)
+                    .map(|t| centers.get(c, t) + rng.normal(0.0, spread))
+                    .collect(),
+            );
+            labels.push(c);
+        }
+    }
+    (Matrix::from_rows(&rows), labels)
+}
+
+fn is_valid_partition(labels: &[usize], n: usize, max_k: usize) -> bool {
+    labels.len() == n && labels.iter().all(|&l| l < max_k)
+}
+
+#[test]
+fn kmeans_partitions_are_valid_and_deterministic() {
+    for seed in SEEDS {
+        let k = 2 + (seed as usize % 3);
+        let (data, _) = blob_data(seed, 12, k, 1.0);
+        let mut r1 = SeedRng::new(seed ^ 1);
+        let mut r2 = SeedRng::new(seed ^ 1);
+        let m1 = kmeans(&data, &KMeansConfig::fast(k), &mut r1);
+        let m2 = kmeans(&data, &KMeansConfig::fast(k), &mut r2);
+        assert!(is_valid_partition(&m1.labels, data.rows(), k), "seed {seed}");
+        assert_eq!(&m1.labels, &m2.labels, "seed {seed}");
+        assert!(m1.inertia >= 0.0);
+        // Assignments are nearest-centroid consistent.
+        assert_eq!(m1.predict(&data), m1.labels, "seed {seed}");
+    }
+}
+
+#[test]
+fn kmeans_inertia_improves_with_restarts() {
+    for seed in SEEDS {
+        let (data, _) = blob_data(seed, 15, 3, 1.5);
+        let mut r1 = SeedRng::new(seed);
+        let one = kmeans(&data, &KMeansConfig { k: 3, max_iter: 50, n_init: 1, tol: 1e-4 }, &mut r1);
+        let mut r2 = SeedRng::new(seed);
+        let many = kmeans(&data, &KMeansConfig { k: 3, max_iter: 50, n_init: 8, tol: 1e-4 }, &mut r2);
+        assert!(many.inertia <= one.inertia + 1e-3, "seed {seed}");
+    }
+}
+
+#[test]
+fn ward_partition_counts_are_exact() {
+    for seed in SEEDS {
+        for k in 1..6 {
+            let (data, _) = blob_data(seed, 8, 3, 1.0);
+            let labels = ward_agglomerative(&data, k);
+            assert!(is_valid_partition(&labels, data.rows(), k), "seed {seed} k {k}");
+            let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+            assert_eq!(distinct.len(), k, "ward must return exactly {k} clusters (seed {seed})");
+        }
+    }
+}
+
+#[test]
+fn finch_hits_requested_k() {
+    for seed in SEEDS {
+        let k = 2 + (seed as usize % 3);
+        let (data, _) = blob_data(seed, 10, 4, 0.8);
+        let labels = finch(&data, k);
+        let distinct: std::collections::HashSet<usize> = labels.iter().copied().collect();
+        assert_eq!(distinct.len(), k, "seed {seed}");
+    }
+}
+
+#[test]
+fn gmm_weights_form_distribution() {
+    for seed in SEEDS {
+        let k = 2 + (seed as usize % 2);
+        let (data, _) = blob_data(seed, 12, k, 1.0);
+        let mut rng = SeedRng::new(seed ^ 3);
+        let model = gmm::fit(&data, &GmmConfig::new(k), &mut rng);
+        let total: f32 = model.weights.iter().sum();
+        assert!((total - 1.0).abs() < 1e-3, "seed {seed}");
+        assert!(model.weights.iter().all(|&w| w >= 0.0), "seed {seed}");
+        assert!(model.variances.as_slice().iter().all(|&v| v > 0.0), "seed {seed}");
+        assert!(is_valid_partition(&model.labels, data.rows(), k), "seed {seed}");
+    }
+}
+
+#[test]
+fn kmeans_is_translation_invariant() {
+    for seed in SEEDS {
+        // Shifting every point by a constant must not change the partition.
+        let (data, _) = blob_data(seed, 10, 3, 1.0);
+        let shifted = data.map(|v| v + 42.0);
+        let mut r1 = SeedRng::new(seed ^ 5);
+        let mut r2 = SeedRng::new(seed ^ 5);
+        let a = kmeans(&data, &KMeansConfig::fast(3), &mut r1);
+        let b = kmeans(&shifted, &KMeansConfig::fast(3), &mut r2);
+        assert_eq!(a.labels, b.labels, "seed {seed}");
+    }
+}
+
+#[test]
+fn spectral_handles_separable_blobs() {
+    for seed in SEEDS {
+        let (data, truth) = blob_data(seed, 12, 3, 0.4);
+        let mut rng = SeedRng::new(seed ^ 7);
+        let pred = spectral_clustering(&data, &SpectralConfig::new(3), &mut rng);
+        assert!(is_valid_partition(&pred, data.rows(), 3), "seed {seed}");
+        // Tight random blobs with centers ~N(0, 8): occasionally two
+        // centers nearly coincide, so require clearly-above-chance rather
+        // than perfection.
+        let acc = adec_metrics::accuracy(&truth, &pred);
+        assert!(acc > 0.5, "spectral ACC {acc} (seed {seed})");
+    }
+}
+
+#[test]
+fn nmf_error_nonincreasing_in_rank() {
+    for seed in SEEDS {
+        let mut rng = SeedRng::new(seed);
+        let data = Matrix::rand_uniform(20, 8, 0.0, 1.0, &mut rng);
+        let lo = nmf::fit(&data, &NmfConfig { rank: 2, max_iter: 120, tol: 0.0 }, &mut SeedRng::new(seed ^ 1));
+        let hi = nmf::fit(&data, &NmfConfig { rank: 5, max_iter: 120, tol: 0.0 }, &mut SeedRng::new(seed ^ 1));
+        // Higher rank has strictly more capacity; allow small optimizer slack.
+        assert!(
+            hi.reconstruction_error <= lo.reconstruction_error * 1.10,
+            "rank 5 error {} vs rank 2 error {} (seed {seed})",
+            hi.reconstruction_error,
+            lo.reconstruction_error
+        );
+    }
+}

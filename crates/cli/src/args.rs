@@ -135,6 +135,9 @@ pub struct Args {
     pub save_weights: Option<String>,
     /// Print per-interval ACC/NMI while training.
     pub trace: bool,
+    /// Validate the model architectures for this configuration and exit
+    /// without training.
+    pub check: bool,
 }
 
 impl Default for Args {
@@ -150,6 +153,7 @@ impl Default for Args {
             labels_out: None,
             save_weights: None,
             trace: false,
+            check: false,
         }
     }
 }
@@ -200,6 +204,7 @@ pub fn usage() -> String {
            --labels-out <PATH>     write predicted labels as CSV\n\
            --save-weights <PATH>   save pretrained weights (deep methods)\n\
            --trace                 print per-interval ACC/NMI\n\
+           --check                 validate model architectures for this configuration, then exit\n\
            --list                  list methods and datasets\n\
            --help                  this message\n",
         methods.join(" | ")
@@ -260,6 +265,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
             "--labels-out" => args.labels_out = Some(value("--labels-out")?.clone()),
             "--save-weights" => args.save_weights = Some(value("--save-weights")?.clone()),
             "--trace" => args.trace = true,
+            "--check" => args.check = true,
             other => {
                 return Err(ParseError(format!(
                     "unknown flag '{other}' (see --help)"
@@ -271,6 +277,8 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
 }
 
 #[cfg(test)]
+// Test code: unwrap on a just-parsed result is the assertion itself.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -1,7 +1,7 @@
 //! The `adec` command-line tool. See `adec --help`.
 
 use adec_cli::args::{parse, usage, Method};
-use adec_cli::runner::run;
+use adec_cli::runner::{check, run};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
@@ -29,6 +29,19 @@ fn main() {
             std::process::exit(2);
         }
     };
+
+    if args.check {
+        let report = check(&args);
+        if report.is_empty() {
+            println!("check: all model architectures validate cleanly");
+        } else {
+            print!("{report}");
+        }
+        if report.is_pass() {
+            return;
+        }
+        std::process::exit(1);
+    }
 
     eprintln!(
         "running {:?} on {:?} (size {:?}, seed {})…",

@@ -46,6 +46,18 @@ fn arch_for(size: Size) -> ArchPreset {
     }
 }
 
+/// Validation-only mode (`--check`): builds throwaway instances of every
+/// model family at this configuration's dimensions and runs the
+/// architecture checker over them, without any training.
+pub fn check(args: &Args) -> adec_analysis::Report {
+    let ds = args.dataset.generate(args.size, args.seed);
+    let disc_hidden = match args.size {
+        Size::Small | Size::Medium => 64,
+        Size::Paper => 256,
+    };
+    adec_core::archspec::check_preset(ds.dim(), arch_for(args.size), ds.n_classes, disc_hidden)
+}
+
 /// Runs the configured method and returns the report.
 pub fn run(args: &Args) -> Result<RunReport, String> {
     let ds = args.dataset.generate(args.size, args.seed);
@@ -215,6 +227,8 @@ fn finish(
 }
 
 #[cfg(test)]
+// Test code: unwrap on a just-produced result is the assertion itself.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::args::parse;

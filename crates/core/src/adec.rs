@@ -158,6 +158,8 @@ impl Adec {
 
         let mu0 = init_centroids(ae, store, data, cfg.k, rng);
         let mu_id = store.register("adec.centroids", mu0);
+        crate::archspec::adversarial_spec("adec", ae, store, store.get(mu_id), &discriminator, "sgd+momentum")
+            .assert_valid();
 
         let encoder_ids: std::collections::HashSet<ParamId> =
             ae.encoder.param_ids().into_iter().collect();
@@ -319,13 +321,16 @@ fn encoder_step(
         let loss = kl_tape.scale(kl, 1.0 / b);
         kl_tape.backward(loss);
     }
+    // Every id queried below was bound during the forward pass on the same
+    // tape, so the lookup cannot miss.
+    #[allow(clippy::expect_used)]
     let grad_of = |tape: &Tape, id: ParamId| -> Matrix {
         let var = tape
             .bindings()
             .iter()
             .find(|(bid, _)| *bid == id)
             .map(|&(_, v)| v)
-            .expect("parameter bound on tape");
+            .expect("parameter bound on tape"); // lint:allow(expect)
         tape.grad(var)
     };
     let mut kl_grads: Vec<(ParamId, Matrix)> = enc_ids
@@ -334,7 +339,7 @@ fn encoder_step(
         .collect();
     let mu_grad = grad_of(&kl_tape, mu_id);
 
-    if cfg.adversarial_weight != 0.0 {
+    if cfg.adversarial_weight.abs() > 0.0 {
         // Pass 2: adversarial gradient (encoder only; decoder and
         // discriminator frozen).
         let mut adv_tape = Tape::new();

@@ -50,10 +50,13 @@ impl Autoencoder {
     ) -> Self {
         let enc_dims = arch_dims(input_dim, preset);
         let dec_dims: Vec<usize> = enc_dims.iter().rev().copied().collect();
-        Autoencoder {
+        let ae = Autoencoder {
             encoder: Mlp::new(store, &enc_dims, Activation::Relu, Activation::Linear, rng),
             decoder: Mlp::new(store, &dec_dims, Activation::Relu, Activation::Linear, rng),
-        }
+        };
+        // Fail fast with a structured diagnostic on any wiring slip.
+        crate::archspec::autoencoder_spec("autoencoder", &ae, store, "adam").assert_valid();
+        ae
     }
 
     /// Latent dimensionality.
@@ -91,6 +94,9 @@ impl Autoencoder {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -85,6 +85,7 @@ impl Dcn {
     ) -> ClusterOutput {
         let start = Instant::now();
         let mut centroids = init_centroids(ae, store, data, cfg.k, rng);
+        crate::archspec::clustering_spec("dcn", ae, store, &centroids, "sgd+momentum").assert_valid();
         // Per-cluster assignment counts drive the DCN incremental centroid
         // learning rate 1/count.
         let mut counts = vec![1usize; cfg.k];
@@ -178,6 +179,9 @@ impl Dcn {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::autoencoder::ArchPreset;

@@ -137,6 +137,7 @@ impl Dec {
         let start = Instant::now();
         let mu0 = init_centroids(ae, store, data, cfg.k, rng);
         let mu_id = store.register("dec.centroids", mu0);
+        crate::archspec::clustering_spec("dec", ae, store, store.get(mu_id), "sgd+momentum").assert_valid();
         let encoder_ids: std::collections::HashSet<ParamId> =
             ae.encoder.param_ids().into_iter().collect();
 
@@ -308,6 +309,9 @@ pub(crate) fn record_trace_point(
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 pub(crate) mod tests {
     use super::*;
     use crate::autoencoder::ArchPreset;

@@ -95,6 +95,7 @@ impl Idec {
         let start = Instant::now();
         let mu0 = init_centroids(ae, store, data, cfg.k, rng);
         let mu_id = store.register("idec.centroids", mu0);
+        crate::archspec::clustering_spec("idec", ae, store, store.get(mu_id), "sgd+momentum").assert_valid();
         let trainable: std::collections::HashSet<ParamId> =
             ae.param_ids().into_iter().chain([mu_id]).collect();
 

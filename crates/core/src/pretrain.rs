@@ -151,6 +151,9 @@ pub fn pretrain_autoencoder(
         .as_ref()
         .map(|c| c.param_ids().into_iter().collect())
         .unwrap_or_default();
+    if let Some(c) = &critic {
+        crate::archspec::critic_spec("pretrain+acai", ae, store, c, "adam").assert_valid();
+    }
 
     let mut ae_opt = Adam::new(cfg.lr).with_clip(5.0);
     let mut critic_opt = Adam::new(cfg.lr).with_clip(5.0);
@@ -341,6 +344,9 @@ pub fn pretrain_stacked_denoising(
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::autoencoder::ArchPreset;

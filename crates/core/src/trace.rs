@@ -250,13 +250,14 @@ pub fn encoder_gradients(
     let mut grads = Vec::with_capacity(encoder_ids.len());
     for id in encoder_ids {
         // The first binding of each id on this tape belongs to the encoder
-        // forward pass.
+        // forward pass just executed, so the lookup cannot miss.
+        #[allow(clippy::expect_used)]
         let var = tape
             .bindings()
             .iter()
             .find(|(bid, _)| *bid == id)
             .map(|&(_, v)| v)
-            .expect("encoder param must be bound");
+            .expect("encoder param must be bound"); // lint:allow(expect)
         grads.push(tape.grad(var));
     }
     grads
@@ -269,6 +270,9 @@ pub fn grad_cosine(a: &[Matrix], b: &[Matrix]) -> f32 {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use adec_nn::{soft_assignment, Activation};

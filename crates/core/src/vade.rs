@@ -83,10 +83,11 @@ impl Vade {
         rng: &mut SeedRng,
     ) -> Self {
         let dims = arch_dims(input_dim, preset);
-        let latent = *dims.last().unwrap();
+        // arch_dims always returns at least [input, latent].
+        let latent = dims[dims.len() - 1];
         let body_dims = &dims[..dims.len() - 1];
         let body = Mlp::new(store, body_dims, Activation::Relu, Activation::Relu, rng);
-        let hidden = *body_dims.last().unwrap();
+        let hidden = body_dims[body_dims.len() - 1];
         let mu_head = Mlp::new(store, &[hidden, latent], Activation::Linear, Activation::Linear, rng);
         let logvar_head = Mlp::new(store, &[hidden, latent], Activation::Linear, Activation::Linear, rng);
         let dec_dims: Vec<usize> = dims.iter().rev().copied().collect();

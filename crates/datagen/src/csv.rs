@@ -165,6 +165,9 @@ pub fn load_csv(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Dataset, Cs
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

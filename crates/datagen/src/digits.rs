@@ -68,7 +68,8 @@ fn glyph(digit: usize) -> Vec<Vec<Pt>> {
             arc(0.5, 0.35, 0.2, 0.2, 0.0, TAU, 20),
             seg((0.69, 0.42), (0.6, 0.88)),
         ],
-        _ => panic!("glyph: digit {digit} out of range"),
+        // Callers iterate class indices 0..10 by construction.
+        _ => unreachable!("glyph: digit {digit} out of range"),
     }
 }
 

@@ -88,7 +88,8 @@ fn silhouette(c: usize, x: f32, y: f32) -> bool {
         }
         // Ankle boot: tall shaft + foot.
         9 => in_box(x, y, 0.35, 0.65, 0.2, 0.8) || in_box(x, y, 0.35, 0.88, 0.6, 0.8),
-        _ => panic!("silhouette: class {c} out of range"),
+        // Callers iterate class indices 0..10 by construction.
+        _ => unreachable!("silhouette: class {c} out of range"),
     }
 }
 

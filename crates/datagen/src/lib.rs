@@ -22,6 +22,10 @@
 // Numeric kernels index with explicit loop counters throughout; the
 // iterator rewrites clippy suggests are less readable for the math here.
 #![allow(clippy::needless_range_loop)]
+// Indexing in these numeric routines is bounded by the shapes and
+// counts established at the top of each function; checked access
+// would obscure the math without adding safety.
+#![allow(clippy::indexing_slicing)]
 #![warn(missing_docs)]
 
 pub mod augment;
@@ -198,6 +202,9 @@ pub(crate) fn assemble(
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -128,6 +128,9 @@ pub fn generate(size: Size, rng: &mut SeedRng) -> Dataset {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::Size;

@@ -9,6 +9,10 @@
 //! * [`tradeoff`] — the paper's Δ_FR (eq. 5) and Δ_FD (eq. 6) gradient
 //!   cosines characterizing Feature Randomness and Feature Drift.
 
+// Indexing in these numeric routines is bounded by the shapes and
+// counts established at the top of each function; checked access
+// would obscure the math without adding safety.
+#![allow(clippy::indexing_slicing)]
 #![warn(missing_docs)]
 
 pub mod contingency;
@@ -124,6 +128,9 @@ fn entropy(counts: &[usize], n: f64) -> f64 {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

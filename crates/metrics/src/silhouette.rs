@@ -48,6 +48,9 @@ pub fn mean_silhouette(points: &Matrix, labels: &[usize], k: usize) -> f32 {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

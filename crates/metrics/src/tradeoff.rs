@@ -54,6 +54,9 @@ pub fn delta_fd(grad_pseudo: &[Matrix], grad_self: &[Matrix]) -> f32 {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

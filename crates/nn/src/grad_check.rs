@@ -35,6 +35,9 @@ pub fn relative_error(a: &Matrix, b: &Matrix) -> f32 {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -23,13 +23,16 @@ const MAGIC: &[u8; 8] = b"ADECPS01";
 /// Serializes every parameter of the store to a writer.
 pub fn write_store<W: Write>(store: &ParamStore, mut w: W) -> io::Result<()> {
     w.write_all(MAGIC)?;
-    w.write_all(&(store.len() as u32).to_le_bytes())?;
+    // The on-disk format stores counts/dims as u32; parameter stores are
+    // bounded far below 2^32 entries, names below 2^32 bytes, and matrix
+    // sides below 2^32.
+    w.write_all(&(store.len() as u32).to_le_bytes())?; // lint:allow(as-narrowing)
     for (_, name, value) in store.iter() {
         let name_bytes = name.as_bytes();
-        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?;
+        w.write_all(&(name_bytes.len() as u32).to_le_bytes())?; // lint:allow(as-narrowing)
         w.write_all(name_bytes)?;
-        w.write_all(&(value.rows() as u32).to_le_bytes())?;
-        w.write_all(&(value.cols() as u32).to_le_bytes())?;
+        w.write_all(&(value.rows() as u32).to_le_bytes())?; // lint:allow(as-narrowing)
+        w.write_all(&(value.cols() as u32).to_le_bytes())?; // lint:allow(as-narrowing)
         for &v in value.as_slice() {
             w.write_all(&v.to_le_bytes())?;
         }
@@ -115,6 +118,9 @@ pub fn adopt_weights(dst: &mut ParamStore, src: &ParamStore, ids: &[ParamId]) {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use adec_tensor::SeedRng;

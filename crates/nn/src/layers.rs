@@ -151,7 +151,8 @@ impl Mlp {
 
     /// Output dimensionality.
     pub fn output_dim(&self) -> usize {
-        *self.dims.last().unwrap()
+        // Mlp::new asserts dims.len() >= 2, so the subtraction cannot wrap.
+        self.dims[self.dims.len() - 1]
     }
 
     /// Tape forward pass through all layers.
@@ -198,6 +199,9 @@ impl Mlp {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::optim::{Optimizer, Sgd};

@@ -39,6 +39,10 @@
 // Numeric kernels index with explicit loop counters throughout; the
 // iterator rewrites clippy suggests are less readable for the math here.
 #![allow(clippy::needless_range_loop)]
+// Tape `Var` handles and `ParamId`s are indices valid by construction
+// (issued by the arena they index into), and the dense kernels bound their
+// loops by matrix shape; checked access would only hide the invariant.
+#![allow(clippy::indexing_slicing)]
 #![warn(missing_docs)]
 
 pub mod grad_check;

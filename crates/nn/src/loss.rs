@@ -13,6 +13,8 @@ use adec_tensor::Matrix;
 /// Returns an `n × k` row-stochastic matrix.
 pub fn soft_assignment(z: &Matrix, mu: &Matrix, alpha: f32) -> Matrix {
     assert_eq!(z.cols(), mu.cols(), "soft_assignment: dimension mismatch");
+    adec_tensor::debug_assert_finite!(z, "soft_assignment embedding");
+    adec_tensor::debug_assert_finite!(mu, "soft_assignment centroids");
     let n = z.rows();
     let k = mu.rows();
     let mut q = Matrix::zeros(n, k);
@@ -43,6 +45,7 @@ pub fn soft_assignment(z: &Matrix, mu: &Matrix, alpha: f32) -> Matrix {
 /// Sharpens high-confidence assignments and normalizes per cluster
 /// frequency to prevent large clusters from dominating.
 pub fn target_distribution(q: &Matrix) -> Matrix {
+    adec_tensor::debug_assert_finite!(q, "target_distribution Q");
     let (n, k) = q.shape();
     let f = q.col_sums();
     let mut p = Matrix::zeros(n, k);

@@ -43,11 +43,11 @@ fn ensure_slot<'a>(slots: &'a mut Vec<Option<Matrix>>, id: ParamId, like: &Matri
         slots.resize(id.index() + 1, None);
     }
     let slot = &mut slots[id.index()];
-    match slot {
-        Some(m) if m.shape() == like.shape() => {}
-        _ => *slot = Some(Matrix::zeros(like.rows(), like.cols())),
+    if !matches!(slot, Some(m) if m.shape() == like.shape()) {
+        *slot = Some(Matrix::zeros(like.rows(), like.cols()));
     }
-    slot.as_mut().unwrap()
+    // The closure never runs: the reset above guarantees `Some`.
+    slot.get_or_insert_with(|| Matrix::zeros(like.rows(), like.cols()))
 }
 
 /// Stochastic gradient descent with classical momentum:
@@ -109,6 +109,7 @@ impl Sgd {
         }
         let v_snapshot = v.clone();
         store.get_mut(id).axpy(-self.lr, &v_snapshot);
+        adec_tensor::debug_assert_finite!(store.get(id), "sgd-updated parameter");
     }
 }
 
@@ -191,13 +192,16 @@ impl Adam {
         let v_hat = v.scale(1.0 / bc2);
         let update = m_hat.zip_with(&v_hat, |mh, vh| mh / (vh.sqrt() + self.eps));
         store.get_mut(id).axpy(-self.lr, &update);
+        adec_tensor::debug_assert_finite!(store.get(id), "adam-updated parameter");
     }
 
     fn bias_corrections(&mut self) -> (f32, f32) {
         self.t += 1;
+        // Step counts stay far below i32::MAX over any realistic training
+        // run, and the correction saturates to 1.0 long before that anyway.
         (
-            1.0 - self.beta1.powi(self.t as i32),
-            1.0 - self.beta2.powi(self.t as i32),
+            1.0 - self.beta1.powi(self.t as i32), // lint:allow(as-narrowing)
+            1.0 - self.beta2.powi(self.t as i32), // lint:allow(as-narrowing)
         )
     }
 }
@@ -227,6 +231,9 @@ impl Optimizer for Adam {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::tape::Tape;

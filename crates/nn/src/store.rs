@@ -103,6 +103,9 @@ impl ParamStore {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -346,6 +346,7 @@ impl Tape {
     pub fn softmax_cross_entropy(&mut self, logits: Var, targets: &Matrix) -> Var {
         let x = self.value(logits);
         assert_eq!(x.shape(), targets.shape(), "softmax_cross_entropy: shape mismatch");
+        adec_tensor::debug_assert_finite!(x, "softmax_cross_entropy logits");
         let (n, k) = x.shape();
         let mut softmax = Matrix::zeros(n, k);
         let mut loss = 0.0f64;
@@ -391,6 +392,7 @@ impl Tape {
     pub fn dec_kl(&mut self, z: Var, mu: Var, p: &Matrix, alpha: f32) -> Var {
         let q = crate::loss::soft_assignment(self.value(z), self.value(mu), alpha);
         assert_eq!(q.shape(), p.shape(), "dec_kl: P/Q shape mismatch");
+        adec_tensor::debug_assert_finite!(p, "dec_kl target distribution");
         let mut loss = 0.0f64;
         for i in 0..q.rows() {
             for j in 0..q.cols() {
@@ -676,6 +678,9 @@ fn stable_softplus(x: f32) -> f32 {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::grad_check::numeric_grad;

@@ -25,6 +25,10 @@
 // Numeric kernels index with explicit loop counters throughout; the
 // iterator rewrites clippy suggests are less readable for the math here.
 #![allow(clippy::needless_range_loop)]
+// Every index in the dense kernels is bounded by a shape assertion at the
+// function head (see `debug_assert_dims!`); checked-access rewrites would
+// obscure the inner loops without adding safety.
+#![allow(clippy::indexing_slicing)]
 #![warn(missing_docs)]
 
 pub mod linalg;
@@ -37,6 +41,46 @@ pub use linalg::{
 };
 pub use matrix::Matrix;
 pub use rng::SeedRng;
+
+/// Debug-build invariant: every entry of a matrix is finite.
+///
+/// Expands to a [`debug_assert!`] on [`Matrix::all_finite`], so release
+/// kernels pay nothing while debug runs catch NaN/∞ contamination at the
+/// operation that introduced it rather than epochs later in a loss curve.
+///
+/// ```
+/// use adec_tensor::{debug_assert_finite, Matrix};
+/// let m = Matrix::zeros(2, 3);
+/// debug_assert_finite!(m, "zeros");
+/// ```
+#[macro_export]
+macro_rules! debug_assert_finite {
+    ($m:expr, $ctx:expr) => {
+        debug_assert!(($m).all_finite(), "{}: matrix contains non-finite values", $ctx)
+    };
+}
+
+/// Debug-build invariant: a matrix has the expected shape.
+///
+/// ```
+/// use adec_tensor::{debug_assert_dims, Matrix};
+/// let m = Matrix::zeros(2, 3);
+/// debug_assert_dims!(m, 2, 3, "zeros");
+/// ```
+#[macro_export]
+macro_rules! debug_assert_dims {
+    ($m:expr, $rows:expr, $cols:expr, $ctx:expr) => {
+        debug_assert!(
+            ($m).rows() == $rows && ($m).cols() == $cols,
+            "{}: expected {}x{} matrix, got {}x{}",
+            $ctx,
+            $rows,
+            $cols,
+            ($m).rows(),
+            ($m).cols()
+        )
+    };
+}
 
 /// Errors surfaced by fallible tensor operations.
 ///

@@ -195,6 +195,7 @@ pub fn pairwise_sq_dists(a: &Matrix, b: &Matrix) -> Matrix {
 /// RBF (Gaussian) kernel matrix `K(i,j) = exp(−γ‖xᵢ − xⱼ‖²)` over the rows
 /// of `x`.
 pub fn rbf_kernel(x: &Matrix, gamma: f32) -> Matrix {
+    crate::debug_assert_finite!(x, "rbf_kernel input");
     let mut k = pairwise_sq_dists(x, x);
     k.map_inplace(|d| (-gamma * d).exp());
     k
@@ -208,6 +209,7 @@ pub fn rbf_kernel(x: &Matrix, gamma: f32) -> Matrix {
 /// i.e. `AᵀA = I_d` for the paper's column convention after transposing)
 /// required by the Theorem 1 decomposition check.
 pub fn gram_schmidt_rows(a: &Matrix) -> Matrix {
+    crate::debug_assert_finite!(a, "gram_schmidt_rows input");
     let mut out = a.clone();
     let (rows, cols) = out.shape();
     for i in 0..rows {
@@ -239,6 +241,9 @@ pub fn gram_schmidt_rows(a: &Matrix) -> Matrix {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::rng::SeedRng;

@@ -14,7 +14,6 @@ use crate::TensorError;
 /// descriptive message; use the `try_*` constructors when the input shape is
 /// externally controlled.
 #[derive(Clone, PartialEq)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub struct Matrix {
     rows: usize,
     cols: usize,
@@ -297,12 +296,16 @@ impl Matrix {
     ///
     /// # Panics
     /// Panics if inner dimensions do not match.
+    // Exact-zero skip below is a sparsity fast path, not a tolerance check.
+    #[allow(clippy::float_cmp)]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimension mismatch {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
+        crate::debug_assert_finite!(self, "matmul lhs");
+        crate::debug_assert_finite!(other, "matmul rhs");
         let (m, k, n) = (self.rows, self.cols, other.cols);
         let mut out = Matrix::zeros(m, n);
         // ikj ordering keeps the innermost loop streaming over contiguous
@@ -317,7 +320,7 @@ impl Matrix {
                     let out_row = &mut out.data[i * n..(i + 1) * n];
                     for kk in k0..k1 {
                         let a = a_row[kk];
-                        if a == 0.0 {
+                        if a == 0.0 { // lint:allow(float-eq) exact-zero sparsity skip
                             continue;
                         }
                         let b_row = &other.data[kk * n..(kk + 1) * n];
@@ -332,6 +335,8 @@ impl Matrix {
     }
 
     /// `selfᵀ · other` without materializing the transpose.
+    // Exact-zero skip below is a sparsity fast path, not a tolerance check.
+    #[allow(clippy::float_cmp)]
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn: row mismatch");
         let (k, m, n) = (self.rows, self.cols, other.cols);
@@ -340,7 +345,7 @@ impl Matrix {
             let a_row = self.row(kk);
             let b_row = other.row(kk);
             for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+                if a == 0.0 { // lint:allow(float-eq) exact-zero sparsity skip
                     continue;
                 }
                 let out_row = &mut out.data[i * n..(i + 1) * n];
@@ -373,16 +378,19 @@ impl Matrix {
 
     /// Elementwise sum. Panics on shape mismatch.
     pub fn add(&self, other: &Matrix) -> Matrix {
+        crate::debug_assert_dims!(other, self.rows, self.cols, "add");
         self.zip_with(other, |a, b| a + b)
     }
 
     /// Elementwise difference. Panics on shape mismatch.
     pub fn sub(&self, other: &Matrix) -> Matrix {
+        crate::debug_assert_dims!(other, self.rows, self.cols, "sub");
         self.zip_with(other, |a, b| a - b)
     }
 
     /// Elementwise (Hadamard) product. Panics on shape mismatch.
     pub fn mul(&self, other: &Matrix) -> Matrix {
+        crate::debug_assert_dims!(other, self.rows, self.cols, "mul");
         self.zip_with(other, |a, b| a * b)
     }
 
@@ -541,6 +549,9 @@ impl Matrix {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 

@@ -4,16 +4,29 @@
 //! mini-batch sampling, dataset simulation, augmentation) draws from a
 //! [`SeedRng`], so a single `u64` seed makes an entire experiment
 //! reproducible down to the last gradient step.
+//!
+//! The generator is implemented in-crate (splitmix64 seeding feeding a
+//! xoshiro256++ core) so the workspace builds hermetically with no
+//! external crates and the bit-stream is stable across toolchains.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+/// splitmix64 step — used to expand a single `u64` seed into the
+/// 256-bit xoshiro state and to whiten fork streams.
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
 
 /// A seeded random source with the distributions the workspace needs.
 ///
-/// Thin wrapper over `rand::StdRng` that adds Gaussian sampling
-/// (Box–Muller with caching) and permutation helpers.
+/// xoshiro256++ core (Blackman & Vigna) with splitmix64 seed expansion,
+/// plus Gaussian sampling (Box–Muller with caching) and permutation
+/// helpers.
 pub struct SeedRng {
-    inner: StdRng,
+    state: [u64; 4],
     gauss_cache: Option<f32>,
 }
 
@@ -26,9 +39,55 @@ impl std::fmt::Debug for SeedRng {
 impl SeedRng {
     /// Creates a generator from a 64-bit seed.
     pub fn new(seed: u64) -> Self {
+        let mut sm = seed;
         SeedRng {
-            inner: StdRng::seed_from_u64(seed),
+            state: [
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+                splitmix64(&mut sm),
+            ],
             gauss_cache: None,
+        }
+    }
+
+    /// Next raw 64-bit output (xoshiro256++ step).
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let result = self.state[0]
+            .wrapping_add(self.state[3])
+            .rotate_left(23)
+            .wrapping_add(self.state[0]);
+        let t = self.state[1] << 17;
+        self.state[2] ^= self.state[0];
+        self.state[3] ^= self.state[1];
+        self.state[1] ^= self.state[2];
+        self.state[0] ^= self.state[3];
+        self.state[2] ^= t;
+        self.state[3] = self.state[3].rotate_left(45);
+        result
+    }
+
+    /// Next `f32` uniform in `[0, 1)` (top 24 bits of the stream).
+    #[inline]
+    fn next_f32(&mut self) -> f32 {
+        const SCALE: f32 = 1.0 / (1u32 << 24) as f32;
+        // The >> 40 leaves 24 bits, so the u32 cast cannot truncate.
+        ((self.next_u64() >> 40) as u32) as f32 * SCALE // lint:allow(as-narrowing)
+    }
+
+    /// Unbiased integer in `[0, n)` via Lemire's multiply-shift method.
+    #[inline]
+    fn bounded_u64(&mut self, n: u64) -> u64 {
+        debug_assert!(n > 0, "bounded_u64: n must be positive");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128).wrapping_mul(n as u128);
+            let low = m as u64;
+            if low >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+            // Rejected sample in the biased zone; draw again.
         }
     }
 
@@ -36,18 +95,18 @@ impl SeedRng {
     /// component (dataset, model init, batching) its own stream while
     /// keeping a single experiment-level seed.
     pub fn fork(&mut self, stream: u64) -> SeedRng {
-        let base: u64 = self.inner.gen();
+        let base: u64 = self.next_u64();
         SeedRng::new(base ^ stream.wrapping_mul(0x9E37_79B9_7F4A_7C15))
     }
 
     /// Uniform sample in `[lo, hi)`.
     pub fn uniform(&mut self, lo: f32, hi: f32) -> f32 {
-        lo + (hi - lo) * self.inner.gen::<f32>()
+        lo + (hi - lo) * self.next_f32()
     }
 
     /// Uniform sample in `[0, 1)`.
     pub fn unit(&mut self) -> f32 {
-        self.inner.gen::<f32>()
+        self.next_f32()
     }
 
     /// Uniform integer in `[0, n)`.
@@ -56,7 +115,7 @@ impl SeedRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "SeedRng::below: n must be positive");
-        self.inner.gen_range(0..n)
+        self.bounded_u64(n as u64) as usize
     }
 
     /// Standard normal sample via Box–Muller (second value cached).
@@ -65,11 +124,11 @@ impl SeedRng {
             return v;
         }
         // Reject u1 == 0 to keep ln finite.
-        let mut u1 = self.inner.gen::<f32>();
+        let mut u1 = self.next_f32();
         while u1 <= f32::MIN_POSITIVE {
-            u1 = self.inner.gen::<f32>();
+            u1 = self.next_f32();
         }
-        let u2 = self.inner.gen::<f32>();
+        let u2 = self.next_f32();
         let r = (-2.0 * u1.ln()).sqrt();
         let theta = 2.0 * std::f32::consts::PI * u2;
         self.gauss_cache = Some(r * theta.sin());
@@ -83,13 +142,13 @@ impl SeedRng {
 
     /// Bernoulli draw with probability `p`.
     pub fn coin(&mut self, p: f32) -> bool {
-        self.inner.gen::<f32>() < p
+        self.next_f32() < p
     }
 
     /// Fisher–Yates shuffle in place.
     pub fn shuffle<T>(&mut self, xs: &mut [T]) {
         for i in (1..xs.len()).rev() {
-            let j = self.inner.gen_range(0..=i);
+            let j = self.bounded_u64(i as u64 + 1) as usize;
             xs.swap(i, j);
         }
     }
@@ -128,6 +187,9 @@ impl SeedRng {
 }
 
 #[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
 mod tests {
     use super::*;
 
@@ -161,6 +223,15 @@ mod tests {
     }
 
     #[test]
+    fn unit_stays_in_half_open_interval() {
+        let mut rng = SeedRng::new(23);
+        for _ in 0..10_000 {
+            let u = rng.unit();
+            assert!((0.0..1.0).contains(&u), "unit sample {u} out of [0,1)");
+        }
+    }
+
+    #[test]
     fn normal_moments() {
         let mut rng = SeedRng::new(5);
         let xs: Vec<f32> = (0..20000).map(|_| rng.normal(3.0, 0.5)).collect();
@@ -168,6 +239,28 @@ mod tests {
         let var = xs.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / xs.len() as f32;
         assert!((mean - 3.0).abs() < 0.02);
         assert!((var - 0.25).abs() < 0.02);
+    }
+
+    #[test]
+    fn uniform_moments() {
+        let mut rng = SeedRng::new(29);
+        let n = 40_000;
+        let mean = (0..n).map(|_| rng.uniform(-1.0, 3.0)).sum::<f32>() / n as f32;
+        assert!((mean - 1.0).abs() < 0.03, "uniform mean {mean}");
+    }
+
+    #[test]
+    fn bounded_draws_are_roughly_uniform() {
+        let mut rng = SeedRng::new(31);
+        let mut counts = [0usize; 5];
+        let n = 50_000;
+        for _ in 0..n {
+            counts[rng.below(5)] += 1;
+        }
+        for &c in &counts {
+            let frac = c as f32 / n as f32;
+            assert!((frac - 0.2).abs() < 0.01, "bucket fraction {frac}");
+        }
     }
 
     #[test]

@@ -8,6 +8,10 @@
 //! cargo run --release --example custom_csv -- path/to/your.csv <label-column>
 //! ```
 
+// Example code: a panic with a clear message is the right failure mode for
+// a demo script, and the indices are bounded by the checks right above.
+#![allow(clippy::expect_used, clippy::indexing_slicing)]
+
 use adec_core::prelude::*;
 use adec_core::pretrain::PretrainConfig;
 use adec_core::ArchPreset;

@@ -7,6 +7,10 @@
 //! cargo run --release --example image_pipeline
 //! ```
 
+// Example code: every index ranges over `0..ds.len()`, the shared length
+// of the dataset rows, labels, and cluster output.
+#![allow(clippy::indexing_slicing)]
+
 use adec_core::prelude::*;
 use adec_core::pretrain::PretrainConfig;
 use adec_core::ArchPreset;

@@ -62,9 +62,11 @@ fn main() {
     println!("\ncluster composition (rows = predicted clusters):");
     for cluster in 0..k {
         let mut counts = vec![0usize; k];
-        for i in 0..ds.len() {
-            if adec.labels[i] == cluster {
-                counts[ds.labels[i]] += 1;
+        for (pred, truth) in adec.labels.iter().zip(ds.labels.iter()) {
+            if *pred == cluster {
+                if let Some(c) = counts.get_mut(*truth) {
+                    *c += 1;
+                }
             }
         }
         let total: usize = counts.iter().sum();

@@ -7,6 +7,10 @@
 //! cargo run --release --example text_topics
 //! ```
 
+// Example code: indices and slices range over the dataset's own
+// dimensions, and the max_by runs over a non-empty finite list.
+#![allow(clippy::indexing_slicing, clippy::unwrap_used)]
+
 use adec_classic::{kmeans, lsnmf_cluster, spectral_clustering, KMeansConfig, SpectralConfig};
 use adec_core::prelude::*;
 use adec_core::pretrain::PretrainConfig;

@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# The full workspace gate, exactly as CI runs it. Hermetic: no network.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --workspace --release
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy -- -D warnings"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> adec-lint"
+cargo run -q -p adec-analysis --bin adec-lint
+
+echo "==> adec --check (paper-scale architectures)"
+cargo run -q --release -p adec-cli -- --check --size paper
+
+echo "all checks passed"

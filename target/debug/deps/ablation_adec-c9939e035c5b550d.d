@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_adec-c9939e035c5b550d.d: crates/bench/benches/ablation_adec.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_adec-c9939e035c5b550d.rmeta: crates/bench/benches/ablation_adec.rs Cargo.toml
+
+crates/bench/benches/ablation_adec.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_pretraining-9c3f646a904c2dee.d: crates/bench/benches/ablation_pretraining.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_pretraining-9c3f646a904c2dee.rmeta: crates/bench/benches/ablation_pretraining.rs Cargo.toml
+
+crates/bench/benches/ablation_pretraining.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

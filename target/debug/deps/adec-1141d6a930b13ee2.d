@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adec-1141d6a930b13ee2.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/adec-1141d6a930b13ee2: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

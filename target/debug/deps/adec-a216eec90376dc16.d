@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adec-a216eec90376dc16.d: crates/cli/src/main.rs
+
+/root/repo/target/debug/deps/adec-a216eec90376dc16: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

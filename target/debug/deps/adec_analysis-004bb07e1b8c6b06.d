@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adec_analysis-004bb07e1b8c6b06.d: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+/root/repo/target/debug/deps/adec_analysis-004bb07e1b8c6b06: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/arch.rs:
+crates/analysis/src/diagnostics.rs:
+crates/analysis/src/lint.rs:

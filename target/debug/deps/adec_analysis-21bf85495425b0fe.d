@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adec_analysis-21bf85495425b0fe.d: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_analysis-21bf85495425b0fe.rmeta: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/arch.rs:
+crates/analysis/src/diagnostics.rs:
+crates/analysis/src/lint.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adec_analysis-7bc29908d7ab3fdb.d: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+/root/repo/target/debug/deps/libadec_analysis-7bc29908d7ab3fdb.rlib: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+/root/repo/target/debug/deps/libadec_analysis-7bc29908d7ab3fdb.rmeta: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/arch.rs:
+crates/analysis/src/diagnostics.rs:
+crates/analysis/src/lint.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adec_analysis-963990a463d66814.d: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+/root/repo/target/debug/deps/libadec_analysis-963990a463d66814.rlib: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+/root/repo/target/debug/deps/libadec_analysis-963990a463d66814.rmeta: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/arch.rs:
+crates/analysis/src/diagnostics.rs:
+crates/analysis/src/lint.rs:

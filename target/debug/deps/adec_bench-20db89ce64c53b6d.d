@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adec_bench-20db89ce64c53b6d.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadec_bench-20db89ce64c53b6d.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadec_bench-20db89ce64c53b6d.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adec_bench-698829a17d871f78.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/adec_bench-698829a17d871f78: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

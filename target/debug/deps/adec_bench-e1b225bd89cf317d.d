@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adec_bench-e1b225bd89cf317d.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_bench-e1b225bd89cf317d.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adec_bench-fb5dc00799fbf459.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadec_bench-fb5dc00799fbf459.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libadec_bench-fb5dc00799fbf459.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/adec_classic-19fbc30907500eba.d: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+/root/repo/target/debug/deps/libadec_classic-19fbc30907500eba.rlib: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+/root/repo/target/debug/deps/libadec_classic-19fbc30907500eba.rmeta: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+crates/classic/src/lib.rs:
+crates/classic/src/agglo.rs:
+crates/classic/src/finch.rs:
+crates/classic/src/gmm.rs:
+crates/classic/src/kernel_kmeans.rs:
+crates/classic/src/kmeans.rs:
+crates/classic/src/nmf.rs:
+crates/classic/src/spectral.rs:
+crates/classic/src/ssc.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/adec_classic-7f6b33418440c4be.d: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+/root/repo/target/debug/deps/libadec_classic-7f6b33418440c4be.rlib: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+/root/repo/target/debug/deps/libadec_classic-7f6b33418440c4be.rmeta: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+crates/classic/src/lib.rs:
+crates/classic/src/agglo.rs:
+crates/classic/src/finch.rs:
+crates/classic/src/gmm.rs:
+crates/classic/src/kernel_kmeans.rs:
+crates/classic/src/kmeans.rs:
+crates/classic/src/nmf.rs:
+crates/classic/src/spectral.rs:
+crates/classic/src/ssc.rs:

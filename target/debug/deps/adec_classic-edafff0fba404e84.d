@@ -1,0 +1,17 @@
+/root/repo/target/debug/deps/adec_classic-edafff0fba404e84.d: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_classic-edafff0fba404e84.rmeta: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs Cargo.toml
+
+crates/classic/src/lib.rs:
+crates/classic/src/agglo.rs:
+crates/classic/src/finch.rs:
+crates/classic/src/gmm.rs:
+crates/classic/src/kernel_kmeans.rs:
+crates/classic/src/kmeans.rs:
+crates/classic/src/nmf.rs:
+crates/classic/src/spectral.rs:
+crates/classic/src/ssc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adec_cli-2dbd0e2cc222dd91.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_cli-2dbd0e2cc222dd91.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs Cargo.toml
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/runner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adec_cli-69a3395e63601bf2.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs
+
+/root/repo/target/debug/deps/libadec_cli-69a3395e63601bf2.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs
+
+/root/repo/target/debug/deps/libadec_cli-69a3395e63601bf2.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/runner.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adec_cli-cc4b87064bdef622.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs
+
+/root/repo/target/debug/deps/adec_cli-cc4b87064bdef622: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/runner.rs:

@@ -1,0 +1,22 @@
+/root/repo/target/debug/deps/adec_core-decf9447f225e572.d: crates/core/src/lib.rs crates/core/src/adec.rs crates/core/src/archspec.rs crates/core/src/autoencoder.rs crates/core/src/dcn.rs crates/core/src/dec.rs crates/core/src/idec.rs crates/core/src/jule.rs crates/core/src/lite.rs crates/core/src/pretrain.rs crates/core/src/session.rs crates/core/src/theory.rs crates/core/src/vade.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_core-decf9447f225e572.rmeta: crates/core/src/lib.rs crates/core/src/adec.rs crates/core/src/archspec.rs crates/core/src/autoencoder.rs crates/core/src/dcn.rs crates/core/src/dec.rs crates/core/src/idec.rs crates/core/src/jule.rs crates/core/src/lite.rs crates/core/src/pretrain.rs crates/core/src/session.rs crates/core/src/theory.rs crates/core/src/vade.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adec.rs:
+crates/core/src/archspec.rs:
+crates/core/src/autoencoder.rs:
+crates/core/src/dcn.rs:
+crates/core/src/dec.rs:
+crates/core/src/idec.rs:
+crates/core/src/jule.rs:
+crates/core/src/lite.rs:
+crates/core/src/pretrain.rs:
+crates/core/src/session.rs:
+crates/core/src/theory.rs:
+crates/core/src/vade.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/adec_core-fe6d19c43033eeff.d: crates/core/src/lib.rs crates/core/src/adec.rs crates/core/src/archspec.rs crates/core/src/autoencoder.rs crates/core/src/dcn.rs crates/core/src/dec.rs crates/core/src/idec.rs crates/core/src/jule.rs crates/core/src/lite.rs crates/core/src/pretrain.rs crates/core/src/session.rs crates/core/src/theory.rs crates/core/src/vade.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libadec_core-fe6d19c43033eeff.rlib: crates/core/src/lib.rs crates/core/src/adec.rs crates/core/src/archspec.rs crates/core/src/autoencoder.rs crates/core/src/dcn.rs crates/core/src/dec.rs crates/core/src/idec.rs crates/core/src/jule.rs crates/core/src/lite.rs crates/core/src/pretrain.rs crates/core/src/session.rs crates/core/src/theory.rs crates/core/src/vade.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libadec_core-fe6d19c43033eeff.rmeta: crates/core/src/lib.rs crates/core/src/adec.rs crates/core/src/archspec.rs crates/core/src/autoencoder.rs crates/core/src/dcn.rs crates/core/src/dec.rs crates/core/src/idec.rs crates/core/src/jule.rs crates/core/src/lite.rs crates/core/src/pretrain.rs crates/core/src/session.rs crates/core/src/theory.rs crates/core/src/vade.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adec.rs:
+crates/core/src/archspec.rs:
+crates/core/src/autoencoder.rs:
+crates/core/src/dcn.rs:
+crates/core/src/dec.rs:
+crates/core/src/idec.rs:
+crates/core/src/jule.rs:
+crates/core/src/lite.rs:
+crates/core/src/pretrain.rs:
+crates/core/src/session.rs:
+crates/core/src/theory.rs:
+crates/core/src/vade.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adec_datagen-8578adbb1fe3f8df.d: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs
+
+/root/repo/target/debug/deps/adec_datagen-8578adbb1fe3f8df: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/augment.rs:
+crates/datagen/src/csv.rs:
+crates/datagen/src/digits.rs:
+crates/datagen/src/fashion.rs:
+crates/datagen/src/render.rs:
+crates/datagen/src/tabular.rs:
+crates/datagen/src/text.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adec_datagen-c121f60cafaea690.d: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs
+
+/root/repo/target/debug/deps/libadec_datagen-c121f60cafaea690.rlib: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs
+
+/root/repo/target/debug/deps/libadec_datagen-c121f60cafaea690.rmeta: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/augment.rs:
+crates/datagen/src/csv.rs:
+crates/datagen/src/digits.rs:
+crates/datagen/src/fashion.rs:
+crates/datagen/src/render.rs:
+crates/datagen/src/tabular.rs:
+crates/datagen/src/text.rs:

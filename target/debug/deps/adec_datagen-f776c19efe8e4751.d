@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/adec_datagen-f776c19efe8e4751.d: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_datagen-f776c19efe8e4751.rmeta: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs Cargo.toml
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/augment.rs:
+crates/datagen/src/csv.rs:
+crates/datagen/src/digits.rs:
+crates/datagen/src/fashion.rs:
+crates/datagen/src/render.rs:
+crates/datagen/src/tabular.rs:
+crates/datagen/src/text.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

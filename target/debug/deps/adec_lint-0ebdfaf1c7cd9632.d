@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adec_lint-0ebdfaf1c7cd9632.d: crates/analysis/src/bin/adec-lint.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_lint-0ebdfaf1c7cd9632.rmeta: crates/analysis/src/bin/adec-lint.rs Cargo.toml
+
+crates/analysis/src/bin/adec-lint.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

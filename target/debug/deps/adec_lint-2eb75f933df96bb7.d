@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adec_lint-2eb75f933df96bb7.d: crates/analysis/src/bin/adec-lint.rs
+
+/root/repo/target/debug/deps/adec_lint-2eb75f933df96bb7: crates/analysis/src/bin/adec-lint.rs
+
+crates/analysis/src/bin/adec-lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

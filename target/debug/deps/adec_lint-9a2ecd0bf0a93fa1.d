@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adec_lint-9a2ecd0bf0a93fa1.d: crates/analysis/src/bin/adec-lint.rs
+
+/root/repo/target/debug/deps/adec_lint-9a2ecd0bf0a93fa1: crates/analysis/src/bin/adec-lint.rs
+
+crates/analysis/src/bin/adec-lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

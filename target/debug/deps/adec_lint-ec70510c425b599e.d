@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adec_lint-ec70510c425b599e.d: crates/analysis/src/bin/adec-lint.rs
+
+/root/repo/target/debug/deps/adec_lint-ec70510c425b599e: crates/analysis/src/bin/adec-lint.rs
+
+crates/analysis/src/bin/adec-lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

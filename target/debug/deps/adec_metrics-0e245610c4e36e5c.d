@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adec_metrics-0e245610c4e36e5c.d: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+/root/repo/target/debug/deps/adec_metrics-0e245610c4e36e5c: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/contingency.rs:
+crates/metrics/src/hungarian.rs:
+crates/metrics/src/silhouette.rs:
+crates/metrics/src/tradeoff.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adec_metrics-3becaa0031ca8a4f.d: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+/root/repo/target/debug/deps/libadec_metrics-3becaa0031ca8a4f.rlib: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+/root/repo/target/debug/deps/libadec_metrics-3becaa0031ca8a4f.rmeta: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/contingency.rs:
+crates/metrics/src/hungarian.rs:
+crates/metrics/src/silhouette.rs:
+crates/metrics/src/tradeoff.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/adec_metrics-b46928586f694bd2.d: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+/root/repo/target/debug/deps/libadec_metrics-b46928586f694bd2.rlib: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+/root/repo/target/debug/deps/libadec_metrics-b46928586f694bd2.rmeta: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/contingency.rs:
+crates/metrics/src/hungarian.rs:
+crates/metrics/src/silhouette.rs:
+crates/metrics/src/tradeoff.rs:

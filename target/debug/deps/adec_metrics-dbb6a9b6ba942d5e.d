@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/adec_metrics-dbb6a9b6ba942d5e.d: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_metrics-dbb6a9b6ba942d5e.rmeta: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs Cargo.toml
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/contingency.rs:
+crates/metrics/src/hungarian.rs:
+crates/metrics/src/silhouette.rs:
+crates/metrics/src/tradeoff.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

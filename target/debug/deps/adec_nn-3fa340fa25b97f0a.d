@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/adec_nn-3fa340fa25b97f0a.d: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_nn-3fa340fa25b97f0a.rmeta: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/grad_check.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:
+crates/nn/src/tape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

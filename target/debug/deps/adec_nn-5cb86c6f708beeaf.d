@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adec_nn-5cb86c6f708beeaf.d: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libadec_nn-5cb86c6f708beeaf.rlib: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libadec_nn-5cb86c6f708beeaf.rmeta: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/grad_check.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/adec_nn-d0de30224dd42c26.d: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libadec_nn-d0de30224dd42c26.rlib: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/libadec_nn-d0de30224dd42c26.rmeta: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/grad_check.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adec_nn-d41db018d7c34817.d: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+/root/repo/target/debug/deps/adec_nn-d41db018d7c34817: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/grad_check.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adec_suite-16c68e8bfb608aa7.d: src/lib.rs
+
+/root/repo/target/debug/deps/adec_suite-16c68e8bfb608aa7: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adec_suite-47c79c1407bad137.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadec_suite-47c79c1407bad137.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadec_suite-47c79c1407bad137.rmeta: src/lib.rs
+
+src/lib.rs:

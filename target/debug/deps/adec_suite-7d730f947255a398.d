@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adec_suite-7d730f947255a398.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_suite-7d730f947255a398.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

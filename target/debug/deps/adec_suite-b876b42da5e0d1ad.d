@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/adec_suite-b876b42da5e0d1ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libadec_suite-b876b42da5e0d1ad.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libadec_suite-b876b42da5e0d1ad.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/adec_tensor-1b49d15c8c14fa88.d: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/adec_tensor-1b49d15c8c14fa88: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adec_tensor-29fa41b5b5e55ff0.d: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_tensor-29fa41b5b5e55ff0.rmeta: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/adec_tensor-3add48ab39ba40d0.d: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/libadec_tensor-3add48ab39ba40d0.rlib: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+
+/root/repo/target/debug/deps/libadec_tensor-3add48ab39ba40d0.rmeta: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/adec_tensor-9af523de2417b111.d: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadec_tensor-9af523de2417b111.rmeta: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs Cargo.toml
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

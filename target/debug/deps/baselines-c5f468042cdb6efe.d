@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/baselines-c5f468042cdb6efe.d: tests/baselines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libbaselines-c5f468042cdb6efe.rmeta: tests/baselines.rs Cargo.toml
+
+tests/baselines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

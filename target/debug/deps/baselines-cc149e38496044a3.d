@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/baselines-cc149e38496044a3.d: tests/baselines.rs
+
+/root/repo/target/debug/deps/baselines-cc149e38496044a3: tests/baselines.rs
+
+tests/baselines.rs:

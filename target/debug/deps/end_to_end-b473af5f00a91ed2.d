@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b473af5f00a91ed2.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-b473af5f00a91ed2: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10_gamma_sensitivity-17271961c072515e.d: crates/bench/benches/fig10_gamma_sensitivity.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10_gamma_sensitivity-17271961c072515e.rmeta: crates/bench/benches/fig10_gamma_sensitivity.rs Cargo.toml
+
+crates/bench/benches/fig10_gamma_sensitivity.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

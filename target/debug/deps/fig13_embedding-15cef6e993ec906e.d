@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13_embedding-15cef6e993ec906e.d: crates/bench/benches/fig13_embedding.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13_embedding-15cef6e993ec906e.rmeta: crates/bench/benches/fig13_embedding.rs Cargo.toml
+
+crates/bench/benches/fig13_embedding.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

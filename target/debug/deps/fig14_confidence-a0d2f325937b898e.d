@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig14_confidence-a0d2f325937b898e.d: crates/bench/benches/fig14_confidence.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig14_confidence-a0d2f325937b898e.rmeta: crates/bench/benches/fig14_confidence.rs Cargo.toml
+
+crates/bench/benches/fig14_confidence.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig6_reconstruction-95819e93c5543e37.d: crates/bench/benches/fig6_reconstruction.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6_reconstruction-95819e93c5543e37.rmeta: crates/bench/benches/fig6_reconstruction.rs Cargo.toml
+
+crates/bench/benches/fig6_reconstruction.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig7_feature_randomness-f87c4b862a64ad4f.d: crates/bench/benches/fig7_feature_randomness.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7_feature_randomness-f87c4b862a64ad4f.rmeta: crates/bench/benches/fig7_feature_randomness.rs Cargo.toml
+
+crates/bench/benches/fig7_feature_randomness.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig8_feature_drift-eb1a6bc481bdfeba.d: crates/bench/benches/fig8_feature_drift.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8_feature_drift-eb1a6bc481bdfeba.rmeta: crates/bench/benches/fig8_feature_drift.rs Cargo.toml
+
+crates/bench/benches/fig8_feature_drift.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig9_learning_curves-12d1d205511bb872.d: crates/bench/benches/fig9_learning_curves.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9_learning_curves-12d1d205511bb872.rmeta: crates/bench/benches/fig9_learning_curves.rs Cargo.toml
+
+crates/bench/benches/fig9_learning_curves.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

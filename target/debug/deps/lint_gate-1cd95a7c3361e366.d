@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/lint_gate-1cd95a7c3361e366.d: crates/analysis/tests/lint_gate.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblint_gate-1cd95a7c3361e366.rmeta: crates/analysis/tests/lint_gate.rs Cargo.toml
+
+crates/analysis/tests/lint_gate.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/lint_gate-2cf0d0707e15402f.d: crates/analysis/tests/lint_gate.rs
+
+/root/repo/target/debug/deps/lint_gate-2cf0d0707e15402f: crates/analysis/tests/lint_gate.rs
+
+crates/analysis/tests/lint_gate.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

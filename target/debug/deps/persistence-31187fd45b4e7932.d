@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/persistence-31187fd45b4e7932.d: tests/persistence.rs
+
+/root/repo/target/debug/deps/persistence-31187fd45b4e7932: tests/persistence.rs
+
+tests/persistence.rs:

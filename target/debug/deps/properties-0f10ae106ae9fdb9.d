@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-0f10ae106ae9fdb9.d: crates/tensor/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-0f10ae106ae9fdb9: crates/tensor/tests/properties.rs
+
+crates/tensor/tests/properties.rs:

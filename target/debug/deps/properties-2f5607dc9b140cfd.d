@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-2f5607dc9b140cfd.d: crates/datagen/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-2f5607dc9b140cfd.rmeta: crates/datagen/tests/properties.rs Cargo.toml
+
+crates/datagen/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

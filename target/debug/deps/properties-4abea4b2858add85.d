@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-4abea4b2858add85.d: crates/classic/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-4abea4b2858add85: crates/classic/tests/properties.rs
+
+crates/classic/tests/properties.rs:

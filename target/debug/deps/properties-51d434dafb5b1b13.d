@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-51d434dafb5b1b13.d: crates/classic/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-51d434dafb5b1b13.rmeta: crates/classic/tests/properties.rs Cargo.toml
+
+crates/classic/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-52161e4937e5edf6.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-52161e4937e5edf6: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-77a858ea6fdf2daf.d: crates/nn/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-77a858ea6fdf2daf.rmeta: crates/nn/tests/properties.rs Cargo.toml
+
+crates/nn/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d46c5c08982df917.d: crates/tensor/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d46c5c08982df917.rmeta: crates/tensor/tests/properties.rs Cargo.toml
+
+crates/tensor/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f01f1a8a14f0ecb3.d: crates/nn/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f01f1a8a14f0ecb3: crates/nn/tests/properties.rs
+
+crates/nn/tests/properties.rs:

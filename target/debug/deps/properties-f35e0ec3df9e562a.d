@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-f35e0ec3df9e562a.d: crates/datagen/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-f35e0ec3df9e562a: crates/datagen/tests/properties.rs
+
+crates/datagen/tests/properties.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thm1_decomposition-9a2f3b2439342b53.d: crates/bench/benches/thm1_decomposition.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthm1_decomposition-9a2f3b2439342b53.rmeta: crates/bench/benches/thm1_decomposition.rs Cargo.toml
+
+crates/bench/benches/thm1_decomposition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/thm23_gradients-7fb0b4b6b658261b.d: crates/bench/benches/thm23_gradients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libthm23_gradients-7fb0b4b6b658261b.rmeta: crates/bench/benches/thm23_gradients.rs Cargo.toml
+
+crates/bench/benches/thm23_gradients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/custom_csv-1d13b3289aa88e30.d: examples/custom_csv.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcustom_csv-1d13b3289aa88e30.rmeta: examples/custom_csv.rs Cargo.toml
+
+examples/custom_csv.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/custom_csv-52208135459dfcc3.d: examples/custom_csv.rs
+
+/root/repo/target/debug/examples/custom_csv-52208135459dfcc3: examples/custom_csv.rs
+
+examples/custom_csv.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/image_pipeline-54cdbe51a5e784c3.d: examples/image_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libimage_pipeline-54cdbe51a5e784c3.rmeta: examples/image_pipeline.rs Cargo.toml
+
+examples/image_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/image_pipeline-930d020a190e5f95.d: examples/image_pipeline.rs
+
+/root/repo/target/debug/examples/image_pipeline-930d020a190e5f95: examples/image_pipeline.rs
+
+examples/image_pipeline.rs:

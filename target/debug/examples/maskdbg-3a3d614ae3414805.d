@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/maskdbg-3a3d614ae3414805.d: crates/analysis/examples/maskdbg.rs
+
+/root/repo/target/debug/examples/maskdbg-3a3d614ae3414805: crates/analysis/examples/maskdbg.rs
+
+crates/analysis/examples/maskdbg.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b01553e23db7585d.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b01553e23db7585d: examples/quickstart.rs
+
+examples/quickstart.rs:

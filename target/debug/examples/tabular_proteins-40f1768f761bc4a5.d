@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tabular_proteins-40f1768f761bc4a5.d: examples/tabular_proteins.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtabular_proteins-40f1768f761bc4a5.rmeta: examples/tabular_proteins.rs Cargo.toml
+
+examples/tabular_proteins.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tabular_proteins-7ebb9d5c4707a5fd.d: examples/tabular_proteins.rs
+
+/root/repo/target/debug/examples/tabular_proteins-7ebb9d5c4707a5fd: examples/tabular_proteins.rs
+
+examples/tabular_proteins.rs:

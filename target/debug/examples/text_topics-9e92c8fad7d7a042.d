@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/text_topics-9e92c8fad7d7a042.d: examples/text_topics.rs
+
+/root/repo/target/debug/examples/text_topics-9e92c8fad7d7a042: examples/text_topics.rs
+
+examples/text_topics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/text_topics-ed67bdd7207b6acc.d: examples/text_topics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtext_topics-ed67bdd7207b6acc.rmeta: examples/text_topics.rs Cargo.toml
+
+examples/text_topics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

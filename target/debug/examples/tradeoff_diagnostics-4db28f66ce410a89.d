@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tradeoff_diagnostics-4db28f66ce410a89.d: examples/tradeoff_diagnostics.rs
+
+/root/repo/target/debug/examples/tradeoff_diagnostics-4db28f66ce410a89: examples/tradeoff_diagnostics.rs
+
+examples/tradeoff_diagnostics.rs:

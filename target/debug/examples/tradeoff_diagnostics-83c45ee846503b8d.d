@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tradeoff_diagnostics-83c45ee846503b8d.d: examples/tradeoff_diagnostics.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtradeoff_diagnostics-83c45ee846503b8d.rmeta: examples/tradeoff_diagnostics.rs Cargo.toml
+
+examples/tradeoff_diagnostics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

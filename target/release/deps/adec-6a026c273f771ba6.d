@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/adec-6a026c273f771ba6.d: crates/cli/src/main.rs
+
+/root/repo/target/release/deps/adec-6a026c273f771ba6: crates/cli/src/main.rs
+
+crates/cli/src/main.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/adec_analysis-75997d3e9a6dd5fc.d: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+/root/repo/target/release/deps/libadec_analysis-75997d3e9a6dd5fc.rlib: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+/root/repo/target/release/deps/libadec_analysis-75997d3e9a6dd5fc.rmeta: crates/analysis/src/lib.rs crates/analysis/src/arch.rs crates/analysis/src/diagnostics.rs crates/analysis/src/lint.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/arch.rs:
+crates/analysis/src/diagnostics.rs:
+crates/analysis/src/lint.rs:

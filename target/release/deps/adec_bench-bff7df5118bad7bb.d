@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adec_bench-bff7df5118bad7bb.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libadec_bench-bff7df5118bad7bb.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libadec_bench-bff7df5118bad7bb.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

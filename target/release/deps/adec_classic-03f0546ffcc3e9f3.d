@@ -1,0 +1,15 @@
+/root/repo/target/release/deps/adec_classic-03f0546ffcc3e9f3.d: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+/root/repo/target/release/deps/libadec_classic-03f0546ffcc3e9f3.rlib: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+/root/repo/target/release/deps/libadec_classic-03f0546ffcc3e9f3.rmeta: crates/classic/src/lib.rs crates/classic/src/agglo.rs crates/classic/src/finch.rs crates/classic/src/gmm.rs crates/classic/src/kernel_kmeans.rs crates/classic/src/kmeans.rs crates/classic/src/nmf.rs crates/classic/src/spectral.rs crates/classic/src/ssc.rs
+
+crates/classic/src/lib.rs:
+crates/classic/src/agglo.rs:
+crates/classic/src/finch.rs:
+crates/classic/src/gmm.rs:
+crates/classic/src/kernel_kmeans.rs:
+crates/classic/src/kmeans.rs:
+crates/classic/src/nmf.rs:
+crates/classic/src/spectral.rs:
+crates/classic/src/ssc.rs:

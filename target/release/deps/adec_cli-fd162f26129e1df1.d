@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/adec_cli-fd162f26129e1df1.d: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs
+
+/root/repo/target/release/deps/libadec_cli-fd162f26129e1df1.rlib: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs
+
+/root/repo/target/release/deps/libadec_cli-fd162f26129e1df1.rmeta: crates/cli/src/lib.rs crates/cli/src/args.rs crates/cli/src/runner.rs
+
+crates/cli/src/lib.rs:
+crates/cli/src/args.rs:
+crates/cli/src/runner.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/adec_datagen-4a976f002860414f.d: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs
+
+/root/repo/target/release/deps/libadec_datagen-4a976f002860414f.rlib: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs
+
+/root/repo/target/release/deps/libadec_datagen-4a976f002860414f.rmeta: crates/datagen/src/lib.rs crates/datagen/src/augment.rs crates/datagen/src/csv.rs crates/datagen/src/digits.rs crates/datagen/src/fashion.rs crates/datagen/src/render.rs crates/datagen/src/tabular.rs crates/datagen/src/text.rs
+
+crates/datagen/src/lib.rs:
+crates/datagen/src/augment.rs:
+crates/datagen/src/csv.rs:
+crates/datagen/src/digits.rs:
+crates/datagen/src/fashion.rs:
+crates/datagen/src/render.rs:
+crates/datagen/src/tabular.rs:
+crates/datagen/src/text.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adec_lint-99de80572112acd8.d: crates/analysis/src/bin/adec-lint.rs
+
+/root/repo/target/release/deps/adec_lint-99de80572112acd8: crates/analysis/src/bin/adec-lint.rs
+
+crates/analysis/src/bin/adec-lint.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/analysis

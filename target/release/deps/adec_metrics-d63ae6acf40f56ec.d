@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/adec_metrics-d63ae6acf40f56ec.d: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+/root/repo/target/release/deps/libadec_metrics-d63ae6acf40f56ec.rlib: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+/root/repo/target/release/deps/libadec_metrics-d63ae6acf40f56ec.rmeta: crates/metrics/src/lib.rs crates/metrics/src/contingency.rs crates/metrics/src/hungarian.rs crates/metrics/src/silhouette.rs crates/metrics/src/tradeoff.rs
+
+crates/metrics/src/lib.rs:
+crates/metrics/src/contingency.rs:
+crates/metrics/src/hungarian.rs:
+crates/metrics/src/silhouette.rs:
+crates/metrics/src/tradeoff.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/adec_nn-1aba736e0bcde445.d: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/libadec_nn-1aba736e0bcde445.rlib: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+/root/repo/target/release/deps/libadec_nn-1aba736e0bcde445.rmeta: crates/nn/src/lib.rs crates/nn/src/grad_check.rs crates/nn/src/io.rs crates/nn/src/layers.rs crates/nn/src/loss.rs crates/nn/src/optim.rs crates/nn/src/store.rs crates/nn/src/tape.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/grad_check.rs:
+crates/nn/src/io.rs:
+crates/nn/src/layers.rs:
+crates/nn/src/loss.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/store.rs:
+crates/nn/src/tape.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/adec_suite-ab16d3918261d44f.d: src/lib.rs
+
+/root/repo/target/release/deps/libadec_suite-ab16d3918261d44f.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libadec_suite-ab16d3918261d44f.rmeta: src/lib.rs
+
+src/lib.rs:

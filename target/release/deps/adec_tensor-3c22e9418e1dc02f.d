@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/adec_tensor-3c22e9418e1dc02f.d: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+
+/root/repo/target/release/deps/libadec_tensor-3c22e9418e1dc02f.rlib: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+
+/root/repo/target/release/deps/libadec_tensor-3c22e9418e1dc02f.rmeta: crates/tensor/src/lib.rs crates/tensor/src/linalg.rs crates/tensor/src/matrix.rs crates/tensor/src/rng.rs
+
+crates/tensor/src/lib.rs:
+crates/tensor/src/linalg.rs:
+crates/tensor/src/matrix.rs:
+crates/tensor/src/rng.rs:

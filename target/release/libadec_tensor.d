@@ -1,0 +1,1 @@
+/root/repo/target/release/libadec_tensor.rlib: /root/repo/crates/tensor/src/lib.rs /root/repo/crates/tensor/src/linalg.rs /root/repo/crates/tensor/src/matrix.rs /root/repo/crates/tensor/src/rng.rs

@@ -2,6 +2,9 @@
 //! into a fresh process-state, and verify the embedding (and a subsequent
 //! clustering run) are identical.
 
+// Test code: a panic on I/O failure is the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used)]
+
 use adec_core::prelude::*;
 use adec_core::pretrain::PretrainConfig;
 use adec_core::ArchPreset;
@@ -43,7 +46,7 @@ fn cli_save_weights_flag_writes_a_loadable_file() {
     let report = adec_cli::runner::run(&args).expect("cli run");
     assert!(!report.labels.is_empty());
     let loaded = load_store(&path).expect("cli-saved weights must load");
-    assert!(loaded.len() > 0);
+    assert!(!loaded.is_empty());
     let _ = std::fs::remove_file(&path);
 }
 
