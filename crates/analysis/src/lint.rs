@@ -197,7 +197,9 @@ fn is_kernel_path(rel: &str) -> bool {
 /// Tensor kernel files where every matrix-taking `pub fn` must open with a
 /// dimension assert.
 fn needs_kernel_asserts(rel: &str) -> bool {
-    rel == "crates/tensor/src/matrix.rs" || rel == "crates/tensor/src/linalg.rs"
+    rel == "crates/tensor/src/matrix.rs"
+        || rel == "crates/tensor/src/linalg.rs"
+        || rel == "crates/tensor/src/kernels.rs"
 }
 
 /// Parses every `lint:allow(a, b)` occurrence on a line into rule names
@@ -699,6 +701,11 @@ mod tests {
         assert_eq!(diags[0].rule, "lint.kernel-assert");
         // The same file outside the kernel list is not checked.
         assert!(lint_source("crates/nn/src/layers.rs", bad).is_empty());
+        // The kernels module itself is on the list.
+        let kernel_bad = "pub fn matmul(a: &Matrix, b: &Matrix) -> Matrix {\n    body()\n}\n";
+        let diags = lint_source("crates/tensor/src/kernels.rs", kernel_bad);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lint.kernel-assert");
         // Allowable.
         let allowed = "impl Matrix {\n    // shape-oblivious by design -- lint:allow(kernel-assert)\n    pub fn scale(&self, xs: &[f32]) -> Matrix {\n        body()\n    }\n}\n";
         assert!(lint_source("crates/tensor/src/matrix.rs", allowed).is_empty());

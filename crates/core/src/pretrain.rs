@@ -204,12 +204,7 @@ pub fn pretrain_autoencoder(
             let z1 = ae.encoder.infer(store, &x);
             let z2 = ae.encoder.infer(store, &x2);
             let alphas: Vec<f32> = (0..b).map(|_| rng.uniform(0.0, 0.5)).collect();
-            let mut zmix = Matrix::zeros(b, z1.cols());
-            for i in 0..b {
-                for t in 0..z1.cols() {
-                    zmix.set(i, t, alphas[i] * z1.get(i, t) + (1.0 - alphas[i]) * z2.get(i, t));
-                }
-            }
+            let zmix = adec_tensor::row_lerp(&z1, &z2, &alphas);
             let xmix = ae.decoder.infer(store, &zmix);
             let xhat = ae.decoder.infer(store, &z1);
             let gamma = rng.uniform(0.0, 1.0);

@@ -7,7 +7,7 @@
 
 use crate::{normalize_paper, Dataset, Modality};
 use adec_tensor::Matrix;
-use std::io::{BufRead, BufReader, Read};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::path::Path;
 
 /// CSV loading options.
@@ -164,6 +164,56 @@ pub fn load_csv(path: impl AsRef<Path>, opts: &CsvOptions) -> Result<Dataset, Cs
     read_csv(file, opts)
 }
 
+/// Serializes a [`Dataset`] as CSV: one sample per line, features printed
+/// with `f32`'s shortest-roundtrip formatting (so write → parse reproduces
+/// the exact same bits), and the compact label id appended as the final
+/// column when `with_labels` is true.
+///
+/// The natural read-back options are
+/// `CsvOptions { label_column: Some(ds.dim()), normalize: false, .. }`.
+/// Note the parser re-compacts labels in first-appearance order: the
+/// partition always survives the round trip exactly, and the ids
+/// themselves survive whenever class 0 appears before class 1, etc.
+pub fn write_csv<W: Write>(
+    mut writer: W,
+    ds: &Dataset,
+    delimiter: char,
+    with_labels: bool,
+) -> Result<(), CsvError> {
+    let mut line = String::new();
+    for i in 0..ds.len() {
+        line.clear();
+        for (c, v) in ds.data.row(i).iter().enumerate() {
+            if c > 0 {
+                line.push(delimiter);
+            }
+            line.push_str(&v.to_string());
+        }
+        if with_labels {
+            if ds.dim() > 0 {
+                line.push(delimiter);
+            }
+            line.push_str(&ds.labels[i].to_string());
+        }
+        line.push('\n');
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| err(i + 1, e.to_string()))?;
+    }
+    Ok(())
+}
+
+/// Writes a [`Dataset`] to a CSV file on disk (see [`write_csv`]).
+pub fn save_csv(
+    path: impl AsRef<Path>,
+    ds: &Dataset,
+    delimiter: char,
+    with_labels: bool,
+) -> Result<(), CsvError> {
+    let file = std::fs::File::create(&path).map_err(|e| err(0, e.to_string()))?;
+    write_csv(std::io::BufWriter::new(file), ds, delimiter, with_labels)
+}
+
 #[cfg(test)]
 // Test code: exact float comparisons and unwraps are the assertions
 // themselves here.
@@ -258,5 +308,62 @@ mod tests {
     #[test]
     fn empty_file_is_an_error() {
         assert!(read_csv("".as_bytes(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn write_parse_round_trip_is_exact() {
+        // Awkward values on purpose: subnormal, shortest-roundtrip-long
+        // fractions, extremes — all must survive bit-for-bit.
+        let data = Matrix::from_vec(
+            3,
+            2,
+            vec![1.5e-7, -0.1, 3.4028235e38, 0.333_333_34, -2.0, 7.25],
+        );
+        let ds = Dataset {
+            name: "rt",
+            data,
+            labels: vec![0, 1, 0],
+            n_classes: 2,
+            modality: Modality::Tabular,
+        };
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds, ',', true).unwrap();
+        let parsed = read_csv(
+            buf.as_slice(),
+            &CsvOptions {
+                label_column: Some(2),
+                normalize: false,
+                ..CsvOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(parsed.data, ds.data);
+        assert_eq!(parsed.labels, ds.labels);
+        assert_eq!(parsed.n_classes, ds.n_classes);
+    }
+
+    #[test]
+    fn write_without_labels_round_trips_features() {
+        let ds = Dataset {
+            name: "rt2",
+            data: Matrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]),
+            labels: vec![7, 9],
+            n_classes: 2,
+            modality: Modality::Tabular,
+        };
+        let mut buf = Vec::new();
+        write_csv(&mut buf, &ds, ';', false).unwrap();
+        let parsed = read_csv(
+            buf.as_slice(),
+            &CsvOptions {
+                delimiter: ';',
+                normalize: false,
+                ..CsvOptions::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(parsed.data, ds.data);
+        assert_eq!(parsed.labels, vec![0, 0]);
+        assert_eq!(parsed.n_classes, 1);
     }
 }

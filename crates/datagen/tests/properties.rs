@@ -105,3 +105,44 @@ fn csv_roundtrip_of_random_tables() {
         assert!(ds.data.sub(&m).max_abs() < 1e-4, "seed {seed}");
     }
 }
+
+#[test]
+fn csv_save_load_round_trip_is_identical() {
+    // Full persistence cycle through disk: generate → save_csv → load_csv
+    // must reproduce the exact same feature bits and label partition.
+    use adec_datagen::csv::{load_csv, save_csv};
+    for (i, b) in Benchmark::ALL.iter().enumerate() {
+        let ds = b.generate(Size::Small, 7);
+        let path = std::env::temp_dir().join(format!("adec_csv_roundtrip_{i}.csv"));
+        save_csv(&path, &ds, ',', true).expect("save_csv");
+        let parsed = load_csv(
+            &path,
+            &CsvOptions {
+                label_column: Some(ds.dim()),
+                normalize: false,
+                ..CsvOptions::default()
+            },
+        )
+        .expect("load_csv");
+        let _ = std::fs::remove_file(&path);
+
+        assert_eq!(parsed.data, ds.data, "{} features changed", ds.name);
+        assert_eq!(parsed.n_classes, ds.n_classes, "{} class count", ds.name);
+        // The parser re-compacts label ids in first-appearance order, so
+        // compare partitions through that same compaction.
+        let mut seen: Vec<usize> = Vec::new();
+        let compacted: Vec<usize> = ds
+            .labels
+            .iter()
+            .map(|&l| {
+                if let Some(pos) = seen.iter().position(|&s| s == l) {
+                    pos
+                } else {
+                    seen.push(l);
+                    seen.len() - 1
+                }
+            })
+            .collect();
+        assert_eq!(parsed.labels, compacted, "{} labels changed", ds.name);
+    }
+}

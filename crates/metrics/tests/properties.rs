@@ -1,0 +1,185 @@
+//! Property tests for the evaluation metrics: permutation invariance of
+//! ACC/NMI, Hungarian optimality against brute-force enumeration,
+//! silhouette bounds, and sign/range sanity of the paper's Δ_FR / Δ_FD
+//! gradient cosines.
+
+// Test code: panics, bounded indexing, and exact float comparisons are
+// the assertions themselves here.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::float_cmp)]
+
+use adec_metrics::hungarian::assignment_cost;
+use adec_metrics::{
+    accuracy, ari, delta_fd, delta_fr, hungarian_min_cost, mean_silhouette, nmi, purity,
+};
+use adec_tensor::{Matrix, SeedRng};
+
+fn random_labels(n: usize, k: usize, rng: &mut SeedRng) -> Vec<usize> {
+    (0..n).map(|_| rng.uniform(0.0, k as f32) as usize % k).collect()
+}
+
+/// Relabels `labels` through a permutation of the cluster ids.
+fn permute_labels(labels: &[usize], perm: &[usize]) -> Vec<usize> {
+    labels.iter().map(|&l| perm[l]).collect()
+}
+
+#[test]
+fn acc_and_nmi_invariant_under_cluster_relabeling() {
+    for seed in [1u64, 2, 3] {
+        let mut rng = SeedRng::new(seed);
+        let k = 4;
+        let y_true = random_labels(60, k, &mut rng);
+        let y_pred = random_labels(60, k, &mut rng);
+        let base_acc = accuracy(&y_true, &y_pred);
+        let base_nmi = nmi(&y_true, &y_pred);
+        let base_ari = ari(&y_true, &y_pred);
+        for _ in 0..5 {
+            let perm = rng.permutation(k);
+            let relabeled = permute_labels(&y_pred, &perm);
+            let acc_p = accuracy(&y_true, &relabeled);
+            let nmi_p = nmi(&y_true, &relabeled);
+            let ari_p = ari(&y_true, &relabeled);
+            assert!(
+                (acc_p - base_acc).abs() < 1e-6,
+                "ACC not permutation invariant: {base_acc} vs {acc_p} (seed {seed})"
+            );
+            assert!(
+                (nmi_p - base_nmi).abs() < 1e-6,
+                "NMI not permutation invariant: {base_nmi} vs {nmi_p} (seed {seed})"
+            );
+            assert!(
+                (ari_p - base_ari).abs() < 1e-6,
+                "ARI not permutation invariant: {base_ari} vs {ari_p} (seed {seed})"
+            );
+        }
+    }
+}
+
+#[test]
+fn metrics_perfect_on_identical_and_bounded_on_random() {
+    let mut rng = SeedRng::new(4);
+    let y = random_labels(40, 3, &mut rng);
+    assert!((accuracy(&y, &y) - 1.0).abs() < 1e-6);
+    assert!((nmi(&y, &y) - 1.0).abs() < 1e-6);
+    assert!((purity(&y, &y) - 1.0).abs() < 1e-6);
+    for seed in [5u64, 6] {
+        let mut rng = SeedRng::new(seed);
+        let a = random_labels(50, 4, &mut rng);
+        let b = random_labels(50, 4, &mut rng);
+        for v in [accuracy(&a, &b), nmi(&a, &b), purity(&a, &b)] {
+            assert!((0.0..=1.0).contains(&v), "metric {v} out of [0,1]");
+        }
+        assert!(ari(&a, &b) <= 1.0 + 1e-6);
+    }
+}
+
+/// Yields every permutation of `0..n` (Heap's algorithm, n ≤ 6 here).
+// `usize::is_multiple_of` would raise the crate's minimum Rust version.
+#[allow(clippy::manual_is_multiple_of)]
+fn permutations(n: usize) -> Vec<Vec<usize>> {
+    let mut items: Vec<usize> = (0..n).collect();
+    let mut out = Vec::new();
+    fn heap(k: usize, items: &mut Vec<usize>, out: &mut Vec<Vec<usize>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap(k - 1, items, out);
+            if k % 2 == 0 {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+    heap(n, &mut items, &mut out);
+    out
+}
+
+#[test]
+fn hungarian_matches_brute_force_for_small_n() {
+    for n in 1..=6usize {
+        for seed in [7u64, 8, 9] {
+            let mut rng = SeedRng::new(seed.wrapping_mul(100 + n as u64));
+            let cost: Vec<Vec<i64>> = (0..n)
+                .map(|_| (0..n).map(|_| rng.uniform(-50.0, 50.0) as i64).collect())
+                .collect();
+            let assignment = hungarian_min_cost(&cost);
+            let got = assignment_cost(&cost, &assignment);
+            let best = permutations(n)
+                .iter()
+                .map(|p| assignment_cost(&cost, p))
+                .min()
+                .unwrap();
+            assert_eq!(
+                got, best,
+                "Hungarian suboptimal for n={n} seed {seed}: {got} vs {best}"
+            );
+            // Must be a valid permutation.
+            let mut seen = vec![false; n];
+            for &c in &assignment {
+                assert!(!seen[c], "column {c} assigned twice");
+                seen[c] = true;
+            }
+        }
+    }
+}
+
+#[test]
+fn silhouette_bounded_and_ordered_by_separation() {
+    for seed in [10u64, 11] {
+        let mut rng = SeedRng::new(seed);
+        let n = 30;
+        let k = 3;
+        let points = Matrix::randn(n, 4, 0.0, 1.0, &mut rng);
+        let labels = random_labels(n, k, &mut rng);
+        let s = mean_silhouette(&points, &labels, k);
+        assert!((-1.0..=1.0).contains(&s), "silhouette {s} out of [-1,1]");
+
+        // Well-separated blobs: shift each cluster far apart; the same
+        // labels must then score near +1 and beat the random labeling.
+        let separated = Matrix::from_fn(n, 4, |r, c| {
+            points.get(r, c) * 0.01 + (labels[r] as f32) * 100.0
+        });
+        let s_sep = mean_silhouette(&separated, &labels, k);
+        assert!((-1.0..=1.0).contains(&s_sep));
+        assert!(s_sep > 0.9, "separated blobs score {s_sep}");
+        assert!(s_sep > s, "separation did not improve silhouette");
+    }
+}
+
+#[test]
+fn tradeoff_cosines_sign_and_range() {
+    let mut rng = SeedRng::new(12);
+    let g = vec![
+        Matrix::randn(3, 4, 0.0, 1.0, &mut rng),
+        Matrix::randn(2, 2, 0.0, 1.0, &mut rng),
+    ];
+    let neg: Vec<Matrix> = g.iter().map(|m| m.scale(-1.0)).collect();
+    let scaled: Vec<Matrix> = g.iter().map(|m| m.scale(2.5)).collect();
+
+    // Aligned gradients → cosine exactly +1 (scale invariant); opposed → −1.
+    assert!((delta_fr(&g, &g) - 1.0).abs() < 1e-5);
+    assert!((delta_fr(&g, &scaled) - 1.0).abs() < 1e-5);
+    assert!((delta_fr(&g, &neg) + 1.0).abs() < 1e-5);
+    assert!((delta_fd(&g, &neg) + 1.0).abs() < 1e-5);
+
+    // Random pairs stay in [-1, 1].
+    for seed in [13u64, 14, 15] {
+        let mut rng = SeedRng::new(seed);
+        let a = vec![Matrix::randn(4, 5, 0.0, 1.0, &mut rng)];
+        let b = vec![Matrix::randn(4, 5, 0.0, 1.0, &mut rng)];
+        for v in [delta_fr(&a, &b), delta_fd(&a, &b)] {
+            assert!((-1.0 - 1e-6..=1.0 + 1e-6).contains(&v), "cosine {v}");
+        }
+    }
+
+    // Orthogonal construction → 0.
+    let e1 = vec![Matrix::from_vec(1, 2, vec![1.0, 0.0])];
+    let e2 = vec![Matrix::from_vec(1, 2, vec![0.0, 1.0])];
+    assert!(delta_fr(&e1, &e2).abs() < 1e-6);
+
+    // Zero gradients → defined as 0, not NaN.
+    let z = vec![Matrix::zeros(2, 2)];
+    assert_eq!(delta_fd(&z, &z), 0.0);
+}

@@ -4,7 +4,7 @@
 
 use crate::store::{ParamId, ParamStore};
 use crate::tape::{Tape, Var};
-use adec_tensor::{Matrix, SeedRng};
+use adec_tensor::{kernels, FusedAct, Matrix, SeedRng};
 
 /// Pointwise activation applied after a dense layer.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -21,28 +21,14 @@ pub enum Activation {
 }
 
 impl Activation {
-    fn apply(self, tape: &mut Tape, x: Var) -> Var {
+    /// The kernel-layer fused equivalent, used for both the tape forward
+    /// ([`Tape::add_bias_act`]) and plain inference.
+    pub fn fused(self) -> FusedAct {
         match self {
-            Activation::Linear => x,
-            Activation::Relu => tape.relu(x),
-            Activation::Sigmoid => tape.sigmoid(x),
-            Activation::Tanh => tape.tanh(x),
-        }
-    }
-
-    fn apply_plain(self, x: &mut Matrix) {
-        match self {
-            Activation::Linear => {}
-            Activation::Relu => x.map_inplace(|v| v.max(0.0)),
-            Activation::Sigmoid => x.map_inplace(|v| {
-                if v >= 0.0 {
-                    1.0 / (1.0 + (-v).exp())
-                } else {
-                    let e = v.exp();
-                    e / (1.0 + e)
-                }
-            }),
-            Activation::Tanh => x.map_inplace(|v| v.tanh()),
+            Activation::Linear => FusedAct::Identity,
+            Activation::Relu => FusedAct::Relu,
+            Activation::Sigmoid => FusedAct::Sigmoid,
+            Activation::Tanh => FusedAct::Tanh,
         }
     }
 }
@@ -78,22 +64,19 @@ impl Dense {
         }
     }
 
-    /// Tape forward pass.
+    /// Tape forward pass (packed gemm + fused bias/activation node).
     pub fn forward(&self, tape: &mut Tape, store: &ParamStore, x: Var) -> Var {
         let w = tape.param(store, self.w);
         let b = tape.param(store, self.b);
         let lin = tape.matmul(x, w);
-        let affine = tape.add_bias(lin, b);
-        self.act.apply(tape, affine)
+        tape.add_bias_act(lin, b, self.act.fused())
     }
 
-    /// No-grad forward pass on plain matrices (inference).
+    /// No-grad forward pass on plain matrices (inference), on the same
+    /// fused kernels as the tape path.
     pub fn infer(&self, store: &ParamStore, x: &Matrix) -> Matrix {
-        let mut y = x
-            .matmul(store.get(self.w))
-            .add_row_broadcast(store.get(self.b).row(0));
-        self.act.apply_plain(&mut y);
-        y
+        let lin = x.matmul(store.get(self.w));
+        kernels::add_bias_act(&lin, store.get(self.b).row(0), self.act.fused())
     }
 }
 

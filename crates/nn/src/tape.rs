@@ -13,6 +13,7 @@
 //! Theorems 2 and 3 (verified against finite differences in the tests).
 
 use crate::store::{ParamId, ParamStore};
+use adec_tensor::kernels::{self, stable_sigmoid, FusedAct};
 use adec_tensor::Matrix;
 
 /// Handle to a node on a [`Tape`].
@@ -27,6 +28,9 @@ enum Op {
     MatMul(Var, Var),
     /// `x + bias` with `bias` a `1 × cols` row broadcast over rows of `x`.
     AddBias(Var, Var),
+    /// Fused `act(x + bias)` as a single node — the kernel-layer path for
+    /// dense layers (`adec_tensor::kernels::add_bias_act`).
+    AddBiasAct(Var, Var, FusedAct),
     /// `a + b` (same shape).
     Add(Var, Var),
     /// `a − b` (same shape).
@@ -182,6 +186,17 @@ impl Tape {
         let value = self.value(x).add_row_broadcast(self.value(bias).row(0));
         let ng = self.needs(x) || self.needs(bias);
         self.push(value, Op::AddBias(x, bias), ng)
+    }
+
+    /// Fused `act(x + bias)` (bias a `1 × cols` row) computed by the
+    /// tensor kernel layer in one pass. Backward runs
+    /// `g ⊙ act′(output)` into `x` and its column sums into `bias` —
+    /// value-identical to the unfused `add_bias` + activation chain.
+    pub fn add_bias_act(&mut self, x: Var, bias: Var, act: FusedAct) -> Var {
+        assert_eq!(self.value(bias).rows(), 1, "add_bias_act: bias must be 1 x cols");
+        let value = kernels::add_bias_act(self.value(x), self.value(bias).row(0), act);
+        let ng = self.needs(x) || self.needs(bias);
+        self.push(value, Op::AddBiasAct(x, bias, act), ng)
     }
 
     /// Elementwise sum.
@@ -348,25 +363,21 @@ impl Tape {
         assert_eq!(x.shape(), targets.shape(), "softmax_cross_entropy: shape mismatch");
         adec_tensor::debug_assert_finite!(x, "softmax_cross_entropy logits");
         let (n, k) = x.shape();
-        let mut softmax = Matrix::zeros(n, k);
+        // The fused kernel computes the row max / log-denominator in the
+        // same operation order this loop used to, so the cached softmax
+        // and the loss are bit-identical to the pre-kernel-layer path.
+        let sm = kernels::softmax_rows_detailed(x);
         let mut loss = 0.0f64;
         for i in 0..n {
-            let row = x.row(i);
-            let m = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-            let mut denom = 0.0f32;
-            for &v in row {
-                denom += (v - m).exp();
-            }
-            let log_denom = denom.ln();
             for j in 0..k {
-                let log_p = x.get(i, j) - m - log_denom;
-                softmax.set(i, j, log_p.exp());
                 let t = targets.get(i, j);
                 if t > 0.0 {
+                    let log_p = x.get(i, j) - sm.row_max[i] - sm.log_denom[i];
                     loss -= (t as f64) * log_p as f64;
                 }
             }
         }
+        let softmax = sm.probs;
         let value = Matrix::from_vec(1, 1, vec![(loss / n as f64) as f32]);
         let ng = self.needs(logits);
         self.push(
@@ -470,6 +481,17 @@ impl Tape {
                     }
                     if self.needs(*bias) {
                         let db = Matrix::from_vec(1, g.cols(), g.col_sums());
+                        self.accumulate(*bias, &db);
+                    }
+                }
+                Op::AddBiasAct(x, bias, act) => {
+                    let (dx, dbias) =
+                        kernels::add_bias_act_backward(&g, &self.nodes[idx].value, *act);
+                    if self.needs(*x) {
+                        self.accumulate(*x, &dx);
+                    }
+                    if self.needs(*bias) {
+                        let db = Matrix::from_vec(1, dx.cols(), dbias);
                         self.accumulate(*bias, &db);
                     }
                 }
@@ -659,16 +681,6 @@ impl Tape {
 impl std::fmt::Debug for Tape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tape").field("nodes", &self.nodes.len()).finish()
-    }
-}
-
-#[inline]
-fn stable_sigmoid(x: f32) -> f32 {
-    if x >= 0.0 {
-        1.0 / (1.0 + (-x).exp())
-    } else {
-        let e = x.exp();
-        e / (1.0 + e)
     }
 }
 

@@ -1,0 +1,365 @@
+//! Gradient-check suite: every layer and every loss in `adec-nn` is
+//! verified against central-difference numeric gradients at multiple
+//! shapes and seeds, on the fused-kernel forward path (Dense layers go
+//! through `Tape::add_bias_act`, softmax CE through the kernel softmax).
+//!
+//! Tolerance is a relative error (`‖analytic − numeric‖ / max norm`)
+//! below 1e-2 — the realistic bound for f32 central differences.
+
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::indexing_slicing, clippy::float_cmp)]
+
+use std::cell::RefCell;
+
+use adec_nn::grad_check::{numeric_grad, relative_error};
+use adec_nn::{
+    soft_assignment, target_distribution, Activation, Dense, Mlp, ParamId, ParamStore, Tape, Var,
+};
+use adec_tensor::{FusedAct, Matrix, SeedRng};
+
+const TOL: f32 = 1e-2;
+const EPS: f32 = 1e-3;
+
+/// Shifts ReLU-layer biases until no pre-activation sits within `0.05` of
+/// the kink, so the central-difference stencil (±`EPS`, plus the smaller
+/// downstream shifts from perturbing earlier-layer parameters) never
+/// straddles the non-differentiable point. Deterministic: terminates
+/// because every shift moves a whole column monotonically upward.
+fn clear_relu_kinks(store: &mut ParamStore, layers: &[Dense], x: &Matrix) {
+    let mut h = x.clone();
+    for layer in layers {
+        if layer.act == Activation::Relu {
+            for _ in 0..100 {
+                let pre = h
+                    .matmul(store.get(layer.w))
+                    .add_row_broadcast(store.get(layer.b).row(0));
+                let mut shifted = false;
+                for j in 0..pre.cols() {
+                    let min_abs = (0..pre.rows())
+                        .map(|r| pre.get(r, j).abs())
+                        .fold(f32::INFINITY, f32::min);
+                    if min_abs < 0.05 {
+                        let b = store.get_mut(layer.b);
+                        b.set(0, j, b.get(0, j) + 0.1);
+                        shifted = true;
+                    }
+                }
+                if !shifted {
+                    break;
+                }
+            }
+        }
+        h = layer.infer(store, &h);
+    }
+}
+
+/// Checks the analytic gradient of one store-bound parameter against the
+/// numeric gradient of the same scalar loss, where `forward` rebuilds the
+/// loss graph from scratch on every call.
+fn check_param_grad(
+    store: &RefCell<ParamStore>,
+    id: ParamId,
+    forward: &dyn Fn(&mut Tape, &ParamStore) -> Var,
+    label: &str,
+) {
+    let analytic = {
+        let st = store.borrow();
+        let mut tape = Tape::new();
+        let loss = forward(&mut tape, &st);
+        tape.backward(loss);
+        // A parameter bound more than once (e.g. a critic applied to two
+        // batches) has one binding per use; the true gradient is their sum.
+        let mut acc: Option<Matrix> = None;
+        for &(pid, var) in tape.bindings() {
+            if pid == id {
+                let g = tape.grad(var);
+                match &mut acc {
+                    Some(a) => a.axpy(1.0, &g),
+                    slot @ None => *slot = Some(g),
+                }
+            }
+        }
+        acc.expect("parameter not bound in forward pass")
+    };
+    let x0 = store.borrow().get(id).clone();
+    let numeric = numeric_grad(
+        |probe| {
+            store.borrow_mut().set(id, probe.clone());
+            let st = store.borrow();
+            let mut tape = Tape::new();
+            let loss = forward(&mut tape, &st);
+            tape.scalar(loss)
+        },
+        &x0,
+        EPS,
+    );
+    store.borrow_mut().set(id, x0);
+    let err = relative_error(&analytic, &numeric);
+    assert!(err < TOL, "{label}: relative error {err}");
+}
+
+/// Checks the analytic input gradient (via `grad_leaf`) against numerics.
+fn check_input_grad(x0: &Matrix, forward: &dyn Fn(&mut Tape, Var) -> Var, label: &str) {
+    let analytic = {
+        let mut tape = Tape::new();
+        let xv = tape.grad_leaf(x0.clone());
+        let loss = forward(&mut tape, xv);
+        tape.backward(loss);
+        tape.grad(xv)
+    };
+    let numeric = numeric_grad(
+        |probe| {
+            let mut tape = Tape::new();
+            let xv = tape.leaf(probe.clone());
+            let loss = forward(&mut tape, xv);
+            tape.scalar(loss)
+        },
+        x0,
+        EPS,
+    );
+    let err = relative_error(&analytic, &numeric);
+    assert!(err < TOL, "{label}: relative error {err}");
+}
+
+#[test]
+fn dense_layer_gradients_all_activations() {
+    let acts = [
+        Activation::Linear,
+        Activation::Relu,
+        Activation::Sigmoid,
+        Activation::Tanh,
+    ];
+    for seed in [1u64, 2] {
+        for &(batch, fan_in, fan_out) in &[(3usize, 4usize, 2usize), (5, 2, 6)] {
+            for act in acts {
+                let mut rng = SeedRng::new(seed);
+                let mut st = ParamStore::new();
+                let layer = Dense::new(&mut st, "d", fan_in, fan_out, act, &mut rng);
+                let x = Matrix::randn(batch, fan_in, 0.0, 1.0, &mut rng);
+                let target = Matrix::randn(batch, fan_out, 0.0, 1.0, &mut rng);
+                clear_relu_kinks(&mut st, std::slice::from_ref(&layer), &x);
+                let store = RefCell::new(st);
+                let label = format!("dense {act:?} {batch}x{fan_in}->{fan_out} seed {seed}");
+
+                let x_f = x.clone();
+                let t_f = target.clone();
+                let layer_f = layer.clone();
+                let forward = move |tape: &mut Tape, st: &ParamStore| {
+                    let xv = tape.leaf(x_f.clone());
+                    let out = layer_f.forward(tape, st, xv);
+                    let tv = tape.leaf(t_f.clone());
+                    tape.mse(out, tv)
+                };
+                check_param_grad(&store, layer.w, &forward, &format!("{label} (w)"));
+                check_param_grad(&store, layer.b, &forward, &format!("{label} (b)"));
+
+                let st = store.into_inner();
+                let layer_i = layer.clone();
+                check_input_grad(
+                    &x,
+                    &move |tape: &mut Tape, xv: Var| {
+                        let out = layer_i.forward(tape, &st, xv);
+                        let tv = tape.leaf(target.clone());
+                        tape.mse(out, tv)
+                    },
+                    &format!("{label} (input)"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn autoencoder_reconstruction_mse_gradients() {
+    for seed in [3u64, 4] {
+        let mut rng = SeedRng::new(seed);
+        let mut st = ParamStore::new();
+        let net = Mlp::new(&mut st, &[5, 4, 2, 4, 5], Activation::Relu, Activation::Linear, &mut rng);
+        let x = Matrix::randn(6, 5, 0.0, 1.0, &mut rng);
+        let ids = net.param_ids();
+        let layers: Vec<Dense> = (0..net.n_layers()).map(|i| net.layer(i).clone()).collect();
+        clear_relu_kinks(&mut st, &layers, &x);
+        let store = RefCell::new(st);
+        let forward = move |tape: &mut Tape, st: &ParamStore| {
+            let xv = tape.leaf(x.clone());
+            let recon = net.forward(tape, st, xv);
+            let tv = tape.leaf(x.clone());
+            tape.mse(recon, tv)
+        };
+        for (i, id) in ids.iter().enumerate() {
+            check_param_grad(&store, *id, &forward, &format!("ae seed {seed} param {i}"));
+        }
+    }
+}
+
+#[test]
+fn dec_kl_gradients_wrt_embeddings_and_centroids() {
+    for seed in [5u64, 6] {
+        for &(n, k, d) in &[(6usize, 3usize, 2usize), (8, 2, 4)] {
+            let mut rng = SeedRng::new(seed);
+            let z = Matrix::randn(n, d, 0.0, 1.0, &mut rng);
+            let mu = Matrix::randn(k, d, 0.0, 1.0, &mut rng);
+            let alpha = 1.0;
+            let p = target_distribution(&soft_assignment(&z, &mu, alpha));
+            let label = format!("dec_kl n={n} k={k} d={d} seed {seed}");
+
+            let mu_c = mu.clone();
+            let p_c = p.clone();
+            check_input_grad(
+                &z,
+                &move |tape: &mut Tape, zv: Var| {
+                    let muv = tape.leaf(mu_c.clone());
+                    tape.dec_kl(zv, muv, &p_c, alpha)
+                },
+                &format!("{label} (z)"),
+            );
+            let z_c = z.clone();
+            check_input_grad(
+                &mu,
+                &move |tape: &mut Tape, muv: Var| {
+                    let zv = tape.leaf(z_c.clone());
+                    tape.dec_kl(zv, muv, &p, alpha)
+                },
+                &format!("{label} (mu)"),
+            );
+        }
+    }
+}
+
+#[test]
+fn acai_critic_loss_gradients() {
+    // The ACAI critic step's composite objective: the critic must regress
+    // the interpolation coefficient on mixed codes and predict zero on
+    // real ones — `mse(C(z_mix), α) + mean(C(z_real)²)`.
+    for seed in [7u64, 8] {
+        let mut rng = SeedRng::new(seed);
+        let mut st = ParamStore::new();
+        let critic = Mlp::new(&mut st, &[4, 6, 1], Activation::Relu, Activation::Linear, &mut rng);
+        let zmix = Matrix::randn(5, 4, 0.0, 1.0, &mut rng);
+        let zreal = Matrix::randn(5, 4, 0.0, 1.0, &mut rng);
+        let alpha_target = Matrix::rand_uniform(5, 1, 0.0, 0.5, &mut rng);
+        let ids = critic.param_ids();
+        // The critic sees both batches; clear kinks against their union so
+        // one bias shift cannot push the other batch back into the band.
+        let both = Matrix::from_fn(10, 4, |r, c| {
+            if r < 5 {
+                zmix.get(r, c)
+            } else {
+                zreal.get(r - 5, c)
+            }
+        });
+        let layers: Vec<Dense> = (0..critic.n_layers()).map(|i| critic.layer(i).clone()).collect();
+        clear_relu_kinks(&mut st, &layers, &both);
+        let store = RefCell::new(st);
+
+        let critic_f = critic.clone();
+        let zmix_f = zmix.clone();
+        let forward = move |tape: &mut Tape, st: &ParamStore| {
+            let zm = tape.leaf(zmix_f.clone());
+            let zr = tape.leaf(zreal.clone());
+            let c1 = critic_f.forward(tape, st, zm);
+            let c2 = critic_f.forward(tape, st, zr);
+            let at = tape.leaf(alpha_target.clone());
+            let l1 = tape.mse(c1, at);
+            let sq = tape.square(c2);
+            let l2 = tape.mean_all(sq);
+            tape.add(l1, l2)
+        };
+        for (i, id) in ids.iter().enumerate() {
+            check_param_grad(&store, *id, &forward, &format!("acai seed {seed} param {i}"));
+        }
+
+        // And the generator-side direction: gradient flowing back into the
+        // mixed code itself.
+        let st = store.into_inner();
+        check_input_grad(
+            &zmix,
+            &move |tape: &mut Tape, zm: Var| {
+                let c1 = critic.forward(tape, &st, zm);
+                let sq = tape.square(c1);
+                tape.mean_all(sq)
+            },
+            &format!("acai seed {seed} (zmix)"),
+        );
+    }
+}
+
+#[test]
+fn logit_loss_gradients() {
+    for seed in [9u64, 10] {
+        for &(rows, cols) in &[(4usize, 3usize), (7, 5)] {
+            let mut rng = SeedRng::new(seed);
+            let logits = Matrix::randn(rows, cols, 0.0, 2.0, &mut rng);
+
+            // BCE-with-logits against hard 0/1 targets.
+            let bce_t = Matrix::from_fn(rows, cols, |_, _| {
+                if rng.uniform(0.0, 1.0) < 0.5 {
+                    0.0
+                } else {
+                    1.0
+                }
+            });
+            check_input_grad(
+                &logits,
+                &move |tape: &mut Tape, lv: Var| tape.bce_with_logits(lv, &bce_t),
+                &format!("bce_with_logits {rows}x{cols} seed {seed}"),
+            );
+
+            // Softmax cross-entropy against one-hot targets (runs on the
+            // kernel softmax path).
+            let ce_t = Matrix::from_fn(rows, cols, |r, c| {
+                if c == r % cols {
+                    1.0
+                } else {
+                    0.0
+                }
+            });
+            check_input_grad(
+                &logits,
+                &move |tape: &mut Tape, lv: Var| tape.softmax_cross_entropy(lv, &ce_t),
+                &format!("softmax_ce {rows}x{cols} seed {seed}"),
+            );
+        }
+    }
+}
+
+#[test]
+fn fused_add_bias_act_gradients() {
+    // The new fused tape op directly: gradients w.r.t. both the input and
+    // the bias for every activation.
+    let acts = [FusedAct::Identity, FusedAct::Relu, FusedAct::Sigmoid, FusedAct::Tanh];
+    for seed in [11u64, 12] {
+        for &(rows, cols) in &[(3usize, 5usize), (6, 2)] {
+            for act in acts {
+                let mut rng = SeedRng::new(seed);
+                let x = Matrix::randn(rows, cols, 0.0, 1.0, &mut rng);
+                let bias = Matrix::randn(1, cols, 0.0, 1.0, &mut rng);
+                let target = Matrix::randn(rows, cols, 0.0, 1.0, &mut rng);
+                let label = format!("add_bias_act {act:?} {rows}x{cols} seed {seed}");
+
+                let bias_c = bias.clone();
+                let t_c = target.clone();
+                check_input_grad(
+                    &x,
+                    &move |tape: &mut Tape, xv: Var| {
+                        let bv = tape.leaf(bias_c.clone());
+                        let y = tape.add_bias_act(xv, bv, act);
+                        let tv = tape.leaf(t_c.clone());
+                        tape.mse(y, tv)
+                    },
+                    &format!("{label} (x)"),
+                );
+                let x_c = x.clone();
+                check_input_grad(
+                    &bias,
+                    &move |tape: &mut Tape, bv: Var| {
+                        let xv = tape.leaf(x_c.clone());
+                        let y = tape.add_bias_act(xv, bv, act);
+                        let tv = tape.leaf(target.clone());
+                        tape.mse(y, tv)
+                    },
+                    &format!("{label} (bias)"),
+                );
+            }
+        }
+    }
+}

@@ -6,9 +6,11 @@
 //! pairwise distances, kernels) and deterministic random number utilities.
 //!
 //! Everything is implemented from scratch — no BLAS, no `ndarray` — because
-//! the numeric kernel is part of what this reproduction rebuilds. The
-//! matrices here are small enough (thousands × thousands at most) that a
-//! cache-blocked ikj matmul is sufficient.
+//! the numeric kernel is part of what this reproduction rebuilds. The hot
+//! paths run through the [`kernels`] layer: packed, register-tiled gemm and
+//! fused elementwise ops with an opt-in deterministic worker [`pool`]
+//! (`ADEC_THREADS`, default 1) whose results are bit-identical at any
+//! thread count.
 //!
 //! ## Quick example
 //!
@@ -31,15 +33,19 @@
 #![allow(clippy::indexing_slicing)]
 #![warn(missing_docs)]
 
+pub mod kernels;
 pub mod linalg;
 pub mod matrix;
+pub mod pool;
 pub mod rng;
 
+pub use kernels::{add_bias_act, row_lerp, softmax_rows, FusedAct, RowSoftmax};
 pub use linalg::{
     gram_schmidt_rows, pairwise_sq_dists, pca, rbf_kernel, symmetric_eigen, EigenDecomposition,
     Pca,
 };
 pub use matrix::Matrix;
+pub use pool::{configured_threads, set_thread_override};
 pub use rng::SeedRng;
 
 /// Debug-build invariant: every entry of a matrix is finite.

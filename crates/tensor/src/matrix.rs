@@ -292,88 +292,32 @@ impl Matrix {
     // Arithmetic
     // ------------------------------------------------------------------
 
-    /// Matrix multiplication `self · other` with a cache-blocked ikj kernel.
+    /// Matrix multiplication `self · other` via the packed gemm kernel
+    /// ([`crate::kernels::matmul`]).
     ///
     /// # Panics
     /// Panics if inner dimensions do not match.
-    // Exact-zero skip below is a sparsity fast path, not a tolerance check.
-    #[allow(clippy::float_cmp)]
     pub fn matmul(&self, other: &Matrix) -> Matrix {
         assert_eq!(
             self.cols, other.rows,
             "matmul: inner dimension mismatch {}x{} · {}x{}",
             self.rows, self.cols, other.rows, other.cols
         );
-        crate::debug_assert_finite!(self, "matmul lhs");
-        crate::debug_assert_finite!(other, "matmul rhs");
-        let (m, k, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        // ikj ordering keeps the innermost loop streaming over contiguous
-        // rows of `other` and `out`, which the compiler auto-vectorizes.
-        const BLOCK: usize = 64;
-        for i0 in (0..m).step_by(BLOCK) {
-            let i1 = (i0 + BLOCK).min(m);
-            for k0 in (0..k).step_by(BLOCK) {
-                let k1 = (k0 + BLOCK).min(k);
-                for i in i0..i1 {
-                    let a_row = &self.data[i * k..(i + 1) * k];
-                    let out_row = &mut out.data[i * n..(i + 1) * n];
-                    for kk in k0..k1 {
-                        let a = a_row[kk];
-                        if a == 0.0 { // lint:allow(float-eq) exact-zero sparsity skip
-                            continue;
-                        }
-                        let b_row = &other.data[kk * n..(kk + 1) * n];
-                        for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                            *o += a * b;
-                        }
-                    }
-                }
-            }
-        }
-        out
+        crate::kernels::matmul(self, other)
     }
 
-    /// `selfᵀ · other` without materializing the transpose.
-    // Exact-zero skip below is a sparsity fast path, not a tolerance check.
-    #[allow(clippy::float_cmp)]
+    /// `selfᵀ · other` without materializing the transpose
+    /// ([`crate::kernels::matmul_at_b`]).
     pub fn matmul_tn(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.rows, other.rows, "matmul_tn: row mismatch");
-        let (k, m, n) = (self.rows, self.cols, other.cols);
-        let mut out = Matrix::zeros(m, n);
-        for kk in 0..k {
-            let a_row = self.row(kk);
-            let b_row = other.row(kk);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 { // lint:allow(float-eq) exact-zero sparsity skip
-                    continue;
-                }
-                let out_row = &mut out.data[i * n..(i + 1) * n];
-                for (o, &b) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += a * b;
-                }
-            }
-        }
-        out
+        crate::kernels::matmul_at_b(self, other)
     }
 
-    /// `self · otherᵀ` without materializing the transpose.
+    /// `self · otherᵀ` without materializing the transpose
+    /// ([`crate::kernels::matmul_a_bt`]).
     pub fn matmul_nt(&self, other: &Matrix) -> Matrix {
         assert_eq!(self.cols, other.cols, "matmul_nt: column mismatch");
-        let (m, k, n) = (self.rows, self.cols, other.rows);
-        let mut out = Matrix::zeros(m, n);
-        for i in 0..m {
-            let a_row = self.row(i);
-            for j in 0..n {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for kk in 0..k {
-                    acc += a_row[kk] * b_row[kk];
-                }
-                out.data[i * n + j] = acc;
-            }
-        }
-        out
+        crate::kernels::matmul_a_bt(self, other)
     }
 
     /// Elementwise sum. Panics on shape mismatch.
@@ -410,12 +354,10 @@ impl Matrix {
         }
     }
 
-    /// In-place `self += alpha * other`.
+    /// In-place `self += alpha * other` ([`crate::kernels::axpy`]).
     pub fn axpy(&mut self, alpha: f32, other: &Matrix) {
         assert_eq!(self.shape(), other.shape(), "axpy: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(other.data.iter()) {
-            *a += alpha * b;
-        }
+        crate::kernels::axpy(alpha, &other.data, &mut self.data);
     }
 
     /// Elementwise unary map into a new matrix.

@@ -1,0 +1,193 @@
+//! Opt-in worker pool for the compute kernels.
+//!
+//! Parallelism is **row-chunked and deterministic**: a parallel region
+//! splits the *output* rows into `T` contiguous chunks and each worker
+//! computes its chunk with exactly the same per-element arithmetic (and the
+//! same ascending-`k` accumulation order) as the single-threaded kernel, so
+//! results are bit-identical at any thread count. There is no cross-thread
+//! reduction anywhere in the kernel layer — every output element is owned
+//! by exactly one worker.
+//!
+//! The thread count comes from, in priority order:
+//!
+//! 1. [`set_thread_override`] (used by tests to vary the count in-process),
+//! 2. the `ADEC_THREADS` environment variable (read once, then cached),
+//! 3. the default of `1` (fully serial — the pool is opt-in).
+//!
+//! Workers are `std::thread` scoped threads spawned per parallel region.
+//! The workspace forbids `unsafe`, which rules out a persistent
+//! channel-based pool (sharing non-`'static` kernel operands across a
+//! long-lived worker requires either `Arc`-cloning every operand or raw
+//! pointers); `std::thread::scope` gives borrow-checked access to the
+//! operands and disjoint `&mut` output chunks at a per-region spawn cost
+//! of a few microseconds, which the [`PARALLEL_MIN_WORK`] gate keeps out
+//! of small-kernel paths entirely.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
+
+/// Hard ceiling on the worker count (keeps a typo like
+/// `ADEC_THREADS=1000000` from exhausting the process).
+pub const MAX_THREADS: usize = 64;
+
+/// Minimum number of output elements (times inner-loop length for gemm)
+/// below which parallel regions run inline on the calling thread.
+pub const PARALLEL_MIN_WORK: usize = 1 << 16;
+
+static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+
+/// The configured worker count: the in-process override if set, else
+/// `ADEC_THREADS` (cached on first read), else 1.
+pub fn configured_threads() -> usize {
+    let forced = OVERRIDE.load(Ordering::Relaxed);
+    if forced != 0 {
+        return forced.min(MAX_THREADS);
+    }
+    *ENV_THREADS.get_or_init(|| {
+        std::env::var("ADEC_THREADS")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1)
+            .min(MAX_THREADS)
+    })
+}
+
+/// Overrides the worker count in-process (0 clears the override and falls
+/// back to `ADEC_THREADS`). Intended for tests and benchmarks that sweep
+/// thread counts; results are identical at any setting by construction.
+pub fn set_thread_override(n: usize) {
+    OVERRIDE.store(n.min(MAX_THREADS), Ordering::Relaxed);
+}
+
+/// Splits `rows` into `chunks` contiguous, nearly-equal spans. Returns
+/// `(start, len)` pairs covering `0..rows` in order; never returns empty
+/// spans, so fewer than `chunks` pairs come back when `rows < chunks`.
+pub fn row_chunks(rows: usize, chunks: usize) -> Vec<(usize, usize)> {
+    assert!(chunks >= 1, "row_chunks: need at least one chunk");
+    let chunks = chunks.min(rows.max(1));
+    let base = rows / chunks;
+    let extra = rows % chunks;
+    let mut out = Vec::with_capacity(chunks);
+    let mut start = 0;
+    for i in 0..chunks {
+        let len = base + usize::from(i < extra);
+        if len == 0 {
+            break;
+        }
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Runs `f(row_start, rows_in_chunk, out_chunk)` over disjoint row chunks
+/// of the `rows × cols` row-major buffer `out`, using up to
+/// [`configured_threads`] scoped workers.
+///
+/// `work` is an estimate of total scalar operations; below
+/// [`PARALLEL_MIN_WORK`] (or with one worker) the region runs inline.
+/// Chunking is by output rows only, so every element is written by exactly
+/// one worker and results cannot depend on the thread count.
+pub fn parallel_rows<F>(out: &mut [f32], rows: usize, cols: usize, work: usize, f: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    assert_eq!(out.len(), rows * cols, "parallel_rows: output length mismatch");
+    let threads = configured_threads();
+    if threads <= 1 || rows < 2 || work < PARALLEL_MIN_WORK {
+        f(0, rows, out);
+        return;
+    }
+    let spans = row_chunks(rows, threads);
+    std::thread::scope(|scope| {
+        let mut rest = out;
+        let mut iter = spans.iter().peekable();
+        while let Some(&(start, len)) = iter.next() {
+            if iter.peek().is_none() {
+                // Run the final chunk on the calling thread.
+                f(start, len, rest);
+                break;
+            }
+            let (chunk, tail) = rest.split_at_mut(len * cols);
+            rest = tail;
+            let f = &f;
+            scope.spawn(move || f(start, len, chunk));
+        }
+    });
+}
+
+#[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn row_chunks_cover_range_exactly() {
+        for rows in [0usize, 1, 2, 3, 7, 64, 65] {
+            for chunks in [1usize, 2, 3, 4, 8] {
+                let spans = row_chunks(rows, chunks);
+                let mut next = 0;
+                for &(start, len) in &spans {
+                    assert_eq!(start, next);
+                    assert!(len > 0);
+                    next += len;
+                }
+                assert_eq!(next, rows);
+                // Balanced within one row.
+                if let (Some(max), Some(min)) =
+                    (spans.iter().map(|&(_, l)| l).max(), spans.iter().map(|&(_, l)| l).min())
+                {
+                    assert!(max - min <= 1);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_rows_writes_every_row_once() {
+        let (rows, cols) = (67, 5);
+        for threads in [1usize, 2, 4] {
+            set_thread_override(threads);
+            let mut out = vec![0.0f32; rows * cols];
+            // Force the parallel path with a large claimed work size.
+            parallel_rows(&mut out, rows, cols, usize::MAX, |r0, n, chunk| {
+                for r in 0..n {
+                    for c in 0..cols {
+                        chunk[r * cols + c] += (r0 + r) as f32;
+                    }
+                }
+            });
+            for r in 0..rows {
+                for c in 0..cols {
+                    assert_eq!(out[r * cols + c], r as f32, "threads={threads} r={r} c={c}");
+                }
+            }
+        }
+        set_thread_override(0);
+    }
+
+    #[test]
+    fn small_work_stays_inline() {
+        set_thread_override(4);
+        let mut out = vec![0.0f32; 8];
+        let mut calls = 0;
+        // A FnMut would not be Sync; route the count through the buffer.
+        parallel_rows(&mut out, 4, 2, 1, |_, n, chunk| {
+            chunk[0] += n as f32; // only called once, with all 4 rows
+        });
+        calls += out[0] as usize;
+        assert_eq!(calls, 4);
+        set_thread_override(0);
+    }
+
+    #[test]
+    fn env_default_is_one_worker() {
+        // With no override, the count is >= 1 whatever the environment says.
+        set_thread_override(0);
+        assert!(configured_threads() >= 1);
+    }
+}
