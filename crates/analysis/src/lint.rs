@@ -195,11 +195,14 @@ fn is_kernel_path(rel: &str) -> bool {
 }
 
 /// Tensor kernel files where every matrix-taking `pub fn` must open with a
-/// dimension assert.
+/// dimension assert. The training guard qualifies too: its matrix-taking
+/// health checks sit on every epoch's hot path and must reject degenerate
+/// shapes before scanning.
 fn needs_kernel_asserts(rel: &str) -> bool {
     rel == "crates/tensor/src/matrix.rs"
         || rel == "crates/tensor/src/linalg.rs"
         || rel == "crates/tensor/src/kernels.rs"
+        || rel == "crates/core/src/guard.rs"
 }
 
 /// Parses every `lint:allow(a, b)` occurrence on a line into rule names

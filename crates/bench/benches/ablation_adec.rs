@@ -31,7 +31,7 @@ fn main() {
         c.trace = TraceConfig::curves(&y);
         c.tol = 0.0;
         mutate(&mut c);
-        let out = ctx.session.run_adec(&c);
+        let out = ctx.session.run_adec(&c).unwrap();
         let (a, n) = eval(&y, &out.labels);
         let fluct = out.trace.acc_fluctuation().unwrap_or(0.0);
         println!("{:<34} {:>8.3} {:>8.3} {:>10.4}", label, a, n, fluct);

@@ -42,8 +42,8 @@ fn main() {
         for (name, make) in &variants {
             eprintln!("[ablation A] {} / {}", ds.name, name);
             let mut session = Session::new(&ds, cfg.arch(), cfg.seed);
-            let stats = session.pretrain(&make(cfg.pretrain_iters()));
-            let out = session.run_dec(&dec_cfg(&cfg, ds.n_classes));
+            let stats = session.pretrain(&make(cfg.pretrain_iters())).unwrap();
+            let out = session.run_dec(&dec_cfg(&cfg, ds.n_classes)).unwrap();
             let (a, n) = eval(&ds.labels, &out.labels);
             println!(
                 "{:<16} {:>8.3} {:>8.3} {:>12.5}",

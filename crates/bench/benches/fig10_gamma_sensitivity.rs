@@ -32,7 +32,7 @@ fn main() {
         c.gamma = gamma;
         c.tol = 0.0;
         c.trace = TraceConfig::curves(&y);
-        let out = ctx.session.run_idec(&c);
+        let out = ctx.session.run_idec(&c).unwrap();
         let acc = out.acc(&y);
         let series = out.trace.acc_series();
         for (i, v) in &series {
@@ -43,7 +43,7 @@ fn main() {
     }
 
     // ADEC reference: no balancing hyperparameter at all.
-    let adec_out = ctx.session.run_adec(&adec_cfg(&cfg, k));
+    let adec_out = ctx.session.run_adec(&adec_cfg(&cfg, k)).unwrap();
     let adec_acc = adec_out.acc(&y);
 
     println!("\nfinal ACC per γ (IDEC*):");

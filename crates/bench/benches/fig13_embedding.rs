@@ -24,7 +24,7 @@ fn main() {
         eprintln!("[fig13] {}", benchmark.name());
         let mut ctx = deep_context(benchmark, &cfg, true);
         let k = ctx.ds.n_classes;
-        let out = ctx.session.run_adec(&adec_cfg(&cfg, k));
+        let out = ctx.session.run_adec(&adec_cfg(&cfg, k)).unwrap();
         let z = ctx.session.embed();
         let proj = pca(&z, 2).expect("pca").transform(&z);
         let sil_latent = mean_silhouette(&z, &out.labels, k);

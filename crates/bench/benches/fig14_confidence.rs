@@ -25,7 +25,7 @@ fn main() {
             Modality::Image { h, w } => (h, w),
             _ => unreachable!("image benchmarks only"),
         };
-        let out = ctx.session.run_adec(&adec_cfg(&cfg, k));
+        let out = ctx.session.run_adec(&adec_cfg(&cfg, k)).unwrap();
 
         println!("\n### {} ###", ctx.ds.name);
         let mut purity_sum = 0.0f32;

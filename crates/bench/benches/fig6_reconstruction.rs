@@ -83,11 +83,11 @@ fn main() {
     let labels = ctx.ds.labels.clone();
 
     // IDEC* run, then reconstructions with the post-run weights.
-    let _ = ctx.session.run_idec(&idec_cfg(&cfg, k));
+    let _ = ctx.session.run_idec(&idec_cfg(&cfg, k)).unwrap();
     let idec_recon = ctx.session.ae.reconstruct(&ctx.session.store, &ctx.session.data);
 
     // ADEC run (session restores the shared pretrained weights first).
-    let _ = ctx.session.run_adec(&adec_cfg(&cfg, k));
+    let _ = ctx.session.run_adec(&adec_cfg(&cfg, k)).unwrap();
     let adec_recon = ctx.session.ae.reconstruct(&ctx.session.store, &ctx.session.data);
 
     let inputs = &ctx.session.data;

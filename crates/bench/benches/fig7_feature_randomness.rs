@@ -42,11 +42,11 @@ fn main() {
 
         let mut idec = idec_cfg(&run_cfg, k);
         idec.trace = TraceConfig::full(&y);
-        let idec_out = ctx.session.run_idec(&idec);
+        let idec_out = ctx.session.run_idec(&idec).unwrap();
 
         let mut adec = adec_cfg(&run_cfg, k);
         adec.trace = TraceConfig::full(&y);
-        let adec_out = ctx.session.run_adec(&adec);
+        let adec_out = ctx.session.run_adec(&adec).unwrap();
 
         // Active window: intervals before the run reaches within 1% of
         // its final ACC (min 3 points).

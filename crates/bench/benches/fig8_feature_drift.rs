@@ -33,11 +33,11 @@ fn main() {
 
         let mut idec = idec_cfg(&run_cfg, k);
         idec.trace = TraceConfig::full(&y);
-        let idec_out = ctx.session.run_idec(&idec);
+        let idec_out = ctx.session.run_idec(&idec).unwrap();
 
         let mut adec = adec_cfg(&run_cfg, k);
         adec.trace = TraceConfig::full(&y);
-        let adec_out = ctx.session.run_adec(&adec);
+        let adec_out = ctx.session.run_adec(&adec).unwrap();
 
         let mi = idec_out.trace.mean_of(|p| p.delta_fd).unwrap_or(f32::NAN);
         let ma = adec_out.trace.mean_of(|p| p.delta_fd).unwrap_or(f32::NAN);

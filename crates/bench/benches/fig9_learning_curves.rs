@@ -24,12 +24,12 @@ fn main() {
     let mut idec = idec_cfg(&cfg, k);
     idec.trace = TraceConfig::curves(&y);
     idec.tol = 0.0;
-    let idec_out = ctx.session.run_idec(&idec);
+    let idec_out = ctx.session.run_idec(&idec).unwrap();
 
     let mut adec = adec_cfg(&cfg, k);
     adec.trace = TraceConfig::curves(&y);
     adec.tol = 0.0;
-    let adec_out = ctx.session.run_adec(&adec);
+    let adec_out = ctx.session.run_adec(&adec).unwrap();
 
     let adec_acc = adec_out.trace.acc_series();
     let idec_acc = idec_out.trace.acc_series();

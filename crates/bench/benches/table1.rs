@@ -94,15 +94,15 @@ fn main() {
         let (a, n) = eval(&ds.labels, &out.labels);
         push(&mut cells, &mut mi, Cell::Score(a, n));
 
-        let out = ctx.session.run_dcn(&dcn_cfg(&cfg, k));
+        let out = ctx.session.run_dcn(&dcn_cfg(&cfg, k)).unwrap();
         let (a, n) = eval(&ds.labels, &out.labels);
         push(&mut cells, &mut mi, Cell::Score(a, n));
 
-        let out = ctx.session.run_dec(&dec_cfg(&cfg, k));
+        let out = ctx.session.run_dec(&dec_cfg(&cfg, k)).unwrap();
         let (a, n) = eval(&ds.labels, &out.labels);
         push(&mut cells, &mut mi, Cell::Score(a, n));
 
-        let out = ctx.session.run_idec(&idec_cfg(&cfg, k));
+        let out = ctx.session.run_idec(&idec_cfg(&cfg, k)).unwrap();
         let (a, n) = eval(&ds.labels, &out.labels);
         push(&mut cells, &mut mi, Cell::Score(a, n));
 
@@ -147,7 +147,7 @@ fn main() {
 
         eprintln!("[table1] {} — ADEC (ACAI+augmentation pretraining)", ds.name);
         let mut star = deep_context(benchmark, &cfg, true);
-        let out = star.session.run_adec(&adec_cfg(&cfg, k));
+        let out = star.session.run_adec(&adec_cfg(&cfg, k)).unwrap();
         let (a, n) = eval(&ds.labels, &out.labels);
         push(&mut cells, &mut mi, Cell::Score(a, n));
 

@@ -29,17 +29,17 @@ fn main() {
         let mut ctx = deep_context(benchmark, &cfg, true);
         let k = ctx.ds.n_classes;
 
-        let out = ctx.session.run_dec(&dec_cfg(&cfg, k));
+        let out = ctx.session.run_dec(&dec_cfg(&cfg, k)).unwrap();
         let (a, n) = eval(&ctx.ds.labels, &out.labels);
         csv_rows.push(format!("DEC*,{},{a:.4},{n:.4}", ctx.ds.name));
         dec_cells.push(Cell::Score(a, n));
 
-        let out = ctx.session.run_idec(&idec_cfg(&cfg, k));
+        let out = ctx.session.run_idec(&idec_cfg(&cfg, k)).unwrap();
         let (a, n) = eval(&ctx.ds.labels, &out.labels);
         csv_rows.push(format!("IDEC*,{},{a:.4},{n:.4}", ctx.ds.name));
         idec_cells.push(Cell::Score(a, n));
 
-        let out = ctx.session.run_adec(&adec_cfg(&cfg, k));
+        let out = ctx.session.run_adec(&adec_cfg(&cfg, k)).unwrap();
         let (a, n) = eval(&ctx.ds.labels, &out.labels);
         csv_rows.push(format!("ADEC,{},{a:.4},{n:.4}", ctx.ds.name));
         adec_cells.push(Cell::Score(a, n));

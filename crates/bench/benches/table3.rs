@@ -50,15 +50,15 @@ fn main() {
         push(&mut times, &mut mi, pre + t0.elapsed().as_secs_f64());
 
         // DCN.
-        let out = ctx.session.run_dcn(&dcn_cfg(&cfg, k));
+        let out = ctx.session.run_dcn(&dcn_cfg(&cfg, k)).unwrap();
         push(&mut times, &mut mi, pre + out.seconds);
 
         // DEC.
-        let out = ctx.session.run_dec(&dec_cfg(&cfg, k));
+        let out = ctx.session.run_dec(&dec_cfg(&cfg, k)).unwrap();
         push(&mut times, &mut mi, pre + out.seconds);
 
         // IDEC.
-        let out = ctx.session.run_idec(&idec_cfg(&cfg, k));
+        let out = ctx.session.run_idec(&idec_cfg(&cfg, k)).unwrap();
         push(&mut times, &mut mi, pre + out.seconds);
 
         // SR-k-means-lite.
@@ -77,7 +77,7 @@ fn main() {
 
         // ADEC (with its own ACAI pretraining, as in the paper).
         let mut star = deep_context(benchmark, &cfg, true);
-        let out = star.session.run_adec(&adec_cfg(&cfg, k));
+        let out = star.session.run_adec(&adec_cfg(&cfg, k)).unwrap();
         push(&mut times, &mut mi, star.pretrain_seconds + out.seconds);
 
         assert_eq!(mi, n_methods);

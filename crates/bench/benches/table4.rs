@@ -31,15 +31,15 @@ fn main() {
         let k = ctx.ds.n_classes;
         let pre = ctx.pretrain_seconds;
 
-        let out = ctx.session.run_dec(&dec_cfg(&cfg, k));
+        let out = ctx.session.run_dec(&dec_cfg(&cfg, k)).unwrap();
         csv_rows.push(format!("DEC*,{},{:.3}", ctx.ds.name, pre + out.seconds));
         dec_t.push(Some(pre + out.seconds));
 
-        let out = ctx.session.run_idec(&idec_cfg(&cfg, k));
+        let out = ctx.session.run_idec(&idec_cfg(&cfg, k)).unwrap();
         csv_rows.push(format!("IDEC*,{},{:.3}", ctx.ds.name, pre + out.seconds));
         idec_t.push(Some(pre + out.seconds));
 
-        let out = ctx.session.run_adec(&adec_cfg(&cfg, k));
+        let out = ctx.session.run_adec(&adec_cfg(&cfg, k)).unwrap();
         csv_rows.push(format!("ADEC,{},{:.3}", ctx.ds.name, pre + out.seconds));
         adec_t.push(Some(pre + out.seconds));
     }

@@ -199,7 +199,12 @@ pub fn deep_context(benchmark: Benchmark, cfg: &HarnessCfg, star: bool) -> DeepC
         }
     };
     let t0 = Instant::now();
-    session.pretrain(&pre_cfg);
+    // Experiment harness: a diverged pretraining run has no meaningful
+    // benchmark result, so aborting the experiment binary is the right move.
+    #[allow(clippy::expect_used)]
+    session
+        .pretrain(&pre_cfg)
+        .expect("pretraining diverged"); // lint:allow(expect)
     DeepContext {
         ds,
         session,

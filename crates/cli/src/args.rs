@@ -138,6 +138,12 @@ pub struct Args {
     /// Validate the model architectures for this configuration and exit
     /// without training.
     pub check: bool,
+    /// Directory for training checkpoints (deep methods).
+    pub checkpoint_dir: Option<String>,
+    /// Write a checkpoint every N checkpoint opportunities.
+    pub checkpoint_every: usize,
+    /// Resume from the newest checkpoint in `--checkpoint-dir`.
+    pub resume: bool,
 }
 
 impl Default for Args {
@@ -154,6 +160,9 @@ impl Default for Args {
             save_weights: None,
             trace: false,
             check: false,
+            checkpoint_dir: None,
+            checkpoint_every: 1,
+            resume: false,
         }
     }
 }
@@ -205,6 +214,9 @@ pub fn usage() -> String {
            --save-weights <PATH>   save pretrained weights (deep methods)\n\
            --trace                 print per-interval ACC/NMI\n\
            --check                 validate model architectures for this configuration, then exit\n\
+           --checkpoint-dir <DIR>  write atomic training checkpoints here (deep methods)\n\
+           --checkpoint-every <N>  checkpoint every N opportunities    (default 1)\n\
+           --resume                resume from the checkpoints in --checkpoint-dir\n\
            --list                  list methods and datasets\n\
            --help                  this message\n",
         methods.join(" | ")
@@ -266,6 +278,16 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
             "--save-weights" => args.save_weights = Some(value("--save-weights")?.clone()),
             "--trace" => args.trace = true,
             "--check" => args.check = true,
+            "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?.clone()),
+            "--checkpoint-every" => {
+                let v = value("--checkpoint-every")?;
+                args.checkpoint_every = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n > 0)
+                    .ok_or_else(|| ParseError(format!("invalid checkpoint stride '{v}'")))?;
+            }
+            "--resume" => args.resume = true,
             other => {
                 return Err(ParseError(format!(
                     "unknown flag '{other}' (see --help)"
@@ -328,6 +350,31 @@ mod tests {
         assert!(parse(&strs(&["--dataset", "zzz"])).unwrap_err().0.contains("unknown dataset"));
         assert!(parse(&strs(&["--wat"])).unwrap_err().0.contains("unknown flag"));
         assert!(parse(&strs(&["--seed", "abc"])).unwrap_err().0.contains("invalid seed"));
+    }
+
+    #[test]
+    fn checkpoint_flags_parse() {
+        let args = parse(&strs(&[
+            "--checkpoint-dir", "ckpts", "--checkpoint-every", "5", "--resume",
+        ]))
+        .unwrap();
+        assert_eq!(args.checkpoint_dir.as_deref(), Some("ckpts"));
+        assert_eq!(args.checkpoint_every, 5);
+        assert!(args.resume);
+
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.checkpoint_dir, None);
+        assert_eq!(defaults.checkpoint_every, 1);
+        assert!(!defaults.resume);
+
+        assert!(parse(&strs(&["--checkpoint-every", "0"]))
+            .unwrap_err()
+            .0
+            .contains("invalid checkpoint stride"));
+        assert!(parse(&strs(&["--checkpoint-every", "x"]))
+            .unwrap_err()
+            .0
+            .contains("invalid checkpoint stride"));
     }
 
     #[test]

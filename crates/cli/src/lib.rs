@@ -16,4 +16,4 @@ pub mod args;
 pub mod runner;
 
 pub use args::{Args, Method, ParseError};
-pub use runner::{run, RunReport};
+pub use runner::{run, RunError, RunReport};

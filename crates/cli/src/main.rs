@@ -61,14 +61,14 @@ fn main() {
                 }
                 if let Err(e) = std::fs::write(path, body) {
                     eprintln!("error writing {path}: {e}");
-                    std::process::exit(1);
+                    std::process::exit(5);
                 }
                 eprintln!("labels written to {path}");
             }
         }
         Err(e) => {
             eprintln!("error: {e}");
-            std::process::exit(1);
+            std::process::exit(e.exit_code());
         }
     }
 }

@@ -1,5 +1,13 @@
 //! Method dispatch: generates the dataset, runs the selected method, and
 //! returns an evaluation report.
+//!
+//! Deep methods support durable runs: `--checkpoint-dir` makes the
+//! pretraining and clustering loops write atomic, checksummed checkpoints
+//! (`pretrain.ckpt`, `<method>.ckpt`), and `--resume` picks the run back up
+//! from the newest phase present — a resumed run reproduces the
+//! uninterrupted trajectory bitwise. `ADEC_FAULTS` (e.g. `kill@145`)
+//! injects deterministic faults into the clustering loop for durability
+//! drills; see [`adec_core::guard::faults`].
 
 use crate::args::{Args, Method, PretrainKind};
 use adec_classic::{
@@ -7,6 +15,7 @@ use adec_classic::{
     spectral_clustering, ssc_omp, ward_agglomerative, EnscConfig, GmmConfig, KMeansConfig,
     SpectralConfig, SscOmpConfig,
 };
+use adec_core::guard::faults::FaultPlan;
 use adec_core::jule::{self, JuleConfig};
 use adec_core::lite::{ae_finch, ae_kmeans, deepcluster_lite, depict_lite, sr_kmeans_lite, LiteConfig};
 use adec_core::prelude::*;
@@ -15,7 +24,9 @@ use adec_core::vade::{self, VadeConfig};
 use adec_core::{pretrain_stacked_denoising, ArchPreset};
 use adec_datagen::Size;
 use adec_metrics::{accuracy, ari, nmi, purity};
+use adec_nn::{Checkpoint, CheckpointError};
 use adec_tensor::SeedRng;
+use std::path::PathBuf;
 use std::time::Instant;
 
 /// Result of one CLI run.
@@ -39,10 +50,80 @@ pub struct RunReport {
     pub seconds: f64,
 }
 
+/// A failed CLI run, with a distinct exit code per failure class so
+/// supervisors (and the CI fault drills) can tell them apart.
+#[derive(Debug)]
+pub enum RunError {
+    /// Flag combination that only becomes invalid at run time.
+    Usage(String),
+    /// The guarded training loop gave up (divergence, injected kill, …).
+    Train(TrainError),
+    /// A checkpoint could not be read or written.
+    Checkpoint(CheckpointError),
+    /// Auxiliary file I/O (labels, weights) failed.
+    Io(String),
+}
+
+impl RunError {
+    /// Process exit code for this failure class: 2 usage, 3 training,
+    /// 4 checkpoint, 5 auxiliary I/O.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            RunError::Usage(_) => 2,
+            RunError::Train(_) => 3,
+            RunError::Checkpoint(_) => 4,
+            RunError::Io(_) => 5,
+        }
+    }
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Usage(msg) => write!(f, "{msg}"),
+            RunError::Train(e) => write!(f, "training failed: {e}"),
+            RunError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
+            RunError::Io(msg) => write!(f, "io: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+impl From<TrainError> for RunError {
+    fn from(e: TrainError) -> RunError {
+        match e {
+            // A checkpoint failure surfaced through a trainer keeps its
+            // class (and exit code 4).
+            TrainError::Checkpoint(c) => RunError::Checkpoint(c),
+            other => RunError::Train(other),
+        }
+    }
+}
+
+impl From<CheckpointError> for RunError {
+    fn from(e: CheckpointError) -> RunError {
+        RunError::Checkpoint(e)
+    }
+}
+
 fn arch_for(size: Size) -> ArchPreset {
     match size {
         Size::Small | Size::Medium => ArchPreset::Medium,
         Size::Paper => ArchPreset::Paper,
+    }
+}
+
+/// Checkpoint phase name for methods with guarded, checkpointable
+/// clustering loops; `None` for deep methods whose clustering phase does
+/// not checkpoint (their pretraining still does).
+fn phase_for(method: Method) -> Option<&'static str> {
+    match method {
+        Method::Dcn => Some("dcn"),
+        Method::Dec => Some("dec"),
+        Method::Idec => Some("idec"),
+        Method::Adec => Some("adec"),
+        _ => None,
     }
 }
 
@@ -59,25 +140,73 @@ pub fn check(args: &Args) -> adec_analysis::Report {
 }
 
 /// Runs the configured method and returns the report.
-pub fn run(args: &Args) -> Result<RunReport, String> {
+///
+/// # Errors
+///
+/// Returns a [`RunError`] carrying the failure class (usage, training,
+/// checkpoint, or I/O) and its exit code.
+pub fn run(args: &Args) -> Result<RunReport, RunError> {
     let ds = args.dataset.generate(args.size, args.seed);
     let k = ds.n_classes;
     let mut rng = SeedRng::new(args.seed ^ 0xC11);
     let start = Instant::now();
 
+    let faults = FaultPlan::from_env().map_err(RunError::Usage)?;
+    let ckpt_dir: Option<PathBuf> = args.checkpoint_dir.as_ref().map(PathBuf::from);
+    if args.resume && ckpt_dir.is_none() {
+        return Err(RunError::Usage(
+            "--resume requires --checkpoint-dir (see --help)".into(),
+        ));
+    }
+    if ckpt_dir.is_some() && !args.method.is_deep() {
+        return Err(RunError::Usage(
+            "--checkpoint-dir applies to deep methods only (see --list)".into(),
+        ));
+    }
+
     let labels: Vec<usize> = if args.method.is_deep() {
         let mut session = Session::new(&ds, arch_for(args.size), args.seed);
+        let phase = phase_for(args.method);
+
+        // Resolve what --resume picks up: the clustering checkpoint if the
+        // run already reached that phase, otherwise the pretraining one.
+        let mut resume_method: Option<Checkpoint> = None;
+        let mut resume_pretrain: Option<Checkpoint> = None;
+        if args.resume {
+            if let Some(dir) = &ckpt_dir {
+                let method_path = phase.map(|p| dir.join(format!("{p}.ckpt")));
+                if let Some(path) = method_path.filter(|p| p.exists()) {
+                    resume_method = Some(Checkpoint::load(&path)?);
+                } else {
+                    let pre_path = dir.join("pretrain.ckpt");
+                    if pre_path.exists() {
+                        resume_pretrain = Some(Checkpoint::load(&pre_path)?);
+                    } else {
+                        return Err(RunError::Usage(format!(
+                            "--resume: no checkpoint found in {}",
+                            dir.display()
+                        )));
+                    }
+                }
+            }
+        }
+
         match args.pretrain {
             PretrainKind::Sdae => {
-                let cfg = SdaeConfig {
-                    layer_iterations: args.pretrain_iters / 4,
-                    finetune_iterations: args.pretrain_iters / 2,
-                    ..SdaeConfig::default()
-                };
-                pretrain_stacked_denoising(&session.ae, &mut session.store, &session.data, &cfg, &mut rng);
+                // SDAE registers no extra parameters, so when resuming a
+                // clustering checkpoint the whole phase can be skipped: the
+                // checkpoint's store restores every weight.
+                if resume_method.is_none() {
+                    let cfg = SdaeConfig {
+                        layer_iterations: args.pretrain_iters / 4,
+                        finetune_iterations: args.pretrain_iters / 2,
+                        ..SdaeConfig::default()
+                    };
+                    pretrain_stacked_denoising(&session.ae, &mut session.store, &session.data, &cfg, &mut rng);
+                }
             }
             kind => {
-                let cfg = match kind {
+                let mut cfg = match kind {
                     PretrainKind::Vanilla => PretrainConfig {
                         iterations: args.pretrain_iters,
                         ..PretrainConfig::vanilla_fast()
@@ -92,17 +221,35 @@ pub fn run(args: &Args) -> Result<RunReport, String> {
                         ..PretrainConfig::acai_fast()
                     },
                 };
-                session.pretrain(&cfg);
+                if resume_method.is_some() {
+                    // Layout-only pass: still registers the ACAI critic so
+                    // the store matches the checkpointed run, but trains
+                    // nothing — the clustering checkpoint restores weights.
+                    cfg.iterations = 0;
+                } else {
+                    cfg.durability = DurabilityConfig {
+                        checkpoint_dir: ckpt_dir.clone(),
+                        checkpoint_every: args.checkpoint_every,
+                        resume: resume_pretrain.take(),
+                    };
+                }
+                session.pretrain(&cfg)?;
             }
         }
         if let Some(path) = &args.save_weights {
-            adec_nn::io::save_store(&session.store, path).map_err(|e| e.to_string())?;
+            adec_nn::io::save_store(&session.store, path)
+                .map_err(|e| RunError::Io(e.to_string()))?;
             eprintln!("saved weights to {path}");
         }
         let trace = if args.trace {
             TraceConfig::curves(&ds.labels)
         } else {
             TraceConfig::default()
+        };
+        let durability = DurabilityConfig {
+            checkpoint_dir: ckpt_dir.clone(),
+            checkpoint_every: args.checkpoint_every,
+            resume: resume_method,
         };
 
         let out = match args.method {
@@ -139,19 +286,25 @@ pub fn run(args: &Args) -> Result<RunReport, String> {
                 let mut cfg = DcnConfig::fast(k);
                 cfg.max_iter = args.iters;
                 cfg.trace = trace;
-                session.run_dcn(&cfg)
+                cfg.faults = faults;
+                cfg.durability = durability;
+                session.run_dcn(&cfg)?
             }
             Method::Dec => {
                 let mut cfg = DecConfig::fast(k);
                 cfg.max_iter = args.iters;
                 cfg.trace = trace;
-                session.run_dec(&cfg)
+                cfg.faults = faults;
+                cfg.durability = durability;
+                session.run_dec(&cfg)?
             }
             Method::Idec => {
                 let mut cfg = IdecConfig::fast(k);
                 cfg.max_iter = args.iters;
                 cfg.trace = trace;
-                session.run_idec(&cfg)
+                cfg.faults = faults;
+                cfg.durability = durability;
+                session.run_idec(&cfg)?
             }
             Method::Jule => {
                 let mut cfg = JuleConfig::fast(k);
@@ -164,7 +317,9 @@ pub fn run(args: &Args) -> Result<RunReport, String> {
                 let mut cfg = AdecConfig::fast(k);
                 cfg.max_iter = args.iters;
                 cfg.trace = trace;
-                session.run_adec(&cfg)
+                cfg.faults = faults;
+                cfg.durability = durability;
+                session.run_adec(&cfg)?
             }
             _ => unreachable!("non-deep methods handled below"),
         };
@@ -277,5 +432,67 @@ mod tests {
         ]);
         let report = run(&args).unwrap();
         assert_eq!(report.labels.len(), 240);
+    }
+
+    #[test]
+    fn usage_errors_have_exit_code_2() {
+        let args = quick_args(&["--method", "dec", "--dataset", "protein", "--resume"]);
+        let err = run(&args).unwrap_err();
+        assert!(matches!(err, RunError::Usage(_)), "{err}");
+        assert_eq!(err.exit_code(), 2);
+
+        let dir = std::env::temp_dir().join(format!("adec_cli_usage_{}", std::process::id()));
+        let dir_s = dir.to_string_lossy().into_owned();
+        let args = quick_args(&[
+            "--method", "kmeans", "--dataset", "protein", "--checkpoint-dir", &dir_s,
+        ]);
+        let err = run(&args).unwrap_err();
+        assert!(matches!(err, RunError::Usage(_)), "{err}");
+
+        let args = quick_args(&[
+            "--method", "dec", "--dataset", "protein", "--checkpoint-dir", &dir_s, "--resume",
+        ]);
+        let err = run(&args).unwrap_err();
+        assert!(matches!(err, RunError::Usage(_)), "--resume with empty dir: {err}");
+    }
+
+    #[test]
+    fn checkpointed_run_resumes_to_identical_labels() {
+        let dir = std::env::temp_dir().join(format!("adec_cli_resume_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().into_owned();
+        let flags = [
+            "--method", "dec", "--dataset", "protein", "--checkpoint-dir", &dir_s,
+        ];
+        let first = run(&quick_args(&flags)).unwrap();
+        assert!(dir.join("pretrain.ckpt").exists());
+        assert!(dir.join("dec.ckpt").exists());
+
+        // Resuming a finished run reuses its final checkpoint: no retraining,
+        // identical assignment.
+        let mut resumed_flags = flags.to_vec();
+        resumed_flags.push("--resume");
+        let second = run(&quick_args(&resumed_flags)).unwrap();
+        assert_eq!(first.labels, second.labels);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn corrupt_checkpoint_is_refused_with_exit_code_4() {
+        let dir = std::env::temp_dir().join(format!("adec_cli_corrupt_{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let dir_s = dir.to_string_lossy().into_owned();
+        let flags = [
+            "--method", "dec", "--dataset", "protein", "--checkpoint-dir", &dir_s,
+        ];
+        run(&quick_args(&flags)).unwrap();
+        // Flip one payload bit: the CRC must catch it on resume.
+        adec_core::guard::faults::bit_flip_file(dir.join("dec.ckpt"), 64, 0x10).unwrap();
+        let mut resumed_flags = flags.to_vec();
+        resumed_flags.push("--resume");
+        let err = run(&quick_args(&resumed_flags)).unwrap_err();
+        assert!(matches!(err, RunError::Checkpoint(_)), "{err}");
+        assert_eq!(err.exit_code(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,102 @@
+//! End-to-end durability drill against the real `adec` binary: kill a
+//! training run mid-flight with an injected fault, resume it in a fresh
+//! process, and require the resumed trajectory to be **bitwise** identical
+//! to an uninterrupted run — same final checkpoint bytes, same labels.
+
+// Test code: a panic on I/O failure is the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::path::Path;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_adec");
+
+fn adec(dir: &Path, extra: &[&str], faults: Option<&str>) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "--method",
+        "dec",
+        "--dataset",
+        "protein",
+        "--size",
+        "small",
+        "--seed",
+        "7",
+        "--iters",
+        "300",
+        "--pretrain-iters",
+        "100",
+        "--checkpoint-dir",
+    ])
+    .arg(dir)
+    .args(extra);
+    match faults {
+        Some(spec) => cmd.env("ADEC_FAULTS", spec),
+        None => cmd.env_remove("ADEC_FAULTS"),
+    };
+    cmd.output().expect("failed to spawn adec binary")
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+#[test]
+fn killed_run_resumes_bitwise() {
+    let root = std::env::temp_dir().join(format!("adec_resume_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let dir_a = root.join("uninterrupted");
+    let dir_b = root.join("killed");
+    let labels_a = root.join("a_labels.csv");
+    let labels_b = root.join("b_labels.csv");
+    std::fs::create_dir_all(&root).unwrap();
+
+    // Run A: uninterrupted reference trajectory.
+    let out = adec(&dir_a, &["--labels-out", labels_a.to_str().unwrap()], None);
+    assert!(out.status.success(), "run A failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Run B, take 1: identical flags, but an injected kill at iteration 145
+    // aborts the clustering loop. Training failures exit with code 3.
+    let out = adec(&dir_b, &[], Some("kill@145"));
+    assert_eq!(
+        out.status.code(),
+        Some(3),
+        "kill run: expected exit 3, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error:"), "kill run stderr: {stderr}");
+    assert!(dir_b.join("dec.ckpt").exists(), "kill left no checkpoint behind");
+
+    // Run B, take 2: resume from the checkpoint. The replayed trajectory
+    // must land on the exact same final state as run A.
+    let out = adec(&dir_b, &["--resume", "--labels-out", labels_b.to_str().unwrap()], None);
+    assert!(out.status.success(), "resume failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    assert_eq!(
+        read(&dir_a.join("dec.ckpt")),
+        read(&dir_b.join("dec.ckpt")),
+        "final checkpoints differ between uninterrupted and killed+resumed runs"
+    );
+    assert_eq!(
+        read(&dir_a.join("pretrain.ckpt")),
+        read(&dir_b.join("pretrain.ckpt")),
+        "pretraining checkpoints differ"
+    );
+    assert_eq!(read(&labels_a), read(&labels_b), "label assignments differ");
+
+    // A corrupted checkpoint must be refused (CRC mismatch, exit 4), never
+    // silently loaded.
+    adec_core::guard::faults::bit_flip_file(dir_b.join("dec.ckpt"), 64, 0x10).unwrap();
+    let out = adec(&dir_b, &["--resume"], None);
+    assert_eq!(
+        out.status.code(),
+        Some(4),
+        "corrupt resume: expected exit 4, got {:?}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+
+    let _ = std::fs::remove_dir_all(&root);
+}

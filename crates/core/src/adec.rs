@@ -22,10 +22,14 @@
 
 use crate::autoencoder::Autoencoder;
 use crate::dec::{init_centroids, label_change, record_trace_point, training_view};
+use crate::guard::{
+    begin_resume, faults::FaultPlan, push_labels, take_labels, DurabilityConfig, ExtraCursor,
+    GuardConfig, RunMark, TrainError, TrainGuard,
+};
 use crate::trace::{ClusterOutput, GradLoss, TraceConfig, TrainTrace};
 use adec_nn::{
-    hard_labels, soft_assignment, target_distribution, Activation, Mlp, Optimizer, ParamId,
-    ParamStore, Sgd, Tape,
+    hard_labels, soft_assignment, target_distribution, Activation, Checkpoint, Mlp, OptState,
+    Optimizer, ParamId, ParamStore, Sgd, Tape,
 };
 use adec_tensor::{Matrix, SeedRng};
 use std::time::Instant;
@@ -81,6 +85,13 @@ pub struct AdecConfig {
     pub augment: Option<(usize, usize)>,
     /// What to record while training.
     pub trace: TraceConfig,
+    /// Fault detection and recovery policy for the training loop.
+    pub guard: GuardConfig,
+    /// Deterministic fault injections (tests and drills; empty in
+    /// production runs).
+    pub faults: FaultPlan,
+    /// Checkpoint/resume policy.
+    pub durability: DurabilityConfig,
 }
 
 impl AdecConfig {
@@ -102,6 +113,9 @@ impl AdecConfig {
             saturating_adversarial: false,
             augment: None,
             trace: TraceConfig::default(),
+            guard: GuardConfig::default(),
+            faults: FaultPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -123,6 +137,9 @@ impl AdecConfig {
             saturating_adversarial: false,
             augment: None,
             trace: TraceConfig::default(),
+            guard: GuardConfig::default(),
+            faults: FaultPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -134,16 +151,37 @@ pub struct Adec {
     pub discriminator: Mlp,
 }
 
+/// Serializes ADEC's loop state (labels at the last refresh plus the
+/// Algorithm-1 alternation state) into checkpoint extras.
+fn adec_extra(
+    mark: RunMark,
+    y_prev: Option<&[usize]>,
+    decoder_only: bool,
+    block_j: usize,
+) -> Vec<u64> {
+    let mut extra = Vec::new();
+    mark.push(&mut extra);
+    push_labels(&mut extra, y_prev);
+    extra.push(u64::from(decoder_only));
+    extra.push(block_j as u64);
+    extra
+}
+
 impl Adec {
     /// Builds the discriminator, runs Algorithm 1, and returns the
     /// assignment plus the runner holding the trained discriminator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TrainError`] when the guard exhausts its recovery budget,
+    /// a scheduled `kill` fault fires, or checkpoint I/O fails.
     pub fn run(
         ae: &Autoencoder,
         store: &mut ParamStore,
         data: &Matrix,
         cfg: &AdecConfig,
         rng: &mut SeedRng,
-    ) -> (Adec, ClusterOutput) {
+    ) -> Result<(Adec, ClusterOutput), TrainError> {
         let start = Instant::now();
         let n = data.rows();
         let input_dim = ae.input_dim();
@@ -168,41 +206,132 @@ impl Adec {
         let disc_ids: std::collections::HashSet<ParamId> =
             discriminator.param_ids().into_iter().collect();
 
+        let mut guarded: Vec<ParamId> = ae.param_ids();
+        guarded.extend(discriminator.param_ids());
+        guarded.push(mu_id);
+        let mut guard = TrainGuard::new("adec", cfg.guard.clone(), guarded);
+        let mut faults = cfg.faults.activate();
+
         let mut enc_opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
         let mut dec_opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
         let mut disc_opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
 
-        // ---- Discriminator warm-up (Algorithm 1 line 2) ----
-        for _ in 0..cfg.disc_pretrain {
-            let idx = rng.sample_indices(n, cfg.batch_size.min(n));
-            let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
-            let fake = ae.reconstruct(store, &x_b);
-            discriminator_step(
-                &discriminator,
-                store,
-                &x_b,
-                &fake,
-                &mut disc_opt,
-                &disc_ids,
-            );
-        }
-
-        // ---- Clustering phase ----
-        let mut trace = TrainTrace::default();
-        let mut p_full = Matrix::zeros(0, 0);
         let mut y_prev: Option<Vec<usize>> = None;
         let mut converged = false;
         let mut iterations = 0usize;
         let mut decoder_only = true; // Algorithm 1's `test` flag
         let mut block_j = 0usize;
+        let mut start_iter = 0usize;
+        let mut already_done = false;
+        let mut resumed = false;
 
-        for i in 0..cfg.max_iter {
+        if let Some((iter, ckpt)) = begin_resume(&cfg.durability, "adec", store, rng)? {
+            ckpt.opt(0)?.apply_sgd(&mut enc_opt)?;
+            ckpt.opt(1)?.apply_sgd(&mut dec_opt)?;
+            ckpt.opt(2)?.apply_sgd(&mut disc_opt)?;
+            let mut cur = ExtraCursor::new(&ckpt.extra);
+            let mark = RunMark::take(&mut cur)?;
+            y_prev = take_labels(&mut cur)?;
+            decoder_only = cur.word()? != 0;
+            block_j = cur.word()? as usize;
+            cur.finish()?;
+            if mark.done {
+                converged = mark.converged;
+                iterations = mark.iterations;
+                already_done = true;
+            } else {
+                start_iter = iter;
+            }
+            resumed = true;
+        }
+
+        // ---- Discriminator warm-up (Algorithm 1 line 2) ----
+        // Skipped on resume: the restored parameters and RNG state already
+        // account for it.
+        if !resumed {
+            for _ in 0..cfg.disc_pretrain {
+                let idx = rng.sample_indices(n, cfg.batch_size.min(n));
+                let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
+                let fake = ae.reconstruct(store, &x_b);
+                discriminator_step(
+                    &discriminator,
+                    store,
+                    &x_b,
+                    &fake,
+                    &mut disc_opt,
+                    &disc_ids,
+                );
+            }
+        }
+
+        // ---- Clustering phase ----
+        let mut trace = TrainTrace::default();
+        let mut p_full = Matrix::zeros(0, 0);
+        let mut force_refresh = !start_iter.is_multiple_of(cfg.update_interval);
+        let start_iter = if already_done { cfg.max_iter } else { start_iter };
+
+        for i in start_iter..cfg.max_iter {
+            // A rollback re-enters the loop here; the macro keeps the three
+            // optimizers, the alternation state, and the refresh flag in
+            // sync on every recovery path.
+            macro_rules! recover {
+                ($fault:expr) => {{
+                    let rec = guard.recover(store, $fault, i)?;
+                    enc_opt.lr *= rec.lr_scale;
+                    dec_opt.lr *= rec.lr_scale;
+                    disc_opt.lr *= rec.lr_scale;
+                    enc_opt.reset();
+                    dec_opt.reset();
+                    disc_opt.reset();
+                    y_prev = None;
+                    decoder_only = true;
+                    block_j = 0;
+                    force_refresh = true;
+                    continue;
+                }};
+            }
+
+            if faults.kill_requested(i) {
+                return Err(TrainError::Killed {
+                    phase: "adec".into(),
+                    iter: i,
+                });
+            }
             iterations = i + 1;
-            if i % cfg.update_interval == 0 {
+            let natural = i % cfg.update_interval == 0;
+            if natural || force_refresh {
+                force_refresh = false;
                 let z = ae.embed(store, data);
                 let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
+                if let Err(fault) = guard
+                    .check_assignments(&q)
+                    .and_then(|()| guard.check_params(store))
+                {
+                    recover!(fault);
+                }
                 p_full = target_distribution(&q);
                 let y_pred = hard_labels(&q);
+                guard.mark_good(i, store);
+                if natural {
+                    cfg.durability
+                        .maybe_write("adec", i / cfg.update_interval, || Checkpoint {
+                            phase: "adec".into(),
+                            iter: i as u64,
+                            rng: rng.export_state(),
+                            store: store.clone(),
+                            opts: vec![
+                                OptState::capture_sgd(&enc_opt),
+                                OptState::capture_sgd(&dec_opt),
+                                OptState::capture_sgd(&disc_opt),
+                            ],
+                            extra: adec_extra(
+                                RunMark::mid_run(),
+                                y_prev.as_deref(),
+                                decoder_only,
+                                block_j,
+                            ),
+                        })?;
+                }
                 record_trace_point(
                     &mut trace,
                     i,
@@ -229,12 +358,17 @@ impl Adec {
                 y_prev = Some(y_pred);
             }
 
+            faults.poison_centroids(i, store, mu_id);
             let idx = rng.sample_indices(n, cfg.batch_size.min(n));
             let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
 
             if decoder_only {
                 // Auxiliary block: decoder catch-up only (eq. 11).
-                decoder_step(ae, store, &x_b, &mut dec_opt, &decoder_ids);
+                let dec_loss = decoder_step(ae, store, &x_b, &mut dec_opt, &decoder_ids);
+                let observed = faults.corrupt_loss(i, dec_loss);
+                if let Err(fault) = guard.check_loss(observed) {
+                    recover!(fault);
+                }
                 block_j += 1;
                 if block_j >= cfg.aux_iterations {
                     decoder_only = false;
@@ -244,7 +378,7 @@ impl Adec {
                 // Joint block: encoder (eq. 10), decoder (eq. 11),
                 // discriminator (eq. 12), centroids (Theorem 3).
                 let p_b = p_full.gather_rows(&idx);
-                encoder_step(
+                let (kl_loss, grad_norm) = encoder_step(
                     ae,
                     &discriminator,
                     store,
@@ -255,9 +389,16 @@ impl Adec {
                     &mut enc_opt,
                     &encoder_ids,
                 );
-                decoder_step(ae, store, &x_b, &mut dec_opt, &decoder_ids);
+                let observed = faults.corrupt_loss(i, kl_loss);
+                if let Err(fault) = guard
+                    .check_loss(observed)
+                    .and_then(|()| guard.check_grad_norm(grad_norm))
+                {
+                    recover!(fault);
+                }
+                let dec_loss = decoder_step(ae, store, &x_b, &mut dec_opt, &decoder_ids);
                 let fake = ae.reconstruct(store, &x_b);
-                discriminator_step(
+                let disc_loss = discriminator_step(
                     &discriminator,
                     store,
                     &x_b,
@@ -265,6 +406,12 @@ impl Adec {
                     &mut disc_opt,
                     &disc_ids,
                 );
+                if let Err(fault) = guard
+                    .check_loss(dec_loss)
+                    .and_then(|()| guard.check_loss(disc_loss))
+                {
+                    recover!(fault);
+                }
                 block_j += 1;
                 if block_j >= cfg.aux_iterations {
                     decoder_only = true;
@@ -275,6 +422,23 @@ impl Adec {
 
         let z = ae.embed(store, data);
         let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
+        cfg.durability.write_final("adec", || Checkpoint {
+            phase: "adec".into(),
+            iter: iterations as u64,
+            rng: rng.export_state(),
+            store: store.clone(),
+            opts: vec![
+                OptState::capture_sgd(&enc_opt),
+                OptState::capture_sgd(&dec_opt),
+                OptState::capture_sgd(&disc_opt),
+            ],
+            extra: adec_extra(
+                RunMark::finished(converged, iterations),
+                y_prev.as_deref(),
+                decoder_only,
+                block_j,
+            ),
+        })?;
         let output = ClusterOutput {
             labels: hard_labels(&q),
             q,
@@ -283,7 +447,7 @@ impl Adec {
             trace,
             seconds: start.elapsed().as_secs_f64(),
         };
-        (Adec { discriminator }, output)
+        Ok((Adec { discriminator }, output))
     }
 }
 
@@ -296,6 +460,9 @@ impl Adec {
 /// the KL gradient and drag the embedding off to a GAN-style collapse.
 /// Centroids receive the Theorem-3 KL gradient only (the adversarial term
 /// does not depend on μ).
+///
+/// Returns the clustering loss and the clustering-gradient norm, which the
+/// caller's [`TrainGuard`] inspects for divergence.
 #[allow(clippy::too_many_arguments)]
 fn encoder_step(
     ae: &Autoencoder,
@@ -307,12 +474,13 @@ fn encoder_step(
     cfg: &AdecConfig,
     opt: &mut Sgd,
     _encoder_ids: &std::collections::HashSet<ParamId>,
-) {
+) -> (f32, f32) {
     let b = x_b.rows() as f32;
     let enc_ids: Vec<ParamId> = ae.encoder.param_ids();
 
     // Pass 1: clustering gradient (encoder + centroids).
     let mut kl_tape = Tape::new();
+    let kl_value;
     {
         let xv = kl_tape.leaf(x_b.clone());
         let z = ae.encoder.forward(&mut kl_tape, store, xv);
@@ -320,6 +488,7 @@ fn encoder_step(
         let kl = kl_tape.dec_kl(z, mu, p_b, cfg.alpha);
         let loss = kl_tape.scale(kl, 1.0 / b);
         kl_tape.backward(loss);
+        kl_value = kl_tape.scalar(loss);
     }
     // Every id queried below was bound during the forward pass on the same
     // tape, so the lookup cannot miss.
@@ -338,6 +507,11 @@ fn encoder_step(
         .map(|&id| (id, grad_of(&kl_tape, id)))
         .collect();
     let mu_grad = grad_of(&kl_tape, mu_id);
+    let kl_norm = kl_grads
+        .iter()
+        .map(|(_, g)| g.sq_norm())
+        .sum::<f32>()
+        .sqrt();
 
     if cfg.adversarial_weight.abs() > 0.0 {
         // Pass 2: adversarial gradient (encoder only; decoder and
@@ -364,11 +538,11 @@ fn encoder_step(
             adv_tape.backward(loss);
         }
         let adv_grads: Vec<Matrix> = enc_ids.iter().map(|&id| grad_of(&adv_tape, id)).collect();
-        let norm = |gs: &[Matrix]| -> f32 {
-            gs.iter().map(|g| g.sq_norm()).sum::<f32>().sqrt()
-        };
-        let kl_norm = norm(&kl_grads.iter().map(|(_, g)| g.clone()).collect::<Vec<_>>());
-        let adv_norm = norm(&adv_grads);
+        let adv_norm = adv_grads
+            .iter()
+            .map(|g| g.sq_norm())
+            .sum::<f32>()
+            .sqrt();
         let scale = if adv_norm > 1e-12 {
             cfg.adversarial_weight * (kl_norm / adv_norm).min(1.0)
         } else {
@@ -381,17 +555,19 @@ fn encoder_step(
 
     kl_grads.push((mu_id, mu_grad));
     opt.step_grads(store, &kl_grads);
+    (kl_value, kl_norm)
 }
 
 /// Decoder update minimizing eq. 11 with the encoder frozen: the embedding
 /// is computed without gradient and fed to the decoder as a constant.
+/// Returns the reconstruction loss for guard inspection.
 fn decoder_step(
     ae: &Autoencoder,
     store: &mut ParamStore,
     x_b: &Matrix,
     opt: &mut Sgd,
     decoder_ids: &std::collections::HashSet<ParamId>,
-) {
+) -> f32 {
     let z = ae.encoder.infer(store, x_b); // detached
     let mut tape = Tape::new();
     let zv = tape.leaf(z);
@@ -399,7 +575,9 @@ fn decoder_step(
     let target = tape.leaf(x_b.clone());
     let loss = tape.mse(xhat, target);
     tape.backward(loss);
+    let value = tape.scalar(loss);
     opt.step_filtered(&tape, store, |id| decoder_ids.contains(&id));
+    value
 }
 
 /// Discriminator update ascending eq. 12, i.e. minimizing
@@ -407,6 +585,7 @@ fn decoder_step(
 /// smoothing (real target 0.9, Salimans et al. 2016): the discriminator
 /// stays informative without becoming the over-confident critic that
 /// would fight the within-class collapse ADEC aims for.
+/// Returns the discriminator loss for guard inspection.
 fn discriminator_step(
     discriminator: &Mlp,
     store: &mut ParamStore,
@@ -414,7 +593,7 @@ fn discriminator_step(
     fake: &Matrix,
     opt: &mut Sgd,
     disc_ids: &std::collections::HashSet<ParamId>,
-) {
+) -> f32 {
     let mut tape = Tape::new();
     let rv = tape.leaf(real.clone());
     let r_logits = discriminator.forward(&mut tape, store, rv);
@@ -426,10 +605,14 @@ fn discriminator_step(
     let l_fake = tape.bce_with_logits(f_logits, &zeros);
     let loss = tape.add(l_real, l_fake);
     tape.backward(loss);
+    let value = tape.scalar(loss);
     opt.step_filtered(&tape, store, |id| disc_ids.contains(&id));
+    value
 }
 
 #[cfg(test)]
+// Test code: unwraps are the assertions themselves here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::autoencoder::ArchPreset;
@@ -454,7 +637,8 @@ mod tests {
                 ..PretrainConfig::vanilla(400)
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         (data, y, store, ae, rng)
     }
 
@@ -464,7 +648,7 @@ mod tests {
         let mut cfg = AdecConfig::fast(3);
         cfg.max_iter = 600;
         cfg.trace = TraceConfig::curves(&y);
-        let (_model, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let (_model, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         let acc = out.acc(&y);
         assert!(acc > 0.75, "ADEC ACC {acc}");
     }
@@ -475,7 +659,7 @@ mod tests {
         let mut cfg = AdecConfig::fast(3);
         cfg.max_iter = 50;
         cfg.disc_pretrain = 300;
-        let (model, _out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let (model, _out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         // Real samples should receive higher logits than reconstructions on
         // average.
         let real_logits = model.discriminator.infer(&store, &data);
@@ -498,7 +682,7 @@ mod tests {
         let before = ae.reconstruction_error(&store, &data);
         let mut cfg = AdecConfig::fast(3);
         cfg.max_iter = 600;
-        let (_m, _out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let (_m, _out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         let after = ae.reconstruction_error(&store, &data);
         assert!(
             after < before * 4.0,
@@ -512,7 +696,7 @@ mod tests {
         let mut cfg = AdecConfig::fast(3);
         cfg.max_iter = 300;
         cfg.adversarial_weight = 0.0;
-        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         // Without the adversarial term this degenerates toward DEC with a
         // decoder side-car; it must still produce a valid clustering.
         assert_eq!(out.labels.len(), data.rows());
@@ -526,7 +710,7 @@ mod tests {
         let mut cfg = AdecConfig::fast(3);
         cfg.max_iter = 200;
         cfg.trace = TraceConfig::full(&y);
-        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         assert!(!out.trace.fr_series().is_empty());
         assert!(!out.trace.fd_series().is_empty());
         for (_, v) in out.trace.fd_series() {
@@ -541,7 +725,7 @@ mod tests {
         cfg.max_iter = 3;
         cfg.update_interval = 1;
         cfg.tol = 1.1; // any change fraction < 1.1 → immediate convergence
-        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let (_m, out) = Adec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         assert!(out.converged);
         assert!(out.iterations <= 3);
     }

@@ -8,8 +8,12 @@
 
 use crate::autoencoder::Autoencoder;
 use crate::dec::{init_centroids, label_change};
+use crate::guard::{
+    begin_resume, faults::FaultPlan, push_labels, take_labels, DurabilityConfig, ExtraCursor,
+    GuardConfig, RunMark, TrainError, TrainGuard,
+};
 use crate::trace::{ClusterOutput, TraceConfig, TracePoint, TrainTrace};
-use adec_nn::{Optimizer, ParamId, ParamStore, Sgd, Tape};
+use adec_nn::{Checkpoint, OptState, Optimizer, ParamId, ParamStore, Sgd, Tape};
 use adec_tensor::{linalg::pairwise_sq_dists, Matrix, SeedRng};
 use std::time::Instant;
 
@@ -34,6 +38,15 @@ pub struct DcnConfig {
     pub update_interval: usize,
     /// What to record while training.
     pub trace: TraceConfig,
+    /// Divergence detection and rollback-recovery policy. DCN's hard
+    /// assignment legitimately leaves clusters transiently empty, so the
+    /// guard only applies the finite/ceiling checks here (no collapse
+    /// detection).
+    pub guard: GuardConfig,
+    /// Deterministic fault injections (tests / chaos harness).
+    pub faults: FaultPlan,
+    /// Checkpoint scheduling and resumption.
+    pub durability: DurabilityConfig,
 }
 
 impl DcnConfig {
@@ -49,6 +62,9 @@ impl DcnConfig {
             tol: 0.001,
             update_interval: 140,
             trace: TraceConfig::default(),
+            guard: GuardConfig::default(),
+            faults: FaultPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -76,31 +92,102 @@ fn nearest_centroids(z: &Matrix, centroids: &Matrix) -> Vec<usize> {
 
 impl Dcn {
     /// Runs DCN fine-tuning.
+    ///
+    /// Guarded and checkpointed like [`crate::Dec::run`]; the centroid
+    /// matrix lives in the store (`"dcn.centroids"`) so rollback and
+    /// checkpointing cover it, and the per-cluster assignment counts ride
+    /// in the checkpoint's `extra` words.
     pub fn run(
         ae: &Autoencoder,
         store: &mut ParamStore,
         data: &Matrix,
         cfg: &DcnConfig,
         rng: &mut SeedRng,
-    ) -> ClusterOutput {
+    ) -> Result<ClusterOutput, TrainError> {
         let start = Instant::now();
-        let mut centroids = init_centroids(ae, store, data, cfg.k, rng);
-        crate::archspec::clustering_spec("dcn", ae, store, &centroids, "sgd+momentum").assert_valid();
+        let mu0 = init_centroids(ae, store, data, cfg.k, rng);
+        let mu_id = store.register("dcn.centroids", mu0);
+        crate::archspec::clustering_spec("dcn", ae, store, store.get(mu_id), "sgd+momentum").assert_valid();
         // Per-cluster assignment counts drive the DCN incremental centroid
         // learning rate 1/count.
         let mut counts = vec![1usize; cfg.k];
+        let mut counts_good = counts.clone();
         let trainable: std::collections::HashSet<ParamId> = ae.param_ids().into_iter().collect();
+        let mut guarded = ae.param_ids();
+        guarded.push(mu_id);
+
         let mut opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
+        let mut guard = TrainGuard::new("dcn", cfg.guard.clone(), guarded);
+        let mut faults = cfg.faults.activate();
         let mut trace = TrainTrace::default();
         let mut y_prev: Option<Vec<usize>> = None;
         let mut converged = false;
         let mut iterations = 0usize;
+        let mut start_iter = 0usize;
+        let mut already_done = false;
 
-        for i in 0..cfg.max_iter {
+        if let Some((iter, ckpt)) = begin_resume(&cfg.durability, "dcn", store, rng)? {
+            ckpt.opt(0)?.apply_sgd(&mut opt)?;
+            let mut cur = ExtraCursor::new(&ckpt.extra);
+            let mark = RunMark::take(&mut cur)?;
+            y_prev = take_labels(&mut cur)?;
+            counts = take_labels(&mut cur)?
+                .ok_or_else(|| TrainError::Resume("dcn checkpoint lacks counts".into()))?;
+            cur.finish()?;
+            if counts.len() != cfg.k {
+                return Err(TrainError::Resume(format!(
+                    "dcn checkpoint has {} cluster counts, config wants {}",
+                    counts.len(),
+                    cfg.k
+                )));
+            }
+            counts_good = counts.clone();
+            if mark.done {
+                converged = mark.converged;
+                iterations = mark.iterations;
+                already_done = true;
+            } else {
+                start_iter = iter;
+            }
+        }
+
+        let mut force_refresh = !start_iter.is_multiple_of(cfg.update_interval);
+        let start_iter = if already_done { cfg.max_iter } else { start_iter };
+        for i in start_iter..cfg.max_iter {
+            if faults.kill_requested(i) {
+                return Err(TrainError::Killed {
+                    phase: "dcn".into(),
+                    iter: i,
+                });
+            }
             iterations = i + 1;
-            if i % cfg.update_interval == 0 {
+            let natural = i % cfg.update_interval == 0;
+            if natural || force_refresh {
+                force_refresh = false;
+                if let Err(fault) = guard.check_params(store) {
+                    let rec = guard.recover(store, fault, i)?;
+                    counts = counts_good.clone();
+                    opt.lr *= rec.lr_scale;
+                    opt.reset();
+                    y_prev = None;
+                    force_refresh = true;
+                    continue;
+                }
+                guard.mark_good(i, store);
+                counts_good = counts.clone();
+                if natural {
+                    cfg.durability
+                        .maybe_write("dcn", i / cfg.update_interval, || Checkpoint {
+                            phase: "dcn".into(),
+                            iter: i as u64,
+                            rng: rng.export_state(),
+                            store: store.clone(),
+                            opts: vec![OptState::capture_sgd(&opt)],
+                            extra: dcn_extra(RunMark::mid_run(), y_prev.as_deref(), &counts),
+                        })?;
+                }
                 let z = ae.embed(store, data);
-                let y_pred = nearest_centroids(&z, &centroids);
+                let y_pred = nearest_centroids(&z, store.get(mu_id));
                 let (acc, nmi_v) = match &cfg.trace.y_true {
                     Some(y) => (
                         Some(adec_metrics::accuracy(y, &y_pred)),
@@ -125,13 +212,15 @@ impl Dcn {
                 y_prev = Some(y_pred);
             }
 
+            faults.poison_centroids(i, store, mu_id);
+
             let idx = rng.sample_indices(data.rows(), cfg.batch_size.min(data.rows()));
             let x_b = data.gather_rows(&idx);
 
             // Assignments with the current network (fixed during the step).
             let z_now = ae.embed(store, &x_b);
-            let assign = nearest_centroids(&z_now, &centroids);
-            let targets = centroids.gather_rows(&assign);
+            let assign = nearest_centroids(&z_now, store.get(mu_id));
+            let targets = store.get(mu_id).gather_rows(&assign);
 
             // Network update on L_r + (λ/2)‖z − M s‖².
             let mut tape = Tape::new();
@@ -144,12 +233,23 @@ impl Dcn {
             let km = tape.mse(z, t);
             let km_scaled = tape.scale(km, cfg.lambda / 2.0);
             let loss = tape.add(rec, km_scaled);
+            let observed = faults.corrupt_loss(i, tape.scalar(loss));
+            if let Err(fault) = guard.check_loss(observed) {
+                let rec = guard.recover(store, fault, i)?;
+                counts = counts_good.clone();
+                opt.lr *= rec.lr_scale;
+                opt.reset();
+                y_prev = None;
+                force_refresh = true;
+                continue;
+            }
             tape.backward(loss);
             opt.step_filtered(&tape, store, |id| trainable.contains(&id));
 
             // Incremental centroid update (DCN eq. 8): per-sample step with
             // learning rate 1/count.
             let z_new = ae.embed(store, &x_b);
+            let centroids = store.get_mut(mu_id);
             for (row, &c) in assign.iter().enumerate() {
                 counts[c] += 1;
                 let lr_c = 1.0 / counts[c] as f32;
@@ -161,21 +261,43 @@ impl Dcn {
         }
 
         let z = ae.embed(store, data);
-        let labels = nearest_centroids(&z, &centroids);
+        let labels = nearest_centroids(&z, store.get(mu_id));
+        cfg.durability.write_final("dcn", || Checkpoint {
+            phase: "dcn".into(),
+            iter: iterations as u64,
+            rng: rng.export_state(),
+            store: store.clone(),
+            opts: vec![OptState::capture_sgd(&opt)],
+            extra: dcn_extra(
+                RunMark::finished(converged, iterations),
+                y_prev.as_deref(),
+                &counts,
+            ),
+        })?;
         // DCN is hard-assignment; expose a one-hot Q for interface parity.
         let mut q = Matrix::zeros(data.rows(), cfg.k);
         for (i, &l) in labels.iter().enumerate() {
             q.set(i, l, 1.0);
         }
-        ClusterOutput {
+        Ok(ClusterOutput {
             labels,
             q,
             iterations,
             converged,
             trace,
             seconds: start.elapsed().as_secs_f64(),
-        }
+        })
     }
+}
+
+/// DCN's checkpoint `extra` layout: the [`RunMark`] triple, the previous
+/// refresh's hard labels, then the incremental-update cluster counts.
+fn dcn_extra(mark: RunMark, y_prev: Option<&[usize]>, counts: &[usize]) -> Vec<u64> {
+    let mut extra = Vec::new();
+    mark.push(&mut extra);
+    push_labels(&mut extra, y_prev);
+    push_labels(&mut extra, Some(counts));
+    extra
 }
 
 #[cfg(test)]
@@ -207,11 +329,12 @@ mod tests {
                 ..PretrainConfig::vanilla(400)
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         let mut cfg = DcnConfig::fast(3);
         cfg.max_iter = 600;
         cfg.trace = TraceConfig::curves(&y);
-        let out = Dcn::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let out = Dcn::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         let acc = out.acc(&y);
         assert!(acc > 0.7, "DCN ACC {acc}");
     }
@@ -224,7 +347,7 @@ mod tests {
         let ae = Autoencoder::new(&mut store, 12, ArchPreset::Small, &mut rng);
         let mut cfg = DcnConfig::fast(2);
         cfg.max_iter = 100;
-        let out = Dcn::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let out = Dcn::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         for i in 0..out.q.rows() {
             let s: f32 = out.q.row(i).iter().sum();
             assert!((s - 1.0).abs() < 1e-6);

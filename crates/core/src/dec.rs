@@ -6,13 +6,17 @@
 //! distribution (eq. 3), refreshed every `update_interval` iterations.
 
 use crate::autoencoder::Autoencoder;
+use crate::guard::{
+    begin_resume, faults::FaultPlan, push_labels, take_labels, DurabilityConfig, ExtraCursor,
+    GuardConfig, RunMark, TrainError, TrainGuard,
+};
 use crate::trace::{
     encoder_gradients, grad_cosine, ClusterOutput, GradLoss, TraceConfig, TracePoint, TrainTrace,
 };
 use adec_classic::{kmeans, KMeansConfig};
 use adec_nn::{
-    hard_labels, kl_divergence, soft_assignment, target_distribution, Optimizer, ParamId,
-    ParamStore, Sgd, Tape,
+    hard_labels, kl_divergence, soft_assignment, target_distribution, Checkpoint, OptState,
+    Optimizer, ParamId, ParamStore, Sgd, Tape,
 };
 use adec_tensor::{Matrix, SeedRng};
 use std::time::Instant;
@@ -44,6 +48,12 @@ pub struct DecConfig {
     pub augment: Option<(usize, usize)>,
     /// What to record while training.
     pub trace: TraceConfig,
+    /// Divergence detection and rollback-recovery policy.
+    pub guard: GuardConfig,
+    /// Deterministic fault injections (tests / chaos harness).
+    pub faults: FaultPlan,
+    /// Checkpoint scheduling and resumption.
+    pub durability: DurabilityConfig,
 }
 
 impl DecConfig {
@@ -60,6 +70,9 @@ impl DecConfig {
             update_interval: 140,
             augment: None,
             trace: TraceConfig::default(),
+            guard: GuardConfig::default(),
+            faults: FaultPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -76,6 +89,9 @@ impl DecConfig {
             update_interval: 140,
             augment: None,
             trace: TraceConfig::default(),
+            guard: GuardConfig::default(),
+            faults: FaultPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -127,34 +143,97 @@ pub(crate) fn label_change(a: &[usize], b: &[usize]) -> f32 {
 impl Dec {
     /// Runs the DEC clustering phase, mutating the encoder and returning
     /// the final assignment. The decoder is untouched (discarded).
+    ///
+    /// The loop runs under a [`TrainGuard`]: a non-finite/exploding loss,
+    /// poisoned parameters, or a collapsed cluster roll the run back to
+    /// the last refresh snapshot with a reduced learning rate instead of
+    /// producing garbage metrics; the structured [`TrainError`] surfaces
+    /// only once the retry budget is spent. With
+    /// [`DurabilityConfig::checkpoint_dir`] set, refresh points write
+    /// rolling checkpoints and a resumed run reproduces the
+    /// uninterrupted trajectory bitwise.
     pub fn run(
         ae: &Autoencoder,
         store: &mut ParamStore,
         data: &Matrix,
         cfg: &DecConfig,
         rng: &mut SeedRng,
-    ) -> ClusterOutput {
+    ) -> Result<ClusterOutput, TrainError> {
         let start = Instant::now();
         let mu0 = init_centroids(ae, store, data, cfg.k, rng);
         let mu_id = store.register("dec.centroids", mu0);
         crate::archspec::clustering_spec("dec", ae, store, store.get(mu_id), "sgd+momentum").assert_valid();
         let encoder_ids: std::collections::HashSet<ParamId> =
             ae.encoder.param_ids().into_iter().collect();
+        let mut trainable = ae.encoder.param_ids();
+        trainable.push(mu_id);
 
         let mut opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
+        let mut guard = TrainGuard::new("dec", cfg.guard.clone(), trainable);
+        let mut faults = cfg.faults.activate();
         let mut trace = TrainTrace::default();
         let mut p_full = Matrix::zeros(0, 0);
         let mut y_prev: Option<Vec<usize>> = None;
         let mut converged = false;
         let mut iterations = 0usize;
+        let mut start_iter = 0usize;
+        let mut already_done = false;
 
-        for i in 0..cfg.max_iter {
+        if let Some((iter, ckpt)) = begin_resume(&cfg.durability, "dec", store, rng)? {
+            ckpt.opt(0)?.apply_sgd(&mut opt)?;
+            let mut cur = ExtraCursor::new(&ckpt.extra);
+            let mark = RunMark::take(&mut cur)?;
+            y_prev = take_labels(&mut cur)?;
+            cur.finish()?;
+            if mark.done {
+                converged = mark.converged;
+                iterations = mark.iterations;
+                already_done = true;
+            } else {
+                start_iter = iter;
+            }
+        }
+
+        let mut force_refresh = !start_iter.is_multiple_of(cfg.update_interval);
+        let start_iter = if already_done { cfg.max_iter } else { start_iter };
+        for i in start_iter..cfg.max_iter {
+            if faults.kill_requested(i) {
+                return Err(TrainError::Killed {
+                    phase: "dec".into(),
+                    iter: i,
+                });
+            }
             iterations = i + 1;
-            if i % cfg.update_interval == 0 {
+            let natural = i % cfg.update_interval == 0;
+            if natural || force_refresh {
+                force_refresh = false;
                 let z = ae.embed(store, data);
                 let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
+                if let Err(fault) = guard
+                    .check_assignments(&q)
+                    .and_then(|()| guard.check_params(store))
+                {
+                    let rec = guard.recover(store, fault, i)?;
+                    opt.lr *= rec.lr_scale;
+                    opt.reset();
+                    y_prev = None;
+                    force_refresh = true;
+                    continue;
+                }
                 p_full = target_distribution(&q);
                 let y_pred = hard_labels(&q);
+                guard.mark_good(i, store);
+                if natural {
+                    cfg.durability
+                        .maybe_write("dec", i / cfg.update_interval, || Checkpoint {
+                            phase: "dec".into(),
+                            iter: i as u64,
+                            rng: rng.export_state(),
+                            store: store.clone(),
+                            opts: vec![OptState::capture_sgd(&opt)],
+                            extra: dec_extra(RunMark::mid_run(), y_prev.as_deref()),
+                        })?;
+                }
                 record_trace_point(
                     &mut trace,
                     i,
@@ -178,6 +257,8 @@ impl Dec {
                 y_prev = Some(y_pred);
             }
 
+            faults.poison_centroids(i, store, mu_id);
+
             let idx = rng.sample_indices(data.rows(), cfg.batch_size.min(data.rows()));
             let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
             let p_b = p_full.gather_rows(&idx);
@@ -188,21 +269,47 @@ impl Dec {
             let mu = tape.param(store, mu_id);
             let kl = tape.dec_kl(z, mu, &p_b, cfg.alpha);
             let loss = tape.scale(kl, 1.0 / idx.len() as f32);
+            let observed = faults.corrupt_loss(i, tape.scalar(loss));
+            if let Err(fault) = guard.check_loss(observed) {
+                let rec = guard.recover(store, fault, i)?;
+                opt.lr *= rec.lr_scale;
+                opt.reset();
+                y_prev = None;
+                force_refresh = true;
+                continue;
+            }
             tape.backward(loss);
             opt.step_filtered(&tape, store, |id| id == mu_id || encoder_ids.contains(&id));
         }
 
         let z = ae.embed(store, data);
         let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
-        ClusterOutput {
+        cfg.durability.write_final("dec", || Checkpoint {
+            phase: "dec".into(),
+            iter: iterations as u64,
+            rng: rng.export_state(),
+            store: store.clone(),
+            opts: vec![OptState::capture_sgd(&opt)],
+            extra: dec_extra(RunMark::finished(converged, iterations), y_prev.as_deref()),
+        })?;
+        Ok(ClusterOutput {
             labels: hard_labels(&q),
             q,
             iterations,
             converged,
             trace,
             seconds: start.elapsed().as_secs_f64(),
-        }
+        })
     }
+}
+
+/// DEC's checkpoint `extra` layout: the [`RunMark`] triple, then the
+/// previous refresh's hard labels (the convergence-check state).
+fn dec_extra(mark: RunMark, y_prev: Option<&[usize]>) -> Vec<u64> {
+    let mut extra = Vec::new();
+    mark.push(&mut extra);
+    push_labels(&mut extra, y_prev);
+    extra
 }
 
 /// Shared trace-point recorder used by DEC/IDEC/ADEC runners. `self_loss`
@@ -363,7 +470,8 @@ pub(crate) mod tests {
                 ..PretrainConfig::vanilla(400)
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         let z = ae.embed(&store, &data);
         let init = kmeans(&z, &KMeansConfig::fast(3), &mut rng);
         let init_acc = adec_metrics::accuracy(&y, &init.labels);
@@ -371,7 +479,7 @@ pub(crate) mod tests {
         let mut cfg = DecConfig::fast(3);
         cfg.max_iter = 600;
         cfg.trace = TraceConfig::curves(&y);
-        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         let final_acc = out.acc(&y);
         assert!(
             final_acc >= init_acc - 0.02,
@@ -399,11 +507,12 @@ pub(crate) mod tests {
                 ..PretrainConfig::vanilla(300)
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         let mut cfg = DecConfig::fast(2);
         cfg.max_iter = 2_000;
         cfg.tol = 0.01;
-        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         assert!(out.converged, "well-separated 2-cluster case should converge early");
         assert!(out.iterations < 2_000);
     }
@@ -423,7 +532,7 @@ pub(crate) mod tests {
         let ae = Autoencoder::new(&mut store, 12, ArchPreset::Small, &mut rng);
         let mut cfg = DecConfig::fast(2);
         cfg.max_iter = 150;
-        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let out = Dec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         for i in 0..out.q.rows() {
             let s: f32 = out.q.row(i).iter().sum();
             assert!((s - 1.0).abs() < 1e-4);

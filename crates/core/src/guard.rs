@@ -1,0 +1,769 @@
+//! Training-run durability: guarded loops, checkpoint scheduling, and a
+//! deterministic fault-injection harness.
+//!
+//! Every epoch loop in this crate (pretraining, DEC, IDEC, DCN, and
+//! ADEC's alternating steps) runs under a [`TrainGuard`]. The guard
+//! watches each step's observables — the scalar loss, gradient norms,
+//! parameter buffers, and the soft-assignment matrix — and when one goes
+//! bad (non-finite, exploding, or a collapsed cluster) it recovers
+//! deterministically: roll the guarded parameters back to the last good
+//! snapshot, back off the learning rate, and retry. Only after the retry
+//! budget is exhausted does the loop surface a structured [`TrainError`]
+//! instead of garbage metrics.
+//!
+//! The guard state machine:
+//!
+//! ```text
+//!            check_* ok                     check_* faulted
+//!   ┌─────┐ ──────────► (step, snapshot at ────────────────┐
+//!   │ run │ ◄──────────  refresh points)                   ▼
+//!   └─────┘   recover: restore snapshot,            ┌──────────┐
+//!      ▲      lr ×= backoff, retry += 1             │ faulted  │
+//!      └────────────────────────────────────────────┴──────────┘
+//!             no snapshot → TrainError::Unrecoverable
+//!             retries exhausted → TrainError::Diverged
+//! ```
+//!
+//! [`DurabilityConfig`] schedules [`adec_nn::Checkpoint`] writes at the
+//! trainers' refresh points and carries a loaded checkpoint back into a
+//! trainer for resumption; [`begin_resume`] performs the shared part of
+//! that handoff (phase check, positional store restore, RNG restore).
+//!
+//! The [`faults`] submodule injects failures *deterministically* (at a
+//! chosen iteration, from a plan parsed out of config or the
+//! `ADEC_FAULTS` environment variable) so that every recovery path above
+//! is exercised by tests and CI rather than waiting for a real NaN.
+
+use adec_nn::{Checkpoint, CheckpointError, ParamId, ParamStore};
+use adec_tensor::{finite_scan, Matrix, SeedRng};
+use std::path::PathBuf;
+
+pub mod faults;
+
+// ----------------------------------------------------------------------
+// Configuration
+// ----------------------------------------------------------------------
+
+/// Tunables for a [`TrainGuard`].
+#[derive(Debug, Clone)]
+pub struct GuardConfig {
+    /// Master switch; disabled guards pass every check.
+    pub enabled: bool,
+    /// How many rollback-and-retry cycles to attempt before giving up
+    /// with [`TrainError::Diverged`].
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied on every recovery (e.g. 0.5).
+    pub lr_backoff: f32,
+    /// A finite loss above this magnitude counts as exploding.
+    pub loss_ceiling: f32,
+    /// A finite parameter above this magnitude counts as exploding.
+    pub param_ceiling: f32,
+    /// Minimum soft mass per cluster, as a fraction of the uniform share
+    /// `n / k`; below it the cluster counts as collapsed.
+    pub min_cluster_mass: f32,
+}
+
+impl Default for GuardConfig {
+    fn default() -> Self {
+        GuardConfig {
+            enabled: true,
+            max_retries: 3,
+            lr_backoff: 0.5,
+            loss_ceiling: 1e8,
+            param_ceiling: 1e8,
+            min_cluster_mass: 1e-4,
+        }
+    }
+}
+
+/// Checkpoint scheduling and resumption for one training run.
+#[derive(Debug, Clone, Default)]
+pub struct DurabilityConfig {
+    /// Where to write rolling checkpoints (`<dir>/<phase>.ckpt`); `None`
+    /// disables checkpointing entirely.
+    pub checkpoint_dir: Option<PathBuf>,
+    /// Write every Nth checkpoint opportunity (refresh points); 0 and 1
+    /// both mean every opportunity. The final checkpoint after the loop
+    /// is always written when a directory is configured.
+    pub checkpoint_every: usize,
+    /// A loaded checkpoint to resume from.
+    pub resume: Option<Checkpoint>,
+}
+
+impl DurabilityConfig {
+    /// The rolling checkpoint path for a phase, if checkpointing is on.
+    pub fn path(&self, phase: &str) -> Option<PathBuf> {
+        self.checkpoint_dir
+            .as_ref()
+            .map(|dir| dir.join(format!("{phase}.ckpt")))
+    }
+
+    /// Whether the Nth checkpoint opportunity should be written.
+    pub fn due(&self, opportunity: usize) -> bool {
+        self.checkpoint_dir.is_some() && opportunity.is_multiple_of(self.checkpoint_every.max(1))
+    }
+
+    /// Builds and atomically writes a checkpoint if the opportunity is
+    /// due; `build` is only invoked when a write will actually happen.
+    pub fn maybe_write(
+        &self,
+        phase: &str,
+        opportunity: usize,
+        build: impl FnOnce() -> Checkpoint,
+    ) -> Result<(), TrainError> {
+        if self.due(opportunity) {
+            self.write(phase, build())?;
+        }
+        Ok(())
+    }
+
+    /// Unconditionally writes the end-of-run checkpoint (when a
+    /// directory is configured), regardless of `checkpoint_every`.
+    pub fn write_final(
+        &self,
+        phase: &str,
+        build: impl FnOnce() -> Checkpoint,
+    ) -> Result<(), TrainError> {
+        if self.checkpoint_dir.is_some() {
+            self.write(phase, build())?;
+        }
+        Ok(())
+    }
+
+    fn write(&self, phase: &str, ckpt: Checkpoint) -> Result<(), TrainError> {
+        let Some(path) = self.path(phase) else {
+            return Ok(());
+        };
+        if let Some(dir) = &self.checkpoint_dir {
+            std::fs::create_dir_all(dir).map_err(|e| TrainError::Checkpoint(CheckpointError::Io(e)))?;
+        }
+        ckpt.save_atomic(path)?;
+        Ok(())
+    }
+}
+
+/// Performs the trainer-independent half of resumption: verifies the
+/// checkpoint's phase, restores the parameter store positionally (names
+/// and shapes checked), and restores the RNG. Returns the checkpoint and
+/// its iteration counter so the trainer can restore optimizer state and
+/// its own `extra` words, or `None` when no resume was requested.
+pub fn begin_resume<'a>(
+    durability: &'a DurabilityConfig,
+    phase: &str,
+    store: &mut ParamStore,
+    rng: &mut SeedRng,
+) -> Result<Option<(usize, &'a Checkpoint)>, TrainError> {
+    let Some(ckpt) = &durability.resume else {
+        return Ok(None);
+    };
+    ckpt.ensure_phase(phase)?;
+    ckpt.restore_store(store)?;
+    *rng = SeedRng::from_state(&ckpt.rng);
+    let iter = usize::try_from(ckpt.iter)
+        .map_err(|_| TrainError::Resume("checkpoint iteration does not fit usize".into()))?;
+    Ok(Some((iter, ckpt)))
+}
+
+// ----------------------------------------------------------------------
+// Faults and errors
+// ----------------------------------------------------------------------
+
+/// A single bad observation caught by a [`TrainGuard`] check.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// The step loss is NaN or infinite.
+    NonFiniteLoss {
+        /// The observed loss value.
+        value: f32,
+    },
+    /// The step loss is finite but beyond the configured ceiling.
+    ExplodingLoss {
+        /// The observed loss value.
+        value: f32,
+    },
+    /// A gradient buffer contains NaN or infinity.
+    NonFiniteGrad,
+    /// A gradient norm is finite but beyond the configured ceiling.
+    ExplodingGrad {
+        /// The observed gradient norm.
+        norm: f32,
+    },
+    /// A guarded parameter buffer contains NaN or infinity.
+    NonFiniteParam,
+    /// A guarded parameter is finite but beyond the configured ceiling.
+    ExplodingParam {
+        /// The largest observed parameter magnitude.
+        max_abs: f32,
+    },
+    /// A cluster's total soft mass fell below the collapse threshold.
+    EmptyCluster {
+        /// Index of the collapsed cluster.
+        cluster: usize,
+        /// The observed soft mass of that cluster.
+        mass: f32,
+    },
+    /// The soft-assignment matrix contains NaN or infinity.
+    NonFiniteAssignment,
+}
+
+impl std::fmt::Display for Fault {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fault::NonFiniteLoss { value } => write!(f, "non-finite loss ({value})"),
+            Fault::ExplodingLoss { value } => write!(f, "exploding loss ({value:.3e})"),
+            Fault::NonFiniteGrad => write!(f, "non-finite gradient"),
+            Fault::ExplodingGrad { norm } => write!(f, "exploding gradient (norm {norm:.3e})"),
+            Fault::NonFiniteParam => write!(f, "non-finite parameter"),
+            Fault::ExplodingParam { max_abs } => {
+                write!(f, "exploding parameter (max |w| {max_abs:.3e})")
+            }
+            Fault::EmptyCluster { cluster, mass } => {
+                write!(f, "cluster {cluster} collapsed (soft mass {mass:.3e})")
+            }
+            Fault::NonFiniteAssignment => write!(f, "non-finite soft assignment"),
+        }
+    }
+}
+
+/// Structured failure of a guarded training run — what a trainer returns
+/// instead of garbage metrics.
+#[derive(Debug)]
+pub enum TrainError {
+    /// Recovery was attempted `retries` times and the run still faulted.
+    Diverged {
+        /// Which loop faulted ("pretrain", "dec", …).
+        phase: String,
+        /// Iteration of the final fault.
+        iter: usize,
+        /// The fault that exhausted the budget.
+        fault: Fault,
+        /// How many rollback-and-retry cycles were spent.
+        retries: usize,
+    },
+    /// A fault occurred before any good snapshot existed to roll back to.
+    Unrecoverable {
+        /// Which loop faulted.
+        phase: String,
+        /// Iteration of the fault.
+        iter: usize,
+        /// The fault observed.
+        fault: Fault,
+    },
+    /// The run was deliberately killed (fault injection of a mid-run
+    /// process death; the checkpoint on disk is the recovery path).
+    Killed {
+        /// Which loop was killed.
+        phase: String,
+        /// Iteration at which the kill fired.
+        iter: usize,
+    },
+    /// Writing or loading a checkpoint failed.
+    Checkpoint(CheckpointError),
+    /// A checkpoint loaded and verified, but its trainer-specific state
+    /// does not fit the run being resumed.
+    Resume(String),
+}
+
+impl std::fmt::Display for TrainError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TrainError::Diverged {
+                phase,
+                iter,
+                fault,
+                retries,
+            } => write!(
+                f,
+                "{phase} diverged at iteration {iter} after {retries} recovery attempts: {fault}"
+            ),
+            TrainError::Unrecoverable { phase, iter, fault } => write!(
+                f,
+                "{phase} hit an unrecoverable fault at iteration {iter} (no snapshot yet): {fault}"
+            ),
+            TrainError::Killed { phase, iter } => {
+                write!(f, "{phase} killed at iteration {iter} (injected)")
+            }
+            TrainError::Checkpoint(e) => write!(f, "{e}"),
+            TrainError::Resume(msg) => write!(f, "cannot resume: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for TrainError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            TrainError::Checkpoint(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CheckpointError> for TrainError {
+    fn from(e: CheckpointError) -> Self {
+        TrainError::Checkpoint(e)
+    }
+}
+
+// ----------------------------------------------------------------------
+// The guard
+// ----------------------------------------------------------------------
+
+/// What a successful [`TrainGuard::recover`] tells the loop to do.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Recovery {
+    /// Multiply every live learning rate by this factor.
+    pub lr_scale: f32,
+    /// The iteration whose snapshot was restored.
+    pub rewound_to: usize,
+}
+
+/// Watches a training loop's observables and rolls back to the last good
+/// snapshot when one goes bad. See the module docs for the state machine.
+pub struct TrainGuard {
+    cfg: GuardConfig,
+    phase: String,
+    ids: Vec<ParamId>,
+    snapshot: Option<(usize, Vec<Matrix>)>,
+    retries_used: usize,
+}
+
+impl TrainGuard {
+    /// Creates a guard over the given parameters. `ids` must be in a
+    /// stable, deterministic order (it defines the snapshot layout).
+    pub fn new(phase: &str, cfg: GuardConfig, ids: Vec<ParamId>) -> Self {
+        TrainGuard {
+            cfg,
+            phase: phase.to_string(),
+            ids,
+            snapshot: None,
+            retries_used: 0,
+        }
+    }
+
+    /// Records a known-good snapshot of the guarded parameters; call at
+    /// refresh points *after* the health checks pass.
+    pub fn mark_good(&mut self, iter: usize, store: &ParamStore) {
+        if self.cfg.enabled {
+            self.snapshot = Some((iter, store.snapshot(&self.ids)));
+        }
+    }
+
+    /// How many recoveries this guard has performed.
+    pub fn retries_used(&self) -> usize {
+        self.retries_used
+    }
+
+    /// Checks a step's scalar loss.
+    pub fn check_loss(&self, value: f32) -> Result<(), Fault> {
+        if !self.cfg.enabled {
+            return Ok(());
+        }
+        if !value.is_finite() {
+            return Err(Fault::NonFiniteLoss { value });
+        }
+        if value.abs() > self.cfg.loss_ceiling {
+            return Err(Fault::ExplodingLoss { value });
+        }
+        Ok(())
+    }
+
+    /// Checks a gradient norm (trainers that materialize raw gradients,
+    /// like ADEC's encoder step, report it here).
+    pub fn check_grad_norm(&self, norm: f32) -> Result<(), Fault> {
+        if !self.cfg.enabled {
+            return Ok(());
+        }
+        if !norm.is_finite() {
+            return Err(Fault::NonFiniteGrad);
+        }
+        if norm > self.cfg.loss_ceiling {
+            return Err(Fault::ExplodingGrad { norm });
+        }
+        Ok(())
+    }
+
+    /// Scans every guarded parameter buffer for non-finite or exploding
+    /// values.
+    pub fn check_params(&self, store: &ParamStore) -> Result<(), Fault> {
+        if !self.cfg.enabled {
+            return Ok(());
+        }
+        for &id in &self.ids {
+            let scan = finite_scan(store.get(id).as_slice());
+            if !scan.is_clean() {
+                return Err(Fault::NonFiniteParam);
+            }
+            if scan.max_abs > self.cfg.param_ceiling {
+                return Err(Fault::ExplodingParam {
+                    max_abs: scan.max_abs,
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Checks a soft-assignment matrix (n × k, rows ≈ stochastic) for
+    /// non-finite entries and collapsed (near-empty) clusters.
+    pub fn check_assignments(&self, q: &Matrix) -> Result<(), Fault> {
+        assert!(
+            q.rows() > 0 && q.cols() > 0,
+            "check_assignments: empty assignment matrix"
+        );
+        if !self.cfg.enabled {
+            return Ok(());
+        }
+        if !finite_scan(q.as_slice()).is_clean() {
+            return Err(Fault::NonFiniteAssignment);
+        }
+        let uniform_share = q.rows() as f32 / q.cols() as f32;
+        let floor = self.cfg.min_cluster_mass * uniform_share;
+        for j in 0..q.cols() {
+            let mut mass = 0.0f32;
+            for i in 0..q.rows() {
+                mass += q.get(i, j);
+            }
+            if mass < floor {
+                return Err(Fault::EmptyCluster { cluster: j, mass });
+            }
+        }
+        Ok(())
+    }
+
+    /// Rolls the guarded parameters back to the last good snapshot and
+    /// charges one retry. The caller applies the returned
+    /// [`Recovery::lr_scale`] to its optimizers, resets their state, and
+    /// forces a refresh before continuing.
+    pub fn recover(
+        &mut self,
+        store: &mut ParamStore,
+        fault: Fault,
+        iter: usize,
+    ) -> Result<Recovery, TrainError> {
+        let Some((rewound_to, snap)) = &self.snapshot else {
+            return Err(TrainError::Unrecoverable {
+                phase: self.phase.clone(),
+                iter,
+                fault,
+            });
+        };
+        if self.retries_used >= self.cfg.max_retries {
+            return Err(TrainError::Diverged {
+                phase: self.phase.clone(),
+                iter,
+                fault,
+                retries: self.retries_used,
+            });
+        }
+        self.retries_used += 1;
+        store.restore(&self.ids, snap);
+        Ok(Recovery {
+            lr_scale: self.cfg.lr_backoff,
+            rewound_to: *rewound_to,
+        })
+    }
+}
+
+// ----------------------------------------------------------------------
+// Checkpoint `extra` word encoding shared by the trainers
+// ----------------------------------------------------------------------
+//
+// Every trainer's `extra` vector starts with the triple
+// `[done, converged, iterations]` (all zero at mid-run refresh
+// checkpoints), followed by phase-specific state. Variable-length pieces
+// are self-delimiting: a label list is `[present, n, v0..vn]`.
+
+/// Run-completion summary at the head of every checkpoint's `extra`
+/// words: `[done, converged, iterations]`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunMark {
+    /// Whether the loop had already finished when this was written.
+    pub done: bool,
+    /// Whether it finished by convergence (only meaningful when done).
+    pub converged: bool,
+    /// Final iteration count (only meaningful when done).
+    pub iterations: usize,
+}
+
+impl RunMark {
+    /// The mark written at mid-run refresh checkpoints.
+    pub fn mid_run() -> RunMark {
+        RunMark {
+            done: false,
+            converged: false,
+            iterations: 0,
+        }
+    }
+
+    /// The mark written by the final checkpoint after the loop.
+    pub fn finished(converged: bool, iterations: usize) -> RunMark {
+        RunMark {
+            done: true,
+            converged,
+            iterations,
+        }
+    }
+
+    /// Appends the triple to an `extra` vector.
+    pub fn push(&self, extra: &mut Vec<u64>) {
+        extra.push(u64::from(self.done));
+        extra.push(u64::from(self.converged));
+        extra.push(self.iterations as u64);
+    }
+
+    /// Reads the triple back off an [`ExtraCursor`].
+    pub fn take(cur: &mut ExtraCursor<'_>) -> Result<RunMark, TrainError> {
+        let done = cur.word()? != 0;
+        let converged = cur.word()? != 0;
+        let iterations = usize::try_from(cur.word()?)
+            .map_err(|_| TrainError::Resume("iteration count does not fit usize".into()))?;
+        Ok(RunMark {
+            done,
+            converged,
+            iterations,
+        })
+    }
+}
+
+/// Appends an optional label vector as `[present, n, v0..vn]`.
+pub fn push_labels(extra: &mut Vec<u64>, labels: Option<&[usize]>) {
+    match labels {
+        Some(ys) => {
+            extra.push(1);
+            extra.push(ys.len() as u64);
+            extra.extend(ys.iter().map(|&y| y as u64));
+        }
+        None => extra.push(0),
+    }
+}
+
+/// Reads back a label vector written by [`push_labels`].
+pub fn take_labels(cur: &mut ExtraCursor<'_>) -> Result<Option<Vec<usize>>, TrainError> {
+    if cur.word()? == 0 {
+        return Ok(None);
+    }
+    let n = usize::try_from(cur.word()?)
+        .map_err(|_| TrainError::Resume("label count does not fit usize".into()))?;
+    let mut ys = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let y = usize::try_from(cur.word()?)
+            .map_err(|_| TrainError::Resume("label does not fit usize".into()))?;
+        ys.push(y);
+    }
+    Ok(Some(ys))
+}
+
+/// Stores an `f32` in a checkpoint word, bit-exactly.
+pub fn f32_word(v: f32) -> u64 {
+    u64::from(v.to_bits())
+}
+
+/// Recovers an `f32` stored with [`f32_word`].
+pub fn word_f32(w: u64) -> Result<f32, TrainError> {
+    let bits = u32::try_from(w)
+        .map_err(|_| TrainError::Resume("f32 word has high bits set".into()))?;
+    Ok(f32::from_bits(bits))
+}
+
+/// Bounds-checked reader over a checkpoint's `extra` words.
+pub struct ExtraCursor<'a> {
+    words: &'a [u64],
+    pos: usize,
+}
+
+impl<'a> ExtraCursor<'a> {
+    /// Starts reading at the first word.
+    pub fn new(words: &'a [u64]) -> Self {
+        ExtraCursor { words, pos: 0 }
+    }
+
+    /// The next word, or [`TrainError::Resume`] if exhausted.
+    pub fn word(&mut self) -> Result<u64, TrainError> {
+        let w = self
+            .words
+            .get(self.pos)
+            .copied()
+            .ok_or_else(|| TrainError::Resume("checkpoint extra words truncated".into()))?;
+        self.pos += 1;
+        Ok(w)
+    }
+
+    /// Errors unless every word has been consumed — trailing state means
+    /// the checkpoint came from a differently-shaped run.
+    pub fn finish(&self) -> Result<(), TrainError> {
+        if self.pos == self.words.len() {
+            Ok(())
+        } else {
+            Err(TrainError::Resume(
+                "checkpoint has trailing extra words".into(),
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
+mod tests {
+    use super::*;
+
+    fn store_with(vals: &[f32]) -> (ParamStore, Vec<ParamId>) {
+        let mut store = ParamStore::new();
+        let id = store.register("w", Matrix::from_vec(1, vals.len(), vals.to_vec()));
+        (store, vec![id])
+    }
+
+    #[test]
+    fn loss_checks_classify_faults() {
+        let (_, ids) = store_with(&[0.0]);
+        let g = TrainGuard::new("t", GuardConfig::default(), ids);
+        assert!(g.check_loss(1.5).is_ok());
+        assert!(matches!(
+            g.check_loss(f32::NAN),
+            Err(Fault::NonFiniteLoss { .. })
+        ));
+        assert!(matches!(
+            g.check_loss(f32::INFINITY),
+            Err(Fault::NonFiniteLoss { .. })
+        ));
+        assert!(matches!(
+            g.check_loss(1e12),
+            Err(Fault::ExplodingLoss { .. })
+        ));
+        assert!(matches!(
+            g.check_grad_norm(f32::NAN),
+            Err(Fault::NonFiniteGrad)
+        ));
+        assert!(matches!(
+            g.check_grad_norm(1e12),
+            Err(Fault::ExplodingGrad { .. })
+        ));
+    }
+
+    #[test]
+    fn disabled_guard_passes_everything() {
+        let (store, ids) = store_with(&[f32::NAN]);
+        let cfg = GuardConfig {
+            enabled: false,
+            ..GuardConfig::default()
+        };
+        let g = TrainGuard::new("t", cfg, ids);
+        assert!(g.check_loss(f32::NAN).is_ok());
+        assert!(g.check_params(&store).is_ok());
+    }
+
+    #[test]
+    fn param_scan_flags_nan_and_explosion() {
+        let (store, ids) = store_with(&[1.0, f32::NAN]);
+        let g = TrainGuard::new("t", GuardConfig::default(), ids.clone());
+        assert!(matches!(g.check_params(&store), Err(Fault::NonFiniteParam)));
+
+        let (store, ids) = store_with(&[1.0, 1e12]);
+        let g = TrainGuard::new("t", GuardConfig::default(), ids);
+        assert!(matches!(
+            g.check_params(&store),
+            Err(Fault::ExplodingParam { .. })
+        ));
+    }
+
+    #[test]
+    fn assignment_check_catches_collapse_and_nan() {
+        let (_, ids) = store_with(&[0.0]);
+        let g = TrainGuard::new("t", GuardConfig::default(), ids);
+        // Healthy 4×2: every cluster holds mass.
+        let q = Matrix::from_vec(4, 2, vec![0.9, 0.1, 0.8, 0.2, 0.3, 0.7, 0.4, 0.6]);
+        assert!(g.check_assignments(&q).is_ok());
+        // Cluster 1 empty.
+        let q = Matrix::from_vec(2, 2, vec![1.0, 0.0, 1.0, 0.0]);
+        assert!(matches!(
+            g.check_assignments(&q),
+            Err(Fault::EmptyCluster { cluster: 1, .. })
+        ));
+        // Non-finite entry.
+        let q = Matrix::from_vec(2, 2, vec![0.5, 0.5, f32::NAN, 0.5]);
+        assert!(matches!(
+            g.check_assignments(&q),
+            Err(Fault::NonFiniteAssignment)
+        ));
+    }
+
+    #[test]
+    fn recovery_restores_snapshot_and_charges_budget() {
+        let (mut store, ids) = store_with(&[1.0, 2.0]);
+        let cfg = GuardConfig {
+            max_retries: 2,
+            ..GuardConfig::default()
+        };
+        let mut g = TrainGuard::new("t", cfg, ids.clone());
+
+        // Fault before any snapshot → unrecoverable.
+        let err = g
+            .recover(&mut store, Fault::NonFiniteParam, 5)
+            .unwrap_err();
+        assert!(matches!(err, TrainError::Unrecoverable { iter: 5, .. }));
+
+        g.mark_good(10, &store);
+        store.get_mut(ids[0]).map_inplace(|_| f32::NAN);
+        let rec = g.recover(&mut store, Fault::NonFiniteParam, 12).unwrap();
+        assert_eq!(rec.rewound_to, 10);
+        assert_eq!(rec.lr_scale, 0.5);
+        assert_eq!(store.get(ids[0]).as_slice(), &[1.0, 2.0]);
+        assert_eq!(g.retries_used(), 1);
+
+        // Exhaust the budget.
+        let _ = g.recover(&mut store, Fault::NonFiniteParam, 13).unwrap();
+        let err = g
+            .recover(&mut store, Fault::NonFiniteParam, 14)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            TrainError::Diverged {
+                retries: 2,
+                iter: 14,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn extra_word_round_trips() {
+        let mut extra = Vec::new();
+        RunMark::finished(true, 840).push(&mut extra);
+        push_labels(&mut extra, Some(&[3, 1, 4, 1, 5]));
+        push_labels(&mut extra, None);
+        extra.push(f32_word(-0.125));
+
+        let mut cur = ExtraCursor::new(&extra);
+        let mark = RunMark::take(&mut cur).unwrap();
+        assert_eq!(mark, RunMark::finished(true, 840));
+        assert_eq!(take_labels(&mut cur).unwrap().unwrap(), vec![3, 1, 4, 1, 5]);
+        assert!(take_labels(&mut cur).unwrap().is_none());
+        assert_eq!(word_f32(cur.word().unwrap()).unwrap(), -0.125);
+        cur.finish().unwrap();
+
+        // Truncation and trailing words are both surfaced.
+        let mut cur = ExtraCursor::new(&extra[..2]);
+        assert!(matches!(RunMark::take(&mut cur), Err(TrainError::Resume(_))));
+        let mut cur = ExtraCursor::new(&extra);
+        let _ = RunMark::take(&mut cur).unwrap();
+        assert!(matches!(cur.finish(), Err(TrainError::Resume(_))));
+    }
+
+    #[test]
+    fn durability_schedule() {
+        let off = DurabilityConfig::default();
+        assert!(!off.due(0));
+        assert!(off.path("dec").is_none());
+
+        let on = DurabilityConfig {
+            checkpoint_dir: Some(PathBuf::from("/tmp/ckpt")),
+            checkpoint_every: 3,
+            resume: None,
+        };
+        assert!(on.due(0));
+        assert!(!on.due(1));
+        assert!(!on.due(2));
+        assert!(on.due(3));
+        assert_eq!(on.path("dec").unwrap(), PathBuf::from("/tmp/ckpt/dec.ckpt"));
+    }
+}

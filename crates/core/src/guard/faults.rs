@@ -1,0 +1,276 @@
+//! Deterministic fault injection for the durability test harness.
+//!
+//! A [`FaultPlan`] names failures and the exact iteration they fire at
+//! (`"nan-loss@10,collapse@140,kill@300"`), parsed from config or the
+//! `ADEC_FAULTS` environment variable. A plan is *activated* into an
+//! [`ActiveFaults`] per run; each injection is one-shot (consumed when it
+//! fires), so a recovery that replays the iteration does not re-fault.
+//!
+//! The injections cover every recovery path the guard implements:
+//!
+//! * `nan-loss@i` — the step loss observed at iteration `i` becomes NaN.
+//! * `explode@i` — the step loss becomes a huge finite value (tripping
+//!   the exploding-loss ceiling; real gradient explosions are otherwise
+//!   neutralized by the optimizers' norm clipping).
+//! * `collapse@i` — a centroid row is pushed far from the data at
+//!   iteration `i`, so the next refresh sees an empty cluster.
+//! * `kill@i` — the loop aborts with [`crate::guard::TrainError::Killed`]
+//!   at the top of iteration `i`, simulating a mid-run process death for
+//!   checkpoint/resume tests.
+//!
+//! The file helpers [`truncate_file`] / [`bit_flip_file`] corrupt
+//! checkpoints on disk the way real bit rot and torn writes do, for
+//! loader tests.
+
+use adec_nn::{ParamId, ParamStore};
+use std::io;
+use std::path::Path;
+
+/// One class of injectable failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Replace the observed step loss with NaN.
+    NanLoss,
+    /// Replace the observed step loss with a huge finite value.
+    ExplodeLoss,
+    /// Push a centroid row far outside the data.
+    Collapse,
+    /// Abort the loop as if the process died.
+    Kill,
+}
+
+impl FaultKind {
+    fn parse(s: &str) -> Option<FaultKind> {
+        match s {
+            "nan-loss" => Some(FaultKind::NanLoss),
+            "explode" => Some(FaultKind::ExplodeLoss),
+            "collapse" => Some(FaultKind::Collapse),
+            "kill" => Some(FaultKind::Kill),
+            _ => None,
+        }
+    }
+
+    fn name(self) -> &'static str {
+        match self {
+            FaultKind::NanLoss => "nan-loss",
+            FaultKind::ExplodeLoss => "explode",
+            FaultKind::Collapse => "collapse",
+            FaultKind::Kill => "kill",
+        }
+    }
+}
+
+/// A declarative schedule of fault injections, `kind@iteration` each.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// The scheduled injections.
+    pub injections: Vec<(FaultKind, usize)>,
+}
+
+impl FaultPlan {
+    /// Parses a comma-separated plan like `"nan-loss@10,kill@300"`.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut injections = Vec::new();
+        for part in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (kind, iter) = part
+                .split_once('@')
+                .ok_or_else(|| format!("fault '{part}': expected kind@iteration"))?;
+            let kind = FaultKind::parse(kind).ok_or_else(|| {
+                format!("fault '{part}': unknown kind '{kind}' (nan-loss|explode|collapse|kill)")
+            })?;
+            let iter: usize = iter
+                .parse()
+                .map_err(|_| format!("fault '{part}': bad iteration '{iter}'"))?;
+            injections.push((kind, iter));
+        }
+        Ok(FaultPlan { injections })
+    }
+
+    /// Reads the plan from the `ADEC_FAULTS` environment variable; unset
+    /// or empty means no faults.
+    pub fn from_env() -> Result<FaultPlan, String> {
+        match std::env::var("ADEC_FAULTS") {
+            Ok(spec) if !spec.trim().is_empty() => FaultPlan::parse(&spec),
+            _ => Ok(FaultPlan::default()),
+        }
+    }
+
+    /// A plan with a single injection.
+    pub fn single(kind: FaultKind, iter: usize) -> FaultPlan {
+        FaultPlan {
+            injections: vec![(kind, iter)],
+        }
+    }
+
+    /// Whether the plan schedules nothing.
+    pub fn is_empty(&self) -> bool {
+        self.injections.is_empty()
+    }
+
+    /// The canonical `kind@iter,...` spelling of the plan.
+    pub fn spec(&self) -> String {
+        self.injections
+            .iter()
+            .map(|&(k, i)| format!("{}@{i}", k.name()))
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+
+    /// Arms the plan for one training run.
+    pub fn activate(&self) -> ActiveFaults {
+        ActiveFaults {
+            pending: self.injections.clone(),
+        }
+    }
+}
+
+/// The armed, mutable form of a [`FaultPlan`]: injections are consumed as
+/// they fire.
+#[derive(Debug, Default)]
+pub struct ActiveFaults {
+    pending: Vec<(FaultKind, usize)>,
+}
+
+impl ActiveFaults {
+    /// Consumes a matching pending injection, if one is armed.
+    fn take(&mut self, kind: FaultKind, iter: usize) -> bool {
+        if let Some(pos) = self
+            .pending
+            .iter()
+            .position(|&(k, i)| k == kind && i == iter)
+        {
+            self.pending.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Passes the observed step loss through, corrupting it if a loss
+    /// fault is armed for this iteration.
+    pub fn corrupt_loss(&mut self, iter: usize, loss: f32) -> f32 {
+        if self.take(FaultKind::NanLoss, iter) {
+            return f32::NAN;
+        }
+        if self.take(FaultKind::ExplodeLoss, iter) {
+            return 1e30;
+        }
+        loss
+    }
+
+    /// Applies an armed collapse fault by pushing centroid row 0 far
+    /// outside any normalized data range.
+    pub fn poison_centroids(&mut self, iter: usize, store: &mut ParamStore, mu_id: ParamId) {
+        if self.take(FaultKind::Collapse, iter) {
+            let mu = store.get_mut(mu_id);
+            for c in 0..mu.cols() {
+                mu.set(0, c, 1e6);
+            }
+        }
+    }
+
+    /// Whether an armed kill fires at this iteration.
+    pub fn kill_requested(&mut self, iter: usize) -> bool {
+        self.take(FaultKind::Kill, iter)
+    }
+}
+
+/// Truncates a file to `keep` bytes — a torn-write simulation for
+/// checkpoint loader tests.
+pub fn truncate_file(path: impl AsRef<Path>, keep: u64) -> io::Result<()> {
+    let file = std::fs::OpenOptions::new().write(true).open(path)?;
+    file.set_len(keep)
+}
+
+/// Flips the bits selected by `mask` in the byte at `offset` — a bit-rot
+/// simulation for checkpoint loader tests.
+pub fn bit_flip_file(path: impl AsRef<Path>, offset: usize, mask: u8) -> io::Result<()> {
+    let path = path.as_ref();
+    let mut bytes = std::fs::read(path)?;
+    let byte = bytes.get_mut(offset).ok_or_else(|| {
+        io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("offset {offset} beyond end of file"),
+        )
+    })?;
+    *byte ^= mask;
+    std::fs::write(path, bytes)
+}
+
+#[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::float_cmp, clippy::unwrap_used)]
+mod tests {
+    use super::*;
+    use adec_tensor::Matrix;
+
+    #[test]
+    fn plan_parses_and_round_trips() {
+        let plan = FaultPlan::parse(" nan-loss@10, explode@25 ,collapse@3,kill@140 ").unwrap();
+        assert_eq!(
+            plan.injections,
+            vec![
+                (FaultKind::NanLoss, 10),
+                (FaultKind::ExplodeLoss, 25),
+                (FaultKind::Collapse, 3),
+                (FaultKind::Kill, 140),
+            ]
+        );
+        assert_eq!(plan.spec(), "nan-loss@10,explode@25,collapse@3,kill@140");
+        assert_eq!(FaultPlan::parse(&plan.spec()).unwrap(), plan);
+        assert!(FaultPlan::parse("").unwrap().is_empty());
+    }
+
+    #[test]
+    fn plan_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("nan-loss").is_err());
+        assert!(FaultPlan::parse("meteor@3").is_err());
+        assert!(FaultPlan::parse("kill@soon").is_err());
+    }
+
+    #[test]
+    fn injections_are_one_shot() {
+        let mut active = FaultPlan::single(FaultKind::NanLoss, 7).activate();
+        assert_eq!(active.corrupt_loss(6, 1.0), 1.0);
+        assert!(active.corrupt_loss(7, 1.0).is_nan());
+        // Consumed: the same iteration replayed after recovery is clean.
+        assert_eq!(active.corrupt_loss(7, 1.0), 1.0);
+
+        let mut active = FaultPlan::single(FaultKind::ExplodeLoss, 2).activate();
+        assert_eq!(active.corrupt_loss(2, 1.0), 1e30);
+
+        let mut active = FaultPlan::single(FaultKind::Kill, 4).activate();
+        assert!(!active.kill_requested(3));
+        assert!(active.kill_requested(4));
+        assert!(!active.kill_requested(4));
+    }
+
+    #[test]
+    fn collapse_poisons_row_zero() {
+        let mut store = ParamStore::new();
+        let mu = store.register("mu", Matrix::zeros(3, 2));
+        let mut active = FaultPlan::single(FaultKind::Collapse, 1).activate();
+        active.poison_centroids(0, &mut store, mu);
+        assert_eq!(store.get(mu).get(0, 0), 0.0);
+        active.poison_centroids(1, &mut store, mu);
+        assert_eq!(store.get(mu).get(0, 0), 1e6);
+        assert_eq!(store.get(mu).get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn file_corruption_helpers() {
+        let dir = std::env::temp_dir().join(format!("adec_faults_test_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("blob.bin");
+        std::fs::write(&path, [1u8, 2, 3, 4, 5, 6]).unwrap();
+
+        bit_flip_file(&path, 2, 0xFF).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 0xFC, 4, 5, 6]);
+        assert!(bit_flip_file(&path, 99, 1).is_err());
+
+        truncate_file(&path, 3).unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), vec![1, 2, 0xFC]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

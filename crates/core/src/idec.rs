@@ -9,8 +9,15 @@
 
 use crate::autoencoder::Autoencoder;
 use crate::dec::{init_centroids, label_change, record_trace_point, training_view};
+use crate::guard::{
+    begin_resume, faults::FaultPlan, push_labels, take_labels, DurabilityConfig, ExtraCursor,
+    GuardConfig, RunMark, TrainError, TrainGuard,
+};
 use crate::trace::{ClusterOutput, GradLoss, TraceConfig, TrainTrace};
-use adec_nn::{hard_labels, soft_assignment, target_distribution, Optimizer, ParamId, ParamStore, Sgd, Tape};
+use adec_nn::{
+    hard_labels, soft_assignment, target_distribution, Checkpoint, OptState, Optimizer, ParamId,
+    ParamStore, Sgd, Tape,
+};
 use adec_tensor::Matrix;
 use adec_tensor::SeedRng;
 use std::time::Instant;
@@ -41,6 +48,12 @@ pub struct IdecConfig {
     pub augment: Option<(usize, usize)>,
     /// What to record while training.
     pub trace: TraceConfig,
+    /// Divergence detection and rollback-recovery policy.
+    pub guard: GuardConfig,
+    /// Deterministic fault injections (tests / chaos harness).
+    pub faults: FaultPlan,
+    /// Checkpoint scheduling and resumption.
+    pub durability: DurabilityConfig,
 }
 
 impl IdecConfig {
@@ -58,6 +71,9 @@ impl IdecConfig {
             update_interval: 140,
             augment: None,
             trace: TraceConfig::default(),
+            guard: GuardConfig::default(),
+            faults: FaultPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -75,6 +91,9 @@ impl IdecConfig {
             update_interval: 140,
             augment: None,
             trace: TraceConfig::default(),
+            guard: GuardConfig::default(),
+            faults: FaultPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 }
@@ -85,34 +104,90 @@ pub struct Idec;
 impl Idec {
     /// Runs the IDEC fine-tuning phase: joint reconstruction + clustering
     /// through encoder, decoder, and centroids.
+    ///
+    /// Guarded and checkpointed exactly like [`crate::Dec::run`].
     pub fn run(
         ae: &Autoencoder,
         store: &mut ParamStore,
         data: &Matrix,
         cfg: &IdecConfig,
         rng: &mut SeedRng,
-    ) -> ClusterOutput {
+    ) -> Result<ClusterOutput, TrainError> {
         let start = Instant::now();
         let mu0 = init_centroids(ae, store, data, cfg.k, rng);
         let mu_id = store.register("idec.centroids", mu0);
         crate::archspec::clustering_spec("idec", ae, store, store.get(mu_id), "sgd+momentum").assert_valid();
+        let mut guarded = ae.param_ids();
+        guarded.push(mu_id);
         let trainable: std::collections::HashSet<ParamId> =
-            ae.param_ids().into_iter().chain([mu_id]).collect();
+            guarded.iter().copied().collect();
 
         let mut opt = Sgd::new(cfg.lr, cfg.momentum).with_clip(5.0);
+        let mut guard = TrainGuard::new("idec", cfg.guard.clone(), guarded);
+        let mut faults = cfg.faults.activate();
         let mut trace = TrainTrace::default();
         let mut p_full = Matrix::zeros(0, 0);
         let mut y_prev: Option<Vec<usize>> = None;
         let mut converged = false;
         let mut iterations = 0usize;
+        let mut start_iter = 0usize;
+        let mut already_done = false;
 
-        for i in 0..cfg.max_iter {
+        if let Some((iter, ckpt)) = begin_resume(&cfg.durability, "idec", store, rng)? {
+            ckpt.opt(0)?.apply_sgd(&mut opt)?;
+            let mut cur = ExtraCursor::new(&ckpt.extra);
+            let mark = RunMark::take(&mut cur)?;
+            y_prev = take_labels(&mut cur)?;
+            cur.finish()?;
+            if mark.done {
+                converged = mark.converged;
+                iterations = mark.iterations;
+                already_done = true;
+            } else {
+                start_iter = iter;
+            }
+        }
+
+        let mut force_refresh = !start_iter.is_multiple_of(cfg.update_interval);
+        let start_iter = if already_done { cfg.max_iter } else { start_iter };
+        for i in start_iter..cfg.max_iter {
+            if faults.kill_requested(i) {
+                return Err(TrainError::Killed {
+                    phase: "idec".into(),
+                    iter: i,
+                });
+            }
             iterations = i + 1;
-            if i % cfg.update_interval == 0 {
+            let natural = i % cfg.update_interval == 0;
+            if natural || force_refresh {
+                force_refresh = false;
                 let z = ae.embed(store, data);
                 let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
+                if let Err(fault) = guard
+                    .check_assignments(&q)
+                    .and_then(|()| guard.check_params(store))
+                {
+                    let rec = guard.recover(store, fault, i)?;
+                    opt.lr *= rec.lr_scale;
+                    opt.reset();
+                    y_prev = None;
+                    force_refresh = true;
+                    continue;
+                }
                 p_full = target_distribution(&q);
                 let y_pred = hard_labels(&q);
+                guard.mark_good(i, store);
+                if natural {
+                    cfg.durability
+                        .maybe_write("idec", i / cfg.update_interval, || Checkpoint {
+                            phase: "idec".into(),
+                            iter: i as u64,
+                            rng: rng.export_state(),
+                            store: store.clone(),
+                            opts: vec![OptState::capture_sgd(&opt)],
+                            extra: idec_extra(RunMark::mid_run(), y_prev.as_deref()),
+                        })?;
+                }
                 record_trace_point(
                     &mut trace,
                     i,
@@ -138,6 +213,8 @@ impl Idec {
                 y_prev = Some(y_pred);
             }
 
+            faults.poison_centroids(i, store, mu_id);
+
             let idx = rng.sample_indices(data.rows(), cfg.batch_size.min(data.rows()));
             let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
             let p_b = p_full.gather_rows(&idx);
@@ -152,24 +229,52 @@ impl Idec {
             let kl = tape.dec_kl(z, mu, &p_b, cfg.alpha);
             let kl_mean = tape.scale(kl, cfg.gamma / idx.len() as f32);
             let loss = tape.add(rec, kl_mean);
+            let observed = faults.corrupt_loss(i, tape.scalar(loss));
+            if let Err(fault) = guard.check_loss(observed) {
+                let rec = guard.recover(store, fault, i)?;
+                opt.lr *= rec.lr_scale;
+                opt.reset();
+                y_prev = None;
+                force_refresh = true;
+                continue;
+            }
             tape.backward(loss);
             opt.step_filtered(&tape, store, |id| trainable.contains(&id));
         }
 
         let z = ae.embed(store, data);
         let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
-        ClusterOutput {
+        cfg.durability.write_final("idec", || Checkpoint {
+            phase: "idec".into(),
+            iter: iterations as u64,
+            rng: rng.export_state(),
+            store: store.clone(),
+            opts: vec![OptState::capture_sgd(&opt)],
+            extra: idec_extra(RunMark::finished(converged, iterations), y_prev.as_deref()),
+        })?;
+        Ok(ClusterOutput {
             labels: hard_labels(&q),
             q,
             iterations,
             converged,
             trace,
             seconds: start.elapsed().as_secs_f64(),
-        }
+        })
     }
 }
 
+/// IDEC's checkpoint `extra` layout (same as DEC's): the [`RunMark`]
+/// triple, then the previous refresh's hard labels.
+fn idec_extra(mark: RunMark, y_prev: Option<&[usize]>) -> Vec<u64> {
+    let mut extra = Vec::new();
+    mark.push(&mut extra);
+    push_labels(&mut extra, y_prev);
+    extra
+}
+
 #[cfg(test)]
+// Test code: unwraps are the assertions themselves here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::autoencoder::ArchPreset;
@@ -196,7 +301,8 @@ mod tests {
                 ..PretrainConfig::vanilla(400)
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         (data, y, store, ae, rng)
     }
 
@@ -206,7 +312,7 @@ mod tests {
         let mut cfg = IdecConfig::fast(3);
         cfg.max_iter = 600;
         cfg.trace = TraceConfig::curves(&y);
-        let out = Idec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let out = Idec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         let acc = out.acc(&y);
         assert!(acc > 0.75, "IDEC ACC {acc}");
     }
@@ -230,13 +336,13 @@ mod tests {
 
         let mut cfg_dec = crate::dec::DecConfig::fast(3);
         cfg_dec.max_iter = 400;
-        let _ = crate::dec::Dec::run(&ae, &mut store_dec, &data, &cfg_dec, &mut rng);
+        let _ = crate::dec::Dec::run(&ae, &mut store_dec, &data, &cfg_dec, &mut rng).unwrap();
         let dec_rec = ae.reconstruction_error(&store_dec, &data);
 
         let mut cfg_idec = IdecConfig::fast(3);
         cfg_idec.max_iter = 400;
         let mut store_idec = store;
-        let _ = Idec::run(&ae, &mut store_idec, &data, &cfg_idec, &mut rng);
+        let _ = Idec::run(&ae, &mut store_idec, &data, &cfg_idec, &mut rng).unwrap();
         let idec_rec = ae.reconstruction_error(&store_idec, &data);
 
         assert!(
@@ -254,7 +360,7 @@ mod tests {
         let mut cfg = IdecConfig::fast(3);
         cfg.gamma = 0.0;
         cfg.max_iter = 200;
-        let _ = Idec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let _ = Idec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         let z_after = ae.embed(&store, &data);
         // The embedding should move only a little relative to its scale.
         let rel = z_before.sub(&z_after).norm() / z_before.norm().max(1e-6);
@@ -267,7 +373,7 @@ mod tests {
         let mut cfg = IdecConfig::fast(3);
         cfg.max_iter = 200;
         cfg.trace = TraceConfig::full(&y);
-        let out = Idec::run(&ae, &mut store, &data, &cfg, &mut rng);
+        let out = Idec::run(&ae, &mut store, &data, &cfg, &mut rng).unwrap();
         let fd = out.trace.fd_series();
         assert!(!fd.is_empty(), "Δ_FD must be recorded");
         for (_, v) in fd {

@@ -202,6 +202,8 @@ pub fn run(
 }
 
 #[cfg(test)]
+// Test code: unwraps are the assertions themselves here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::autoencoder::ArchPreset;
@@ -232,7 +234,8 @@ mod tests {
                     ..PretrainConfig::vanilla(400)
                 },
                 &mut rng,
-            );
+            )
+            .unwrap();
             let mut cfg = JuleConfig::fast(3);
             cfg.rounds = 4;
             cfg.trace = TraceConfig::curves(&y);

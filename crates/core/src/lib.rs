@@ -30,11 +30,14 @@
 //! use adec_core::prelude::*;
 //! use adec_datagen::{Benchmark, Size};
 //!
+//! # fn main() -> Result<(), TrainError> {
 //! let ds = Benchmark::DigitsTest.generate(Size::Small, 7);
 //! let mut session = Session::new(&ds, ArchPreset::Small, 7);
-//! session.pretrain(&PretrainConfig::acai_fast());
-//! let out = session.run_adec(&AdecConfig::fast(ds.n_classes));
+//! session.pretrain(&PretrainConfig::acai_fast())?;
+//! let out = session.run_adec(&AdecConfig::fast(ds.n_classes))?;
 //! println!("ACC {:.3}", adec_metrics::accuracy(&ds.labels, &out.labels));
+//! # Ok(())
+//! # }
 //! ```
 
 // Numeric kernels index with explicit loop counters throughout; the
@@ -51,6 +54,7 @@ pub mod archspec;
 pub mod autoencoder;
 pub mod dcn;
 pub mod dec;
+pub mod guard;
 pub mod idec;
 pub mod jule;
 pub mod lite;
@@ -64,6 +68,7 @@ pub use adec::{Adec, AdecConfig};
 pub use autoencoder::{arch_dims, ArchPreset, Autoencoder};
 pub use dcn::{Dcn, DcnConfig};
 pub use dec::{Dec, DecConfig};
+pub use guard::{DurabilityConfig, Fault, GuardConfig, TrainError, TrainGuard};
 pub use idec::{Idec, IdecConfig};
 pub use pretrain::{pretrain_autoencoder, pretrain_stacked_denoising, PretrainConfig, PretrainStats, SdaeConfig};
 pub use session::Session;
@@ -75,6 +80,7 @@ pub mod prelude {
     pub use crate::autoencoder::{ArchPreset, Autoencoder};
     pub use crate::dcn::DcnConfig;
     pub use crate::dec::DecConfig;
+    pub use crate::guard::{DurabilityConfig, GuardConfig, TrainError};
     pub use crate::idec::IdecConfig;
     pub use crate::pretrain::PretrainConfig;
     pub use crate::session::Session;

@@ -370,6 +370,8 @@ pub fn sr_kmeans_lite(
 }
 
 #[cfg(test)]
+// Test code: unwraps are the assertions themselves here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::autoencoder::ArchPreset;
@@ -394,7 +396,8 @@ mod tests {
                 ..PretrainConfig::vanilla(400)
             },
             &mut rng,
-        );
+        )
+        .unwrap();
         (data, y, store, ae, rng)
     }
 

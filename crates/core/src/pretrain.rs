@@ -13,10 +13,20 @@
 //!   paper's DEC*/IDEC* variants and is ADEC's default pretraining.
 
 use crate::autoencoder::Autoencoder;
+use crate::guard::{
+    begin_resume, f32_word, faults::FaultPlan, word_f32, DurabilityConfig, ExtraCursor,
+    GuardConfig, RunMark, TrainError, TrainGuard,
+};
 use adec_datagen::augment::{augment_batch, AugmentConfig};
 use adec_datagen::Modality;
-use adec_nn::{Activation, Adam, Mlp, Optimizer, ParamId, ParamStore, Tape};
+use adec_nn::{
+    Activation, Adam, Checkpoint, Mlp, OptState, Optimizer, ParamId, ParamStore, Tape,
+};
 use adec_tensor::{Matrix, SeedRng};
+
+/// How many iterations apart pretraining offers a checkpoint opportunity
+/// (pretraining has no natural refresh boundary like the clustering loops).
+const CHECKPOINT_STRIDE: usize = 100;
 
 /// Pretraining configuration.
 #[derive(Debug, Clone)]
@@ -35,6 +45,13 @@ pub struct PretrainConfig {
     pub augment: bool,
     /// Hidden width of the critic network.
     pub critic_hidden: usize,
+    /// Fault detection and recovery policy for the training loop.
+    pub guard: GuardConfig,
+    /// Deterministic fault injections (tests and drills; empty in
+    /// production runs).
+    pub faults: FaultPlan,
+    /// Checkpoint/resume policy.
+    pub durability: DurabilityConfig,
 }
 
 impl PretrainConfig {
@@ -48,6 +65,9 @@ impl PretrainConfig {
             lambda: 0.0,
             augment: false,
             critic_hidden: 64,
+            guard: GuardConfig::default(),
+            faults: FaultPlan::default(),
+            durability: DurabilityConfig::default(),
         }
     }
 
@@ -61,6 +81,7 @@ impl PretrainConfig {
             lambda: 0.5,
             augment: true,
             critic_hidden: 256,
+            ..PretrainConfig::vanilla(130_000)
         }
     }
 
@@ -74,6 +95,7 @@ impl PretrainConfig {
             lambda: 0.5,
             augment: true,
             critic_hidden: 64,
+            ..PretrainConfig::vanilla(1_500)
         }
     }
 
@@ -125,8 +147,21 @@ pub(crate) fn maybe_augment(
     }
 }
 
+/// Serializes pretraining loop state into checkpoint extras.
+fn pretrain_extra(mark: RunMark, last_critic_loss: f32) -> Vec<u64> {
+    let mut extra = Vec::new();
+    mark.push(&mut extra);
+    extra.push(f32_word(last_critic_loss));
+    extra
+}
+
 /// Pretrains the autoencoder in place; returns stats and (for ACAI) leaves
 /// the critic parameters in the store (they are not reused afterwards).
+///
+/// # Errors
+///
+/// Returns [`TrainError`] when the guard exhausts its recovery budget,
+/// a scheduled `kill` fault fires, or checkpoint I/O fails.
 pub fn pretrain_autoencoder(
     ae: &Autoencoder,
     store: &mut ParamStore,
@@ -134,7 +169,7 @@ pub fn pretrain_autoencoder(
     modality: Modality,
     cfg: &PretrainConfig,
     rng: &mut SeedRng,
-) -> PretrainStats {
+) -> Result<PretrainStats, TrainError> {
     let ae_ids: std::collections::HashSet<ParamId> = ae.param_ids().into_iter().collect();
     let critic = if cfg.acai {
         Some(Mlp::new(
@@ -155,16 +190,81 @@ pub fn pretrain_autoencoder(
         crate::archspec::critic_spec("pretrain+acai", ae, store, c, "adam").assert_valid();
     }
 
+    let mut guarded: Vec<ParamId> = ae.param_ids();
+    if let Some(c) = &critic {
+        guarded.extend(c.param_ids());
+    }
+    let mut guard = TrainGuard::new("pretrain", cfg.guard.clone(), guarded);
+    let mut faults = cfg.faults.activate();
+
     let mut ae_opt = Adam::new(cfg.lr).with_clip(5.0);
     let mut critic_opt = Adam::new(cfg.lr).with_clip(5.0);
     let mut last_critic_loss = 0.0f32;
+    let mut start_iter = 0usize;
+    let mut done_iterations = cfg.iterations;
+    let mut already_done = false;
 
-    for _ in 0..cfg.iterations {
+    if let Some((iter, ckpt)) = begin_resume(&cfg.durability, "pretrain", store, rng)? {
+        ckpt.opt(0)?.apply_adam(&mut ae_opt)?;
+        ckpt.opt(1)?.apply_adam(&mut critic_opt)?;
+        let mut cur = ExtraCursor::new(&ckpt.extra);
+        let mark = RunMark::take(&mut cur)?;
+        last_critic_loss = word_f32(cur.word()?)?;
+        cur.finish()?;
+        if mark.done {
+            done_iterations = mark.iterations;
+            already_done = true;
+        } else {
+            start_iter = iter;
+        }
+    }
+    let start_iter = if already_done { cfg.iterations } else { start_iter };
+
+    for i in start_iter..cfg.iterations {
+        // A rollback re-enters the loop here; the macro keeps both
+        // optimizers in sync on every recovery path.
+        macro_rules! recover {
+            ($fault:expr) => {{
+                let rec = guard.recover(store, $fault, i)?;
+                ae_opt.lr *= rec.lr_scale;
+                critic_opt.lr *= rec.lr_scale;
+                ae_opt.reset();
+                critic_opt.reset();
+                continue;
+            }};
+        }
+
+        if faults.kill_requested(i) {
+            return Err(TrainError::Killed {
+                phase: "pretrain".into(),
+                iter: i,
+            });
+        }
+        if i.is_multiple_of(CHECKPOINT_STRIDE) {
+            if let Err(fault) = guard.check_params(store) {
+                recover!(fault);
+            }
+            guard.mark_good(i, store);
+            cfg.durability
+                .maybe_write("pretrain", i / CHECKPOINT_STRIDE, || Checkpoint {
+                    phase: "pretrain".into(),
+                    iter: i as u64,
+                    rng: rng.export_state(),
+                    store: store.clone(),
+                    opts: vec![
+                        OptState::capture_adam(&ae_opt),
+                        OptState::capture_adam(&critic_opt),
+                    ],
+                    extra: pretrain_extra(RunMark::mid_run(), last_critic_loss),
+                })?;
+        }
+
         let (_, raw) = sample_batch(data, cfg.batch_size, rng);
         let x = maybe_augment(&raw, modality, cfg.augment, rng);
         let b = x.rows();
 
         // ---------------- Autoencoder step (eq. 8) ----------------
+        let ae_loss;
         {
             let mut tape = Tape::new();
             let xv = tape.leaf(x.clone());
@@ -192,8 +292,13 @@ pub fn pretrain_autoencoder(
             } else {
                 rec
             };
+            ae_loss = tape.scalar(loss);
             tape.backward(loss);
             ae_opt.step_filtered(&tape, store, |id| ae_ids.contains(&id));
+        }
+        let observed = faults.corrupt_loss(i, ae_loss);
+        if let Err(fault) = guard.check_loss(observed) {
+            recover!(fault);
         }
 
         // ---------------- Critic step (eq. 9) ----------------
@@ -224,14 +329,32 @@ pub fn pretrain_autoencoder(
             last_critic_loss = tape.scalar(loss);
             tape.backward(loss);
             critic_opt.step_filtered(&tape, store, |id| critic_ids.contains(&id));
+            if let Err(fault) = guard.check_loss(last_critic_loss) {
+                recover!(fault);
+            }
         }
     }
 
-    PretrainStats {
+    cfg.durability.write_final("pretrain", || Checkpoint {
+        phase: "pretrain".into(),
+        iter: done_iterations as u64,
+        rng: rng.export_state(),
+        store: store.clone(),
+        opts: vec![
+            OptState::capture_adam(&ae_opt),
+            OptState::capture_adam(&critic_opt),
+        ],
+        extra: pretrain_extra(
+            RunMark::finished(true, done_iterations),
+            last_critic_loss,
+        ),
+    })?;
+
+    Ok(PretrainStats {
         final_reconstruction_mse: ae.reconstruction_error(store, data),
         final_critic_loss: last_critic_loss,
-        iterations: cfg.iterations,
-    }
+        iterations: done_iterations,
+    })
 }
 
 /// Stacked-denoising pretraining configuration (the greedy layer-wise
@@ -366,7 +489,9 @@ mod tests {
             lr: 1e-3,
             ..PretrainConfig::vanilla(300)
         };
-        let stats = pretrain_autoencoder(&ae, &mut store, &data, Modality::Tabular, &cfg, &mut rng);
+        let stats =
+            pretrain_autoencoder(&ae, &mut store, &data, Modality::Tabular, &cfg, &mut rng)
+                .unwrap();
         assert!(
             stats.final_reconstruction_mse < before * 0.5,
             "before {before}, after {}",
@@ -389,8 +514,11 @@ mod tests {
             lambda: 0.5,
             augment: false,
             critic_hidden: 32,
+            ..PretrainConfig::vanilla(300)
         };
-        let stats = pretrain_autoencoder(&ae, &mut store, &data, Modality::Tabular, &cfg, &mut rng);
+        let stats =
+            pretrain_autoencoder(&ae, &mut store, &data, Modality::Tabular, &cfg, &mut rng)
+                .unwrap();
         assert!(stats.final_reconstruction_mse < before * 0.7);
         // Critic regression loss should be below the trivial predictor:
         // predicting the mean of U[0, 0.5] gives MSE ≈ Var = 1/48 ≈ 0.021,
@@ -456,7 +584,7 @@ mod tests {
         let ae = Autoencoder::new(&mut store, 16, ArchPreset::Small, &mut rng);
         let n_before = store.len();
         let cfg = PretrainConfig::vanilla(10);
-        pretrain_autoencoder(&ae, &mut store, &data, Modality::Tabular, &cfg, &mut rng);
+        pretrain_autoencoder(&ae, &mut store, &data, Modality::Tabular, &cfg, &mut rng).unwrap();
         assert_eq!(store.len(), n_before, "vanilla must not register a critic");
     }
 

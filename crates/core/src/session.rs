@@ -6,6 +6,7 @@ use crate::adec::{Adec, AdecConfig};
 use crate::autoencoder::{ArchPreset, Autoencoder};
 use crate::dcn::{Dcn, DcnConfig};
 use crate::dec::{Dec, DecConfig};
+use crate::guard::TrainError;
 use crate::idec::{Idec, IdecConfig};
 use crate::pretrain::{pretrain_autoencoder, PretrainConfig, PretrainStats};
 use crate::trace::ClusterOutput;
@@ -56,7 +57,12 @@ impl Session {
     }
 
     /// Pretrains the autoencoder and snapshots the weights.
-    pub fn pretrain(&mut self, cfg: &PretrainConfig) -> PretrainStats {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the guarded pretraining loop; the
+    /// snapshot is only taken on success.
+    pub fn pretrain(&mut self, cfg: &PretrainConfig) -> Result<PretrainStats, TrainError> {
         let stats = pretrain_autoencoder(
             &self.ae,
             &mut self.store,
@@ -64,9 +70,9 @@ impl Session {
             self.modality,
             cfg,
             &mut self.rng,
-        );
+        )?;
         self.pretrained = Some(self.store.snapshot(&self.ae_ids));
-        stats
+        Ok(stats)
     }
 
     /// Restores the pretrained snapshot (no-op before [`Session::pretrain`]).
@@ -97,7 +103,11 @@ impl Session {
     /// Runs DEC from the pretrained snapshot. On image datasets the
     /// clustering phase trains on augmented views (the paper's `*`
     /// setting) unless the config already chose.
-    pub fn run_dec(&mut self, cfg: &DecConfig) -> ClusterOutput {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the guarded training loop.
+    pub fn run_dec(&mut self, cfg: &DecConfig) -> Result<ClusterOutput, TrainError> {
         self.restore_pretrained();
         let mut cfg = cfg.clone();
         if cfg.augment.is_none() {
@@ -109,7 +119,11 @@ impl Session {
 
     /// Runs IDEC from the pretrained snapshot (augmented on images, like
     /// [`Session::run_dec`]).
-    pub fn run_idec(&mut self, cfg: &IdecConfig) -> ClusterOutput {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the guarded training loop.
+    pub fn run_idec(&mut self, cfg: &IdecConfig) -> Result<ClusterOutput, TrainError> {
         self.restore_pretrained();
         let mut cfg = cfg.clone();
         if cfg.augment.is_none() {
@@ -120,7 +134,11 @@ impl Session {
     }
 
     /// Runs DCN from the pretrained snapshot.
-    pub fn run_dcn(&mut self, cfg: &DcnConfig) -> ClusterOutput {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the guarded training loop.
+    pub fn run_dcn(&mut self, cfg: &DcnConfig) -> Result<ClusterOutput, TrainError> {
         self.restore_pretrained();
         let mut rng = self.rng.fork(0xDC);
         Dcn::run(&self.ae, &mut self.store, &self.data, cfg, &mut rng)
@@ -128,13 +146,21 @@ impl Session {
 
     /// Runs ADEC from the pretrained snapshot; returns the output and the
     /// trained discriminator wrapper.
-    pub fn run_adec(&mut self, cfg: &AdecConfig) -> ClusterOutput {
-        self.run_adec_full(cfg).1
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the guarded training loop.
+    pub fn run_adec(&mut self, cfg: &AdecConfig) -> Result<ClusterOutput, TrainError> {
+        Ok(self.run_adec_full(cfg)?.1)
     }
 
     /// Like [`Session::run_adec`] but also returns the model (trained
     /// discriminator) for inspection.
-    pub fn run_adec_full(&mut self, cfg: &AdecConfig) -> (Adec, ClusterOutput) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`TrainError`] from the guarded training loop.
+    pub fn run_adec_full(&mut self, cfg: &AdecConfig) -> Result<(Adec, ClusterOutput), TrainError> {
         self.restore_pretrained();
         let mut cfg = cfg.clone();
         if cfg.augment.is_none() {
@@ -146,6 +172,8 @@ impl Session {
 }
 
 #[cfg(test)]
+// Test code: unwraps are the assertions themselves here.
+#[allow(clippy::unwrap_used)]
 mod tests {
     use super::*;
     use crate::trace::TraceConfig;
@@ -155,17 +183,19 @@ mod tests {
     fn snapshot_makes_runs_independent() {
         let ds = Benchmark::Protein.generate(Size::Small, 3);
         let mut session = Session::new(&ds, ArchPreset::Small, 3);
-        session.pretrain(&PretrainConfig {
-            iterations: 150,
-            batch_size: 64,
-            lr: 1e-3,
-            ..PretrainConfig::vanilla(150)
-        });
+        session
+            .pretrain(&PretrainConfig {
+                iterations: 150,
+                batch_size: 64,
+                lr: 1e-3,
+                ..PretrainConfig::vanilla(150)
+            })
+            .unwrap();
         let z_pre = session.embed();
 
         let mut cfg = DecConfig::fast(ds.n_classes);
         cfg.max_iter = 120;
-        let _ = session.run_dec(&cfg);
+        let _ = session.run_dec(&cfg).unwrap();
         // After restore, the embedding must match the snapshot exactly.
         session.restore_pretrained();
         let z_restored = session.embed();
@@ -176,32 +206,34 @@ mod tests {
     fn session_runs_each_model() {
         let ds = Benchmark::Protein.generate(Size::Small, 5);
         let mut session = Session::new(&ds, ArchPreset::Small, 5);
-        session.pretrain(&PretrainConfig {
-            iterations: 200,
-            batch_size: 64,
-            lr: 1e-3,
-            ..PretrainConfig::vanilla(200)
-        });
+        session
+            .pretrain(&PretrainConfig {
+                iterations: 200,
+                batch_size: 64,
+                lr: 1e-3,
+                ..PretrainConfig::vanilla(200)
+            })
+            .unwrap();
         let mut dec_cfg = DecConfig::fast(ds.n_classes);
         dec_cfg.max_iter = 120;
         dec_cfg.trace = TraceConfig::curves(&ds.labels);
-        let dec = session.run_dec(&dec_cfg);
+        let dec = session.run_dec(&dec_cfg).unwrap();
         assert_eq!(dec.labels.len(), ds.len());
 
         let mut idec_cfg = IdecConfig::fast(ds.n_classes);
         idec_cfg.max_iter = 120;
-        let idec = session.run_idec(&idec_cfg);
+        let idec = session.run_idec(&idec_cfg).unwrap();
         assert_eq!(idec.labels.len(), ds.len());
 
         let mut dcn_cfg = DcnConfig::fast(ds.n_classes);
         dcn_cfg.max_iter = 120;
-        let dcn = session.run_dcn(&dcn_cfg);
+        let dcn = session.run_dcn(&dcn_cfg).unwrap();
         assert_eq!(dcn.labels.len(), ds.len());
 
         let mut adec_cfg = AdecConfig::fast(ds.n_classes);
         adec_cfg.max_iter = 120;
         adec_cfg.disc_pretrain = 30;
-        let adec = session.run_adec(&adec_cfg);
+        let adec = session.run_adec(&adec_cfg).unwrap();
         assert_eq!(adec.labels.len(), ds.len());
     }
 }

@@ -281,6 +281,17 @@ mod tests {
     }
 
     #[test]
+    fn nan_mid_file_reports_the_offending_line() {
+        // A NaN buried past headers, comments, and blank lines must be
+        // pinned to its physical 1-based line number, not a row index.
+        let content = "# sensor dump\nch0,ch1\n1.0,2.0\n\n3.0,NaN\n5.0,6.0\n";
+        let e = read_csv(content.as_bytes(), &CsvOptions::default()).unwrap_err();
+        assert_eq!(e.line, 5);
+        assert!(e.message.contains("non-finite"), "message: {}", e.message);
+        assert!(e.to_string().starts_with("line 5:"), "display: {e}");
+    }
+
+    #[test]
     fn normalization_applied_when_requested() {
         let content = "10,0\n0,10\n";
         let ds = read_csv(content.as_bytes(), &CsvOptions::default()).unwrap();

@@ -44,6 +44,13 @@ pub fn write_store<W: Write>(store: &ParamStore, mut w: W) -> io::Result<()> {
 ///
 /// Parameter ids are assigned in file order, so a store saved and reloaded
 /// in the same program structure keeps its ids stable.
+///
+/// The parser is hardened against malformed input: truncated streams,
+/// absurd header values (a forged dimension header never allocates more
+/// than the bytes actually present in the stream), and trailing bytes
+/// after the last parameter all fail with [`io::ErrorKind::InvalidData`]
+/// or [`io::ErrorKind::UnexpectedEof`] rather than panicking, aborting on
+/// allocation, or silently succeeding.
 pub fn read_store<R: Read>(mut r: R) -> io::Result<ParamStore> {
     let mut magic = [0u8; 8];
     r.read_exact(&mut magic)?;
@@ -54,6 +61,12 @@ pub fn read_store<R: Read>(mut r: R) -> io::Result<ParamStore> {
         ));
     }
     let count = read_u32(&mut r)? as usize;
+    if count > 1 << 20 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "parameter count implausibly large",
+        ));
+    }
     let mut store = ParamStore::new();
     for _ in 0..count {
         let name_len = read_u32(&mut r)? as usize;
@@ -69,13 +82,28 @@ pub fn read_store<R: Read>(mut r: R) -> io::Result<ParamStore> {
         if rows.saturating_mul(cols) > 1 << 28 {
             return Err(io::Error::new(io::ErrorKind::InvalidData, "tensor too large"));
         }
-        let mut data = vec![0.0f32; rows * cols];
-        let mut buf = [0u8; 4];
-        for v in data.iter_mut() {
-            r.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
+        // Decode through a bounded scratch buffer so the data vector only
+        // grows as bytes actually arrive — a forged header claiming 2^28
+        // elements costs nothing unless the stream really contains them.
+        let mut data: Vec<f32> = Vec::new();
+        let mut buf = [0u8; 4096];
+        let mut remaining = rows * cols * 4;
+        while remaining > 0 {
+            let take = remaining.min(buf.len());
+            r.read_exact(&mut buf[..take])?;
+            for chunk in buf[..take].chunks_exact(4) {
+                data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+            }
+            remaining -= take;
         }
         store.register(name, Matrix::from_vec(rows, cols, data));
+    }
+    let mut probe = [0u8; 1];
+    if r.read(&mut probe)? != 0 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after last parameter",
+        ));
     }
     Ok(store)
 }
@@ -160,6 +188,69 @@ mod tests {
         write_store(&store, &mut buf).unwrap();
         buf.truncate(buf.len() - 7);
         assert!(read_store(&buf[..]).is_err());
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        let store = sample_store();
+        let mut buf = Vec::new();
+        write_store(&store, &mut buf).unwrap();
+        buf.extend_from_slice(&[0xDE, 0xAD]);
+        let err = read_store(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("trailing"));
+    }
+
+    #[test]
+    fn allocation_bomb_header_is_rejected() {
+        // Header claims a (2^32−1) × (2^32−1) tensor in an 8-byte body;
+        // must fail on the dimension cap, never attempt the allocation.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes()); // one parameter
+        buf.extend_from_slice(&1u32.to_le_bytes()); // name "w"
+        buf.push(b'w');
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // rows
+        buf.extend_from_slice(&u32::MAX.to_le_bytes()); // cols
+        let err = read_store(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("too large"));
+    }
+
+    #[test]
+    fn plausible_header_with_missing_data_fails_without_big_alloc() {
+        // Dimensions pass the cap (2^20 × 16 = 2^24 elements) but the
+        // stream ends immediately; incremental decode hits EOF after one
+        // scratch-buffer read instead of allocating 64 MiB upfront.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.push(b'w');
+        buf.extend_from_slice(&(1u32 << 20).to_le_bytes());
+        buf.extend_from_slice(&16u32.to_le_bytes());
+        let err = read_store(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn parameter_count_bomb_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&u32::MAX.to_le_bytes());
+        let err = read_store(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn non_utf8_name_is_rejected() {
+        let mut buf = Vec::new();
+        buf.extend_from_slice(MAGIC);
+        buf.extend_from_slice(&1u32.to_le_bytes());
+        buf.extend_from_slice(&2u32.to_le_bytes());
+        buf.extend_from_slice(&[0xFF, 0xFE]); // invalid UTF-8
+        let err = read_store(&buf[..]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     #[test]

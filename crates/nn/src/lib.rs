@@ -45,6 +45,7 @@
 #![allow(clippy::indexing_slicing)]
 #![warn(missing_docs)]
 
+pub mod checkpoint;
 pub mod grad_check;
 pub mod io;
 pub mod layers;
@@ -53,6 +54,7 @@ pub mod optim;
 pub mod store;
 pub mod tape;
 
+pub use checkpoint::{Checkpoint, CheckpointError, OptState};
 pub use grad_check::numeric_grad;
 pub use layers::{Activation, Dense, Mlp};
 pub use loss::{hard_labels, kl_divergence, soft_assignment, target_distribution};

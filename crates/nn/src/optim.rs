@@ -81,6 +81,69 @@ impl Sgd {
     }
 }
 
+/// Checkpointable SGD state: the live learning rate (which a training
+/// guard may have backed off from the configured value) and the momentum
+/// buffers, indexed by [`ParamId`]. Static hyperparameters (momentum,
+/// clipping) are *not* captured — they are config-derived.
+#[derive(Debug, Clone)]
+pub struct SgdState {
+    /// Learning rate at capture time.
+    pub lr: f32,
+    /// Per-parameter velocity buffers (slot index = `ParamId::index`).
+    pub velocity: Vec<Option<Matrix>>,
+}
+
+impl Sgd {
+    /// Captures the mutable state for checkpointing.
+    pub fn export_state(&self) -> SgdState {
+        SgdState {
+            lr: self.lr,
+            velocity: self.velocity.clone(),
+        }
+    }
+
+    /// Restores state captured by [`Sgd::export_state`].
+    pub fn import_state(&mut self, state: SgdState) {
+        self.lr = state.lr;
+        self.velocity = state.velocity;
+    }
+}
+
+/// Checkpointable Adam state: learning rate, both moment buffers, and the
+/// bias-correction timestep. As with [`SgdState`], static hyperparameters
+/// (betas, epsilon, clipping) come from config and are not captured.
+#[derive(Debug, Clone)]
+pub struct AdamState {
+    /// Learning rate at capture time.
+    pub lr: f32,
+    /// First-moment buffers (slot index = `ParamId::index`).
+    pub m: Vec<Option<Matrix>>,
+    /// Second-moment buffers (slot index = `ParamId::index`).
+    pub v: Vec<Option<Matrix>>,
+    /// Bias-correction timestep (number of steps taken).
+    pub t: u64,
+}
+
+impl Adam {
+    /// Captures the mutable state for checkpointing.
+    pub fn export_state(&self) -> AdamState {
+        AdamState {
+            lr: self.lr,
+            m: self.m.clone(),
+            v: self.v.clone(),
+            t: self.t,
+        }
+    }
+
+    /// Restores state captured by [`Adam::export_state`].
+    pub fn import_state(&mut self, state: AdamState) {
+        self.lr = state.lr;
+        self.m = state.m;
+        self.v = state.v;
+        self.t = state.t;
+    }
+}
+
 fn clipped(grad: Matrix, clip: Option<f32>) -> Matrix {
     match clip {
         Some(max) => {
@@ -334,6 +397,66 @@ mod tests {
         tape.backward(loss);
         opt.step(&tape, &mut store);
         assert_eq!(store.get(w).get(0, 0), 2.0, "weights must be untouched");
+    }
+
+    #[test]
+    fn adam_state_round_trip_continues_bitwise() {
+        // Train two optimizers in lockstep; mid-run, export one's state
+        // into a fresh instance. Both must produce identical weights for
+        // the rest of the run — moments and timestep included.
+        let run = |restore_at: Option<usize>| -> Matrix {
+            let mut store = ParamStore::new();
+            let target = Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5]);
+            let w = store.register("w", Matrix::zeros(1, 3));
+            let mut opt = Adam::new(0.05);
+            for step in 0..60 {
+                if restore_at == Some(step) {
+                    let mut fresh = Adam::new(0.05);
+                    fresh.import_state(opt.export_state());
+                    opt = fresh;
+                }
+                let mut tape = Tape::new();
+                let wv = tape.param(&store, w);
+                let t = tape.leaf(target.clone());
+                let loss = tape.mse(wv, t);
+                tape.backward(loss);
+                opt.step(&tape, &mut store);
+            }
+            store.get(w).clone()
+        };
+        assert_eq!(run(None), run(Some(30)));
+    }
+
+    #[test]
+    fn sgd_state_round_trip_continues_bitwise() {
+        let run = |restore_at: Option<usize>| -> Matrix {
+            let mut store = ParamStore::new();
+            let target = Matrix::from_vec(1, 2, vec![0.75, -1.5]);
+            let w = store.register("w", Matrix::zeros(1, 2));
+            let mut opt = Sgd::new(0.05, 0.9);
+            for step in 0..40 {
+                if restore_at == Some(step) {
+                    let mut fresh = Sgd::new(0.05, 0.9);
+                    fresh.import_state(opt.export_state());
+                    opt = fresh;
+                }
+                let mut tape = Tape::new();
+                let wv = tape.param(&store, w);
+                let t = tape.leaf(target.clone());
+                let loss = tape.mse(wv, t);
+                tape.backward(loss);
+                opt.step(&tape, &mut store);
+            }
+            store.get(w).clone()
+        };
+        assert_eq!(run(None), run(Some(17)));
+    }
+
+    #[test]
+    fn state_captures_backed_off_lr() {
+        let mut opt = Sgd::new(0.1, 0.9);
+        opt.lr *= 0.5;
+        assert_eq!(opt.export_state().lr, 0.05);
     }
 
     #[test]

@@ -20,7 +20,10 @@ impl ParamId {
 }
 
 /// Owns the trainable parameters of one or more networks.
-#[derive(Debug, Default)]
+///
+/// `Clone` deep-copies every value; checkpointing relies on this to
+/// capture a consistent point-in-time image of the full store.
+#[derive(Debug, Default, Clone)]
 pub struct ParamStore {
     values: Vec<Matrix>,
     names: Vec<String>,

@@ -484,6 +484,62 @@ pub fn row_lerp(a: &Matrix, b: &Matrix, t: &[f32]) -> Matrix {
     out
 }
 
+// ----------------------------------------------------------------------
+// Buffer health scan
+// ----------------------------------------------------------------------
+
+/// Summary of one [`finite_scan`] pass over a buffer: non-finite value
+/// counts broken out by kind, plus the largest finite magnitude — enough
+/// for a training guard to distinguish "NaN poisoning" from "exploding
+/// but still finite" without a second pass.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FiniteScan {
+    /// Number of NaN entries.
+    pub nan: usize,
+    /// Number of `+∞` entries.
+    pub pos_inf: usize,
+    /// Number of `-∞` entries.
+    pub neg_inf: usize,
+    /// Largest `|x|` over the finite entries (0 if none are finite).
+    pub max_abs: f32,
+}
+
+impl FiniteScan {
+    /// True when every scanned entry was finite.
+    pub fn is_clean(&self) -> bool {
+        self.nan == 0 && self.pos_inf == 0 && self.neg_inf == 0
+    }
+}
+
+/// Single-pass health scan: counts NaN/±∞ entries and tracks the largest
+/// finite magnitude. Unlike [`Matrix::all_finite`] this does not stop at
+/// the first bad value, so callers can report *what kind* of corruption
+/// occurred and how large the healthy entries had grown.
+///
+/// # Panics
+/// Panics on an empty buffer (a scan of nothing is a caller bug).
+pub fn finite_scan(xs: &[f32]) -> FiniteScan {
+    assert!(!xs.is_empty(), "finite_scan: empty buffer");
+    let mut scan = FiniteScan {
+        nan: 0,
+        pos_inf: 0,
+        neg_inf: 0,
+        max_abs: 0.0,
+    };
+    for &x in xs {
+        if x.is_finite() {
+            scan.max_abs = scan.max_abs.max(x.abs());
+        } else if x.is_nan() {
+            scan.nan += 1;
+        } else if x > 0.0 {
+            scan.pos_inf += 1;
+        } else {
+            scan.neg_inf += 1;
+        }
+    }
+    scan
+}
+
 #[cfg(test)]
 // Test code: exact float comparisons and unwraps are the assertions
 // themselves here.
@@ -616,5 +672,37 @@ mod tests {
     #[should_panic(expected = "inner dimension mismatch")]
     fn matmul_shape_panic() {
         let _ = matmul(&Matrix::zeros(2, 3), &Matrix::zeros(2, 3));
+    }
+
+    #[test]
+    fn finite_scan_counts_each_kind() {
+        let xs = [
+            1.0f32,
+            f32::NAN,
+            -3.5,
+            f32::INFINITY,
+            f32::NEG_INFINITY,
+            f32::NAN,
+            2.0,
+        ];
+        let scan = finite_scan(&xs);
+        assert_eq!(scan.nan, 2);
+        assert_eq!(scan.pos_inf, 1);
+        assert_eq!(scan.neg_inf, 1);
+        assert_eq!(scan.max_abs, 3.5);
+        assert!(!scan.is_clean());
+    }
+
+    #[test]
+    fn finite_scan_clean_buffer() {
+        let scan = finite_scan(&[0.25f32, -7.0, 1e-20]);
+        assert!(scan.is_clean());
+        assert_eq!(scan.max_abs, 7.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty buffer")]
+    fn finite_scan_empty_panics() {
+        let _ = finite_scan(&[]);
     }
 }

@@ -39,14 +39,14 @@ pub mod matrix;
 pub mod pool;
 pub mod rng;
 
-pub use kernels::{add_bias_act, row_lerp, softmax_rows, FusedAct, RowSoftmax};
+pub use kernels::{add_bias_act, finite_scan, row_lerp, softmax_rows, FiniteScan, FusedAct, RowSoftmax};
 pub use linalg::{
     gram_schmidt_rows, pairwise_sq_dists, pca, rbf_kernel, symmetric_eigen, EigenDecomposition,
     Pca,
 };
 pub use matrix::Matrix;
 pub use pool::{configured_threads, set_thread_override};
-pub use rng::SeedRng;
+pub use rng::{RngState, SeedRng};
 
 /// Debug-build invariant: every entry of a matrix is finite.
 ///

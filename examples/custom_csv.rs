@@ -37,7 +37,7 @@ fn write_demo_csv(path: &std::path::Path) {
     std::fs::write(path, body).expect("write demo csv");
 }
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (path, label_column) = if args.is_empty() {
         let path = std::env::temp_dir().join("adec_demo.csv");
@@ -72,10 +72,10 @@ fn main() {
     session.pretrain(&PretrainConfig {
         iterations: 600,
         ..PretrainConfig::acai_fast()
-    });
+    })?;
     let mut cfg = AdecConfig::fast(k);
     cfg.max_iter = 900;
-    let out = session.run_adec(&cfg);
+    let out = session.run_adec(&cfg)?;
 
     if ds.n_classes > 1 {
         println!(
@@ -89,4 +89,5 @@ fn main() {
         sizes[l] += 1;
     }
     println!("cluster sizes: {sizes:?}");
+    Ok(())
 }

@@ -17,7 +17,7 @@ use adec_core::ArchPreset;
 use adec_datagen::render::ascii_strip;
 use adec_datagen::{Benchmark, Modality, Size};
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     let ds = Benchmark::DigitsTest.generate(Size::Small, 21);
     let (h, w) = match ds.modality {
         Modality::Image { h, w } => (h, w),
@@ -26,10 +26,10 @@ fn main() {
     println!("clustering {} ({}x{} images)…", ds.name, h, w);
 
     let mut session = Session::new(&ds, ArchPreset::Medium, 21);
-    session.pretrain(&PretrainConfig::acai_fast());
+    session.pretrain(&PretrainConfig::acai_fast())?;
     let mut cfg = AdecConfig::fast(ds.n_classes);
     cfg.max_iter = 1_800;
-    let out = session.run_adec(&cfg);
+    let out = session.run_adec(&cfg)?;
     println!(
         "ADEC: ACC {:.3}, NMI {:.3}\n",
         out.acc(&ds.labels),
@@ -67,4 +67,5 @@ fn main() {
             println!("  {a}   {b}");
         }
     }
+    Ok(())
 }

@@ -14,7 +14,7 @@ use adec_datagen::{Benchmark, Size};
 use adec_metrics::{accuracy, nmi};
 use adec_tensor::SeedRng;
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     // 1) A 10-class synthetic digits dataset (MNIST-test analog).
     let ds = Benchmark::DigitsTest.generate(Size::Small, 7);
     println!(
@@ -36,7 +36,7 @@ fn main() {
 
     // 2) Session: autoencoder + ACAI/augmentation pretraining (paper §4.1).
     let mut session = Session::new(&ds, ArchPreset::Medium, 7);
-    let stats = session.pretrain(&PretrainConfig::acai_fast());
+    let stats = session.pretrain(&PretrainConfig::acai_fast())?;
     println!(
         "pretrained: reconstruction MSE {:.4} ({} iterations)",
         stats.final_reconstruction_mse, stats.iterations
@@ -44,7 +44,7 @@ fn main() {
 
     // 3) The three fine-tuning strategies, all from the same weights.
     let k = ds.n_classes;
-    let dec = session.run_dec(&DecConfig::fast(k));
+    let dec = session.run_dec(&DecConfig::fast(k))?;
     println!(
         "DEC  (no regularizer):    ACC {:.3}  NMI {:.3}  ({} iters{})",
         dec.acc(&ds.labels),
@@ -53,7 +53,7 @@ fn main() {
         if dec.converged { ", converged" } else { "" }
     );
 
-    let idec = session.run_idec(&IdecConfig::fast(k));
+    let idec = session.run_idec(&IdecConfig::fast(k))?;
     println!(
         "IDEC (reconstruction):    ACC {:.3}  NMI {:.3}  ({} iters{})",
         idec.acc(&ds.labels),
@@ -62,7 +62,7 @@ fn main() {
         if idec.converged { ", converged" } else { "" }
     );
 
-    let adec = session.run_adec(&AdecConfig::fast(k));
+    let adec = session.run_adec(&AdecConfig::fast(k))?;
     println!(
         "ADEC (adversarial):       ACC {:.3}  NMI {:.3}  ({} iters{})",
         adec.acc(&ds.labels),
@@ -70,4 +70,5 @@ fn main() {
         adec.iterations,
         if adec.converged { ", converged" } else { "" }
     );
+    Ok(())
 }

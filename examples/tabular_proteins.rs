@@ -16,7 +16,7 @@ use adec_datagen::{Benchmark, Size};
 use adec_metrics::{accuracy, nmi};
 use adec_tensor::SeedRng;
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     let ds = Benchmark::Protein.generate(Size::Small, 13);
     println!(
         "{}: {} samples × {} protein channels, {} classes\n",
@@ -50,8 +50,8 @@ fn main() {
     // Deep pipeline. Tabular data gets no augmentation (paper's †), only
     // the ACAI interpolation regularizer.
     let mut session = Session::new(&ds, ArchPreset::Medium, 13);
-    session.pretrain(&PretrainConfig::acai_fast());
-    let adec = session.run_adec(&AdecConfig::fast(k));
+    session.pretrain(&PretrainConfig::acai_fast())?;
+    let adec = session.run_adec(&AdecConfig::fast(k))?;
     println!(
         "ADEC:                   ACC {:.3}  NMI {:.3}",
         adec.acc(&ds.labels),
@@ -74,4 +74,5 @@ fn main() {
             println!("  cluster {cluster} ({total:>3} samples): {counts:?}");
         }
     }
+    Ok(())
 }

@@ -29,7 +29,7 @@ fn report(name: &str, y_true: &[usize], y_pred: &[usize]) {
     );
 }
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     let ds = Benchmark::Tfidf.generate(Size::Small, 11);
     println!(
         "corpus: {} docs, vocabulary {} words, {} topics\n",
@@ -51,12 +51,12 @@ fn main() {
     // Deep clustering. Augmentation is a no-op on text (paper's ‡), but
     // the ACAI interpolation regularizer still applies.
     let mut session = Session::new(&ds, ArchPreset::Medium, 11);
-    session.pretrain(&PretrainConfig::acai_fast());
+    session.pretrain(&PretrainConfig::acai_fast())?;
     assert!(!ds.supports_augmentation());
 
-    let dec = session.run_dec(&DecConfig::fast(k));
+    let dec = session.run_dec(&DecConfig::fast(k))?;
     report("DEC* (deep)", &ds.labels, &dec.labels);
-    let adec = session.run_adec(&AdecConfig::fast(k));
+    let adec = session.run_adec(&AdecConfig::fast(k))?;
     report("ADEC (deep)", &ds.labels, &adec.labels);
 
     // Topic-word inspection: dominant vocabulary band per ADEC cluster.
@@ -90,4 +90,5 @@ fn main() {
             masses.iter().map(|m| (m * 10.0).round() / 10.0).collect::<Vec<_>>()
         );
     }
+    Ok(())
 }

@@ -28,22 +28,22 @@ fn summarize(name: &str, out: &ClusterOutput) {
     );
 }
 
-fn main() {
+fn main() -> Result<(), TrainError> {
     let ds = Benchmark::DigitsTest.generate(Size::Small, 5);
     let mut session = Session::new(&ds, ArchPreset::Medium, 5);
-    session.pretrain(&PretrainConfig::acai_fast());
+    session.pretrain(&PretrainConfig::acai_fast())?;
     let k = ds.n_classes;
 
     println!("recording gradient diagnostics on {}…\n", ds.name);
     let mut idec = IdecConfig::fast(k);
     idec.trace = TraceConfig::full(&ds.labels);
     idec.tol = 0.0;
-    let idec_out = session.run_idec(&idec);
+    let idec_out = session.run_idec(&idec)?;
 
     let mut adec = AdecConfig::fast(k);
     adec.trace = TraceConfig::full(&ds.labels);
     adec.tol = 0.0;
-    let adec_out = session.run_adec(&adec);
+    let adec_out = session.run_adec(&adec)?;
 
     println!("Δ_FR: cosine(pseudo-supervised grad, true-supervised grad) — higher is better");
     println!("Δ_FD: cosine(clustering grad, regularizer grad) — negative = competition\n");
@@ -62,4 +62,5 @@ fn main() {
         idec_out.acc(&ds.labels),
         adec_out.acc(&ds.labels)
     );
+    Ok(())
 }

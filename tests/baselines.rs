@@ -2,6 +2,8 @@
 //! dataset simulators — every algorithm must produce a valid partition and
 //! land in a sane quality band on the benchmark it is suited to.
 
+// Test code: unwrap on a just-produced result is the assertion itself.
+#![allow(clippy::unwrap_used)]
 use adec_classic::*;
 use adec_datagen::{Benchmark, Size};
 use adec_metrics::accuracy;
@@ -85,10 +87,10 @@ fn deep_methods_beat_classical_on_digits() {
     session.pretrain(&PretrainConfig {
         iterations: 900,
         ..PretrainConfig::acai_fast()
-    });
+    }).unwrap();
     let mut cfg = AdecConfig::fast(k);
     cfg.max_iter = 1_500;
-    let deep_acc = session.run_adec(&cfg).acc(&ds.labels);
+    let deep_acc = session.run_adec(&cfg).unwrap().acc(&ds.labels);
     assert!(
         deep_acc >= shallow_acc - 0.02,
         "deep ({deep_acc}) must at least match shallow ({shallow_acc}) on digit images"

@@ -1,6 +1,8 @@
 //! End-to-end integration tests spanning every crate: dataset simulation →
 //! pretraining → deep clustering → evaluation.
 
+// Test code: unwrap on a just-produced result is the assertion itself.
+#![allow(clippy::unwrap_used)]
 use adec_core::prelude::*;
 use adec_core::pretrain::PretrainConfig;
 use adec_core::ArchPreset;
@@ -26,7 +28,7 @@ fn full_pipeline_beats_raw_kmeans_on_digits() {
     let raw_acc = accuracy(&ds.labels, &raw.labels);
 
     let mut session = Session::new(&ds, ArchPreset::Medium, 3);
-    session.pretrain(&fast_pretrain());
+    session.pretrain(&fast_pretrain()).unwrap();
     let z = session.embed();
     let embedded = adec_classic::kmeans(&z, &adec_classic::KMeansConfig::new(ds.n_classes), &mut rng);
     let embedded_acc = accuracy(&ds.labels, &embedded.labels);
@@ -37,7 +39,7 @@ fn full_pipeline_beats_raw_kmeans_on_digits() {
 
     let mut cfg = AdecConfig::fast(ds.n_classes);
     cfg.max_iter = 1_800;
-    let out = session.run_adec(&cfg);
+    let out = session.run_adec(&cfg).unwrap();
     let deep_acc = out.acc(&ds.labels);
     assert!(deep_acc > 0.5, "ADEC ACC {deep_acc} suspiciously low");
 }
@@ -50,10 +52,10 @@ fn pipeline_is_deterministic_under_seed() {
         session.pretrain(&PretrainConfig {
             iterations: 200,
             ..PretrainConfig::vanilla_fast()
-        });
+        }).unwrap();
         let mut cfg = DecConfig::fast(ds.n_classes);
         cfg.max_iter = 200;
-        session.run_dec(&cfg).labels
+        session.run_dec(&cfg).unwrap().labels
     };
     assert_eq!(run(), run(), "same seed must give identical clusterings");
 }
@@ -69,16 +71,16 @@ fn adec_regularizer_does_not_destroy_clustering() {
     for seed in [5u64, 6] {
         let ds = Benchmark::DigitsFull.generate(Size::Small, seed);
         let mut session = Session::new(&ds, ArchPreset::Medium, seed);
-        session.pretrain(&fast_pretrain());
+        session.pretrain(&fast_pretrain()).unwrap();
 
         let mut with_adv = AdecConfig::fast(ds.n_classes);
         with_adv.max_iter = 1_500;
-        with_sum += session.run_adec(&with_adv).acc(&ds.labels);
+        with_sum += session.run_adec(&with_adv).unwrap().acc(&ds.labels);
 
         let mut without = AdecConfig::fast(ds.n_classes);
         without.max_iter = 1_500;
         without.adversarial_weight = 0.0;
-        without_sum += session.run_adec(&without).acc(&ds.labels);
+        without_sum += session.run_adec(&without).unwrap().acc(&ds.labels);
     }
     let (a, b) = (with_sum / 2.0, without_sum / 2.0);
     assert!(
@@ -94,11 +96,11 @@ fn convergence_tolerance_stops_training() {
     session.pretrain(&PretrainConfig {
         iterations: 300,
         ..PretrainConfig::vanilla_fast()
-    });
+    }).unwrap();
     let mut cfg = DecConfig::fast(ds.n_classes);
     cfg.max_iter = 5_000;
     cfg.tol = 0.05; // generous tolerance → early convergence
-    let out = session.run_dec(&cfg);
+    let out = session.run_dec(&cfg).unwrap();
     assert!(out.converged, "generous tol must converge");
     assert!(out.iterations < 5_000);
 }
@@ -112,12 +114,12 @@ fn shared_pretraining_comparison_is_fair() {
     session.pretrain(&PretrainConfig {
         iterations: 300,
         ..PretrainConfig::acai_fast()
-    });
+    }).unwrap();
     session.restore_pretrained();
     let z0 = session.embed();
     let mut cfg = IdecConfig::fast(ds.n_classes);
     cfg.max_iter = 150;
-    let _ = session.run_idec(&cfg);
+    let _ = session.run_idec(&cfg).unwrap();
     session.restore_pretrained();
     assert_eq!(z0, session.embed());
 }
@@ -130,10 +132,10 @@ fn all_benchmarks_run_through_dec() {
         session.pretrain(&PretrainConfig {
             iterations: 150,
             ..PretrainConfig::vanilla_fast()
-        });
+        }).unwrap();
         let mut cfg = DecConfig::fast(ds.n_classes);
         cfg.max_iter = 120;
-        let out = session.run_dec(&cfg);
+        let out = session.run_dec(&cfg).unwrap();
         assert_eq!(out.labels.len(), ds.len(), "{:?}", b);
         assert!(out.q.all_finite(), "{:?} produced non-finite Q", b);
     }

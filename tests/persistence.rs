@@ -18,7 +18,7 @@ fn saved_weights_reproduce_the_embedding() {
     session.pretrain(&PretrainConfig {
         iterations: 200,
         ..PretrainConfig::vanilla_fast()
-    });
+    }).unwrap();
     let z_before = session.embed();
 
     let path = std::env::temp_dir().join("adec_persistence_test.bin");
