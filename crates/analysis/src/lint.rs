@@ -11,7 +11,9 @@
 //! * `lint.as-narrowing` — unchecked `as` casts to a narrower integer type
 //!   in kernel code (`crates/tensor`, `crates/nn`).
 //! * `lint.kernel-assert` — every `pub fn` in the tensor kernels
-//!   (`matrix.rs`, `linalg.rs`) taking a `&Matrix`/`&[f32]` must open with
+//!   (`matrix.rs`, `linalg.rs`, `kernels.rs`), the training guard, and the
+//!   serving model (`crates/serve/src/model.rs`, whose matrix-taking entry
+//!   points face network input) taking a `&Matrix`/`&[f32]` must open with
 //!   a dimension assert.
 //!
 //! Any line (or its predecessor) may carry `// lint:allow(rule)` to
@@ -197,12 +199,15 @@ fn is_kernel_path(rel: &str) -> bool {
 /// Tensor kernel files where every matrix-taking `pub fn` must open with a
 /// dimension assert. The training guard qualifies too: its matrix-taking
 /// health checks sit on every epoch's hot path and must reject degenerate
-/// shapes before scanning.
+/// shapes before scanning. The serving model is on the list because its
+/// matrix-taking entry points sit on the request path, where a degenerate
+/// shape arrives from the network, not from our own code.
 fn needs_kernel_asserts(rel: &str) -> bool {
     rel == "crates/tensor/src/matrix.rs"
         || rel == "crates/tensor/src/linalg.rs"
         || rel == "crates/tensor/src/kernels.rs"
         || rel == "crates/core/src/guard.rs"
+        || rel == "crates/serve/src/model.rs"
 }
 
 /// Parses every `lint:allow(a, b)` occurrence on a line into rule names
@@ -712,6 +717,23 @@ mod tests {
         // Allowable.
         let allowed = "impl Matrix {\n    // shape-oblivious by design -- lint:allow(kernel-assert)\n    pub fn scale(&self, xs: &[f32]) -> Matrix {\n        body()\n    }\n}\n";
         assert!(lint_source("crates/tensor/src/matrix.rs", allowed).is_empty());
+    }
+
+    #[test]
+    fn serving_model_is_on_the_kernel_assert_list() {
+        // The serving model's matrix-taking entry points face network
+        // input, so the same opening-assert discipline applies there.
+        let bad = "impl InferenceModel {\n    pub fn assign(&self, x: &Matrix) -> Vec<usize> {\n        body()\n    }\n}\n";
+        let diags = lint_source("crates/serve/src/model.rs", bad);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lint.kernel-assert");
+        // The rest of the serve crate is covered by the generic
+        // unwrap/expect/panic bans, not the kernel-assert rule.
+        assert!(lint_source("crates/serve/src/server.rs", bad).is_empty());
+        let request_path = "fn handle(&self) {\n    self.q.pop().unwrap();\n}\n";
+        let diags = lint_source("crates/serve/src/server.rs", request_path);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lint.unwrap");
     }
 
     #[test]

@@ -167,6 +167,129 @@ impl Default for Args {
     }
 }
 
+/// Arguments for the `adec serve` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Path to the trained checkpoint to serve.
+    pub checkpoint: String,
+    /// Port to bind on 127.0.0.1 (0 = ephemeral; the bound port is printed).
+    pub port: u16,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Bound on the accepted-but-unserved connection queue.
+    pub max_inflight: usize,
+    /// Per-request compute budget in milliseconds.
+    pub deadline_ms: u64,
+    /// Per-socket read budget in milliseconds.
+    pub read_deadline_ms: u64,
+    /// Student-t degrees of freedom for the soft assignment.
+    pub alpha: f32,
+}
+
+impl Default for ServeArgs {
+    fn default() -> Self {
+        ServeArgs {
+            checkpoint: String::new(),
+            port: 8423,
+            workers: 2,
+            max_inflight: 64,
+            deadline_ms: 2_000,
+            read_deadline_ms: 2_000,
+            alpha: 1.0,
+        }
+    }
+}
+
+/// The `adec serve --help` text.
+pub fn serve_usage() -> String {
+    "adec serve — serve soft cluster assignments from a trained checkpoint\n\
+     \n\
+     USAGE:\n\
+       adec serve --checkpoint <PATH> [OPTIONS]\n\
+     \n\
+     OPTIONS:\n\
+       --checkpoint <PATH>      trained checkpoint to load (required)\n\
+       --port <N>               port on 127.0.0.1 (default 8423; 0 = ephemeral)\n\
+       --workers <N>            worker threads             (default 2)\n\
+       --max-inflight <N>       queue bound before 503     (default 64)\n\
+       --deadline-ms <N>        per-request compute budget (default 2000)\n\
+       --read-deadline-ms <N>   per-socket read budget     (default 2000)\n\
+       --alpha <X>              Student-t dof for q_ij     (default 1.0)\n\
+       --help                   this message\n\
+     \n\
+     ENDPOINTS:\n\
+       GET  /healthz    liveness (200 while the process serves at all)\n\
+       GET  /readyz     readiness + model card (mode, input_dim, clusters)\n\
+       GET  /statz      request counters\n\
+       POST /assign     CSV rows of features -> JSON soft assignments\n\
+       POST /shutdown   stop accepting, drain in-flight, exit 0\n"
+        .to_string()
+}
+
+/// Parses the argument list after the `serve` subcommand token.
+pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ParseError> {
+    let mut args = ServeArgs::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--checkpoint" => args.checkpoint = value("--checkpoint")?.clone(),
+            "--port" => {
+                let v = value("--port")?;
+                args.port = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid port '{v}'")))?;
+            }
+            "--workers" => {
+                let v = value("--workers")?;
+                args.workers = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid worker count '{v}'")))?;
+            }
+            "--max-inflight" => {
+                let v = value("--max-inflight")?;
+                args.max_inflight = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid queue bound '{v}'")))?;
+            }
+            "--deadline-ms" => {
+                let v = value("--deadline-ms")?;
+                args.deadline_ms = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid deadline '{v}'")))?;
+            }
+            "--read-deadline-ms" => {
+                let v = value("--read-deadline-ms")?;
+                args.read_deadline_ms = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid read deadline '{v}'")))?;
+            }
+            "--alpha" => {
+                let v = value("--alpha")?;
+                args.alpha = v
+                    .parse()
+                    .ok()
+                    .filter(|a: &f32| a.is_finite() && *a > 0.0)
+                    .ok_or_else(|| ParseError(format!("invalid alpha '{v}'")))?;
+            }
+            other => return Err(ParseError(format!("unknown flag '{other}' (see adec serve --help)"))),
+        }
+    }
+    if args.checkpoint.is_empty() {
+        return Err(ParseError("--checkpoint is required".into()));
+    }
+    Ok(args)
+}
+
 /// Argument-parsing failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -201,6 +324,7 @@ pub fn usage() -> String {
          \n\
          USAGE:\n\
            adec [OPTIONS]\n\
+           adec serve --checkpoint <PATH> [OPTIONS]   (see adec serve --help)\n\
          \n\
          OPTIONS:\n\
            --dataset <NAME>        digits-full | digits-test | usps | fashion | reuters | protein\n\
@@ -386,6 +510,47 @@ mod tests {
         // VaDE builds its own networks (not the shared AE), so it is not
         // "deep" in the needs-shared-pretraining sense.
         assert!(!Method::Vade.is_deep());
+    }
+
+    #[test]
+    fn serve_args_parse_with_defaults() {
+        let args = parse_serve(&strs(&["--checkpoint", "dec.ckpt"])).unwrap();
+        assert_eq!(args.checkpoint, "dec.ckpt");
+        assert_eq!(args.port, 8423);
+        assert_eq!(args.workers, 2);
+        assert_eq!(args.max_inflight, 64);
+        assert_eq!(args.deadline_ms, 2_000);
+        assert_eq!(args.read_deadline_ms, 2_000);
+
+        let full = parse_serve(&strs(&[
+            "--checkpoint", "x.ckpt", "--port", "0", "--workers", "4",
+            "--max-inflight", "8", "--deadline-ms", "100", "--read-deadline-ms", "250",
+            "--alpha", "2.0",
+        ]))
+        .unwrap();
+        assert_eq!(full.port, 0);
+        assert_eq!(full.workers, 4);
+        assert_eq!(full.max_inflight, 8);
+        assert_eq!(full.deadline_ms, 100);
+        assert_eq!(full.read_deadline_ms, 250);
+        assert!((full.alpha - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn serve_args_reject_nonsense() {
+        assert!(parse_serve(&[]).unwrap_err().0.contains("--checkpoint is required"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--port", "banana"]))
+            .unwrap_err().0.contains("invalid port"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--workers", "0"]))
+            .unwrap_err().0.contains("invalid worker count"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--max-inflight", "0"]))
+            .unwrap_err().0.contains("invalid queue bound"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--read-deadline-ms", "0"]))
+            .unwrap_err().0.contains("invalid read deadline"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--alpha", "-1"]))
+            .unwrap_err().0.contains("invalid alpha"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--wat"]))
+            .unwrap_err().0.contains("unknown flag"));
     }
 
     #[test]

@@ -5,6 +5,26 @@ use adec_cli::runner::{check, run};
 
 fn main() {
     let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("serve") {
+        let rest = argv.get(1..).unwrap_or(&[]);
+        if rest.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", adec_cli::args::serve_usage());
+            return;
+        }
+        let serve_args = match adec_cli::args::parse_serve(rest) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{}", adec_cli::args::serve_usage());
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = adec_cli::runner::serve(&serve_args) {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+        return;
+    }
     if argv.iter().any(|a| a == "--help" || a == "-h") {
         print!("{}", usage());
         return;

@@ -62,17 +62,21 @@ pub enum RunError {
     Checkpoint(CheckpointError),
     /// Auxiliary file I/O (labels, weights) failed.
     Io(String),
+    /// The inference service could not start or serve (bad model topology,
+    /// port in use, …).
+    Serve(String),
 }
 
 impl RunError {
     /// Process exit code for this failure class: 2 usage, 3 training,
-    /// 4 checkpoint, 5 auxiliary I/O.
+    /// 4 checkpoint, 5 auxiliary I/O, 6 serving.
     pub fn exit_code(&self) -> i32 {
         match self {
             RunError::Usage(_) => 2,
             RunError::Train(_) => 3,
             RunError::Checkpoint(_) => 4,
             RunError::Io(_) => 5,
+            RunError::Serve(_) => 6,
         }
     }
 }
@@ -84,6 +88,7 @@ impl std::fmt::Display for RunError {
             RunError::Train(e) => write!(f, "training failed: {e}"),
             RunError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             RunError::Io(msg) => write!(f, "io: {msg}"),
+            RunError::Serve(msg) => write!(f, "serve: {msg}"),
         }
     }
 }
@@ -105,6 +110,58 @@ impl From<CheckpointError> for RunError {
     fn from(e: CheckpointError) -> RunError {
         RunError::Checkpoint(e)
     }
+}
+
+/// Runs the hardened inference service until a graceful shutdown
+/// (`POST /shutdown`) drains it. Prints `listening on 127.0.0.1:<port>`
+/// to stdout once bound, so supervisors (and the chaos drill) can wait on
+/// readiness even with `--port 0`.
+///
+/// # Errors
+///
+/// [`RunError::Checkpoint`] when the checkpoint file is unreadable or
+/// corrupt (exit 4, same class as training), [`RunError::Serve`] when the
+/// model is not servable or the listener cannot bind (exit 6).
+pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
+    use adec_serve::model::ModelError;
+    let model = adec_serve::InferenceModel::load(&args.checkpoint, args.alpha).map_err(|e| {
+        match e {
+            ModelError::Checkpoint(c) => RunError::Checkpoint(c),
+            other => RunError::Serve(other.to_string()),
+        }
+    })?;
+    eprintln!(
+        "serving {} checkpoint '{}' in {} mode: input_dim={} clusters={}",
+        model.phase,
+        args.checkpoint,
+        model.mode.as_str(),
+        model.input_dim(),
+        model.k(),
+    );
+    let config = adec_serve::ServerConfig {
+        port: args.port,
+        workers: args.workers,
+        max_inflight: args.max_inflight,
+        deadline_ms: args.deadline_ms,
+        read_deadline_ms: args.read_deadline_ms,
+        ..adec_serve::ServerConfig::default()
+    };
+    let handle = adec_serve::ServerHandle::start(model, config)
+        .map_err(|e| RunError::Serve(e.to_string()))?;
+    println!("listening on {}", handle.addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let stats = handle.join();
+    eprintln!(
+        "drained: served={} rejected_busy={} client_errors={} disconnects={} deadline_expired={} caught_panics={}",
+        stats.served,
+        stats.rejected_busy,
+        stats.client_errors,
+        stats.disconnects,
+        stats.deadline_expired,
+        stats.caught_panics,
+    );
+    Ok(())
 }
 
 fn arch_for(size: Size) -> ArchPreset {

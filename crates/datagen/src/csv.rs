@@ -21,6 +21,13 @@ pub struct CsvOptions {
     pub label_column: Option<usize>,
     /// Apply the paper's `‖x‖²/d ≈ 1` normalization after loading.
     pub normalize: bool,
+    /// Reject any physical line longer than this many bytes (newline
+    /// excluded). The budget is enforced *while reading*, so a hostile or
+    /// corrupt file — say, one with no newlines at all — errors with a
+    /// line number instead of ballooning a line buffer to the file size.
+    pub max_line_bytes: usize,
+    /// Reject any line that splits into more than this many fields.
+    pub max_fields: usize,
 }
 
 impl Default for CsvOptions {
@@ -29,6 +36,8 @@ impl Default for CsvOptions {
             delimiter: ',',
             label_column: None,
             normalize: true,
+            max_line_bytes: 1 << 20,
+            max_fields: 1 << 16,
         }
     }
 }
@@ -61,21 +70,97 @@ fn err(line: usize, message: impl Into<String>) -> CsvError {
     }
 }
 
+/// Reads one `\n`-terminated line into `out` (newline excluded), keeping
+/// the accumulated length within `max_bytes` *as it reads* — the function
+/// returns `Err(())` the moment the budget is exceeded, without slurping
+/// the rest of an unbounded line into memory first.
+///
+/// Returns `Ok(false)` at clean EOF with nothing read.
+fn read_bounded_line<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+    out: &mut Vec<u8>,
+) -> Result<bool, CsvLineError> {
+    out.clear();
+    loop {
+        let available = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) => return Err(CsvLineError::Io(e.to_string())),
+        };
+        if available.is_empty() {
+            return Ok(!out.is_empty()); // EOF: last line may lack a newline
+        }
+        match available.iter().position(|&b| b == b'\n') {
+            Some(pos) => {
+                if out.len() + pos > max_bytes {
+                    return Err(CsvLineError::TooLong);
+                }
+                out.extend_from_slice(available.get(..pos).unwrap_or(available));
+                reader.consume(pos + 1);
+                return Ok(true);
+            }
+            None => {
+                let n = available.len();
+                if out.len() + n > max_bytes {
+                    return Err(CsvLineError::TooLong);
+                }
+                out.extend_from_slice(available);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Why [`read_bounded_line`] gave up.
+enum CsvLineError {
+    /// Line exceeded the byte budget.
+    TooLong,
+    /// The underlying reader failed.
+    Io(String),
+}
+
 /// Parses CSV content from any reader into a [`Dataset`].
 pub fn read_csv<R: Read>(reader: R, opts: &CsvOptions) -> Result<Dataset, CsvError> {
-    let buf = BufReader::new(reader);
+    let mut buf = BufReader::new(reader);
     let mut rows: Vec<Vec<f32>> = Vec::new();
     let mut raw_labels: Vec<String> = Vec::new();
     let mut width: Option<usize> = None;
+    let mut line_bytes: Vec<u8> = Vec::new();
 
-    for (idx, line) in buf.lines().enumerate() {
-        let line_no = idx + 1;
-        let line = line.map_err(|e| err(line_no, e.to_string()))?;
+    let mut line_no = 0usize;
+    loop {
+        line_no += 1;
+        match read_bounded_line(&mut buf, opts.max_line_bytes, &mut line_bytes) {
+            Ok(true) => {}
+            Ok(false) => break,
+            Err(CsvLineError::TooLong) => {
+                return Err(err(
+                    line_no,
+                    format!("line exceeds the {}-byte limit", opts.max_line_bytes),
+                ))
+            }
+            Err(CsvLineError::Io(msg)) => return Err(err(line_no, msg)),
+        }
+        let line = std::str::from_utf8(&line_bytes)
+            .map_err(|_| err(line_no, "line is not valid UTF-8"))?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
             continue;
         }
-        let fields: Vec<&str> = trimmed.split(opts.delimiter).map(str::trim).collect();
+        // Bound the field count before collecting: `take` caps the
+        // allocation, and seeing one element past the cap distinguishes
+        // "exactly at the limit" from "over it".
+        let fields: Vec<&str> = trimmed
+            .split(opts.delimiter)
+            .take(opts.max_fields + 1)
+            .map(str::trim)
+            .collect();
+        if fields.len() > opts.max_fields {
+            return Err(err(
+                line_no,
+                format!("line has more than {} fields", opts.max_fields),
+            ));
+        }
         if let Some(label_col) = opts.label_column {
             if label_col >= fields.len() {
                 return Err(err(
@@ -319,6 +404,72 @@ mod tests {
     #[test]
     fn empty_file_is_an_error() {
         assert!(read_csv("".as_bytes(), &CsvOptions::default()).is_err());
+    }
+
+    #[test]
+    fn oversized_line_errors_with_line_number_not_oom() {
+        // A hostile "CSV": line 3 is one enormous newline-free run. With a
+        // small budget the reader must stop at the budget, not buffer the
+        // whole run.
+        let mut content = b"1,2\n3,4\n".to_vec();
+        content.extend(std::iter::repeat(b'9').take(1 << 16));
+        let opts = CsvOptions {
+            max_line_bytes: 256,
+            normalize: false,
+            ..CsvOptions::default()
+        };
+        let e = read_csv(content.as_slice(), &opts).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("256-byte limit"), "{}", e.message);
+
+        // Same budget, compliant file: loads fine.
+        let ok = read_csv(&b"1,2\n3,4\n"[..], &opts).unwrap();
+        assert_eq!(ok.data.shape(), (2, 2));
+
+        // A line exactly at the budget is accepted (newline excluded).
+        let exact = format!("{}\n", "1,".repeat(127) + "1"); // 255 bytes
+        let ds = read_csv(exact.as_bytes(), &opts).unwrap();
+        assert_eq!(ds.data.rows(), 1);
+    }
+
+    #[test]
+    fn too_many_fields_errors_with_line_number() {
+        let content = "1,2,3\n".repeat(2) + &"9,".repeat(40) + "9\n";
+        let opts = CsvOptions {
+            max_fields: 8,
+            normalize: false,
+            ..CsvOptions::default()
+        };
+        let e = read_csv(content.as_bytes(), &opts).unwrap_err();
+        assert_eq!(e.line, 3);
+        assert!(e.message.contains("more than 8 fields"), "{}", e.message);
+
+        // Exactly at the cap is fine.
+        let at_cap = "1,2,3,4,5,6,7,8\n";
+        assert_eq!(
+            read_csv(at_cap.as_bytes(), &opts).unwrap().data.shape(),
+            (1, 8)
+        );
+    }
+
+    #[test]
+    fn invalid_utf8_errors_with_line_number() {
+        let mut content = b"1,2\n".to_vec();
+        content.extend([0xff, 0xfe, b',', b'2', b'\n']);
+        let e = read_csv(content.as_slice(), &CsvOptions::default()).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("UTF-8"), "{}", e.message);
+    }
+
+    #[test]
+    fn final_line_without_newline_still_loads() {
+        let ds = read_csv(&b"1,2\n3,4"[..], &CsvOptions {
+            normalize: false,
+            ..CsvOptions::default()
+        })
+        .unwrap();
+        assert_eq!(ds.data.shape(), (2, 2));
+        assert_eq!(ds.data.get(1, 1), 4.0);
     }
 
     #[test]

@@ -1,0 +1,171 @@
+//! Exhaustive mutation drill for the checkpoint loader.
+//!
+//! The in-module round-trip tests check *selected* truncation lengths and
+//! bit flips; this drill is systematic: every truncation length of a real
+//! checkpoint, plus seeded random single-byte flips across the whole file,
+//! must yield a typed [`CheckpointError`] or (for flips the CRC cannot
+//! distinguish, e.g. in ignored padding — there are none today) a valid
+//! checkpoint. Nothing may panic, and a failed `load` must never leave a
+//! partially-restored [`ParamStore`] behind.
+
+// Test code: unwraps are the assertions themselves here.
+#![allow(clippy::unwrap_used, clippy::panic)]
+
+use adec_nn::{Activation, Checkpoint, CheckpointError, Mlp, ParamStore};
+use adec_tensor::{Matrix, SeedRng};
+
+/// A checkpoint with some of everything: params, optimizer state, RNG
+/// cache, extra words.
+fn make_checkpoint() -> (Checkpoint, ParamStore) {
+    let mut rng = SeedRng::new(77);
+    // Burn a normal so the checkpoint carries a cached gaussian word.
+    let _ = rng.standard_normal();
+    let mut store = ParamStore::new();
+    Mlp::new(&mut store, &[5, 4, 2], Activation::Relu, Activation::Linear, &mut rng);
+    store.register("dec.centroids", Matrix::randn(3, 2, 0.0, 1.0, &mut rng));
+    let ck = Checkpoint {
+        phase: "dec".into(),
+        iter: 42,
+        rng: rng.export_state(),
+        store: store.clone(),
+        opts: vec![],
+        extra: vec![9, 8, 7],
+    };
+    (ck, store)
+}
+
+/// A decode that fails must be a typed error, never a panic. Returns the
+/// error for classification. (A decode that *succeeds* under mutation is
+/// only acceptable if the bytes were actually unchanged.)
+fn decode_must_be_total(bytes: &[u8], original: &[u8]) -> Option<CheckpointError> {
+    match Checkpoint::decode(bytes) {
+        Err(e) => {
+            // The Display impl must be total too (it feeds CLI errors).
+            let _ = e.to_string();
+            Some(e)
+        }
+        Ok(_) => {
+            assert_eq!(
+                bytes, original,
+                "a mutated byte stream decoded successfully"
+            );
+            None
+        }
+    }
+}
+
+#[test]
+fn every_truncation_length_errors_cleanly() {
+    let (ck, _) = make_checkpoint();
+    let bytes = ck.encode().unwrap();
+    assert!(Checkpoint::decode(&bytes).is_ok());
+    // Every proper prefix, byte by byte — including the empty file.
+    for cut in 0..bytes.len() {
+        let prefix = bytes.get(..cut).unwrap();
+        let err = decode_must_be_total(prefix, &bytes)
+            .unwrap_or_else(|| panic!("truncation to {cut} bytes decoded successfully"));
+        drop(err);
+    }
+}
+
+#[test]
+fn seeded_single_byte_flips_error_cleanly() {
+    let (ck, _) = make_checkpoint();
+    let bytes = ck.encode().unwrap();
+    let mut rng = SeedRng::new(2024);
+    let mut flips_rejected = 0usize;
+    for _ in 0..500 {
+        let pos = rng.below(bytes.len());
+        let bit = rng.below(8) as u8;
+        let mut mutated = bytes.clone();
+        let byte = mutated.get_mut(pos).unwrap();
+        *byte ^= 1 << bit;
+        if decode_must_be_total(&mutated, &bytes).is_some() {
+            flips_rejected += 1;
+        }
+    }
+    // CRC32 catches every single-bit flip in the payload; header flips
+    // fail structurally. All 500 must be rejected.
+    assert_eq!(flips_rejected, 500, "some single-bit flip went undetected");
+}
+
+#[test]
+fn every_single_byte_zeroing_errors_cleanly() {
+    // Denser than random flips: zero each byte in turn (skipping bytes
+    // that are already zero, where nothing changes).
+    let (ck, _) = make_checkpoint();
+    let bytes = ck.encode().unwrap();
+    for pos in 0..bytes.len() {
+        if bytes.get(pos).copied() == Some(0) {
+            continue;
+        }
+        let mut mutated = bytes.clone();
+        if let Some(b) = mutated.get_mut(pos) {
+            *b = 0;
+        }
+        assert!(
+            decode_must_be_total(&mutated, &bytes).is_some(),
+            "zeroing byte {pos} went undetected"
+        );
+    }
+}
+
+#[test]
+fn failed_restore_never_partially_applies() {
+    let (ck, template) = make_checkpoint();
+    // A live store with the right names/shapes but different values.
+    let mut live = ParamStore::new();
+    for (_, name, value) in template.iter() {
+        live.register(name.to_string(), Matrix::zeros(value.rows(), value.cols()));
+    }
+    let before: Vec<Vec<f32>> = live.iter().map(|(_, _, m)| m.as_slice().to_vec()).collect();
+
+    // Break the checkpoint's store in a way only positional validation can
+    // catch: swap one matrix for a wrong shape.
+    let mut bad = ck.clone();
+    let victim = bad.store.iter().map(|(id, _, _)| id).next().unwrap();
+    *bad.store.get_mut(victim) = Matrix::zeros(1, 1);
+    assert!(bad.restore_store(&mut live).is_err());
+
+    // Nothing was written: all-or-nothing held.
+    let after: Vec<Vec<f32>> = live.iter().map(|(_, _, m)| m.as_slice().to_vec()).collect();
+    assert_eq!(before, after, "failed restore mutated the live store");
+
+    // And the intact checkpoint still applies fully.
+    ck.restore_store(&mut live).unwrap();
+    let restored: Vec<Vec<f32>> = live.iter().map(|(_, _, m)| m.as_slice().to_vec()).collect();
+    let expected: Vec<Vec<f32>> = ck.store.iter().map(|(_, _, m)| m.as_slice().to_vec()).collect();
+    assert_eq!(restored, expected);
+}
+
+#[test]
+fn mutated_files_on_disk_error_cleanly_via_load() {
+    // The same guarantee through the file-based path the CLI uses.
+    let (ck, _) = make_checkpoint();
+    let dir = std::env::temp_dir().join(format!("adec-ckpt-mutation-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("m.ckpt");
+    let bytes = ck.encode().unwrap();
+
+    let mut rng = SeedRng::new(5);
+    for _ in 0..20 {
+        let cut = rng.below(bytes.len());
+        std::fs::write(&path, bytes.get(..cut).unwrap()).unwrap();
+        assert!(Checkpoint::load(&path).is_err(), "prefix {cut} loaded");
+    }
+    for _ in 0..20 {
+        let pos = rng.below(bytes.len());
+        let mut mutated = bytes.clone();
+        if let Some(b) = mutated.get_mut(pos) {
+            *b = b.wrapping_add(1 + rng.below(255) as u8);
+        }
+        std::fs::write(&path, &mutated).unwrap();
+        match Checkpoint::load(&path) {
+            Err(e) => {
+                let _ = e.to_string();
+            }
+            Ok(_) => assert_eq!(mutated, bytes, "mutated file at byte {pos} loaded"),
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

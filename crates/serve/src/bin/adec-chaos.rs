@@ -1,0 +1,114 @@
+//! Chaos client for CI: runs the deterministic hostile-input drill
+//! against an `adec serve` process listening on `127.0.0.1:<port>`.
+//!
+//! Usage: `adec-chaos --port 8423 [--max-inflight 32] [--read-deadline-ms 2000] [--seed 7] [--shutdown]`
+//!
+//! Exit codes: 0 = every scenario passed, 1 = a scenario failed,
+//! 2 = usage error. With `--shutdown`, the drill finishes by POSTing
+//! `/shutdown` and verifying the server drains (connection refused soon
+//! after) — CI then asserts the *server* exited 0.
+
+use adec_serve::chaos;
+use std::net::{Ipv4Addr, SocketAddr, TcpStream};
+use std::time::{Duration, Instant};
+
+struct Args {
+    port: u16,
+    max_inflight: usize,
+    read_deadline_ms: u64,
+    seed: u64,
+    shutdown: bool,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut args = Args {
+        port: 0,
+        max_inflight: 32,
+        read_deadline_ms: 2_000,
+        seed: 7,
+        shutdown: false,
+    };
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut take = |name: &str| -> Result<&String, String> {
+            it.next().ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag.as_str() {
+            "--port" => args.port = take("--port")?.parse().map_err(|e| format!("--port: {e}"))?,
+            "--max-inflight" => {
+                args.max_inflight = take("--max-inflight")?
+                    .parse()
+                    .map_err(|e| format!("--max-inflight: {e}"))?
+            }
+            "--read-deadline-ms" => {
+                args.read_deadline_ms = take("--read-deadline-ms")?
+                    .parse()
+                    .map_err(|e| format!("--read-deadline-ms: {e}"))?
+            }
+            "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
+            "--shutdown" => args.shutdown = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    if args.port == 0 {
+        return Err("--port is required".into());
+    }
+    Ok(args)
+}
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let args = match parse_args(&argv) {
+        Ok(a) => a,
+        Err(msg) => {
+            eprintln!("adec-chaos: {msg}");
+            eprintln!("usage: adec-chaos --port <p> [--max-inflight n] [--read-deadline-ms n] [--seed n] [--shutdown]");
+            std::process::exit(2);
+        }
+    };
+    let addr = SocketAddr::from((Ipv4Addr::LOCALHOST, args.port));
+
+    // Wait for readiness: the server may still be loading the checkpoint.
+    let ready_by = Instant::now() + Duration::from_secs(30);
+    loop {
+        if chaos::discover_input_dim(addr).is_some() {
+            break;
+        }
+        if Instant::now() > ready_by {
+            eprintln!("adec-chaos: server at {addr} never became ready");
+            std::process::exit(1);
+        }
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    let report = chaos::run_drill(addr, args.max_inflight, args.read_deadline_ms, args.seed);
+    print!("{}", report.render());
+    if !report.all_passed() {
+        std::process::exit(1);
+    }
+
+    if args.shutdown {
+        match chaos::post(addr, "/shutdown", b"") {
+            Ok(Some((200, _))) => {}
+            other => {
+                eprintln!("adec-chaos: POST /shutdown answered {other:?}, want 200");
+                std::process::exit(1);
+            }
+        }
+        // Drain must complete: within the grace window new connections
+        // start failing (listener closed).
+        let gone_by = Instant::now() + Duration::from_secs(30);
+        loop {
+            match TcpStream::connect_timeout(&addr, Duration::from_millis(250)) {
+                Err(_) => break,
+                Ok(s) => drop(s),
+            }
+            if Instant::now() > gone_by {
+                eprintln!("adec-chaos: server still accepting 30s after /shutdown");
+                std::process::exit(1);
+            }
+            std::thread::sleep(Duration::from_millis(100));
+        }
+        println!("PASS shutdown-drain: listener closed after /shutdown");
+    }
+}

@@ -1,0 +1,406 @@
+//! Deterministic chaos drill for the serving path.
+//!
+//! One harness, two callers: the in-process integration tests
+//! (`crates/serve/tests/chaos.rs`) run it against a [`crate::server::ServerHandle`]
+//! inside the test process, and the `adec-chaos` binary runs the *same*
+//! scenarios against the real release binary in CI. Every byte of hostile
+//! input comes from [`adec_tensor::SeedRng`], so a failing drill replays
+//! exactly.
+//!
+//! Scenarios (each ends by asserting the server still answers `/healthz`):
+//!
+//! - **garbage** — seeded random bytes, never a valid request → 400.
+//! - **truncation** — valid request prefixes cut at every interesting
+//!   length, then the socket closes → no response expected, no crash.
+//! - **huge head / huge body** — exceed the byte budgets → 431 / 413,
+//!   including an *honest* oversized `Content-Length` rejected before the
+//!   body uploads.
+//! - **slowloris** — bytes dripped slower than the read deadline → 408.
+//! - **mid-body reset** — declare a body, send half, reset the socket.
+//! - **flood** — more concurrent connections than `max_inflight` →
+//!   some 200s, some 503 + `Retry-After`, zero hangs.
+//! - **determinism** — the same `/assign` body sent twice must produce
+//!   byte-identical responses.
+
+use adec_tensor::SeedRng;
+use std::io::{Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// How long the client waits for any single response before declaring the
+/// server wedged. Generous: CI machines stall.
+const CLIENT_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// One scenario's verdict.
+#[derive(Debug, Clone)]
+pub struct ScenarioResult {
+    /// Scenario name (stable, used in CI asserts).
+    pub name: &'static str,
+    /// Human-readable pass/fail detail.
+    pub detail: String,
+    /// Whether the scenario held.
+    pub passed: bool,
+}
+
+/// Full drill report.
+#[derive(Debug, Clone)]
+pub struct DrillReport {
+    /// Per-scenario verdicts, in execution order.
+    pub scenarios: Vec<ScenarioResult>,
+}
+
+impl DrillReport {
+    /// True when every scenario passed.
+    pub fn all_passed(&self) -> bool {
+        self.scenarios.iter().all(|s| s.passed)
+    }
+
+    /// Plain-text table for logs.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for s in &self.scenarios {
+            out.push_str(if s.passed { "PASS " } else { "FAIL " });
+            out.push_str(s.name);
+            out.push_str(": ");
+            out.push_str(&s.detail);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// A raw HTTP exchange: connect, send `payload`, read until EOF.
+/// Returns the response bytes (possibly empty if the server just closed).
+fn exchange(addr: SocketAddr, payload: &[u8]) -> std::io::Result<Vec<u8>> {
+    let mut stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
+    stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.set_write_timeout(Some(CLIENT_TIMEOUT))?;
+    stream.write_all(payload)?;
+    let _ = stream.shutdown(Shutdown::Write);
+    let mut out = Vec::new();
+    let _ = stream.read_to_end(&mut out);
+    Ok(out)
+}
+
+/// Extracts the status code from a raw HTTP/1.1 response.
+fn status_of(response: &[u8]) -> Option<u16> {
+    let text = std::str::from_utf8(response.get(..response.len().min(64))?).ok()?;
+    let mut parts = text.split(' ');
+    if !parts.next()?.starts_with("HTTP/1.") {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+/// Splits a response into (status, body).
+fn parse_response(response: &[u8]) -> Option<(u16, Vec<u8>)> {
+    let status = status_of(response)?;
+    let sep = response.windows(4).position(|w| w == b"\r\n\r\n")?;
+    Some((status, response.get(sep + 4..).unwrap_or(&[]).to_vec()))
+}
+
+/// GETs a path and returns (status, body).
+pub fn get(addr: SocketAddr, path: &str) -> std::io::Result<Option<(u16, Vec<u8>)>> {
+    let payload = format!("GET {path} HTTP/1.1\r\nhost: chaos\r\n\r\n");
+    Ok(parse_response(&exchange(addr, payload.as_bytes())?))
+}
+
+/// POSTs a body to a path and returns (status, body).
+pub fn post(addr: SocketAddr, path: &str, body: &[u8]) -> std::io::Result<Option<(u16, Vec<u8>)>> {
+    let mut payload = format!(
+        "POST {path} HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\n\r\n",
+        body.len()
+    )
+    .into_bytes();
+    payload.extend_from_slice(body);
+    Ok(parse_response(&exchange(addr, &payload)?))
+}
+
+/// Pulls `input_dim` out of a `/readyz` JSON body without a JSON parser:
+/// the field is a bare integer the service itself rendered.
+fn extract_int_field(body: &[u8], field: &str) -> Option<usize> {
+    let text = std::str::from_utf8(body).ok()?;
+    let key = format!("\"{field}\":");
+    let start = text.find(&key)? + key.len();
+    let digits: String = text
+        .get(start..)?
+        .chars()
+        .take_while(|c| c.is_ascii_digit())
+        .collect();
+    digits.parse().ok()
+}
+
+/// Probes `/readyz` for the model's accepted input width.
+pub fn discover_input_dim(addr: SocketAddr) -> Option<usize> {
+    let (status, body) = get(addr, "/readyz").ok()??;
+    if status != 200 {
+        return None;
+    }
+    extract_int_field(&body, "input_dim")
+}
+
+/// A deterministic CSV batch in the model's input width.
+pub fn sample_body(input_dim: usize, rows: usize, seed: u64) -> Vec<u8> {
+    let mut rng = SeedRng::new(seed);
+    let mut out = String::new();
+    for _ in 0..rows {
+        for c in 0..input_dim {
+            if c > 0 {
+                out.push(',');
+            }
+            // Values in [-2, 2): well inside the magnitude bound.
+            let v = rng.below(4000) as f32 / 1000.0 - 2.0;
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+fn healthz_alive(addr: SocketAddr) -> bool {
+    matches!(get(addr, "/healthz"), Ok(Some((200, _))))
+}
+
+fn result(name: &'static str, passed: bool, detail: String) -> ScenarioResult {
+    ScenarioResult {
+        name,
+        detail,
+        passed,
+    }
+}
+
+/// Asserts the server survived a scenario: still answers `/healthz` 200.
+fn with_liveness(name: &'static str, addr: SocketAddr, passed: bool, detail: String) -> ScenarioResult {
+    if !passed {
+        return result(name, false, detail);
+    }
+    if healthz_alive(addr) {
+        result(name, true, detail)
+    } else {
+        result(name, false, format!("{detail}; BUT /healthz died afterwards"))
+    }
+}
+
+/// Runs every scenario against a live server. `max_inflight` and
+/// `read_deadline_ms` must match the server's config so the flood and
+/// slowloris scenarios size themselves correctly.
+pub fn run_drill(
+    addr: SocketAddr,
+    max_inflight: usize,
+    read_deadline_ms: u64,
+    seed: u64,
+) -> DrillReport {
+    let mut scenarios = Vec::new();
+    let mut rng = SeedRng::new(seed);
+
+    // -- readiness + discovery ------------------------------------------
+    let input_dim = discover_input_dim(addr);
+    scenarios.push(result(
+        "readyz-discovery",
+        input_dim.is_some(),
+        format!("input_dim={input_dim:?}"),
+    ));
+    let input_dim = input_dim.unwrap_or(1);
+
+    // -- garbage bytes ---------------------------------------------------
+    let mut garbage_ok = true;
+    let mut garbage_detail = String::from("all rejected with 400");
+    for i in 0..8 {
+        let n = 1 + rng.below(200);
+        let noise: Vec<u8> = (0..n).map(|_| rng.below(256) as u8).collect();
+        // Terminate the head so the server must judge the bytes, not wait.
+        let mut payload = noise;
+        payload.extend_from_slice(b"\r\n\r\n");
+        match exchange(addr, &payload).ok().and_then(|r| status_of(&r)) {
+            Some(400) | Some(431) => {}
+            other => {
+                garbage_ok = false;
+                garbage_detail = format!("garbage #{i} answered {other:?}, want 400/431");
+                break;
+            }
+        }
+    }
+    scenarios.push(with_liveness("garbage", addr, garbage_ok, garbage_detail));
+
+    // -- truncations -----------------------------------------------------
+    let full = {
+        let body = sample_body(input_dim, 2, seed ^ 1);
+        let mut p = format!(
+            "POST /assign HTTP/1.1\r\nhost: chaos\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        )
+        .into_bytes();
+        p.extend_from_slice(&body);
+        p
+    };
+    let mut trunc_ok = true;
+    let mut trunc_detail = format!("{} prefixes survived", full.len().min(24) + 3);
+    for cut in (0..full.len().min(24)).chain([full.len() / 2, full.len().saturating_sub(1), full.len().saturating_sub(3)]) {
+        let prefix = full.get(..cut).unwrap_or(&full);
+        if exchange(addr, prefix).is_err() {
+            trunc_ok = false;
+            trunc_detail = format!("connect failed at cut={cut}");
+            break;
+        }
+    }
+    scenarios.push(with_liveness("truncation", addr, trunc_ok, trunc_detail));
+
+    // -- huge head -------------------------------------------------------
+    let mut huge_head = b"GET /assign HTTP/1.1\r\npad: ".to_vec();
+    huge_head.extend(std::iter::repeat(b'x').take(64 * 1024));
+    let head_status = exchange(addr, &huge_head).ok().and_then(|r| status_of(&r));
+    scenarios.push(with_liveness(
+        "huge-head",
+        addr,
+        head_status == Some(431),
+        format!("answered {head_status:?}, want 431"),
+    ));
+
+    // -- huge body (honest content-length, rejected pre-upload) ----------
+    let huge_decl = b"POST /assign HTTP/1.1\r\nhost: chaos\r\ncontent-length: 999999999\r\n\r\n";
+    let body_status = exchange(addr, huge_decl).ok().and_then(|r| status_of(&r));
+    scenarios.push(with_liveness(
+        "huge-body",
+        addr,
+        body_status == Some(413),
+        format!("answered {body_status:?}, want 413"),
+    ));
+
+    // -- slowloris -------------------------------------------------------
+    let slow = (|| -> std::io::Result<Option<u16>> {
+        let mut stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
+        stream.set_read_timeout(Some(CLIENT_TIMEOUT))?;
+        let drip = Duration::from_millis((read_deadline_ms / 4).max(10));
+        // Drip a byte at a time for ~2x the read deadline.
+        for b in b"GET /hea".iter().cycle().take(12) {
+            if stream.write_all(&[*b]).is_err() {
+                break; // server already gave up on us — that's the point
+            }
+            std::thread::sleep(drip);
+        }
+        let mut out = Vec::new();
+        let _ = stream.read_to_end(&mut out);
+        Ok(status_of(&out))
+    })();
+    let slow_pass = matches!(slow, Ok(Some(408)) | Ok(None));
+    scenarios.push(with_liveness(
+        "slowloris",
+        addr,
+        slow_pass,
+        format!("answered {slow:?}, want 408 or cutoff"),
+    ));
+
+    // -- mid-body reset --------------------------------------------------
+    // std offers no stable SO_LINGER, so the rudest goodbye available is
+    // an abrupt close with the declared body mostly unsent; the server
+    // sees EOF/ECONNRESET mid-body either way.
+    let reset_ok = (|| -> std::io::Result<()> {
+        let mut stream = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT)?;
+        stream.write_all(b"POST /assign HTTP/1.1\r\nhost: chaos\r\ncontent-length: 1000\r\n\r\nhalf,of,a")?;
+        let _ = stream.shutdown(Shutdown::Both);
+        drop(stream);
+        Ok(())
+    })()
+    .is_ok();
+    scenarios.push(with_liveness(
+        "mid-body-reset",
+        addr,
+        reset_ok,
+        "socket closed mid-body".to_string(),
+    ));
+
+    // -- flood -----------------------------------------------------------
+    let flood_n = max_inflight * 2 + 8;
+    let flood_threads: Vec<_> = (0..flood_n)
+        .map(|_| {
+            std::thread::spawn(move || {
+                get(addr, "/healthz").ok().flatten().map(|(s, _)| s)
+            })
+        })
+        .collect();
+    let mut ok200 = 0usize;
+    let mut busy503 = 0usize;
+    let mut other = 0usize;
+    for t in flood_threads {
+        match t.join() {
+            Ok(Some(200)) => ok200 += 1,
+            Ok(Some(503)) => busy503 += 1,
+            _ => other += 1,
+        }
+    }
+    // Every connection must get SOME typed answer; at least one must be
+    // served. (Whether 503s appear depends on scheduling, so they are
+    // reported, not required.)
+    let flood_pass = ok200 >= 1 && other == 0;
+    scenarios.push(with_liveness(
+        "flood",
+        addr,
+        flood_pass,
+        format!("{flood_n} conns: {ok200}x200 {busy503}x503 {other}x other"),
+    ));
+
+    // -- determinism -----------------------------------------------------
+    let body = sample_body(input_dim, 16, seed ^ 2);
+    let first = post(addr, "/assign", &body).ok().flatten();
+    let second = post(addr, "/assign", &body).ok().flatten();
+    let det_pass = match (&first, &second) {
+        (Some((200, a)), Some((200, b))) => a == b,
+        _ => false,
+    };
+    scenarios.push(with_liveness(
+        "determinism",
+        addr,
+        det_pass,
+        match (&first, &second) {
+            (Some((200, a)), Some((200, b))) if a == b => {
+                format!("two identical {}–byte responses", a.len())
+            }
+            (a, b) => format!(
+                "statuses {:?}/{:?} or bodies differ",
+                a.as_ref().map(|x| x.0),
+                b.as_ref().map(|x| x.0)
+            ),
+        },
+    ));
+
+    DrillReport { scenarios }
+}
+
+#[cfg(test)]
+// Test code: unwraps are the assertions themselves here.
+#[allow(clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn status_line_parsing() {
+        assert_eq!(status_of(b"HTTP/1.1 200 OK\r\n\r\n"), Some(200));
+        assert_eq!(status_of(b"HTTP/1.1 503 Busy\r\n"), Some(503));
+        assert_eq!(status_of(b"garbage"), None);
+        assert_eq!(status_of(b""), None);
+    }
+
+    #[test]
+    fn int_field_extraction() {
+        let body = br#"{"ready":true,"mode":"full","input_dim":64,"clusters":10}"#;
+        assert_eq!(extract_int_field(body, "input_dim"), Some(64));
+        assert_eq!(extract_int_field(body, "clusters"), Some(10));
+        assert_eq!(extract_int_field(body, "missing"), None);
+    }
+
+    #[test]
+    fn sample_bodies_are_deterministic_and_parse() {
+        let a = sample_body(4, 3, 9);
+        let b = sample_body(4, 3, 9);
+        assert_eq!(a, b);
+        let text = String::from_utf8(a).unwrap();
+        assert_eq!(text.lines().count(), 3);
+        for line in text.lines() {
+            assert_eq!(line.split(',').count(), 4);
+            for f in line.split(',') {
+                let v: f32 = f.parse().unwrap();
+                assert!(v.is_finite() && v.abs() <= 2.0);
+            }
+        }
+    }
+}

@@ -1,0 +1,27 @@
+//! `adec-serve`: a hardened, dependency-free inference service.
+//!
+//! The paper's end product is an assignment function — soft assignments
+//! `q_ij` of samples to centroids in the learned embedding (DEC/IDEC
+//! Eq. 1). Training runs were made durable in PR 3; this crate makes the
+//! *serving* path equally robust: it loads a training checkpoint
+//! ([`adec_nn::Checkpoint`]), reconstructs the encoder + centroids
+//! ([`model::InferenceModel`]), and answers over a hand-rolled HTTP/1.1
+//! layer on `std::net` ([`server::ServerHandle`]) with explicit byte
+//! budgets, per-socket read deadlines, per-request compute deadlines,
+//! bounded-queue backpressure, graceful degradation when tensors are
+//! missing or corrupt, and graceful drain on shutdown.
+//!
+//! Everything is standard library only — the workspace's hermetic-build
+//! rule applies to the service too.
+//!
+//! The [`chaos`] module is the drill that keeps all of the above honest:
+//! the same deterministic hostile-client scenarios run in-process in this
+//! crate's tests and against the real release binary in CI (`adec-chaos`).
+
+pub mod chaos;
+pub mod http;
+pub mod model;
+pub mod server;
+
+pub use model::{Assignment, InferenceModel, ModelError, ServeMode};
+pub use server::{ServeError, ServeStats, ServerConfig, ServerHandle};

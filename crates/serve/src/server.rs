@@ -1,0 +1,630 @@
+//! The service proper: acceptor + bounded queue + worker pool.
+//!
+//! Threading model (all std): one acceptor thread owns the listener;
+//! accepted sockets go into a bounded `Mutex<VecDeque>` guarded by a
+//! `Condvar`. When the queue is full the *acceptor* answers `503` with
+//! `Retry-After` and closes — memory stays bounded no matter how fast
+//! connections arrive, which is the backpressure contract. Workers pop
+//! sockets, read one request under byte + time budgets
+//! ([`crate::http::read_request`]), answer it, and close: the service is
+//! one-request-per-connection by design.
+//!
+//! Graceful shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) sets
+//! a flag, wakes the acceptor with a loopback self-connect, and lets the
+//! workers drain everything already queued before they exit; [`ServerHandle::join`]
+//! then returns the final [`ServeStats`]. Nothing in-flight is dropped.
+//!
+//! Two deadlines bound every request: the *read* deadline starts at accept
+//! time (so a connection cannot dodge it by waiting in the queue) and the
+//! *compute* deadline bounds the forward pass, checked between row chunks
+//! so even a maximal batch cannot overshoot by much.
+
+use crate::http::{read_request, write_response, HttpError, Limits, Method, Request};
+use crate::model::{AssignError, Assignment, InferenceModel, ServeMode, MAX_FEATURE_MAGNITUDE};
+use std::collections::VecDeque;
+use std::io::Read;
+use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Rows processed between compute-deadline checks.
+const ASSIGN_CHUNK_ROWS: usize = 32;
+
+/// Tuning knobs; every field has a safe default.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Port to bind on 127.0.0.1 (0 = ephemeral, report via [`ServerHandle::port`]).
+    pub port: u16,
+    /// Worker threads answering requests.
+    pub workers: usize,
+    /// Bound on the accepted-but-unserved queue; beyond it the acceptor
+    /// answers 503 + Retry-After.
+    pub max_inflight: usize,
+    /// Per-request compute budget in milliseconds (0 = reject all compute,
+    /// useful for drills).
+    pub deadline_ms: u64,
+    /// Per-socket read budget in milliseconds, measured from accept.
+    pub read_deadline_ms: u64,
+    /// Byte budgets for heads and bodies.
+    pub limits: Limits,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            port: 0,
+            workers: 2,
+            max_inflight: 32,
+            deadline_ms: 2_000,
+            read_deadline_ms: 2_000,
+            limits: Limits::default(),
+        }
+    }
+}
+
+/// Failures starting the service (per-request failures never surface here).
+#[derive(Debug)]
+pub enum ServeError {
+    /// Could not bind/configure the listener.
+    Bind(std::io::Error),
+    /// Invalid configuration (zero workers, zero queue).
+    Config(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Bind(e) => write!(f, "bind failed: {e}"),
+            ServeError::Config(msg) => write!(f, "bad config: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Monotonic counters, readable while running via `GET /statz` and
+/// returned by [`ServerHandle::join`].
+#[derive(Debug, Default)]
+pub struct Stats {
+    /// Requests answered 200.
+    pub served: AtomicU64,
+    /// Connections refused with 503 at the accept gate.
+    pub rejected_busy: AtomicU64,
+    /// Requests answered with a 4xx/5xx protocol or validation error.
+    pub client_errors: AtomicU64,
+    /// Sockets that vanished before a full request arrived.
+    pub disconnects: AtomicU64,
+    /// Compute-deadline expiries (503 deadline).
+    pub deadline_expired: AtomicU64,
+    /// Worker panics caught and answered with 500 (should stay 0; the
+    /// counter exists so the chaos drill can *prove* it stayed 0).
+    pub caught_panics: AtomicU64,
+}
+
+/// Plain-value snapshot of [`Stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeStats {
+    /// Requests answered 200.
+    pub served: u64,
+    /// Connections refused with 503 at the accept gate.
+    pub rejected_busy: u64,
+    /// Requests answered with a 4xx/5xx protocol or validation error.
+    pub client_errors: u64,
+    /// Sockets that vanished before a full request arrived.
+    pub disconnects: u64,
+    /// Compute-deadline expiries.
+    pub deadline_expired: u64,
+    /// Worker panics caught (0 in a healthy run).
+    pub caught_panics: u64,
+}
+
+impl Stats {
+    fn snapshot(&self) -> ServeStats {
+        ServeStats {
+            served: self.served.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            client_errors: self.client_errors.load(Ordering::Relaxed),
+            disconnects: self.disconnects.load(Ordering::Relaxed),
+            deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
+            caught_panics: self.caught_panics.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Shared state between acceptor, workers, and the handle.
+struct Shared {
+    model: InferenceModel,
+    config: ServerConfig,
+    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    wake: Condvar,
+    shutting_down: AtomicBool,
+    stats: Stats,
+    addr: SocketAddr,
+}
+
+impl Shared {
+    /// Flips the shutdown flag and wakes everyone: workers via the
+    /// condvar, the acceptor via a loopback self-connect (the only way to
+    /// interrupt a blocking `accept` with std alone).
+    fn begin_shutdown(&self) {
+        if self.shutting_down.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.wake.notify_all();
+        if let Ok(s) = TcpStream::connect(self.addr) {
+            drop(s);
+        }
+    }
+}
+
+/// Running service; dropping it without [`ServerHandle::join`] detaches the
+/// threads (they keep serving), so tests and the CLI always join.
+pub struct ServerHandle {
+    shared: Arc<Shared>,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Binds 127.0.0.1 and spawns the acceptor + worker pool.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Config`] on zero workers/queue, [`ServeError::Bind`]
+    /// when the port is unavailable.
+    pub fn start(model: InferenceModel, config: ServerConfig) -> Result<ServerHandle, ServeError> {
+        if config.workers == 0 {
+            return Err(ServeError::Config("workers must be >= 1".into()));
+        }
+        if config.max_inflight == 0 {
+            return Err(ServeError::Config("max-inflight must be >= 1".into()));
+        }
+        let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))
+            .map_err(ServeError::Bind)?;
+        let addr = listener.local_addr().map_err(ServeError::Bind)?;
+        let shared = Arc::new(Shared {
+            model,
+            config,
+            queue: Mutex::new(VecDeque::new()),
+            wake: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            stats: Stats::default(),
+            addr,
+        });
+        let workers = (0..shared.config.workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("adec-serve-worker-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .map_err(ServeError::Bind)
+            })
+            .collect::<Result<Vec<_>, _>>()?;
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("adec-serve-acceptor".into())
+                .spawn(move || accept_loop(&listener, &shared))
+                .map_err(ServeError::Bind)?
+        };
+        Ok(ServerHandle {
+            shared,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (useful with `port: 0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.shared.addr
+    }
+
+    /// The bound port.
+    pub fn port(&self) -> u16 {
+        self.shared.addr.port()
+    }
+
+    /// Point-in-time counters.
+    pub fn stats(&self) -> ServeStats {
+        self.shared.stats.snapshot()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain the queue.
+    /// Idempotent; returns immediately (pair with [`ServerHandle::join`]).
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+
+    /// Blocks until every thread has drained and exited, then reports the
+    /// final counters.
+    pub fn join(mut self) -> ServeStats {
+        for w in self.workers.drain(..) {
+            let _ = w.join();
+        }
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.shared.stats.snapshot()
+    }
+}
+
+/// Acceptor: admit into the bounded queue, or 503 on the spot.
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    for conn in listener.incoming() {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            break;
+        }
+        let stream = match conn {
+            Ok(s) => s,
+            Err(_) => continue, // transient accept error; keep serving
+        };
+        let accepted_at = Instant::now();
+        let admitted = {
+            let mut q = match shared.queue.lock() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            if q.len() < shared.config.max_inflight {
+                q.push_back((stream, accepted_at));
+                true
+            } else {
+                drop(q);
+                shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                let mut stream = stream;
+                let _ = write_response(
+                    &mut stream,
+                    503,
+                    &[("retry-after", "1")],
+                    "application/json",
+                    br#"{"error":"busy","detail":"request queue is full"}"#,
+                );
+                false
+            }
+        };
+        if admitted {
+            shared.wake.notify_one();
+        }
+    }
+}
+
+/// Worker: pop → serve → close, until shutdown *and* the queue is dry.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let popped = {
+            let mut q = match shared.queue.lock() {
+                Ok(q) => q,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            loop {
+                if let Some(item) = q.pop_front() {
+                    break Some(item);
+                }
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    break None;
+                }
+                q = match shared.wake.wait(q) {
+                    Ok(q) => q,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+            }
+        };
+        let (mut stream, accepted_at) = match popped {
+            Some(item) => item,
+            None => return,
+        };
+        // The request handler is lint-proven panic-free; catch_unwind is
+        // the last line of defence so a bug costs one 500, not a worker.
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            serve_connection(shared, &mut stream, accepted_at);
+        }));
+        if outcome.is_err() {
+            shared.stats.caught_panics.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                &mut stream,
+                500,
+                &[],
+                "application/json",
+                br#"{"error":"internal"}"#,
+            );
+        }
+    }
+}
+
+/// Reads and answers exactly one request on an accepted socket.
+fn serve_connection(shared: &Shared, stream: &mut TcpStream, accepted_at: Instant) {
+    let read_deadline = accepted_at + Duration::from_millis(shared.config.read_deadline_ms);
+    let request = match read_request(stream, &shared.config.limits, read_deadline) {
+        Ok(req) => req,
+        Err(HttpError::Disconnected) => {
+            shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        Err(err) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            if let Some(status) = err.status() {
+                let body = format!(r#"{{"error":"{}","detail":"{err}"}}"#, err.reason());
+                let _ = write_response(stream, status, &[], "application/json", body.as_bytes());
+            }
+            // Drain a little so the peer sees our response before RST.
+            let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+            let mut sink = [0u8; 256];
+            let _ = stream.read(&mut sink);
+            return;
+        }
+    };
+    route(shared, stream, &request);
+}
+
+/// Routes a parsed request; every arm answers exactly once.
+fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
+    let draining = shared.shutting_down.load(Ordering::SeqCst);
+    match (request.method, request.path.as_str()) {
+        (Method::Get, "/healthz") => {
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(stream, 200, &[], "text/plain", b"ok\n");
+        }
+        (Method::Get, "/readyz") => {
+            let model = &shared.model;
+            let body = format!(
+                r#"{{"ready":{},"mode":"{}","phase":"{}","input_dim":{},"latent_dim":{},"clusters":{}}}"#,
+                !draining,
+                model.mode.as_str(),
+                model.phase,
+                model.input_dim(),
+                model.latent_dim(),
+                model.k(),
+            );
+            let status = if draining { 503 } else { 200 };
+            if draining {
+                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            } else {
+                shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            }
+            let _ = write_response(stream, status, &[], "application/json", body.as_bytes());
+        }
+        (Method::Get, "/statz") => {
+            let s = shared.stats.snapshot();
+            let body = format!(
+                r#"{{"served":{},"rejected_busy":{},"client_errors":{},"disconnects":{},"deadline_expired":{},"caught_panics":{}}}"#,
+                s.served,
+                s.rejected_busy,
+                s.client_errors,
+                s.disconnects,
+                s.deadline_expired,
+                s.caught_panics,
+            );
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+        }
+        (Method::Post, "/shutdown") => {
+            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                stream,
+                200,
+                &[],
+                "application/json",
+                br#"{"draining":true}"#,
+            );
+            shared.begin_shutdown();
+        }
+        (Method::Post, "/assign") => handle_assign(shared, stream, request),
+        (_, "/healthz" | "/readyz" | "/statz" | "/shutdown" | "/assign") => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                stream,
+                405,
+                &[],
+                "application/json",
+                br#"{"error":"method-not-allowed"}"#,
+            );
+        }
+        _ => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                stream,
+                404,
+                &[],
+                "application/json",
+                br#"{"error":"not-found"}"#,
+            );
+        }
+    }
+}
+
+/// Parses the CSV body, runs the forward pass in deadline-checked chunks,
+/// and streams back the JSON answer.
+fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
+    let compute_deadline =
+        Instant::now() + Duration::from_millis(shared.config.deadline_ms);
+    let want = shared.model.input_dim();
+    let rows = match parse_csv_body(&request.body, want) {
+        Ok(rows) => rows,
+        Err(msg) => {
+            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            let body = format!(r#"{{"error":"bad-body","detail":"{msg}"}}"#);
+            let _ = write_response(stream, 400, &[], "application/json", body.as_bytes());
+            return;
+        }
+    };
+    let mut assignments: Vec<Assignment> = Vec::with_capacity(rows.len());
+    for chunk in rows.chunks(ASSIGN_CHUNK_ROWS) {
+        if Instant::now() >= compute_deadline {
+            shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            let _ = write_response(
+                stream,
+                503,
+                &[("retry-after", "1")],
+                "application/json",
+                br#"{"error":"deadline","detail":"compute deadline exceeded"}"#,
+            );
+            return;
+        }
+        let data: Vec<f32> = chunk.iter().flatten().copied().collect();
+        let x = adec_tensor::Matrix::from_vec(chunk.len(), want, data);
+        match shared.model.assign(&x) {
+            Ok(mut batch) => assignments.append(&mut batch),
+            Err(err) => {
+                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                let body = format!(r#"{{"error":"bad-input","detail":"{err}"}}"#);
+                let _ = write_response(stream, 400, &[], "application/json", body.as_bytes());
+                return;
+            }
+        }
+    }
+    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+    let body = render_assignments(&shared.model.mode, &shared.model.phase, &assignments);
+    let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+}
+
+/// Parses a CSV request body: one sample per line, `want` comma-separated
+/// finite floats per line. Returns a user-facing message on failure;
+/// width/magnitude checks are deferred to [`InferenceModel::validate`]
+/// except the width check needed to build a rectangular batch.
+fn parse_csv_body(body: &[u8], want: usize) -> Result<Vec<Vec<f32>>, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut row: Vec<f32> = Vec::with_capacity(want);
+        for field in line.split(',') {
+            let v: f32 = field
+                .trim()
+                .parse()
+                .map_err(|_| format!("line {}: unparseable float '{field}'", i + 1))?;
+            if !v.is_finite() {
+                return Err(format!("line {}: non-finite value", i + 1));
+            }
+            if v.abs() > MAX_FEATURE_MAGNITUDE {
+                return Err(format!(
+                    "line {}: magnitude exceeds {MAX_FEATURE_MAGNITUDE:e}",
+                    i + 1
+                ));
+            }
+            row.push(v);
+        }
+        if row.len() != want {
+            return Err(format!(
+                "line {}: expected {want} features, got {}",
+                i + 1,
+                row.len()
+            ));
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err("empty body: expected CSV rows of features".to_string());
+    }
+    Ok(rows)
+}
+
+/// Hand-rolled JSON for the assignment response. Float formatting uses
+/// Rust's shortest-roundtrip `Display`, so identical inputs yield
+/// byte-identical responses — the chaos drill asserts exactly that.
+fn render_assignments(mode: &ServeMode, phase: &str, assignments: &[Assignment]) -> String {
+    let mut out = String::with_capacity(64 + assignments.len() * 64);
+    out.push_str(&format!(
+        r#"{{"mode":"{}","phase":"{phase}","assignments":["#,
+        mode.as_str()
+    ));
+    for (i, a) in assignments.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(r#"{{"label":{}"#, a.label));
+        if !a.q.is_empty() {
+            out.push_str(r#","q":["#);
+            for (j, v) in a.q.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{v}"));
+            }
+            out.push(']');
+        }
+        if let Some(d) = a.dist {
+            out.push_str(&format!(r#","dist":{d}"#));
+        }
+        if let Some(r) = a.recon_error {
+            out.push_str(&format!(r#","recon_error":{r}"#));
+        }
+        out.push('}');
+    }
+    out.push_str("]}");
+    out
+}
+
+/// Maps an [`AssignError`] to its response status (all client errors).
+pub fn assign_status(err: &AssignError) -> u16 {
+    match err {
+        AssignError::DimMismatch { .. } | AssignError::OutOfRange { .. } => 400,
+        AssignError::NonFinite => 500,
+    }
+}
+
+#[cfg(test)]
+// Test code: unwraps are the assertions themselves here.
+#[allow(clippy::unwrap_used, clippy::panic)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_body_parses_and_rejects() {
+        let ok = parse_csv_body(b"1,2,3\n4,5,6\n", 3).unwrap();
+        assert_eq!(ok.len(), 2);
+        assert_eq!(ok.first().unwrap().len(), 3);
+        // Blank lines and surrounding whitespace are tolerated.
+        let ws = parse_csv_body(b"\n 1 , 2 , 3 \n\n", 3).unwrap();
+        assert_eq!(ws.len(), 1);
+        assert!(parse_csv_body(b"", 3).unwrap_err().contains("empty"));
+        assert!(parse_csv_body(b"1,2\n", 3).unwrap_err().contains("expected 3"));
+        assert!(parse_csv_body(b"1,x,3\n", 3).unwrap_err().contains("line 1"));
+        assert!(parse_csv_body(b"1,2,NaN\n", 3).unwrap_err().contains("non-finite"));
+        assert!(parse_csv_body(b"1,2,1e30\n", 3).unwrap_err().contains("magnitude"));
+        assert!(parse_csv_body(&[0xff, 0xfe, 0x00], 3).unwrap_err().contains("UTF-8"));
+    }
+
+    #[test]
+    fn assignment_json_shape() {
+        let full = render_assignments(
+            &ServeMode::Full,
+            "dec",
+            &[Assignment {
+                label: 2,
+                q: vec![0.25, 0.75],
+                dist: None,
+                recon_error: Some(0.5),
+            }],
+        );
+        assert_eq!(
+            full,
+            r#"{"mode":"full","phase":"dec","assignments":[{"label":2,"q":[0.25,0.75],"recon_error":0.5}]}"#
+        );
+        let degraded = render_assignments(
+            &ServeMode::CentroidOnly,
+            "dec",
+            &[Assignment {
+                label: 0,
+                q: vec![],
+                dist: Some(1.5),
+                recon_error: None,
+            }],
+        );
+        assert_eq!(
+            degraded,
+            r#"{"mode":"degraded-centroid-only","phase":"dec","assignments":[{"label":0,"dist":1.5}]}"#
+        );
+    }
+
+    #[test]
+    fn assign_error_statuses() {
+        assert_eq!(assign_status(&AssignError::DimMismatch { got: 1, want: 2 }), 400);
+        assert_eq!(assign_status(&AssignError::OutOfRange { row: 0 }), 400);
+        assert_eq!(assign_status(&AssignError::NonFinite), 500);
+    }
+}

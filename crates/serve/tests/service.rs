@@ -1,0 +1,181 @@
+//! Happy-path and endpoint-contract tests for the serve stack, run fully
+//! in-process against an ephemeral-port server.
+
+// Test code: unwraps are the assertions themselves here.
+#![allow(clippy::unwrap_used)]
+
+mod common;
+
+use adec_serve::chaos::{discover_input_dim, get, post, sample_body};
+use adec_serve::{InferenceModel, ServeMode};
+use common::{
+    decoderless_checkpoint, sample_checkpoint, sample_model, start_server, INPUT_DIM, K,
+};
+
+#[test]
+fn healthz_and_readyz_report_the_model() {
+    let server = start_server(sample_model(1), |_| {});
+    let addr = server.addr();
+
+    let (status, body) = get(addr, "/healthz").unwrap().unwrap();
+    assert_eq!(status, 200);
+    assert_eq!(body, b"ok\n");
+
+    let (status, body) = get(addr, "/readyz").unwrap().unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    assert!(text.contains(r#""ready":true"#), "{text}");
+    assert!(text.contains(r#""mode":"full""#), "{text}");
+    assert!(text.contains(&format!(r#""input_dim":{INPUT_DIM}"#)), "{text}");
+    assert!(text.contains(&format!(r#""clusters":{K}"#)), "{text}");
+    assert_eq!(discover_input_dim(addr), Some(INPUT_DIM));
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn assign_round_trip_full_mode() {
+    let server = start_server(sample_model(2), |_| {});
+    let addr = server.addr();
+
+    let body = sample_body(INPUT_DIM, 5, 42);
+    let (status, resp) = post(addr, "/assign", &body).unwrap().unwrap();
+    assert_eq!(status, 200, "{}", String::from_utf8_lossy(&resp));
+    let text = String::from_utf8(resp).unwrap();
+    assert!(text.contains(r#""mode":"full""#), "{text}");
+    assert!(text.contains(r#""recon_error":"#), "{text}");
+    assert_eq!(text.matches(r#""label":"#).count(), 5, "{text}");
+
+    let stats = server.stats();
+    assert!(stats.served >= 1);
+    assert_eq!(stats.caught_panics, 0);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn assign_rejects_bad_bodies_with_400() {
+    let server = start_server(sample_model(3), |_| {});
+    let addr = server.addr();
+
+    for bad in [
+        &b"not,numbers,at,all,xx,yy\n"[..],
+        &b"1,2,3\n"[..],                 // wrong width
+        &b"1,2,3,4,5,NaN\n"[..],        // non-finite
+        &b"1,2,3,4,5,9e30\n"[..],       // over the magnitude bound
+        &b""[..],                       // empty
+        &[0xff, 0xfe][..],              // not UTF-8
+    ] {
+        let (status, resp) = post(addr, "/assign", bad).unwrap().unwrap();
+        assert_eq!(status, 400, "body {:?} -> {}", bad, String::from_utf8_lossy(&resp));
+        let text = String::from_utf8(resp).unwrap();
+        assert!(text.contains(r#""error":""#), "{text}");
+    }
+    // Server still healthy after the parade of junk.
+    assert_eq!(get(addr, "/healthz").unwrap().unwrap().0, 200);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn unknown_paths_and_methods_get_typed_errors() {
+    let server = start_server(sample_model(4), |_| {});
+    let addr = server.addr();
+
+    assert_eq!(get(addr, "/nope").unwrap().unwrap().0, 404);
+    assert_eq!(post(addr, "/healthz", b"").unwrap().unwrap().0, 405);
+    assert_eq!(get(addr, "/assign").unwrap().unwrap().0, 405);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn degraded_no_decoder_serves_and_says_so() {
+    let model = InferenceModel::from_checkpoint(&decoderless_checkpoint(5), 1.0).unwrap();
+    assert_eq!(model.mode, ServeMode::NoDecoder);
+    let server = start_server(model, |_| {});
+    let addr = server.addr();
+
+    let (status, body) = get(addr, "/readyz").unwrap().unwrap();
+    assert_eq!(status, 200);
+    assert!(String::from_utf8(body).unwrap().contains("degraded-no-decoder"));
+
+    let (status, resp) = post(addr, "/assign", &sample_body(INPUT_DIM, 3, 9)).unwrap().unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(resp).unwrap();
+    assert!(text.contains(r#""mode":"degraded-no-decoder""#), "{text}");
+    assert!(text.contains(r#""q":["#), "{text}");
+    assert!(!text.contains("recon_error"), "{text}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn centroid_only_mode_serves_latent_vectors() {
+    let mut ck = sample_checkpoint(6);
+    // Poison the encoder: the ladder must drop to centroid-only.
+    let id = ck
+        .store
+        .iter()
+        .find(|(_, n, _)| *n == format!("mlp{INPUT_DIM}x3.l0.w"))
+        .map(|(id, _, _)| id)
+        .unwrap();
+    ck.store.get_mut(id).set(0, 0, f32::NAN);
+    let model = InferenceModel::from_checkpoint(&ck, 1.0).unwrap();
+    assert_eq!(model.mode, ServeMode::CentroidOnly);
+    let latent = model.latent_dim();
+
+    let server = start_server(model, |_| {});
+    let addr = server.addr();
+    assert_eq!(discover_input_dim(addr), Some(latent));
+    let (status, resp) = post(addr, "/assign", &sample_body(latent, 2, 10)).unwrap().unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(resp).unwrap();
+    assert!(text.contains(r#""mode":"degraded-centroid-only""#), "{text}");
+    assert!(text.contains(r#""dist":"#), "{text}");
+    assert!(!text.contains(r#""q":["#), "{text}");
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn compute_deadline_zero_rejects_with_503() {
+    let server = start_server(sample_model(7), |c| c.deadline_ms = 0);
+    let addr = server.addr();
+
+    let (status, resp) = post(addr, "/assign", &sample_body(INPUT_DIM, 2, 11)).unwrap().unwrap();
+    assert_eq!(status, 503, "{}", String::from_utf8_lossy(&resp));
+    assert!(String::from_utf8(resp).unwrap().contains("deadline"));
+    // Health endpoints don't run compute and stay green.
+    assert_eq!(get(addr, "/healthz").unwrap().unwrap().0, 200);
+    let stats = server.stats();
+    assert!(stats.deadline_expired >= 1);
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn shutdown_endpoint_drains_to_joinable_exit() {
+    let server = start_server(sample_model(8), |_| {});
+    let addr = server.addr();
+
+    let (status, body) = post(addr, "/shutdown", b"").unwrap().unwrap();
+    assert_eq!(status, 200);
+    assert!(String::from_utf8(body).unwrap().contains("draining"));
+    let stats = server.join(); // must not hang
+    assert_eq!(stats.caught_panics, 0);
+}
+
+#[test]
+fn responses_are_bitwise_deterministic() {
+    let server = start_server(sample_model(9), |_| {});
+    let addr = server.addr();
+    let body = sample_body(INPUT_DIM, 8, 12);
+    let (s1, r1) = post(addr, "/assign", &body).unwrap().unwrap();
+    let (s2, r2) = post(addr, "/assign", &body).unwrap().unwrap();
+    assert_eq!((s1, s2), (200, 200));
+    assert_eq!(r1, r2, "identical requests must produce identical bytes");
+    server.shutdown();
+    server.join();
+}

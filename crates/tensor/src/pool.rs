@@ -39,19 +39,54 @@ static ENV_THREADS: OnceLock<usize> = OnceLock::new();
 
 /// The configured worker count: the in-process override if set, else
 /// `ADEC_THREADS` (cached on first read), else 1.
+///
+/// A malformed or out-of-range `ADEC_THREADS` falls back to a safe value
+/// but is *not* silent: a warning goes to stderr once, on first read —
+/// a typo'd env var quietly serializing a 64-core run is the kind of
+/// misconfiguration that otherwise survives for months.
 pub fn configured_threads() -> usize {
     let forced = OVERRIDE.load(Ordering::Relaxed);
     if forced != 0 {
         return forced.min(MAX_THREADS);
     }
     *ENV_THREADS.get_or_init(|| {
-        std::env::var("ADEC_THREADS")
-            .ok()
-            .and_then(|s| s.parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or(1)
-            .min(MAX_THREADS)
+        let raw = std::env::var("ADEC_THREADS").ok();
+        let (threads, warning) = parse_thread_env(raw.as_deref());
+        if let Some(msg) = warning {
+            eprintln!("adec: warning: {msg}");
+        }
+        threads
     })
+}
+
+/// Interprets a raw `ADEC_THREADS` value: the worker count to use, plus a
+/// warning message when the value was malformed or clamped. Pure, so every
+/// fallback path is unit-testable without touching the process
+/// environment or the `OnceLock` cache.
+pub fn parse_thread_env(raw: Option<&str>) -> (usize, Option<String>) {
+    let raw = match raw {
+        Some(r) => r.trim(),
+        None => return (1, None), // unset: serial by design, not a mistake
+    };
+    match raw.parse::<usize>() {
+        Ok(0) => (
+            1,
+            Some("ADEC_THREADS=0 is not a thread count; running serial (1)".to_string()),
+        ),
+        Ok(n) if n > MAX_THREADS => (
+            MAX_THREADS,
+            Some(format!(
+                "ADEC_THREADS={n} exceeds the ceiling of {MAX_THREADS}; clamping to {MAX_THREADS}"
+            )),
+        ),
+        Ok(n) => (n, None),
+        Err(_) => (
+            1,
+            Some(format!(
+                "ADEC_THREADS='{raw}' is not a positive integer; running serial (1)"
+            )),
+        ),
+    }
 }
 
 /// Overrides the worker count in-process (0 clears the override and falls
@@ -189,5 +224,31 @@ mod tests {
         // With no override, the count is >= 1 whatever the environment says.
         set_thread_override(0);
         assert!(configured_threads() >= 1);
+    }
+
+    #[test]
+    fn thread_env_parsing_covers_every_fallback() {
+        // Unset: serial, and intentionally so — no warning.
+        assert_eq!(parse_thread_env(None), (1, None));
+        // Well-formed values pass through unwarned.
+        assert_eq!(parse_thread_env(Some("1")), (1, None));
+        assert_eq!(parse_thread_env(Some("8")), (8, None));
+        assert_eq!(parse_thread_env(Some(" 4 ")), (4, None));
+        assert_eq!(parse_thread_env(Some("64")), (64, None));
+        // Garbage: serial with a warning naming the value.
+        for bad in ["abc", "", "3.5", "-2", "1e3", "four"] {
+            let (n, warning) = parse_thread_env(Some(bad));
+            assert_eq!(n, 1, "ADEC_THREADS={bad:?}");
+            let msg = warning.unwrap();
+            assert!(msg.contains("not a positive integer"), "{msg}");
+        }
+        // Zero: "disable threading" is spelled 1, not 0.
+        let (n, warning) = parse_thread_env(Some("0"));
+        assert_eq!(n, 1);
+        assert!(warning.unwrap().contains("ADEC_THREADS=0"));
+        // Over the ceiling: clamp and say so.
+        let (n, warning) = parse_thread_env(Some("1000000"));
+        assert_eq!(n, MAX_THREADS);
+        assert!(warning.unwrap().contains("clamping"));
     }
 }
