@@ -7,6 +7,9 @@
 //! * `lint.unwrap` / `lint.expect` / `lint.panic` — banned in non-test
 //!   library code (tests, benches, examples, and binary entry points are
 //!   exempt).
+//! * `lint.obs-eprintln` — bare `eprintln!` in library code; diagnostics
+//!   must go through `adec_obs::emit` (Warn/Error events mirror to
+//!   stderr), keeping every message structured and capturable.
 //! * `lint.float-eq` — `==`/`!=` with a float literal on either side.
 //! * `lint.as-narrowing` — unchecked `as` casts to a narrower integer type
 //!   in kernel code (`crates/tensor`, `crates/nn`).
@@ -72,7 +75,7 @@ pub fn mask_source(src: &str) -> String {
                         j += 1;
                     }
                     if j < bytes.len() && bytes[j] == b'"' {
-                        out.extend(std::iter::repeat_n(b' ', j - i + 1));
+                        out.extend(std::iter::repeat(b' ').take(j - i + 1));
                         i = j + 1;
                         st = St::RawStr(hashes);
                     } else {
@@ -131,7 +134,7 @@ pub fn mask_source(src: &str) -> String {
                 if b == b'"' {
                     let end = i + 1 + hashes;
                     if end <= bytes.len() && bytes[i + 1..end].iter().all(|&c| c == b'#') {
-                        out.extend(std::iter::repeat_n(b' ', hashes + 1));
+                        out.extend(std::iter::repeat(b' ').take(hashes + 1));
                         i = end;
                         st = St::Code;
                         continue;
@@ -269,7 +272,7 @@ fn has_cast_to(line: &str, needle: &str) -> bool {
         let boundary = line[end..]
             .chars()
             .next()
-            .is_none_or(|c| !(c.is_ascii_alphanumeric() || c == '_'));
+            .map_or(true, |c| !(c.is_ascii_alphanumeric() || c == '_'));
         if boundary {
             return true;
         }
@@ -350,6 +353,12 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
                 out.push(
                     Diagnostic::error("lint.panic", loc(), "`panic!` in library code")
                         .with_hint("return a Result or justify with // lint:allow(panic)"),
+                );
+            }
+            if line.contains("eprintln!(") && !allowed(li, "obs-eprintln") {
+                out.push(
+                    Diagnostic::error("lint.obs-eprintln", loc(), "bare `eprintln!` in library code")
+                        .with_hint("emit an adec_obs Warn/Error event (which mirrors to stderr), or justify with // lint:allow(obs-eprintln)"),
                 );
             }
             for op in ["==", "!="] {
@@ -660,6 +669,24 @@ mod tests {
         let diags = lint_source(LIB, src);
         let rules: Vec<&str> = diags.iter().map(|d| d.rule).collect();
         assert_eq!(rules, vec!["lint.expect", "lint.panic"], "{diags:?}");
+    }
+
+    #[test]
+    fn bare_eprintln_in_lib_code_is_flagged() {
+        let diags = lint_source(LIB, "pub fn f() { eprintln!(\"adec: warning: x\"); }\n");
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lint.obs-eprintln");
+
+        // The escape hatch works on the same and the preceding line.
+        let same = "pub fn f() { eprintln!(\"x\"); } // lint:allow(obs-eprintln)\n";
+        assert!(lint_source(LIB, same).is_empty());
+        let above = "// console output -- lint:allow(obs-eprintln)\npub fn f() { eprintln!(\"x\"); }\n";
+        assert!(lint_source(LIB, above).is_empty());
+
+        // Test code and exempt paths (main.rs, tests, benches) stay free.
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { eprintln!(\"dbg\"); }\n}\n";
+        assert!(lint_source(LIB, in_test).is_empty());
+        assert!(lint_source("crates/cli/src/main.rs", "fn main() { eprintln!(\"x\"); }\n").is_empty());
     }
 
     #[test]

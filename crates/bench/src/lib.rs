@@ -253,7 +253,10 @@ pub fn write_csv(name: &str, header: &str, rows: &[String]) -> std::path::PathBu
         body.push('\n');
     }
     if let Err(e) = std::fs::write(&path, body) {
-        eprintln!("warning: could not write {}: {e}", path.display());
+        adec_obs::emit(
+            adec_obs::Event::new(adec_obs::Level::Warn, "bench.write")
+                .field("msg", format!("could not write {}: {e}", path.display())),
+        );
     }
     path
 }

@@ -144,6 +144,10 @@ pub struct Args {
     pub checkpoint_every: usize,
     /// Resume from the newest checkpoint in `--checkpoint-dir`.
     pub resume: bool,
+    /// Write a JSONL telemetry event log here (see `adec-obs`).
+    pub telemetry: Option<String>,
+    /// Keep every Nth sampled telemetry event (1 = keep all).
+    pub telemetry_interval: u64,
 }
 
 impl Default for Args {
@@ -163,6 +167,8 @@ impl Default for Args {
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
+            telemetry: None,
+            telemetry_interval: 1,
         }
     }
 }
@@ -221,6 +227,7 @@ pub fn serve_usage() -> String {
        GET  /healthz    liveness (200 while the process serves at all)\n\
        GET  /readyz     readiness + model card (mode, input_dim, clusters)\n\
        GET  /statz      request counters\n\
+       GET  /metrics    Prometheus text exposition (counters + latency histograms)\n\
        POST /assign     CSV rows of features -> JSON soft assignments\n\
        POST /shutdown   stop accepting, drain in-flight, exit 0\n"
         .to_string()
@@ -341,6 +348,8 @@ pub fn usage() -> String {
            --checkpoint-dir <DIR>  write atomic training checkpoints here (deep methods)\n\
            --checkpoint-every <N>  checkpoint every N opportunities    (default 1)\n\
            --resume                resume from the checkpoints in --checkpoint-dir\n\
+           --telemetry <PATH>      write a JSONL telemetry event log (spans, losses, guard events)\n\
+           --telemetry-interval <N> keep every Nth per-interval event  (default 1)\n\
            --list                  list methods and datasets\n\
            --help                  this message\n",
         methods.join(" | ")
@@ -412,6 +421,15 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                     .ok_or_else(|| ParseError(format!("invalid checkpoint stride '{v}'")))?;
             }
             "--resume" => args.resume = true,
+            "--telemetry" => args.telemetry = Some(value("--telemetry")?.clone()),
+            "--telemetry-interval" => {
+                let v = value("--telemetry-interval")?;
+                args.telemetry_interval = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &u64| n > 0)
+                    .ok_or_else(|| ParseError(format!("invalid telemetry interval '{v}'")))?;
+            }
             other => {
                 return Err(ParseError(format!(
                     "unknown flag '{other}' (see --help)"
@@ -499,6 +517,23 @@ mod tests {
             .unwrap_err()
             .0
             .contains("invalid checkpoint stride"));
+    }
+
+    #[test]
+    fn telemetry_flags_parse() {
+        let args = parse(&strs(&["--telemetry", "run.jsonl", "--telemetry-interval", "10"])).unwrap();
+        assert_eq!(args.telemetry.as_deref(), Some("run.jsonl"));
+        assert_eq!(args.telemetry_interval, 10);
+
+        let defaults = parse(&[]).unwrap();
+        assert_eq!(defaults.telemetry, None);
+        assert_eq!(defaults.telemetry_interval, 1);
+
+        assert!(parse(&strs(&["--telemetry-interval", "0"]))
+            .unwrap_err()
+            .0
+            .contains("invalid telemetry interval"));
+        assert!(parse(&strs(&["--telemetry"])).unwrap_err().0.contains("requires a value"));
     }
 
     #[test]

@@ -130,6 +130,7 @@ pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
             other => RunError::Serve(other.to_string()),
         }
     })?;
+    // lint:allow(obs-eprintln) -- operator console output, not diagnostics
     eprintln!(
         "serving {} checkpoint '{}' in {} mode: input_dim={} clusters={}",
         model.phase,
@@ -152,6 +153,7 @@ pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
     use std::io::Write as _;
     let _ = std::io::stdout().flush();
     let stats = handle.join();
+    // lint:allow(obs-eprintln) -- operator console output, not diagnostics
     eprintln!(
         "drained: served={} rejected_busy={} client_errors={} disconnects={} deadline_expired={} caught_panics={}",
         stats.served,
@@ -198,11 +200,45 @@ pub fn check(args: &Args) -> adec_analysis::Report {
 
 /// Runs the configured method and returns the report.
 ///
+/// With `--telemetry <path>` a JSONL event sink is installed for the
+/// duration of the run and flushed before returning, so the log is
+/// complete even on a training failure. Telemetry observes the run; it
+/// never alters the trajectory (the CLI test proves checkpoints stay
+/// bitwise identical with it on or off).
+///
 /// # Errors
 ///
 /// Returns a [`RunError`] carrying the failure class (usage, training,
 /// checkpoint, or I/O) and its exit code.
 pub fn run(args: &Args) -> Result<RunReport, RunError> {
+    if let Some(path) = &args.telemetry {
+        adec_obs::install_jsonl_sink(
+            path,
+            adec_obs::SinkOptions {
+                sample_every: args.telemetry_interval,
+                ..adec_obs::SinkOptions::default()
+            },
+        )
+        .map_err(|e| RunError::Io(format!("telemetry log '{path}': {e}")))?;
+    }
+    let result = run_inner(args);
+    if args.telemetry.is_some() {
+        if let Ok(report) = &result {
+            adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Info, "run.done")
+                    .field("dataset", report.dataset)
+                    .field("method", report.method.as_str())
+                    .field("acc", report.acc)
+                    .field("nmi", report.nmi)
+                    .field("seconds", report.seconds),
+            );
+        }
+        adec_obs::flush_sink();
+    }
+    result
+}
+
+fn run_inner(args: &Args) -> Result<RunReport, RunError> {
     let ds = args.dataset.generate(args.size, args.seed);
     let k = ds.n_classes;
     let mut rng = SeedRng::new(args.seed ^ 0xC11);
@@ -296,6 +332,7 @@ pub fn run(args: &Args) -> Result<RunReport, RunError> {
         if let Some(path) = &args.save_weights {
             adec_nn::io::save_store(&session.store, path)
                 .map_err(|e| RunError::Io(e.to_string()))?;
+            // lint:allow(obs-eprintln) -- operator console output, not diagnostics
             eprintln!("saved weights to {path}");
         }
         let trace = if args.trace {
@@ -383,6 +420,7 @@ pub fn run(args: &Args) -> Result<RunReport, RunError> {
         if args.trace {
             for p in &out.trace.points {
                 if let (Some(a), Some(n)) = (p.acc, p.nmi) {
+                    // lint:allow(obs-eprintln) -- operator console output, not diagnostics
                     eprintln!("iter {:>6}: ACC {a:.3} NMI {n:.3}", p.iter);
                 }
             }

@@ -1,0 +1,181 @@
+//! End-to-end telemetry drill against the real `adec` binary: a run with
+//! `--telemetry` must (a) leave the training trajectory untouched — final
+//! checkpoints and labels bitwise identical to a run without it — and
+//! (b) produce a JSONL event log with per-interval training events,
+//! checkpoint lifecycle events, and guard recovery events under an
+//! injected fault.
+
+// Test code: a panic on I/O failure is the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic, clippy::indexing_slicing)]
+
+use adec_obs::json::Json;
+use std::path::Path;
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_adec");
+
+fn adec(dir: &Path, extra: &[&str], faults: Option<&str>) -> Output {
+    let mut cmd = Command::new(BIN);
+    cmd.args([
+        "--method",
+        "dec",
+        "--dataset",
+        "protein",
+        "--size",
+        "small",
+        "--seed",
+        "7",
+        "--iters",
+        "300",
+        "--pretrain-iters",
+        "100",
+        "--checkpoint-dir",
+    ])
+    .arg(dir)
+    .args(extra);
+    match faults {
+        Some(spec) => cmd.env("ADEC_FAULTS", spec),
+        None => cmd.env_remove("ADEC_FAULTS"),
+    };
+    cmd.output().expect("failed to spawn adec binary")
+}
+
+fn read(path: &Path) -> Vec<u8> {
+    std::fs::read(path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Parses every line of a JSONL log, asserting each is valid JSON.
+fn parse_log(path: &Path) -> Vec<Json> {
+    let text = String::from_utf8(read(path)).expect("telemetry log is not UTF-8");
+    text.lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| Json::parse(l).unwrap_or_else(|e| panic!("bad JSONL line: {e}\n{l}")))
+        .collect()
+}
+
+fn events_of<'a>(log: &'a [Json], kind: &str) -> Vec<&'a Json> {
+    log.iter()
+        .filter(|e| e.get("kind").and_then(Json::as_str) == Some(kind))
+        .collect()
+}
+
+#[test]
+fn telemetry_observes_without_perturbing() {
+    let root = std::env::temp_dir().join(format!("adec_telemetry_e2e_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&root);
+    let dir_off = root.join("off");
+    let dir_on = root.join("on");
+    let labels_off = root.join("off_labels.csv");
+    let labels_on = root.join("on_labels.csv");
+    let log = root.join("run.jsonl");
+    std::fs::create_dir_all(&root).unwrap();
+
+    // Reference run: telemetry off.
+    let out = adec(&dir_off, &["--labels-out", labels_off.to_str().unwrap()], None);
+    assert!(out.status.success(), "off run failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Same flags, telemetry on: identical trajectory, plus an event log.
+    let out = adec(
+        &dir_on,
+        &[
+            "--labels-out",
+            labels_on.to_str().unwrap(),
+            "--telemetry",
+            log.to_str().unwrap(),
+        ],
+        None,
+    );
+    assert!(out.status.success(), "on run failed: {}", String::from_utf8_lossy(&out.stderr));
+
+    // (a) The trajectory is untouched: checkpoints and labels are bitwise
+    // identical with telemetry on or off.
+    assert_eq!(
+        read(&dir_off.join("dec.ckpt")),
+        read(&dir_on.join("dec.ckpt")),
+        "telemetry perturbed the clustering checkpoint"
+    );
+    assert_eq!(
+        read(&dir_off.join("pretrain.ckpt")),
+        read(&dir_on.join("pretrain.ckpt")),
+        "telemetry perturbed the pretraining checkpoint"
+    );
+    assert_eq!(read(&labels_off), read(&labels_on), "telemetry perturbed the labels");
+
+    // (b) The log carries the run: per-interval events for both phases,
+    // checkpoint lifecycle pairs, and a final run summary.
+    let events = parse_log(&log);
+    assert!(!events.is_empty(), "telemetry log is empty");
+    let phase_of = |e: &&Json| e.get("phase").and_then(Json::as_str).map(str::to_string);
+    let intervals = events_of(&events, "train.interval");
+    assert!(
+        intervals.iter().filter_map(phase_of).any(|p| p == "pretrain"),
+        "no pretrain interval events"
+    );
+    assert!(
+        intervals.iter().filter_map(phase_of).any(|p| p == "dec"),
+        "no dec interval events"
+    );
+    for e in &intervals {
+        assert!(e.get("iter").and_then(Json::as_u64).is_some(), "interval without iter");
+    }
+    let writes = events_of(&events, "checkpoint.write");
+    let begins = writes
+        .iter()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("begin"))
+        .count();
+    let ends = writes
+        .iter()
+        .filter(|e| e.get("event").and_then(Json::as_str) == Some("end"))
+        .count();
+    assert!(begins >= 1, "no checkpoint.write begin events");
+    assert_eq!(begins, ends, "unbalanced checkpoint.write begin/end");
+    assert_eq!(events_of(&events, "run.done").len(), 1, "missing run.done summary");
+
+    // Sequence numbers are strictly increasing — the writer preserves
+    // emission order and accounts for every event.
+    let seqs: Vec<u64> = events.iter().map(|e| e.get("seq").and_then(Json::as_u64).unwrap()).collect();
+    assert!(seqs.windows(2).all(|w| w[1] > w[0]), "seq not strictly increasing: {seqs:?}");
+
+    // A faulted run must log the guard's recovery: inject a NaN loss and
+    // require a structured guard.recover event naming the fault.
+    let dir_fault = root.join("fault");
+    let fault_log = root.join("fault.jsonl");
+    let out = adec(
+        &dir_fault,
+        &["--telemetry", fault_log.to_str().unwrap()],
+        Some("nan-loss@150"),
+    );
+    assert!(
+        out.status.success(),
+        "faulted run should recover and succeed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let events = parse_log(&fault_log);
+    let recoveries = events_of(&events, "guard.recover");
+    assert!(!recoveries.is_empty(), "no guard.recover events after injected fault");
+    let first = recoveries.first().unwrap();
+    assert_eq!(first.get("level").and_then(Json::as_str), Some("warn"));
+    let fault = first.get("fault").and_then(Json::as_str).unwrap_or("").to_ascii_lowercase();
+    assert!(fault.contains("nan") || fault.contains("non-finite"), "recovery event does not name the fault: {fault}");
+
+    // --telemetry-interval thins sampled per-interval events but never
+    // drops lifecycle events: the summary is still present.
+    let dir_thin = root.join("thin");
+    let thin_log = root.join("thin.jsonl");
+    let out = adec(
+        &dir_thin,
+        &["--telemetry", thin_log.to_str().unwrap(), "--telemetry-interval", "1000"],
+        None,
+    );
+    assert!(out.status.success(), "thinned run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let thin_events = parse_log(&thin_log);
+    let thin_intervals = events_of(&thin_events, "train.interval").len();
+    assert!(
+        thin_intervals < intervals.len(),
+        "interval 1000 did not thin events ({thin_intervals} vs {})",
+        intervals.len()
+    );
+    assert_eq!(events_of(&thin_events, "run.done").len(), 1);
+
+    let _ = std::fs::remove_dir_all(&root);
+}

@@ -266,8 +266,9 @@ impl Adec {
 
         // ---- Clustering phase ----
         let mut trace = TrainTrace::default();
+        let mut last_grad_norm: Option<f32> = None;
         let mut p_full = Matrix::zeros(0, 0);
-        let mut force_refresh = !start_iter.is_multiple_of(cfg.update_interval);
+        let mut force_refresh = start_iter % cfg.update_interval != 0;
         let start_iter = if already_done { cfg.max_iter } else { start_iter };
 
         for i in start_iter..cfg.max_iter {
@@ -334,6 +335,8 @@ impl Adec {
                 }
                 record_trace_point(
                     &mut trace,
+                    "adec",
+                    last_grad_norm,
                     i,
                     &q,
                     &p_full,
@@ -389,6 +392,7 @@ impl Adec {
                     &mut enc_opt,
                     &encoder_ids,
                 );
+                last_grad_norm = Some(grad_norm);
                 let observed = faults.corrupt_loss(i, kl_loss);
                 if let Err(fault) = guard
                     .check_loss(observed)

@@ -151,7 +151,7 @@ impl Dcn {
             }
         }
 
-        let mut force_refresh = !start_iter.is_multiple_of(cfg.update_interval);
+        let mut force_refresh = start_iter % cfg.update_interval != 0;
         let start_iter = if already_done { cfg.max_iter } else { start_iter };
         for i in start_iter..cfg.max_iter {
             if faults.kill_requested(i) {
@@ -195,6 +195,15 @@ impl Dcn {
                     ),
                     None => (None, None),
                 };
+                adec_obs::emit(
+                    adec_obs::Event::new(adec_obs::Level::Info, "train.interval")
+                        .field("phase", "dcn")
+                        .field("iter", i)
+                        .field("kl_loss", 0.0f32)
+                        .opt_field("acc", acc)
+                        .opt_field("nmi", nmi_v)
+                        .sampled(),
+                );
                 trace.points.push(TracePoint {
                     iter: i,
                     acc,

@@ -194,7 +194,7 @@ impl Dec {
             }
         }
 
-        let mut force_refresh = !start_iter.is_multiple_of(cfg.update_interval);
+        let mut force_refresh = start_iter % cfg.update_interval != 0;
         let start_iter = if already_done { cfg.max_iter } else { start_iter };
         for i in start_iter..cfg.max_iter {
             if faults.kill_requested(i) {
@@ -236,6 +236,8 @@ impl Dec {
                 }
                 record_trace_point(
                     &mut trace,
+                    "dec",
+                    None,
                     i,
                     &q,
                     &p_full,
@@ -315,10 +317,14 @@ fn dec_extra(mark: RunMark, y_prev: Option<&[usize]>) -> Vec<u64> {
 /// Shared trace-point recorder used by DEC/IDEC/ADEC runners. `self_loss`
 /// optionally supplies the model's self-supervised gradient source for
 /// Δ_FD (None → Δ_FD not recorded, as for plain DEC which has no
-/// regularizer).
+/// regularizer). `grad_norm` is the most recent encoder gradient norm,
+/// when the trainer tracks one. Besides the in-memory [`TracePoint`],
+/// each call emits a sampled `train.interval` telemetry event.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn record_trace_point(
     trace: &mut TrainTrace,
+    phase: &str,
+    grad_norm: Option<f32>,
     iter: usize,
     q_full: &Matrix,
     p_full: &Matrix,
@@ -405,6 +411,18 @@ pub(crate) fn record_trace_point(
         }
     }
 
+    adec_obs::emit(
+        adec_obs::Event::new(adec_obs::Level::Info, "train.interval")
+            .field("phase", phase)
+            .field("iter", iter)
+            .field("kl_loss", kl_loss)
+            .opt_field("grad_norm", grad_norm)
+            .opt_field("acc", acc)
+            .opt_field("nmi", nmi_v)
+            .opt_field("delta_fr", delta_fr)
+            .opt_field("delta_fd", delta_fd)
+            .sampled(),
+    );
     trace.points.push(TracePoint {
         iter,
         acc,

@@ -100,7 +100,7 @@ impl DurabilityConfig {
 
     /// Whether the Nth checkpoint opportunity should be written.
     pub fn due(&self, opportunity: usize) -> bool {
-        self.checkpoint_dir.is_some() && opportunity.is_multiple_of(self.checkpoint_every.max(1))
+        self.checkpoint_dir.is_some() && opportunity % self.checkpoint_every.max(1) == 0
     }
 
     /// Builds and atomically writes a checkpoint if the opportunity is
@@ -156,12 +156,39 @@ pub fn begin_resume<'a>(
     let Some(ckpt) = &durability.resume else {
         return Ok(None);
     };
-    ckpt.ensure_phase(phase)?;
-    ckpt.restore_store(store)?;
-    *rng = SeedRng::from_state(&ckpt.rng);
-    let iter = usize::try_from(ckpt.iter)
-        .map_err(|_| TrainError::Resume("checkpoint iteration does not fit usize".into()))?;
-    Ok(Some((iter, ckpt)))
+    adec_obs::emit(
+        adec_obs::Event::new(adec_obs::Level::Info, "checkpoint.resume")
+            .field("event", "begin")
+            .field("phase", phase)
+            .field("iter", ckpt.iter),
+    );
+    let restored = (|| -> Result<usize, TrainError> {
+        ckpt.ensure_phase(phase)?;
+        ckpt.restore_store(store)?;
+        *rng = SeedRng::from_state(&ckpt.rng);
+        usize::try_from(ckpt.iter)
+            .map_err(|_| TrainError::Resume("checkpoint iteration does not fit usize".into()))
+    })();
+    match restored {
+        Ok(iter) => {
+            adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Info, "checkpoint.resume")
+                    .field("event", "end")
+                    .field("phase", phase)
+                    .field("iter", iter),
+            );
+            Ok(Some((iter, ckpt)))
+        }
+        Err(err) => {
+            adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Error, "checkpoint.resume")
+                    .field("event", "error")
+                    .field("phase", phase)
+                    .field("err", err.to_string()),
+            );
+            Err(err)
+        }
+    }
 }
 
 // ----------------------------------------------------------------------
@@ -440,6 +467,12 @@ impl TrainGuard {
         iter: usize,
     ) -> Result<Recovery, TrainError> {
         let Some((rewound_to, snap)) = &self.snapshot else {
+            adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Error, "guard.unrecoverable")
+                    .field("phase", self.phase.as_str())
+                    .field("iter", iter)
+                    .field("fault", fault.to_string()),
+            );
             return Err(TrainError::Unrecoverable {
                 phase: self.phase.clone(),
                 iter,
@@ -447,6 +480,13 @@ impl TrainGuard {
             });
         };
         if self.retries_used >= self.cfg.max_retries {
+            adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Error, "guard.diverged")
+                    .field("phase", self.phase.as_str())
+                    .field("iter", iter)
+                    .field("fault", fault.to_string())
+                    .field("retries", self.retries_used),
+            );
             return Err(TrainError::Diverged {
                 phase: self.phase.clone(),
                 iter,
@@ -456,6 +496,15 @@ impl TrainGuard {
         }
         self.retries_used += 1;
         store.restore(&self.ids, snap);
+        adec_obs::emit(
+            adec_obs::Event::new(adec_obs::Level::Warn, "guard.recover")
+                .field("phase", self.phase.as_str())
+                .field("iter", iter)
+                .field("fault", fault.to_string())
+                .field("retry", self.retries_used)
+                .field("rewound_to", *rewound_to)
+                .field("lr_scale", self.cfg.lr_backoff),
+        );
         Ok(Recovery {
             lr_scale: self.cfg.lr_backoff,
             rewound_to: *rewound_to,

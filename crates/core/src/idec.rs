@@ -148,7 +148,7 @@ impl Idec {
             }
         }
 
-        let mut force_refresh = !start_iter.is_multiple_of(cfg.update_interval);
+        let mut force_refresh = start_iter % cfg.update_interval != 0;
         let start_iter = if already_done { cfg.max_iter } else { start_iter };
         for i in start_iter..cfg.max_iter {
             if faults.kill_requested(i) {
@@ -190,6 +190,8 @@ impl Idec {
                 }
                 record_trace_point(
                     &mut trace,
+                    "idec",
+                    None,
                     i,
                     &q,
                     &p_full,

@@ -200,6 +200,7 @@ pub fn pretrain_autoencoder(
     let mut ae_opt = Adam::new(cfg.lr).with_clip(5.0);
     let mut critic_opt = Adam::new(cfg.lr).with_clip(5.0);
     let mut last_critic_loss = 0.0f32;
+    let mut last_ae_loss = 0.0f32;
     let mut start_iter = 0usize;
     let mut done_iterations = cfg.iterations;
     let mut already_done = false;
@@ -240,11 +241,19 @@ pub fn pretrain_autoencoder(
                 iter: i,
             });
         }
-        if i.is_multiple_of(CHECKPOINT_STRIDE) {
+        if i % CHECKPOINT_STRIDE == 0 {
             if let Err(fault) = guard.check_params(store) {
                 recover!(fault);
             }
             guard.mark_good(i, store);
+            adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Info, "train.interval")
+                    .field("phase", "pretrain")
+                    .field("iter", i)
+                    .field("ae_loss", last_ae_loss)
+                    .field("critic_loss", last_critic_loss)
+                    .sampled(),
+            );
             cfg.durability
                 .maybe_write("pretrain", i / CHECKPOINT_STRIDE, || Checkpoint {
                     phase: "pretrain".into(),
@@ -300,6 +309,7 @@ pub fn pretrain_autoencoder(
         if let Err(fault) = guard.check_loss(observed) {
             recover!(fault);
         }
+        last_ae_loss = ae_loss;
 
         // ---------------- Critic step (eq. 9) ----------------
         if let Some(critic) = &critic {

@@ -403,6 +403,39 @@ impl Checkpoint {
     /// nothing) — never a torn file.
     pub fn save_atomic(&self, path: impl AsRef<Path>) -> Result<(), CheckpointError> {
         let path = path.as_ref();
+        let shown = path.display().to_string();
+        adec_obs::emit(
+            adec_obs::Event::new(adec_obs::Level::Info, "checkpoint.write")
+                .field("event", "begin")
+                .field("path", shown.as_str())
+                .field("phase", self.phase.as_str())
+                .field("iter", self.iter),
+        );
+        match self.save_atomic_inner(path) {
+            Ok(bytes) => {
+                adec_obs::emit(
+                    adec_obs::Event::new(adec_obs::Level::Info, "checkpoint.write")
+                        .field("event", "end")
+                        .field("path", shown.as_str())
+                        .field("phase", self.phase.as_str())
+                        .field("iter", self.iter)
+                        .field("bytes", bytes),
+                );
+                Ok(())
+            }
+            Err(err) => {
+                adec_obs::emit(
+                    adec_obs::Event::new(adec_obs::Level::Error, "checkpoint.write")
+                        .field("event", "error")
+                        .field("path", shown.as_str())
+                        .field("err", err.to_string()),
+                );
+                Err(err)
+            }
+        }
+    }
+
+    fn save_atomic_inner(&self, path: &Path) -> Result<usize, CheckpointError> {
         let bytes = self.encode()?;
         let mut tmp = path.as_os_str().to_owned();
         tmp.push(".tmp");
@@ -412,13 +445,31 @@ impl Checkpoint {
         file.sync_all().map_err(CheckpointError::Io)?;
         drop(file);
         std::fs::rename(&tmp, path).map_err(CheckpointError::Io)?;
-        Ok(())
+        Ok(bytes.len())
     }
 
     /// Loads and verifies a checkpoint file.
     pub fn load(path: impl AsRef<Path>) -> Result<Checkpoint, CheckpointError> {
-        let bytes = std::fs::read(path).map_err(CheckpointError::Io)?;
-        Checkpoint::decode(&bytes)
+        let path = path.as_ref();
+        let result = std::fs::read(path)
+            .map_err(CheckpointError::Io)
+            .and_then(|bytes| Checkpoint::decode(&bytes));
+        match &result {
+            Ok(ckpt) => adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Info, "checkpoint.load")
+                    .field("event", "end")
+                    .field("path", path.display().to_string())
+                    .field("phase", ckpt.phase.as_str())
+                    .field("iter", ckpt.iter),
+            ),
+            Err(err) => adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Error, "checkpoint.load")
+                    .field("event", "error")
+                    .field("path", path.display().to_string())
+                    .field("err", err.to_string()),
+            ),
+        }
+        result
     }
 
     /// Errors unless the checkpoint was written by the named phase —

@@ -1,0 +1,413 @@
+//! Prometheus text exposition: encoding a registry [`Snapshot`] and a
+//! strict validator used by the format tests (and anyone debugging a
+//! scrape).
+//!
+//! Encoding follows the text format version 0.0.4: a `# TYPE` line per
+//! metric, counters as a single sample, histograms as cumulative
+//! `_bucket{le="…"}` samples plus `_sum` and `_count`, and a trailing
+//! newline on the last line.
+
+use crate::registry::Snapshot;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Renders a snapshot in the Prometheus text exposition format.
+pub fn encode(snap: &Snapshot) -> String {
+    let mut out = String::new();
+    for (name, value) in &snap.counters {
+        let _ = writeln!(out, "# TYPE {name} counter");
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, hist) in &snap.histograms {
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        let mut total = 0u64;
+        for (bound, cum) in hist.bounds.iter().zip(hist.cumulative.iter()) {
+            let _ = writeln!(out, "{name}_bucket{{le=\"{}\"}} {cum}", format_value(*bound));
+            total = *cum;
+        }
+        total = hist.cumulative.last().copied().unwrap_or(total);
+        let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {total}");
+        let _ = writeln!(out, "{name}_sum {}", format_value(hist.sum));
+        let _ = writeln!(out, "{name}_count {total}");
+    }
+    out
+}
+
+/// Formats a sample value or bucket bound the way Prometheus expects.
+pub fn format_value(v: f64) -> String {
+    if v.is_infinite() {
+        if v > 0.0 { "+Inf" } else { "-Inf" }.to_string()
+    } else if v.is_nan() {
+        "NaN".to_string()
+    } else {
+        format!("{v}")
+    }
+}
+
+/// True when `name` matches the metric-name charset
+/// `[a-z_:][a-z0-9_:]*` (the workspace emits lowercase names only, so
+/// the validator enforces the stricter lowercase form).
+pub fn valid_metric_name(name: &str) -> bool {
+    let mut chars = name.chars();
+    let Some(first) = chars.next() else { return false };
+    matches!(first, 'a'..='z' | '_' | ':')
+        && chars.all(|c| matches!(c, 'a'..='z' | '0'..='9' | '_' | ':'))
+}
+
+/// Summary of a validated exposition body.
+#[derive(Debug, Default)]
+pub struct Exposition {
+    /// `name -> type` for every `# TYPE` line, in order of appearance.
+    pub types: Vec<(String, String)>,
+    /// `name -> value` for every plain (label-free) sample, plus
+    /// histogram `_sum` / `_count` series; `_bucket` series are checked
+    /// structurally but not recorded here.
+    pub samples: Vec<(String, f64)>,
+}
+
+impl Exposition {
+    /// The value of a plain sample by exact name.
+    pub fn sample(&self, name: &str) -> Option<f64> {
+        self.samples.iter().find(|(n, _)| n == name).map(|&(_, v)| v)
+    }
+
+    /// The declared type of a metric.
+    pub fn type_of(&self, name: &str) -> Option<&str> {
+        self.types.iter().find(|(n, _)| n == name).map(|(_, t)| t.as_str())
+    }
+}
+
+/// Strictly validates a text-format exposition body:
+///
+/// * every line is a `# TYPE`/`# HELP` comment or a well-formed sample;
+/// * metric names match `[a-z_:][a-z0-9_:]*`;
+/// * every sample's base metric was declared by a preceding `# TYPE`;
+/// * histogram `_bucket` series have parseable, strictly increasing
+///   `le` bounds ending in `+Inf`, cumulative counts are monotone, and
+///   `_count` equals the `+Inf` bucket;
+/// * the body ends with a newline.
+///
+/// Returns the parsed samples for further assertions.
+pub fn check_exposition(body: &str) -> Result<Exposition, String> {
+    if body.is_empty() {
+        return Err("empty exposition body".to_string());
+    }
+    if !body.ends_with('\n') {
+        return Err("exposition must end with a newline".to_string());
+    }
+    let mut out = Exposition::default();
+    let mut declared: BTreeMap<String, String> = BTreeMap::new();
+    // Histogram accounting: name -> (bucket series as (le, count), sum?, count?)
+    #[derive(Default)]
+    struct HistAcc {
+        buckets: Vec<(f64, f64)>,
+        count: Option<f64>,
+    }
+    let mut hists: BTreeMap<String, HistAcc> = BTreeMap::new();
+
+    for (idx, line) in body.lines().enumerate() {
+        let line_no = idx + 1;
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# ") {
+            let mut words = rest.split_whitespace();
+            match words.next() {
+                Some("TYPE") => {
+                    let name = words.next().ok_or_else(|| format!("line {line_no}: TYPE without name"))?;
+                    let kind = words.next().ok_or_else(|| format!("line {line_no}: TYPE without kind"))?;
+                    if !valid_metric_name(name) {
+                        return Err(format!("line {line_no}: bad metric name '{name}'"));
+                    }
+                    if !matches!(kind, "counter" | "gauge" | "histogram" | "summary" | "untyped") {
+                        return Err(format!("line {line_no}: bad metric type '{kind}'"));
+                    }
+                    if declared.insert(name.to_string(), kind.to_string()).is_some() {
+                        return Err(format!("line {line_no}: duplicate TYPE for '{name}'"));
+                    }
+                    out.types.push((name.to_string(), kind.to_string()));
+                }
+                Some("HELP") => {}
+                _ => return Err(format!("line {line_no}: unknown comment (only TYPE/HELP)")),
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            return Err(format!("line {line_no}: comment must start with '# '"));
+        }
+
+        let (name, labels, value) = parse_sample(line).map_err(|e| format!("line {line_no}: {e}"))?;
+        if !valid_metric_name(&name) {
+            return Err(format!("line {line_no}: bad metric name '{name}'"));
+        }
+        let (base, suffix) = split_suffix(&name);
+        let declared_kind = declared
+            .get(&name)
+            .or_else(|| declared.get(base))
+            .ok_or_else(|| format!("line {line_no}: sample '{name}' has no preceding # TYPE"))?;
+        if declared_kind == "histogram" {
+            let acc = hists.entry(base.to_string()).or_default();
+            match suffix {
+                "_bucket" => {
+                    let le = labels
+                        .iter()
+                        .find(|(k, _)| k == "le")
+                        .ok_or_else(|| format!("line {line_no}: _bucket without le label"))?;
+                    let bound = parse_bound(&le.1)
+                        .ok_or_else(|| format!("line {line_no}: bad le bound '{}'", le.1))?;
+                    acc.buckets.push((bound, value));
+                }
+                "_sum" => out.samples.push((name.clone(), value)),
+                "_count" => {
+                    acc.count = Some(value);
+                    out.samples.push((name.clone(), value));
+                }
+                _ => {
+                    return Err(format!(
+                        "line {line_no}: histogram sample '{name}' must end _bucket/_sum/_count"
+                    ))
+                }
+            }
+        } else {
+            out.samples.push((name.clone(), value));
+        }
+    }
+
+    for (name, acc) in &hists {
+        if acc.buckets.is_empty() {
+            return Err(format!("histogram '{name}' has no _bucket samples"));
+        }
+        for pair in acc.buckets.windows(2) {
+            if let [(lo_bound, lo_count), (hi_bound, hi_count)] = pair {
+                if hi_bound <= lo_bound {
+                    return Err(format!("histogram '{name}': le bounds not increasing"));
+                }
+                if hi_count < lo_count {
+                    return Err(format!("histogram '{name}': bucket counts not cumulative"));
+                }
+            }
+        }
+        let last = acc.buckets.last().map(|&(b, c)| (b, c));
+        match last {
+            Some((bound, top)) if bound.is_infinite() && bound > 0.0 => {
+                let count =
+                    acc.count.ok_or_else(|| format!("histogram '{name}' missing _count sample"))?;
+                if (count - top).abs() > 0.0 {
+                    return Err(format!(
+                        "histogram '{name}': _count {count} != +Inf bucket {top}"
+                    ));
+                }
+            }
+            _ => return Err(format!("histogram '{name}': last bucket must be le=\"+Inf\"")),
+        }
+    }
+    Ok(out)
+}
+
+/// Splits a metric name into `(base, suffix)` where suffix is one of the
+/// histogram suffixes or empty.
+fn split_suffix(name: &str) -> (&str, &str) {
+    for suffix in ["_bucket", "_sum", "_count"] {
+        if let Some(base) = name.strip_suffix(suffix) {
+            return (base, suffix);
+        }
+    }
+    (name, "")
+}
+
+fn parse_bound(text: &str) -> Option<f64> {
+    match text {
+        "+Inf" => Some(f64::INFINITY),
+        "-Inf" => Some(f64::NEG_INFINITY),
+        _ => text.parse::<f64>().ok().filter(|b| b.is_finite()),
+    }
+}
+
+/// A parsed sample line: name, labels, value.
+type Sample = (String, Vec<(String, String)>, f64);
+
+/// Parses `name{k="v",…} value` into its parts. Labels are optional.
+fn parse_sample(line: &str) -> Result<Sample, String> {
+    let (head, value_text) = match line.find('{') {
+        Some(open) => {
+            let close =
+                line.rfind('}').ok_or_else(|| "unclosed label block".to_string())?;
+            if close < open {
+                return Err("mismatched braces".to_string());
+            }
+            let labels_text = line.get(open + 1..close).unwrap_or("");
+            let name = line.get(..open).unwrap_or("").trim();
+            let rest = line.get(close + 1..).unwrap_or("").trim();
+            return Ok((name.to_string(), parse_labels(labels_text)?, parse_value(rest)?));
+        }
+        None => {
+            let mut parts = line.split_whitespace();
+            let name = parts.next().ok_or_else(|| "empty sample line".to_string())?;
+            let value = parts.next().ok_or_else(|| "sample without value".to_string())?;
+            if parts.next().is_some() {
+                return Err("trailing tokens after value (timestamps unsupported)".to_string());
+            }
+            (name, value)
+        }
+    };
+    Ok((head.to_string(), Vec::new(), parse_value(value_text)?))
+}
+
+fn parse_value(text: &str) -> Result<f64, String> {
+    match text {
+        "+Inf" => Ok(f64::INFINITY),
+        "-Inf" => Ok(f64::NEG_INFINITY),
+        "NaN" => Ok(f64::NAN),
+        _ => text.parse::<f64>().map_err(|_| format!("bad sample value '{text}'")),
+    }
+}
+
+fn parse_labels(text: &str) -> Result<Vec<(String, String)>, String> {
+    let mut out = Vec::new();
+    let mut rest = text.trim();
+    while !rest.is_empty() {
+        let eq = rest.find('=').ok_or_else(|| format!("label without '=': '{rest}'"))?;
+        let key = rest.get(..eq).unwrap_or("").trim();
+        if key.is_empty()
+            || !key
+                .chars()
+                .enumerate()
+                .all(|(i, c)| c == '_' || c.is_ascii_lowercase() || (i > 0 && c.is_ascii_digit()))
+        {
+            return Err(format!("bad label name '{key}'"));
+        }
+        let after = rest.get(eq + 1..).unwrap_or("").trim_start();
+        let mut chars = after.char_indices();
+        if chars.next().map(|(_, c)| c) != Some('"') {
+            return Err(format!("label value for '{key}' must be quoted"));
+        }
+        let mut value = String::new();
+        let mut consumed = None;
+        let mut escaped = false;
+        for (i, c) in chars {
+            if escaped {
+                match c {
+                    '"' => value.push('"'),
+                    '\\' => value.push('\\'),
+                    'n' => value.push('\n'),
+                    other => return Err(format!("bad escape '\\{other}' in label value")),
+                }
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                consumed = Some(i + 1);
+                break;
+            } else {
+                value.push(c);
+            }
+        }
+        let end = consumed.ok_or_else(|| format!("unterminated value for label '{key}'"))?;
+        out.push((key.to_string(), value));
+        rest = after.get(end..).unwrap_or("").trim_start();
+        if let Some(stripped) = rest.strip_prefix(',') {
+            rest = stripped.trim_start();
+        } else if !rest.is_empty() {
+            return Err(format!("expected ',' between labels, got '{rest}'"));
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::float_cmp, clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample_registry() -> Registry {
+        let reg = Registry::new();
+        reg.counter("adec_demo_requests_total").add(41);
+        let h = reg.histogram("adec_demo_latency_seconds", &[0.01, 0.1, 1.0]);
+        for v in [0.005, 0.05, 0.05, 0.5, 5.0] {
+            h.observe(v);
+        }
+        reg
+    }
+
+    #[test]
+    fn encoded_snapshot_passes_the_strict_checker() {
+        let body = encode(&sample_registry().snapshot());
+        let exposition = check_exposition(&body).unwrap();
+        assert_eq!(exposition.sample("adec_demo_requests_total"), Some(41.0));
+        assert_eq!(exposition.type_of("adec_demo_requests_total"), Some("counter"));
+        assert_eq!(exposition.type_of("adec_demo_latency_seconds"), Some("histogram"));
+        // Histogram _sum/_count are checked *and* listed, so callers can
+        // assert on observation counts; bucket lines stay check-only.
+        assert_eq!(exposition.sample("adec_demo_latency_seconds_count"), Some(5.0));
+        let sum = exposition.sample("adec_demo_latency_seconds_sum").unwrap();
+        assert!((sum - 5.605).abs() < 1e-9, "sum {sum}");
+        assert_eq!(exposition.sample("adec_demo_latency_seconds_bucket"), None);
+    }
+
+    #[test]
+    fn encoded_histogram_lines_are_cumulative() {
+        let body = encode(&sample_registry().snapshot());
+        let bucket_lines: Vec<&str> =
+            body.lines().filter(|l| l.starts_with("adec_demo_latency_seconds_bucket")).collect();
+        assert_eq!(bucket_lines.len(), 4);
+        assert!(bucket_lines[0].ends_with(" 1"), "{bucket_lines:?}");
+        assert!(bucket_lines[1].ends_with(" 3"), "{bucket_lines:?}");
+        assert!(bucket_lines[2].ends_with(" 4"), "{bucket_lines:?}");
+        assert!(bucket_lines[3].contains("le=\"+Inf\"") && bucket_lines[3].ends_with(" 5"));
+        assert!(body.contains("adec_demo_latency_seconds_count 5"));
+    }
+
+    #[test]
+    fn checker_rejects_malformed_bodies() {
+        let cases: &[(&str, &str)] = &[
+            ("no trailing newline", "# TYPE a counter\na 1"),
+            ("sample without TYPE", "a 1\n"),
+            ("bad name", "# TYPE BadName counter\nBadName 1\n"),
+            ("bad type", "# TYPE a widget\na 1\n"),
+            ("bad value", "# TYPE a counter\na one\n"),
+            ("duplicate TYPE", "# TYPE a counter\n# TYPE a counter\na 1\n"),
+            (
+                "non-monotone histogram",
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 5\nh_bucket{le=\"+Inf\"} 3\nh_sum 1\nh_count 3\n",
+            ),
+            (
+                "count mismatch",
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_bucket{le=\"+Inf\"} 2\nh_sum 1\nh_count 3\n",
+            ),
+            (
+                "missing +Inf",
+                "# TYPE h histogram\nh_bucket{le=\"1\"} 1\nh_sum 1\nh_count 1\n",
+            ),
+            ("unquoted label", "# TYPE a counter\na{x=1} 1\n"),
+        ];
+        for (what, body) in cases {
+            assert!(check_exposition(body).is_err(), "{what} should be rejected");
+        }
+    }
+
+    #[test]
+    fn checker_accepts_labels_and_escapes() {
+        let body = "# TYPE a counter\na{path=\"/x\",msg=\"q\\\"uote\"} 2\n";
+        let exposition = check_exposition(body).unwrap();
+        assert_eq!(exposition.sample("a"), Some(2.0));
+    }
+
+    #[test]
+    fn value_formatting_covers_special_floats() {
+        assert_eq!(format_value(0.25), "0.25");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(f64::NEG_INFINITY), "-Inf");
+        assert_eq!(format_value(f64::NAN), "NaN");
+    }
+
+    #[test]
+    fn metric_name_charset() {
+        assert!(valid_metric_name("adec_serve_served_total"));
+        assert!(valid_metric_name("_private:scoped"));
+        assert!(!valid_metric_name("9starts_with_digit"));
+        assert!(!valid_metric_name("Has_Upper"));
+        assert!(!valid_metric_name(""));
+        assert!(!valid_metric_name("has-dash"));
+    }
+}

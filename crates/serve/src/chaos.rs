@@ -21,6 +21,9 @@
 //!   some 200s, some 503 + `Retry-After`, zero hangs.
 //! - **determinism** — the same `/assign` body sent twice must produce
 //!   byte-identical responses.
+//! - **metrics** — after all of the above, `GET /metrics` must return a
+//!   body that passes the strict Prometheus exposition parser, report
+//!   zero caught panics, and show the latency histogram populated.
 
 use adec_tensor::SeedRng;
 use std::io::{Read, Write};
@@ -362,6 +365,39 @@ pub fn run_drill(
             ),
         },
     ));
+
+    // -- metrics ---------------------------------------------------------
+    // The drill just battered the server; its scrape must still be valid
+    // exposition format, prove no worker panicked, and show the request
+    // latency histogram actually collecting.
+    let metrics = get(addr, "/metrics").ok().flatten();
+    let (metrics_pass, metrics_detail) = match metrics {
+        Some((200, body)) => match std::str::from_utf8(&body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(adec_obs::prom::check_exposition)
+        {
+            Ok(exp) => {
+                let panics = exp.sample("adec_serve_caught_panics_total");
+                let latency_count = exp.sample("adec_serve_request_seconds_count");
+                if panics != Some(0.0) {
+                    (false, format!("caught_panics_total={panics:?}, want 0"))
+                } else if !latency_count.is_some_and(|c| c > 0.0) {
+                    (false, format!("request_seconds_count={latency_count:?}, want > 0"))
+                } else {
+                    (
+                        true,
+                        format!(
+                            "valid exposition, 0 panics, {} timed requests",
+                            latency_count.unwrap_or(0.0)
+                        ),
+                    )
+                }
+            }
+            Err(err) => (false, format!("exposition rejected: {err}")),
+        },
+        other => (false, format!("answered {:?}, want 200", other.map(|(s, _)| s))),
+    };
+    scenarios.push(with_liveness("metrics", addr, metrics_pass, metrics_detail));
 
     DrillReport { scenarios }
 }

@@ -21,6 +21,7 @@
 
 use crate::http::{read_request, write_response, HttpError, Limits, Method, Request};
 use crate::model::{AssignError, Assignment, InferenceModel, ServeMode, MAX_FEATURE_MAGNITUDE};
+use adec_obs::{counter, histogram, Counter, Histogram, DURATION_BUCKETS};
 use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
@@ -134,6 +135,42 @@ impl Stats {
     }
 }
 
+/// Process-global mirrors of [`Stats`] plus request-level distributions,
+/// exported at `GET /metrics` in Prometheus text format. The per-instance
+/// [`Stats`] stays the source of truth for `/statz` and
+/// [`ServerHandle::join`]; these registry handles aggregate across every
+/// server instance in the process.
+struct ObsMetrics {
+    served: Arc<Counter>,
+    rejected_busy: Arc<Counter>,
+    client_errors: Arc<Counter>,
+    disconnects: Arc<Counter>,
+    deadline_expired: Arc<Counter>,
+    caught_panics: Arc<Counter>,
+    /// Accept-to-response latency of every worker-handled request.
+    request_seconds: Arc<Histogram>,
+    /// Queue length observed at each successful admission.
+    queue_depth: Arc<Histogram>,
+}
+
+impl ObsMetrics {
+    fn new() -> ObsMetrics {
+        ObsMetrics {
+            served: counter("adec_serve_served_total"),
+            rejected_busy: counter("adec_serve_rejected_busy_total"),
+            client_errors: counter("adec_serve_client_errors_total"),
+            disconnects: counter("adec_serve_disconnects_total"),
+            deadline_expired: counter("adec_serve_deadline_expired_total"),
+            caught_panics: counter("adec_serve_caught_panics_total"),
+            request_seconds: histogram("adec_serve_request_seconds", DURATION_BUCKETS),
+            queue_depth: histogram(
+                "adec_serve_queue_depth",
+                &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
+            ),
+        }
+    }
+}
+
 /// Shared state between acceptor, workers, and the handle.
 struct Shared {
     model: InferenceModel,
@@ -142,10 +179,17 @@ struct Shared {
     wake: Condvar,
     shutting_down: AtomicBool,
     stats: Stats,
+    obs: ObsMetrics,
     addr: SocketAddr,
 }
 
 impl Shared {
+    /// Bumps a per-instance counter and its process-global mirror together.
+    fn count(&self, local: &AtomicU64, global: &Counter) {
+        local.fetch_add(1, Ordering::Relaxed);
+        global.inc();
+    }
+
     /// Flips the shutdown flag and wakes everyone: workers via the
     /// condvar, the acceptor via a loopback self-connect (the only way to
     /// interrupt a blocking `accept` with std alone).
@@ -192,6 +236,7 @@ impl ServerHandle {
             wake: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             stats: Stats::default(),
+            obs: ObsMetrics::new(),
             addr,
         });
         let workers = (0..shared.config.workers)
@@ -269,10 +314,11 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             };
             if q.len() < shared.config.max_inflight {
                 q.push_back((stream, accepted_at));
+                shared.obs.queue_depth.observe(q.len() as f64);
                 true
             } else {
                 drop(q);
-                shared.stats.rejected_busy.fetch_add(1, Ordering::Relaxed);
+                shared.count(&shared.stats.rejected_busy, &shared.obs.rejected_busy);
                 let mut stream = stream;
                 let _ = write_response(
                     &mut stream,
@@ -321,7 +367,7 @@ fn worker_loop(shared: &Shared) {
             serve_connection(shared, &mut stream, accepted_at);
         }));
         if outcome.is_err() {
-            shared.stats.caught_panics.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.caught_panics, &shared.obs.caught_panics);
             let _ = write_response(
                 &mut stream,
                 500,
@@ -330,6 +376,12 @@ fn worker_loop(shared: &Shared) {
                 br#"{"error":"internal"}"#,
             );
         }
+        // Accept-to-response latency: includes queue wait by design, so
+        // saturation shows up in the tail.
+        shared
+            .obs
+            .request_seconds
+            .observe(accepted_at.elapsed().as_secs_f64());
     }
 }
 
@@ -339,11 +391,11 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream, accepted_at: Instan
     let request = match read_request(stream, &shared.config.limits, read_deadline) {
         Ok(req) => req,
         Err(HttpError::Disconnected) => {
-            shared.stats.disconnects.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.disconnects, &shared.obs.disconnects);
             return;
         }
         Err(err) => {
-            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             if let Some(status) = err.status() {
                 let body = format!(r#"{{"error":"{}","detail":"{err}"}}"#, err.reason());
                 let _ = write_response(stream, status, &[], "application/json", body.as_bytes());
@@ -363,7 +415,7 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
     let draining = shared.shutting_down.load(Ordering::SeqCst);
     match (request.method, request.path.as_str()) {
         (Method::Get, "/healthz") => {
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.served, &shared.obs.served);
             let _ = write_response(stream, 200, &[], "text/plain", b"ok\n");
         }
         (Method::Get, "/readyz") => {
@@ -379,11 +431,26 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
             );
             let status = if draining { 503 } else { 200 };
             if draining {
-                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             } else {
-                shared.stats.served.fetch_add(1, Ordering::Relaxed);
+                shared.count(&shared.stats.served, &shared.obs.served);
             }
             let _ = write_response(stream, status, &[], "application/json", body.as_bytes());
+        }
+        (Method::Get, "/metrics") => {
+            // Prometheus scrape of the process-global registry. Like
+            // /healthz, this deliberately ignores the drain flag:
+            // operators scrape right through a shutdown, so /metrics
+            // stays 200 while /readyz is already 503.
+            let body = adec_obs::prom::encode(&adec_obs::global().snapshot());
+            shared.count(&shared.stats.served, &shared.obs.served);
+            let _ = write_response(
+                stream,
+                200,
+                &[],
+                "text/plain; version=0.0.4",
+                body.as_bytes(),
+            );
         }
         (Method::Get, "/statz") => {
             let s = shared.stats.snapshot();
@@ -396,11 +463,11 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                 s.deadline_expired,
                 s.caught_panics,
             );
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.served, &shared.obs.served);
             let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
         }
         (Method::Post, "/shutdown") => {
-            shared.stats.served.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.served, &shared.obs.served);
             let _ = write_response(
                 stream,
                 200,
@@ -411,8 +478,8 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
             shared.begin_shutdown();
         }
         (Method::Post, "/assign") => handle_assign(shared, stream, request),
-        (_, "/healthz" | "/readyz" | "/statz" | "/shutdown" | "/assign") => {
-            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+        (_, "/healthz" | "/readyz" | "/statz" | "/metrics" | "/shutdown" | "/assign") => {
+            shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             let _ = write_response(
                 stream,
                 405,
@@ -422,7 +489,7 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
             );
         }
         _ => {
-            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             let _ = write_response(
                 stream,
                 404,
@@ -443,7 +510,7 @@ fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
     let rows = match parse_csv_body(&request.body, want) {
         Ok(rows) => rows,
         Err(msg) => {
-            shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             let body = format!(r#"{{"error":"bad-body","detail":"{msg}"}}"#);
             let _ = write_response(stream, 400, &[], "application/json", body.as_bytes());
             return;
@@ -452,7 +519,7 @@ fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
     let mut assignments: Vec<Assignment> = Vec::with_capacity(rows.len());
     for chunk in rows.chunks(ASSIGN_CHUNK_ROWS) {
         if Instant::now() >= compute_deadline {
-            shared.stats.deadline_expired.fetch_add(1, Ordering::Relaxed);
+            shared.count(&shared.stats.deadline_expired, &shared.obs.deadline_expired);
             let _ = write_response(
                 stream,
                 503,
@@ -467,14 +534,14 @@ fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
         match shared.model.assign(&x) {
             Ok(mut batch) => assignments.append(&mut batch),
             Err(err) => {
-                shared.stats.client_errors.fetch_add(1, Ordering::Relaxed);
+                shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
                 let body = format!(r#"{{"error":"bad-input","detail":"{err}"}}"#);
                 let _ = write_response(stream, 400, &[], "application/json", body.as_bytes());
                 return;
             }
         }
     }
-    shared.stats.served.fetch_add(1, Ordering::Relaxed);
+    shared.count(&shared.stats.served, &shared.obs.served);
     let body = render_assignments(&shared.model.mode, &shared.model.phase, &assignments);
     let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
 }

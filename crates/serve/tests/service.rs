@@ -1,8 +1,8 @@
 //! Happy-path and endpoint-contract tests for the serve stack, run fully
 //! in-process against an ephemeral-port server.
 
-// Test code: unwraps are the assertions themselves here.
-#![allow(clippy::unwrap_used)]
+// Test code: unwraps and panics are the assertions themselves here.
+#![allow(clippy::unwrap_used, clippy::panic)]
 
 mod common;
 
@@ -165,6 +165,88 @@ fn shutdown_endpoint_drains_to_joinable_exit() {
     assert!(String::from_utf8(body).unwrap().contains("draining"));
     let stats = server.join(); // must not hang
     assert_eq!(stats.caught_panics, 0);
+}
+
+#[test]
+fn metrics_is_strict_exposition_and_statz_stays_compatible() {
+    let server = start_server(sample_model(30), |_| {});
+    let addr = server.addr();
+
+    // Generate some traffic so the latency histogram has samples.
+    for seed in 0..4 {
+        let (status, _) = post(addr, "/assign", &sample_body(INPUT_DIM, 3, 100 + seed)).unwrap().unwrap();
+        assert_eq!(status, 200);
+    }
+    let (status, _) = post(addr, "/assign", b"definitely,not,numbers\n").unwrap().unwrap();
+    assert_eq!(status, 400);
+
+    let (status, body) = get(addr, "/metrics").unwrap().unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    let exp = adec_obs::prom::check_exposition(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    assert_eq!(exp.type_of("adec_serve_served_total"), Some("counter"));
+    assert_eq!(exp.type_of("adec_serve_request_seconds"), Some("histogram"));
+    assert_eq!(exp.type_of("adec_serve_queue_depth"), Some("histogram"));
+    // The registry is process-global (shared with any concurrently
+    // running test server), so assert floors, not exact counts.
+    assert!(exp.sample("adec_serve_served_total").unwrap() >= 4.0, "{text}");
+    assert!(exp.sample("adec_serve_client_errors_total").unwrap() >= 1.0, "{text}");
+    assert!(exp.sample("adec_serve_request_seconds_count").unwrap() >= 5.0, "{text}");
+
+    // /statz keeps its exact pre-telemetry shape and per-instance values.
+    let (status, body) = get(addr, "/statz").unwrap().unwrap();
+    assert_eq!(status, 200);
+    let text = String::from_utf8(body).unwrap();
+    for key in [
+        "\"served\":",
+        "\"rejected_busy\":",
+        "\"client_errors\":",
+        "\"disconnects\":",
+        "\"deadline_expired\":",
+        "\"caught_panics\":0",
+    ] {
+        assert!(text.contains(key), "missing {key} in {text}");
+    }
+
+    server.shutdown();
+    server.join();
+}
+
+#[test]
+fn metrics_stays_servable_while_draining() {
+    use std::io::Write;
+    use std::net::TcpStream;
+    use std::time::Duration;
+
+    // One worker, generous read deadline: a stalled connection pins the
+    // worker long enough for scrapes to queue up behind it.
+    let server = start_server(sample_model(31), |c| {
+        c.workers = 1;
+        c.read_deadline_ms = 1_500;
+    });
+    let addr = server.addr();
+
+    // Pin the single worker on a connection that never completes a head.
+    let mut stall = TcpStream::connect(addr).unwrap();
+    stall.write_all(b"GET /he").unwrap();
+    std::thread::sleep(Duration::from_millis(100));
+
+    // These land in the queue and will only be routed after the drain
+    // flag is up.
+    let scrape = std::thread::spawn(move || get(addr, "/metrics").unwrap().unwrap());
+    let ready = std::thread::spawn(move || get(addr, "/readyz").unwrap().unwrap());
+    std::thread::sleep(Duration::from_millis(200));
+    server.shutdown();
+
+    let (metrics_status, metrics_body) = scrape.join().unwrap();
+    let (ready_status, _) = ready.join().unwrap();
+    assert_eq!(ready_status, 503, "/readyz must refuse while draining");
+    assert_eq!(metrics_status, 200, "/metrics must keep serving while draining");
+    let text = String::from_utf8(metrics_body).unwrap();
+    adec_obs::prom::check_exposition(&text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+
+    drop(stall);
+    server.join();
 }
 
 #[test]

@@ -37,6 +37,36 @@ pub const PARALLEL_MIN_WORK: usize = 1 << 16;
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static ENV_THREADS: OnceLock<usize> = OnceLock::new();
 
+// --- kernel telemetry -------------------------------------------------
+// Dispatch counts and per-chunk wall time flow to the global adec-obs
+// registry. Compiled out entirely without the (default) `telemetry`
+// feature; with it, a dispatch costs one relaxed atomic add and each
+// parallel chunk adds two monotonic clock reads — nothing touches the
+// per-element path or the numerics, so trajectories are unchanged.
+#[cfg(feature = "telemetry")]
+mod pool_obs {
+    use std::sync::{Arc, OnceLock};
+
+    /// Inline (single-chunk) kernel dispatches.
+    pub fn serial_dispatches() -> &'static adec_obs::Counter {
+        static C: OnceLock<Arc<adec_obs::Counter>> = OnceLock::new();
+        C.get_or_init(|| adec_obs::counter("adec_pool_dispatch_serial_total")).as_ref()
+    }
+
+    /// Multi-chunk (scoped-thread) kernel dispatches.
+    pub fn parallel_dispatches() -> &'static adec_obs::Counter {
+        static C: OnceLock<Arc<adec_obs::Counter>> = OnceLock::new();
+        C.get_or_init(|| adec_obs::counter("adec_pool_dispatch_parallel_total")).as_ref()
+    }
+
+    /// Wall seconds per parallel chunk.
+    pub fn chunk_seconds() -> &'static adec_obs::Histogram {
+        static H: OnceLock<Arc<adec_obs::Histogram>> = OnceLock::new();
+        H.get_or_init(|| adec_obs::histogram("adec_pool_chunk_seconds", adec_obs::DURATION_BUCKETS))
+            .as_ref()
+    }
+}
+
 /// The configured worker count: the in-process override if set, else
 /// `ADEC_THREADS` (cached on first read), else 1.
 ///
@@ -53,7 +83,14 @@ pub fn configured_threads() -> usize {
         let raw = std::env::var("ADEC_THREADS").ok();
         let (threads, warning) = parse_thread_env(raw.as_deref());
         if let Some(msg) = warning {
-            eprintln!("adec: warning: {msg}");
+            // A Warn-level event always mirrors to stderr, so the operator
+            // sees `adec: warning: …` whether or not a log sink exists.
+            #[cfg(feature = "telemetry")]
+            adec_obs::emit(
+                adec_obs::Event::new(adec_obs::Level::Warn, "pool.threads").field("msg", msg),
+            );
+            #[cfg(not(feature = "telemetry"))]
+            eprintln!("adec: warning: {msg}"); // lint:allow(obs-eprintln) -- telemetry compiled out
         }
         threads
     })
@@ -132,9 +169,21 @@ where
     assert_eq!(out.len(), rows * cols, "parallel_rows: output length mismatch");
     let threads = configured_threads();
     if threads <= 1 || rows < 2 || work < PARALLEL_MIN_WORK {
+        #[cfg(feature = "telemetry")]
+        pool_obs::serial_dispatches().inc();
         f(0, rows, out);
         return;
     }
+    #[cfg(feature = "telemetry")]
+    pool_obs::parallel_dispatches().inc();
+    // Per-chunk timing wraps the whole chunk, not the element loop.
+    let run = |start: usize, len: usize, chunk: &mut [f32]| {
+        #[cfg(feature = "telemetry")]
+        let t0 = std::time::Instant::now();
+        f(start, len, chunk);
+        #[cfg(feature = "telemetry")]
+        pool_obs::chunk_seconds().observe(t0.elapsed().as_secs_f64());
+    };
     let spans = row_chunks(rows, threads);
     std::thread::scope(|scope| {
         let mut rest = out;
@@ -142,13 +191,13 @@ where
         while let Some(&(start, len)) = iter.next() {
             if iter.peek().is_none() {
                 // Run the final chunk on the calling thread.
-                f(start, len, rest);
+                run(start, len, rest);
                 break;
             }
             let (chunk, tail) = rest.split_at_mut(len * cols);
             rest = tail;
-            let f = &f;
-            scope.spawn(move || f(start, len, chunk));
+            let run = &run;
+            scope.spawn(move || run(start, len, chunk));
         }
     });
 }

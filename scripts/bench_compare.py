@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""Bench-regression tripwire for the packed gemm path.
+
+Compares a fresh kernel bench report against a committed baseline
+(both `adec-bench-kernels/v1` JSON) and fails when any packed gemm
+entry regresses by more than REGRESSION_FACTOR in ns/op. The factor is
+deliberately tolerant (2x): CI runners are noisy and the tripwire is
+for catastrophic regressions (a dropped kernel path, an accidental
+naive fallback), not for nanosecond drift.
+
+Usage: bench_compare.py BASELINE.json FRESH.json [COMPARISON_OUT.json]
+
+Writes a machine-readable comparison (one row per matched entry) to
+COMPARISON_OUT.json (default: bench_comparison.json) so CI can upload
+it as an artifact, then exits 0 (ok) or 1 (regression / bad input).
+"""
+
+import json
+import sys
+
+REGRESSION_FACTOR = 2.0
+PACKED_GEMM = ("matmul", "matmul_at_b", "matmul_a_bt")
+SCHEMA = "adec-bench-kernels/v1"
+
+
+def load(path):
+    with open(path) as f:
+        doc = json.load(f)
+    if doc.get("schema") != SCHEMA:
+        sys.exit(f"{path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    return {
+        (e["name"], e["tier"]): e
+        for e in doc["entries"]
+        if e["name"] in PACKED_GEMM
+    }
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__)
+    baseline_path, fresh_path = argv[1], argv[2]
+    out_path = argv[3] if len(argv) > 3 else "bench_comparison.json"
+    baseline = load(baseline_path)
+    fresh = load(fresh_path)
+
+    rows, failures = [], []
+    for key in sorted(baseline):
+        name, tier = key
+        if key not in fresh:
+            failures.append(f"{name}/{tier}: missing from fresh report")
+            continue
+        base_ns = baseline[key]["ns_per_op"]
+        fresh_ns = fresh[key]["ns_per_op"]
+        ratio = fresh_ns / base_ns
+        regressed = ratio > REGRESSION_FACTOR
+        rows.append({
+            "name": name,
+            "tier": tier,
+            "baseline_ns_per_op": base_ns,
+            "fresh_ns_per_op": fresh_ns,
+            "ratio": round(ratio, 3),
+            "regressed": regressed,
+        })
+        verdict = "REGRESSED" if regressed else "ok"
+        print(f"{name:<14} {tier:<8} {base_ns:>12} -> {fresh_ns:>12} ns/op "
+              f"({ratio:5.2f}x)  {verdict}")
+        if regressed:
+            failures.append(
+                f"{name}/{tier}: {fresh_ns} ns/op is {ratio:.2f}x the "
+                f"baseline {base_ns} (limit {REGRESSION_FACTOR}x)")
+
+    if not rows:
+        failures.append("no packed gemm entries matched between reports")
+
+    comparison = {
+        "schema": "adec-bench-comparison/v1",
+        "regression_factor": REGRESSION_FACTOR,
+        "entries": rows,
+        "failures": failures,
+    }
+    with open(out_path, "w") as f:
+        json.dump(comparison, f, indent=2)
+        f.write("\n")
+    print(f"comparison written to {out_path}")
+
+    if failures:
+        for msg in failures:
+            print(f"bench tripwire: {msg}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))
