@@ -18,6 +18,13 @@
 //!   serving model (`crates/serve/src/model.rs`, whose matrix-taking entry
 //!   points face network input) taking a `&Matrix`/`&[f32]` must open with
 //!   a dimension assert.
+//! * `lint.silent-detach` — cloning a value off a live tape
+//!   (`.value(..)..clone()` on one line) in training-path library code.
+//!   A cloned tape value carries no backward edge, so gradients silently
+//!   stop at the copy — exactly the feature-drift failure mode the ADEC
+//!   paper's alternated training exists to avoid. The tape's own autodiff
+//!   internals (`crates/nn/src/tape.rs`) and inference/serving paths
+//!   (`crates/serve/`), where detaching is the point, are exempt.
 //!
 //! Any line (or its predecessor) may carry `// lint:allow(rule)` to
 //! suppress a finding; the [`Baseline`] machinery grandfathers historical
@@ -197,6 +204,14 @@ fn is_exempt_path(rel: &str) -> bool {
 /// Kernel crates where the `as-narrowing` rule applies.
 fn is_kernel_path(rel: &str) -> bool {
     rel.starts_with("crates/tensor/src/") || rel.starts_with("crates/nn/src/")
+}
+
+/// Paths where detaching a value from the tape is legitimate and the
+/// `silent-detach` rule stays quiet: the tape's own backward pass reads
+/// recorded values to build gradients, and inference/serving code runs
+/// with no tape at all.
+fn is_detach_exempt_path(rel: &str) -> bool {
+    rel == "crates/nn/src/tape.rs" || rel.starts_with("crates/serve/")
 }
 
 /// Tensor kernel files where every matrix-taking `pub fn` must open with a
@@ -388,6 +403,24 @@ pub fn lint_source(rel: &str, src: &str) -> Vec<Diagnostic> {
                 out.push(
                     Diagnostic::error("lint.as-narrowing", loc(), "unchecked narrowing `as` cast in kernel code")
                         .with_hint("use try_from/TryInto, assert the range first, or justify with // lint:allow(as-narrowing)"),
+                );
+            }
+            if line.contains(".value(")
+                && line.contains(".clone()")
+                && !is_detach_exempt_path(rel)
+                && !allowed(li, "silent-detach")
+            {
+                out.push(
+                    Diagnostic::error(
+                        "lint.silent-detach",
+                        loc(),
+                        "tape value cloned off the graph in training-path code",
+                    )
+                    .with_hint(
+                        "keep the computation on the tape so the backward edge is recorded, \
+                         use infer() for an intentional stop-gradient, or justify with \
+                         // lint:allow(silent-detach)",
+                    ),
                 );
             }
         }
@@ -761,6 +794,35 @@ mod tests {
         let diags = lint_source("crates/serve/src/server.rs", request_path);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "lint.unwrap");
+    }
+
+    #[test]
+    fn silent_detach_is_flagged_in_training_code() {
+        let src = "pub fn step(tape: &Tape, z: Var) -> Matrix {\n    let frozen = tape.value(z).clone();\n    frozen\n}\n";
+        let diags = lint_source("crates/core/src/adec.rs", src);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lint.silent-detach");
+        assert!(diags[0].location.ends_with(":2"));
+        assert!(diags[0].hint.is_some());
+    }
+
+    #[test]
+    fn silent_detach_exempts_tape_internals_and_serve_paths() {
+        let src = "fn backward_piece(t: &Tape, z: Var) {\n    let zv = t.value(z).clone();\n    use_it(zv);\n}\n";
+        assert!(lint_source("crates/nn/src/tape.rs", src).is_empty());
+        assert!(lint_source("crates/serve/src/model.rs", src).is_empty());
+        // Reading a value without cloning it is fine anywhere.
+        let read_only = "fn peek(t: &Tape, z: Var) -> f32 { t.value(z).mean() }\n";
+        assert!(lint_source("crates/core/src/dec.rs", read_only).is_empty());
+    }
+
+    #[test]
+    fn silent_detach_allow_hatch_and_test_exemption() {
+        let allowed =
+            "// target distribution is detached by design -- lint:allow(silent-detach)\nlet p = tape.value(q).clone();\n";
+        assert!(lint_source("crates/core/src/dec.rs", allowed).is_empty());
+        let in_test = "#[cfg(test)]\nmod tests {\n    fn t() { let v = tape.value(z).clone(); }\n}\n";
+        assert!(lint_source("crates/core/src/dec.rs", in_test).is_empty());
     }
 
     #[test]

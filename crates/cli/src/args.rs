@@ -138,6 +138,10 @@ pub struct Args {
     /// Validate the model architectures for this configuration and exit
     /// without training.
     pub check: bool,
+    /// With `--check`: additionally run the tape dataflow analysis over
+    /// every trainer phase and the kernel determinism audit. Invalid
+    /// without `--check`.
+    pub deep: bool,
     /// Directory for training checkpoints (deep methods).
     pub checkpoint_dir: Option<String>,
     /// Write a checkpoint every N checkpoint opportunities.
@@ -164,6 +168,7 @@ impl Default for Args {
             save_weights: None,
             trace: false,
             check: false,
+            deep: false,
             checkpoint_dir: None,
             checkpoint_every: 1,
             resume: false,
@@ -345,6 +350,7 @@ pub fn usage() -> String {
            --save-weights <PATH>   save pretrained weights (deep methods)\n\
            --trace                 print per-interval ACC/NMI\n\
            --check                 validate model architectures for this configuration, then exit\n\
+           --deep                  with --check: also audit tape dataflow + kernel determinism\n\
            --checkpoint-dir <DIR>  write atomic training checkpoints here (deep methods)\n\
            --checkpoint-every <N>  checkpoint every N opportunities    (default 1)\n\
            --resume                resume from the checkpoints in --checkpoint-dir\n\
@@ -411,6 +417,7 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
             "--save-weights" => args.save_weights = Some(value("--save-weights")?.clone()),
             "--trace" => args.trace = true,
             "--check" => args.check = true,
+            "--deep" => args.deep = true,
             "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?.clone()),
             "--checkpoint-every" => {
                 let v = value("--checkpoint-every")?;
@@ -436,6 +443,11 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
                 )))
             }
         }
+    }
+    if args.deep && !args.check {
+        return Err(ParseError(
+            "--deep requires --check (the deep audit is part of check mode)".into(),
+        ));
     }
     Ok(args)
 }
@@ -492,6 +504,18 @@ mod tests {
         assert!(parse(&strs(&["--dataset", "zzz"])).unwrap_err().0.contains("unknown dataset"));
         assert!(parse(&strs(&["--wat"])).unwrap_err().0.contains("unknown flag"));
         assert!(parse(&strs(&["--seed", "abc"])).unwrap_err().0.contains("invalid seed"));
+    }
+
+    #[test]
+    fn deep_requires_check() {
+        let both = parse(&strs(&["--check", "--deep"])).unwrap();
+        assert!(both.check && both.deep);
+        let shallow = parse(&strs(&["--check"])).unwrap();
+        assert!(shallow.check && !shallow.deep);
+        assert!(parse(&strs(&["--deep"]))
+            .unwrap_err()
+            .0
+            .contains("--deep requires --check"));
     }
 
     #[test]

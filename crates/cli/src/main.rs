@@ -53,7 +53,13 @@ fn main() {
     if args.check {
         let report = check(&args);
         if report.is_empty() {
-            println!("check: all model architectures validate cleanly");
+            if args.deep {
+                println!(
+                    "check: architectures, trainer phase tapes, and kernel determinism all audit cleanly"
+                );
+            } else {
+                println!("check: all model architectures validate cleanly");
+            }
         } else {
             print!("{report}");
         }

@@ -189,13 +189,44 @@ fn phase_for(method: Method) -> Option<&'static str> {
 /// Validation-only mode (`--check`): builds throwaway instances of every
 /// model family at this configuration's dimensions and runs the
 /// architecture checker over them, without any training.
+///
+/// With `--deep` the report additionally covers, at this configuration's
+/// exact dimensions: the tape dataflow analysis of every trainer phase
+/// (shape propagation, gradient connectivity against the phase manifests,
+/// dead nodes, undeclared double binds, NaN paths), the
+/// schedule-permutation determinism audit of the pool-parallel kernels,
+/// and — when run from a source checkout — the static reduction-order
+/// scan of the kernel sources.
 pub fn check(args: &Args) -> adec_analysis::Report {
     let ds = args.dataset.generate(args.size, args.seed);
     let disc_hidden = match args.size {
         Size::Small | Size::Medium => 64,
         Size::Paper => 256,
     };
-    adec_core::archspec::check_preset(ds.dim(), arch_for(args.size), ds.n_classes, disc_hidden)
+    let mut report =
+        adec_core::archspec::check_preset(ds.dim(), arch_for(args.size), ds.n_classes, disc_hidden);
+    if args.deep {
+        // Audit the phase graphs at the dimensions this config would
+        // actually train (small synthetic batch: graph topology, not data,
+        // is what the passes inspect).
+        let phases = adec_core::phases::phase_tapes(
+            ds.dim(),
+            arch_for(args.size),
+            ds.n_classes,
+            disc_hidden,
+            disc_hidden,
+            16,
+        );
+        for phase in &phases {
+            report.extend(phase.analyze());
+        }
+        report.extend(adec_analysis::audit_schedule_determinism());
+        // Best-effort when installed outside a checkout: missing source
+        // files are skipped, never reported.
+        report.extend(adec_analysis::audit_reduction_workspace(std::path::Path::new(".")));
+        report.canonical_sort();
+    }
+    report
 }
 
 /// Runs the configured method and returns the report.

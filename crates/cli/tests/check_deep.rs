@@ -1,0 +1,78 @@
+//! Exit-code semantics of `adec --check [--deep]`, asserted against the
+//! real binary. The contract (documented in the README):
+//!
+//! * `0` — the report is clean (or warnings only): architectures validate
+//!   and, with `--deep`, every trainer phase tape and the kernel
+//!   determinism audit pass.
+//! * `1` — the report contains errors.
+//! * `2` — usage error, including `--deep` without `--check`.
+
+// Test code: a panic on spawn failure is the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use std::process::{Command, Output};
+
+const BIN: &str = env!("CARGO_BIN_EXE_adec");
+
+fn adec(args: &[&str]) -> Output {
+    Command::new(BIN).args(args).output().expect("failed to spawn adec binary")
+}
+
+#[test]
+fn deep_check_is_clean_and_exits_zero() {
+    let out = adec(&["--check", "--deep", "--size", "small"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "expected exit 0, got {:?}\nstdout: {stdout}\nstderr: {}",
+        out.status.code(),
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert!(
+        stdout.contains("trainer phase tapes"),
+        "deep success banner should name the extra audits: {stdout}"
+    );
+}
+
+#[test]
+fn shallow_check_still_exits_zero_with_its_own_banner() {
+    let out = adec(&["--check", "--size", "small"]);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(0), "stdout: {stdout}");
+    assert!(
+        stdout.contains("all model architectures validate cleanly"),
+        "shallow banner unchanged: {stdout}"
+    );
+    assert!(
+        !stdout.contains("trainer phase tapes"),
+        "shallow check must not claim the deep audits ran: {stdout}"
+    );
+}
+
+#[test]
+fn deep_without_check_is_a_usage_error_exiting_two() {
+    let out = adec(&["--deep"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("--deep requires --check"),
+        "usage error should explain the dependency: {stderr}"
+    );
+}
+
+#[test]
+fn deep_check_covers_every_configured_size() {
+    // The audit is parameterized by the config's dimensions; medium must
+    // pass just like small. (Paper-size graphs are exercised by CI's
+    // check.sh step; keeping the per-test matrix small keeps `cargo
+    // test` fast.)
+    let out = adec(&["--check", "--deep", "--size", "medium", "--dataset", "usps"]);
+    assert_eq!(
+        out.status.code(),
+        Some(0),
+        "stdout: {}\nstderr: {}",
+        String::from_utf8_lossy(&out.stdout),
+        String::from_utf8_lossy(&out.stderr)
+    );
+}

@@ -58,6 +58,7 @@ pub mod guard;
 pub mod idec;
 pub mod jule;
 pub mod lite;
+pub mod phases;
 pub mod pretrain;
 pub mod session;
 pub mod theory;

@@ -1,0 +1,70 @@
+//! Per-trainer tape-audit gate: every phase a shipped trainer runs must
+//! analyze clean — full shape propagation, gradient connectivity against
+//! the phase manifest, no dead nodes, no undeclared double binds, no
+//! non-finite values. A failure here means a trainer's step graph is
+//! miswired *before* any epoch runs.
+
+// Test code: a panic on a missing phase is the desired behaviour.
+#![allow(clippy::unwrap_used, clippy::expect_used, clippy::panic)]
+
+use adec_core::phases::{default_phase_tapes, PhaseTape};
+
+fn assert_clean(phases: &[PhaseTape], prefix: &str) {
+    let selected: Vec<&PhaseTape> = phases
+        .iter()
+        .filter(|p| p.phase().starts_with(prefix))
+        .collect();
+    assert!(!selected.is_empty(), "no phases match prefix {prefix}");
+    for p in selected {
+        let report = p.analyze();
+        assert!(
+            report.is_empty(),
+            "phase {} must audit clean (no errors, no warnings):\n{report}",
+            p.phase()
+        );
+    }
+}
+
+#[test]
+fn pretrain_phases_audit_clean() {
+    assert_clean(&default_phase_tapes(), "pretrain.");
+}
+
+#[test]
+fn dec_phase_audits_clean() {
+    assert_clean(&default_phase_tapes(), "dec.");
+}
+
+#[test]
+fn idec_phase_audits_clean() {
+    assert_clean(&default_phase_tapes(), "idec.");
+}
+
+#[test]
+fn dcn_phase_audits_clean() {
+    assert_clean(&default_phase_tapes(), "dcn.");
+}
+
+#[test]
+fn adec_phases_audit_clean() {
+    assert_clean(&default_phase_tapes(), "adec.");
+}
+
+#[test]
+fn a_seeded_defect_does_not_pass_the_gate() {
+    // Sanity for the gate itself: dropping a phase's update declarations
+    // onto a param that is never bound must fail the analysis.
+    let phases = default_phase_tapes();
+    let dec = phases
+        .iter()
+        .find(|p| p.phase() == "dec.kl")
+        .expect("dec.kl phase exists");
+    let mut manifest = dec.manifest.clone();
+    manifest.updates.push(adec_analysis::ParamRole {
+        index: 9_999,
+        name: "ghost.param".into(),
+    });
+    let report = adec_analysis::analyze_tape(&dec.ir, dec.loss, &manifest);
+    assert!(report.has_rule("tape.unreachable-param"), "{report}");
+    assert!(!report.is_pass());
+}

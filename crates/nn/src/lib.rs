@@ -60,4 +60,4 @@ pub use layers::{Activation, Dense, Mlp};
 pub use loss::{hard_labels, kl_divergence, soft_assignment, target_distribution};
 pub use optim::{Adam, Optimizer, Sgd};
 pub use store::{ParamId, ParamStore};
-pub use tape::{Tape, Var};
+pub use tape::{IrOp, IrParam, Tape, TapeIr, TapeIrNode, Var};

@@ -20,6 +20,16 @@ use adec_tensor::Matrix;
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Var(pub(crate) usize);
 
+impl Var {
+    /// The node id this handle refers to — the index of the node in the
+    /// tape's arena and in an exported [`TapeIr`]. Analysis passes use it
+    /// to name the loss node when handing an IR to `adec-analysis`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
 /// The operation that produced a node, with cached backward state.
 enum Op {
     /// Constant or parameter leaf.
@@ -678,6 +688,352 @@ impl Tape {
     }
 }
 
+// ----------------------------------------------------------------------
+// IR export for the static-analysis layer
+// ----------------------------------------------------------------------
+
+/// Structural operation of one exported tape node.
+///
+/// This mirrors the private `Op` enum one-to-one but carries only what an
+/// analyzer needs: input node ids, constant shapes, and finiteness flags
+/// for cached constants — never the tensor payloads. Inputs are plain node
+/// indices, so analysis fixtures can hand-construct defective graphs (a
+/// shape-mismatched fused op, say) that the live tape's constructor
+/// asserts would refuse to build.
+#[derive(Debug, Clone, PartialEq)]
+pub enum IrOp {
+    /// Constant, gradient leaf, or bound parameter.
+    Leaf,
+    /// `a · b`.
+    MatMul {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// `x + bias` with `bias` a `1 × cols` row.
+    AddBias {
+        /// Input node.
+        x: usize,
+        /// Bias row node.
+        bias: usize,
+    },
+    /// Fused `act(x + bias)`.
+    AddBiasAct {
+        /// Input node.
+        x: usize,
+        /// Bias row node.
+        bias: usize,
+        /// Fused activation.
+        act: FusedAct,
+    },
+    /// `a + b`.
+    Add {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// `a − b`.
+    Sub {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// Hadamard `a ∘ b`.
+    Mul {
+        /// Left operand node.
+        a: usize,
+        /// Right operand node.
+        b: usize,
+    },
+    /// `c · a`.
+    Scale {
+        /// Input node.
+        a: usize,
+        /// Scalar constant.
+        c: f32,
+    },
+    /// ReLU.
+    Relu {
+        /// Input node.
+        a: usize,
+    },
+    /// Sigmoid.
+    Sigmoid {
+        /// Input node.
+        a: usize,
+    },
+    /// Tanh.
+    Tanh {
+        /// Input node.
+        a: usize,
+    },
+    /// Softplus.
+    Softplus {
+        /// Input node.
+        a: usize,
+    },
+    /// Clamped elementwise exponential.
+    Exp {
+        /// Input node.
+        a: usize,
+    },
+    /// Elementwise square.
+    Square {
+        /// Input node.
+        a: usize,
+    },
+    /// Mean over all elements.
+    MeanAll {
+        /// Input node.
+        a: usize,
+    },
+    /// Sum over all elements.
+    SumAll {
+        /// Input node.
+        a: usize,
+    },
+    /// Per-row sums.
+    RowSum {
+        /// Input node.
+        a: usize,
+    },
+    /// Row `i` scaled by constant weight `w[i]`.
+    RowScale {
+        /// Input node.
+        a: usize,
+        /// Number of row weights (must equal the input's row count).
+        weights_len: usize,
+        /// Whether every weight is finite.
+        weights_finite: bool,
+    },
+    /// Stable BCE-with-logits against a constant target.
+    BceWithLogits {
+        /// Logits node.
+        logits: usize,
+        /// Target matrix rows.
+        target_rows: usize,
+        /// Target matrix columns.
+        target_cols: usize,
+        /// Whether every target entry is finite.
+        targets_finite: bool,
+    },
+    /// Row-wise softmax cross-entropy against a constant target.
+    SoftmaxCe {
+        /// Logits node.
+        logits: usize,
+        /// Target matrix rows.
+        target_rows: usize,
+        /// Target matrix columns.
+        target_cols: usize,
+        /// Whether every target entry is finite.
+        targets_finite: bool,
+    },
+    /// DEC `KL(P ‖ Q)` composite.
+    DecKl {
+        /// Embedding node (`n × d`).
+        z: usize,
+        /// Centroid node (`k × d`).
+        mu: usize,
+        /// Target-distribution rows.
+        p_rows: usize,
+        /// Target-distribution columns.
+        p_cols: usize,
+        /// Whether every target-distribution entry is finite.
+        p_finite: bool,
+    },
+}
+
+impl IrOp {
+    /// Stable op name for diagnostics.
+    pub fn name(&self) -> &'static str {
+        match self {
+            IrOp::Leaf => "leaf",
+            IrOp::MatMul { .. } => "matmul",
+            IrOp::AddBias { .. } => "add_bias",
+            IrOp::AddBiasAct { .. } => "add_bias_act",
+            IrOp::Add { .. } => "add",
+            IrOp::Sub { .. } => "sub",
+            IrOp::Mul { .. } => "mul",
+            IrOp::Scale { .. } => "scale",
+            IrOp::Relu { .. } => "relu",
+            IrOp::Sigmoid { .. } => "sigmoid",
+            IrOp::Tanh { .. } => "tanh",
+            IrOp::Softplus { .. } => "softplus",
+            IrOp::Exp { .. } => "exp",
+            IrOp::Square { .. } => "square",
+            IrOp::MeanAll { .. } => "mean_all",
+            IrOp::SumAll { .. } => "sum_all",
+            IrOp::RowSum { .. } => "row_sum",
+            IrOp::RowScale { .. } => "row_scale",
+            IrOp::BceWithLogits { .. } => "bce_with_logits",
+            IrOp::SoftmaxCe { .. } => "softmax_ce",
+            IrOp::DecKl { .. } => "dec_kl",
+        }
+    }
+
+    /// Input node ids, in operand order.
+    pub fn inputs(&self) -> Vec<usize> {
+        match *self {
+            IrOp::Leaf => Vec::new(),
+            IrOp::MatMul { a, b }
+            | IrOp::Add { a, b }
+            | IrOp::Sub { a, b }
+            | IrOp::Mul { a, b } => vec![a, b],
+            IrOp::AddBias { x, bias } | IrOp::AddBiasAct { x, bias, .. } => vec![x, bias],
+            IrOp::Scale { a, .. }
+            | IrOp::Relu { a }
+            | IrOp::Sigmoid { a }
+            | IrOp::Tanh { a }
+            | IrOp::Softplus { a }
+            | IrOp::Exp { a }
+            | IrOp::Square { a }
+            | IrOp::MeanAll { a }
+            | IrOp::SumAll { a }
+            | IrOp::RowSum { a }
+            | IrOp::RowScale { a, .. } => vec![a],
+            IrOp::BceWithLogits { logits, .. } | IrOp::SoftmaxCe { logits, .. } => vec![logits],
+            IrOp::DecKl { z, mu, .. } => vec![z, mu],
+        }
+    }
+}
+
+/// Parameter binding of an exported leaf: the store index plus the
+/// human-readable name, so diagnostics can say *which* parameter is
+/// miswired without the analyzer depending on a live [`ParamStore`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IrParam {
+    /// `ParamId::index()` of the bound parameter.
+    pub index: usize,
+    /// Store-registered parameter name.
+    pub name: String,
+}
+
+/// One node of an exported tape graph.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TapeIrNode {
+    /// Node id — its position on the tape (inputs always have smaller ids).
+    pub id: usize,
+    /// Structural operation.
+    pub op: IrOp,
+    /// Recorded output rows.
+    pub rows: usize,
+    /// Recorded output columns.
+    pub cols: usize,
+    /// Whether the backward pass propagates a gradient into this node.
+    pub needs_grad: bool,
+    /// Whether every recorded output entry was finite at export time.
+    pub value_finite: bool,
+    /// Parameter binding, when this leaf was created by [`Tape::param`].
+    pub param: Option<IrParam>,
+}
+
+/// An exported tape graph: the analyzable IR consumed by
+/// `adec-analysis`'s dataflow passes (shape propagation, gradient
+/// connectivity, dead-node detection, NaN lattice).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TapeIr {
+    /// Nodes in tape order.
+    pub nodes: Vec<TapeIrNode>,
+}
+
+impl TapeIr {
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the graph has no nodes.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+}
+
+impl Tape {
+    /// Exports the recorded graph as an analyzable [`TapeIr`].
+    ///
+    /// Purely observational: no numerics change, no gradients move. The
+    /// export captures op structure, recorded shapes, `needs_grad` flags, a
+    /// finiteness scan of every recorded value, and the `(index, name)` of
+    /// each parameter binding resolved through `store`.
+    pub fn export_ir(&self, store: &ParamStore) -> TapeIr {
+        let nodes = self
+            .nodes
+            .iter()
+            .enumerate()
+            .map(|(id, node)| {
+                let op = match &node.op {
+                    Op::Leaf => IrOp::Leaf,
+                    Op::MatMul(a, b) => IrOp::MatMul { a: a.0, b: b.0 },
+                    Op::AddBias(x, bias) => IrOp::AddBias { x: x.0, bias: bias.0 },
+                    Op::AddBiasAct(x, bias, act) => IrOp::AddBiasAct {
+                        x: x.0,
+                        bias: bias.0,
+                        act: *act,
+                    },
+                    Op::Add(a, b) => IrOp::Add { a: a.0, b: b.0 },
+                    Op::Sub(a, b) => IrOp::Sub { a: a.0, b: b.0 },
+                    Op::Mul(a, b) => IrOp::Mul { a: a.0, b: b.0 },
+                    Op::Scale(a, c) => IrOp::Scale { a: a.0, c: *c },
+                    Op::Relu(a) => IrOp::Relu { a: a.0 },
+                    Op::Sigmoid(a) => IrOp::Sigmoid { a: a.0 },
+                    Op::Tanh(a) => IrOp::Tanh { a: a.0 },
+                    Op::Softplus(a) => IrOp::Softplus { a: a.0 },
+                    Op::Exp(a) => IrOp::Exp { a: a.0 },
+                    Op::Square(a) => IrOp::Square { a: a.0 },
+                    Op::MeanAll(a) => IrOp::MeanAll { a: a.0 },
+                    Op::SumAll(a) => IrOp::SumAll { a: a.0 },
+                    Op::RowSum(a) => IrOp::RowSum { a: a.0 },
+                    Op::RowScale(a, weights) => IrOp::RowScale {
+                        a: a.0,
+                        weights_len: weights.len(),
+                        weights_finite: weights.iter().all(|w| w.is_finite()),
+                    },
+                    Op::BceWithLogits { logits, targets, .. } => IrOp::BceWithLogits {
+                        logits: logits.0,
+                        target_rows: targets.rows(),
+                        target_cols: targets.cols(),
+                        targets_finite: targets.all_finite(),
+                    },
+                    Op::SoftmaxCe { logits, targets, .. } => IrOp::SoftmaxCe {
+                        logits: logits.0,
+                        target_rows: targets.rows(),
+                        target_cols: targets.cols(),
+                        targets_finite: targets.all_finite(),
+                    },
+                    Op::DecKl { z, mu, p, .. } => IrOp::DecKl {
+                        z: z.0,
+                        mu: mu.0,
+                        p_rows: p.rows(),
+                        p_cols: p.cols(),
+                        p_finite: p.all_finite(),
+                    },
+                };
+                let param = self
+                    .bindings
+                    .iter()
+                    .find(|(_, v)| v.0 == id)
+                    .map(|(pid, _)| IrParam {
+                        index: pid.index(),
+                        name: store.name(*pid).to_string(),
+                    });
+                TapeIrNode {
+                    id,
+                    op,
+                    rows: node.value.rows(),
+                    cols: node.value.cols(),
+                    needs_grad: node.needs_grad,
+                    value_finite: node.value.all_finite(),
+                    param,
+                }
+            })
+            .collect();
+        TapeIr { nodes }
+    }
+}
+
 impl std::fmt::Debug for Tape {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Tape").field("nodes", &self.nodes.len()).finish()
@@ -692,7 +1048,7 @@ fn stable_softplus(x: f32) -> f32 {
 #[cfg(test)]
 // Test code: exact float comparisons and unwraps are the assertions
 // themselves here.
-#[allow(clippy::float_cmp, clippy::unwrap_used)]
+#[allow(clippy::float_cmp, clippy::unwrap_used, clippy::panic)]
 mod tests {
     use super::*;
     use crate::grad_check::numeric_grad;
@@ -998,6 +1354,48 @@ mod tests {
         let loss = tape.sum_all(m);
         tape.backward(loss);
         assert_eq!(tape.grad(x).as_slice(), &[2.0, -4.0, 6.0]);
+    }
+
+    #[test]
+    fn exported_ir_mirrors_the_live_graph() {
+        let mut store = ParamStore::new();
+        let w = store.register("test.w", Matrix::eye(3));
+        let mut tape = Tape::new();
+        let x = tape.leaf(Matrix::full(2, 3, 1.0));
+        let wv = tape.param(&store, w);
+        let h = tape.matmul(x, wv);
+        let s = tape.square(h);
+        let loss = tape.mean_all(s);
+
+        let ir = tape.export_ir(&store);
+        assert_eq!(ir.len(), 5);
+        assert_eq!(ir.nodes[x.0].op, IrOp::Leaf);
+        assert!(!ir.nodes[x.0].needs_grad);
+        assert!(ir.nodes[x.0].param.is_none());
+        let pw = ir.nodes[wv.0].param.as_ref().unwrap();
+        assert_eq!((pw.index, pw.name.as_str()), (w.index(), "test.w"));
+        assert!(ir.nodes[wv.0].needs_grad);
+        assert_eq!(ir.nodes[h.0].op, IrOp::MatMul { a: x.0, b: wv.0 });
+        assert_eq!(ir.nodes[h.0].op.inputs(), vec![x.0, wv.0]);
+        assert_eq!((ir.nodes[h.0].rows, ir.nodes[h.0].cols), (2, 3));
+        assert_eq!(ir.nodes[loss.0].op, IrOp::MeanAll { a: s.0 });
+        assert_eq!((ir.nodes[loss.0].rows, ir.nodes[loss.0].cols), (1, 1));
+        assert!(ir.nodes.iter().all(|n| n.value_finite));
+        assert_eq!(ir.nodes[loss.0].op.name(), "mean_all");
+    }
+
+    #[test]
+    fn exported_ir_flags_nonfinite_values_and_constants() {
+        let store = ParamStore::new();
+        let mut tape = Tape::new();
+        let bad = tape.leaf(Matrix::from_vec(1, 2, vec![1.0, f32::NAN]));
+        let scaled = tape.scale(bad, f32::INFINITY);
+        let ir = tape.export_ir(&store);
+        assert!(!ir.nodes[bad.0].value_finite);
+        match ir.nodes[scaled.0].op {
+            IrOp::Scale { c, .. } => assert!(!c.is_finite()),
+            ref op => panic!("unexpected op {op:?}"),
+        }
     }
 
     #[test]

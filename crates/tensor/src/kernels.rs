@@ -336,6 +336,27 @@ impl FusedAct {
         }
     }
 
+    /// Audit annotation for the NaN-propagation lattice: whether the
+    /// activation's output is bounded for every *finite* input (sigmoid
+    /// lands in `(0,1)`, tanh in `(−1,1)`), so the op cannot manufacture a
+    /// non-finite value from finite inputs. Identity and ReLU pass
+    /// overflow-scale magnitudes through unchanged.
+    #[inline]
+    pub fn saturating(self) -> bool {
+        matches!(self, FusedAct::Sigmoid | FusedAct::Tanh)
+    }
+
+    /// Audit annotation: stable display name used in exported tape IR and
+    /// diagnostics.
+    pub fn audit_name(self) -> &'static str {
+        match self {
+            FusedAct::Identity => "identity",
+            FusedAct::Relu => "relu",
+            FusedAct::Sigmoid => "sigmoid",
+            FusedAct::Tanh => "tanh",
+        }
+    }
+
     /// The derivative `act′(x)` expressed through the output `y = act(x)`:
     /// ReLU masks on `y > 0`, sigmoid is `y(1−y)`, tanh is `1−y²`.
     #[inline]

@@ -36,6 +36,7 @@ pub const PARALLEL_MIN_WORK: usize = 1 << 16;
 
 static OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 static ENV_THREADS: OnceLock<usize> = OnceLock::new();
+static SCHEDULE_ROTATION: AtomicUsize = AtomicUsize::new(0);
 
 // --- kernel telemetry -------------------------------------------------
 // Dispatch counts and per-chunk wall time flow to the global adec-obs
@@ -133,6 +134,16 @@ pub fn set_thread_override(n: usize) {
     OVERRIDE.store(n.min(MAX_THREADS), Ordering::Relaxed);
 }
 
+/// Rotates the order in which parallel chunks are *launched* (and which
+/// chunk lands on the calling thread) without changing which rows each
+/// chunk owns. Because every output element is owned by exactly one
+/// worker, any rotation must produce bit-identical results — the
+/// determinism auditor sweeps this knob adversarially to prove it.
+/// `0` restores the natural ascending order.
+pub fn set_schedule_rotation(r: usize) {
+    SCHEDULE_ROTATION.store(r, Ordering::Relaxed);
+}
+
 /// Splits `rows` into `chunks` contiguous, nearly-equal spans. Returns
 /// `(start, len)` pairs covering `0..rows` in order; never returns empty
 /// spans, so fewer than `chunks` pairs come back when `rows < chunks`.
@@ -185,17 +196,27 @@ where
         pool_obs::chunk_seconds().observe(t0.elapsed().as_secs_f64());
     };
     let spans = row_chunks(rows, threads);
+    // Slice the output into per-chunk views first so the launch order can
+    // be permuted (see `set_schedule_rotation`) without changing which
+    // rows each chunk owns — ownership, not schedule, carries the
+    // determinism invariant.
+    let mut tasks = Vec::with_capacity(spans.len());
+    let mut rest = out;
+    for &(start, len) in &spans {
+        let (chunk, tail) = rest.split_at_mut(len * cols);
+        rest = tail;
+        tasks.push((start, len, chunk));
+    }
+    let rotation = SCHEDULE_ROTATION.load(Ordering::Relaxed) % tasks.len().max(1);
+    tasks.rotate_left(rotation);
     std::thread::scope(|scope| {
-        let mut rest = out;
-        let mut iter = spans.iter().peekable();
-        while let Some(&(start, len)) = iter.next() {
+        let mut iter = tasks.into_iter().peekable();
+        while let Some((start, len, chunk)) = iter.next() {
             if iter.peek().is_none() {
                 // Run the final chunk on the calling thread.
-                run(start, len, rest);
+                run(start, len, chunk);
                 break;
             }
-            let (chunk, tail) = rest.split_at_mut(len * cols);
-            rest = tail;
             let run = &run;
             scope.spawn(move || run(start, len, chunk));
         }
@@ -251,6 +272,32 @@ mod tests {
                 }
             }
         }
+        set_thread_override(0);
+    }
+
+    #[test]
+    fn rotated_schedules_write_identical_output() {
+        let (rows, cols) = (53, 7);
+        let mut reference = vec![0.0f32; rows * cols];
+        let fill = |r0: usize, n: usize, chunk: &mut [f32]| {
+            for r in 0..n {
+                for c in 0..cols {
+                    chunk[r * cols + c] = ((r0 + r) * cols + c) as f32 * 0.5;
+                }
+            }
+        };
+        set_thread_override(1);
+        parallel_rows(&mut reference, rows, cols, usize::MAX, fill);
+        for threads in [2usize, 4] {
+            for rotation in [0usize, 1, 2, 3] {
+                set_thread_override(threads);
+                set_schedule_rotation(rotation);
+                let mut out = vec![0.0f32; rows * cols];
+                parallel_rows(&mut out, rows, cols, usize::MAX, fill);
+                assert_eq!(out, reference, "threads={threads} rotation={rotation}");
+            }
+        }
+        set_schedule_rotation(0);
         set_thread_override(0);
     }
 

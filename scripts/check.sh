@@ -18,4 +18,7 @@ cargo run -q -p adec-analysis --bin adec-lint
 echo "==> adec --check (paper-scale architectures)"
 cargo run -q --release -p adec-cli -- --check --size paper
 
+echo "==> adec --check --deep (tape dataflow + determinism audit, paper scale)"
+cargo run -q --release -p adec-cli -- --check --deep --size paper
+
 echo "all checks passed"
