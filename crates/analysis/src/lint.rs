@@ -219,13 +219,17 @@ fn is_detach_exempt_path(rel: &str) -> bool {
 /// health checks sit on every epoch's hot path and must reject degenerate
 /// shapes before scanning. The serving model is on the list because its
 /// matrix-taking entry points sit on the request path, where a degenerate
-/// shape arrives from the network, not from our own code.
+/// shape arrives from the network, not from our own code. The load
+/// harness's quantile estimator qualifies for the same reason: the bucket
+/// slices it takes come from scraped histograms, and a bounds/cumulative
+/// length mismatch silently misreports the SLO.
 fn needs_kernel_asserts(rel: &str) -> bool {
     rel == "crates/tensor/src/matrix.rs"
         || rel == "crates/tensor/src/linalg.rs"
         || rel == "crates/tensor/src/kernels.rs"
         || rel == "crates/core/src/guard.rs"
         || rel == "crates/serve/src/model.rs"
+        || rel == "crates/loadgen/src/stats.rs"
 }
 
 /// Parses every `lint:allow(a, b)` occurrence on a line into rule names
@@ -465,7 +469,10 @@ fn kernel_assert_pass(
         // Only the parameter list counts — a `-> &[f32]` return type must
         // not trigger the rule.
         let params = sig_only.split("->").next().unwrap_or("");
-        let takes_kernel_args = params.contains("&Matrix") || params.contains("& Matrix") || params.contains("&[f32]");
+        let takes_kernel_args = params.contains("&Matrix")
+            || params.contains("& Matrix")
+            || params.contains("&[f32]")
+            || params.contains("&[f64]");
         if takes_kernel_args && !allowed(li, "kernel-assert") {
             // Scan at most KERNEL_ASSERT_WINDOW lines, stopping at the fn's
             // closing brace so a neighbour's asserts can't satisfy the rule.
@@ -794,6 +801,25 @@ mod tests {
         let diags = lint_source("crates/serve/src/server.rs", request_path);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "lint.unwrap");
+    }
+
+    #[test]
+    fn load_stats_is_on_the_kernel_assert_list() {
+        // The quantile estimator consumes scraped histogram slices; a
+        // bounds/cumulative mismatch silently misreports the SLO, so the
+        // opening-assert discipline applies — including to `&[f64]`
+        // parameters, which the kernel crates themselves never use.
+        let bad = "pub fn quantile(bounds: &[f64], cumulative: &[u64]) -> f64 {\n    body()\n}\n";
+        let diags = lint_source("crates/loadgen/src/stats.rs", bad);
+        assert_eq!(diags.len(), 1, "{diags:?}");
+        assert_eq!(diags[0].rule, "lint.kernel-assert");
+        let good = "pub fn quantile(bounds: &[f64], cumulative: &[u64]) -> f64 {\n    assert!(cumulative.len() == bounds.len() + 1);\n    body()\n}\n";
+        assert!(lint_source("crates/loadgen/src/stats.rs", good).is_empty());
+        // The rest of the loadgen crate is not on the kernel list.
+        assert!(lint_source("crates/loadgen/src/client.rs", bad).is_empty());
+        // A `-> &[f64]` return type alone must not trigger the rule.
+        let ret_only = "pub fn bounds(&self) -> &[f64] {\n    body()\n}\n";
+        assert!(lint_source("crates/loadgen/src/stats.rs", ret_only).is_empty());
     }
 
     #[test]

@@ -302,6 +302,197 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ParseError> {
     Ok(args)
 }
 
+/// Arguments for the `adec load` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LoadArgs {
+    /// Server address to drive (host:port).
+    pub addr: String,
+    /// Schedule seed.
+    pub seed: u64,
+    /// Offered load, requests per second.
+    pub rps: f64,
+    /// Run length in milliseconds.
+    pub duration_ms: u64,
+    /// Arrival process: "poisson" or "uniform".
+    pub arrival: adec_loadgen::Arrival,
+    /// Connection strategy: "reconnect" or "reuse".
+    pub conn: adec_loadgen::ConnStrategy,
+    /// Payload mix spec (already parsed).
+    pub mix: adec_loadgen::PayloadMix,
+    /// Client worker threads.
+    pub concurrency: usize,
+    /// Rows per valid batch payload.
+    pub rows: usize,
+    /// Where to write the BENCH_serve.json report.
+    pub out: String,
+    /// Soak mode: run this many consecutive windows and check stability
+    /// (0 = single load run).
+    pub soak_windows: usize,
+    /// Server PID for RSS monitoring in soak mode.
+    pub server_pid: Option<u32>,
+}
+
+impl Default for LoadArgs {
+    fn default() -> Self {
+        LoadArgs {
+            addr: "127.0.0.1:8423".into(),
+            seed: 7,
+            rps: 100.0,
+            duration_ms: 10_000,
+            arrival: adec_loadgen::Arrival::Poisson,
+            conn: adec_loadgen::ConnStrategy::Reconnect,
+            mix: adec_loadgen::PayloadMix::default(),
+            concurrency: 32,
+            rows: 16,
+            out: "BENCH_serve.json".into(),
+            soak_windows: 0,
+            server_pid: None,
+        }
+    }
+}
+
+/// The `adec load --help` text.
+pub fn load_usage() -> String {
+    "adec load — seeded open-loop load harness for a running `adec serve`\n\
+     \n\
+     USAGE:\n\
+       adec load [--addr HOST:PORT] [OPTIONS]\n\
+     \n\
+     OPTIONS:\n\
+       --addr <HOST:PORT>   server to drive                (default 127.0.0.1:8423)\n\
+       --seed <N>           schedule seed                  (default 7)\n\
+       --rps <X>            offered requests per second    (default 100)\n\
+       --duration <D>       run length, e.g. 10s / 500ms   (default 10s)\n\
+       --arrival <NAME>     poisson | uniform              (default poisson)\n\
+       --conn <NAME>        reconnect | reuse              (default reconnect)\n\
+       --mix <SPEC>         kind=weight list, e.g. valid=8,batch=1,malformed=1\n\
+                            (kinds: valid, batch, malformed, oversized, slowloris)\n\
+       --concurrency <N>    client worker threads          (default 32)\n\
+       --rows <N>           rows per valid batch payload   (default 16)\n\
+       --out <PATH>         report path                    (default BENCH_serve.json)\n\
+       --soak <N>           run N consecutive windows and check RSS/queue stability\n\
+       --server-pid <PID>   PID whose VmRSS the soak mode samples\n\
+       --help               this message\n\
+     \n\
+     The schedule (arrival instants, payload kinds, body bytes) is fully\n\
+     determined by the seed: same seed, same requests, byte for byte. The\n\
+     report cross-checks client-side counts against the server's /metrics.\n\
+     Exits 7 when the run cannot reconcile or a soak detects drift.\n"
+        .to_string()
+}
+
+/// Parses a human duration: `10s`, `500ms`, `2m`, or bare seconds.
+fn parse_duration_ms(v: &str) -> Option<u64> {
+    let v = v.trim();
+    let (num, scale) = if let Some(rest) = v.strip_suffix("ms") {
+        (rest, 1u64)
+    } else if let Some(rest) = v.strip_suffix('s') {
+        (rest, 1_000)
+    } else if let Some(rest) = v.strip_suffix('m') {
+        (rest, 60_000)
+    } else {
+        (v, 1_000)
+    };
+    let n: f64 = num.trim().parse().ok()?;
+    if !(n.is_finite() && n >= 0.0) {
+        return None;
+    }
+    let ms = n * scale as f64;
+    if ms < 1.0 {
+        return None;
+    }
+    Some(ms as u64)
+}
+
+/// Parses the argument list after the `load` subcommand token.
+pub fn parse_load(argv: &[String]) -> Result<LoadArgs, ParseError> {
+    let mut args = LoadArgs::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--addr" => args.addr = value("--addr")?.clone(),
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid seed '{v}'")))?;
+            }
+            "--rps" => {
+                let v = value("--rps")?;
+                args.rps = v
+                    .parse()
+                    .ok()
+                    .filter(|r: &f64| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| ParseError(format!("invalid rps '{v}'")))?;
+            }
+            "--duration" => {
+                let v = value("--duration")?;
+                args.duration_ms = parse_duration_ms(v)
+                    .ok_or_else(|| ParseError(format!("invalid duration '{v}' (try 10s, 500ms)")))?;
+            }
+            "--arrival" => {
+                let v = value("--arrival")?;
+                args.arrival = adec_loadgen::Arrival::parse(v)
+                    .ok_or_else(|| ParseError(format!("unknown arrival '{v}'")))?;
+            }
+            "--conn" => {
+                let v = value("--conn")?;
+                args.conn = adec_loadgen::ConnStrategy::parse(v)
+                    .ok_or_else(|| ParseError(format!("unknown connection strategy '{v}'")))?;
+            }
+            "--mix" => {
+                let v = value("--mix")?;
+                args.mix = adec_loadgen::PayloadMix::parse(v)
+                    .map_err(|e| ParseError(format!("invalid mix: {e}")))?;
+            }
+            "--concurrency" => {
+                let v = value("--concurrency")?;
+                args.concurrency = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid concurrency '{v}'")))?;
+            }
+            "--rows" => {
+                let v = value("--rows")?;
+                args.rows = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid row count '{v}'")))?;
+            }
+            "--out" => args.out = value("--out")?.clone(),
+            "--soak" => {
+                let v = value("--soak")?;
+                args.soak_windows = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 2)
+                    .ok_or_else(|| {
+                        ParseError(format!("invalid soak window count '{v}' (need >= 2)"))
+                    })?;
+            }
+            "--server-pid" => {
+                let v = value("--server-pid")?;
+                args.server_pid = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("invalid pid '{v}'")))?,
+                );
+            }
+            other => {
+                return Err(ParseError(format!(
+                    "unknown flag '{other}' (see adec load --help)"
+                )))
+            }
+        }
+    }
+    Ok(args)
+}
+
 /// Argument-parsing failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -610,6 +801,58 @@ mod tests {
             .unwrap_err().0.contains("invalid alpha"));
         assert!(parse_serve(&strs(&["--checkpoint", "x", "--wat"]))
             .unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn load_args_parse_with_defaults() {
+        let d = parse_load(&[]).unwrap();
+        assert_eq!(d, LoadArgs::default());
+
+        let full = parse_load(&strs(&[
+            "--addr", "127.0.0.1:9000", "--seed", "11", "--rps", "500",
+            "--duration", "10s", "--arrival", "uniform", "--conn", "reuse",
+            "--mix", "valid=1,slowloris=0", "--concurrency", "8", "--rows", "4",
+            "--out", "bench.json", "--soak", "3", "--server-pid", "1234",
+        ]))
+        .unwrap();
+        assert_eq!(full.addr, "127.0.0.1:9000");
+        assert_eq!(full.seed, 11);
+        assert!((full.rps - 500.0).abs() < 1e-9);
+        assert_eq!(full.duration_ms, 10_000);
+        assert_eq!(full.arrival, adec_loadgen::Arrival::Uniform);
+        assert_eq!(full.conn, adec_loadgen::ConnStrategy::Reuse);
+        assert_eq!(full.mix.valid_single, 1);
+        assert_eq!(full.mix.slowloris, 0);
+        assert_eq!(full.concurrency, 8);
+        assert_eq!(full.rows, 4);
+        assert_eq!(full.out, "bench.json");
+        assert_eq!(full.soak_windows, 3);
+        assert_eq!(full.server_pid, Some(1234));
+    }
+
+    #[test]
+    fn load_args_reject_nonsense() {
+        assert!(parse_load(&strs(&["--rps", "0"])).unwrap_err().0.contains("invalid rps"));
+        assert!(parse_load(&strs(&["--rps", "inf"])).unwrap_err().0.contains("invalid rps"));
+        assert!(parse_load(&strs(&["--duration", "x"])).unwrap_err().0.contains("invalid duration"));
+        assert!(parse_load(&strs(&["--arrival", "burst"])).unwrap_err().0.contains("unknown arrival"));
+        assert!(parse_load(&strs(&["--conn", "quic"])).unwrap_err().0.contains("unknown connection"));
+        assert!(parse_load(&strs(&["--mix", "nope=1"])).unwrap_err().0.contains("invalid mix"));
+        assert!(parse_load(&strs(&["--concurrency", "0"])).unwrap_err().0.contains("invalid concurrency"));
+        assert!(parse_load(&strs(&["--soak", "1"])).unwrap_err().0.contains("need >= 2"));
+        assert!(parse_load(&strs(&["--wat"])).unwrap_err().0.contains("unknown flag"));
+    }
+
+    #[test]
+    fn durations_parse_human_suffixes() {
+        assert_eq!(parse_duration_ms("10s"), Some(10_000));
+        assert_eq!(parse_duration_ms("500ms"), Some(500));
+        assert_eq!(parse_duration_ms("2m"), Some(120_000));
+        assert_eq!(parse_duration_ms("1.5s"), Some(1_500));
+        assert_eq!(parse_duration_ms("3"), Some(3_000), "bare numbers are seconds");
+        assert_eq!(parse_duration_ms("0ms"), None, "sub-millisecond runs are rejected");
+        assert_eq!(parse_duration_ms("-1s"), None);
+        assert_eq!(parse_duration_ms("abc"), None);
     }
 
     #[test]

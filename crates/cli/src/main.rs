@@ -25,6 +25,26 @@ fn main() {
         }
         return;
     }
+    if argv.first().map(String::as_str) == Some("load") {
+        let rest = argv.get(1..).unwrap_or(&[]);
+        if rest.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", adec_cli::args::load_usage());
+            return;
+        }
+        let load_args = match adec_cli::args::parse_load(rest) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{}", adec_cli::args::load_usage());
+                std::process::exit(2);
+            }
+        };
+        if let Err(e) = adec_cli::runner::load(&load_args) {
+            eprintln!("error: {e}");
+            std::process::exit(e.exit_code());
+        }
+        return;
+    }
     if argv.iter().any(|a| a == "--help" || a == "-h") {
         print!("{}", usage());
         return;

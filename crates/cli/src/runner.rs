@@ -65,11 +65,14 @@ pub enum RunError {
     /// The inference service could not start or serve (bad model topology,
     /// port in use, …).
     Serve(String),
+    /// The load harness failed: target unreachable, counts did not
+    /// reconcile with the server's metrics, or a soak detected drift.
+    Load(String),
 }
 
 impl RunError {
     /// Process exit code for this failure class: 2 usage, 3 training,
-    /// 4 checkpoint, 5 auxiliary I/O, 6 serving.
+    /// 4 checkpoint, 5 auxiliary I/O, 6 serving, 7 load harness.
     pub fn exit_code(&self) -> i32 {
         match self {
             RunError::Usage(_) => 2,
@@ -77,6 +80,7 @@ impl RunError {
             RunError::Checkpoint(_) => 4,
             RunError::Io(_) => 5,
             RunError::Serve(_) => 6,
+            RunError::Load(_) => 7,
         }
     }
 }
@@ -89,6 +93,7 @@ impl std::fmt::Display for RunError {
             RunError::Checkpoint(e) => write!(f, "checkpoint: {e}"),
             RunError::Io(msg) => write!(f, "io: {msg}"),
             RunError::Serve(msg) => write!(f, "serve: {msg}"),
+            RunError::Load(msg) => write!(f, "load: {msg}"),
         }
     }
 }
@@ -163,6 +168,91 @@ pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
         stats.deadline_expired,
         stats.caught_panics,
     );
+    Ok(())
+}
+
+/// Drives a running `adec serve` with the seeded open-loop load harness
+/// and writes the `BENCH_serve.json` report (single-run mode), or runs a
+/// multi-window soak and checks RSS/queue-depth stability (`--soak N`).
+///
+/// # Errors
+///
+/// [`RunError::Usage`] for an unparseable address, [`RunError::Load`]
+/// (exit 7) when the server is unreachable, the client/server counts do
+/// not reconcile, or a soak detects drift, [`RunError::Io`] when the
+/// report cannot be written.
+pub fn load(args: &crate::args::LoadArgs) -> Result<(), RunError> {
+    let addr: std::net::SocketAddr = args
+        .addr
+        .parse()
+        .map_err(|_| RunError::Usage(format!("invalid --addr '{}' (want host:port)", args.addr)))?;
+    let config = adec_loadgen::LoadConfig {
+        addr,
+        schedule: adec_loadgen::ScheduleConfig {
+            seed: args.seed,
+            rps: args.rps,
+            duration: std::time::Duration::from_millis(args.duration_ms),
+            arrival: args.arrival,
+            mix: args.mix,
+            batch_rows: args.rows,
+            ..adec_loadgen::ScheduleConfig::default()
+        },
+        discover_dim: true,
+        concurrency: args.concurrency,
+        conn: args.conn,
+        ..adec_loadgen::LoadConfig::default()
+    };
+
+    if args.soak_windows >= 2 {
+        let soak = adec_loadgen::run_soak(&config, args.soak_windows, args.server_pid)
+            .map_err(|e| RunError::Load(e.to_string()))?;
+        for (i, w) in soak.windows.iter().enumerate() {
+            // lint:allow(obs-eprintln) -- operator console output, not diagnostics
+            eprintln!(
+                "soak window {}/{}: ok={} errors={} achieved_rps={:.1} p99={:?} rss_kb={:?} mean_queue_depth={:?}",
+                i + 1,
+                soak.windows.len(),
+                w.ok_200,
+                w.valid_errors,
+                w.achieved_rps,
+                w.p99,
+                w.rss_kb,
+                w.mean_queue_depth,
+            );
+        }
+        println!("soak: {}", soak.detail);
+        if !soak.stable() {
+            return Err(RunError::Load(format!("soak detected drift: {}", soak.detail)));
+        }
+        return Ok(());
+    }
+
+    let report = adec_loadgen::run_load(&config).map_err(|e| RunError::Load(e.to_string()))?;
+    report
+        .write(&args.out)
+        .map_err(|e| RunError::Io(format!("report '{}': {e}", args.out)))?;
+    let o = &report.outcomes;
+    println!(
+        "load: offered {} requests at {} rps ({}); {} OK, {} busy-503, {} deadline-503, error_rate {:.4}; p99 {}; report written to {}",
+        report.schedule_requests,
+        report.rps,
+        report.arrival,
+        o.ok_200,
+        o.busy_503,
+        o.deadline_503,
+        o.error_rate(),
+        report
+            .timing
+            .latency
+            .map_or("n/a".to_string(), |l| format!("{:.1}ms", l.p99 * 1e3)),
+        args.out,
+    );
+    if report.reconcile.checked && !report.reconcile.consistent {
+        return Err(RunError::Load(format!(
+            "client/server counts do not reconcile: {}",
+            report.reconcile.detail
+        )));
+    }
     Ok(())
 }
 

@@ -1,0 +1,187 @@
+//! Percentile estimation over `adec-obs` fixed-bucket histograms.
+//!
+//! The harness records every latency into an [`adec_obs::Histogram`] and
+//! derives p50/p95/p99/p999 from the cumulative bucket counts by linear
+//! interpolation inside the winning bucket — the same estimate a
+//! Prometheus `histogram_quantile` would produce from a scrape, so the
+//! client-side numbers and a server-side dashboard argue about the same
+//! quantity. Fixed buckets keep recording O(1) and allocation-free on the
+//! hot path; the price is quantization, bounded by the bucket width (the
+//! selftests pick delays that make the right answer unambiguous).
+
+use adec_obs::HistogramSnapshot;
+
+/// Latency buckets (seconds) for client-side request timing: 200µs … 30s,
+/// finer than [`adec_obs::DURATION_BUCKETS`] in the 1–100ms region where
+/// serve SLOs live.
+pub const LOAD_LATENCY_BUCKETS: &[f64] = &[
+    2e-4, 5e-4, 1e-3, 2e-3, 5e-3, 1e-2, 2e-2, 5e-2, 0.1, 0.2, 0.5, 1.0, 2.0, 5.0, 10.0, 30.0,
+];
+
+/// Estimates the `q`-quantile (`0 < q <= 1`) from cumulative bucket
+/// counts over ascending `bounds`. Returns `None` for an empty histogram.
+///
+/// The rank is located in the cumulative counts; the value is linearly
+/// interpolated between the bucket's lower and upper bound. Observations
+/// in the `+Inf` bucket clamp to the last finite bound (the estimate is
+/// then a lower bound, which is the conservative direction for an SLO
+/// gate: a tail beyond the last bucket can only look *worse* server-side).
+pub fn quantile_from_buckets(bounds: &[f64], cumulative: &[u64], q: f64) -> Option<f64> {
+    assert!(
+        cumulative.len() == bounds.len() + 1,
+        "quantile: cumulative must have bounds+1 entries, got {} for {} bounds",
+        cumulative.len(),
+        bounds.len()
+    );
+    assert!(q > 0.0 && q <= 1.0, "quantile: q must be in (0, 1], got {q}");
+    let total = cumulative.last().copied()?;
+    if total == 0 {
+        return None;
+    }
+    // The 1-based rank of the quantile observation, ceil'd so q=1.0 is
+    // the maximum and q=0.5 of 2 observations is the first.
+    let rank = (q * total as f64).ceil().max(1.0) as u64;
+    let mut below = 0u64;
+    for (i, &cum) in cumulative.iter().enumerate() {
+        if cum >= rank {
+            let hi = bounds.get(i).copied().unwrap_or_else(|| {
+                // +Inf bucket: clamp to the last finite bound (or 0.0 for
+                // a histogram with no finite bounds at all).
+                bounds.last().copied().unwrap_or(0.0)
+            });
+            let lo = if i == 0 { 0.0 } else { bounds.get(i - 1).copied().unwrap_or(0.0) };
+            let in_bucket = cum - below;
+            if in_bucket == 0 || i >= bounds.len() {
+                return Some(hi);
+            }
+            let frac = (rank - below) as f64 / in_bucket as f64;
+            return Some(lo + (hi - lo) * frac);
+        }
+        below = cum;
+    }
+    bounds.last().copied().or(Some(0.0))
+}
+
+/// The standard latency summary derived from one histogram snapshot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of observations.
+    pub count: u64,
+    /// Mean of all observations (exact, from the histogram sum).
+    pub mean: f64,
+    /// Estimated 50th percentile.
+    pub p50: f64,
+    /// Estimated 95th percentile.
+    pub p95: f64,
+    /// Estimated 99th percentile.
+    pub p99: f64,
+    /// Estimated 99.9th percentile.
+    pub p999: f64,
+}
+
+impl LatencySummary {
+    /// Summarizes a snapshot; `None` when it holds no observations.
+    pub fn from_snapshot(snap: &HistogramSnapshot) -> Option<LatencySummary> {
+        let count = snap.count();
+        if count == 0 {
+            return None;
+        }
+        let q = |p: f64| {
+            quantile_from_buckets(&snap.bounds, &snap.cumulative, p).unwrap_or(0.0)
+        };
+        Some(LatencySummary {
+            count,
+            mean: snap.sum / count as f64,
+            p50: q(0.50),
+            p95: q(0.95),
+            p99: q(0.99),
+            p999: q(0.999),
+        })
+    }
+}
+
+#[cfg(test)]
+// Test code: unwraps are the assertions themselves here.
+#[allow(clippy::unwrap_used, clippy::panic, clippy::indexing_slicing, clippy::float_cmp)]
+mod tests {
+    use super::*;
+    use adec_obs::Registry;
+
+    #[test]
+    fn empty_histogram_has_no_quantiles() {
+        assert_eq!(quantile_from_buckets(&[1.0, 2.0], &[0, 0, 0], 0.5), None);
+    }
+
+    #[test]
+    fn single_bucket_interpolates_linearly() {
+        // 10 observations all in (1.0, 2.0]: p50 lands mid-bucket.
+        let bounds = [1.0, 2.0];
+        let cum = [0, 10, 10];
+        let p50 = quantile_from_buckets(&bounds, &cum, 0.5).unwrap();
+        assert!((p50 - 1.5).abs() < 1e-9, "got {p50}");
+        let p100 = quantile_from_buckets(&bounds, &cum, 1.0).unwrap();
+        assert_eq!(p100, 2.0);
+    }
+
+    #[test]
+    fn bimodal_distribution_splits_cleanly() {
+        // Half the mass at ~5ms, half at ~80ms — the alternating-delay
+        // stub-server shape. p50 must stay in the low mode's bucket and
+        // p95/p99 in the high mode's.
+        let reg = Registry::new();
+        let h = reg.histogram("lat", LOAD_LATENCY_BUCKETS);
+        for _ in 0..500 {
+            h.observe(0.005);
+            h.observe(0.080);
+        }
+        let s = LatencySummary::from_snapshot(&h.snapshot()).unwrap();
+        assert_eq!(s.count, 1000);
+        assert!(s.p50 <= 0.005 + 1e-12, "p50 {} beyond the 5ms bound", s.p50);
+        assert!(s.p95 > 0.05 && s.p95 <= 0.1, "p95 {} outside (50ms, 100ms]", s.p95);
+        assert!(s.p99 > 0.05 && s.p99 <= 0.1, "p99 {} outside (50ms, 100ms]", s.p99);
+        assert!((s.mean - 0.0425).abs() < 1e-9);
+    }
+
+    #[test]
+    fn overflow_bucket_clamps_to_last_bound() {
+        let bounds = [1.0];
+        let cum = [0, 5];
+        assert_eq!(quantile_from_buckets(&bounds, &cum, 0.99).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_in_q() {
+        let reg = Registry::new();
+        let h = reg.histogram("mono", LOAD_LATENCY_BUCKETS);
+        let mut rng = adec_tensor::SeedRng::new(11);
+        for _ in 0..2000 {
+            h.observe(f64::from(rng.unit()) * 0.3);
+        }
+        let snap = h.snapshot();
+        let mut last = 0.0;
+        for q in [0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 0.999, 1.0] {
+            let v = quantile_from_buckets(&snap.bounds, &snap.cumulative, q).unwrap();
+            assert!(v >= last, "quantile went backwards at q={q}: {v} < {last}");
+            last = v;
+        }
+    }
+
+    #[test]
+    fn summary_matches_hand_computed_uniform() {
+        // 100 observations at exactly the bucket upper bounds 1..=100 ms
+        // scaled: observe k*0.001 for k in 1..=100.
+        let reg = Registry::new();
+        let bounds: Vec<f64> = (1..=100).map(|k| k as f64 * 0.001).collect();
+        let h = reg.histogram("uni", &bounds);
+        for k in 1..=100 {
+            h.observe(k as f64 * 0.001);
+        }
+        let s = LatencySummary::from_snapshot(&h.snapshot()).unwrap();
+        // Every observation sits exactly on its own bucket bound, so the
+        // quantile estimate is exact.
+        assert!((s.p50 - 0.050).abs() < 1e-9, "p50 {}", s.p50);
+        assert!((s.p95 - 0.095).abs() < 1e-9, "p95 {}", s.p95);
+        assert!((s.p99 - 0.099).abs() < 1e-9, "p99 {}", s.p99);
+        assert!((s.mean - 0.0505).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,159 @@
+//! Generator selftest: the open-loop client against an in-process stub
+//! server with *scripted* delays, so percentiles and throughput can be
+//! checked against closed-form expectations instead of whatever the real
+//! model happens to cost on this machine.
+
+// Test code: unwraps are the assertions themselves here.
+#![allow(clippy::unwrap_used, clippy::panic, clippy::indexing_slicing)]
+
+use adec_loadgen::{
+    run_schedule, Arrival, ClientConfig, ConnStrategy, LatencySummary, OutcomeCounts, PayloadMix,
+    Schedule, ScheduleConfig, Tier, LOAD_LATENCY_BUCKETS,
+};
+use adec_obs::Registry;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Boots a stub HTTP server on an ephemeral port. Connection `i` sleeps
+/// `delays_ms[i % len]` after reading the request, then answers a fixed
+/// full-tier 200. The accept loop runs for the life of the test binary.
+fn spawn_stub(delays_ms: &'static [u64]) -> SocketAddr {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let counter = Arc::new(AtomicUsize::new(0));
+    std::thread::spawn(move || {
+        for stream in listener.incoming() {
+            let Ok(mut stream) = stream else { continue };
+            let n = counter.fetch_add(1, Ordering::Relaxed);
+            let delay = Duration::from_millis(delays_ms[n % delays_ms.len()]);
+            std::thread::spawn(move || {
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                // The client shuts down its write half, so EOF marks the
+                // end of the request.
+                let mut sink = Vec::new();
+                let _ = stream.read_to_end(&mut sink);
+                std::thread::sleep(delay);
+                let body = br#"{"mode":"full","assignments":[]}"#;
+                let head = format!(
+                    "HTTP/1.1 200 OK\r\ncontent-type: application/json\r\nconnection: close\r\ncontent-length: {}\r\n\r\n",
+                    body.len()
+                );
+                let _ = stream.write_all(head.as_bytes());
+                let _ = stream.write_all(body);
+            });
+        }
+    });
+    addr
+}
+
+fn uniform_schedule(rps: f64, ms: u64) -> Schedule {
+    Schedule::build(&ScheduleConfig {
+        rps,
+        duration: Duration::from_millis(ms),
+        arrival: Arrival::Uniform,
+        mix: PayloadMix::all_valid(),
+        input_dim: 3,
+        ..ScheduleConfig::default()
+    })
+}
+
+#[test]
+fn scripted_bimodal_delays_land_in_the_right_percentiles() {
+    // One slow (80ms) connection in four; the rest fast (5ms). Closed
+    // form: p50 sits in the fast mode, p95/p99 in the slow mode.
+    let addr = spawn_stub(&[5, 5, 5, 80]);
+    let schedule = uniform_schedule(200.0, 1_000);
+    assert_eq!(schedule.requests.len(), 200);
+
+    let t0 = Instant::now();
+    let outcomes = run_schedule(
+        &schedule,
+        &ClientConfig { addr, concurrency: 32, ..ClientConfig::default() },
+    );
+    let elapsed = t0.elapsed().as_secs_f64();
+
+    assert_eq!(outcomes.len(), 200, "every scheduled request needs an outcome");
+    for o in &outcomes {
+        assert_eq!(o.status, Some(200), "request {} got {:?}", o.index, o.status);
+        assert_eq!(o.tier, Some(Tier::Full));
+        assert!(!o.reuse_denied, "reconnect strategy never attempts reuse");
+    }
+
+    // Service time (send → response) is the number the stub scripts.
+    let reg = Registry::new();
+    let h = reg.histogram("selftest_service", LOAD_LATENCY_BUCKETS);
+    for o in &outcomes {
+        h.observe(o.service_latency_s);
+    }
+    let s = LatencySummary::from_snapshot(&h.snapshot()).unwrap();
+    assert_eq!(s.count, 200);
+    assert!(s.p50 < 0.05, "p50 {} must stay in the 5ms mode", s.p50);
+    assert!(s.p95 >= 0.05, "p95 {} must reach the 80ms mode", s.p95);
+    assert!(s.p99 >= s.p95 && s.p95 >= s.p50, "quantiles must be monotone");
+    // Mean is between the modes: 0.75*5ms + 0.25*80ms ≈ 24ms, plus
+    // loopback overhead. Generous upper bound for shared CI machines.
+    assert!(s.mean > 0.005 && s.mean < 0.06, "mean {} outside (5ms, 60ms)", s.mean);
+
+    // Open loop: the run cannot finish before the last scheduled instant
+    // (1.0s), so achieved throughput is bounded by the offered rate.
+    assert!(elapsed >= 1.0, "run finished before the schedule ended: {elapsed}s");
+    let achieved = outcomes.len() as f64 / elapsed;
+    assert!(achieved <= 200.0 + 1e-9, "achieved {achieved} rps beat the offered 200");
+    assert!(achieved >= 40.0, "achieved {achieved} rps collapsed far below offered");
+}
+
+#[test]
+fn scheduled_latency_charges_client_side_queueing_to_the_server() {
+    // One worker, 80ms service, releases every 10ms: the queue builds and
+    // the open-loop (scheduled-instant) latency must grow with it while
+    // pure service time stays flat — the anti-coordinated-omission check.
+    let addr = spawn_stub(&[80]);
+    let schedule = uniform_schedule(100.0, 50); // 5 requests, 10ms apart
+    assert_eq!(schedule.requests.len(), 5);
+
+    let outcomes = run_schedule(
+        &schedule,
+        &ClientConfig { addr, concurrency: 1, ..ClientConfig::default() },
+    );
+    assert_eq!(outcomes.len(), 5);
+    for o in &outcomes {
+        assert_eq!(o.status, Some(200));
+        assert!(
+            o.sched_latency_s >= o.service_latency_s - 1e-6,
+            "scheduled latency can never undercut service time"
+        );
+    }
+    // Closed form for the last request: four 80ms services ahead of it,
+    // released 50ms in → queue wait ≈ 4*80 − 40 = 280ms on top of its own
+    // service. Assert a conservative floor well above pure service time.
+    let last = outcomes.last().unwrap();
+    assert!(
+        last.sched_latency_s > last.service_latency_s + 0.1,
+        "queueing not charged: sched {} vs service {}",
+        last.sched_latency_s,
+        last.service_latency_s
+    );
+}
+
+#[test]
+fn reuse_attempts_are_denied_by_the_close_contract() {
+    // The stub (like the real server) answers `connection: close` on every
+    // response; `--conn reuse` must detect and count each denial.
+    let addr = spawn_stub(&[1]);
+    let schedule = uniform_schedule(100.0, 100); // 10 requests
+    let outcomes = run_schedule(
+        &schedule,
+        &ClientConfig { addr, concurrency: 4, conn: ConnStrategy::Reuse, ..ClientConfig::default() },
+    );
+    assert_eq!(outcomes.len(), 10);
+    for o in &outcomes {
+        assert_eq!(o.status, Some(200));
+        assert!(o.reuse_denied, "request {} missed the advertised close", o.index);
+    }
+    let counts = OutcomeCounts::from_outcomes(&outcomes);
+    assert_eq!(counts.reuse_denied, 10);
+    assert_eq!(counts.ok_200, 10);
+}

@@ -366,6 +366,102 @@ pub fn run_drill(
         },
     ));
 
+    // -- load under faults ----------------------------------------------
+    // The open-loop harness offers a fixed schedule of mixed traffic
+    // (valid, malformed, oversized, slow-loris) while a fault injector
+    // hammers the same server with garbage and mid-body resets. The
+    // contract under fire: valid traffic keeps being answered, every 503
+    // carries Retry-After, no unexplained statuses, and (checked by the
+    // metrics scenario that follows) zero caught panics.
+    let panics_before = get(addr, "/metrics")
+        .ok()
+        .flatten()
+        .and_then(|(_, body)| {
+            let text = std::str::from_utf8(&body).ok()?.to_string();
+            adec_obs::prom::check_exposition(&text)
+                .ok()?
+                .sample("adec_serve_caught_panics_total")
+        });
+    let stop_faults = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let injector = {
+        let stop = std::sync::Arc::clone(&stop_faults);
+        let mut fault_rng = SeedRng::new(seed ^ 0x10ad);
+        std::thread::spawn(move || {
+            while !stop.load(std::sync::atomic::Ordering::Relaxed) {
+                let n = 1 + fault_rng.below(120);
+                let mut noise: Vec<u8> = (0..n).map(|_| fault_rng.below(256) as u8).collect();
+                noise.extend_from_slice(b"\r\n\r\n");
+                let _ = exchange(addr, &noise);
+                // A mid-body reset between garbage bursts.
+                if let Ok(mut s) = TcpStream::connect_timeout(&addr, CLIENT_TIMEOUT) {
+                    let _ = s.write_all(
+                        b"POST /assign HTTP/1.1\r\nhost: chaos\r\ncontent-length: 900\r\n\r\nhalf",
+                    );
+                    let _ = s.shutdown(Shutdown::Both);
+                }
+                std::thread::sleep(Duration::from_millis(5));
+            }
+        })
+    };
+    let load_config = adec_loadgen::LoadConfig {
+        addr,
+        schedule: adec_loadgen::ScheduleConfig {
+            seed: seed ^ 3,
+            rps: 150.0,
+            duration: Duration::from_secs(2),
+            input_dim,
+            ..adec_loadgen::ScheduleConfig::default()
+        },
+        discover_dim: false, // already discovered above
+        concurrency: 8,
+        slow_drip: Duration::from_millis((read_deadline_ms / 4).max(10)),
+        ..adec_loadgen::LoadConfig::default()
+    };
+    let load_outcome = adec_loadgen::run_load(&load_config);
+    stop_faults.store(true, std::sync::atomic::Ordering::Relaxed);
+    let _ = injector.join();
+    let panics_after = get(addr, "/metrics")
+        .ok()
+        .flatten()
+        .and_then(|(_, body)| {
+            let text = std::str::from_utf8(&body).ok()?.to_string();
+            adec_obs::prom::check_exposition(&text)
+                .ok()?
+                .sample("adec_serve_caught_panics_total")
+        });
+    let (load_pass, load_detail) = match load_outcome {
+        Ok(report) => {
+            let o = &report.outcomes;
+            let panic_delta = match (panics_before, panics_after) {
+                (Some(a), Some(b)) => b - a,
+                _ => f64::NAN, // scrape failed: fail loudly below
+            };
+            // Counters are integral; NaN (scrape failure) fails the check.
+            let pass = o.ok_200 >= 1
+                && o.retry_after_missing == 0
+                && o.other_status == 0
+                && panic_delta.abs() < 0.5;
+            (
+                pass,
+                format!(
+                    "{} scheduled: {}x200 {}x400 {}x408 {}x413 {}x busy-503 {}x deadline-503 \
+                     {}x no-response; 503s missing Retry-After: {}; panic delta {panic_delta}",
+                    report.schedule_requests,
+                    o.ok_200,
+                    o.bad_request_400,
+                    o.timeout_408,
+                    o.payload_413,
+                    o.busy_503,
+                    o.deadline_503,
+                    o.no_response,
+                    o.retry_after_missing,
+                ),
+            )
+        }
+        Err(e) => (false, format!("load harness failed to run: {e}")),
+    };
+    scenarios.push(with_liveness("load", addr, load_pass, load_detail));
+
     // -- metrics ---------------------------------------------------------
     // The drill just battered the server; its scrape must still be valid
     // exposition format, prove no worker panicked, and show the request

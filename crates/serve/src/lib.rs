@@ -24,4 +24,4 @@ pub mod model;
 pub mod server;
 
 pub use model::{Assignment, InferenceModel, ModelError, ServeMode};
-pub use server::{ServeError, ServeStats, ServerConfig, ServerHandle};
+pub use server::{shed_tier, ServeError, ServeStats, ServerConfig, ServerHandle};

@@ -52,6 +52,26 @@ impl ServeMode {
             ServeMode::CentroidOnly => "degraded-centroid-only",
         }
     }
+
+    /// Ladder position: higher is more degraded.
+    pub fn rank(&self) -> u8 {
+        match self {
+            ServeMode::Full => 0,
+            ServeMode::NoDecoder => 1,
+            ServeMode::CentroidOnly => 2,
+        }
+    }
+
+    /// The more degraded of two rungs. The ladder only ever moves down:
+    /// a checkpoint limitation and a load-shed decision combine by taking
+    /// the worse of the two.
+    pub fn worse(a: ServeMode, b: ServeMode) -> ServeMode {
+        if a.rank() >= b.rank() {
+            a
+        } else {
+            b
+        }
+    }
 }
 
 /// Typed model-construction failure.
@@ -416,9 +436,16 @@ impl InferenceModel {
         Ok(())
     }
 
-    /// Assigns a validated batch. Deterministic: identical input bytes and
-    /// model produce bitwise-identical outputs at any worker count (the
-    /// kernel layer's row-chunk invariant).
+    /// The rung a request is actually answered at: the worse of what the
+    /// checkpoint supports and what the caller (the server's load-shed
+    /// gate) asks for.
+    pub fn effective_mode(&self, tier: ServeMode) -> ServeMode {
+        ServeMode::worse(self.mode, tier)
+    }
+
+    /// Assigns a validated batch at the model's own rung. Deterministic:
+    /// identical input bytes and model produce bitwise-identical outputs
+    /// at any worker count (the kernel layer's row-chunk invariant).
     ///
     /// # Errors
     ///
@@ -426,28 +453,68 @@ impl InferenceModel {
     /// [`AssignError::NonFinite`] should the forward pass overflow.
     pub fn assign(&self, x: &Matrix) -> Result<Vec<Assignment>, AssignError> {
         assert!(x.cols() > 0, "assign: zero-width batch");
+        // Tier Full adds no pressure: the effective rung is self.mode.
+        self.assign_with_tier(x, ServeMode::Full)
+    }
+
+    /// Assigns a validated batch at (no better than) the requested tier —
+    /// the load-shedding entry point. The accepted input width never
+    /// changes with the tier: a sheddable request is still a *data-space*
+    /// request; shedding to centroid-only keeps the encoder forward but
+    /// skips the Student-t soft assignment and the decoder reconstruction
+    /// (the two most expensive parts of a full answer, in compute and in
+    /// response bytes).
+    ///
+    /// # Errors
+    ///
+    /// Same as [`InferenceModel::assign`].
+    pub fn assign_with_tier(
+        &self,
+        x: &Matrix,
+        tier: ServeMode,
+    ) -> Result<Vec<Assignment>, AssignError> {
+        assert!(x.cols() > 0, "assign: zero-width batch");
         self.validate(x)?;
+        let effective = self.effective_mode(tier);
         match &self.encoder {
             Some(enc) => {
                 let z = enc.forward(x);
                 if !finite_scan(z.as_slice()).is_clean() {
                     return Err(AssignError::NonFinite);
                 }
-                let q = soft_assignment(&z, &self.centroids, self.alpha);
-                let recon: Option<Vec<f32>> = self.decoder.as_ref().map(|dec| {
-                    let xhat = dec.forward(&z);
-                    (0..x.rows())
+                if effective == ServeMode::CentroidOnly {
+                    // Shed rung: hard nearest-centroid over the embedding.
+                    return Ok((0..z.rows())
                         .map(|i| {
-                            let d: f32 = xhat
-                                .row(i)
-                                .iter()
-                                .zip(x.row(i).iter())
-                                .map(|(a, b)| (a - b) * (a - b))
-                                .sum();
-                            d / x.cols() as f32
+                            let (label, dist) = self.nearest_centroid(z.row(i));
+                            Assignment {
+                                label,
+                                q: Vec::new(),
+                                dist: Some(dist),
+                                recon_error: None,
+                            }
                         })
-                        .collect()
-                });
+                        .collect());
+                }
+                let q = soft_assignment(&z, &self.centroids, self.alpha);
+                let recon: Option<Vec<f32>> = if effective == ServeMode::Full {
+                    self.decoder.as_ref().map(|dec| {
+                        let xhat = dec.forward(&z);
+                        (0..x.rows())
+                            .map(|i| {
+                                let d: f32 = xhat
+                                    .row(i)
+                                    .iter()
+                                    .zip(x.row(i).iter())
+                                    .map(|(a, b)| (a - b) * (a - b))
+                                    .sum();
+                                d / x.cols() as f32
+                            })
+                            .collect()
+                    })
+                } else {
+                    None
+                };
                 Ok((0..x.rows())
                     .map(|i| Assignment {
                         label: argmax(q.row(i)),
@@ -648,6 +715,51 @@ mod tests {
         let mut huge = Matrix::zeros(2, 6);
         huge.set(1, 3, 1e9);
         assert_eq!(model.validate(&huge), Err(AssignError::OutOfRange { row: 1 }));
+    }
+
+    #[test]
+    fn worse_takes_the_more_degraded_rung() {
+        use ServeMode::{CentroidOnly, Full, NoDecoder};
+        assert_eq!(ServeMode::worse(Full, Full), Full);
+        assert_eq!(ServeMode::worse(Full, NoDecoder), NoDecoder);
+        assert_eq!(ServeMode::worse(NoDecoder, Full), NoDecoder);
+        assert_eq!(ServeMode::worse(CentroidOnly, NoDecoder), CentroidOnly);
+        assert_eq!(ServeMode::worse(NoDecoder, CentroidOnly), CentroidOnly);
+        assert!(Full.rank() < NoDecoder.rank() && NoDecoder.rank() < CentroidOnly.rank());
+    }
+
+    #[test]
+    fn shed_tiers_keep_width_and_labels_but_shed_payload() {
+        let model = InferenceModel::from_checkpoint(&sample_checkpoint(), 1.0).unwrap();
+        assert_eq!(model.mode, ServeMode::Full);
+        let mut rng = SeedRng::new(13);
+        let x = Matrix::randn(4, 6, 0.0, 1.0, &mut rng);
+
+        let full = model.assign_with_tier(&x, ServeMode::Full).unwrap();
+        let nodec = model.assign_with_tier(&x, ServeMode::NoDecoder).unwrap();
+        let cent = model.assign_with_tier(&x, ServeMode::CentroidOnly).unwrap();
+
+        // The Student-t q is monotone decreasing in centroid distance, so
+        // argmax(q) and nearest-centroid agree: shedding never changes the
+        // hard label, only the payload richness.
+        for ((f, n), c) in full.iter().zip(nodec.iter()).zip(cent.iter()) {
+            assert_eq!(f.label, n.label);
+            assert_eq!(f.label, c.label);
+            assert!(f.recon_error.is_some() && !f.q.is_empty());
+            assert!(n.recon_error.is_none() && !n.q.is_empty());
+            assert!(c.recon_error.is_none() && c.q.is_empty() && c.dist.is_some());
+        }
+        // assign() is exactly the tier-Full path.
+        let plain = model.assign(&x).unwrap();
+        for (a, b) in plain.iter().zip(full.iter()) {
+            assert_eq!(a.q, b.q);
+            assert_eq!(a.recon_error, b.recon_error);
+        }
+        // The shed rung still validates against the *data* width.
+        assert!(matches!(
+            model.assign_with_tier(&Matrix::zeros(1, 3), ServeMode::CentroidOnly),
+            Err(AssignError::DimMismatch { got: 3, want: 6 })
+        ));
     }
 
     #[test]

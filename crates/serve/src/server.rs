@@ -103,6 +103,12 @@ pub struct Stats {
     /// Worker panics caught and answered with 500 (should stay 0; the
     /// counter exists so the chaos drill can *prove* it stayed 0).
     pub caught_panics: AtomicU64,
+    /// `/assign` 200s answered at the full rung.
+    pub served_full: AtomicU64,
+    /// `/assign` 200s answered without reconstruction error.
+    pub served_no_decoder: AtomicU64,
+    /// `/assign` 200s answered as hard nearest-centroid only.
+    pub served_centroid_only: AtomicU64,
 }
 
 /// Plain-value snapshot of [`Stats`].
@@ -120,6 +126,10 @@ pub struct ServeStats {
     pub deadline_expired: u64,
     /// Worker panics caught (0 in a healthy run).
     pub caught_panics: u64,
+    /// `/assign` 200s per degradation rung, in ladder order
+    /// (full, no-decoder, centroid-only). Sums to at most `served`
+    /// (the non-`/assign` 200s have no rung).
+    pub served_by_tier: [u64; 3],
 }
 
 impl Stats {
@@ -131,6 +141,11 @@ impl Stats {
             disconnects: self.disconnects.load(Ordering::Relaxed),
             deadline_expired: self.deadline_expired.load(Ordering::Relaxed),
             caught_panics: self.caught_panics.load(Ordering::Relaxed),
+            served_by_tier: [
+                self.served_full.load(Ordering::Relaxed),
+                self.served_no_decoder.load(Ordering::Relaxed),
+                self.served_centroid_only.load(Ordering::Relaxed),
+            ],
         }
     }
 }
@@ -147,6 +162,9 @@ struct ObsMetrics {
     disconnects: Arc<Counter>,
     deadline_expired: Arc<Counter>,
     caught_panics: Arc<Counter>,
+    served_full: Arc<Counter>,
+    served_no_decoder: Arc<Counter>,
+    served_centroid_only: Arc<Counter>,
     /// Accept-to-response latency of every worker-handled request.
     request_seconds: Arc<Histogram>,
     /// Queue length observed at each successful admission.
@@ -162,6 +180,9 @@ impl ObsMetrics {
             disconnects: counter("adec_serve_disconnects_total"),
             deadline_expired: counter("adec_serve_deadline_expired_total"),
             caught_panics: counter("adec_serve_caught_panics_total"),
+            served_full: counter("adec_serve_served_full_total"),
+            served_no_decoder: counter("adec_serve_served_no_decoder_total"),
+            served_centroid_only: counter("adec_serve_served_centroid_only_total"),
             request_seconds: histogram("adec_serve_request_seconds", DURATION_BUCKETS),
             queue_depth: histogram(
                 "adec_serve_queue_depth",
@@ -455,13 +476,16 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
         (Method::Get, "/statz") => {
             let s = shared.stats.snapshot();
             let body = format!(
-                r#"{{"served":{},"rejected_busy":{},"client_errors":{},"disconnects":{},"deadline_expired":{},"caught_panics":{}}}"#,
+                r#"{{"served":{},"rejected_busy":{},"client_errors":{},"disconnects":{},"deadline_expired":{},"caught_panics":{},"served_full":{},"served_no_decoder":{},"served_centroid_only":{}}}"#,
                 s.served,
                 s.rejected_busy,
                 s.client_errors,
                 s.disconnects,
                 s.deadline_expired,
                 s.caught_panics,
+                s.served_by_tier[0],
+                s.served_by_tier[1],
+                s.served_by_tier[2],
             );
             shared.count(&shared.stats.served, &shared.obs.served);
             let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
@@ -501,11 +525,41 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
     }
 }
 
+/// Pressure-to-rung map for load shedding, pure and monotone in `depth`:
+/// at ≤50% queue occupancy requests get the full answer, at ≤75% the
+/// decoder reconstruction is shed, beyond that the answer collapses to a
+/// hard nearest-centroid label. The ladder bottoms out *below* the 503
+/// gate (at `depth == cap` the acceptor rejects outright), so under
+/// overload the service degrades answer richness before it degrades
+/// availability.
+pub fn shed_tier(depth: usize, cap: usize) -> ServeMode {
+    assert!(cap > 0, "shed_tier: queue capacity must be positive");
+    if depth.saturating_mul(2) <= cap {
+        ServeMode::Full
+    } else if depth.saturating_mul(4) <= cap.saturating_mul(3) {
+        ServeMode::NoDecoder
+    } else {
+        ServeMode::CentroidOnly
+    }
+}
+
 /// Parses the CSV body, runs the forward pass in deadline-checked chunks,
 /// and streams back the JSON answer.
 fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
     let compute_deadline =
         Instant::now() + Duration::from_millis(shared.config.deadline_ms);
+    // Sample queue pressure once, at entry: every chunk of this request
+    // is answered at one consistent rung, chosen from the backlog this
+    // worker saw when it started.
+    let depth = {
+        let q = match shared.queue.lock() {
+            Ok(q) => q,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        q.len()
+    };
+    let pressure = shed_tier(depth, shared.config.max_inflight);
+    let effective = shared.model.effective_mode(pressure);
     let want = shared.model.input_dim();
     let rows = match parse_csv_body(&request.body, want) {
         Ok(rows) => rows,
@@ -531,7 +585,7 @@ fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
         }
         let data: Vec<f32> = chunk.iter().flatten().copied().collect();
         let x = adec_tensor::Matrix::from_vec(chunk.len(), want, data);
-        match shared.model.assign(&x) {
+        match shared.model.assign_with_tier(&x, pressure) {
             Ok(mut batch) => assignments.append(&mut batch),
             Err(err) => {
                 shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
@@ -542,7 +596,18 @@ fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
         }
     }
     shared.count(&shared.stats.served, &shared.obs.served);
-    let body = render_assignments(&shared.model.mode, &shared.model.phase, &assignments);
+    let (tier_local, tier_global) = match effective {
+        ServeMode::Full => (&shared.stats.served_full, &shared.obs.served_full),
+        ServeMode::NoDecoder => (&shared.stats.served_no_decoder, &shared.obs.served_no_decoder),
+        ServeMode::CentroidOnly => {
+            (&shared.stats.served_centroid_only, &shared.obs.served_centroid_only)
+        }
+    };
+    shared.count(tier_local, tier_global);
+    // The response reports the rung it was *answered* at, so a client can
+    // tell checkpoint degradation and load shedding apart from the mix of
+    // modes it sees.
+    let body = render_assignments(&effective, &shared.model.phase, &assignments);
     let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
 }
 
@@ -686,6 +751,34 @@ mod tests {
             degraded,
             r#"{"mode":"degraded-centroid-only","phase":"dec","assignments":[{"label":0,"dist":1.5}]}"#
         );
+    }
+
+    #[test]
+    fn shed_tier_is_monotone_and_ordered() {
+        // Exact ladder boundaries for cap = 8: ≤4 full, 5–6 no-decoder,
+        // 7+ centroid-only.
+        assert_eq!(shed_tier(0, 8), ServeMode::Full);
+        assert_eq!(shed_tier(4, 8), ServeMode::Full);
+        assert_eq!(shed_tier(5, 8), ServeMode::NoDecoder);
+        assert_eq!(shed_tier(6, 8), ServeMode::NoDecoder);
+        assert_eq!(shed_tier(7, 8), ServeMode::CentroidOnly);
+        assert_eq!(shed_tier(8, 8), ServeMode::CentroidOnly);
+        // Monotone: more backlog never yields a *richer* answer.
+        for cap in [1usize, 2, 3, 8, 32, 1000] {
+            let mut last = 0u8;
+            for depth in 0..=cap + 2 {
+                let rank = shed_tier(depth, cap).rank();
+                assert!(rank >= last, "cap {cap}: rung got richer at depth {depth}");
+                last = rank;
+            }
+        }
+        // An idle queue is always full-rung, a full queue never is
+        // (except the degenerate cap=1, where depth 0 is the only
+        // admissible state anyway).
+        for cap in [2usize, 8, 32, 128] {
+            assert_eq!(shed_tier(0, cap), ServeMode::Full);
+            assert_ne!(shed_tier(cap, cap), ServeMode::Full);
+        }
     }
 
     #[test]

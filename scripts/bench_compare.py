@@ -1,18 +1,29 @@
 #!/usr/bin/env python3
-"""Bench-regression tripwire for the packed gemm path.
+"""Bench-regression tripwire for the packed gemm path and the serve SLO.
 
-Compares a fresh kernel bench report against a committed baseline
-(both `adec-bench-kernels/v1` JSON) and fails when any packed gemm
-entry regresses by more than REGRESSION_FACTOR in ns/op. The factor is
-deliberately tolerant (2x): CI runners are noisy and the tripwire is
-for catastrophic regressions (a dropped kernel path, an accidental
-naive fallback), not for nanosecond drift.
+Compares a fresh bench report against a committed baseline and fails on
+catastrophic regression. Two report schemas are understood, auto-detected
+from the `schema` field (both files must agree):
+
+* `adec-bench-kernels/v1` — per-kernel ns/op; any packed gemm entry more
+  than REGRESSION_FACTOR slower than baseline fails.
+* `adec-bench-serve/v1` — a `BENCH_serve.json` load report; fails when
+  the open-loop p99 or the valid-request error rate grows past
+  REGRESSION_FACTOR x baseline (each with an absolute floor so sub-noise
+  values can't trip it), when the 503 busy rate doubles past its floor,
+  when client/server counts failed to reconcile, or when two reports
+  built from identical load configs disagree on the schedule hash.
+
+The factor is deliberately tolerant (2x): CI runners are noisy and the
+tripwire is for catastrophic regressions (a dropped kernel path, an
+accidental naive fallback, a serve path that fell off its SLO cliff),
+not for nanosecond drift.
 
 Usage: bench_compare.py BASELINE.json FRESH.json [COMPARISON_OUT.json]
 
-Writes a machine-readable comparison (one row per matched entry) to
-COMPARISON_OUT.json (default: bench_comparison.json) so CI can upload
-it as an artifact, then exits 0 (ok) or 1 (regression / bad input).
+Writes a machine-readable comparison to COMPARISON_OUT.json (default:
+bench_comparison.json) so CI can upload it as an artifact, then exits 0
+(ok) or 1 (regression / bad input).
 """
 
 import json
@@ -20,14 +31,28 @@ import sys
 
 REGRESSION_FACTOR = 2.0
 PACKED_GEMM = ("matmul", "matmul_at_b", "matmul_a_bt")
-SCHEMA = "adec-bench-kernels/v1"
+KERNELS_SCHEMA = "adec-bench-kernels/v1"
+SERVE_SCHEMA = "adec-bench-serve/v1"
+
+# Absolute floors for the serve ratchet: a metric must exceed BOTH the
+# 2x ratio AND its floor to fail, so a 0.4ms -> 0.9ms p99 on an idle CI
+# runner (pure noise) can't block a merge.
+P99_FLOOR_S = 0.010      # 10 ms
+ERROR_RATE_FLOOR = 0.01  # 1% of valid requests
+BUSY_RATE_FLOOR = 0.02   # 2% of the offered schedule
 
 
-def load(path):
+def load_doc(path):
     with open(path) as f:
         doc = json.load(f)
-    if doc.get("schema") != SCHEMA:
-        sys.exit(f"{path}: schema {doc.get('schema')!r}, want {SCHEMA!r}")
+    schema = doc.get("schema")
+    if schema not in (KERNELS_SCHEMA, SERVE_SCHEMA):
+        sys.exit(f"{path}: schema {schema!r}, want {KERNELS_SCHEMA!r} "
+                 f"or {SERVE_SCHEMA!r}")
+    return doc
+
+
+def kernel_entries(doc):
     return {
         (e["name"], e["tier"]): e
         for e in doc["entries"]
@@ -35,14 +60,9 @@ def load(path):
     }
 
 
-def main(argv):
-    if len(argv) < 3:
-        sys.exit(__doc__)
-    baseline_path, fresh_path = argv[1], argv[2]
-    out_path = argv[3] if len(argv) > 3 else "bench_comparison.json"
-    baseline = load(baseline_path)
-    fresh = load(fresh_path)
-
+def compare_kernels(baseline, fresh):
+    """Returns (rows, failures) for two kernels-schema docs."""
+    baseline, fresh = kernel_entries(baseline), kernel_entries(fresh)
     rows, failures = [], []
     for key in sorted(baseline):
         name, tier = key
@@ -71,9 +91,110 @@ def main(argv):
 
     if not rows:
         failures.append("no packed gemm entries matched between reports")
+    return rows, failures
+
+
+def ratcheted(name, base, fresh, floor):
+    """One serve metric: fails only past BOTH the ratio and the floor."""
+    limit = max(REGRESSION_FACTOR * base, floor)
+    regressed = fresh > limit
+    row = {
+        "name": name,
+        "baseline": base,
+        "fresh": fresh,
+        "limit": round(limit, 6),
+        "regressed": regressed,
+    }
+    verdict = "REGRESSED" if regressed else "ok"
+    print(f"{name:<14} {base:>12.6f} -> {fresh:>12.6f} "
+          f"(limit {limit:.6f})  {verdict}")
+    failure = None
+    if regressed:
+        failure = (f"{name}: {fresh:.6f} exceeds limit {limit:.6f} "
+                   f"(max of {REGRESSION_FACTOR}x baseline {base:.6f} "
+                   f"and floor {floor})")
+    return row, failure
+
+
+def compare_serve(baseline, fresh):
+    """Returns (rows, failures) for two serve-schema docs."""
+    rows, failures = [], []
+
+    def metric(doc, *path, default=None):
+        node = doc
+        for key in path:
+            if not isinstance(node, dict) or key not in node:
+                return default
+            node = node[key]
+        return node
+
+    checks = [
+        ("p99_latency_s",
+         metric(baseline, "timing", "latency_s", "p99"),
+         metric(fresh, "timing", "latency_s", "p99"),
+         P99_FLOOR_S),
+        ("error_rate",
+         metric(baseline, "outcomes", "error_rate"),
+         metric(fresh, "outcomes", "error_rate"),
+         ERROR_RATE_FLOOR),
+        ("busy_rate",
+         metric(baseline, "outcomes", "busy_rate"),
+         metric(fresh, "outcomes", "busy_rate"),
+         BUSY_RATE_FLOOR),
+    ]
+    for name, base, new, floor in checks:
+        if base is None or new is None:
+            failures.append(f"{name}: missing from "
+                            f"{'baseline' if base is None else 'fresh'} report")
+            continue
+        row, failure = ratcheted(name, base, new, floor)
+        rows.append(row)
+        if failure:
+            failures.append(failure)
+
+    # A fresh report whose client counts don't reconcile with the
+    # server's own counter is reporting on a different run than the one
+    # that happened — never ratchet against it.
+    reconcile = metric(fresh, "reconcile", default={})
+    if reconcile.get("checked") and not reconcile.get("consistent"):
+        failures.append("fresh report failed client/server reconciliation: "
+                        + str(reconcile.get("detail", "")))
+
+    # Same load config must mean the same deterministic schedule; a hash
+    # mismatch means the generator itself changed under the snapshot.
+    if metric(baseline, "config") == metric(fresh, "config"):
+        base_hash = metric(baseline, "schedule", "fnv_hash")
+        fresh_hash = metric(fresh, "schedule", "fnv_hash")
+        if base_hash != fresh_hash:
+            failures.append(
+                f"schedule hash mismatch for identical config: "
+                f"baseline {base_hash} vs fresh {fresh_hash}")
+    else:
+        print("note: load configs differ; schedule hash not compared")
+
+    return rows, failures
+
+
+def main(argv):
+    if len(argv) < 3:
+        sys.exit(__doc__)
+    baseline_path, fresh_path = argv[1], argv[2]
+    out_path = argv[3] if len(argv) > 3 else "bench_comparison.json"
+    baseline = load_doc(baseline_path)
+    fresh = load_doc(fresh_path)
+    if baseline["schema"] != fresh["schema"]:
+        sys.exit(f"schema mismatch: {baseline_path} is "
+                 f"{baseline['schema']!r} but {fresh_path} is "
+                 f"{fresh['schema']!r}")
+
+    if baseline["schema"] == SERVE_SCHEMA:
+        rows, failures = compare_serve(baseline, fresh)
+    else:
+        rows, failures = compare_kernels(baseline, fresh)
 
     comparison = {
         "schema": "adec-bench-comparison/v1",
+        "mode": "serve" if baseline["schema"] == SERVE_SCHEMA else "kernels",
         "regression_factor": REGRESSION_FACTOR,
         "entries": rows,
         "failures": failures,

@@ -15,6 +15,12 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> adec-lint"
 cargo run -q -p adec-analysis --bin adec-lint
 
+echo "==> bench_compare.py unit tests"
+python3 scripts/test_bench_compare.py
+
+echo "==> adec load --help smoke"
+cargo run -q --release -p adec-cli -- load --help > /dev/null
+
 echo "==> adec --check (paper-scale architectures)"
 cargo run -q --release -p adec-cli -- --check --size paper
 
