@@ -222,13 +222,18 @@ fn is_detach_exempt_path(rel: &str) -> bool {
 /// shape arrives from the network, not from our own code. The load
 /// harness's quantile estimator qualifies for the same reason: the bucket
 /// slices it takes come from scraped histograms, and a bounds/cumulative
-/// length mismatch silently misreports the SLO.
+/// length mismatch silently misreports the SLO. The serve fleet and model
+/// registry qualify because their matrix-taking entry points (if any are
+/// ever added) would sit on the reload/request path, staged from
+/// checkpoint bytes read off disk rather than from our own code.
 fn needs_kernel_asserts(rel: &str) -> bool {
     rel == "crates/tensor/src/matrix.rs"
         || rel == "crates/tensor/src/linalg.rs"
         || rel == "crates/tensor/src/kernels.rs"
         || rel == "crates/core/src/guard.rs"
         || rel == "crates/serve/src/model.rs"
+        || rel == "crates/serve/src/registry.rs"
+        || rel == "crates/serve/src/fleet.rs"
         || rel == "crates/loadgen/src/stats.rs"
 }
 

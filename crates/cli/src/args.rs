@@ -195,6 +195,12 @@ pub struct ServeArgs {
     pub read_deadline_ms: u64,
     /// Student-t degrees of freedom for the soft assignment.
     pub alpha: f32,
+    /// Supervised replica count (0 = one replica per worker thread).
+    pub replicas: usize,
+    /// Checkpoint path to poll for automatic hot reload.
+    pub watch_checkpoint: Option<String>,
+    /// Busy budget before a wedged replica is superseded (0 = derived).
+    pub wedge_budget_ms: u64,
 }
 
 impl Default for ServeArgs {
@@ -207,6 +213,9 @@ impl Default for ServeArgs {
             deadline_ms: 2_000,
             read_deadline_ms: 2_000,
             alpha: 1.0,
+            replicas: 0,
+            watch_checkpoint: None,
+            wedge_budget_ms: 0,
         }
     }
 }
@@ -226,14 +235,22 @@ pub fn serve_usage() -> String {
        --deadline-ms <N>        per-request compute budget (default 2000)\n\
        --read-deadline-ms <N>   per-socket read budget     (default 2000)\n\
        --alpha <X>              Student-t dof for q_ij     (default 1.0)\n\
+       --replicas <N>           supervised replica workers (default: --workers)\n\
+       --watch-checkpoint <P>   poll P (mtime+checksum) and hot reload on change\n\
+       --wedge-budget-ms <N>    busy budget before a replica is superseded\n\
+                                (default 0 = read+compute deadlines + 2000)\n\
        --help                   this message\n\
      \n\
      ENDPOINTS:\n\
        GET  /healthz    liveness (200 while the process serves at all)\n\
-       GET  /readyz     readiness + model card (mode, input_dim, clusters)\n\
-       GET  /statz      request counters\n\
-       GET  /metrics    Prometheus text exposition (counters + latency histograms)\n\
+       GET  /readyz     readiness + model card + fleet card (model_version,\n\
+                        reload_generation, replicas, replicas_live)\n\
+       GET  /statz      request counters + per-replica counters\n\
+       GET  /metrics    Prometheus text exposition (counters + latency histograms,\n\
+                        per-replica and per-model-version series)\n\
        POST /assign     CSV rows of features -> JSON soft assignments\n\
+       POST /reload     stage + validate --checkpoint, atomically swap it live\n\
+                        (local-only; 409 on refusal, live model untouched)\n\
        POST /shutdown   stop accepting, drain in-flight, exit 0\n"
         .to_string()
 }
@@ -292,6 +309,23 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ParseError> {
                     .ok()
                     .filter(|a: &f32| a.is_finite() && *a > 0.0)
                     .ok_or_else(|| ParseError(format!("invalid alpha '{v}'")))?;
+            }
+            "--replicas" => {
+                let v = value("--replicas")?;
+                args.replicas = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid replica count '{v}'")))?;
+            }
+            "--watch-checkpoint" => {
+                args.watch_checkpoint = Some(value("--watch-checkpoint")?.clone());
+            }
+            "--wedge-budget-ms" => {
+                let v = value("--wedge-budget-ms")?;
+                args.wedge_budget_ms = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid wedge budget '{v}'")))?;
             }
             other => return Err(ParseError(format!("unknown flag '{other}' (see adec serve --help)"))),
         }
@@ -772,10 +806,15 @@ mod tests {
         assert_eq!(args.deadline_ms, 2_000);
         assert_eq!(args.read_deadline_ms, 2_000);
 
+        assert_eq!(args.replicas, 0);
+        assert_eq!(args.watch_checkpoint, None);
+        assert_eq!(args.wedge_budget_ms, 0);
+
         let full = parse_serve(&strs(&[
             "--checkpoint", "x.ckpt", "--port", "0", "--workers", "4",
             "--max-inflight", "8", "--deadline-ms", "100", "--read-deadline-ms", "250",
-            "--alpha", "2.0",
+            "--alpha", "2.0", "--replicas", "4", "--watch-checkpoint", "watch.ckpt",
+            "--wedge-budget-ms", "400",
         ]))
         .unwrap();
         assert_eq!(full.port, 0);
@@ -784,6 +823,9 @@ mod tests {
         assert_eq!(full.deadline_ms, 100);
         assert_eq!(full.read_deadline_ms, 250);
         assert!((full.alpha - 2.0).abs() < 1e-6);
+        assert_eq!(full.replicas, 4);
+        assert_eq!(full.watch_checkpoint.as_deref(), Some("watch.ckpt"));
+        assert_eq!(full.wedge_budget_ms, 400);
     }
 
     #[test]
@@ -799,6 +841,10 @@ mod tests {
             .unwrap_err().0.contains("invalid read deadline"));
         assert!(parse_serve(&strs(&["--checkpoint", "x", "--alpha", "-1"]))
             .unwrap_err().0.contains("invalid alpha"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--replicas", "0"]))
+            .unwrap_err().0.contains("invalid replica count"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--wedge-budget-ms", "x"]))
+            .unwrap_err().0.contains("invalid wedge budget"));
         assert!(parse_serve(&strs(&["--checkpoint", "x", "--wat"]))
             .unwrap_err().0.contains("unknown flag"));
     }

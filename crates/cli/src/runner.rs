@@ -129,7 +129,8 @@ impl From<CheckpointError> for RunError {
 /// model is not servable or the listener cannot bind (exit 6).
 pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
     use adec_serve::model::ModelError;
-    let model = adec_serve::InferenceModel::load(&args.checkpoint, args.alpha).map_err(|e| {
+    let ckpt_path = std::path::PathBuf::from(&args.checkpoint);
+    let model = adec_serve::load_initial(&ckpt_path, args.alpha).map_err(|e| {
         match e {
             ModelError::Checkpoint(c) => RunError::Checkpoint(c),
             other => RunError::Serve(other.to_string()),
@@ -147,9 +148,13 @@ pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
     let config = adec_serve::ServerConfig {
         port: args.port,
         workers: args.workers,
+        replicas: args.replicas,
         max_inflight: args.max_inflight,
         deadline_ms: args.deadline_ms,
         read_deadline_ms: args.read_deadline_ms,
+        wedge_budget_ms: args.wedge_budget_ms,
+        reload_path: Some(ckpt_path),
+        watch_path: args.watch_checkpoint.as_ref().map(std::path::PathBuf::from),
         ..adec_serve::ServerConfig::default()
     };
     let handle = adec_serve::ServerHandle::start(model, config)
@@ -160,13 +165,16 @@ pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
     let stats = handle.join();
     // lint:allow(obs-eprintln) -- operator console output, not diagnostics
     eprintln!(
-        "drained: served={} rejected_busy={} client_errors={} disconnects={} deadline_expired={} caught_panics={}",
+        "drained: served={} rejected_busy={} client_errors={} disconnects={} deadline_expired={} caught_panics={} respawns={} reloads={} reloads_refused={}",
         stats.served,
         stats.rejected_busy,
         stats.client_errors,
         stats.disconnects,
         stats.deadline_expired,
         stats.caught_panics,
+        stats.respawns,
+        stats.reloads,
+        stats.reloads_refused,
     );
     Ok(())
 }

@@ -29,7 +29,7 @@ pub mod schedule;
 pub mod stats;
 
 pub use client::{run_schedule, ClientConfig, ConnStrategy, RequestOutcome, Tier};
-pub use report::{LoadReport, OutcomeCounts, Reconcile, Timing, REPORT_SCHEMA};
+pub use report::{LoadReport, OutcomeCounts, Reconcile, ServerSide, Timing, REPORT_SCHEMA};
 pub use schedule::{Arrival, PayloadKind, PayloadMix, PlannedRequest, Schedule, ScheduleConfig};
 pub use stats::{quantile_from_buckets, LatencySummary, LOAD_LATENCY_BUCKETS};
 
@@ -87,21 +87,50 @@ impl std::fmt::Display for LoadError {
 
 impl std::error::Error for LoadError {}
 
-/// Scrapes `/metrics`, parses it strictly, and returns the
-/// `adec_serve_served_total` reading (plus the sum/count of the queue
-/// depth histogram for the soak checks). `None` when the scrape fails —
-/// reconciliation then reports itself unchecked rather than guessing.
-fn scrape_served(addr: SocketAddr) -> Option<(f64, f64, f64)> {
+/// One strict `/metrics` scrape, decomposed. The core fields
+/// (`served`, queue-depth sum/count) exist on every server version; the
+/// fleet fields are `Option`s so the harness still drives pre-fleet
+/// servers and the test stub.
+#[derive(Debug, Clone, Copy, Default)]
+struct ServerScrape {
+    /// `adec_serve_served_total`.
+    served: f64,
+    /// `adec_serve_queue_depth_sum` (for the soak mean-depth check).
+    depth_sum: f64,
+    /// `adec_serve_queue_depth_count`.
+    depth_count: f64,
+    /// `adec_serve_respawns_total`, when the server exports fleet series.
+    respawns: Option<f64>,
+    /// `adec_serve_reload_generation` gauge.
+    reload_generation: Option<f64>,
+    /// `adec_serve_model_version` gauge.
+    model_version: Option<f64>,
+}
+
+/// Scrapes `/metrics`, parses it strictly, and returns the readings the
+/// harness cross-checks. `None` when the scrape fails — reconciliation
+/// then reports itself unchecked rather than guessing.
+fn scrape_served(addr: SocketAddr) -> Option<ServerScrape> {
     let (status, body) = client::get(addr, "/metrics")?;
     if status != 200 {
         return None;
     }
     let text = std::str::from_utf8(&body).ok()?;
     let exposition = adec_obs::prom::check_exposition(text).ok()?;
-    let served = exposition.sample("adec_serve_served_total")?;
-    let depth_sum = exposition.sample("adec_serve_queue_depth_sum").unwrap_or(0.0);
-    let depth_count = exposition.sample("adec_serve_queue_depth_count").unwrap_or(0.0);
-    Some((served, depth_sum, depth_count))
+    Some(ServerScrape {
+        served: exposition.sample("adec_serve_served_total")?,
+        depth_sum: exposition.sample("adec_serve_queue_depth_sum").unwrap_or(0.0),
+        depth_count: exposition.sample("adec_serve_queue_depth_count").unwrap_or(0.0),
+        respawns: exposition.sample("adec_serve_respawns_total"),
+        reload_generation: exposition.sample("adec_serve_reload_generation"),
+        model_version: exposition.sample("adec_serve_model_version"),
+    })
+}
+
+/// Converts an `Option<f64>` counter reading to the report's integral
+/// form (counters and gauges here are whole numbers by construction).
+fn sample_as_u64(v: Option<f64>) -> Option<u64> {
+    v.map(|x| x.max(0.0) as u64)
 }
 
 /// Runs one complete load pass and returns the filled report.
@@ -163,6 +192,15 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
         elapsed_s: elapsed,
     };
     report.reconcile = reconcile(before, after, report.outcomes.ok_200);
+    report.server = match after {
+        Some(s) => ServerSide {
+            checked: true,
+            respawns: sample_as_u64(s.respawns),
+            reload_generation: sample_as_u64(s.reload_generation),
+            model_version: sample_as_u64(s.model_version),
+        },
+        None => ServerSide::default(),
+    };
     Ok(report)
 }
 
@@ -174,11 +212,11 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
 /// The counter is process-global on the server side, so the check is only
 /// exact when nothing else talks to the server during the run — which is
 /// precisely the regime CI runs in.
-fn reconcile(before: Option<(f64, f64, f64)>, after: Option<(f64, f64, f64)>, ok_200: u64) -> Reconcile {
-    let (Some((served_before, ..)), Some((served_after, ..))) = (before, after) else {
+fn reconcile(before: Option<ServerScrape>, after: Option<ServerScrape>, ok_200: u64) -> Reconcile {
+    let (Some(before), Some(after)) = (before, after) else {
         return Reconcile::unchecked("metrics scrape unavailable; counts not cross-checked");
     };
-    let delta = (served_after - served_before).max(0.0) as u64;
+    let delta = (after.served - before.served).max(0.0) as u64;
     let expected = ok_200 + 1;
     Reconcile {
         checked: true,
@@ -261,8 +299,8 @@ pub fn run_soak(
         let report = run_load(&window_config)?;
         let depth_after = scrape_served(config.addr);
         let mean_queue_depth = match (depth_before, depth_after) {
-            (Some((_, sum0, cnt0)), Some((_, sum1, cnt1))) if cnt1 > cnt0 => {
-                Some((sum1 - sum0) / (cnt1 - cnt0))
+            (Some(b), Some(a)) if a.depth_count > b.depth_count => {
+                Some((a.depth_sum - b.depth_sum) / (a.depth_count - b.depth_count))
             }
             _ => None,
         };
@@ -310,20 +348,31 @@ pub fn run_soak(
 mod tests {
     use super::*;
 
+    fn scrape(served: f64) -> ServerScrape {
+        ServerScrape { served, ..ServerScrape::default() }
+    }
+
     #[test]
     fn reconcile_math() {
         // 10 client 200s; before-scrape adds 1 to the window.
-        let r = reconcile(Some((100.0, 0.0, 0.0)), Some((111.0, 0.0, 0.0)), 10);
+        let r = reconcile(Some(scrape(100.0)), Some(scrape(111.0)), 10);
         assert!(r.checked);
         assert!(r.consistent, "{}", r.detail);
         assert_eq!(r.server_served_delta, 11);
 
-        let off = reconcile(Some((100.0, 0.0, 0.0)), Some((115.0, 0.0, 0.0)), 10);
+        let off = reconcile(Some(scrape(100.0)), Some(scrape(115.0)), 10);
         assert!(off.checked);
         assert!(!off.consistent);
 
-        let unchecked = reconcile(None, Some((1.0, 0.0, 0.0)), 10);
+        let unchecked = reconcile(None, Some(scrape(1.0)), 10);
         assert!(!unchecked.checked);
+    }
+
+    #[test]
+    fn fleet_samples_convert_to_report_integers() {
+        assert_eq!(sample_as_u64(None), None);
+        assert_eq!(sample_as_u64(Some(3.0)), Some(3));
+        assert_eq!(sample_as_u64(Some(-1.0)), Some(0), "clamped, never wrapped");
     }
 
     #[test]

@@ -143,6 +143,22 @@ impl Reconcile {
     }
 }
 
+/// Fleet-side readings from the closing `/metrics` scrape. All fields are
+/// `Option`s: a pre-fleet server (or the test stub) simply doesn't export
+/// them, and the harness must keep driving those too.
+#[derive(Debug, Clone, Default)]
+pub struct ServerSide {
+    /// Whether the closing scrape succeeded and parsed strictly.
+    pub checked: bool,
+    /// `adec_serve_respawns_total` — replica workers the supervisor
+    /// replaced during (or before) the run.
+    pub respawns: Option<u64>,
+    /// `adec_serve_reload_generation` — completed checkpoint hot swaps.
+    pub reload_generation: Option<u64>,
+    /// `adec_serve_model_version` — the live model version number.
+    pub model_version: Option<u64>,
+}
+
 /// Wall-clock results of the run.
 #[derive(Debug, Clone)]
 pub struct Timing {
@@ -191,6 +207,8 @@ pub struct LoadReport {
     pub outcomes: OutcomeCounts,
     /// Server-side cross-check.
     pub reconcile: Reconcile,
+    /// Fleet-side readings from the closing scrape.
+    pub server: ServerSide,
     /// Wall-clock numbers.
     pub timing: Timing,
 }
@@ -238,6 +256,7 @@ impl LoadReport {
             ],
             outcomes: OutcomeCounts::default(),
             reconcile: Reconcile::unchecked("not yet reconciled"),
+            server: ServerSide::default(),
             timing: Timing {
                 latency: None,
                 service: None,
@@ -321,6 +340,15 @@ impl LoadReport {
             r.client_expected,
             r.consistent,
             r.detail.replace('\\', "\\\\").replace('"', "\\\""),
+        ));
+        let s = &self.server;
+        let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |n| n.to_string());
+        out.push_str(&format!(
+            r#","server":{{"checked":{},"respawns":{},"reload_generation":{},"model_version":{}}}"#,
+            s.checked,
+            opt(s.respawns),
+            opt(s.reload_generation),
+            opt(s.model_version),
         ));
         let t = &self.timing;
         out.push_str(&format!(
@@ -416,9 +444,19 @@ mod tests {
         report.timing.achieved_rps = 99.5;
         report.timing.elapsed_s = 1.005;
 
+        report.server = ServerSide {
+            checked: true,
+            respawns: Some(2),
+            reload_generation: Some(1),
+            model_version: None,
+        };
+
         let full = report.to_json();
         assert!(full.starts_with(r#"{"schema":"adec-bench-serve/v1""#));
         assert!(full.contains(r#""fnv_hash":""#));
+        assert!(full.contains(
+            r#""server":{"checked":true,"respawns":2,"reload_generation":1,"model_version":null}"#
+        ));
         assert!(full.contains(r#""p50":"#) || full.contains(r#""count":0"#));
         assert!(full.contains(r#""achieved_rps":99.5"#));
         // Balanced braces (a cheap well-formedness check without a JSON
@@ -434,5 +472,6 @@ mod tests {
         assert_eq!(det1, det2);
         assert!(!det1.contains("timing"), "deterministic view must exclude timing");
         assert!(!det1.contains("reconcile"), "deterministic view must exclude reconcile");
+        assert!(!det1.contains("\"server\""), "deterministic view must exclude server");
     }
 }

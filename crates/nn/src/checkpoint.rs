@@ -82,6 +82,16 @@ pub enum CheckpointError {
         /// Version this build reads.
         supported: u32,
     },
+    /// The embedded parameter-store blob announces a store format
+    /// version this build does not read — the envelope is intact (magic,
+    /// header version, and checksum all pass), but the payload was
+    /// written by a newer (or older) store serializer.
+    StoreVersionMismatch {
+        /// Version announced by the store blob's magic.
+        found: u32,
+        /// Version this build reads.
+        supported: u32,
+    },
     /// The payload passed the checksum but decodes to something
     /// structurally invalid (internal corruption or a logic error).
     Malformed(String),
@@ -101,6 +111,11 @@ impl std::fmt::Display for CheckpointError {
             CheckpointError::VersionMismatch { found, supported } => write!(
                 f,
                 "checkpoint format version {found} unsupported (this build reads {supported})"
+            ),
+            CheckpointError::StoreVersionMismatch { found, supported } => write!(
+                f,
+                "checkpoint parameter-store format version {found} unsupported \
+                 (this build reads version {supported})"
             ),
             CheckpointError::Malformed(msg) => write!(f, "malformed checkpoint: {msg}"),
             CheckpointError::Io(e) => write!(f, "checkpoint i/o error: {e}"),
@@ -143,6 +158,21 @@ const fn crc32_table() -> [u32; 256] {
 }
 
 static CRC_TABLE: [u32; 256] = crc32_table();
+
+/// Recomputes the header CRC over the current payload bytes of a full
+/// file image, in place. Returns `false` when `bytes` is too short to
+/// hold a header. Chaos drills and format tests use this to author
+/// deliberately damaged-but-resealed checkpoints (e.g. a payload whose
+/// embedded store blob announces a foreign version) so the fault under
+/// test is reached instead of the checksum gate.
+pub fn reseal_checksum(bytes: &mut [u8]) -> bool {
+    if bytes.len() < HEADER_LEN {
+        return false;
+    }
+    let crc = crc32(&bytes[HEADER_LEN..]);
+    bytes[20..24].copy_from_slice(&crc.to_le_bytes());
+    true
+}
 
 /// CRC32 (IEEE) of a byte slice — the payload integrity check.
 pub fn crc32(bytes: &[u8]) -> u32 {
@@ -352,6 +382,18 @@ impl Checkpoint {
         };
         let blob_len = usize::try_from(cur.u64()?).map_err(|_| CheckpointError::Truncated)?;
         let blob = cur.take(blob_len)?;
+        // A store blob from a different serializer version is in the
+        // `ADECPS` family but fails the exact-magic check inside
+        // `read_store`; detect it here so the caller gets the precise
+        // found/expected pair instead of a generic bad-magic parse error.
+        if let Some(found) = crate::io::store_blob_version(blob) {
+            if found != crate::io::STORE_FORMAT_VERSION {
+                return Err(CheckpointError::StoreVersionMismatch {
+                    found,
+                    supported: crate::io::STORE_FORMAT_VERSION,
+                });
+            }
+        }
         let store = read_store(blob).map_err(|e| malformed(format!("parameter store: {e}")))?;
         let n_opts = cur.u32()? as usize;
         if n_opts > 64 {
@@ -746,6 +788,39 @@ mod tests {
             }
             other => panic!("expected VersionMismatch, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn store_version_mismatch_is_distinct_and_names_versions() {
+        let mut bytes = sample_checkpoint().encode().unwrap();
+        // Bump the embedded store magic's version suffix (ADECPS01 →
+        // ADECPS02) and reseal the envelope, so magic, header version,
+        // and checksum all pass and only the store version is foreign.
+        let pos = bytes.windows(8).position(|w| w == b"ADECPS01").unwrap();
+        bytes[pos + 7] = b'2';
+        assert!(reseal_checksum(&mut bytes));
+        match Checkpoint::decode(&bytes) {
+            Err(CheckpointError::StoreVersionMismatch { found, supported }) => {
+                assert_eq!(found, 2);
+                assert_eq!(supported, crate::io::STORE_FORMAT_VERSION);
+            }
+            other => panic!("expected StoreVersionMismatch, got {other:?}"),
+        }
+        // The message names both versions — this line is what the
+        // serve-side reload refusal surfaces to operators.
+        let msg = Checkpoint::decode(&bytes).unwrap_err().to_string();
+        assert!(msg.contains("version 2"), "{msg}");
+        assert!(msg.contains("version 1"), "{msg}");
+
+        // A blob outside the ADECPS family stays the generic parse error
+        // — the distinct variant is only for recognizable store blobs.
+        let mut alien = sample_checkpoint().encode().unwrap();
+        alien[pos] = b'X';
+        assert!(reseal_checksum(&mut alien));
+        assert!(matches!(
+            Checkpoint::decode(&alien),
+            Err(CheckpointError::Malformed(_))
+        ));
     }
 
     #[test]

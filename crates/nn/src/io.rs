@@ -20,6 +20,25 @@ use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ADECPS01";
 
+/// The store magic's version-free family prefix; the two trailing magic
+/// bytes are the ASCII decimal store-format version (`ADECPS01` → 1).
+pub const STORE_MAGIC_PREFIX: &[u8; 6] = b"ADECPS";
+
+/// The store format version this build reads and writes — the number
+/// baked into [`STORE_MAGIC_PREFIX`]'s two-digit suffix.
+pub const STORE_FORMAT_VERSION: u32 = 1;
+
+/// If `blob` opens with the `ADECPS` family prefix, returns the decimal
+/// version its magic announces (`ADECPS01` → 1, `ADECPS02` → 2, …).
+/// `None` when the bytes are not an ADEC parameter-store blob at all or
+/// the version suffix is not two ASCII digits.
+pub fn store_blob_version(blob: &[u8]) -> Option<u32> {
+    let suffix = blob.get(..8).filter(|head| &head[..6] == STORE_MAGIC_PREFIX)?;
+    let hi = char::from(suffix[6]).to_digit(10)?;
+    let lo = char::from(suffix[7]).to_digit(10)?;
+    Some(hi * 10 + lo)
+}
+
 /// Serializes every parameter of the store to a writer.
 pub fn write_store<W: Write>(store: &ParamStore, mut w: W) -> io::Result<()> {
     w.write_all(MAGIC)?;

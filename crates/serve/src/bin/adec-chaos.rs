@@ -3,6 +3,12 @@
 //!
 //! Usage: `adec-chaos --port 8423 [--max-inflight 32] [--read-deadline-ms 2000] [--seed 7] [--shutdown]`
 //!
+//! With `--fleet --reload-path <P> --alt-checkpoint <P>` the hostile-input
+//! drill is followed by the fleet robustness drill (replica-kill,
+//! replica-wedge, reload-under-fire, corrupt-reload) — the server must be
+//! running with `--replicas >= 2` and its `--checkpoint` at the reload
+//! path.
+//!
 //! Exit codes: 0 = every scenario passed, 1 = a scenario failed,
 //! 2 = usage error. With `--shutdown`, the drill finishes by POSTing
 //! `/shutdown` and verifying the server drains (connection refused soon
@@ -18,6 +24,10 @@ struct Args {
     read_deadline_ms: u64,
     seed: u64,
     shutdown: bool,
+    fleet: bool,
+    reload_path: Option<String>,
+    alt_checkpoint: Option<String>,
+    wedge_budget_ms: u64,
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -27,6 +37,10 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         read_deadline_ms: 2_000,
         seed: 7,
         shutdown: false,
+        fleet: false,
+        reload_path: None,
+        alt_checkpoint: None,
+        wedge_budget_ms: 400,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -47,11 +61,22 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
             }
             "--seed" => args.seed = take("--seed")?.parse().map_err(|e| format!("--seed: {e}"))?,
             "--shutdown" => args.shutdown = true,
+            "--fleet" => args.fleet = true,
+            "--reload-path" => args.reload_path = Some(take("--reload-path")?.clone()),
+            "--alt-checkpoint" => args.alt_checkpoint = Some(take("--alt-checkpoint")?.clone()),
+            "--wedge-budget-ms" => {
+                args.wedge_budget_ms = take("--wedge-budget-ms")?
+                    .parse()
+                    .map_err(|e| format!("--wedge-budget-ms: {e}"))?
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
     if args.port == 0 {
         return Err("--port is required".into());
+    }
+    if args.fleet && (args.reload_path.is_none() || args.alt_checkpoint.is_none()) {
+        return Err("--fleet requires --reload-path and --alt-checkpoint".into());
     }
     Ok(args)
 }
@@ -85,6 +110,25 @@ fn main() {
     print!("{}", report.render());
     if !report.all_passed() {
         std::process::exit(1);
+    }
+
+    if args.fleet {
+        // parse_args enforced both paths are present.
+        if let (Some(reload_path), Some(alt_checkpoint)) =
+            (args.reload_path.as_ref(), args.alt_checkpoint.as_ref())
+        {
+            let fleet_config = chaos::FleetDrillConfig {
+                reload_path: reload_path.into(),
+                alt_checkpoint: alt_checkpoint.into(),
+                seed: args.seed,
+                wedge_budget_ms: args.wedge_budget_ms,
+            };
+            let fleet_report = chaos::run_fleet_drill(addr, &fleet_config);
+            print!("{}", fleet_report.render());
+            if !fleet_report.all_passed() {
+                std::process::exit(1);
+            }
+        }
     }
 
     if args.shutdown {

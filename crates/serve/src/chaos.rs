@@ -498,6 +498,435 @@ pub fn run_drill(
     DrillReport { scenarios }
 }
 
+// ---------------------------------------------------------------------------
+// Fleet drill: replica-kill, replica-wedge, reload-under-fire, corrupt-reload
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`run_fleet_drill`]. The drill *mutates the file at
+/// `reload_path`* (swapping in the alternate checkpoint, corrupting it,
+/// patching its store version) and restores a valid checkpoint at the end.
+#[derive(Debug, Clone)]
+pub struct FleetDrillConfig {
+    /// The path the server's `POST /reload` stages from (its `--checkpoint`).
+    pub reload_path: std::path::PathBuf,
+    /// A second valid checkpoint with the same dims but different weights.
+    pub alt_checkpoint: std::path::PathBuf,
+    /// Seed for the drill's deterministic traffic.
+    pub seed: u64,
+    /// The server's wedge budget, bounding how long the wedge scenario
+    /// waits for the supervisor to supersede.
+    pub wedge_budget_ms: u64,
+}
+
+/// Scrapes one counter/gauge sample from `/metrics` through the strict
+/// exposition parser.
+fn scrape_sample(addr: SocketAddr, name: &str) -> Option<f64> {
+    let (status, body) = get(addr, "/metrics").ok()??;
+    if status != 200 {
+        return None;
+    }
+    let text = std::str::from_utf8(&body).ok()?.to_string();
+    adec_obs::prom::check_exposition(&text).ok()?.sample(name)
+}
+
+/// The live model version, straight from `/readyz`.
+fn model_version_of(addr: SocketAddr) -> Option<usize> {
+    let (status, body) = get(addr, "/readyz").ok()??;
+    if status != 200 {
+        return None;
+    }
+    extract_int_field(&body, "model_version")
+}
+
+/// Replaces `path`'s contents atomically (temp file + rename in-dir), so a
+/// concurrent `--watch-checkpoint` poll never reads a half-written file.
+fn write_atomic(path: &std::path::Path, bytes: &[u8]) -> std::io::Result<()> {
+    let tmp = path.with_extension("chaos-tmp");
+    std::fs::write(&tmp, bytes)?;
+    std::fs::rename(&tmp, path)
+}
+
+/// Tallies from pounding `/assign` with valid traffic.
+#[derive(Debug, Clone, Copy, Default)]
+struct PoundTally {
+    ok_200: usize,
+    busy_503: usize,
+    other: usize,
+    no_response: usize,
+}
+
+impl PoundTally {
+    fn merge(&mut self, other: PoundTally) {
+        self.ok_200 += other.ok_200;
+        self.busy_503 += other.busy_503;
+        self.other += other.other;
+        self.no_response += other.no_response;
+    }
+
+    fn render(&self) -> String {
+        format!(
+            "{}x200 {}x busy-503 {}x other {}x no-response",
+            self.ok_200, self.busy_503, self.other, self.no_response
+        )
+    }
+
+    /// The fleet contract under fire: every request gets a typed answer
+    /// (200 or budgeted 503), and some are actually served.
+    fn within_budget(&self) -> bool {
+        self.ok_200 >= 1 && self.other == 0 && self.no_response == 0
+    }
+}
+
+/// Pounds `/assign` from `threads` clients, `per_thread` requests each.
+fn pound_assign(
+    addr: SocketAddr,
+    input_dim: usize,
+    seed: u64,
+    threads: usize,
+    per_thread: usize,
+) -> PoundTally {
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let body = sample_body(input_dim, 4, seed ^ (t as u64)); // lint:allow(as-narrowing)
+            std::thread::spawn(move || {
+                let mut tally = PoundTally::default();
+                for _ in 0..per_thread {
+                    match post(addr, "/assign", &body) {
+                        Ok(Some((200, _))) => tally.ok_200 += 1,
+                        Ok(Some((503, _))) => tally.busy_503 += 1,
+                        Ok(Some(_)) => tally.other += 1,
+                        _ => tally.no_response += 1,
+                    }
+                }
+                tally
+            })
+        })
+        .collect();
+    let mut total = PoundTally::default();
+    for h in handles {
+        if let Ok(t) = h.join() {
+            total.merge(t);
+        }
+    }
+    total
+}
+
+/// Polls `/metrics` until `adec_serve_respawns_total` exceeds
+/// `floor + need`, up to `budget`. Returns the last observed value.
+fn wait_for_respawns(addr: SocketAddr, floor: f64, need: f64, budget: Duration) -> Option<f64> {
+    let deadline = std::time::Instant::now() + budget;
+    loop {
+        let seen = scrape_sample(addr, "adec_serve_respawns_total");
+        if seen.is_some_and(|v| v > floor + need) {
+            return seen;
+        }
+        if std::time::Instant::now() >= deadline {
+            return seen;
+        }
+        std::thread::sleep(Duration::from_millis(40));
+    }
+}
+
+/// The `"assignments":[...]` tail of an `/assign` response: everything a
+/// completed same-bytes hot swap must leave bitwise untouched (the
+/// `model_version` field outside it legitimately advances).
+fn assignments_part(body: &[u8]) -> Option<&[u8]> {
+    let key = b"\"assignments\":";
+    let pos = body.windows(key.len()).position(|w| w == key)?;
+    body.get(pos..)
+}
+
+/// Runs the fleet robustness scenarios against a live *fleet* server
+/// (needs `--replicas >= 2` and a reloadable checkpoint). Covers:
+/// replica-kill and replica-wedge under load (supervisor respawns within
+/// budget, error budget respected), reload-under-fire (version advances
+/// atomically, zero dropped requests), same-bytes swap no-op, corrupt
+/// reload and store-version-mismatch reload (live model untouched, typed
+/// refusals), and a final metrics audit (zero caught panics).
+pub fn run_fleet_drill(addr: SocketAddr, config: &FleetDrillConfig) -> DrillReport {
+    let mut scenarios = Vec::new();
+    let seed = config.seed;
+
+    // -- discovery -------------------------------------------------------
+    let input_dim = discover_input_dim(addr);
+    let version0 = model_version_of(addr);
+    scenarios.push(result(
+        "fleet-discovery",
+        input_dim.is_some() && version0.is_some(),
+        format!("input_dim={input_dim:?} model_version={version0:?}"),
+    ));
+    let input_dim = input_dim.unwrap_or(1);
+
+    let (orig, alt) = match (
+        std::fs::read(&config.reload_path),
+        std::fs::read(&config.alt_checkpoint),
+    ) {
+        (Ok(o), Ok(a)) => (o, a),
+        (o, a) => {
+            scenarios.push(result(
+                "fleet-files",
+                false,
+                format!(
+                    "checkpoint files unreadable: reload={:?} alt={:?}",
+                    o.err(),
+                    a.err()
+                ),
+            ));
+            return DrillReport { scenarios };
+        }
+    };
+    scenarios.push(result(
+        "fleet-files",
+        true,
+        format!("reload={} bytes, alt={} bytes", orig.len(), alt.len()),
+    ));
+
+    // -- replica-kill under load ----------------------------------------
+    // Kill two replicas while valid traffic flows. In-flight requests must
+    // all be answered (a kill lands between requests, never mid-request)
+    // and the supervisor must respawn within its backoff budget.
+    let respawns_before = scrape_sample(addr, "adec_serve_respawns_total").unwrap_or(f64::NAN);
+    let kill_tally = {
+        let pound = std::thread::spawn(move || pound_assign(addr, input_dim, seed ^ 0x1337, 4, 30));
+        std::thread::sleep(Duration::from_millis(30));
+        let k0 = post(addr, "/chaos/kill-replica", b"0").ok().flatten();
+        std::thread::sleep(Duration::from_millis(60));
+        let k1 = post(addr, "/chaos/kill-replica", b"1").ok().flatten();
+        let mut tally = pound.join().unwrap_or_default();
+        if !matches!(k0, Some((200, _))) || !matches!(k1, Some((200, _))) {
+            tally.other += 1; // a failed kill order fails the scenario
+        }
+        tally
+    };
+    let respawns_after = wait_for_respawns(addr, respawns_before, 1.5, Duration::from_secs(5));
+    let kill_pass = kill_tally.within_budget()
+        && respawns_after.is_some_and(|v| v > respawns_before + 1.5); // both kills respawned
+    scenarios.push(with_liveness(
+        "replica-kill",
+        addr,
+        kill_pass,
+        format!(
+            "{}; respawns {respawns_before} -> {respawns_after:?}",
+            kill_tally.render()
+        ),
+    ));
+
+    // -- replica-wedge under load ---------------------------------------
+    // Wedge one replica: the fleet keeps answering on the others, and the
+    // supervisor supersedes the stuck worker within the wedge budget.
+    let respawns_before = scrape_sample(addr, "adec_serve_respawns_total").unwrap_or(f64::NAN);
+    let wedge_order = post(addr, "/chaos/wedge-replica", b"0").ok().flatten();
+    let wedge_tally = pound_assign(addr, input_dim, seed ^ 0xd00f, 2, 10);
+    let wedge_wait = Duration::from_millis(config.wedge_budget_ms.saturating_mul(2) + 5_000);
+    let respawns_after = wait_for_respawns(addr, respawns_before, 0.5, wedge_wait);
+    let wedge_pass = matches!(wedge_order, Some((200, _)))
+        && wedge_tally.within_budget()
+        && respawns_after.is_some_and(|v| v > respawns_before + 0.5);
+    scenarios.push(with_liveness(
+        "replica-wedge",
+        addr,
+        wedge_pass,
+        format!(
+            "order={:?}; {}; respawns {respawns_before} -> {respawns_after:?}",
+            wedge_order.as_ref().map(|(s, _)| s),
+            wedge_tally.render()
+        ),
+    ));
+
+    // -- reload-under-fire ----------------------------------------------
+    // Swap to the alternate checkpoint while traffic flows: the version
+    // must advance by exactly one, with zero dropped requests.
+    let v_before = model_version_of(addr);
+    let reload_result = if write_atomic(&config.reload_path, &alt).is_ok() {
+        let pound = std::thread::spawn(move || pound_assign(addr, input_dim, seed ^ 0xf1fe, 4, 25));
+        std::thread::sleep(Duration::from_millis(40));
+        let reload = post(addr, "/reload", b"").ok().flatten();
+        let tally = pound.join().unwrap_or_default();
+        Some((reload, tally))
+    } else {
+        None
+    };
+    let v_after = model_version_of(addr);
+    let (reload_pass, reload_detail) = match (&reload_result, v_before, v_after) {
+        (Some((Some((200, _)), tally)), Some(a), Some(b)) => (
+            b == a + 1 && tally.within_budget(),
+            format!("version {a} -> {b}; {}", tally.render()),
+        ),
+        (r, a, b) => (
+            false,
+            format!(
+                "reload={:?} version {a:?} -> {b:?}",
+                r.as_ref().map(|(resp, _)| resp.as_ref().map(|(s, _)| *s))
+            ),
+        ),
+    };
+    scenarios.push(with_liveness("reload-under-fire", addr, reload_pass, reload_detail));
+
+    // -- post-swap determinism ------------------------------------------
+    // A completed swap must leave the service deterministic on the new
+    // weights: identical requests, byte-identical answers.
+    let det_body = sample_body(input_dim, 8, seed ^ 0xde7e);
+    let det_a = post(addr, "/assign", &det_body).ok().flatten();
+    let det_b = post(addr, "/assign", &det_body).ok().flatten();
+    let det_pass = matches!((&det_a, &det_b), (Some((200, a)), Some((200, b))) if a == b);
+    scenarios.push(with_liveness(
+        "post-swap-determinism",
+        addr,
+        det_pass,
+        format!(
+            "statuses {:?}/{:?}",
+            det_a.as_ref().map(|x| x.0),
+            det_b.as_ref().map(|x| x.0)
+        ),
+    ));
+
+    // -- swap-noop (same bytes) -----------------------------------------
+    // Reloading the *same* checkpoint bytes is a completed swap (the
+    // version advances) but must not flip a single label or probability:
+    // the "assignments" tail is bitwise identical.
+    let noop_before = post(addr, "/assign", &det_body).ok().flatten();
+    let noop_reload = post(addr, "/reload", b"").ok().flatten();
+    let noop_after = post(addr, "/assign", &det_body).ok().flatten();
+    let v_noop = model_version_of(addr);
+    let noop_pass = match (&noop_before, &noop_reload, &noop_after, v_after, v_noop) {
+        (Some((200, a)), Some((200, _)), Some((200, b)), Some(va), Some(vn)) => {
+            vn == va + 1
+                && assignments_part(a).is_some()
+                && assignments_part(a) == assignments_part(b)
+        }
+        _ => false,
+    };
+    scenarios.push(with_liveness(
+        "swap-noop",
+        addr,
+        noop_pass,
+        format!(
+            "version {v_after:?} -> {v_noop:?}; assignments identical: {}",
+            match (&noop_before, &noop_after) {
+                (Some((_, a)), Some((_, b))) =>
+                    (assignments_part(a) == assignments_part(b)).to_string(),
+                _ => "n/a".to_string(),
+            }
+        ),
+    ));
+
+    // -- corrupt-reload --------------------------------------------------
+    // A bit-flipped checkpoint must be refused with a typed 409 and leave
+    // the live model bitwise untouched.
+    let before = post(addr, "/assign", &det_body).ok().flatten();
+    let v_live = model_version_of(addr);
+    let mut corrupt = alt.clone();
+    let mid = corrupt.len() / 2;
+    if let Some(b) = corrupt.get_mut(mid) {
+        *b ^= 0x40;
+    }
+    let corrupt_reload = if write_atomic(&config.reload_path, &corrupt).is_ok() {
+        post(addr, "/reload", b"").ok().flatten()
+    } else {
+        None
+    };
+    let after = post(addr, "/assign", &det_body).ok().flatten();
+    let v_after_corrupt = model_version_of(addr);
+    let corrupt_pass = match (&corrupt_reload, &before, &after) {
+        (Some((409, rbody)), Some((200, a)), Some((200, b))) => {
+            let text = String::from_utf8_lossy(rbody);
+            text.contains("corrupt-checkpoint") && a == b && v_live == v_after_corrupt
+        }
+        _ => false,
+    };
+    scenarios.push(with_liveness(
+        "corrupt-reload",
+        addr,
+        corrupt_pass,
+        format!(
+            "reload={:?}; version {v_live:?} -> {v_after_corrupt:?}; live responses identical: {}",
+            corrupt_reload.as_ref().map(|(s, _)| s),
+            matches!((&before, &after), (Some((_, a)), Some((_, b))) if a == b)
+        ),
+    ));
+
+    // -- version-mismatch reload ----------------------------------------
+    // A checkpoint whose parameter-store format version is from the
+    // future must be refused *distinctly*: its own reason, with the found
+    // version named in the detail.
+    let mut patched = alt.clone();
+    let magic_pos = patched.windows(8).position(|w| w == b"ADECPS01");
+    let patched_ok = magic_pos.is_some_and(|pos| {
+        if let Some(b) = patched.get_mut(pos + 7) {
+            *b = b'2';
+        }
+        adec_nn::checkpoint::reseal_checksum(&mut patched)
+    });
+    let mismatch_reload = if patched_ok && write_atomic(&config.reload_path, &patched).is_ok() {
+        post(addr, "/reload", b"").ok().flatten()
+    } else {
+        None
+    };
+    let mismatch_pass = match &mismatch_reload {
+        Some((409, rbody)) => {
+            let text = String::from_utf8_lossy(rbody);
+            text.contains("store-version-mismatch") && text.contains("version 2")
+        }
+        _ => false,
+    };
+    scenarios.push(with_liveness(
+        "version-mismatch-reload",
+        addr,
+        mismatch_pass,
+        format!(
+            "reload={:?} (expect 409 naming found version)",
+            mismatch_reload.as_ref().map(|(s, _)| s)
+        ),
+    ));
+
+    // -- restore ---------------------------------------------------------
+    // Leave the reload path holding the bytes that are actually live (the
+    // alternate checkpoint after the completed swaps above).
+    let restored = write_atomic(&config.reload_path, &alt).is_ok();
+    scenarios.push(result(
+        "restore-checkpoint",
+        restored,
+        "reload path restored to the live checkpoint bytes".to_string(),
+    ));
+
+    // -- fleet metrics audit ---------------------------------------------
+    // After kills, wedges, swaps, and refused reloads: the exposition is
+    // still strictly valid, no worker ever panicked, the fleet is whole,
+    // and the reload counters add up.
+    let metrics = get(addr, "/metrics").ok().flatten();
+    let (metrics_pass, metrics_detail) = match metrics {
+        Some((200, body)) => match std::str::from_utf8(&body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(adec_obs::prom::check_exposition)
+        {
+            Ok(exp) => {
+                let panics = exp.sample("adec_serve_caught_panics_total");
+                let live = exp.sample("adec_serve_replicas_live");
+                let reloads = exp.sample("adec_serve_reloads_total");
+                let refused = exp.sample("adec_serve_reloads_refused_total");
+                let generation = exp.sample("adec_serve_reload_generation");
+                let pass = panics == Some(0.0)
+                    && live.is_some_and(|v| v >= 1.0)
+                    && reloads.is_some_and(|v| v >= 2.0)
+                    && refused.is_some_and(|v| v >= 2.0)
+                    && generation == reloads;
+                (
+                    pass,
+                    format!(
+                        "panics={panics:?} replicas_live={live:?} reloads={reloads:?} \
+                         refused={refused:?} generation={generation:?}"
+                    ),
+                )
+            }
+            Err(err) => (false, format!("exposition rejected: {err}")),
+        },
+        other => (false, format!("answered {:?}, want 200", other.map(|(s, _)| s))),
+    };
+    scenarios.push(with_liveness("fleet-metrics", addr, metrics_pass, metrics_detail));
+
+    DrillReport { scenarios }
+}
+
 #[cfg(test)]
 // Test code: unwraps are the assertions themselves here.
 #[allow(clippy::unwrap_used, clippy::panic)]

@@ -14,14 +14,24 @@
 //! Everything is standard library only — the workspace's hermetic-build
 //! rule applies to the service too.
 //!
+//! Since PR 8 the service is a supervised in-process *fleet*: an acceptor
+//! routes connections to N replica workers ([`fleet`]), a supervisor
+//! respawns dead or wedged replicas with seeded backoff, and the model
+//! lives in a versioned registry ([`registry`]) with staged validation and
+//! atomic zero-downtime checkpoint hot reload (`POST /reload`,
+//! `--watch-checkpoint`).
+//!
 //! The [`chaos`] module is the drill that keeps all of the above honest:
 //! the same deterministic hostile-client scenarios run in-process in this
 //! crate's tests and against the real release binary in CI (`adec-chaos`).
 
 pub mod chaos;
+mod fleet;
 pub mod http;
 pub mod model;
+pub mod registry;
 pub mod server;
 
 pub use model::{Assignment, InferenceModel, ModelError, ServeMode};
+pub use registry::{load_initial, ModelRegistry, ModelVersion, ReloadError};
 pub use server::{shed_tier, ServeError, ServeStats, ServerConfig, ServerHandle};

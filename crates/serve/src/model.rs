@@ -189,6 +189,14 @@ impl Net {
         self.layers.last().map_or(0, |l| l.w.cols())
     }
 
+    /// Layer widths, input first: `[in, h0, …, out]`.
+    fn dims(&self) -> Vec<usize> {
+        let mut dims = Vec::with_capacity(self.layers.len() + 1);
+        dims.push(self.input_dim());
+        dims.extend(self.layers.iter().map(|l| l.w.cols()));
+        dims
+    }
+
     fn forward(&self, x: &Matrix) -> Matrix {
         let mut h = x.clone();
         for layer in &self.layers {
@@ -415,6 +423,19 @@ impl InferenceModel {
         self.centroids.rows()
     }
 
+    /// Layer widths of the reconstructed encoder, input first (`None` in
+    /// centroid-only mode). Lets the hot-reload validator rebuild an
+    /// [`adec_analysis::ArchSpec`] chain without re-reading the store.
+    pub fn encoder_dims(&self) -> Option<Vec<usize>> {
+        self.encoder.as_ref().map(Net::dims)
+    }
+
+    /// Layer widths of the reconstructed decoder, input first (`None`
+    /// below full mode).
+    pub fn decoder_dims(&self) -> Option<Vec<usize>> {
+        self.decoder.as_ref().map(Net::dims)
+    }
+
     /// Validates a batch without computing: width and magnitude bounds.
     ///
     /// # Errors
@@ -574,7 +595,7 @@ fn argmax(row: &[f32]) -> usize {
 #[cfg(test)]
 // Test code: unwraps are the assertions themselves here.
 #[allow(clippy::unwrap_used, clippy::float_cmp, clippy::panic)]
-mod tests {
+pub(crate) mod tests {
     use super::*;
     use adec_nn::{Activation, Mlp};
     use adec_tensor::SeedRng;

@@ -1,54 +1,95 @@
-//! The service proper: acceptor + bounded queue + worker pool.
+//! The service proper: acceptor + supervised replica fleet + hot reload.
 //!
-//! Threading model (all std): one acceptor thread owns the listener;
-//! accepted sockets go into a bounded `Mutex<VecDeque>` guarded by a
-//! `Condvar`. When the queue is full the *acceptor* answers `503` with
-//! `Retry-After` and closes — memory stays bounded no matter how fast
-//! connections arrive, which is the backpressure contract. Workers pop
+//! Threading model (all std): one acceptor thread owns the listener and
+//! routes each accepted socket to the least-loaded *replica* — a worker
+//! thread with its own bounded `Mutex<VecDeque>` + `Condvar` queue.
+//! Admission is gated on the fleet-wide queued total: when the fleet
+//! already holds `max_inflight` unserved connections the acceptor answers
+//! `503` with `Retry-After` and closes, so memory stays bounded no matter
+//! how fast connections arrive — the backpressure contract. Workers pop
 //! sockets, read one request under byte + time budgets
 //! ([`crate::http::read_request`]), answer it, and close: the service is
 //! one-request-per-connection by design.
 //!
+//! A supervisor thread ticks a few dozen times a second and keeps the
+//! fleet whole: a finished worker thread (panic already downgraded to a
+//! clean exit, or a chaos kill) is respawned after a seeded exponential
+//! backoff; a worker stuck on one unit of work past the wedge budget is
+//! *superseded* — its epoch is bumped so the stale thread exits at its
+//! next check, and a replacement takes over the slot immediately. Every
+//! transition is a `serve.replica.*` lifecycle event.
+//!
+//! The model lives in a versioned registry ([`crate::registry`]): each
+//! request snapshots one immutable `Arc<ModelVersion>`, and `POST /reload`
+//! (or the `--watch-checkpoint` poller) stages, validates, and atomically
+//! swaps a new checkpoint in. In-flight requests drain on the old weights;
+//! a refused reload never disturbs the live model.
+//!
 //! Graceful shutdown (`POST /shutdown` or [`ServerHandle::shutdown`]) sets
 //! a flag, wakes the acceptor with a loopback self-connect, and lets the
-//! workers drain everything already queued before they exit; [`ServerHandle::join`]
-//! then returns the final [`ServeStats`]. Nothing in-flight is dropped.
+//! workers drain everything already queued before they exit;
+//! [`ServerHandle::join`] then returns the final [`ServeStats`]. Nothing
+//! in-flight is dropped.
 //!
 //! Two deadlines bound every request: the *read* deadline starts at accept
 //! time (so a connection cannot dodge it by waiting in the queue) and the
 //! *compute* deadline bounds the forward pass, checked between row chunks
 //! so even a maximal batch cannot overshoot by much.
 
+use crate::fleet::{backoff_ms, replica_event, Replica};
 use crate::http::{read_request, write_response, HttpError, Limits, Method, Request};
-use crate::model::{AssignError, Assignment, InferenceModel, ServeMode, MAX_FEATURE_MAGNITUDE};
+use crate::model::{AssignError, Assignment, ServeMode, MAX_FEATURE_MAGNITUDE};
+use crate::registry::{ModelRegistry, ModelVersion};
+use crate::InferenceModel;
+use adec_nn::checkpoint::crc32;
 use adec_obs::{counter, histogram, Counter, Histogram, DURATION_BUCKETS};
-use std::collections::VecDeque;
 use std::io::Read;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 /// Rows processed between compute-deadline checks.
 const ASSIGN_CHUNK_ROWS: usize = 32;
 
+/// Supervisor poll period.
+const SUPERVISOR_TICK_MS: u64 = 20;
+
+/// Wedge-sleep slice, so an injected wedge still notices shutdown.
+const WEDGE_SLICE_MS: u64 = 25;
+
 /// Tuning knobs; every field has a safe default.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Port to bind on 127.0.0.1 (0 = ephemeral, report via [`ServerHandle::port`]).
     pub port: u16,
-    /// Worker threads answering requests.
+    /// Worker threads answering requests (the fleet size when `replicas`
+    /// is 0; kept for back-compatibility with pre-fleet callers).
     pub workers: usize,
-    /// Bound on the accepted-but-unserved queue; beyond it the acceptor
-    /// answers 503 + Retry-After.
+    /// Replica count; 0 means "one replica per `workers`".
+    pub replicas: usize,
+    /// Fleet-wide bound on accepted-but-unserved connections; beyond it
+    /// the acceptor answers 503 + Retry-After.
     pub max_inflight: usize,
     /// Per-request compute budget in milliseconds (0 = reject all compute,
     /// useful for drills).
     pub deadline_ms: u64,
     /// Per-socket read budget in milliseconds, measured from accept.
     pub read_deadline_ms: u64,
+    /// Busy-watermark budget before the supervisor supersedes a wedged
+    /// worker; 0 derives `read_deadline_ms + deadline_ms + 2000`.
+    pub wedge_budget_ms: u64,
+    /// Checkpoint path served by `POST /reload` (None disables it).
+    pub reload_path: Option<PathBuf>,
+    /// Checkpoint path polled (mtime + checksum) for automatic hot reload.
+    pub watch_path: Option<PathBuf>,
+    /// Watch poll period in milliseconds.
+    pub watch_interval_ms: u64,
+    /// Seed for the supervisor's respawn backoff jitter.
+    pub seed: u64,
     /// Byte budgets for heads and bodies.
     pub limits: Limits,
 }
@@ -58,10 +99,36 @@ impl Default for ServerConfig {
         ServerConfig {
             port: 0,
             workers: 2,
+            replicas: 0,
             max_inflight: 32,
             deadline_ms: 2_000,
             read_deadline_ms: 2_000,
+            wedge_budget_ms: 0,
+            reload_path: None,
+            watch_path: None,
+            watch_interval_ms: 500,
+            seed: 0,
             limits: Limits::default(),
+        }
+    }
+}
+
+impl ServerConfig {
+    /// Replica count the fleet actually runs.
+    fn fleet_size(&self) -> usize {
+        if self.replicas > 0 {
+            self.replicas
+        } else {
+            self.workers
+        }
+    }
+
+    /// Effective wedge budget (see [`ServerConfig::wedge_budget_ms`]).
+    fn wedge_budget(&self) -> u64 {
+        if self.wedge_budget_ms > 0 {
+            self.wedge_budget_ms
+        } else {
+            self.read_deadline_ms + self.deadline_ms + 2_000
         }
     }
 }
@@ -109,6 +176,12 @@ pub struct Stats {
     pub served_no_decoder: AtomicU64,
     /// `/assign` 200s answered as hard nearest-centroid only.
     pub served_centroid_only: AtomicU64,
+    /// Replica workers respawned (or superseded) by the supervisor.
+    pub respawns: AtomicU64,
+    /// Completed hot reloads.
+    pub reloads: AtomicU64,
+    /// Refused hot reloads.
+    pub reloads_refused: AtomicU64,
 }
 
 /// Plain-value snapshot of [`Stats`].
@@ -130,6 +203,12 @@ pub struct ServeStats {
     /// (full, no-decoder, centroid-only). Sums to at most `served`
     /// (the non-`/assign` 200s have no rung).
     pub served_by_tier: [u64; 3],
+    /// Replica workers respawned (or superseded) by the supervisor.
+    pub respawns: u64,
+    /// Completed hot reloads.
+    pub reloads: u64,
+    /// Refused hot reloads.
+    pub reloads_refused: u64,
 }
 
 impl Stats {
@@ -146,6 +225,9 @@ impl Stats {
                 self.served_no_decoder.load(Ordering::Relaxed),
                 self.served_centroid_only.load(Ordering::Relaxed),
             ],
+            respawns: self.respawns.load(Ordering::Relaxed),
+            reloads: self.reloads.load(Ordering::Relaxed),
+            reloads_refused: self.reloads_refused.load(Ordering::Relaxed),
         }
     }
 }
@@ -165,9 +247,12 @@ struct ObsMetrics {
     served_full: Arc<Counter>,
     served_no_decoder: Arc<Counter>,
     served_centroid_only: Arc<Counter>,
+    respawns: Arc<Counter>,
+    reloads: Arc<Counter>,
+    reloads_refused: Arc<Counter>,
     /// Accept-to-response latency of every worker-handled request.
     request_seconds: Arc<Histogram>,
-    /// Queue length observed at each successful admission.
+    /// Fleet-wide queued total observed at each successful admission.
     queue_depth: Arc<Histogram>,
 }
 
@@ -183,6 +268,9 @@ impl ObsMetrics {
             served_full: counter("adec_serve_served_full_total"),
             served_no_decoder: counter("adec_serve_served_no_decoder_total"),
             served_centroid_only: counter("adec_serve_served_centroid_only_total"),
+            respawns: counter("adec_serve_respawns_total"),
+            reloads: counter("adec_serve_reloads_total"),
+            reloads_refused: counter("adec_serve_reloads_refused_total"),
             request_seconds: histogram("adec_serve_request_seconds", DURATION_BUCKETS),
             queue_depth: histogram(
                 "adec_serve_queue_depth",
@@ -192,16 +280,23 @@ impl ObsMetrics {
     }
 }
 
-/// Shared state between acceptor, workers, and the handle.
+/// Shared state between acceptor, replicas, supervisor, and the handle.
 struct Shared {
-    model: InferenceModel,
+    registry: ModelRegistry,
     config: ServerConfig,
-    queue: Mutex<VecDeque<(TcpStream, Instant)>>,
-    wake: Condvar,
+    replicas: Vec<Arc<Replica>>,
+    /// Accepted-but-unserved connections across the whole fleet; the
+    /// acceptor's admission gate and the shed ladder both read this, so
+    /// fleet size never changes the backpressure contract.
+    queued_total: AtomicUsize,
+    /// Replica slots currently occupied by a live worker (supervisor's
+    /// view, refreshed every tick).
+    replicas_live: AtomicUsize,
     shutting_down: AtomicBool,
     stats: Stats,
     obs: ObsMetrics,
     addr: SocketAddr,
+    started: Instant,
 }
 
 impl Shared {
@@ -211,17 +306,34 @@ impl Shared {
         global.inc();
     }
 
-    /// Flips the shutdown flag and wakes everyone: workers via the
-    /// condvar, the acceptor via a loopback self-connect (the only way to
-    /// interrupt a blocking `accept` with std alone).
+    /// Milliseconds since the server started (the busy-watermark clock).
+    fn now_ms(&self) -> u64 {
+        u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX)
+    }
+
+    /// Flips the shutdown flag and wakes everyone: replica workers via
+    /// their condvars, the acceptor via a loopback self-connect (the only
+    /// way to interrupt a blocking `accept` with std alone).
     fn begin_shutdown(&self) {
         if self.shutting_down.swap(true, Ordering::SeqCst) {
             return;
         }
-        self.wake.notify_all();
+        for replica in &self.replicas {
+            replica.wake.notify_all();
+        }
         if let Ok(s) = TcpStream::connect(self.addr) {
             drop(s);
         }
+    }
+
+    /// Stages + swaps `path`, mirroring the outcome into the counters.
+    fn do_reload(&self, path: &std::path::Path) -> Result<Arc<ModelVersion>, crate::ReloadError> {
+        let res = self.registry.reload(path);
+        match &res {
+            Ok(_) => self.count(&self.stats.reloads, &self.obs.reloads),
+            Err(_) => self.count(&self.stats.reloads_refused, &self.obs.reloads_refused),
+        }
+        res
     }
 }
 
@@ -230,18 +342,20 @@ impl Shared {
 pub struct ServerHandle {
     shared: Arc<Shared>,
     acceptor: Option<JoinHandle<()>>,
-    workers: Vec<JoinHandle<()>>,
+    supervisor: Option<JoinHandle<()>>,
+    watcher: Option<JoinHandle<()>>,
 }
 
 impl ServerHandle {
-    /// Binds 127.0.0.1 and spawns the acceptor + worker pool.
+    /// Binds 127.0.0.1 and spawns the acceptor, the replica fleet, the
+    /// supervisor, and (when configured) the checkpoint watcher.
     ///
     /// # Errors
     ///
     /// [`ServeError::Config`] on zero workers/queue, [`ServeError::Bind`]
     /// when the port is unavailable.
     pub fn start(model: InferenceModel, config: ServerConfig) -> Result<ServerHandle, ServeError> {
-        if config.workers == 0 {
+        if config.workers == 0 && config.replicas == 0 {
             return Err(ServeError::Config("workers must be >= 1".into()));
         }
         if config.max_inflight == 0 {
@@ -250,25 +364,49 @@ impl ServerHandle {
         let listener = TcpListener::bind((Ipv4Addr::LOCALHOST, config.port))
             .map_err(ServeError::Bind)?;
         let addr = listener.local_addr().map_err(ServeError::Bind)?;
+        let alpha = model.alpha;
+        let source = config
+            .reload_path
+            .as_ref()
+            .map_or_else(|| "initial".to_string(), |p| p.display().to_string());
+        let fleet_size = config.fleet_size();
         let shared = Arc::new(Shared {
-            model,
+            registry: ModelRegistry::new(model, alpha, source),
+            replicas: (0..fleet_size).map(|i| Arc::new(Replica::new(i))).collect(),
+            queued_total: AtomicUsize::new(0),
+            replicas_live: AtomicUsize::new(fleet_size),
             config,
-            queue: Mutex::new(VecDeque::new()),
-            wake: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             stats: Stats::default(),
             obs: ObsMetrics::new(),
             addr,
+            started: Instant::now(),
         });
-        let workers = (0..shared.config.workers)
-            .map(|i| {
+        let slots = shared
+            .replicas
+            .iter()
+            .map(|replica| {
+                let handle = spawn_worker(&shared, replica, 0).map_err(ServeError::Bind)?;
+                Ok(WorkerSlot { handle: Some(handle), attempt: 0, respawn_at: None })
+            })
+            .collect::<Result<Vec<_>, ServeError>>()?;
+        let supervisor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("adec-serve-supervisor".into())
+                .spawn(move || supervisor_loop(&shared, slots))
+                .map_err(ServeError::Bind)?
+        };
+        let watcher = match shared.config.watch_path.clone() {
+            Some(path) => Some({
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
-                    .name(format!("adec-serve-worker-{i}"))
-                    .spawn(move || worker_loop(&shared))
-                    .map_err(ServeError::Bind)
-            })
-            .collect::<Result<Vec<_>, _>>()?;
+                    .name("adec-serve-watcher".into())
+                    .spawn(move || watch_loop(&shared, &path))
+                    .map_err(ServeError::Bind)?
+            }),
+            None => None,
+        };
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -279,7 +417,8 @@ impl ServerHandle {
         Ok(ServerHandle {
             shared,
             acceptor: Some(acceptor),
-            workers,
+            supervisor: Some(supervisor),
+            watcher,
         })
     }
 
@@ -298,16 +437,30 @@ impl ServerHandle {
         self.shared.stats.snapshot()
     }
 
-    /// Requests a graceful shutdown: stop accepting, drain the queue.
+    /// The live model version number.
+    pub fn model_version(&self) -> u64 {
+        self.shared.registry.current().version
+    }
+
+    /// Completed reload count.
+    pub fn reload_generation(&self) -> u64 {
+        self.shared.registry.generation()
+    }
+
+    /// Requests a graceful shutdown: stop accepting, drain the queues.
     /// Idempotent; returns immediately (pair with [`ServerHandle::join`]).
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
     }
 
     /// Blocks until every thread has drained and exited, then reports the
-    /// final counters.
+    /// final counters. The supervisor joins the replica workers (and any
+    /// superseded stragglers) before it exits itself.
     pub fn join(mut self) -> ServeStats {
-        for w in self.workers.drain(..) {
+        if let Some(s) = self.supervisor.take() {
+            let _ = s.join();
+        }
+        if let Some(w) = self.watcher.take() {
             let _ = w.join();
         }
         if let Some(a) = self.acceptor.take() {
@@ -317,7 +470,181 @@ impl ServerHandle {
     }
 }
 
-/// Acceptor: admit into the bounded queue, or 503 on the spot.
+/// One replica slot as the supervisor tracks it.
+struct WorkerSlot {
+    handle: Option<JoinHandle<()>>,
+    /// Respawns so far (drives the backoff schedule).
+    attempt: u64,
+    /// When a scheduled respawn becomes due.
+    respawn_at: Option<Instant>,
+}
+
+/// Spawns a worker thread for `replica` at `epoch`, emitting the spawn
+/// lifecycle event.
+fn spawn_worker(
+    shared: &Arc<Shared>,
+    replica: &Arc<Replica>,
+    epoch: u64,
+) -> std::io::Result<JoinHandle<()>> {
+    let shared = Arc::clone(shared);
+    let replica = Arc::clone(replica);
+    let id = replica.id;
+    let handle = std::thread::Builder::new()
+        .name(format!("adec-serve-replica-{id}"))
+        .spawn(move || worker_loop(&shared, &replica, epoch))?;
+    replica_event("serve.replica.spawn", id, epoch, "worker thread started");
+    Ok(handle)
+}
+
+/// Supervisor: detect dead/wedged replicas, respawn with seeded backoff,
+/// surface drain completions, and keep the liveness gauge fresh. Owns
+/// every worker handle; joins them all at shutdown.
+fn supervisor_loop(shared: &Arc<Shared>, mut slots: Vec<WorkerSlot>) {
+    let mut graveyard: Vec<JoinHandle<()>> = Vec::new();
+    let wedge_budget = shared.config.wedge_budget();
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        let now = shared.now_ms();
+        for (slot, replica) in slots.iter_mut().zip(shared.replicas.iter()) {
+            supervise_slot(shared, slot, replica, now, wedge_budget, &mut graveyard);
+        }
+        let live = slots
+            .iter()
+            .filter(|s| s.handle.as_ref().is_some_and(|h| !h.is_finished()))
+            .count();
+        shared.replicas_live.store(live, Ordering::Relaxed);
+        shared.registry.poll_drains();
+        std::thread::sleep(Duration::from_millis(SUPERVISOR_TICK_MS));
+    }
+    for slot in &mut slots {
+        if let Some(h) = slot.handle.take() {
+            let _ = h.join();
+        }
+    }
+    for h in graveyard {
+        let _ = h.join();
+    }
+    // Late drains (versions still pinned by requests served during the
+    // final drain-out) get their end event before the supervisor exits.
+    shared.registry.poll_drains();
+}
+
+/// One supervisor tick for one replica slot.
+fn supervise_slot(
+    shared: &Arc<Shared>,
+    slot: &mut WorkerSlot,
+    replica: &Arc<Replica>,
+    now: u64,
+    wedge_budget: u64,
+    graveyard: &mut Vec<JoinHandle<()>>,
+) {
+    if let Some(due) = slot.respawn_at {
+        if Instant::now() < due {
+            return;
+        }
+        let epoch = replica.epoch.load(Ordering::SeqCst);
+        match spawn_worker(shared, replica, epoch) {
+            Ok(handle) => {
+                slot.handle = Some(handle);
+                slot.respawn_at = None;
+                replica.respawned.fetch_add(1, Ordering::Relaxed);
+                shared.count(&shared.stats.respawns, &shared.obs.respawns);
+                replica_event(
+                    "serve.replica.respawn",
+                    replica.id,
+                    epoch,
+                    &format!("respawned after attempt {}", slot.attempt),
+                );
+            }
+            Err(_) => {
+                // Thread spawn failed (resource exhaustion): retry shortly.
+                slot.respawn_at = Some(Instant::now() + Duration::from_millis(100));
+            }
+        }
+        return;
+    }
+    let finished = slot.handle.as_ref().is_some_and(JoinHandle::is_finished);
+    if finished {
+        if let Some(h) = slot.handle.take() {
+            let _ = h.join();
+        }
+        let epoch = replica.epoch.load(Ordering::SeqCst);
+        replica_event("serve.replica.death", replica.id, epoch, "worker thread exited");
+        let delay = backoff_ms(shared.config.seed, replica.id, slot.attempt);
+        slot.attempt += 1;
+        slot.respawn_at = Some(Instant::now() + Duration::from_millis(delay));
+        return;
+    }
+    if replica.busy_for_ms(now).is_some_and(|busy| busy > wedge_budget) {
+        // Supersede: std threads cannot be killed, so bump the epoch (the
+        // stale thread exits at its next check), park the old handle, and
+        // seat a replacement immediately — its queue must not starve.
+        let epoch = replica.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+        replica.wake.notify_all();
+        if let Some(h) = slot.handle.take() {
+            graveyard.push(h);
+        }
+        replica_event(
+            "serve.replica.death",
+            replica.id,
+            epoch,
+            &format!("wedged past {wedge_budget}ms budget; superseded"),
+        );
+        match spawn_worker(shared, replica, epoch) {
+            Ok(handle) => {
+                slot.handle = Some(handle);
+                slot.attempt += 1;
+                replica.respawned.fetch_add(1, Ordering::Relaxed);
+                shared.count(&shared.stats.respawns, &shared.obs.respawns);
+                replica_event(
+                    "serve.replica.respawn",
+                    replica.id,
+                    epoch,
+                    "replacement for wedged worker",
+                );
+            }
+            Err(_) => {
+                slot.attempt += 1;
+                slot.respawn_at = Some(Instant::now() + Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+/// Checkpoint watcher: poll mtime, confirm with a checksum, hot reload on
+/// a real change. A refused candidate is remembered by checksum so a bad
+/// file is refused once, not every poll.
+fn watch_loop(shared: &Arc<Shared>, path: &std::path::Path) {
+    let mtime_of = |p: &std::path::Path| std::fs::metadata(p).and_then(|m| m.modified()).ok();
+    let mut last_mtime = mtime_of(path);
+    let mut last_crc = std::fs::read(path).ok().map(|bytes| crc32(&bytes));
+    let interval = shared.config.watch_interval_ms.max(WEDGE_SLICE_MS);
+    let mut since_poll = 0u64;
+    while !shared.shutting_down.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(WEDGE_SLICE_MS));
+        since_poll += WEDGE_SLICE_MS;
+        if since_poll < interval {
+            continue;
+        }
+        since_poll = 0;
+        let mtime = mtime_of(path);
+        if mtime == last_mtime && last_crc.is_some() {
+            continue;
+        }
+        last_mtime = mtime;
+        let Ok(bytes) = std::fs::read(path) else { continue };
+        let crc = crc32(&bytes);
+        if last_crc == Some(crc) {
+            continue;
+        }
+        last_crc = Some(crc);
+        // Swap or refusal are both fully logged by the registry; the
+        // watcher only decides *when* to try.
+        let _ = shared.do_reload(path);
+    }
+}
+
+/// Acceptor: admit into the least-loaded replica queue, or 503 on the
+/// spot when the fleet-wide queued total is at the cap.
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
     for conn in listener.incoming() {
         if shared.shutting_down.load(Ordering::SeqCst) {
@@ -328,64 +655,110 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             Err(_) => continue, // transient accept error; keep serving
         };
         let accepted_at = Instant::now();
-        let admitted = {
-            let mut q = match shared.queue.lock() {
+        if shared.queued_total.load(Ordering::SeqCst) >= shared.config.max_inflight {
+            shared.count(&shared.stats.rejected_busy, &shared.obs.rejected_busy);
+            let mut stream = stream;
+            let _ = write_response(
+                &mut stream,
+                503,
+                &[("retry-after", "1")],
+                "application/json",
+                br#"{"error":"busy","detail":"request queue is full"}"#,
+            );
+            continue;
+        }
+        // Route to the least-loaded replica — queue depth plus one for an
+        // occupied worker, so a replica blocked mid-slow-read (empty
+        // queue, busy worker) doesn't keep attracting head-of-line
+        // waiters. Ties go to the lowest id so a single-replica fleet is
+        // exactly the old single-queue server.
+        let target = shared
+            .replicas
+            .iter()
+            .min_by_key(|r| {
+                let q = match r.queue.lock() {
+                    Ok(q) => q,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                (q.len() + usize::from(r.occupied.load(Ordering::SeqCst)), r.id)
+            })
+            .cloned();
+        let Some(target) = target else { break };
+        {
+            let mut q = match target.queue.lock() {
                 Ok(q) => q,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            if q.len() < shared.config.max_inflight {
-                q.push_back((stream, accepted_at));
-                shared.obs.queue_depth.observe(q.len() as f64);
-                true
-            } else {
-                drop(q);
-                shared.count(&shared.stats.rejected_busy, &shared.obs.rejected_busy);
-                let mut stream = stream;
-                let _ = write_response(
-                    &mut stream,
-                    503,
-                    &[("retry-after", "1")],
-                    "application/json",
-                    br#"{"error":"busy","detail":"request queue is full"}"#,
-                );
-                false
-            }
-        };
-        if admitted {
-            shared.wake.notify_one();
+            q.push_back((stream, accepted_at));
         }
+        let depth = shared.queued_total.fetch_add(1, Ordering::SeqCst) + 1;
+        shared.obs.queue_depth.observe(depth as f64);
+        target.wake.notify_one();
     }
 }
 
-/// Worker: pop → serve → close, until shutdown *and* the queue is dry.
-fn worker_loop(shared: &Shared) {
+/// What a replica worker found when it went looking for work.
+enum Fetched {
+    /// A connection to serve.
+    Conn(TcpStream, Instant),
+    /// A chaos/supersession flag changed; re-run the loop-top checks.
+    Recheck,
+    /// Shutdown with a dry queue: exit.
+    Done,
+}
+
+/// Replica worker: pop → serve → close, until shutdown *and* its queue is
+/// dry. Chaos flags (kill/wedge) and supersession are honoured between
+/// requests only — a worker never abandons a connection it already popped,
+/// which is why a kill drops zero in-flight requests.
+fn worker_loop(shared: &Shared, replica: &Replica, my_epoch: u64) {
     loop {
-        let popped = {
-            let mut q = match shared.queue.lock() {
+        if replica.epoch.load(Ordering::SeqCst) != my_epoch {
+            return; // superseded while wedged; the replacement owns the slot
+        }
+        if replica.kill.swap(false, Ordering::SeqCst) {
+            return; // chaos kill: clean exit, supervisor respawns
+        }
+        let wedge = replica.wedge_ms.swap(0, Ordering::SeqCst);
+        if wedge > 0 {
+            wedge_sleep(shared, replica, my_epoch, wedge);
+            continue;
+        }
+        let fetched = {
+            let mut q = match replica.queue.lock() {
                 Ok(q) => q,
                 Err(poisoned) => poisoned.into_inner(),
             };
             loop {
-                if let Some(item) = q.pop_front() {
-                    break Some(item);
+                if replica.epoch.load(Ordering::SeqCst) != my_epoch
+                    || replica.kill.load(Ordering::SeqCst)
+                    || replica.wedge_ms.load(Ordering::SeqCst) > 0
+                {
+                    break Fetched::Recheck;
+                }
+                if let Some((stream, at)) = q.pop_front() {
+                    shared.queued_total.fetch_sub(1, Ordering::SeqCst);
+                    break Fetched::Conn(stream, at);
                 }
                 if shared.shutting_down.load(Ordering::SeqCst) {
-                    break None;
+                    break Fetched::Done;
                 }
-                q = match shared.wake.wait(q) {
+                q = match replica.wake.wait(q) {
                     Ok(q) => q,
                     Err(poisoned) => poisoned.into_inner(),
                 };
             }
         };
-        let (mut stream, accepted_at) = match popped {
-            Some(item) => item,
-            None => return,
+        let (mut stream, accepted_at) = match fetched {
+            Fetched::Conn(stream, at) => (stream, at),
+            Fetched::Recheck => continue,
+            Fetched::Done => return,
         };
+        replica.occupied.store(true, Ordering::SeqCst);
         // The request handler is lint-proven panic-free; catch_unwind is
         // the last line of defence so a bug costs one 500, not a worker.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            serve_connection(shared, &mut stream, accepted_at);
+            serve_connection(shared, replica, &mut stream);
         }));
         if outcome.is_err() {
             shared.count(&shared.stats.caught_panics, &shared.obs.caught_panics);
@@ -397,6 +770,9 @@ fn worker_loop(shared: &Shared) {
                 br#"{"error":"internal"}"#,
             );
         }
+        replica.mark_idle();
+        replica.occupied.store(false, Ordering::SeqCst);
+        replica.served.fetch_add(1, Ordering::Relaxed);
         // Accept-to-response latency: includes queue wait by design, so
         // saturation shows up in the tail.
         shared
@@ -406,9 +782,43 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Reads and answers exactly one request on an accepted socket.
-fn serve_connection(shared: &Shared, stream: &mut TcpStream, accepted_at: Instant) {
-    let read_deadline = accepted_at + Duration::from_millis(shared.config.read_deadline_ms);
+/// An injected wedge: busy (watermark set) but holding no connection, in
+/// slices so a superseded or shutting-down wedge releases promptly.
+fn wedge_sleep(shared: &Shared, replica: &Replica, my_epoch: u64, wedge: u64) {
+    replica.mark_busy(shared.now_ms());
+    replica.occupied.store(true, Ordering::SeqCst);
+    let until = Instant::now() + Duration::from_millis(wedge);
+    while Instant::now() < until {
+        if replica.epoch.load(Ordering::SeqCst) != my_epoch
+            || shared.shutting_down.load(Ordering::SeqCst)
+        {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(WEDGE_SLICE_MS));
+    }
+    replica.mark_idle();
+    replica.occupied.store(false, Ordering::SeqCst);
+}
+
+/// Reads and answers exactly one request on an accepted socket. The model
+/// snapshot is taken exactly once, so the response's `model_version` and
+/// the weights that computed it can never disagree — the hot-swap
+/// atomicity contract.
+///
+/// The wedge watermark covers only the phase *after* the request is read:
+/// the read phase is hard-bounded by the socket read timeout (a slow-loris
+/// peer legitimately occupies a worker for the full read deadline and then
+/// self-heals), while the compute/route phase is where a genuine wedge —
+/// an infinite loop or deadlock — would otherwise stall the replica
+/// forever. Marking busy before the read would make every slow-loris drip
+/// look wedged and put the supervisor into a supersession loop.
+fn serve_connection(shared: &Shared, replica: &Replica, stream: &mut TcpStream) {
+    // The read window charges the peer's sending pace, not fleet queue
+    // wait: it opens when a worker starts reading, so a request that sat
+    // queued behind a killed or wedged replica still gets its full
+    // budget. (Reported latency still runs from `accepted_at`, so queue
+    // wait is never hidden from the tail.)
+    let read_deadline = Instant::now() + Duration::from_millis(shared.config.read_deadline_ms);
     let request = match read_request(stream, &shared.config.limits, read_deadline) {
         Ok(req) => req,
         Err(HttpError::Disconnected) => {
@@ -428,11 +838,13 @@ fn serve_connection(shared: &Shared, stream: &mut TcpStream, accepted_at: Instan
             return;
         }
     };
-    route(shared, stream, &request);
+    replica.mark_busy(shared.now_ms());
+    let mv = shared.registry.current();
+    route(shared, stream, &request, &mv);
 }
 
 /// Routes a parsed request; every arm answers exactly once.
-fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
+fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, mv: &Arc<ModelVersion>) {
     let draining = shared.shutting_down.load(Ordering::SeqCst);
     match (request.method, request.path.as_str()) {
         (Method::Get, "/healthz") => {
@@ -440,15 +852,19 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
             let _ = write_response(stream, 200, &[], "text/plain", b"ok\n");
         }
         (Method::Get, "/readyz") => {
-            let model = &shared.model;
+            let model = &mv.model;
             let body = format!(
-                r#"{{"ready":{},"mode":"{}","phase":"{}","input_dim":{},"latent_dim":{},"clusters":{}}}"#,
+                r#"{{"ready":{},"mode":"{}","phase":"{}","input_dim":{},"latent_dim":{},"clusters":{},"model_version":{},"reload_generation":{},"replicas":{},"replicas_live":{}}}"#,
                 !draining,
                 model.mode.as_str(),
                 model.phase,
                 model.input_dim(),
                 model.latent_dim(),
                 model.k(),
+                mv.version,
+                shared.registry.generation(),
+                shared.replicas.len(),
+                shared.replicas_live.load(Ordering::Relaxed),
             );
             let status = if draining { 503 } else { 200 };
             if draining {
@@ -459,11 +875,13 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
             let _ = write_response(stream, status, &[], "application/json", body.as_bytes());
         }
         (Method::Get, "/metrics") => {
-            // Prometheus scrape of the process-global registry. Like
+            // Prometheus scrape of the process-global registry, plus this
+            // instance's per-replica and per-model-version series. Like
             // /healthz, this deliberately ignores the drain flag:
             // operators scrape right through a shutdown, so /metrics
             // stays 200 while /readyz is already 503.
-            let body = adec_obs::prom::encode(&adec_obs::global().snapshot());
+            let mut body = adec_obs::prom::encode(&adec_obs::global().snapshot());
+            body.push_str(&render_fleet_metrics(shared));
             shared.count(&shared.stats.served, &shared.obs.served);
             let _ = write_response(
                 stream,
@@ -475,8 +893,8 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
         }
         (Method::Get, "/statz") => {
             let s = shared.stats.snapshot();
-            let body = format!(
-                r#"{{"served":{},"rejected_busy":{},"client_errors":{},"disconnects":{},"deadline_expired":{},"caught_panics":{},"served_full":{},"served_no_decoder":{},"served_centroid_only":{}}}"#,
+            let mut body = format!(
+                r#"{{"served":{},"rejected_busy":{},"client_errors":{},"disconnects":{},"deadline_expired":{},"caught_panics":{},"served_full":{},"served_no_decoder":{},"served_centroid_only":{},"respawns":{},"reloads":{},"reloads_refused":{},"model_version":{},"reload_generation":{},"replicas_live":{},"replicas":["#,
                 s.served,
                 s.rejected_busy,
                 s.client_errors,
@@ -486,7 +904,30 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
                 s.served_by_tier[0],
                 s.served_by_tier[1],
                 s.served_by_tier[2],
+                s.respawns,
+                s.reloads,
+                s.reloads_refused,
+                mv.version,
+                shared.registry.generation(),
+                shared.replicas_live.load(Ordering::Relaxed),
             );
+            for (i, r) in shared.replicas.iter().enumerate() {
+                if i > 0 {
+                    body.push(',');
+                }
+                let queued = match r.queue.lock() {
+                    Ok(q) => q.len(),
+                    Err(poisoned) => poisoned.into_inner().len(),
+                };
+                body.push_str(&format!(
+                    r#"{{"id":{},"served":{},"respawned":{},"queued":{}}}"#,
+                    r.id,
+                    r.served.load(Ordering::Relaxed),
+                    r.respawned.load(Ordering::Relaxed),
+                    queued,
+                ));
+            }
+            body.push_str("]}");
             shared.count(&shared.stats.served, &shared.obs.served);
             let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
         }
@@ -501,8 +942,19 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
             );
             shared.begin_shutdown();
         }
-        (Method::Post, "/assign") => handle_assign(shared, stream, request),
-        (_, "/healthz" | "/readyz" | "/statz" | "/metrics" | "/shutdown" | "/assign") => {
+        (Method::Post, "/reload") => handle_reload(shared, stream, draining),
+        (Method::Post, "/chaos/kill-replica") => {
+            handle_chaos(shared, stream, request, ChaosOp::Kill);
+        }
+        (Method::Post, "/chaos/wedge-replica") => {
+            handle_chaos(shared, stream, request, ChaosOp::Wedge);
+        }
+        (Method::Post, "/assign") => handle_assign(shared, stream, request, mv),
+        (
+            _,
+            "/healthz" | "/readyz" | "/statz" | "/metrics" | "/shutdown" | "/assign" | "/reload"
+            | "/chaos/kill-replica" | "/chaos/wedge-replica",
+        ) => {
             shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             let _ = write_response(
                 stream,
@@ -525,13 +977,148 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request) {
     }
 }
 
+/// This instance's fleet/registry series, appended to the registry-encoded
+/// exposition. Names are disjoint from the process-global counters so the
+/// strict parser never sees a duplicate `# TYPE`.
+fn render_fleet_metrics(shared: &Shared) -> String {
+    let mut out = String::with_capacity(512);
+    out.push_str("# TYPE adec_serve_model_version gauge\n");
+    out.push_str(&format!(
+        "adec_serve_model_version {}\n",
+        shared.registry.current().version
+    ));
+    out.push_str("# TYPE adec_serve_reload_generation gauge\n");
+    out.push_str(&format!(
+        "adec_serve_reload_generation {}\n",
+        shared.registry.generation()
+    ));
+    out.push_str("# TYPE adec_serve_replicas_live gauge\n");
+    out.push_str(&format!(
+        "adec_serve_replicas_live {}\n",
+        shared.replicas_live.load(Ordering::Relaxed)
+    ));
+    out.push_str("# TYPE adec_serve_replica_served counter\n");
+    for r in &shared.replicas {
+        out.push_str(&format!(
+            "adec_serve_replica_served{{replica=\"{}\"}} {}\n",
+            r.id,
+            r.served.load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str("# TYPE adec_serve_replica_respawns counter\n");
+    for r in &shared.replicas {
+        out.push_str(&format!(
+            "adec_serve_replica_respawns{{replica=\"{}\"}} {}\n",
+            r.id,
+            r.respawned.load(Ordering::Relaxed)
+        ));
+    }
+    out.push_str("# TYPE adec_serve_model_served counter\n");
+    for v in shared.registry.versions() {
+        out.push_str(&format!(
+            "adec_serve_model_served{{version=\"{}\",phase=\"{}\"}} {}\n",
+            v.version,
+            v.model.phase,
+            v.served()
+        ));
+    }
+    out
+}
+
+/// `POST /reload`: stage + swap the configured checkpoint path. Refusals
+/// are 409 (the live model is untouched); a draining server answers 503.
+fn handle_reload(shared: &Shared, stream: &mut TcpStream, draining: bool) {
+    if draining {
+        shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
+        let _ = write_response(
+            stream,
+            503,
+            &[],
+            "application/json",
+            br#"{"error":"draining","detail":"server is shutting down"}"#,
+        );
+        return;
+    }
+    let Some(path) = shared.config.reload_path.clone() else {
+        shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
+        let _ = write_response(
+            stream,
+            409,
+            &[],
+            "application/json",
+            br#"{"error":"reload-unavailable","detail":"server started without a reload path"}"#,
+        );
+        return;
+    };
+    match shared.do_reload(&path) {
+        Ok(next) => {
+            shared.count(&shared.stats.served, &shared.obs.served);
+            let body = format!(
+                r#"{{"reloaded":true,"model_version":{},"reload_generation":{}}}"#,
+                next.version,
+                shared.registry.generation(),
+            );
+            let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+        }
+        Err(err) => {
+            shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
+            let body = format!(
+                r#"{{"error":"reload-refused","reason":"{}","detail":"{}"}}"#,
+                err.reason(),
+                json_escape(&err.to_string()),
+            );
+            let _ = write_response(stream, 409, &[], "application/json", body.as_bytes());
+        }
+    }
+}
+
+/// Which chaos injection an admin endpoint performs.
+enum ChaosOp {
+    Kill,
+    Wedge,
+}
+
+/// `POST /chaos/{kill,wedge}-replica`: body is an optional replica index
+/// (defaults to 0). Local-only by construction — the listener binds
+/// 127.0.0.1, same trust level as `/shutdown`.
+fn handle_chaos(shared: &Shared, stream: &mut TcpStream, request: &Request, op: ChaosOp) {
+    let text = std::str::from_utf8(&request.body).unwrap_or("").trim();
+    let id: usize = if text.is_empty() { 0 } else { text.parse().unwrap_or(usize::MAX) };
+    let Some(replica) = shared.replicas.get(id) else {
+        shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
+        let body = format!(
+            r#"{{"error":"bad-replica","detail":"fleet has {} replicas"}}"#,
+            shared.replicas.len()
+        );
+        let _ = write_response(stream, 400, &[], "application/json", body.as_bytes());
+        return;
+    };
+    shared.count(&shared.stats.served, &shared.obs.served);
+    let body = match op {
+        ChaosOp::Kill => {
+            replica.kill.store(true, Ordering::SeqCst);
+            replica.wake.notify_all();
+            format!(r#"{{"killed":{id}}}"#)
+        }
+        ChaosOp::Wedge => {
+            // Sleep well past the budget so the supervisor provably fires.
+            let sleep_ms = shared.config.wedge_budget().saturating_mul(2) + 250;
+            replica.wedge_ms.store(sleep_ms, Ordering::SeqCst);
+            replica.wake.notify_all();
+            format!(r#"{{"wedged":{id},"sleep_ms":{sleep_ms}}}"#)
+        }
+    };
+    let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+}
+
 /// Pressure-to-rung map for load shedding, pure and monotone in `depth`:
 /// at ≤50% queue occupancy requests get the full answer, at ≤75% the
 /// decoder reconstruction is shed, beyond that the answer collapses to a
 /// hard nearest-centroid label. The ladder bottoms out *below* the 503
 /// gate (at `depth == cap` the acceptor rejects outright), so under
 /// overload the service degrades answer richness before it degrades
-/// availability.
+/// availability. `depth` is the fleet-wide queued total, so the contract
+/// is independent of the replica count.
 pub fn shed_tier(depth: usize, cap: usize) -> ServeMode {
     assert!(cap > 0, "shed_tier: queue capacity must be positive");
     if depth.saturating_mul(2) <= cap {
@@ -545,22 +1132,22 @@ pub fn shed_tier(depth: usize, cap: usize) -> ServeMode {
 
 /// Parses the CSV body, runs the forward pass in deadline-checked chunks,
 /// and streams back the JSON answer.
-fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
+fn handle_assign(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    mv: &Arc<ModelVersion>,
+) {
     let compute_deadline =
         Instant::now() + Duration::from_millis(shared.config.deadline_ms);
     // Sample queue pressure once, at entry: every chunk of this request
-    // is answered at one consistent rung, chosen from the backlog this
-    // worker saw when it started.
-    let depth = {
-        let q = match shared.queue.lock() {
-            Ok(q) => q,
-            Err(poisoned) => poisoned.into_inner(),
-        };
-        q.len()
-    };
+    // is answered at one consistent rung, chosen from the backlog the
+    // fleet held when this worker started.
+    let depth = shared.queued_total.load(Ordering::SeqCst);
     let pressure = shed_tier(depth, shared.config.max_inflight);
-    let effective = shared.model.effective_mode(pressure);
-    let want = shared.model.input_dim();
+    let model = &mv.model;
+    let effective = model.effective_mode(pressure);
+    let want = model.input_dim();
     let rows = match parse_csv_body(&request.body, want) {
         Ok(rows) => rows,
         Err(msg) => {
@@ -585,7 +1172,7 @@ fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
         }
         let data: Vec<f32> = chunk.iter().flatten().copied().collect();
         let x = adec_tensor::Matrix::from_vec(chunk.len(), want, data);
-        match shared.model.assign_with_tier(&x, pressure) {
+        match model.assign_with_tier(&x, pressure) {
             Ok(mut batch) => assignments.append(&mut batch),
             Err(err) => {
                 shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
@@ -596,6 +1183,7 @@ fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
         }
     }
     shared.count(&shared.stats.served, &shared.obs.served);
+    mv.count_served();
     let (tier_local, tier_global) = match effective {
         ServeMode::Full => (&shared.stats.served_full, &shared.obs.served_full),
         ServeMode::NoDecoder => (&shared.stats.served_no_decoder, &shared.obs.served_no_decoder),
@@ -607,7 +1195,7 @@ fn handle_assign(shared: &Shared, stream: &mut TcpStream, request: &Request) {
     // The response reports the rung it was *answered* at, so a client can
     // tell checkpoint degradation and load shedding apart from the mix of
     // modes it sees.
-    let body = render_assignments(&effective, &shared.model.phase, &assignments);
+    let body = render_assignments(&effective, &model.phase, mv.version, &assignments);
     let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
 }
 
@@ -656,12 +1244,19 @@ fn parse_csv_body(body: &[u8], want: usize) -> Result<Vec<Vec<f32>>, String> {
 }
 
 /// Hand-rolled JSON for the assignment response. Float formatting uses
-/// Rust's shortest-roundtrip `Display`, so identical inputs yield
-/// byte-identical responses — the chaos drill asserts exactly that.
-fn render_assignments(mode: &ServeMode, phase: &str, assignments: &[Assignment]) -> String {
+/// Rust's shortest-roundtrip `Display`, so identical inputs and model
+/// version yield byte-identical responses — the chaos drill asserts
+/// exactly that. `model_version` sits outside the `"assignments"` array,
+/// so the hot-swap no-op property compares the array alone.
+fn render_assignments(
+    mode: &ServeMode,
+    phase: &str,
+    model_version: u64,
+    assignments: &[Assignment],
+) -> String {
     let mut out = String::with_capacity(64 + assignments.len() * 64);
     out.push_str(&format!(
-        r#"{{"mode":"{}","phase":"{phase}","assignments":["#,
+        r#"{{"mode":"{}","phase":"{phase}","model_version":{model_version},"assignments":["#,
         mode.as_str()
     ));
     for (i, a) in assignments.iter().enumerate() {
@@ -688,6 +1283,23 @@ fn render_assignments(mode: &ServeMode, phase: &str, assignments: &[Assignment])
         out.push('}');
     }
     out.push_str("]}");
+    out
+}
+
+/// Escapes a string for embedding in a hand-rolled JSON value.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
     out
 }
 
@@ -726,6 +1338,7 @@ mod tests {
         let full = render_assignments(
             &ServeMode::Full,
             "dec",
+            1,
             &[Assignment {
                 label: 2,
                 q: vec![0.25, 0.75],
@@ -735,11 +1348,12 @@ mod tests {
         );
         assert_eq!(
             full,
-            r#"{"mode":"full","phase":"dec","assignments":[{"label":2,"q":[0.25,0.75],"recon_error":0.5}]}"#
+            r#"{"mode":"full","phase":"dec","model_version":1,"assignments":[{"label":2,"q":[0.25,0.75],"recon_error":0.5}]}"#
         );
         let degraded = render_assignments(
             &ServeMode::CentroidOnly,
             "dec",
+            3,
             &[Assignment {
                 label: 0,
                 q: vec![],
@@ -749,8 +1363,16 @@ mod tests {
         );
         assert_eq!(
             degraded,
-            r#"{"mode":"degraded-centroid-only","phase":"dec","assignments":[{"label":0,"dist":1.5}]}"#
+            r#"{"mode":"degraded-centroid-only","phase":"dec","model_version":3,"assignments":[{"label":0,"dist":1.5}]}"#
         );
+    }
+
+    #[test]
+    fn json_escape_handles_control_and_quote_chars() {
+        assert_eq!(json_escape("plain"), "plain");
+        assert_eq!(json_escape("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(json_escape("x\ny"), "x\\ny");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
     }
 
     #[test]
@@ -786,5 +1408,16 @@ mod tests {
         assert_eq!(assign_status(&AssignError::DimMismatch { got: 1, want: 2 }), 400);
         assert_eq!(assign_status(&AssignError::OutOfRange { row: 0 }), 400);
         assert_eq!(assign_status(&AssignError::NonFinite), 500);
+    }
+
+    #[test]
+    fn config_derives_fleet_size_and_wedge_budget() {
+        let mut c = ServerConfig { workers: 3, ..ServerConfig::default() };
+        assert_eq!(c.fleet_size(), 3);
+        c.replicas = 5;
+        assert_eq!(c.fleet_size(), 5);
+        assert_eq!(c.wedge_budget(), c.read_deadline_ms + c.deadline_ms + 2_000);
+        c.wedge_budget_ms = 250;
+        assert_eq!(c.wedge_budget(), 250);
     }
 }

@@ -89,3 +89,35 @@ pub fn sample_model(seed: u64) -> InferenceModel {
         Err(e) => panic!("model build failed: {e}"),
     }
 }
+
+/// Fresh per-test scratch directory under the OS temp dir.
+pub fn scratch_dir(name: &str) -> std::path::PathBuf {
+    let mut p = std::env::temp_dir();
+    p.push(format!("adec-serve-test-{}-{name}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&p);
+    std::fs::create_dir_all(&p).unwrap();
+    p
+}
+
+/// Writes the sample checkpoint for `seed` to `path` atomically.
+pub fn write_checkpoint(path: &std::path::Path, seed: u64) {
+    if let Err(e) = sample_checkpoint(seed).save_atomic(path) {
+        panic!("checkpoint write failed: {e}");
+    }
+}
+
+/// Boots a fleet server: `replicas` workers, hot reload armed at
+/// `reload_path` (which must already hold the seed-7 sample checkpoint
+/// so `/reload` of the same file is a valid same-bytes swap).
+pub fn start_fleet_server(
+    replicas: usize,
+    reload_path: &std::path::Path,
+    tweak: impl FnOnce(&mut ServerConfig),
+) -> ServerHandle {
+    let reload = reload_path.to_path_buf();
+    start_server(sample_model(7), move |c| {
+        c.replicas = replicas;
+        c.reload_path = Some(reload);
+        tweak(c);
+    })
+}

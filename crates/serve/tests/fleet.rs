@@ -1,0 +1,43 @@
+//! End-to-end fleet robustness: runs the full chaos fleet drill
+//! (replica-kill, replica-wedge, reload-under-fire, corrupt-reload,
+//! version-mismatch-reload) in-process against a 3-replica server.
+
+#![allow(clippy::panic, clippy::unwrap_used)]
+
+mod common;
+
+use adec_serve::chaos;
+
+#[test]
+fn fleet_drill_passes_in_process() {
+    let dir = common::scratch_dir("fleet-drill");
+    let reload_path = dir.join("model.ckpt");
+    let alt_path = dir.join("alt.ckpt");
+    common::write_checkpoint(&reload_path, 7);
+    common::write_checkpoint(&alt_path, 8);
+
+    let handle = common::start_fleet_server(3, &reload_path, |c| {
+        c.wedge_budget_ms = 300;
+        c.max_inflight = 16;
+    });
+    let addr = handle.addr();
+
+    let config = chaos::FleetDrillConfig {
+        reload_path: reload_path.clone(),
+        alt_checkpoint: alt_path,
+        seed: 7,
+        wedge_budget_ms: 300,
+    };
+    let report = chaos::run_fleet_drill(addr, &config);
+    assert!(report.all_passed(), "fleet drill failed:\n{}", report.render());
+
+    handle.shutdown();
+    let stats = handle.join();
+    assert_eq!(stats.caught_panics, 0, "panic guard tripped during the drill");
+    assert!(
+        stats.respawns >= 2,
+        "kill + wedge must respawn at least twice, saw {}",
+        stats.respawns
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}

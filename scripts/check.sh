@@ -27,4 +27,36 @@ cargo run -q --release -p adec-cli -- --check --size paper
 echo "==> adec --check --deep (tape dataflow + determinism audit, paper scale)"
 cargo run -q --release -p adec-cli -- --check --deep --size paper
 
+echo "==> serve fleet drill (replica-kill, wedge, hot reload under fire) + post-drill SLO ratchet"
+FLEET_DIR=$(mktemp -d)
+FLEET_SERVER=""
+trap 'if [ -n "$FLEET_SERVER" ]; then kill "$FLEET_SERVER" 2>/dev/null || true; fi; rm -rf "$FLEET_DIR"' EXIT
+target/release/adec --method dec --dataset protein --size small --seed 7 \
+  --iters 200 --pretrain-iters 80 --checkpoint-dir "$FLEET_DIR/a"
+target/release/adec --method dec --dataset protein --size small --seed 8 \
+  --iters 200 --pretrain-iters 80 --checkpoint-dir "$FLEET_DIR/b"
+# Same server shape as the committed BENCH_serve.json baseline (8 workers,
+# 16 inflight, 250ms read deadline) so the post-drill ratchet is apples
+# to apples; the slow-loris share of the load mix needs that capacity.
+target/release/adec serve --checkpoint "$FLEET_DIR/a/dec.ckpt" --port 8427 \
+  --replicas 8 --max-inflight 16 --deadline-ms 2000 --read-deadline-ms 250 \
+  --wedge-budget-ms 400 &
+FLEET_SERVER=$!
+target/release/adec-chaos --port 8427 --max-inflight 16 --read-deadline-ms 250 --seed 7 \
+  --fleet --reload-path "$FLEET_DIR/a/dec.ckpt" --alt-checkpoint "$FLEET_DIR/b/dec.ckpt" \
+  --wedge-budget-ms 400
+# The drilled server (respawned replicas, twice-swapped model) must still
+# hold the committed SLO snapshot, then drain to exit 0.
+target/release/adec load --seed 7 --rps 500 --duration 10s --addr 127.0.0.1:8427 \
+  --out "$FLEET_DIR/BENCH_serve_fleet.json"
+python3 scripts/bench_compare.py BENCH_serve.json \
+  "$FLEET_DIR/BENCH_serve_fleet.json" "$FLEET_DIR/fleet_comparison.json"
+python3 - <<'EOF'
+import urllib.request
+req = urllib.request.Request("http://127.0.0.1:8427/shutdown", method="POST")
+urllib.request.urlopen(req, timeout=10).read()
+EOF
+wait "$FLEET_SERVER"
+FLEET_SERVER=""
+
 echo "all checks passed"
