@@ -225,7 +225,11 @@ fn is_detach_exempt_path(rel: &str) -> bool {
 /// length mismatch silently misreports the SLO. The serve fleet and model
 /// registry qualify because their matrix-taking entry points (if any are
 /// ever added) would sit on the reload/request path, staged from
-/// checkpoint bytes read off disk rather than from our own code.
+/// checkpoint bytes read off disk rather than from our own code. The
+/// drift sentinel, the change detectors it is built on, and the stream
+/// simulator qualify because their slice/matrix-taking entry points are
+/// fed from live traffic, scraped statistics, and generated streams —
+/// a silent shape mismatch there corrupts an alarm decision.
 fn needs_kernel_asserts(rel: &str) -> bool {
     rel == "crates/tensor/src/matrix.rs"
         || rel == "crates/tensor/src/linalg.rs"
@@ -234,6 +238,9 @@ fn needs_kernel_asserts(rel: &str) -> bool {
         || rel == "crates/serve/src/model.rs"
         || rel == "crates/serve/src/registry.rs"
         || rel == "crates/serve/src/fleet.rs"
+        || rel == "crates/serve/src/drift.rs"
+        || rel == "crates/metrics/src/detect.rs"
+        || rel == "crates/datagen/src/stream.rs"
         || rel == "crates/loadgen/src/stats.rs"
 }
 
@@ -806,6 +813,29 @@ mod tests {
         let diags = lint_source("crates/serve/src/server.rs", request_path);
         assert_eq!(diags.len(), 1, "{diags:?}");
         assert_eq!(diags[0].rule, "lint.unwrap");
+    }
+
+    #[test]
+    fn drift_pipeline_files_are_on_the_kernel_assert_list() {
+        // The sentinel, the detectors under it, and the stream simulator
+        // all take slices/matrices born outside our own code (live
+        // traffic, scraped stats, generated streams): opening asserts
+        // are what keeps a shape mismatch from corrupting an alarm.
+        let bad = "pub fn window_signals(xs: &[f32]) -> f32 {\n    body()\n}\n";
+        for rel in [
+            "crates/serve/src/drift.rs",
+            "crates/metrics/src/detect.rs",
+            "crates/datagen/src/stream.rs",
+        ] {
+            let diags = lint_source(rel, bad);
+            assert_eq!(diags.len(), 1, "{rel}: {diags:?}");
+            assert_eq!(diags[0].rule, "lint.kernel-assert", "{rel}");
+        }
+        let good = "pub fn window_signals(xs: &[f32]) -> f32 {\n    assert!(!xs.is_empty());\n    body()\n}\n";
+        assert!(lint_source("crates/serve/src/drift.rs", good).is_empty());
+        // Sibling files in those crates stay off the kernel list.
+        assert!(lint_source("crates/metrics/src/tradeoff.rs", bad).is_empty());
+        assert!(lint_source("crates/datagen/src/digits.rs", bad).is_empty());
     }
 
     #[test]

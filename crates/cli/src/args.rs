@@ -201,6 +201,10 @@ pub struct ServeArgs {
     pub watch_checkpoint: Option<String>,
     /// Busy budget before a wedged replica is superseded (0 = derived).
     pub wedge_budget_ms: u64,
+    /// Drift mitigation policy: "observe", "degrade", or "gate".
+    pub drift_policy: String,
+    /// Rows per drift detection window.
+    pub drift_window: usize,
 }
 
 impl Default for ServeArgs {
@@ -216,6 +220,8 @@ impl Default for ServeArgs {
             replicas: 0,
             watch_checkpoint: None,
             wedge_budget_ms: 0,
+            drift_policy: "observe".to_string(),
+            drift_window: 256,
         }
     }
 }
@@ -239,15 +245,21 @@ pub fn serve_usage() -> String {
        --watch-checkpoint <P>   poll P (mtime+checksum) and hot reload on change\n\
        --wedge-budget-ms <N>    busy budget before a replica is superseded\n\
                                 (default 0 = read+compute deadlines + 2000)\n\
+       --drift-policy <P>       drift mitigation ladder: observe | degrade | gate\n\
+                                (default observe; needs a checkpoint with a\n\
+                                reference profile to do anything)\n\
+       --drift-window <N>       rows per drift detection window (default 256)\n\
        --help                   this message\n\
      \n\
      ENDPOINTS:\n\
        GET  /healthz    liveness (200 while the process serves at all)\n\
        GET  /readyz     readiness + model card + fleet card (model_version,\n\
-                        reload_generation, replicas, replicas_live)\n\
+                        reload_generation, replicas, replicas_live); 503 while\n\
+                        a drift alarm is latched under --drift-policy gate\n\
+       GET  /driftz     drift sentinel state (per-signal scores, alarm latch)\n\
        GET  /statz      request counters + per-replica counters\n\
        GET  /metrics    Prometheus text exposition (counters + latency histograms,\n\
-                        per-replica and per-model-version series)\n\
+                        per-replica, per-model-version and drift series)\n\
        POST /assign     CSV rows of features -> JSON soft assignments\n\
        POST /reload     stage + validate --checkpoint, atomically swap it live\n\
                         (local-only; 409 on refusal, live model untouched)\n\
@@ -326,6 +338,23 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ParseError> {
                 args.wedge_budget_ms = v
                     .parse()
                     .map_err(|_| ParseError(format!("invalid wedge budget '{v}'")))?;
+            }
+            "--drift-policy" => {
+                let v = value("--drift-policy")?;
+                if !matches!(v.as_str(), "observe" | "degrade" | "gate") {
+                    return Err(ParseError(format!(
+                        "invalid drift policy '{v}' (want observe, degrade, or gate)"
+                    )));
+                }
+                args.drift_policy = v.clone();
+            }
+            "--drift-window" => {
+                let v = value("--drift-window")?;
+                args.drift_window = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid drift window '{v}'")))?;
             }
             other => return Err(ParseError(format!("unknown flag '{other}' (see adec serve --help)"))),
         }
@@ -809,12 +838,14 @@ mod tests {
         assert_eq!(args.replicas, 0);
         assert_eq!(args.watch_checkpoint, None);
         assert_eq!(args.wedge_budget_ms, 0);
+        assert_eq!(args.drift_policy, "observe");
+        assert_eq!(args.drift_window, 256);
 
         let full = parse_serve(&strs(&[
             "--checkpoint", "x.ckpt", "--port", "0", "--workers", "4",
             "--max-inflight", "8", "--deadline-ms", "100", "--read-deadline-ms", "250",
             "--alpha", "2.0", "--replicas", "4", "--watch-checkpoint", "watch.ckpt",
-            "--wedge-budget-ms", "400",
+            "--wedge-budget-ms", "400", "--drift-policy", "gate", "--drift-window", "64",
         ]))
         .unwrap();
         assert_eq!(full.port, 0);
@@ -826,6 +857,8 @@ mod tests {
         assert_eq!(full.replicas, 4);
         assert_eq!(full.watch_checkpoint.as_deref(), Some("watch.ckpt"));
         assert_eq!(full.wedge_budget_ms, 400);
+        assert_eq!(full.drift_policy, "gate");
+        assert_eq!(full.drift_window, 64);
     }
 
     #[test]
@@ -845,6 +878,10 @@ mod tests {
             .unwrap_err().0.contains("invalid replica count"));
         assert!(parse_serve(&strs(&["--checkpoint", "x", "--wedge-budget-ms", "x"]))
             .unwrap_err().0.contains("invalid wedge budget"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--drift-policy", "panic"]))
+            .unwrap_err().0.contains("invalid drift policy"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--drift-window", "0"]))
+            .unwrap_err().0.contains("invalid drift window"));
         assert!(parse_serve(&strs(&["--checkpoint", "x", "--wat"]))
             .unwrap_err().0.contains("unknown flag"));
     }

@@ -138,13 +138,19 @@ pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
     })?;
     // lint:allow(obs-eprintln) -- operator console output, not diagnostics
     eprintln!(
-        "serving {} checkpoint '{}' in {} mode: input_dim={} clusters={}",
+        "serving {} checkpoint '{}' in {} mode: input_dim={} clusters={} drift={}({})",
         model.phase,
         args.checkpoint,
         model.mode.as_str(),
         model.input_dim(),
         model.k(),
+        args.drift_policy,
+        if model.profile().is_some() { "profile present" } else { "profile absent" },
     );
+    // The flag value was validated at parse time; fall back to observe
+    // defensively rather than refusing to serve.
+    let drift_policy = adec_serve::DriftPolicy::parse(&args.drift_policy)
+        .unwrap_or(adec_serve::DriftPolicy::Observe);
     let config = adec_serve::ServerConfig {
         port: args.port,
         workers: args.workers,
@@ -155,6 +161,11 @@ pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
         wedge_budget_ms: args.wedge_budget_ms,
         reload_path: Some(ckpt_path),
         watch_path: args.watch_checkpoint.as_ref().map(std::path::PathBuf::from),
+        drift: adec_serve::DriftConfig {
+            policy: drift_policy,
+            window_rows: args.drift_window,
+            ..adec_serve::DriftConfig::default()
+        },
         ..adec_serve::ServerConfig::default()
     };
     let handle = adec_serve::ServerHandle::start(model, config)

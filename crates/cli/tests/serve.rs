@@ -38,6 +38,7 @@ fn write_checkpoint(path: &Path, phase: &str, with_centroids: bool) {
         store,
         opts: vec![],
         extra: vec![],
+        profile: None,
     };
     ck.save_atomic(path).unwrap();
 }

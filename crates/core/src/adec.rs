@@ -29,7 +29,7 @@ use crate::guard::{
 use crate::trace::{ClusterOutput, GradLoss, TraceConfig, TrainTrace};
 use adec_nn::{
     hard_labels, soft_assignment, target_distribution, Activation, Checkpoint, Mlp, OptState,
-    Optimizer, ParamId, ParamStore, Sgd, Tape,
+    Optimizer, ParamId, ParamStore, ReferenceProfile, Sgd, Tape,
 };
 use adec_tensor::{Matrix, SeedRng};
 use std::time::Instant;
@@ -331,6 +331,7 @@ impl Adec {
                                 decoder_only,
                                 block_j,
                             ),
+                            profile: None,
                         })?;
                 }
                 record_trace_point(
@@ -442,6 +443,7 @@ impl Adec {
                 decoder_only,
                 block_j,
             ),
+            profile: Some(ReferenceProfile::compute(&z, &q, store.get(mu_id))),
         })?;
         let output = ClusterOutput {
             labels: hard_labels(&q),

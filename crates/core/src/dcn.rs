@@ -13,7 +13,10 @@ use crate::guard::{
     GuardConfig, RunMark, TrainError, TrainGuard,
 };
 use crate::trace::{ClusterOutput, TraceConfig, TracePoint, TrainTrace};
-use adec_nn::{Checkpoint, OptState, Optimizer, ParamId, ParamStore, Sgd, Tape};
+use adec_nn::{
+    soft_assignment, Checkpoint, OptState, Optimizer, ParamId, ParamStore, ReferenceProfile, Sgd,
+    Tape,
+};
 use adec_tensor::{linalg::pairwise_sq_dists, Matrix, SeedRng};
 use std::time::Instant;
 
@@ -184,6 +187,7 @@ impl Dcn {
                             store: store.clone(),
                             opts: vec![OptState::capture_sgd(&opt)],
                             extra: dcn_extra(RunMark::mid_run(), y_prev.as_deref(), &counts),
+                            profile: None,
                         })?;
                 }
                 let z = ae.embed(store, data);
@@ -282,6 +286,14 @@ impl Dcn {
                 y_prev.as_deref(),
                 &counts,
             ),
+            // DCN has no soft assignment of its own; profile entropy and
+            // confidence use the Student-t soft assignment serve applies
+            // at its default alpha.
+            profile: Some(ReferenceProfile::compute(
+                &z,
+                &soft_assignment(&z, store.get(mu_id), 1.0),
+                store.get(mu_id),
+            )),
         })?;
         // DCN is hard-assignment; expose a one-hot Q for interface parity.
         let mut q = Matrix::zeros(data.rows(), cfg.k);

@@ -16,7 +16,7 @@ use crate::trace::{
 use adec_classic::{kmeans, KMeansConfig};
 use adec_nn::{
     hard_labels, kl_divergence, soft_assignment, target_distribution, Checkpoint, OptState,
-    Optimizer, ParamId, ParamStore, Sgd, Tape,
+    Optimizer, ParamId, ParamStore, ReferenceProfile, Sgd, Tape,
 };
 use adec_tensor::{Matrix, SeedRng};
 use std::time::Instant;
@@ -232,6 +232,7 @@ impl Dec {
                             store: store.clone(),
                             opts: vec![OptState::capture_sgd(&opt)],
                             extra: dec_extra(RunMark::mid_run(), y_prev.as_deref()),
+                            profile: None,
                         })?;
                 }
                 record_trace_point(
@@ -293,6 +294,7 @@ impl Dec {
             store: store.clone(),
             opts: vec![OptState::capture_sgd(&opt)],
             extra: dec_extra(RunMark::finished(converged, iterations), y_prev.as_deref()),
+            profile: Some(ReferenceProfile::compute(&z, &q, store.get(mu_id))),
         })?;
         Ok(ClusterOutput {
             labels: hard_labels(&q),

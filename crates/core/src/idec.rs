@@ -16,7 +16,7 @@ use crate::guard::{
 use crate::trace::{ClusterOutput, GradLoss, TraceConfig, TrainTrace};
 use adec_nn::{
     hard_labels, soft_assignment, target_distribution, Checkpoint, OptState, Optimizer, ParamId,
-    ParamStore, Sgd, Tape,
+    ParamStore, ReferenceProfile, Sgd, Tape,
 };
 use adec_tensor::Matrix;
 use adec_tensor::SeedRng;
@@ -186,6 +186,7 @@ impl Idec {
                             store: store.clone(),
                             opts: vec![OptState::capture_sgd(&opt)],
                             extra: idec_extra(RunMark::mid_run(), y_prev.as_deref()),
+                            profile: None,
                         })?;
                 }
                 record_trace_point(
@@ -253,6 +254,7 @@ impl Idec {
             store: store.clone(),
             opts: vec![OptState::capture_sgd(&opt)],
             extra: idec_extra(RunMark::finished(converged, iterations), y_prev.as_deref()),
+            profile: Some(ReferenceProfile::compute(&z, &q, store.get(mu_id))),
         })?;
         Ok(ClusterOutput {
             labels: hard_labels(&q),

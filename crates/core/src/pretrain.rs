@@ -265,6 +265,7 @@ pub fn pretrain_autoencoder(
                         OptState::capture_adam(&critic_opt),
                     ],
                     extra: pretrain_extra(RunMark::mid_run(), last_critic_loss),
+                    profile: None,
                 })?;
         }
 
@@ -358,6 +359,8 @@ pub fn pretrain_autoencoder(
             RunMark::finished(true, done_iterations),
             last_critic_loss,
         ),
+        // Pretraining has no centroids yet — nothing to profile against.
+        profile: None,
     })?;
 
     Ok(PretrainStats {

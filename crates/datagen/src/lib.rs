@@ -33,8 +33,11 @@ pub mod csv;
 pub mod digits;
 pub mod fashion;
 pub mod render;
+pub mod stream;
 pub mod tabular;
 pub mod text;
+
+pub use stream::{ShiftEvent, ShiftKind, ShiftSchedule, StreamSim};
 
 use adec_tensor::{Matrix, SeedRng};
 

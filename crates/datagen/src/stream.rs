@@ -1,0 +1,474 @@
+//! Seeded stationary→shifted stream simulator for drift drills.
+//!
+//! A [`StreamSim`] replays a base dataset as an endless request stream:
+//! while *stationary* it bootstrap-resamples the base rows, so every
+//! window is an i.i.d. draw from exactly the distribution the model was
+//! trained (and profiled) on — the no-false-alarm half of the drift
+//! drill. A [`ShiftSchedule`] then injects distribution changes at fixed
+//! row offsets, one of the [`ShiftKind`]s the paper's drift axis cares
+//! about:
+//!
+//! * **mean shift** — every feature moves by `magnitude` per-dimension
+//!   standard deviations;
+//! * **covariance scale** — deviations from the dataset mean stretch by
+//!   `1 + magnitude`;
+//! * **cluster birth** — a `magnitude` fraction of rows comes from a
+//!   novel cluster placed outside the data's support;
+//! * **cluster death** — rows of class 0 are resampled from the other
+//!   classes (its cluster empties);
+//! * **prior shift** — class 0's sampling weight is boosted by
+//!   `1 + magnitude`, skewing the occupancy histogram.
+//!
+//! Everything is a pure function of `(base data, seed, schedule, rows
+//! drawn so far)`: two simulators built alike emit bitwise-identical
+//! streams, which is what lets drills assert exact detection windows.
+
+use crate::Dataset;
+use adec_tensor::{Matrix, SeedRng};
+
+/// The kinds of distribution shift the simulator can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShiftKind {
+    /// Global translation of every feature by `magnitude` per-dim stds.
+    MeanShift,
+    /// Deviations from the dataset mean scaled by `1 + magnitude`.
+    CovScale,
+    /// A `magnitude` fraction of rows drawn from a novel out-of-support
+    /// cluster.
+    ClusterBirth,
+    /// Class 0's rows resampled from the remaining classes.
+    ClusterDeath,
+    /// Class 0's sampling weight boosted by `1 + magnitude`.
+    PriorShift,
+}
+
+impl ShiftKind {
+    /// Every shift kind, in a fixed drill order.
+    pub const ALL: [ShiftKind; 5] = [
+        ShiftKind::MeanShift,
+        ShiftKind::CovScale,
+        ShiftKind::ClusterBirth,
+        ShiftKind::ClusterDeath,
+        ShiftKind::PriorShift,
+    ];
+
+    /// Stable lowercase name (drill artifacts and obs fields).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ShiftKind::MeanShift => "mean_shift",
+            ShiftKind::CovScale => "cov_scale",
+            ShiftKind::ClusterBirth => "cluster_birth",
+            ShiftKind::ClusterDeath => "cluster_death",
+            ShiftKind::PriorShift => "prior_shift",
+        }
+    }
+}
+
+/// One scheduled regime change: from row `at_row` onward the stream is
+/// generated under `kind` at `magnitude` until a later event replaces it.
+#[derive(Debug, Clone, Copy)]
+pub struct ShiftEvent {
+    /// First emitted-row index the shift applies to.
+    pub at_row: usize,
+    /// What changes.
+    pub kind: ShiftKind,
+    /// How hard, in the kind's own units (see [`ShiftKind`]).
+    pub magnitude: f32,
+}
+
+/// An ordered shift schedule. Empty = stationary forever.
+#[derive(Debug, Clone, Default)]
+pub struct ShiftSchedule {
+    events: Vec<ShiftEvent>,
+}
+
+impl ShiftSchedule {
+    /// A schedule with no shifts — the stationary control stream.
+    pub fn stationary() -> ShiftSchedule {
+        ShiftSchedule::default()
+    }
+
+    /// Single shift switching on at `at_row` and staying on.
+    pub fn single(at_row: usize, kind: ShiftKind, magnitude: f32) -> ShiftSchedule {
+        ShiftSchedule { events: vec![ShiftEvent { at_row, kind, magnitude }] }
+    }
+
+    /// Builds from explicit events; they are sorted by `at_row`.
+    ///
+    /// # Panics
+    /// Panics if any magnitude is non-finite or negative.
+    pub fn from_events(mut events: Vec<ShiftEvent>) -> ShiftSchedule {
+        for e in &events {
+            assert!(
+                e.magnitude.is_finite() && e.magnitude >= 0.0,
+                "shift magnitude must be finite and non-negative, got {}",
+                e.magnitude
+            );
+        }
+        events.sort_by_key(|e| e.at_row);
+        ShiftSchedule { events }
+    }
+
+    /// The event in force at emitted-row `row`, if any.
+    pub fn active_at(&self, row: usize) -> Option<&ShiftEvent> {
+        self.events.iter().rev().find(|e| e.at_row <= row)
+    }
+}
+
+/// Seeded replay of a base dataset with scheduled distribution shifts.
+/// See the module docs for semantics.
+#[derive(Debug)]
+pub struct StreamSim {
+    data: Matrix,
+    labels: Vec<usize>,
+    by_class: Vec<Vec<usize>>,
+    dim_mean: Vec<f32>,
+    dim_std: Vec<f32>,
+    schedule: ShiftSchedule,
+    rng: SeedRng,
+    emitted: usize,
+}
+
+impl StreamSim {
+    /// Builds a simulator over `data` (n×d) with per-row class `labels`
+    /// (for the class-targeted shift kinds), `n_classes` classes, and a
+    /// seed. Deterministic for identical inputs.
+    ///
+    /// # Panics
+    /// Panics on an empty dataset, a label/row count mismatch, or a
+    /// label out of range.
+    pub fn new(
+        data: &Matrix,
+        labels: &[usize],
+        n_classes: usize,
+        seed: u64,
+        schedule: ShiftSchedule,
+    ) -> StreamSim {
+        assert!(data.rows() > 0 && data.cols() > 0, "stream: empty base dataset");
+        assert_eq!(data.rows(), labels.len(), "stream: label/row count mismatch");
+        assert!(n_classes > 0, "stream: zero classes");
+        let n = data.rows();
+        let d = data.cols();
+        let mut by_class = vec![Vec::new(); n_classes];
+        for (i, &l) in labels.iter().enumerate() {
+            assert!(l < n_classes, "stream: label {l} out of range (n_classes {n_classes})");
+            by_class[l].push(i);
+        }
+        let nf = n as f32;
+        let mut dim_mean = vec![0.0f32; d];
+        for i in 0..n {
+            for (c, &v) in data.row(i).iter().enumerate() {
+                dim_mean[c] += v;
+            }
+        }
+        for m in &mut dim_mean {
+            *m /= nf;
+        }
+        let mut dim_std = vec![0.0f32; d];
+        for i in 0..n {
+            for (c, &v) in data.row(i).iter().enumerate() {
+                let dv = v - dim_mean[c];
+                dim_std[c] += dv * dv;
+            }
+        }
+        for s in &mut dim_std {
+            // Floor: a constant feature still needs a nonzero shift unit.
+            *s = (*s / nf).sqrt().max(1e-3);
+        }
+        StreamSim {
+            data: data.clone(),
+            labels: labels.to_vec(),
+            by_class,
+            dim_mean,
+            dim_std,
+            schedule,
+            rng: SeedRng::new(seed ^ 0xADEC_5717),
+            emitted: 0,
+        }
+    }
+
+    /// Convenience constructor over a generated [`Dataset`].
+    pub fn from_dataset(ds: &Dataset, seed: u64, schedule: ShiftSchedule) -> StreamSim {
+        StreamSim::new(&ds.data, &ds.labels, ds.n_classes, seed, schedule)
+    }
+
+    /// Feature dimensionality of emitted rows.
+    pub fn dim(&self) -> usize {
+        self.data.cols()
+    }
+
+    /// Rows emitted so far.
+    pub fn emitted(&self) -> usize {
+        self.emitted
+    }
+
+    /// The shift event in force for the *next* emitted row, if any.
+    pub fn active_shift(&self) -> Option<ShiftEvent> {
+        self.schedule.active_at(self.emitted).copied()
+    }
+
+    /// Emits the next `rows` stream rows as a matrix.
+    ///
+    /// # Panics
+    /// Panics when `rows == 0`.
+    pub fn next_batch(&mut self, rows: usize) -> Matrix {
+        assert!(rows > 0, "stream: zero-row batch");
+        let d = self.data.cols();
+        let mut out = Matrix::zeros(rows, d);
+        for r in 0..rows {
+            let row = self.next_row();
+            for (c, v) in row.into_iter().enumerate() {
+                out.set(r, c, v);
+            }
+        }
+        out
+    }
+
+    fn next_row(&mut self) -> Vec<f32> {
+        let shift = self.schedule.active_at(self.emitted).copied();
+        self.emitted += 1;
+        let Some(shift) = shift else {
+            return self.sample_base(None);
+        };
+        match shift.kind {
+            ShiftKind::MeanShift => {
+                let mut row = self.sample_base(None);
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v += shift.magnitude * self.dim_std[c];
+                }
+                row
+            }
+            ShiftKind::CovScale => {
+                let mut row = self.sample_base(None);
+                for (c, v) in row.iter_mut().enumerate() {
+                    *v = self.dim_mean[c] + (1.0 + shift.magnitude) * (*v - self.dim_mean[c]);
+                }
+                row
+            }
+            ShiftKind::ClusterBirth => {
+                let frac = shift.magnitude.clamp(0.0, 1.0);
+                if self.rng.uniform(0.0, 1.0) < frac {
+                    self.novel_cluster_row()
+                } else {
+                    self.sample_base(None)
+                }
+            }
+            ShiftKind::ClusterDeath => {
+                // Resample until the row is not class 0; falls back to
+                // any row if class 0 is the only populated class.
+                let alive: Vec<usize> = (0..self.by_class.len())
+                    .filter(|&c| c != 0 && !self.by_class[c].is_empty())
+                    .collect();
+                if alive.is_empty() {
+                    self.sample_base(None)
+                } else {
+                    let c = alive[self.rng.below(alive.len())];
+                    self.sample_base(Some(c))
+                }
+            }
+            ShiftKind::PriorShift => {
+                // Class 0 weight w = 1 + magnitude against 1 for the rest:
+                // pick class 0 with probability w·f0 / (w·f0 + (1 − f0)).
+                let f0 = self.by_class.first().map_or(0.0, |v| {
+                    v.len() as f32 / self.labels.len() as f32
+                });
+                let w = 1.0 + shift.magnitude;
+                let p0 = (w * f0) / (w * f0 + (1.0 - f0)).max(1e-9);
+                if self.by_class.first().is_some_and(|v| !v.is_empty())
+                    && self.rng.uniform(0.0, 1.0) < p0
+                {
+                    self.sample_base(Some(0))
+                } else {
+                    self.sample_base(None)
+                }
+            }
+        }
+    }
+
+    /// One bootstrap draw: a uniformly random base row, optionally
+    /// restricted to a class.
+    fn sample_base(&mut self, class: Option<usize>) -> Vec<f32> {
+        let idx = match class {
+            Some(c) => {
+                let members = &self.by_class[c];
+                members[self.rng.below(members.len())]
+            }
+            None => self.rng.below(self.data.rows()),
+        };
+        self.data.row(idx).to_vec()
+    }
+
+    /// A row from a synthetic cluster placed well outside the data's
+    /// support: the global mean pushed 4 per-dim stds along an
+    /// alternating-sign diagonal, with mild jitter.
+    fn novel_cluster_row(&mut self) -> Vec<f32> {
+        let d = self.data.cols();
+        let mut row = Vec::with_capacity(d);
+        for c in 0..d {
+            let sign = if c % 2 == 0 { 1.0 } else { -1.0 };
+            let center = self.dim_mean[c] + sign * 4.0 * self.dim_std[c];
+            row.push(center + self.rng.uniform(-0.25, 0.25) * self.dim_std[c]);
+        }
+        row
+    }
+}
+
+#[cfg(test)]
+// Test code: exact comparisons and unwraps are the assertions themselves.
+#[allow(clippy::unwrap_used, clippy::float_cmp, clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+    use crate::{Benchmark, Size};
+
+    fn base() -> Dataset {
+        Benchmark::Protein.generate(Size::Small, 9)
+    }
+
+    fn col_mean(m: &Matrix, c: usize) -> f32 {
+        (0..m.rows()).map(|r| m.get(r, c)).sum::<f32>() / m.rows() as f32
+    }
+
+    #[test]
+    fn stream_is_deterministic_and_stationary_rows_come_from_base() {
+        let ds = base();
+        let mut a = StreamSim::from_dataset(&ds, 5, ShiftSchedule::stationary());
+        let mut b = StreamSim::from_dataset(&ds, 5, ShiftSchedule::stationary());
+        let xa = a.next_batch(64);
+        let xb = b.next_batch(64);
+        assert_eq!(xa, xb, "same seed must replay the same stream");
+        assert_eq!(a.emitted(), 64);
+        assert!(a.active_shift().is_none());
+        // Every stationary row is literally a base row.
+        for r in 0..xa.rows() {
+            let row = xa.row(r);
+            assert!(
+                (0..ds.data.rows()).any(|i| ds.data.row(i) == row),
+                "stationary row {r} is not a base dataset row"
+            );
+        }
+        // A different seed draws a different resample.
+        let mut c = StreamSim::from_dataset(&ds, 6, ShiftSchedule::stationary());
+        assert_ne!(c.next_batch(64), xa);
+    }
+
+    #[test]
+    fn mean_shift_moves_every_dimension() {
+        let ds = base();
+        let sched = ShiftSchedule::single(0, ShiftKind::MeanShift, 2.0);
+        let mut sim = StreamSim::from_dataset(&ds, 7, sched);
+        let shifted = sim.next_batch(256);
+        let mut moved = 0;
+        for c in 0..ds.dim() {
+            let base_mean = col_mean(&ds.data, c);
+            let got = col_mean(&shifted, c);
+            if (got - base_mean).abs() > 0.5 * 2.0 {
+                moved += 1;
+            }
+        }
+        // With the per-dim std floor some constant-ish dims move less in
+        // absolute terms; most dimensions must clearly move.
+        assert!(moved * 2 > ds.dim(), "only {moved}/{} dims moved", ds.dim());
+        assert_eq!(sim.active_shift().unwrap().kind, ShiftKind::MeanShift);
+    }
+
+    #[test]
+    fn cov_scale_stretches_variance_without_moving_the_mean_far() {
+        let ds = base();
+        let mut sim =
+            StreamSim::from_dataset(&ds, 8, ShiftSchedule::single(0, ShiftKind::CovScale, 1.0));
+        let x = sim.next_batch(512);
+        let c = 0;
+        let base_m = col_mean(&ds.data, c);
+        let m = col_mean(&x, c);
+        let var: f32 = (0..x.rows()).map(|r| (x.get(r, c) - m).powi(2)).sum::<f32>()
+            / x.rows() as f32;
+        let base_var: f32 = (0..ds.data.rows())
+            .map(|r| (ds.data.get(r, c) - base_m).powi(2))
+            .sum::<f32>()
+            / ds.data.rows() as f32;
+        assert!(var > 2.0 * base_var, "variance not stretched: {var} vs {base_var}");
+    }
+
+    #[test]
+    fn cluster_death_emits_no_class_zero_rows() {
+        let ds = base();
+        let mut sim =
+            StreamSim::from_dataset(&ds, 9, ShiftSchedule::single(0, ShiftKind::ClusterDeath, 1.0));
+        let x = sim.next_batch(256);
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let idx = (0..ds.data.rows()).find(|&i| ds.data.row(i) == row).unwrap();
+            assert_ne!(ds.labels[idx], 0, "dead class leaked at stream row {r}");
+        }
+    }
+
+    #[test]
+    fn cluster_birth_rows_leave_the_data_support() {
+        let ds = base();
+        let mut sim = StreamSim::from_dataset(
+            &ds,
+            10,
+            ShiftSchedule::single(0, ShiftKind::ClusterBirth, 1.0),
+        );
+        let x = sim.next_batch(64);
+        // Magnitude 1.0 ⇒ every row is novel; none matches a base row.
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            assert!(
+                (0..ds.data.rows()).all(|i| ds.data.row(i) != row),
+                "novel-cluster row {r} collided with the base data"
+            );
+        }
+    }
+
+    #[test]
+    fn prior_shift_overrepresents_class_zero() {
+        let ds = base();
+        let mut sim = StreamSim::from_dataset(
+            &ds,
+            11,
+            ShiftSchedule::single(0, ShiftKind::PriorShift, 8.0),
+        );
+        let x = sim.next_batch(512);
+        let mut zero = 0usize;
+        for r in 0..x.rows() {
+            let row = x.row(r);
+            let idx = (0..ds.data.rows()).find(|&i| ds.data.row(i) == row).unwrap();
+            if ds.labels[idx] == 0 {
+                zero += 1;
+            }
+        }
+        let base_f0 =
+            ds.labels.iter().filter(|&&l| l == 0).count() as f32 / ds.labels.len() as f32;
+        let got = zero as f32 / x.rows() as f32;
+        assert!(
+            got > 1.5 * base_f0,
+            "class 0 share {got} not boosted over base {base_f0}"
+        );
+    }
+
+    #[test]
+    fn schedule_switches_at_the_scheduled_row() {
+        let ds = base();
+        let sched = ShiftSchedule::from_events(vec![ShiftEvent {
+            at_row: 128,
+            kind: ShiftKind::MeanShift,
+            magnitude: 3.0,
+        }]);
+        let mut sim = StreamSim::from_dataset(&ds, 12, sched);
+        assert!(sim.active_shift().is_none());
+        let pre = sim.next_batch(128);
+        assert_eq!(sim.active_shift().unwrap().at_row, 128);
+        let post = sim.next_batch(128);
+        // Pre-shift rows are base rows; post-shift rows are not.
+        assert!((0..ds.data.rows()).any(|i| ds.data.row(i) == pre.row(0)));
+        assert!((0..ds.data.rows()).all(|i| ds.data.row(i) != post.row(0)));
+    }
+
+    #[test]
+    #[should_panic(expected = "label/row count mismatch")]
+    fn mismatched_labels_are_rejected() {
+        let ds = base();
+        let _ = StreamSim::new(&ds.data, &ds.labels[..10], ds.n_classes, 1, ShiftSchedule::stationary());
+    }
+}

@@ -37,6 +37,7 @@ fn sample_model(seed: u64) -> InferenceModel {
         store,
         opts: vec![],
         extra: vec![],
+        profile: None,
     };
     InferenceModel::from_checkpoint(&ck, 1.0).unwrap()
 }

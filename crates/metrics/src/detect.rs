@@ -1,0 +1,346 @@
+//! Sequential change detectors for the drift sentinel.
+//!
+//! The serve-side sentinel reduces each traffic window to a handful of
+//! *standardized drift signals* — values calibrated to sit near 0 (well
+//! under the allowance) while the live stream matches the training-time
+//! reference profile, and to grow roughly linearly with the size of a
+//! distribution shift. This module
+//! owns the pure sequential tests run over those signals, so the math is
+//! testable without a server:
+//!
+//! * [`Cusum`] — one-sided cumulative-sum test `s ← max(0, s + x − k)`,
+//!   alarming at `s ≥ h`. With a post-shift signal level `x̄ > k` the
+//!   detection delay is at most `ceil(h / (x̄ − k))` windows, which is the
+//!   bound the drift drill asserts.
+//! * [`PageHinkley`] — the classic mean-shift test over a raw (not
+//!   pre-standardized) series; used by tests as an independent
+//!   cross-check of the CUSUM verdicts.
+//!
+//! Both detectors are deterministic, allocation-free state machines; all
+//! f32 state is kept finite by construction (non-finite inputs are
+//! treated as "no evidence" rather than poisoning the score).
+
+/// Default CUSUM allowance (`k`): how much a standardized signal may
+/// exceed its stationary level per window before evidence accumulates.
+pub const DEFAULT_ALLOWANCE: f32 = 2.5;
+/// Default CUSUM threshold (`h`): accumulated evidence required to alarm.
+pub const DEFAULT_THRESHOLD: f32 = 5.0;
+
+/// One-sided CUSUM detector: `s ← max(0, s + x − k)`, alarm at `s ≥ h`.
+///
+/// The signal convention is "bigger means more drifted, ≈0 when
+/// stationary"; negative evidence decays the score back toward 0, so a
+/// transient blip self-heals instead of latching (latching/hysteresis is
+/// the caller's policy, not the detector's).
+#[derive(Debug, Clone)]
+pub struct Cusum {
+    allowance: f32,
+    threshold: f32,
+    score: f32,
+}
+
+impl Cusum {
+    /// Creates a detector with the given allowance `k` and threshold `h`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ k`, `0 < h`, and both are finite.
+    pub fn new(allowance: f32, threshold: f32) -> Cusum {
+        assert!(
+            allowance >= 0.0 && allowance.is_finite(),
+            "Cusum: allowance must be finite and non-negative, got {allowance}"
+        );
+        assert!(
+            threshold > 0.0 && threshold.is_finite(),
+            "Cusum: threshold must be finite and positive, got {threshold}"
+        );
+        Cusum { allowance, threshold, score: 0.0 }
+    }
+
+    /// Detector with the workspace defaults (`k = 2.5`, `h = 5.0`).
+    pub fn with_defaults() -> Cusum {
+        Cusum::new(DEFAULT_ALLOWANCE, DEFAULT_THRESHOLD)
+    }
+
+    /// Feeds one window's signal; returns `true` while `score ≥ h`.
+    /// Non-finite inputs contribute no evidence (the score is unchanged).
+    pub fn update(&mut self, x: f32) -> bool {
+        if x.is_finite() {
+            self.score = (self.score + x - self.allowance).max(0.0);
+            // Cap so a pathological burst cannot take unboundedly many
+            // quiet windows to decay back below threshold.
+            self.score = self.score.min(self.threshold * 16.0);
+        }
+        self.alarmed()
+    }
+
+    /// Current accumulated evidence (`≥ 0`).
+    pub fn score(&self) -> f32 {
+        self.score
+    }
+
+    /// True while the accumulated evidence is at or above the threshold.
+    pub fn alarmed(&self) -> bool {
+        self.score >= self.threshold
+    }
+
+    /// Severity as a fraction of the threshold: 0 when quiet, ≥1 while
+    /// alarmed.
+    pub fn severity(&self) -> f32 {
+        self.score / self.threshold
+    }
+
+    /// Drops all accumulated evidence (e.g. after a profile swap).
+    pub fn reset(&mut self) {
+        self.score = 0.0;
+    }
+
+    /// Worst-case detection delay, in windows, for a sustained post-shift
+    /// signal level `signal`: `ceil(h / (signal − k))`. `None` when the
+    /// level does not exceed the allowance (such a shift is undetectable
+    /// by this test).
+    pub fn detection_bound(&self, signal: f32) -> Option<u32> {
+        let gain = signal - self.allowance;
+        if !gain.is_finite() || gain <= 0.0 {
+            return None;
+        }
+        Some((self.threshold / gain).ceil() as u32)
+    }
+}
+
+/// Page-Hinkley mean-increase test over a raw series: tracks the running
+/// mean, accumulates `m_t = Σ (x_i − mean_i − δ)`, and alarms when
+/// `m_t − min(m_t) ≥ λ`.
+#[derive(Debug, Clone)]
+pub struct PageHinkley {
+    delta: f32,
+    lambda: f32,
+    count: u64,
+    mean: f32,
+    m_t: f32,
+    m_min: f32,
+}
+
+impl PageHinkley {
+    /// Creates a detector with magnitude tolerance `delta` and alarm
+    /// threshold `lambda`.
+    ///
+    /// # Panics
+    /// Panics unless `0 ≤ delta`, `0 < lambda`, and both are finite.
+    pub fn new(delta: f32, lambda: f32) -> PageHinkley {
+        assert!(
+            delta >= 0.0 && delta.is_finite(),
+            "PageHinkley: delta must be finite and non-negative, got {delta}"
+        );
+        assert!(
+            lambda > 0.0 && lambda.is_finite(),
+            "PageHinkley: lambda must be finite and positive, got {lambda}"
+        );
+        PageHinkley { delta, lambda, count: 0, mean: 0.0, m_t: 0.0, m_min: 0.0 }
+    }
+
+    /// Feeds one observation; returns `true` once the cumulative
+    /// deviation exceeds `lambda`. Non-finite inputs are ignored.
+    pub fn update(&mut self, x: f32) -> bool {
+        if x.is_finite() {
+            self.count += 1;
+            // Incremental running mean over everything seen so far.
+            self.mean += (x - self.mean) / self.count as f32;
+            self.m_t += x - self.mean - self.delta;
+            self.m_min = self.m_min.min(self.m_t);
+        }
+        self.alarmed()
+    }
+
+    /// True once the deviation statistic has crossed `lambda`.
+    pub fn alarmed(&self) -> bool {
+        self.count > 0 && self.m_t - self.m_min >= self.lambda
+    }
+
+    /// Current deviation statistic `m_t − min(m_t)` (`≥ 0`).
+    pub fn statistic(&self) -> f32 {
+        (self.m_t - self.m_min).max(0.0)
+    }
+
+    /// Forgets all history.
+    pub fn reset(&mut self) {
+        self.count = 0;
+        self.mean = 0.0;
+        self.m_t = 0.0;
+        self.m_min = 0.0;
+    }
+}
+
+/// Mean and (population) standard deviation of a slice in one pass.
+/// Building block for window summaries; f64 accumulation so long windows
+/// do not lose precision.
+///
+/// # Panics
+/// Panics on an empty slice.
+pub fn mean_std(xs: &[f32]) -> (f32, f32) {
+    assert!(!xs.is_empty(), "mean_std: empty slice");
+    let n = xs.len() as f64;
+    let mean: f64 = xs.iter().map(|&v| f64::from(v)).sum::<f64>() / n;
+    let var: f64 = xs.iter().map(|&v| (f64::from(v) - mean).powi(2)).sum::<f64>() / n;
+    (mean as f32, var.sqrt() as f32)
+}
+
+/// Standardizes an observed window mean against a reference `(mean, std)`
+/// with `n` samples in the window: `|x̄ − μ| / (σ / √n)`, floored so a
+/// degenerate reference (σ ≈ 0) cannot divide to infinity. Non-finite
+/// inputs yield 0 (no evidence).
+pub fn standardized_shift(observed_mean: f32, ref_mean: f32, ref_std: f32, n: usize) -> f32 {
+    assert!(n > 0, "standardized_shift: empty window");
+    let se = (f64::from(ref_std.max(1e-6)) / (n as f64).sqrt()).max(1e-9);
+    let z = (f64::from(observed_mean) - f64::from(ref_mean)).abs() / se;
+    if !z.is_finite() {
+        return 0.0;
+    }
+    // Clamp: one absurd window must not instantly saturate the CUSUM.
+    z.min(1e4) as f32
+}
+
+#[cfg(test)]
+// Test code: exact float comparisons and unwraps are the assertions
+// themselves here.
+#[allow(clippy::unwrap_used, clippy::expect_used, clippy::float_cmp)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cusum_stays_quiet_below_allowance() {
+        let mut c = Cusum::with_defaults();
+        for _ in 0..10_000 {
+            assert!(!c.update(2.0), "sub-allowance signal must never alarm");
+        }
+        assert_eq!(c.score(), 0.0, "score decays to zero between windows");
+    }
+
+    #[test]
+    fn cusum_alarm_within_documented_bound() {
+        let mut c = Cusum::with_defaults();
+        let signal = 5.0;
+        let bound = c.detection_bound(signal).unwrap();
+        assert_eq!(bound, 2); // ceil(5 / (5 - 2.5))
+        let mut fired_at = None;
+        for i in 0..bound {
+            if c.update(signal) {
+                fired_at = Some(i + 1);
+                break;
+            }
+        }
+        assert_eq!(fired_at, Some(2), "alarm must land within the bound");
+        assert!(c.severity() >= 1.0);
+    }
+
+    #[test]
+    fn cusum_recovers_after_signal_subsides() {
+        let mut c = Cusum::new(1.0, 3.0);
+        for _ in 0..5 {
+            c.update(4.0);
+        }
+        assert!(c.alarmed());
+        let mut quiet = 0;
+        while c.alarmed() {
+            c.update(0.0);
+            quiet += 1;
+            assert!(quiet < 100, "alarm must clear under a quiet stream");
+        }
+        assert!(!c.alarmed());
+        c.reset();
+        assert_eq!(c.score(), 0.0);
+    }
+
+    #[test]
+    fn cusum_score_is_capped() {
+        let mut c = Cusum::new(0.0, 1.0);
+        for _ in 0..1_000 {
+            c.update(1.0e9);
+        }
+        assert!(c.score() <= 16.0, "burst cap missing: {}", c.score());
+    }
+
+    #[test]
+    fn cusum_ignores_non_finite_evidence() {
+        let mut c = Cusum::with_defaults();
+        c.update(f32::NAN);
+        c.update(f32::INFINITY);
+        assert_eq!(c.score(), 0.0);
+        assert!(!c.alarmed());
+    }
+
+    #[test]
+    fn cusum_detection_bound_edge_cases() {
+        let c = Cusum::with_defaults();
+        assert_eq!(c.detection_bound(2.5), None, "at-allowance is undetectable");
+        assert_eq!(c.detection_bound(f32::NAN), None);
+        assert_eq!(c.detection_bound(7.5), Some(1));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold must be finite and positive")]
+    fn cusum_rejects_bad_threshold() {
+        let _ = Cusum::new(1.0, 0.0);
+    }
+
+    #[test]
+    fn page_hinkley_quiet_on_stationary_noisy_series() {
+        let mut ph = PageHinkley::new(0.05, 10.0);
+        // Deterministic zero-mean oscillation.
+        for i in 0..5_000u32 {
+            let x = if i % 2 == 0 { 0.5 } else { -0.5 };
+            assert!(!ph.update(x), "stationary series alarmed at i={i}");
+        }
+    }
+
+    #[test]
+    fn page_hinkley_detects_mean_increase() {
+        let mut ph = PageHinkley::new(0.05, 5.0);
+        for i in 0..200u32 {
+            let x = if i % 2 == 0 { 0.5 } else { -0.5 };
+            ph.update(x);
+        }
+        let mut fired = None;
+        for i in 0..200u32 {
+            if ph.update(1.0) {
+                fired = Some(i);
+                break;
+            }
+        }
+        let at = fired.expect("sustained +1 shift must alarm");
+        assert!(at < 50, "detection too slow: {at} steps");
+        ph.reset();
+        assert!(!ph.alarmed());
+        assert_eq!(ph.statistic(), 0.0);
+    }
+
+    #[test]
+    fn page_hinkley_ignores_non_finite() {
+        let mut ph = PageHinkley::new(0.0, 1.0);
+        ph.update(f32::NAN);
+        assert!(!ph.alarmed());
+        assert_eq!(ph.statistic(), 0.0);
+    }
+
+    #[test]
+    fn mean_std_matches_hand_computation() {
+        let (m, s) = mean_std(&[1.0, 2.0, 3.0, 4.0]);
+        assert!((m - 2.5).abs() < 1e-6);
+        assert!((s - 1.118_034).abs() < 1e-5);
+        let (m0, s0) = mean_std(&[7.0]);
+        assert_eq!(m0, 7.0);
+        assert_eq!(s0, 0.0);
+    }
+
+    #[test]
+    fn standardized_shift_calibration() {
+        // Matching means → 0 evidence; a 3-sigma-of-the-mean shift → ≈3.
+        assert_eq!(standardized_shift(0.0, 0.0, 1.0, 64), 0.0);
+        let z = standardized_shift(0.375, 0.0, 1.0, 64);
+        assert!((z - 3.0).abs() < 1e-4, "z = {z}");
+        // Degenerate reference std is floored, not a division blow-up.
+        let z = standardized_shift(1.0, 0.0, 0.0, 16);
+        assert!(z.is_finite() && z <= 1e4);
+        // Non-finite observation is no evidence.
+        assert_eq!(standardized_shift(f32::NAN, 0.0, 1.0, 8), 0.0);
+    }
+}

@@ -8,6 +8,8 @@
 //! * [`ari`], [`purity`] — additional standard diagnostics.
 //! * [`tradeoff`] — the paper's Δ_FR (eq. 5) and Δ_FD (eq. 6) gradient
 //!   cosines characterizing Feature Randomness and Feature Drift.
+//! * [`detect`] — sequential change detectors (CUSUM, Page-Hinkley) the
+//!   serve-side drift sentinel runs over live-traffic statistics.
 
 // Indexing in these numeric routines is bounded by the shapes and
 // counts established at the top of each function; checked access
@@ -16,11 +18,13 @@
 #![warn(missing_docs)]
 
 pub mod contingency;
+pub mod detect;
 pub mod hungarian;
 pub mod silhouette;
 pub mod tradeoff;
 
 pub use contingency::Contingency;
+pub use detect::{Cusum, PageHinkley};
 pub use hungarian::hungarian_min_cost;
 pub use silhouette::mean_silhouette;
 pub use tradeoff::{delta_fd, delta_fr, gradient_cosine};

@@ -17,7 +17,9 @@
 use adec_tensor::Matrix;
 
 /// Cosine similarity between two gradient sets, flattening every matrix in
-/// order. Returns 0 if either gradient is numerically zero.
+/// order. Returns 0 if either gradient is numerically zero or contains
+/// non-finite values (a diverged training step must not poison the trace
+/// with NaN), and always lands in `[-1, 1]`.
 ///
 /// # Panics
 /// Panics if the lists differ in length or any pair differs in shape.
@@ -35,10 +37,13 @@ pub fn gradient_cosine(a: &[Matrix], b: &[Matrix]) -> f32 {
         }
     }
     let denom = na.sqrt() * nb.sqrt();
-    if denom <= 1e-24 {
+    // `denom <= eps` is *false* for NaN, so the non-finite check must be
+    // explicit: a NaN/Inf gradient entry turns the accumulators into
+    // NaN/Inf and both the old guard and the division would pass it on.
+    if !denom.is_finite() || !dot.is_finite() || denom <= 1e-24 {
         return 0.0;
     }
-    (dot / denom) as f32
+    ((dot / denom).clamp(-1.0, 1.0)) as f32
 }
 
 /// Δ_FR (paper eq. 5): cosine between the pseudo-supervised gradient and
@@ -89,6 +94,29 @@ mod tests {
         let a = vec![m(&[0.0, 0.0])];
         let b = vec![m(&[1.0, 1.0])];
         assert_eq!(gradient_cosine(&a, &b), 0.0);
+    }
+
+    #[test]
+    fn non_finite_gradients_yield_zero_not_nan() {
+        let nan = vec![m(&[f32::NAN, 1.0])];
+        let inf = vec![m(&[f32::INFINITY, 1.0])];
+        let ok = vec![m(&[1.0, 1.0])];
+        assert_eq!(gradient_cosine(&nan, &ok), 0.0);
+        assert_eq!(gradient_cosine(&ok, &nan), 0.0);
+        assert_eq!(gradient_cosine(&inf, &ok), 0.0);
+        assert_eq!(gradient_cosine(&inf, &inf), 0.0);
+        assert_eq!(delta_fr(&nan, &ok), 0.0);
+        assert_eq!(delta_fd(&ok, &inf), 0.0);
+    }
+
+    #[test]
+    fn huge_parallel_gradients_clamp_into_unit_interval() {
+        // f32 rounding on (dot/denom) can overshoot ±1 by an ulp; the
+        // clamp pins the contract.
+        let a = vec![m(&[3.0e18, -1.0e18, 7.0e17])];
+        let c = gradient_cosine(&a, &a);
+        assert!(c.is_finite() && (-1.0..=1.0).contains(&c));
+        assert!((c - 1.0).abs() < 1e-6);
     }
 
     #[test]

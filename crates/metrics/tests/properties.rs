@@ -183,3 +183,32 @@ fn tradeoff_cosines_sign_and_range() {
     let z = vec![Matrix::zeros(2, 2)];
     assert_eq!(delta_fd(&z, &z), 0.0);
 }
+
+#[test]
+fn tradeoff_cosines_are_total_over_pathological_stacks() {
+    // A diverged training step hands the trade-off metrics NaN/Inf
+    // gradients; the contract is "a defined value in [-1, 1]", never NaN.
+    let ok = vec![Matrix::from_vec(1, 3, vec![1.0, -2.0, 0.5])];
+    let pathological = [
+        vec![Matrix::from_vec(1, 3, vec![f32::NAN, 0.0, 0.0])],
+        vec![Matrix::from_vec(1, 3, vec![f32::INFINITY, 1.0, 1.0])],
+        vec![Matrix::from_vec(1, 3, vec![f32::NEG_INFINITY, f32::NAN, 1.0])],
+        vec![Matrix::zeros(1, 3)],
+    ];
+    for bad in &pathological {
+        for v in [
+            delta_fr(bad, &ok),
+            delta_fr(&ok, bad),
+            delta_fd(bad, &ok),
+            delta_fd(bad, bad),
+        ] {
+            assert!(v.is_finite(), "cosine must be finite, got {v}");
+            assert_eq!(v, 0.0, "degenerate stacks are defined as 0");
+        }
+    }
+
+    // Subnormal-scale but finite gradients still produce a bounded value.
+    let tiny = vec![Matrix::from_vec(1, 3, vec![1.0e-30, -1.0e-30, 1.0e-30])];
+    let v = delta_fr(&tiny, &tiny);
+    assert!((-1.0..=1.0).contains(&v), "tiny-norm cosine {v} out of bounds");
+}

@@ -28,7 +28,18 @@
 //!               slot table = u32 count, then per slot u8 present and, if
 //!               present, u32 rows, u32 cols, f32 × n data
 //!   u32         extra word count, then u64 × n trainer-specific words
+//!   [optional]  reference-profile section (absent in pre-profile and
+//!               pretraining checkpoints; decodes to `profile: None`):
+//!                 b"PROF", u8 section version (1), u64 rows,
+//!                 u32 d,  f32 × d latent mean, f32 × d latent variance,
+//!                 f32 × 4 entropy mean/std, confidence mean/std,
+//!                 u32 nq, f32 × nq nearest-centroid distance quantiles,
+//!                 u32 k,  f32 × k cluster-occupancy fractions
 //! ```
+//!
+//! The profile section is strictly append-only: a checkpoint whose
+//! `profile` is `None` encodes byte-identically to the pre-profile
+//! format, which keeps the bitwise resume/`cmp` contracts intact.
 //!
 //! Writes are atomic (temp file in the same directory, then rename), so a
 //! crash mid-write leaves either the previous checkpoint or none — never
@@ -38,12 +49,19 @@
 
 use crate::io::{read_store, write_store};
 use crate::optim::{Adam, AdamState, Sgd, SgdState};
+use crate::profile::{ReferenceProfile, DISTANCE_QUANTILES};
 use crate::store::ParamStore;
 use adec_tensor::{Matrix, RngState};
 use std::io::{self, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"ADECCKP1";
+
+/// Marker opening the optional trailing reference-profile section.
+const PROFILE_MAGIC: &[u8; 4] = b"PROF";
+
+/// Version byte of the profile section layout.
+const PROFILE_SECTION_VERSION: u8 = 1;
 
 /// Current checkpoint format version; bumped on any layout change.
 pub const FORMAT_VERSION: u32 = 1;
@@ -257,6 +275,12 @@ pub struct Checkpoint {
     /// Trainer-specific loop state (previous assignments, counts, …)
     /// encoded as words by the trainer that owns the phase.
     pub extra: Vec<u64>,
+    /// Training-time statistical fingerprint for the serve-side drift
+    /// sentinel. `None` for pretraining checkpoints, mid-run rolling
+    /// checkpoints, and anything written before the section existed;
+    /// such checkpoints encode byte-identically to the pre-profile
+    /// format.
+    pub profile: Option<ReferenceProfile>,
 }
 
 impl Checkpoint {
@@ -317,6 +341,12 @@ impl Checkpoint {
         p.extend_from_slice(&(self.extra.len() as u32).to_le_bytes()); // lint:allow(as-narrowing)
         for w in &self.extra {
             p.extend_from_slice(&w.to_le_bytes());
+        }
+        if let Some(profile) = &self.profile {
+            profile
+                .validate()
+                .map_err(|e| malformed(format!("refusing to encode invalid profile: {e}")))?;
+            write_profile(&mut p, profile);
         }
         Ok(p)
     }
@@ -426,6 +456,9 @@ impl Checkpoint {
         for _ in 0..n_extra {
             extra.push(cur.u64()?);
         }
+        // Optional trailing section: the cursor ending exactly here is the
+        // pre-profile format; anything else must be a whole profile.
+        let profile = if cur.done() { None } else { Some(read_profile(&mut cur)?) };
         if !cur.done() {
             return Err(malformed("trailing bytes inside payload"));
         }
@@ -436,6 +469,7 @@ impl Checkpoint {
             store,
             opts,
             extra,
+            profile,
         })
     }
 
@@ -595,6 +629,80 @@ fn write_slots(out: &mut Vec<u8>, slots: &[Option<Matrix>]) {
     }
 }
 
+fn write_f32s(out: &mut Vec<u8>, values: &[f32]) {
+    // Profile vectors are latent-dim / cluster-count sized, far below 2^32.
+    out.extend_from_slice(&(values.len() as u32).to_le_bytes()); // lint:allow(as-narrowing)
+    for &v in values {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+fn read_f32s(cur: &mut Cursor<'_>, what: &str, max: usize) -> Result<Vec<f32>, CheckpointError> {
+    let n = cur.u32()? as usize;
+    if n > max {
+        return Err(malformed(format!("profile {what} length implausibly large")));
+    }
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(cur.f32()?);
+    }
+    Ok(out)
+}
+
+fn write_profile(out: &mut Vec<u8>, profile: &ReferenceProfile) {
+    out.extend_from_slice(PROFILE_MAGIC);
+    out.push(PROFILE_SECTION_VERSION);
+    out.extend_from_slice(&profile.rows.to_le_bytes());
+    write_f32s(out, &profile.latent_mean);
+    write_f32s(out, &profile.latent_var);
+    for v in [
+        profile.entropy_mean,
+        profile.entropy_std,
+        profile.confidence_mean,
+        profile.confidence_std,
+    ] {
+        out.extend_from_slice(&v.to_le_bytes());
+    }
+    write_f32s(out, &profile.distance_quantiles);
+    write_f32s(out, &profile.occupancy);
+}
+
+fn read_profile(cur: &mut Cursor<'_>) -> Result<ReferenceProfile, CheckpointError> {
+    let magic = cur.take(PROFILE_MAGIC.len())?;
+    if magic != PROFILE_MAGIC {
+        return Err(malformed("unrecognized trailing section (expected profile magic)"));
+    }
+    let version = cur.u8()?;
+    if version != PROFILE_SECTION_VERSION {
+        return Err(malformed(format!(
+            "profile section version {version} unsupported \
+             (this build reads {PROFILE_SECTION_VERSION})"
+        )));
+    }
+    let rows = cur.u64()?;
+    let latent_mean = read_f32s(cur, "latent mean", 1 << 20)?;
+    let latent_var = read_f32s(cur, "latent variance", 1 << 20)?;
+    let entropy_mean = cur.f32()?;
+    let entropy_std = cur.f32()?;
+    let confidence_mean = cur.f32()?;
+    let confidence_std = cur.f32()?;
+    let distance_quantiles = read_f32s(cur, "distance quantiles", DISTANCE_QUANTILES.len())?;
+    let occupancy = read_f32s(cur, "occupancy", 1 << 20)?;
+    let profile = ReferenceProfile {
+        rows,
+        latent_mean,
+        latent_var,
+        entropy_mean,
+        entropy_std,
+        confidence_mean,
+        confidence_std,
+        distance_quantiles,
+        occupancy,
+    };
+    profile.validate().map_err(|e| malformed(format!("invalid profile section: {e}")))?;
+    Ok(profile)
+}
+
 fn read_slots(cur: &mut Cursor<'_>) -> Result<Vec<Option<Matrix>>, CheckpointError> {
     let n = cur.u32()? as usize;
     if n > 1 << 20 {
@@ -701,7 +809,16 @@ mod tests {
             store,
             opts: vec![OptState::capture_sgd(&sgd), OptState::capture_adam(&adam)],
             extra: vec![7, u64::MAX, 0],
+            profile: None,
         }
+    }
+
+    fn sample_profile() -> ReferenceProfile {
+        let mut rng = SeedRng::new(21);
+        let z = Matrix::randn(32, 3, 0.0, 1.0, &mut rng);
+        let mu = Matrix::randn(2, 3, 0.0, 1.0, &mut rng);
+        let q = crate::loss::soft_assignment(&z, &mu, 1.0);
+        ReferenceProfile::compute(&z, &q, &mu)
     }
 
     fn assert_checkpoints_equal(a: &Checkpoint, b: &Checkpoint) {
@@ -896,6 +1013,96 @@ mod tests {
             Err(CheckpointError::Malformed(_))
         ));
         assert!(matches!(ck.opt(9), Err(CheckpointError::Malformed(_))));
+    }
+
+    #[test]
+    fn profile_section_round_trips() {
+        let mut ck = sample_checkpoint();
+        ck.profile = Some(sample_profile());
+        let bytes = ck.encode().unwrap();
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert_eq!(back.profile, ck.profile);
+        assert_checkpoints_equal(&ck, &back);
+        // The section is a few hundred bytes, not a second store.
+        let without = sample_checkpoint().encode().unwrap();
+        let overhead = bytes.len() - without.len();
+        assert!(overhead < 256, "profile section unexpectedly large: {overhead} bytes");
+    }
+
+    #[test]
+    fn profileless_checkpoints_keep_the_pre_profile_byte_format() {
+        // The bitwise-resume contract compares checkpoint files with
+        // `cmp`; a `None` profile must add zero bytes.
+        let ck = sample_checkpoint();
+        let bytes = ck.encode().unwrap();
+        let mut with = ck.clone();
+        with.profile = Some(sample_profile());
+        let with_bytes = with.encode().unwrap();
+        assert!(with_bytes.len() > bytes.len());
+        // The profile is strictly appended: the payloads share the whole
+        // pre-profile prefix (only the header's length/CRC differ).
+        assert_eq!(
+            &with_bytes[HEADER_LEN..bytes.len()],
+            &bytes[HEADER_LEN..],
+            "profile section must not perturb earlier payload bytes"
+        );
+        // Decoding pre-profile bytes yields None and re-encodes
+        // byte-identically (a pure load→save cycle is lossless).
+        let back = Checkpoint::decode(&bytes).unwrap();
+        assert!(back.profile.is_none());
+        assert_eq!(back.encode().unwrap(), bytes);
+    }
+
+    #[test]
+    fn corrupt_profile_sections_are_rejected() {
+        let mut ck = sample_checkpoint();
+        ck.profile = Some(sample_profile());
+        let good = ck.encode().unwrap();
+
+        // Unknown trailing-section magic.
+        let pos = good.windows(4).rposition(|w| w == b"PROF").unwrap();
+        let mut bad = good.clone();
+        bad[pos] = b'X';
+        assert!(reseal_checksum(&mut bad));
+        match Checkpoint::decode(&bad) {
+            Err(CheckpointError::Malformed(msg)) => {
+                assert!(msg.contains("trailing section"), "{msg}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+
+        // Foreign section version.
+        let mut bad = good.clone();
+        bad[pos + 4] = 9;
+        assert!(reseal_checksum(&mut bad));
+        match Checkpoint::decode(&bad) {
+            Err(CheckpointError::Malformed(msg)) => {
+                assert!(msg.contains("profile section version 9"), "{msg}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+
+        // Truncated mid-section.
+        let cut = &good[..good.len() - 3];
+        assert!(matches!(Checkpoint::decode(cut), Err(CheckpointError::Truncated)));
+
+        // Structurally invalid statistics (zero rows) fail validation.
+        let mut zero_rows = good.clone();
+        zero_rows[pos + 5..pos + 13].fill(0);
+        assert!(reseal_checksum(&mut zero_rows));
+        match Checkpoint::decode(&zero_rows) {
+            Err(CheckpointError::Malformed(msg)) => {
+                assert!(msg.contains("invalid profile section"), "{msg}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+
+        // Encoding an invalid profile is refused up front.
+        let mut broken = ck.clone();
+        if let Some(p) = &mut broken.profile {
+            p.entropy_mean = f32::NAN;
+        }
+        assert!(matches!(broken.encode(), Err(CheckpointError::Malformed(_))));
     }
 
     #[test]

@@ -51,10 +51,12 @@ pub mod io;
 pub mod layers;
 pub mod loss;
 pub mod optim;
+pub mod profile;
 pub mod store;
 pub mod tape;
 
 pub use checkpoint::{Checkpoint, CheckpointError, OptState};
+pub use profile::ReferenceProfile;
 pub use grad_check::numeric_grad;
 pub use layers::{Activation, Dense, Mlp};
 pub use loss::{hard_labels, kl_divergence, soft_assignment, target_distribution};

@@ -30,6 +30,7 @@ fn make_checkpoint() -> (Checkpoint, ParamStore) {
         store: store.clone(),
         opts: vec![],
         extra: vec![9, 8, 7],
+        profile: None,
     };
     (ck, store)
 }

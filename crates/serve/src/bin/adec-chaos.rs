@@ -9,11 +9,20 @@
 //! running with `--replicas >= 2` and its `--checkpoint` at the reload
 //! path.
 //!
+//! With `--drift --reload-path <P> --refit-checkpoint <P>` the drift
+//! drill runs *instead of* the hostile-input drill (hostile traffic would
+//! contaminate the sentinel's first window): stationary no-false-alarm,
+//! bounded detection of a mean shift, the mitigation ladder, and recovery
+//! via a refit-checkpoint hot reload. `--dataset`/`--data-size`/
+//! `--data-seed` must name the distribution the server's checkpoint was
+//! trained on, and `--drift-window` must match the server's.
+//!
 //! Exit codes: 0 = every scenario passed, 1 = a scenario failed,
 //! 2 = usage error. With `--shutdown`, the drill finishes by POSTing
 //! `/shutdown` and verifying the server drains (connection refused soon
 //! after) — CI then asserts the *server* exited 0.
 
+use adec_datagen::{Benchmark, Size};
 use adec_serve::chaos;
 use std::net::{Ipv4Addr, SocketAddr, TcpStream};
 use std::time::{Duration, Instant};
@@ -28,6 +37,34 @@ struct Args {
     reload_path: Option<String>,
     alt_checkpoint: Option<String>,
     wedge_budget_ms: u64,
+    drift: bool,
+    refit_checkpoint: Option<String>,
+    drift_window: usize,
+    max_windows: usize,
+    dataset: String,
+    data_size: String,
+    data_seed: u64,
+}
+
+/// Maps the CLI's dataset/size names (the same ones `adec --dataset` and
+/// `--size` accept) to generator inputs.
+fn parse_data_spec(dataset: &str, size: &str) -> Result<(Benchmark, Size), String> {
+    let bench = match dataset {
+        "digits-full" | "mnist-full" => Benchmark::DigitsFull,
+        "digits-test" | "mnist-test" => Benchmark::DigitsTest,
+        "usps" => Benchmark::DigitsUsps,
+        "fashion" => Benchmark::Fashion,
+        "reuters" | "tfidf" => Benchmark::Tfidf,
+        "protein" | "mice" => Benchmark::Protein,
+        other => return Err(format!("unknown dataset '{other}'")),
+    };
+    let size = match size {
+        "small" => Size::Small,
+        "medium" => Size::Medium,
+        "paper" => Size::Paper,
+        other => return Err(format!("unknown size '{other}'")),
+    };
+    Ok((bench, size))
 }
 
 fn parse_args(argv: &[String]) -> Result<Args, String> {
@@ -41,6 +78,13 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
         reload_path: None,
         alt_checkpoint: None,
         wedge_budget_ms: 400,
+        drift: false,
+        refit_checkpoint: None,
+        drift_window: 64,
+        max_windows: 8,
+        dataset: "protein".to_string(),
+        data_size: "small".to_string(),
+        data_seed: 7,
     };
     let mut it = argv.iter();
     while let Some(flag) = it.next() {
@@ -69,6 +113,25 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
                     .parse()
                     .map_err(|e| format!("--wedge-budget-ms: {e}"))?
             }
+            "--drift" => args.drift = true,
+            "--refit-checkpoint" => args.refit_checkpoint = Some(take("--refit-checkpoint")?.clone()),
+            "--drift-window" => {
+                args.drift_window = take("--drift-window")?
+                    .parse()
+                    .map_err(|e| format!("--drift-window: {e}"))?
+            }
+            "--max-windows" => {
+                args.max_windows = take("--max-windows")?
+                    .parse()
+                    .map_err(|e| format!("--max-windows: {e}"))?
+            }
+            "--dataset" => args.dataset = take("--dataset")?.clone(),
+            "--data-size" => args.data_size = take("--data-size")?.clone(),
+            "--data-seed" => {
+                args.data_seed = take("--data-seed")?
+                    .parse()
+                    .map_err(|e| format!("--data-seed: {e}"))?
+            }
             other => return Err(format!("unknown flag '{other}'")),
         }
     }
@@ -78,6 +141,16 @@ fn parse_args(argv: &[String]) -> Result<Args, String> {
     if args.fleet && (args.reload_path.is_none() || args.alt_checkpoint.is_none()) {
         return Err("--fleet requires --reload-path and --alt-checkpoint".into());
     }
+    if args.drift && (args.reload_path.is_none() || args.refit_checkpoint.is_none()) {
+        return Err("--drift requires --reload-path and --refit-checkpoint".into());
+    }
+    if args.drift && args.fleet {
+        return Err("--drift and --fleet are mutually exclusive (run separate drills)".into());
+    }
+    if args.drift && (args.drift_window == 0 || args.max_windows == 0) {
+        return Err("--drift-window and --max-windows must be >= 1".into());
+    }
+    parse_data_spec(&args.dataset, &args.data_size)?;
     Ok(args)
 }
 
@@ -106,10 +179,38 @@ fn main() {
         std::thread::sleep(Duration::from_millis(100));
     }
 
-    let report = chaos::run_drill(addr, args.max_inflight, args.read_deadline_ms, args.seed);
-    print!("{}", report.render());
-    if !report.all_passed() {
-        std::process::exit(1);
+    if args.drift {
+        // parse_args enforced both paths and a valid data spec.
+        if let (Some(reload_path), Some(refit_checkpoint)) =
+            (args.reload_path.as_ref(), args.refit_checkpoint.as_ref())
+        {
+            let (bench, size) = match parse_data_spec(&args.dataset, &args.data_size) {
+                Ok(spec) => spec,
+                Err(msg) => {
+                    eprintln!("adec-chaos: {msg}");
+                    std::process::exit(2);
+                }
+            };
+            let drift_config = chaos::DriftDrillConfig {
+                base: bench.generate(size, args.data_seed),
+                reload_path: reload_path.into(),
+                refit_checkpoint: refit_checkpoint.into(),
+                seed: args.seed,
+                window_rows: args.drift_window,
+                max_windows: args.max_windows,
+            };
+            let drift_report = chaos::run_drift_drill(addr, &drift_config);
+            print!("{}", drift_report.render());
+            if !drift_report.all_passed() {
+                std::process::exit(1);
+            }
+        }
+    } else {
+        let report = chaos::run_drill(addr, args.max_inflight, args.read_deadline_ms, args.seed);
+        print!("{}", report.render());
+        if !report.all_passed() {
+            std::process::exit(1);
+        }
     }
 
     if args.fleet {

@@ -927,6 +927,360 @@ pub fn run_fleet_drill(addr: SocketAddr, config: &FleetDrillConfig) -> DrillRepo
     DrillReport { scenarios }
 }
 
+// ---------------------------------------------------------------------------
+// Drift drill: stationary no-false-alarm, bounded detection, ladder, recovery
+// ---------------------------------------------------------------------------
+
+/// Configuration for [`run_drift_drill`]. The server must have been
+/// started from a checkpoint *trained on `base`* (so its embedded
+/// reference profile describes `base`'s distribution) with a drift window
+/// of `window_rows`. The drill mutates the file at `reload_path` (copying
+/// in the refit checkpoint) during the recovery scenario.
+#[derive(Debug, Clone)]
+pub struct DriftDrillConfig {
+    /// The training distribution: stationary traffic is bootstrap-resampled
+    /// from these rows, shifted traffic is derived from them.
+    pub base: adec_datagen::Dataset,
+    /// The path the server's `POST /reload` stages from (its `--checkpoint`).
+    pub reload_path: std::path::PathBuf,
+    /// A valid refit checkpoint (same dims, profiled on `base`) that the
+    /// recovery scenario hot-loads to clear the alarm.
+    pub refit_checkpoint: std::path::PathBuf,
+    /// Seed for the drill's deterministic streams.
+    pub seed: u64,
+    /// The server's `--drift-window` (rows per detector window).
+    pub window_rows: usize,
+    /// Detection-latency bound: the drill fails if a 2.5σ mean shift is
+    /// not alarmed within this many windows (the documented bound is 2;
+    /// CI uses 8 for slack).
+    pub max_windows: usize,
+}
+
+/// Number of stationary windows the no-false-alarm scenario streams.
+const STATIONARY_WINDOWS: usize = 6;
+
+/// A string field (`"field":"value"`) from a JSON-ish body.
+fn extract_str_field(body: &[u8], field: &str) -> Option<String> {
+    let text = std::str::from_utf8(body).ok()?;
+    let key = format!("\"{field}\":\"");
+    let start = text.find(&key)? + key.len();
+    let rest = text.get(start..)?;
+    let end = rest.find('"')?;
+    rest.get(..end).map(str::to_string)
+}
+
+/// A boolean field (`"field":true|false`) from a JSON-ish body.
+fn extract_bool_field(body: &[u8], field: &str) -> Option<bool> {
+    let text = std::str::from_utf8(body).ok()?;
+    let key = format!("\"{field}\":");
+    let start = text.find(&key)? + key.len();
+    let rest = text.get(start..)?;
+    if rest.starts_with("true") {
+        Some(true)
+    } else if rest.starts_with("false") {
+        Some(false)
+    } else {
+        None
+    }
+}
+
+/// The fields of `GET /driftz` the drill asserts on.
+#[derive(Debug, Clone)]
+struct DriftzView {
+    policy: String,
+    profile: String,
+    enabled: bool,
+    window_rows: usize,
+    windows: usize,
+    alarms: usize,
+    clears: usize,
+    alarmed: bool,
+}
+
+/// Fetches and parses `/driftz`.
+fn driftz_view(addr: SocketAddr) -> Option<DriftzView> {
+    let (status, body) = get(addr, "/driftz").ok()??;
+    if status != 200 {
+        return None;
+    }
+    Some(DriftzView {
+        policy: extract_str_field(&body, "policy")?,
+        profile: extract_str_field(&body, "profile")?,
+        enabled: extract_bool_field(&body, "enabled")?,
+        window_rows: extract_int_field(&body, "window_rows")?,
+        windows: extract_int_field(&body, "windows")?,
+        alarms: extract_int_field(&body, "alarms")?,
+        clears: extract_int_field(&body, "clears")?,
+        alarmed: extract_bool_field(&body, "alarmed")?,
+    })
+}
+
+/// Renders a matrix as the CSV `/assign` body format.
+fn csv_rows(x: &adec_tensor::Matrix) -> Vec<u8> {
+    let mut out = String::new();
+    for r in 0..x.rows() {
+        let row = x.row(r);
+        for (c, v) in row.iter().enumerate() {
+            if c > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("{v}"));
+        }
+        out.push('\n');
+    }
+    out.into_bytes()
+}
+
+/// Streams `windows` detector windows of rows from `sim` through
+/// `/assign`, in requests of at most 32 rows each.
+fn pump_windows(
+    addr: SocketAddr,
+    sim: &mut adec_datagen::StreamSim,
+    window_rows: usize,
+    windows: usize,
+) -> PoundTally {
+    let mut tally = PoundTally::default();
+    for _ in 0..windows {
+        let mut left = window_rows;
+        while left > 0 {
+            let take = left.min(32);
+            let batch = sim.next_batch(take);
+            match post(addr, "/assign", &csv_rows(&batch)) {
+                Ok(Some((200, _))) => tally.ok_200 += 1,
+                Ok(Some((503, _))) => tally.busy_503 += 1,
+                Ok(Some(_)) => tally.other += 1,
+                _ => tally.no_response += 1,
+            }
+            left -= take;
+        }
+    }
+    tally
+}
+
+/// Polls `/driftz` until the closed-window counter reaches `target`
+/// (window accounting intentionally lags the `/assign` response).
+fn wait_for_drift_windows(addr: SocketAddr, target: usize, budget: Duration) -> Option<usize> {
+    let deadline = std::time::Instant::now() + budget;
+    loop {
+        let seen = driftz_view(addr).map(|v| v.windows);
+        if seen.is_some_and(|v| v >= target) || std::time::Instant::now() >= deadline {
+            return seen;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// Runs the drift-sentinel scenarios against a live server started from a
+/// profiled checkpoint. Covers: discovery (`/driftz` reports a present
+/// profile and the expected window size), stationary no-false-alarm
+/// (bootstrap traffic from the training distribution never alarms),
+/// bounded detection (a 2.5σ mean shift alarms within
+/// [`DriftDrillConfig::max_windows`] windows), the mitigation ladder
+/// (policy-dependent response stamping, degradation, and readiness
+/// gating), recovery (hot-reloading a refit checkpoint clears the latch
+/// and stationary traffic stays clear), and a drift metrics audit.
+pub fn run_drift_drill(addr: SocketAddr, config: &DriftDrillConfig) -> DrillReport {
+    use adec_datagen::{ShiftKind, ShiftSchedule, StreamSim};
+
+    let mut scenarios = Vec::new();
+    let w = config.window_rows;
+
+    // -- discovery -------------------------------------------------------
+    // The sentinel is armed: profile present, window size as drilled, and
+    // the served input dim matches the drill's base dataset.
+    let input_dim = discover_input_dim(addr);
+    let view0 = driftz_view(addr);
+    let discovery_pass = input_dim == Some(config.base.dim())
+        && view0.as_ref().is_some_and(|v| {
+            v.enabled && v.profile == "present" && v.window_rows == w && !v.alarmed
+        });
+    scenarios.push(result(
+        "drift-discovery",
+        discovery_pass,
+        format!("input_dim={input_dim:?} driftz={view0:?}"),
+    ));
+    let Some(view0) = view0 else {
+        return DrillReport { scenarios };
+    };
+    let policy = view0.policy.clone();
+
+    // -- stationary no-false-alarm ---------------------------------------
+    // Six windows of bootstrap resamples from the training distribution:
+    // every request answered, zero alarms, latch clear.
+    let mut stationary = StreamSim::from_dataset(&config.base, config.seed, ShiftSchedule::stationary());
+    let tally = pump_windows(addr, &mut stationary, w, STATIONARY_WINDOWS);
+    let windows_seen =
+        wait_for_drift_windows(addr, view0.windows + STATIONARY_WINDOWS, Duration::from_secs(10));
+    let view = driftz_view(addr);
+    let stationary_pass = tally.within_budget()
+        && tally.busy_503 == 0
+        && windows_seen.is_some_and(|v| v >= view0.windows + STATIONARY_WINDOWS)
+        && view.as_ref().is_some_and(|v| !v.alarmed && v.alarms == 0);
+    scenarios.push(with_liveness(
+        "drift-stationary",
+        addr,
+        stationary_pass,
+        format!("{}; windows={windows_seen:?} driftz={view:?}", tally.render()),
+    ));
+    let windows_base = view.map_or(view0.windows + STATIONARY_WINDOWS, |v| v.windows);
+
+    // -- bounded detection ------------------------------------------------
+    // A sustained 2.5σ mean shift must latch the alarm within the
+    // configured window bound.
+    let mut shifted = StreamSim::from_dataset(
+        &config.base,
+        config.seed ^ 0x5717,
+        ShiftSchedule::single(0, ShiftKind::MeanShift, 2.5),
+    );
+    let mut detected_after = None;
+    let mut detect_tally = PoundTally::default();
+    for i in 1..=config.max_windows {
+        detect_tally.merge(pump_windows(addr, &mut shifted, w, 1));
+        wait_for_drift_windows(addr, windows_base + i, Duration::from_secs(10));
+        if driftz_view(addr).is_some_and(|v| v.alarmed) {
+            detected_after = Some(i);
+            break;
+        }
+    }
+    let view = driftz_view(addr);
+    let detect_pass = detect_tally.within_budget()
+        && detect_tally.busy_503 == 0
+        && detected_after.is_some()
+        && view.as_ref().is_some_and(|v| v.alarmed && v.alarms >= 1);
+    scenarios.push(with_liveness(
+        "drift-detection",
+        addr,
+        detect_pass,
+        format!(
+            "alarm after {detected_after:?} shifted windows (bound {}); {}; driftz={view:?}",
+            config.max_windows,
+            detect_tally.render()
+        ),
+    ));
+
+    // -- mitigation ladder ------------------------------------------------
+    // With the alarm latched, the response contract is policy-dependent:
+    // observe stays invisible; degrade stamps `"drift":true` and degrades
+    // the serve mode; gate additionally fails readiness with the alarm
+    // named. Two more saturating windows first, so severity is past the
+    // harder-degradation knee and the ladder choice is stable.
+    pump_windows(addr, &mut shifted, w, 2);
+    let probe = csv_rows(&shifted.next_batch(4));
+    let assign = post(addr, "/assign", &probe).ok().flatten();
+    let ready = get(addr, "/readyz").ok().flatten();
+    let (mitigation_pass, mitigation_detail) = match (&assign, &ready) {
+        (Some((200, body)), Some((ready_status, ready_body))) => {
+            let drift_field = extract_bool_field(body, "drift");
+            let mode = extract_str_field(body, "mode").unwrap_or_default();
+            let ready_alarmed = extract_bool_field(ready_body, "drift_alarmed");
+            let pass = match policy.as_str() {
+                "observe" => drift_field.is_none() && mode == "full" && *ready_status == 200,
+                "degrade" => {
+                    drift_field == Some(true)
+                        && mode.starts_with("degraded")
+                        && *ready_status == 200
+                }
+                "gate" => {
+                    drift_field == Some(true)
+                        && mode.starts_with("degraded")
+                        && *ready_status == 503
+                        && ready_alarmed == Some(true)
+                }
+                _ => false,
+            };
+            (
+                pass,
+                format!(
+                    "policy={policy} drift={drift_field:?} mode={mode} \
+                     readyz={ready_status} drift_alarmed={ready_alarmed:?}"
+                ),
+            )
+        }
+        (a, r) => (
+            false,
+            format!(
+                "assign={:?} readyz={:?}",
+                a.as_ref().map(|x| x.0),
+                r.as_ref().map(|x| x.0)
+            ),
+        ),
+    };
+    scenarios.push(with_liveness("drift-mitigation", addr, mitigation_pass, mitigation_detail));
+
+    // -- recovery by refit reload -----------------------------------------
+    // Hot-loading the refit checkpoint must clear the latch (reason:
+    // reload), restore readiness, and leave the sentinel calm on further
+    // stationary traffic.
+    let refit = std::fs::read(&config.refit_checkpoint);
+    let reload = match &refit {
+        Ok(bytes) if write_atomic(&config.reload_path, bytes).is_ok() => {
+            post(addr, "/reload", b"").ok().flatten()
+        }
+        _ => None,
+    };
+    let view_cleared = driftz_view(addr);
+    let ready_after = get(addr, "/readyz").ok().flatten().map(|(s, _)| s);
+    let windows_at_recovery = view_cleared.as_ref().map_or(0, |v| v.windows);
+    let alarms_at_recovery = view_cleared.as_ref().map_or(usize::MAX, |v| v.alarms);
+    pump_windows(addr, &mut stationary, w, 2);
+    wait_for_drift_windows(addr, windows_at_recovery + 2, Duration::from_secs(10));
+    let view_after = driftz_view(addr);
+    let recovery_pass = matches!(reload, Some((200, _)))
+        && view_cleared
+            .as_ref()
+            .is_some_and(|v| !v.alarmed && v.clears >= 1)
+        && ready_after == Some(200)
+        && view_after
+            .as_ref()
+            .is_some_and(|v| !v.alarmed && v.alarms == alarms_at_recovery);
+    scenarios.push(with_liveness(
+        "drift-recovery",
+        addr,
+        recovery_pass,
+        format!(
+            "reload={:?} readyz={ready_after:?} cleared={view_cleared:?} after={view_after:?}",
+            reload.as_ref().map(|(s, _)| s)
+        ),
+    ));
+
+    // -- drift metrics audit ----------------------------------------------
+    // The exposition stays strictly valid and the drift gauges agree with
+    // the drill's history: enabled, not alarmed now, at least one alarm
+    // and one clear on the counters.
+    let metrics = get(addr, "/metrics").ok().flatten();
+    let (metrics_pass, metrics_detail) = match metrics {
+        Some((200, body)) => match std::str::from_utf8(&body)
+            .map_err(|_| "body is not UTF-8".to_string())
+            .and_then(adec_obs::prom::check_exposition)
+        {
+            Ok(exp) => {
+                let enabled = exp.sample("adec_serve_drift_enabled");
+                let alarmed = exp.sample("adec_serve_drift_alarmed");
+                let alarms = exp.sample("adec_serve_drift_alarms_total");
+                let clears = exp.sample("adec_serve_drift_clears_total");
+                let windows = exp.sample("adec_serve_drift_windows_total");
+                let pass = enabled == Some(1.0)
+                    && alarmed == Some(0.0)
+                    && alarms.is_some_and(|v| v >= 1.0)
+                    && clears.is_some_and(|v| v >= 1.0)
+                    && windows.is_some_and(|v| v >= (STATIONARY_WINDOWS + 2) as f64);
+                (
+                    pass,
+                    format!(
+                        "enabled={enabled:?} alarmed={alarmed:?} alarms={alarms:?} \
+                         clears={clears:?} windows={windows:?}"
+                    ),
+                )
+            }
+            Err(err) => (false, format!("exposition rejected: {err}")),
+        },
+        other => (false, format!("answered {:?}, want 200", other.map(|(s, _)| s))),
+    };
+    scenarios.push(with_liveness("drift-metrics", addr, metrics_pass, metrics_detail));
+
+    DrillReport { scenarios }
+}
+
 #[cfg(test)]
 // Test code: unwraps are the assertions themselves here.
 #[allow(clippy::unwrap_used, clippy::panic)]
@@ -947,6 +1301,24 @@ mod tests {
         assert_eq!(extract_int_field(body, "input_dim"), Some(64));
         assert_eq!(extract_int_field(body, "clusters"), Some(10));
         assert_eq!(extract_int_field(body, "missing"), None);
+    }
+
+    #[test]
+    fn str_and_bool_field_extraction() {
+        let body = br#"{"policy":"gate","profile":"present","enabled":true,"alarmed":false}"#;
+        assert_eq!(extract_str_field(body, "policy").as_deref(), Some("gate"));
+        assert_eq!(extract_str_field(body, "profile").as_deref(), Some("present"));
+        assert_eq!(extract_str_field(body, "missing"), None);
+        assert_eq!(extract_bool_field(body, "enabled"), Some(true));
+        assert_eq!(extract_bool_field(body, "alarmed"), Some(false));
+        assert_eq!(extract_bool_field(body, "policy"), None);
+    }
+
+    #[test]
+    fn csv_rows_render_parseable_bodies() {
+        let m = adec_tensor::Matrix::from_vec(2, 3, vec![1.0, -0.5, 0.25, 2.0, 0.0, -1.5]);
+        let text = String::from_utf8(csv_rows(&m)).unwrap();
+        assert_eq!(text, "1,-0.5,0.25\n2,0,-1.5\n");
     }
 
     #[test]

@@ -1,0 +1,812 @@
+//! Online drift sentinel: windowed detection + the mitigation ladder.
+//!
+//! At train time every final checkpoint embeds a [`ReferenceProfile`] of
+//! the model's healthy operating regime (latent moments, assignment
+//! entropy/confidence, centroid-distance quantiles, cluster occupancy —
+//! see [`adec_nn::profile`]). At serve time each `/assign` batch is
+//! reduced to a [`BatchDriftStats`] summary by the model
+//! ([`crate::model::InferenceModel::drift_stats`]); replicas accumulate
+//! those summaries locally and the sentinel closes a *window* every
+//! `window_rows` rows fleet-wide, reducing it to five standardized drift
+//! signals:
+//!
+//! | signal       | what it watches                                        |
+//! |--------------|--------------------------------------------------------|
+//! | `latent`     | per-dimension embedding mean vs the profile            |
+//! | `entropy`    | soft-assignment entropy mean vs the profile            |
+//! | `confidence` | max-q mean vs the profile                              |
+//! | `occupancy`  | cluster-occupancy histogram (χ² against the profile)   |
+//! | `distance`   | excess mass above the profile's p90 centroid distance  |
+//!
+//! Each signal is calibrated to sit at O(1) — well under the CUSUM
+//! allowance — while traffic matches the profile, and to grow like
+//! `√window_rows` under a sustained shift, so every [`adec_metrics::Cusum`]
+//! inherits the documented detection bound `ceil(h / (signal − k))`
+//! windows. An alarm **latches** until every score decays back to zero
+//! (hysteresis: the flapping zone between `k` and `h` cannot toggle the
+//! mitigation ladder), or until a hot reload installs a fresh profile and
+//! resets the sentinel.
+//!
+//! The mitigation ladder ([`DriftPolicy`]) is strictly cumulative:
+//!
+//! * `observe` — detect and report only; responses are byte-identical to
+//!   a sentinel-less server (asserted by tests).
+//! * `degrade` — while alarmed, fold severity into the load-shed ladder
+//!   (alarm → `NoDecoder`, severity ≥ 2 → `CentroidOnly`) and stamp
+//!   `/assign` responses with a drift flag.
+//! * `gate` — additionally fail `/readyz` (503) until a refit checkpoint
+//!   hot-reloads and resets the sentinel.
+
+use crate::model::ServeMode;
+use adec_metrics::detect::{Cusum, DEFAULT_ALLOWANCE, DEFAULT_THRESHOLD};
+use adec_nn::profile::DISTANCE_QUANTILES;
+use adec_nn::ReferenceProfile;
+use adec_obs::{emit, Event, Level};
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Default rows per detection window.
+pub const DEFAULT_WINDOW_ROWS: usize = 256;
+
+/// The five drift signals, in reporting order.
+pub const SIGNALS: [&str; 5] = ["latent", "entropy", "confidence", "occupancy", "distance"];
+
+/// What the sentinel is allowed to do about an alarm (cumulative ladder).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DriftPolicy {
+    /// Detect and report only; never touch a response.
+    Observe,
+    /// Fold alarm severity into the degradation ladder and stamp
+    /// `/assign` responses with a drift flag.
+    Degrade,
+    /// `Degrade` plus: fail `/readyz` while alarmed, demanding a refit
+    /// checkpoint reload.
+    Gate,
+}
+
+impl DriftPolicy {
+    /// Stable wire name (`/driftz`, CLI flag values).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            DriftPolicy::Observe => "observe",
+            DriftPolicy::Degrade => "degrade",
+            DriftPolicy::Gate => "gate",
+        }
+    }
+
+    /// Parses a CLI flag value; `None` for anything unknown.
+    pub fn parse(s: &str) -> Option<DriftPolicy> {
+        match s {
+            "observe" => Some(DriftPolicy::Observe),
+            "degrade" => Some(DriftPolicy::Degrade),
+            "gate" => Some(DriftPolicy::Gate),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel tuning; every field has a safe default.
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Mitigation ladder rung.
+    pub policy: DriftPolicy,
+    /// Rows per detection window (fleet-wide).
+    pub window_rows: usize,
+    /// CUSUM allowance `k` shared by all five signals.
+    pub allowance: f32,
+    /// CUSUM threshold `h` shared by all five signals.
+    pub threshold: f32,
+}
+
+impl Default for DriftConfig {
+    fn default() -> DriftConfig {
+        DriftConfig {
+            policy: DriftPolicy::Observe,
+            window_rows: DEFAULT_WINDOW_ROWS,
+            allowance: DEFAULT_ALLOWANCE,
+            threshold: DEFAULT_THRESHOLD,
+        }
+    }
+}
+
+/// One `/assign` batch reduced to the sums the window signals need.
+/// Produced by [`crate::model::InferenceModel::drift_stats`]; additive, so
+/// chunked requests and replica-local accumulation merge exactly.
+#[derive(Debug, Clone, Default)]
+pub struct BatchDriftStats {
+    /// Rows summarized.
+    pub rows: u64,
+    /// Per-dimension sum of the latent embedding (f64: windows are long).
+    pub latent_sum: Vec<f64>,
+    /// Sum of per-row soft-assignment entropies (nats).
+    pub entropy_sum: f64,
+    /// Sum of per-row max soft-assignment probabilities.
+    pub confidence_sum: f64,
+    /// Hard-assignment (argmax q) counts per cluster.
+    pub occupancy: Vec<u64>,
+    /// Rows whose nearest-centroid distance exceeds the profile's p90.
+    pub tail_rows: u64,
+}
+
+impl BatchDriftStats {
+    /// Empty accumulator for a `latent_dim`-dimensional, `clusters`-way
+    /// model.
+    pub fn new(latent_dim: usize, clusters: usize) -> BatchDriftStats {
+        assert!(latent_dim > 0, "BatchDriftStats: zero latent dim");
+        assert!(clusters > 0, "BatchDriftStats: zero clusters");
+        BatchDriftStats {
+            rows: 0,
+            latent_sum: vec![0.0; latent_dim],
+            entropy_sum: 0.0,
+            confidence_sum: 0.0,
+            occupancy: vec![0; clusters],
+            tail_rows: 0,
+        }
+    }
+
+    /// Adds `other` into `self`. Both sides must describe the same model
+    /// shape (or be `Default`-empty).
+    pub fn merge(&mut self, other: &BatchDriftStats) {
+        assert!(
+            self.rows == 0
+                || other.rows == 0
+                || (self.latent_sum.len() == other.latent_sum.len()
+                    && self.occupancy.len() == other.occupancy.len()),
+            "BatchDriftStats::merge: shape mismatch"
+        );
+        if other.rows == 0 {
+            return;
+        }
+        if self.rows == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.rows += other.rows;
+        for (a, b) in self.latent_sum.iter_mut().zip(other.latent_sum.iter()) {
+            *a += b;
+        }
+        self.entropy_sum += other.entropy_sum;
+        self.confidence_sum += other.confidence_sum;
+        for (a, b) in self.occupancy.iter_mut().zip(other.occupancy.iter()) {
+            *a += b;
+        }
+        self.tail_rows += other.tail_rows;
+    }
+}
+
+/// Point-in-time view of one signal's detector.
+#[derive(Debug, Clone)]
+pub struct SignalSnapshot {
+    /// Signal name (see [`SIGNALS`]).
+    pub name: &'static str,
+    /// The standardized signal value of the most recent window.
+    pub last: f32,
+    /// Accumulated CUSUM evidence.
+    pub score: f32,
+    /// Whether this signal's detector is at or above threshold.
+    pub alarmed: bool,
+}
+
+/// Point-in-time view of the whole sentinel, for `/driftz` and `/metrics`.
+#[derive(Debug, Clone)]
+pub struct DriftSnapshot {
+    /// Whether a reference profile is loaded (sentinel active).
+    pub enabled: bool,
+    /// Mitigation policy in force.
+    pub policy: DriftPolicy,
+    /// Rows per window.
+    pub window_rows: usize,
+    /// Windows closed since start (monotone across resets).
+    pub windows: u64,
+    /// Rows consumed into closed windows.
+    pub rows: u64,
+    /// Rows accumulated toward the next window.
+    pub pending_rows: u64,
+    /// Whether the alarm latch is set.
+    pub alarmed: bool,
+    /// Max per-signal severity (score/threshold); ≥ 1 while alarmed.
+    pub severity: f32,
+    /// Alarm transitions since start (monotone).
+    pub alarms: u64,
+    /// Clear transitions since start (monotone; resets count too).
+    pub clears: u64,
+    /// Per-signal detector state.
+    pub signals: Vec<SignalSnapshot>,
+}
+
+/// Detector state guarded by one mutex: windows close one at a time, so
+/// the `serve.drift.*` event stream is totally ordered.
+#[derive(Debug)]
+struct DetectorState {
+    profile: Option<ReferenceProfile>,
+    cusums: [Cusum; 5],
+    last_signals: [f32; 5],
+    windows: u64,
+    rows: u64,
+    alarms: u64,
+    clears: u64,
+    alarmed: bool,
+}
+
+/// Fleet-wide drift sentinel: per-replica accumulation, global windows.
+///
+/// Replicas merge batch summaries into their own slot (no cross-replica
+/// contention on the hot path); whichever replica's batch pushes the
+/// fleet-wide pending total past `window_rows` closes the window under the
+/// detector lock, draining every slot.
+#[derive(Debug)]
+pub struct DriftSentinel {
+    config: DriftConfig,
+    /// Label for `serve.drift.*` events (the server's port).
+    instance: u64,
+    per_replica: Vec<Mutex<BatchDriftStats>>,
+    pending_rows: AtomicU64,
+    state: Mutex<DetectorState>,
+    // Lock-free mirrors for the request path (ladder + readiness gate).
+    alarmed_flag: AtomicBool,
+    severity_milli: AtomicU32,
+}
+
+impl DriftSentinel {
+    /// Builds a sentinel for a fleet of `replicas` workers. With no
+    /// profile the sentinel is permanently disabled (pre-profile
+    /// checkpoints keep serving; `/driftz` reports `profile: absent`).
+    pub fn new(
+        config: DriftConfig,
+        profile: Option<ReferenceProfile>,
+        replicas: usize,
+        instance: u64,
+    ) -> DriftSentinel {
+        assert!(replicas > 0, "DriftSentinel: empty fleet");
+        assert!(config.window_rows > 0, "DriftSentinel: zero window");
+        let cusums = std::array::from_fn(|_| Cusum::new(config.allowance, config.threshold));
+        DriftSentinel {
+            per_replica: (0..replicas).map(|_| Mutex::new(BatchDriftStats::default())).collect(),
+            pending_rows: AtomicU64::new(0),
+            state: Mutex::new(DetectorState {
+                profile,
+                cusums,
+                last_signals: [0.0; 5],
+                windows: 0,
+                rows: 0,
+                alarms: 0,
+                clears: 0,
+                alarmed: false,
+            }),
+            alarmed_flag: AtomicBool::new(false),
+            severity_milli: AtomicU32::new(0),
+            config,
+            instance,
+        }
+    }
+
+    /// Whether a reference profile is loaded and detection is running.
+    pub fn enabled(&self) -> bool {
+        match self.state.lock() {
+            Ok(s) => s.profile.is_some(),
+            Err(poisoned) => poisoned.into_inner().profile.is_some(),
+        }
+    }
+
+    /// The mitigation policy in force.
+    pub fn policy(&self) -> DriftPolicy {
+        self.config.policy
+    }
+
+    /// Whether the alarm latch is currently set (lock-free).
+    pub fn alarmed(&self) -> bool {
+        self.alarmed_flag.load(Ordering::Relaxed)
+    }
+
+    /// Current severity (max score/threshold across signals; lock-free).
+    pub fn severity(&self) -> f32 {
+        self.severity_milli.load(Ordering::Relaxed) as f32 / 1000.0
+    }
+
+    /// The shed rung drift mitigation currently demands: `Full` unless the
+    /// policy degrades and the alarm latch is set, then `NoDecoder`,
+    /// collapsing to `CentroidOnly` at severity ≥ 2. Folded into the
+    /// load-shed ladder via [`ServeMode::worse`].
+    pub fn shed_contribution(&self) -> ServeMode {
+        if self.config.policy == DriftPolicy::Observe || !self.alarmed() {
+            return ServeMode::Full;
+        }
+        if self.severity() >= 2.0 {
+            ServeMode::CentroidOnly
+        } else {
+            ServeMode::NoDecoder
+        }
+    }
+
+    /// Whether `/assign` responses carry the drift flag (any policy above
+    /// observe — presence is policy-determined, so responses stay
+    /// deterministic).
+    pub fn stamps_responses(&self) -> bool {
+        self.config.policy != DriftPolicy::Observe
+    }
+
+    /// Whether `/readyz` must fail right now (gate policy + alarm latch).
+    pub fn gates_readiness(&self) -> bool {
+        self.config.policy == DriftPolicy::Gate && self.alarmed()
+    }
+
+    /// Feeds one batch summary from `replica`. Cheap: one short replica-
+    /// local lock; the detector lock is only taken by the batch that
+    /// completes a window.
+    pub fn record(&self, replica: usize, batch: &BatchDriftStats) {
+        if batch.rows == 0 {
+            return;
+        }
+        let slot = self.per_replica.get(replica % self.per_replica.len());
+        let Some(slot) = slot else { return };
+        {
+            let mut acc = match slot.lock() {
+                Ok(acc) => acc,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            acc.merge(batch);
+        }
+        let pending = self.pending_rows.fetch_add(batch.rows, Ordering::SeqCst) + batch.rows;
+        if pending >= self.config.window_rows as u64 {
+            self.close_window();
+        }
+    }
+
+    /// Installs a new profile (or none) and drops every accumulator and
+    /// score — the hot-reload hook. If the alarm latch was set, emits the
+    /// `serve.drift.clear` event with reason `reload`.
+    pub fn reset(&self, profile: Option<ReferenceProfile>) {
+        for slot in &self.per_replica {
+            let mut acc = match slot.lock() {
+                Ok(acc) => acc,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            *acc = BatchDriftStats::default();
+        }
+        self.pending_rows.store(0, Ordering::SeqCst);
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let was_alarmed = state.alarmed;
+        for c in &mut state.cusums {
+            c.reset();
+        }
+        state.last_signals = [0.0; 5];
+        state.alarmed = false;
+        if was_alarmed {
+            state.clears += 1;
+            emit(
+                Event::new(Level::Info, "serve.drift.clear")
+                    .field("instance", self.instance)
+                    .field("reason", "reload")
+                    .field("window", state.windows),
+            );
+        }
+        state.profile = profile;
+        self.alarmed_flag.store(false, Ordering::Relaxed);
+        self.severity_milli.store(0, Ordering::Relaxed);
+    }
+
+    /// Point-in-time view for `/driftz` and the `/metrics` gauges.
+    pub fn snapshot(&self) -> DriftSnapshot {
+        let state = match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        let severity = state
+            .cusums
+            .iter()
+            .map(Cusum::severity)
+            .fold(0.0f32, f32::max);
+        DriftSnapshot {
+            enabled: state.profile.is_some(),
+            policy: self.config.policy,
+            window_rows: self.config.window_rows,
+            windows: state.windows,
+            rows: state.rows,
+            pending_rows: self.pending_rows.load(Ordering::Relaxed),
+            alarmed: state.alarmed,
+            severity,
+            alarms: state.alarms,
+            clears: state.clears,
+            signals: SIGNALS
+                .iter()
+                .enumerate()
+                .map(|(i, name)| SignalSnapshot {
+                    name,
+                    last: state.last_signals.get(i).copied().unwrap_or(0.0),
+                    score: state.cusums.get(i).map_or(0.0, Cusum::score),
+                    alarmed: state.cusums.get(i).is_some_and(Cusum::alarmed),
+                })
+                .collect(),
+        }
+    }
+
+    /// Drains every replica accumulator into one window and feeds the
+    /// detectors. Serialized on the detector lock; a racing caller whose
+    /// pending total was already consumed finds it below the bar and
+    /// returns without closing anything.
+    fn close_window(&self) {
+        let mut state = match self.state.lock() {
+            Ok(s) => s,
+            Err(poisoned) => poisoned.into_inner(),
+        };
+        if state.profile.is_none() {
+            // Disabled: discard accumulation so pending can't grow forever.
+            for slot in &self.per_replica {
+                let mut acc = match slot.lock() {
+                    Ok(acc) => acc,
+                    Err(poisoned) => poisoned.into_inner(),
+                };
+                *acc = BatchDriftStats::default();
+            }
+            self.pending_rows.store(0, Ordering::SeqCst);
+            return;
+        }
+        if self.pending_rows.load(Ordering::SeqCst) < self.config.window_rows as u64 {
+            return; // another closer consumed this window first
+        }
+        let mut window = BatchDriftStats::default();
+        for slot in &self.per_replica {
+            let mut acc = match slot.lock() {
+                Ok(acc) => acc,
+                Err(poisoned) => poisoned.into_inner(),
+            };
+            window.merge(&acc);
+            *acc = BatchDriftStats::default();
+        }
+        if window.rows == 0 {
+            return;
+        }
+        self.pending_rows.fetch_sub(
+            window.rows.min(self.pending_rows.load(Ordering::SeqCst)),
+            Ordering::SeqCst,
+        );
+        let signals = match &state.profile {
+            Some(profile) => window_signals(&window, profile),
+            None => return,
+        };
+        state.windows += 1;
+        state.rows += window.rows;
+        state.last_signals = signals;
+        for (c, &x) in state.cusums.iter_mut().zip(signals.iter()) {
+            c.update(x);
+        }
+        let severity = state
+            .cusums
+            .iter()
+            .map(Cusum::severity)
+            .fold(0.0f32, f32::max);
+        let worst = state
+            .cusums
+            .iter()
+            .enumerate()
+            .max_by(|(_, a), (_, b)| a.score().total_cmp(&b.score()))
+            .map_or(("none", 0.0), |(i, c)| {
+                (SIGNALS.get(i).copied().unwrap_or("none"), c.score())
+            });
+        emit(
+            Event::new(Level::Debug, "serve.drift.window")
+                .field("instance", self.instance)
+                .field("window", state.windows)
+                .field("rows", window.rows)
+                .field("max_signal", worst.0)
+                .field("max_score", f64::from(worst.1))
+                .field("alarmed", if state.alarmed { 1u64 } else { 0u64 }),
+        );
+        let any_alarmed = state.cusums.iter().any(Cusum::alarmed);
+        if !state.alarmed && any_alarmed {
+            state.alarmed = true;
+            state.alarms += 1;
+            emit(
+                Event::new(Level::Warn, "serve.drift.alarm")
+                    .field("instance", self.instance)
+                    .field("window", state.windows)
+                    .field("signal", worst.0)
+                    .field("score", f64::from(worst.1))
+                    .field("threshold", f64::from(self.config.threshold))
+                    .field("severity", f64::from(severity)),
+            );
+            if self.config.policy != DriftPolicy::Observe {
+                emit(
+                    Event::new(Level::Warn, "serve.drift.mitigate")
+                        .field("instance", self.instance)
+                        .field("window", state.windows)
+                        .field("action", self.config.policy.as_str())
+                        .field("severity", f64::from(severity)),
+                );
+            }
+        } else if state.alarmed && state.cusums.iter().all(|c| c.score() <= 0.0) {
+            // Hysteresis: the latch only releases once every signal's
+            // evidence has fully decayed, not merely dipped below h.
+            state.alarmed = false;
+            state.clears += 1;
+            emit(
+                Event::new(Level::Info, "serve.drift.clear")
+                    .field("instance", self.instance)
+                    .field("reason", "decay")
+                    .field("window", state.windows),
+            );
+        }
+        self.alarmed_flag.store(state.alarmed, Ordering::Relaxed);
+        let milli = if state.alarmed { (severity * 1000.0).clamp(0.0, 1e9) as u32 } else { 0 };
+        self.severity_milli.store(milli, Ordering::Relaxed);
+    }
+}
+
+/// Reduces one closed window to the five standardized signals, each ≈ O(1)
+/// while the stream matches `profile` and growing with `√rows` under a
+/// sustained shift.
+fn window_signals(window: &BatchDriftStats, profile: &ReferenceProfile) -> [f32; 5] {
+    assert!(window.rows > 0, "window_signals: empty window");
+    let n = window.rows as usize;
+    let nf = window.rows as f64;
+
+    // latent: mean over dimensions of the standardized per-dim mean shift.
+    // (Mean, not max: stationary level ≈ E|N(0,1)| ≈ 0.8 independent of
+    // the latent width, so one allowance calibrates every model.)
+    let latent = if window.latent_sum.len() == profile.latent_mean.len() {
+        let dims = profile.latent_mean.len();
+        let sum: f64 = (0..dims)
+            .map(|d| {
+                let observed = (window.latent_sum.get(d).copied().unwrap_or(0.0) / nf) as f32;
+                let mean = profile.latent_mean.get(d).copied().unwrap_or(0.0);
+                let std = profile.latent_var.get(d).copied().unwrap_or(0.0).max(0.0).sqrt();
+                f64::from(adec_metrics::detect::standardized_shift(observed, mean, std, n))
+            })
+            .sum();
+        (sum / dims.max(1) as f64) as f32
+    } else {
+        0.0 // shape drifted out from under us (should be unreachable)
+    };
+
+    let entropy = adec_metrics::detect::standardized_shift(
+        (window.entropy_sum / nf) as f32,
+        profile.entropy_mean,
+        profile.entropy_std,
+        n,
+    );
+    let confidence = adec_metrics::detect::standardized_shift(
+        (window.confidence_sum / nf) as f32,
+        profile.confidence_mean,
+        profile.confidence_std,
+        n,
+    );
+
+    // occupancy: χ² of the window histogram against the profile fractions,
+    // standardized by the χ²_{k−1} moments (mean k−1, var 2(k−1)).
+    let occupancy = if window.occupancy.len() == profile.occupancy.len()
+        && profile.occupancy.len() >= 2
+    {
+        let k = profile.occupancy.len();
+        let chi2: f64 = window
+            .occupancy
+            .iter()
+            .zip(profile.occupancy.iter())
+            .map(|(&c, &p)| {
+                let p = f64::from(p).max(1e-3);
+                let f = c as f64 / nf;
+                nf * (f - p) * (f - p) / p
+            })
+            .sum();
+        let df = (k - 1) as f64;
+        (((chi2 - df) / (2.0 * df).sqrt()).clamp(0.0, 1e4)) as f32
+    } else {
+        0.0
+    };
+
+    // distance: one-sided excess of the above-p90 tail mass over its
+    // profile share, in binomial standard errors. One-sided on purpose:
+    // a *tighter* cluster fit is not a drift the ladder should punish.
+    let p_tail = f64::from(1.0 - DISTANCE_QUANTILES.last().copied().unwrap_or(0.9));
+    let tail_frac = window.tail_rows as f64 / nf;
+    let se = (p_tail * (1.0 - p_tail) / nf).sqrt().max(1e-9);
+    let distance = (((tail_frac - p_tail) / se).clamp(0.0, 1e4)) as f32;
+
+    [latent, entropy, confidence, occupancy, distance]
+}
+
+#[cfg(test)]
+// Test code: unwraps and exact float comparisons are the assertions here.
+#[allow(clippy::unwrap_used, clippy::panic, clippy::float_cmp, clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+    use adec_nn::soft_assignment;
+    use adec_tensor::{Matrix, SeedRng};
+
+    /// A profile over an exactly-known reference batch.
+    fn tiny_profile() -> (ReferenceProfile, Matrix, Matrix) {
+        let mut rng = SeedRng::new(5);
+        let mu = Matrix::randn(3, 2, 0.0, 2.0, &mut rng);
+        let z = Matrix::randn(96, 2, 0.0, 1.0, &mut rng);
+        let q = soft_assignment(&z, &mu, 1.0);
+        (ReferenceProfile::compute(&z, &q, &mu), z, mu)
+    }
+
+    /// Batch stats for `z` exactly as the model computes them.
+    fn stats_of(z: &Matrix, mu: &Matrix, profile: &ReferenceProfile) -> BatchDriftStats {
+        let q = soft_assignment(z, mu, 1.0);
+        let p90 = *profile.distance_quantiles.last().unwrap();
+        let mut s = BatchDriftStats::new(z.cols(), mu.rows());
+        s.rows = z.rows() as u64;
+        for i in 0..z.rows() {
+            for (d, v) in z.row(i).iter().enumerate() {
+                s.latent_sum[d] += f64::from(*v);
+            }
+            let row = q.row(i);
+            let mut ent = 0.0f64;
+            let mut best = (0usize, f32::NEG_INFINITY);
+            for (j, &p) in row.iter().enumerate() {
+                if p > 0.0 {
+                    ent -= f64::from(p) * f64::from(p).ln();
+                }
+                if p > best.1 {
+                    best = (j, p);
+                }
+            }
+            s.entropy_sum += ent;
+            s.confidence_sum += f64::from(best.1.max(0.0));
+            s.occupancy[best.0] += 1;
+            let dist: f32 = mu
+                .row(best.0)
+                .iter()
+                .zip(z.row(i))
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum();
+            let nearest: f32 = (0..mu.rows())
+                .map(|j| {
+                    mu.row(j)
+                        .iter()
+                        .zip(z.row(i))
+                        .map(|(a, b)| (a - b) * (a - b))
+                        .sum()
+                })
+                .fold(dist, f32::min);
+            if nearest > p90 {
+                s.tail_rows += 1;
+            }
+        }
+        s
+    }
+
+    #[test]
+    fn policy_parse_round_trips() {
+        for p in [DriftPolicy::Observe, DriftPolicy::Degrade, DriftPolicy::Gate] {
+            assert_eq!(DriftPolicy::parse(p.as_str()), Some(p));
+        }
+        assert_eq!(DriftPolicy::parse("panic"), None);
+    }
+
+    #[test]
+    fn batch_stats_merge_is_additive() {
+        let mut a = BatchDriftStats::new(2, 3);
+        a.rows = 4;
+        a.latent_sum = vec![1.0, 2.0];
+        a.entropy_sum = 0.5;
+        a.occupancy = vec![2, 1, 1];
+        a.tail_rows = 1;
+        let b = a.clone();
+        let mut empty = BatchDriftStats::default();
+        empty.merge(&a);
+        assert_eq!(empty.rows, 4);
+        a.merge(&b);
+        assert_eq!(a.rows, 8);
+        assert_eq!(a.latent_sum, vec![2.0, 4.0]);
+        assert_eq!(a.occupancy, vec![4, 2, 2]);
+        assert_eq!(a.tail_rows, 2);
+        a.merge(&BatchDriftStats::default()); // no-op
+        assert_eq!(a.rows, 8);
+    }
+
+    #[test]
+    fn reference_window_yields_small_signals() {
+        // The window IS the profile's own batch: every signal must sit
+        // far below the default allowance.
+        let (profile, z, mu) = tiny_profile();
+        let window = stats_of(&z, &mu, &profile);
+        let signals = window_signals(&window, &profile);
+        for (name, s) in SIGNALS.iter().zip(signals.iter()) {
+            assert!(
+                s.is_finite() && *s < DEFAULT_ALLOWANCE,
+                "stationary signal {name} = {s} reaches the allowance"
+            );
+        }
+    }
+
+    #[test]
+    fn shifted_window_spikes_the_latent_signal() {
+        let (profile, z, mu) = tiny_profile();
+        let mut shifted = z.clone();
+        shifted.map_inplace(|v| v + 2.0);
+        let window = stats_of(&shifted, &mu, &profile);
+        let signals = window_signals(&window, &profile);
+        assert!(
+            signals[0] > DEFAULT_ALLOWANCE + DEFAULT_THRESHOLD,
+            "latent signal too weak after a +2.0 global shift: {}",
+            signals[0]
+        );
+    }
+
+    #[test]
+    fn sentinel_alarm_latches_and_resets() {
+        let (profile, z, mu) = tiny_profile();
+        let config = DriftConfig { window_rows: 96, ..DriftConfig::default() };
+        let sentinel = DriftSentinel::new(config, Some(profile.clone()), 2, 0);
+        assert!(sentinel.enabled());
+        assert!(!sentinel.alarmed());
+
+        // Stationary windows: never alarm.
+        for _ in 0..6 {
+            sentinel.record(0, &stats_of(&z, &mu, &profile));
+        }
+        let snap = sentinel.snapshot();
+        assert_eq!(snap.windows, 6);
+        assert!(!snap.alarmed && snap.alarms == 0, "false alarm: {snap:?}");
+
+        // Sustained shift: alarm within the CUSUM bound, and latch.
+        let mut shifted = z.clone();
+        shifted.map_inplace(|v| v + 2.0);
+        for _ in 0..3 {
+            sentinel.record(1, &stats_of(&shifted, &mu, &profile));
+        }
+        assert!(sentinel.alarmed(), "no alarm after 3 shifted windows");
+        assert!(sentinel.severity() >= 1.0);
+        assert_eq!(sentinel.snapshot().alarms, 1);
+
+        // Reset (the reload hook) drops the latch and all evidence.
+        sentinel.reset(Some(profile.clone()));
+        assert!(!sentinel.alarmed());
+        let snap = sentinel.snapshot();
+        assert_eq!(snap.clears, 1);
+        assert!(snap.signals.iter().all(|s| s.score == 0.0));
+
+        // And the fresh profile keeps accepting stationary traffic.
+        for _ in 0..3 {
+            sentinel.record(0, &stats_of(&z, &mu, &profile));
+        }
+        assert!(!sentinel.alarmed());
+    }
+
+    #[test]
+    fn ladder_contributions_follow_policy_and_severity() {
+        let (profile, z, mu) = tiny_profile();
+        for (policy, want_while_alarmed) in [
+            (DriftPolicy::Observe, ServeMode::Full),
+            (DriftPolicy::Degrade, ServeMode::CentroidOnly),
+            (DriftPolicy::Gate, ServeMode::CentroidOnly),
+        ] {
+            let config =
+                DriftConfig { policy, window_rows: 96, ..DriftConfig::default() };
+            let sentinel = DriftSentinel::new(config, Some(profile.clone()), 1, 0);
+            assert_eq!(sentinel.shed_contribution(), ServeMode::Full);
+            assert!(!sentinel.gates_readiness());
+            let mut shifted = z.clone();
+            shifted.map_inplace(|v| v + 2.0);
+            for _ in 0..4 {
+                sentinel.record(0, &stats_of(&shifted, &mu, &profile));
+            }
+            assert!(sentinel.alarmed());
+            // 4 saturating windows push severity past 2 for the degrading
+            // policies, so the contribution bottoms out at centroid-only.
+            assert_eq!(sentinel.shed_contribution(), want_while_alarmed, "{policy:?}");
+            assert_eq!(sentinel.gates_readiness(), policy == DriftPolicy::Gate);
+            assert_eq!(sentinel.stamps_responses(), policy != DriftPolicy::Observe);
+        }
+    }
+
+    #[test]
+    fn profileless_sentinel_is_inert() {
+        let sentinel = DriftSentinel::new(DriftConfig::default(), None, 2, 0);
+        assert!(!sentinel.enabled());
+        let mut batch = BatchDriftStats::new(2, 3);
+        batch.rows = 10_000; // way past the window bar
+        sentinel.record(0, &batch);
+        let snap = sentinel.snapshot();
+        assert_eq!(snap.windows, 0);
+        assert!(!snap.alarmed);
+        assert_eq!(snap.pending_rows, 0, "disabled sentinel must not hoard rows");
+        assert_eq!(sentinel.shed_contribution(), ServeMode::Full);
+        assert!(!sentinel.gates_readiness());
+    }
+}

@@ -21,17 +21,26 @@
 //! atomic zero-downtime checkpoint hot reload (`POST /reload`,
 //! `--watch-checkpoint`).
 //!
+//! Since PR 9 the fleet also carries a *drift sentinel* ([`drift`]): each
+//! checkpoint embeds a training-time [`adec_nn::ReferenceProfile`], live
+//! `/assign` traffic is reduced to windowed statistics, and CUSUM
+//! detectors raise a latched alarm driving a configurable mitigation
+//! ladder (`--drift-policy observe|degrade|gate`), reported on `/driftz`
+//! and `/metrics` and reset by a refit-checkpoint hot reload.
+//!
 //! The [`chaos`] module is the drill that keeps all of the above honest:
 //! the same deterministic hostile-client scenarios run in-process in this
 //! crate's tests and against the real release binary in CI (`adec-chaos`).
 
 pub mod chaos;
+pub mod drift;
 mod fleet;
 pub mod http;
 pub mod model;
 pub mod registry;
 pub mod server;
 
+pub use drift::{BatchDriftStats, DriftConfig, DriftPolicy, DriftSentinel};
 pub use model::{Assignment, InferenceModel, ModelError, ServeMode};
 pub use registry::{load_initial, ModelRegistry, ModelVersion, ReloadError};
 pub use server::{shed_tier, ServeError, ServeStats, ServerConfig, ServerHandle};

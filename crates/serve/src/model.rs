@@ -23,7 +23,8 @@
 //! Missing or non-finite centroids are not servable at all and fail the
 //! load with a typed [`ModelError`].
 
-use adec_nn::{soft_assignment, Checkpoint, CheckpointError, ParamStore};
+use crate::drift::BatchDriftStats;
+use adec_nn::{soft_assignment, Checkpoint, CheckpointError, ParamStore, ReferenceProfile};
 use adec_tensor::{finite_scan, kernels, FusedAct, Matrix};
 use std::path::Path;
 
@@ -312,6 +313,9 @@ pub struct InferenceModel {
     encoder: Option<Net>,
     decoder: Option<Net>,
     centroids: Matrix,
+    /// Training-time reference profile, when the checkpoint carried one
+    /// whose shape matches the reconstructed model (drift sentinel input).
+    profile: Option<ReferenceProfile>,
 }
 
 impl InferenceModel {
@@ -395,6 +399,14 @@ impl InferenceModel {
             (Some(_), None) => ServeMode::NoDecoder,
             (None, _) => ServeMode::CentroidOnly,
         };
+        // Keep the reference profile only when it describes *this* model:
+        // a profile from a differently-shaped run would feed the sentinel
+        // garbage, which is worse than disabling it.
+        let profile = ck
+            .profile
+            .as_ref()
+            .filter(|p| p.matches(latent, centroids.rows()) && p.validate().is_ok())
+            .cloned();
         Ok(InferenceModel {
             phase: ck.phase.clone(),
             mode,
@@ -402,6 +414,7 @@ impl InferenceModel {
             encoder,
             decoder: if mode == ServeMode::Full { decoder } else { None },
             centroids,
+            profile,
         })
     }
 
@@ -559,6 +572,69 @@ impl InferenceModel {
         }
     }
 
+    /// The training-time reference profile this model was shipped with,
+    /// if any (drift-sentinel input).
+    pub fn profile(&self) -> Option<&ReferenceProfile> {
+        self.profile.as_ref()
+    }
+
+    /// Reduces a validated batch to the additive summary the drift
+    /// sentinel accumulates, scored against this model's own profile.
+    /// `None` when the model has no profile, the batch width is wrong, or
+    /// the embedding went non-finite — a batch the sentinel must not
+    /// learn from. Independent of the serving tier: drift statistics are
+    /// always computed at full soft-assignment fidelity so load shedding
+    /// cannot mask (or fake) a shift.
+    pub fn drift_stats(&self, x: &Matrix) -> Option<BatchDriftStats> {
+        assert!(x.rows() > 0, "drift_stats: empty batch");
+        let profile = self.profile.as_ref()?;
+        if x.cols() != self.input_dim() {
+            return None;
+        }
+        // Centroid-only models accept latent-space input directly.
+        let owned;
+        let z: &Matrix = match &self.encoder {
+            Some(enc) => {
+                owned = enc.forward(x);
+                &owned
+            }
+            None => x,
+        };
+        if !finite_scan(z.as_slice()).is_clean() {
+            return None;
+        }
+        let q = soft_assignment(z, &self.centroids, self.alpha);
+        let p90 = profile.distance_quantiles.last().copied().unwrap_or(f32::INFINITY);
+        let mut stats = BatchDriftStats::new(self.latent_dim(), self.k());
+        stats.rows = z.rows() as u64;
+        for i in 0..z.rows() {
+            for (slot, &v) in stats.latent_sum.iter_mut().zip(z.row(i).iter()) {
+                *slot += f64::from(v);
+            }
+            let row = q.row(i);
+            let mut ent = 0.0f64;
+            let mut best = (0usize, f32::NEG_INFINITY);
+            for (j, &p) in row.iter().enumerate() {
+                if p > 0.0 {
+                    ent -= f64::from(p) * f64::from(p).ln();
+                }
+                if p > best.1 {
+                    best = (j, p);
+                }
+            }
+            stats.entropy_sum += ent;
+            stats.confidence_sum += f64::from(best.1.max(0.0));
+            if let Some(slot) = stats.occupancy.get_mut(best.0) {
+                *slot += 1;
+            }
+            let (_, nearest) = self.nearest_centroid(z.row(i));
+            if nearest > p90 {
+                stats.tail_rows += 1;
+            }
+        }
+        Some(stats)
+    }
+
     /// Nearest centroid by squared L2; ties break to the lowest index so
     /// the answer is deterministic.
     fn nearest_centroid(&self, z: &[f32]) -> (usize, f32) {
@@ -617,6 +693,7 @@ pub(crate) mod tests {
             store,
             opts: vec![],
             extra: vec![],
+            profile: None,
         }
     }
 

@@ -36,6 +36,7 @@
 //! *compute* deadline bounds the forward pass, checked between row chunks
 //! so even a maximal batch cannot overshoot by much.
 
+use crate::drift::{DriftConfig, DriftSentinel};
 use crate::fleet::{backoff_ms, replica_event, Replica};
 use crate::http::{read_request, write_response, HttpError, Limits, Method, Request};
 use crate::model::{AssignError, Assignment, ServeMode, MAX_FEATURE_MAGNITUDE};
@@ -92,6 +93,8 @@ pub struct ServerConfig {
     pub seed: u64,
     /// Byte budgets for heads and bodies.
     pub limits: Limits,
+    /// Drift-sentinel tuning (policy, window size, detector knobs).
+    pub drift: DriftConfig,
 }
 
 impl Default for ServerConfig {
@@ -109,6 +112,7 @@ impl Default for ServerConfig {
             watch_interval_ms: 500,
             seed: 0,
             limits: Limits::default(),
+            drift: DriftConfig::default(),
         }
     }
 }
@@ -295,6 +299,8 @@ struct Shared {
     shutting_down: AtomicBool,
     stats: Stats,
     obs: ObsMetrics,
+    /// Drift sentinel; inert when the checkpoint carried no profile.
+    drift: DriftSentinel,
     addr: SocketAddr,
     started: Instant,
 }
@@ -326,11 +332,17 @@ impl Shared {
         }
     }
 
-    /// Stages + swaps `path`, mirroring the outcome into the counters.
+    /// Stages + swaps `path`, mirroring the outcome into the counters. A
+    /// successful swap re-arms the drift sentinel against the incoming
+    /// checkpoint's profile: the refit model defines the new healthy
+    /// regime, so stale evidence (and any latched alarm) is dropped.
     fn do_reload(&self, path: &std::path::Path) -> Result<Arc<ModelVersion>, crate::ReloadError> {
         let res = self.registry.reload(path);
         match &res {
-            Ok(_) => self.count(&self.stats.reloads, &self.obs.reloads),
+            Ok(next) => {
+                self.count(&self.stats.reloads, &self.obs.reloads);
+                self.drift.reset(next.model.profile().cloned());
+            }
             Err(_) => self.count(&self.stats.reloads_refused, &self.obs.reloads_refused),
         }
         res
@@ -370,6 +382,12 @@ impl ServerHandle {
             .as_ref()
             .map_or_else(|| "initial".to_string(), |p| p.display().to_string());
         let fleet_size = config.fleet_size();
+        let drift = DriftSentinel::new(
+            config.drift.clone(),
+            model.profile().cloned(),
+            fleet_size,
+            u64::from(addr.port()),
+        );
         let shared = Arc::new(Shared {
             registry: ModelRegistry::new(model, alpha, source),
             replicas: (0..fleet_size).map(|i| Arc::new(Replica::new(i))).collect(),
@@ -379,6 +397,7 @@ impl ServerHandle {
             shutting_down: AtomicBool::new(false),
             stats: Stats::default(),
             obs: ObsMetrics::new(),
+            drift,
             addr,
             started: Instant::now(),
         });
@@ -840,11 +859,17 @@ fn serve_connection(shared: &Shared, replica: &Replica, stream: &mut TcpStream) 
     };
     replica.mark_busy(shared.now_ms());
     let mv = shared.registry.current();
-    route(shared, stream, &request, &mv);
+    route(shared, stream, &request, &mv, replica.id);
 }
 
 /// Routes a parsed request; every arm answers exactly once.
-fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, mv: &Arc<ModelVersion>) {
+fn route(
+    shared: &Shared,
+    stream: &mut TcpStream,
+    request: &Request,
+    mv: &Arc<ModelVersion>,
+    replica_id: usize,
+) {
     let draining = shared.shutting_down.load(Ordering::SeqCst);
     match (request.method, request.path.as_str()) {
         (Method::Get, "/healthz") => {
@@ -853,9 +878,14 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, mv: &Arc<Mo
         }
         (Method::Get, "/readyz") => {
             let model = &mv.model;
+            // The gate rung of the mitigation ladder: a latched drift
+            // alarm fails readiness until a refit checkpoint hot-reloads
+            // (which resets the sentinel).
+            let drift_gated = shared.drift.gates_readiness();
+            let ready = !draining && !drift_gated;
             let body = format!(
-                r#"{{"ready":{},"mode":"{}","phase":"{}","input_dim":{},"latent_dim":{},"clusters":{},"model_version":{},"reload_generation":{},"replicas":{},"replicas_live":{}}}"#,
-                !draining,
+                r#"{{"ready":{},"mode":"{}","phase":"{}","input_dim":{},"latent_dim":{},"clusters":{},"model_version":{},"reload_generation":{},"replicas":{},"replicas_live":{},"drift_policy":"{}","drift_profile":"{}","drift_alarmed":{}}}"#,
+                ready,
                 model.mode.as_str(),
                 model.phase,
                 model.input_dim(),
@@ -865,14 +895,22 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, mv: &Arc<Mo
                 shared.registry.generation(),
                 shared.replicas.len(),
                 shared.replicas_live.load(Ordering::Relaxed),
+                shared.drift.policy().as_str(),
+                if shared.drift.enabled() { "present" } else { "absent" },
+                shared.drift.alarmed(),
             );
-            let status = if draining { 503 } else { 200 };
-            if draining {
-                shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
-            } else {
+            let status = if ready { 200 } else { 503 };
+            if ready {
                 shared.count(&shared.stats.served, &shared.obs.served);
+            } else {
+                shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             }
             let _ = write_response(stream, status, &[], "application/json", body.as_bytes());
+        }
+        (Method::Get, "/driftz") => {
+            let body = render_driftz(shared);
+            shared.count(&shared.stats.served, &shared.obs.served);
+            let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
         }
         (Method::Get, "/metrics") => {
             // Prometheus scrape of the process-global registry, plus this
@@ -949,11 +987,11 @@ fn route(shared: &Shared, stream: &mut TcpStream, request: &Request, mv: &Arc<Mo
         (Method::Post, "/chaos/wedge-replica") => {
             handle_chaos(shared, stream, request, ChaosOp::Wedge);
         }
-        (Method::Post, "/assign") => handle_assign(shared, stream, request, mv),
+        (Method::Post, "/assign") => handle_assign(shared, stream, request, mv, replica_id),
         (
             _,
-            "/healthz" | "/readyz" | "/statz" | "/metrics" | "/shutdown" | "/assign" | "/reload"
-            | "/chaos/kill-replica" | "/chaos/wedge-replica",
+            "/healthz" | "/readyz" | "/driftz" | "/statz" | "/metrics" | "/shutdown" | "/assign"
+            | "/reload" | "/chaos/kill-replica" | "/chaos/wedge-replica",
         ) => {
             shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             let _ = write_response(
@@ -1022,7 +1060,58 @@ fn render_fleet_metrics(shared: &Shared) -> String {
             v.served()
         ));
     }
+    let d = shared.drift.snapshot();
+    out.push_str("# TYPE adec_serve_drift_enabled gauge\n");
+    out.push_str(&format!("adec_serve_drift_enabled {}\n", u8::from(d.enabled)));
+    out.push_str("# TYPE adec_serve_drift_alarmed gauge\n");
+    out.push_str(&format!("adec_serve_drift_alarmed {}\n", u8::from(d.alarmed)));
+    out.push_str("# TYPE adec_serve_drift_severity gauge\n");
+    out.push_str(&format!("adec_serve_drift_severity {}\n", d.severity));
+    out.push_str("# TYPE adec_serve_drift_windows_total counter\n");
+    out.push_str(&format!("adec_serve_drift_windows_total {}\n", d.windows));
+    out.push_str("# TYPE adec_serve_drift_alarms_total counter\n");
+    out.push_str(&format!("adec_serve_drift_alarms_total {}\n", d.alarms));
+    out.push_str("# TYPE adec_serve_drift_clears_total counter\n");
+    out.push_str(&format!("adec_serve_drift_clears_total {}\n", d.clears));
+    out.push_str("# TYPE adec_serve_drift_score gauge\n");
+    for s in &d.signals {
+        out.push_str(&format!(
+            "adec_serve_drift_score{{signal=\"{}\"}} {}\n",
+            s.name, s.score
+        ));
+    }
     out
+}
+
+/// `GET /driftz`: the sentinel's full state as JSON, one detector object
+/// per signal.
+fn render_driftz(shared: &Shared) -> String {
+    let d = shared.drift.snapshot();
+    let mut body = format!(
+        r#"{{"policy":"{}","profile":"{}","enabled":{},"window_rows":{},"windows":{},"rows":{},"pending_rows":{},"alarmed":{},"severity":{},"alarms":{},"clears":{},"signals":["#,
+        d.policy.as_str(),
+        if d.enabled { "present" } else { "absent" },
+        d.enabled,
+        d.window_rows,
+        d.windows,
+        d.rows,
+        d.pending_rows,
+        d.alarmed,
+        d.severity,
+        d.alarms,
+        d.clears,
+    );
+    for (i, s) in d.signals.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            r#"{{"name":"{}","last":{},"score":{},"alarmed":{}}}"#,
+            s.name, s.last, s.score, s.alarmed
+        ));
+    }
+    body.push_str("]}");
+    body
 }
 
 /// `POST /reload`: stage + swap the configured checkpoint path. Refusals
@@ -1137,14 +1226,18 @@ fn handle_assign(
     stream: &mut TcpStream,
     request: &Request,
     mv: &Arc<ModelVersion>,
+    replica_id: usize,
 ) {
     let compute_deadline =
         Instant::now() + Duration::from_millis(shared.config.deadline_ms);
     // Sample queue pressure once, at entry: every chunk of this request
     // is answered at one consistent rung, chosen from the backlog the
-    // fleet held when this worker started.
+    // fleet held when this worker started. The drift sentinel's demand
+    // (the degrade rung of the mitigation ladder) folds in as one more
+    // pressure source on the same ladder.
     let depth = shared.queued_total.load(Ordering::SeqCst);
-    let pressure = shed_tier(depth, shared.config.max_inflight);
+    let pressure =
+        ServeMode::worse(shed_tier(depth, shared.config.max_inflight), shared.drift.shed_contribution());
     let model = &mv.model;
     let effective = model.effective_mode(pressure);
     let want = model.input_dim();
@@ -1194,9 +1287,20 @@ fn handle_assign(
     shared.count(tier_local, tier_global);
     // The response reports the rung it was *answered* at, so a client can
     // tell checkpoint degradation and load shedding apart from the mix of
-    // modes it sees.
-    let body = render_assignments(&effective, &model.phase, mv.version, &assignments);
+    // modes it sees. The drift flag appears only above observe policy, so
+    // observe-mode responses stay byte-identical to a sentinel-less run.
+    let drift_flag = shared.drift.stamps_responses().then(|| shared.drift.alarmed());
+    let body = render_assignments(&effective, &model.phase, mv.version, drift_flag, &assignments);
     let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+    // Feed the sentinel after answering: detection rides the request path
+    // but never delays the response it learned from.
+    if shared.drift.enabled() {
+        let data: Vec<f32> = rows.iter().flatten().copied().collect();
+        let x = adec_tensor::Matrix::from_vec(rows.len(), want, data);
+        if let Some(batch) = model.drift_stats(&x) {
+            shared.drift.record(replica_id, &batch);
+        }
+    }
 }
 
 /// Parses a CSV request body: one sample per line, `want` comma-separated
@@ -1247,18 +1351,25 @@ fn parse_csv_body(body: &[u8], want: usize) -> Result<Vec<Vec<f32>>, String> {
 /// Rust's shortest-roundtrip `Display`, so identical inputs and model
 /// version yield byte-identical responses — the chaos drill asserts
 /// exactly that. `model_version` sits outside the `"assignments"` array,
-/// so the hot-swap no-op property compares the array alone.
+/// so the hot-swap no-op property compares the array alone. `drift` is
+/// `None` under observe policy (the field is omitted entirely — byte
+/// identity with a sentinel-less server) and `Some(alarm state)` above it.
 fn render_assignments(
     mode: &ServeMode,
     phase: &str,
     model_version: u64,
+    drift: Option<bool>,
     assignments: &[Assignment],
 ) -> String {
     let mut out = String::with_capacity(64 + assignments.len() * 64);
     out.push_str(&format!(
-        r#"{{"mode":"{}","phase":"{phase}","model_version":{model_version},"assignments":["#,
+        r#"{{"mode":"{}","phase":"{phase}","model_version":{model_version},"#,
         mode.as_str()
     ));
+    if let Some(alarmed) = drift {
+        out.push_str(&format!(r#""drift":{alarmed},"#));
+    }
+    out.push_str(r#""assignments":["#);
     for (i, a) in assignments.iter().enumerate() {
         if i > 0 {
             out.push(',');
@@ -1339,6 +1450,7 @@ mod tests {
             &ServeMode::Full,
             "dec",
             1,
+            None,
             &[Assignment {
                 label: 2,
                 q: vec![0.25, 0.75],
@@ -1354,6 +1466,7 @@ mod tests {
             &ServeMode::CentroidOnly,
             "dec",
             3,
+            Some(true),
             &[Assignment {
                 label: 0,
                 q: vec![],
@@ -1363,7 +1476,7 @@ mod tests {
         );
         assert_eq!(
             degraded,
-            r#"{"mode":"degraded-centroid-only","phase":"dec","model_version":3,"assignments":[{"label":0,"dist":1.5}]}"#
+            r#"{"mode":"degraded-centroid-only","phase":"dec","model_version":3,"drift":true,"assignments":[{"label":0,"dist":1.5}]}"#
         );
     }
 

@@ -49,6 +49,7 @@ pub fn sample_checkpoint(seed: u64) -> Checkpoint {
         store,
         opts: vec![],
         extra: vec![],
+        profile: None,
     }
 }
 
