@@ -229,7 +229,10 @@ fn is_detach_exempt_path(rel: &str) -> bool {
 /// drift sentinel, the change detectors it is built on, and the stream
 /// simulator qualify because their slice/matrix-taking entry points are
 /// fed from live traffic, scraped statistics, and generated streams —
-/// a silent shape mismatch there corrupts an alarm decision.
+/// a silent shape mismatch there corrupts an alarm decision. The trace
+/// ring and the tape-op profiler qualify because they sit on every
+/// request / every tape push: any future slice-taking entry point there
+/// would be hot-path code fed by untrusted span and op streams.
 fn needs_kernel_asserts(rel: &str) -> bool {
     rel == "crates/tensor/src/matrix.rs"
         || rel == "crates/tensor/src/linalg.rs"
@@ -242,6 +245,8 @@ fn needs_kernel_asserts(rel: &str) -> bool {
         || rel == "crates/metrics/src/detect.rs"
         || rel == "crates/datagen/src/stream.rs"
         || rel == "crates/loadgen/src/stats.rs"
+        || rel == "crates/obs/src/trace.rs"
+        || rel == "crates/nn/src/profiler.rs"
 }
 
 /// Parses every `lint:allow(a, b)` occurrence on a line into rule names
@@ -836,6 +841,29 @@ mod tests {
         // Sibling files in those crates stay off the kernel list.
         assert!(lint_source("crates/metrics/src/tradeoff.rs", bad).is_empty());
         assert!(lint_source("crates/datagen/src/digits.rs", bad).is_empty());
+    }
+
+    #[test]
+    fn trace_and_profiler_files_are_on_the_kernel_assert_list() {
+        // The trace ring and tape-op profiler run on every request /
+        // every tape push; slice-taking entry points there must validate
+        // their shapes up front like any other hot-path kernel.
+        let bad = "pub fn weighted_stages(ms: &[f64]) -> f64 {\n    body()\n}\n";
+        for rel in ["crates/obs/src/trace.rs", "crates/nn/src/profiler.rs"] {
+            let diags = lint_source(rel, bad);
+            assert!(
+                diags.iter().any(|d| d.rule == "lint.kernel-assert"),
+                "{rel}: {diags:?}"
+            );
+        }
+        let good = "pub fn weighted_stages(ms: &[f64]) -> f64 {\n    assert!(!ms.is_empty());\n    body()\n}\n";
+        assert!(lint_source("crates/obs/src/trace.rs", good)
+            .iter()
+            .all(|d| d.rule != "lint.kernel-assert"));
+        // Sibling files in those crates stay off the kernel list.
+        assert!(lint_source("crates/obs/src/span.rs", bad)
+            .iter()
+            .all(|d| d.rule != "lint.kernel-assert"));
     }
 
     #[test]

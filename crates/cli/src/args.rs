@@ -134,7 +134,9 @@ pub struct Args {
     /// Optional path to save pretrained weights.
     pub save_weights: Option<String>,
     /// Print per-interval ACC/NMI while training.
-    pub trace: bool,
+    pub progress: bool,
+    /// Write an `adec-prof/v1` tape-op profile JSON here after the run.
+    pub trace_out: Option<String>,
     /// Validate the model architectures for this configuration and exit
     /// without training.
     pub check: bool,
@@ -166,7 +168,8 @@ impl Default for Args {
             iters: 1_800,
             labels_out: None,
             save_weights: None,
-            trace: false,
+            progress: false,
+            trace_out: None,
             check: false,
             deep: false,
             checkpoint_dir: None,
@@ -205,6 +208,9 @@ pub struct ServeArgs {
     pub drift_policy: String,
     /// Rows per drift detection window.
     pub drift_window: usize,
+    /// Causal tracing tail-sampling threshold in milliseconds
+    /// (`None` = tracing off; `Some(0)` retains every request).
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServeArgs {
@@ -222,6 +228,7 @@ impl Default for ServeArgs {
             wedge_budget_ms: 0,
             drift_policy: "observe".to_string(),
             drift_window: 256,
+            trace_slow_ms: None,
         }
     }
 }
@@ -249,6 +256,9 @@ pub fn serve_usage() -> String {
                                 (default observe; needs a checkpoint with a\n\
                                 reference profile to do anything)\n\
        --drift-window <N>       rows per drift detection window (default 256)\n\
+       --trace-slow-ms <N>      enable causal tracing; keep full span trees for\n\
+                                requests slower than N ms (errors and shed\n\
+                                requests always retained; 0 = retain all)\n\
        --help                   this message\n\
      \n\
      ENDPOINTS:\n\
@@ -258,6 +268,8 @@ pub fn serve_usage() -> String {
                         a drift alarm is latched under --drift-policy gate\n\
        GET  /driftz     drift sentinel state (per-signal scores, alarm latch)\n\
        GET  /statz      request counters + per-replica counters\n\
+       GET  /tracez     slowest retained request traces with per-stage\n\
+                        breakdown (?format=chrome for chrome://tracing JSON)\n\
        GET  /metrics    Prometheus text exposition (counters + latency histograms,\n\
                         per-replica, per-model-version and drift series)\n\
        POST /assign     CSV rows of features -> JSON soft assignments\n\
@@ -355,6 +367,13 @@ pub fn parse_serve(argv: &[String]) -> Result<ServeArgs, ParseError> {
                     .ok()
                     .filter(|&n: &usize| n >= 1)
                     .ok_or_else(|| ParseError(format!("invalid drift window '{v}'")))?;
+            }
+            "--trace-slow-ms" => {
+                let v = value("--trace-slow-ms")?;
+                args.trace_slow_ms = Some(
+                    v.parse()
+                        .map_err(|_| ParseError(format!("invalid trace threshold '{v}'")))?,
+                );
             }
             other => return Err(ParseError(format!("unknown flag '{other}' (see adec serve --help)"))),
         }
@@ -556,6 +575,135 @@ pub fn parse_load(argv: &[String]) -> Result<LoadArgs, ParseError> {
     Ok(args)
 }
 
+/// Arguments for the `adec prof` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProfArgs {
+    /// Pipeline seed.
+    pub seed: u64,
+    /// Pretraining iterations for the profiled pipeline.
+    pub pretrain_iters: usize,
+    /// Clustering iterations per trainer for the profiled pipeline.
+    pub cluster_iters: usize,
+    /// Write the adec-prof/v1 profile JSON here.
+    pub out: Option<String>,
+    /// Check an existing profile JSON for manifest + section coverage
+    /// instead of running the pipeline.
+    pub check: Option<String>,
+    /// Compare two profile JSONs (`old`, `new`) per op instead of running
+    /// the pipeline.
+    pub diff: Option<(String, String)>,
+    /// With `--diff`: fail when any op's ns/call regresses by more than
+    /// this fraction (e.g. 0.25 = 25%).
+    pub fail_above: Option<f64>,
+}
+
+impl Default for ProfArgs {
+    fn default() -> Self {
+        ProfArgs {
+            seed: 7,
+            pretrain_iters: 60,
+            cluster_iters: 60,
+            out: None,
+            check: None,
+            diff: None,
+            fail_above: None,
+        }
+    }
+}
+
+/// The `adec prof --help` text.
+pub fn prof_usage() -> String {
+    "adec prof — tape-op profiler: per-op wall time and FLOP throughput\n\
+     \n\
+     USAGE:\n\
+       adec prof [--out <PATH>] [OPTIONS]           profile the five-trainer pipeline\n\
+       adec prof --check <PROFILE.json>             coverage-check an existing profile\n\
+       adec prof --diff <OLD.json> <NEW.json>       per-op regression report\n\
+     \n\
+     OPTIONS:\n\
+       --seed <N>            pipeline seed                      (default 7)\n\
+       --pretrain-iters <N>  pretraining iterations             (default 60)\n\
+       --cluster-iters <N>   iterations per clustering trainer  (default 60)\n\
+       --out <PATH>          write the adec-prof/v1 profile JSON here\n\
+       --check <PATH>        verify a profile covers every phase-manifest op and\n\
+                             that sections explain >= 95% of each trainer phase's\n\
+                             wall time; exit 1 on gaps\n\
+       --diff <OLD> <NEW>    per-op ns/call comparison between two profiles\n\
+       --fail-above <FRAC>   with --diff: exit 1 when any op regresses by more\n\
+                             than FRAC (e.g. 0.25 = 25%)\n\
+       --help                this message\n\
+     \n\
+     The table reports per-op GFLOP/s against the best measured kernel\n\
+     throughput in BENCH_kernels.json (when present in the working\n\
+     directory). Profiling is observational: the pipeline trajectory is\n\
+     identical with the profiler on or off.\n"
+        .to_string()
+}
+
+/// Parses the argument list after the `prof` subcommand token.
+pub fn parse_prof(argv: &[String]) -> Result<ProfArgs, ParseError> {
+    let mut args = ProfArgs::default();
+    let mut it = argv.iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| -> Result<&String, ParseError> {
+            it.next()
+                .ok_or_else(|| ParseError(format!("{name} requires a value")))
+        };
+        match flag.as_str() {
+            "--seed" => {
+                let v = value("--seed")?;
+                args.seed = v
+                    .parse()
+                    .map_err(|_| ParseError(format!("invalid seed '{v}'")))?;
+            }
+            "--pretrain-iters" => {
+                let v = value("--pretrain-iters")?;
+                args.pretrain_iters = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid iteration count '{v}'")))?;
+            }
+            "--cluster-iters" => {
+                let v = value("--cluster-iters")?;
+                args.cluster_iters = v
+                    .parse()
+                    .ok()
+                    .filter(|&n: &usize| n >= 1)
+                    .ok_or_else(|| ParseError(format!("invalid iteration count '{v}'")))?;
+            }
+            "--out" => args.out = Some(value("--out")?.clone()),
+            "--check" => args.check = Some(value("--check")?.clone()),
+            "--diff" => {
+                let old = value("--diff")?.clone();
+                let new = value("--diff")?.clone();
+                args.diff = Some((old, new));
+            }
+            "--fail-above" => {
+                let v = value("--fail-above")?;
+                args.fail_above = Some(
+                    v.parse()
+                        .ok()
+                        .filter(|f: &f64| f.is_finite() && *f > 0.0)
+                        .ok_or_else(|| ParseError(format!("invalid fraction '{v}'")))?,
+                );
+            }
+            other => {
+                return Err(ParseError(format!(
+                    "unknown flag '{other}' (see adec prof --help)"
+                )))
+            }
+        }
+    }
+    if args.fail_above.is_some() && args.diff.is_none() {
+        return Err(ParseError("--fail-above requires --diff".into()));
+    }
+    if args.check.is_some() && args.diff.is_some() {
+        return Err(ParseError("--check and --diff are mutually exclusive".into()));
+    }
+    Ok(args)
+}
+
 /// Argument-parsing failure with a user-facing message.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError(pub String);
@@ -591,6 +739,8 @@ pub fn usage() -> String {
          USAGE:\n\
            adec [OPTIONS]\n\
            adec serve --checkpoint <PATH> [OPTIONS]   (see adec serve --help)\n\
+           adec load [OPTIONS]                        (see adec load --help)\n\
+           adec prof [OPTIONS]                        (see adec prof --help)\n\
          \n\
          OPTIONS:\n\
            --dataset <NAME>        digits-full | digits-test | usps | fashion | reuters | protein\n\
@@ -602,7 +752,9 @@ pub fn usage() -> String {
            --iters <N>             clustering iterations         (default 1800)\n\
            --labels-out <PATH>     write predicted labels as CSV\n\
            --save-weights <PATH>   save pretrained weights (deep methods)\n\
-           --trace                 print per-interval ACC/NMI\n\
+           --progress              print per-interval ACC/NMI (--trace is a deprecated alias)\n\
+           --trace-out <PATH>      write an adec-prof/v1 tape-op profile JSON after the run\n\
+                                   (observational: the trajectory is bitwise unchanged)\n\
            --check                 validate model architectures for this configuration, then exit\n\
            --deep                  with --check: also audit tape dataflow + kernel determinism\n\
            --checkpoint-dir <DIR>  write atomic training checkpoints here (deep methods)\n\
@@ -669,7 +821,13 @@ pub fn parse(argv: &[String]) -> Result<Args, ParseError> {
             }
             "--labels-out" => args.labels_out = Some(value("--labels-out")?.clone()),
             "--save-weights" => args.save_weights = Some(value("--save-weights")?.clone()),
-            "--trace" => args.trace = true,
+            "--progress" => args.progress = true,
+            "--trace" => {
+                // lint:allow(obs-eprintln) -- one-line deprecation warning
+                eprintln!("warning: --trace is deprecated, use --progress (tracing now means causal tracing; see --trace-out and adec prof)");
+                args.progress = true;
+            }
+            "--trace-out" => args.trace_out = Some(value("--trace-out")?.clone()),
             "--check" => args.check = true,
             "--deep" => args.deep = true,
             "--checkpoint-dir" => args.checkpoint_dir = Some(value("--checkpoint-dir")?.clone()),
@@ -729,7 +887,7 @@ mod tests {
         let args = parse(&strs(&[
             "--dataset", "reuters", "--method", "idec", "--size", "medium", "--seed", "42",
             "--pretrain", "vanilla", "--iters", "500", "--pretrain-iters", "300",
-            "--labels-out", "out.csv", "--trace",
+            "--labels-out", "out.csv", "--progress",
         ]))
         .unwrap();
         assert_eq!(args.dataset, Benchmark::Tfidf);
@@ -740,7 +898,60 @@ mod tests {
         assert_eq!(args.iters, 500);
         assert_eq!(args.pretrain_iters, 300);
         assert_eq!(args.labels_out.as_deref(), Some("out.csv"));
-        assert!(args.trace);
+        assert!(args.progress);
+    }
+
+    #[test]
+    fn deprecated_trace_flag_still_means_progress() {
+        let args = parse(&strs(&["--trace"])).unwrap();
+        assert!(args.progress, "--trace must stay a working alias for --progress");
+        assert_eq!(args.trace_out, None, "--trace must not imply --trace-out");
+    }
+
+    #[test]
+    fn trace_out_flag_parses() {
+        let args = parse(&strs(&["--trace-out", "prof.json"])).unwrap();
+        assert_eq!(args.trace_out.as_deref(), Some("prof.json"));
+        assert!(!args.progress);
+        assert_eq!(parse(&[]).unwrap().trace_out, None);
+        assert!(parse(&strs(&["--trace-out"])).unwrap_err().0.contains("requires a value"));
+    }
+
+    #[test]
+    fn prof_args_parse_with_defaults() {
+        let d = parse_prof(&[]).unwrap();
+        assert_eq!(d, ProfArgs::default());
+
+        let full = parse_prof(&strs(&[
+            "--seed", "11", "--pretrain-iters", "80", "--cluster-iters", "40",
+            "--out", "prof.json",
+        ]))
+        .unwrap();
+        assert_eq!(full.seed, 11);
+        assert_eq!(full.pretrain_iters, 80);
+        assert_eq!(full.cluster_iters, 40);
+        assert_eq!(full.out.as_deref(), Some("prof.json"));
+
+        let diff = parse_prof(&strs(&["--diff", "a.json", "b.json", "--fail-above", "0.25"])).unwrap();
+        assert_eq!(diff.diff, Some(("a.json".into(), "b.json".into())));
+        assert_eq!(diff.fail_above, Some(0.25));
+
+        let check = parse_prof(&strs(&["--check", "prof.json"])).unwrap();
+        assert_eq!(check.check.as_deref(), Some("prof.json"));
+    }
+
+    #[test]
+    fn prof_args_reject_nonsense() {
+        assert!(parse_prof(&strs(&["--diff", "a.json"])).unwrap_err().0.contains("requires a value"));
+        assert!(parse_prof(&strs(&["--fail-above", "0.5"]))
+            .unwrap_err().0.contains("--fail-above requires --diff"));
+        assert!(parse_prof(&strs(&["--diff", "a", "b", "--fail-above", "-1"]))
+            .unwrap_err().0.contains("invalid fraction"));
+        assert!(parse_prof(&strs(&["--check", "p.json", "--diff", "a", "b"]))
+            .unwrap_err().0.contains("mutually exclusive"));
+        assert!(parse_prof(&strs(&["--cluster-iters", "0"]))
+            .unwrap_err().0.contains("invalid iteration count"));
+        assert!(parse_prof(&strs(&["--wat"])).unwrap_err().0.contains("unknown flag"));
     }
 
     #[test]
@@ -846,6 +1057,7 @@ mod tests {
             "--max-inflight", "8", "--deadline-ms", "100", "--read-deadline-ms", "250",
             "--alpha", "2.0", "--replicas", "4", "--watch-checkpoint", "watch.ckpt",
             "--wedge-budget-ms", "400", "--drift-policy", "gate", "--drift-window", "64",
+            "--trace-slow-ms", "250",
         ]))
         .unwrap();
         assert_eq!(full.port, 0);
@@ -859,6 +1071,8 @@ mod tests {
         assert_eq!(full.wedge_budget_ms, 400);
         assert_eq!(full.drift_policy, "gate");
         assert_eq!(full.drift_window, 64);
+        assert_eq!(full.trace_slow_ms, Some(250));
+        assert_eq!(args.trace_slow_ms, None, "tracing defaults off");
     }
 
     #[test]
@@ -882,6 +1096,8 @@ mod tests {
             .unwrap_err().0.contains("invalid drift policy"));
         assert!(parse_serve(&strs(&["--checkpoint", "x", "--drift-window", "0"]))
             .unwrap_err().0.contains("invalid drift window"));
+        assert!(parse_serve(&strs(&["--checkpoint", "x", "--trace-slow-ms", "fast"]))
+            .unwrap_err().0.contains("invalid trace threshold"));
         assert!(parse_serve(&strs(&["--checkpoint", "x", "--wat"]))
             .unwrap_err().0.contains("unknown flag"));
     }

@@ -45,6 +45,29 @@ fn main() {
         }
         return;
     }
+    if argv.first().map(String::as_str) == Some("prof") {
+        let rest = argv.get(1..).unwrap_or(&[]);
+        if rest.iter().any(|a| a == "--help" || a == "-h") {
+            print!("{}", adec_cli::args::prof_usage());
+            return;
+        }
+        let prof_args = match adec_cli::args::parse_prof(rest) {
+            Ok(a) => a,
+            Err(e) => {
+                eprintln!("error: {e}\n");
+                eprint!("{}", adec_cli::args::prof_usage());
+                std::process::exit(2);
+            }
+        };
+        match adec_cli::runner::prof(&prof_args) {
+            Ok(true) => return,
+            Ok(false) => std::process::exit(1),
+            Err(e) => {
+                eprintln!("error: {e}");
+                std::process::exit(e.exit_code());
+            }
+        }
+    }
     if argv.iter().any(|a| a == "--help" || a == "-h") {
         print!("{}", usage());
         return;

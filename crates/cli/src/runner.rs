@@ -166,6 +166,7 @@ pub fn serve(args: &crate::args::ServeArgs) -> Result<(), RunError> {
             window_rows: args.drift_window,
             ..adec_serve::DriftConfig::default()
         },
+        trace_slow_ms: args.trace_slow_ms,
         ..adec_serve::ServerConfig::default()
     };
     let handle = adec_serve::ServerHandle::start(model, config)
@@ -272,7 +273,232 @@ pub fn load(args: &crate::args::LoadArgs) -> Result<(), RunError> {
             report.reconcile.detail
         )));
     }
+    // When the server traces, every client-stamped /tracez exemplar must
+    // match a request this client actually sent (same id, server time not
+    // exceeding the client-observed latency).
+    if report.trace.checked && !report.trace.consistent {
+        return Err(RunError::Load(format!(
+            "/tracez exemplars do not reconcile with the client schedule: {}",
+            report.trace.detail
+        )));
+    }
     Ok(())
+}
+
+/// The `adec prof` subcommand. Three modes:
+///
+/// * default — runs the five-trainer profiled pipeline
+///   ([`adec_core::profiling::run_profiled_pipeline`]) and prints the
+///   per-op table (wall time, FLOPs, GFLOP/s, percent of the best
+///   measured kernel throughput from `BENCH_kernels.json` when present),
+///   optionally writing the `adec-prof/v1` JSON to `--out`;
+/// * `--check <file>` — verifies an existing profile covers every
+///   phase-manifest op and that sections explain ≥95% of each trainer
+///   phase's wall time;
+/// * `--diff <old> <new>` — per-op ns/call regression report, failing
+///   under `--fail-above` when any op regresses past the fraction.
+///
+/// Returns `Ok(false)` when a check/diff gate fails (the caller exits 1,
+/// like `--check` mode).
+///
+/// # Errors
+///
+/// [`RunError::Io`] for unreadable/unparseable profile files,
+/// [`RunError::Train`] when the profiled pipeline itself fails.
+pub fn prof(args: &crate::args::ProfArgs) -> Result<bool, RunError> {
+    if let Some((old_path, new_path)) = &args.diff {
+        let old = read_profile(old_path)?;
+        let new = read_profile(new_path)?;
+        return Ok(print_profile_diff(&old, &new, args.fail_above));
+    }
+    if let Some(path) = &args.check {
+        let profile = read_profile(path)?;
+        let mut problems = adec_core::profiling::check_manifest_coverage(&profile);
+        problems.extend(adec_core::profiling::check_section_coverage(&profile, 0.95));
+        if problems.is_empty() {
+            println!(
+                "prof check: every phase-manifest op recorded; sections cover >= 95% of each trainer phase"
+            );
+            return Ok(true);
+        }
+        for p in &problems {
+            println!("prof check: {p}");
+        }
+        return Ok(false);
+    }
+
+    let scale = adec_core::profiling::ProfileScale {
+        pretrain_iters: args.pretrain_iters,
+        cluster_iters: args.cluster_iters,
+    };
+    let profile = adec_core::profiling::run_profiled_pipeline(args.seed, scale)?;
+    // Persist before printing: the profile survives even if stdout is a
+    // pipe that closes under the table.
+    if let Some(path) = &args.out {
+        std::fs::write(path, adec_nn::profiler::profile_to_json(&profile))
+            .map_err(|e| RunError::Io(format!("profile '{path}': {e}")))?;
+    }
+    print_profile_table(&profile);
+    if let Some(path) = &args.out {
+        println!("profile written to {path}");
+    }
+    Ok(true)
+}
+
+fn read_profile(path: &str) -> Result<adec_nn::profiler::Profile, RunError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| RunError::Io(format!("profile '{path}': {e}")))?;
+    adec_nn::profiler::profile_from_json(&text)
+        .map_err(|e| RunError::Io(format!("profile '{path}': {e}")))
+}
+
+/// Best measured GFLOP/s per (non-naive) kernel from `BENCH_kernels.json`
+/// in the working directory; empty when the file is absent or malformed
+/// (the table then omits the roofline column values).
+fn kernel_rooflines() -> Vec<(String, f64)> {
+    use adec_obs::json::Json;
+    let Ok(text) = std::fs::read_to_string("BENCH_kernels.json") else {
+        return Vec::new();
+    };
+    let Ok(doc) = Json::parse(&text) else {
+        return Vec::new();
+    };
+    let Some(entries) = doc.get("entries").and_then(Json::as_arr) else {
+        return Vec::new();
+    };
+    let mut best: Vec<(String, f64)> = Vec::new();
+    for e in entries {
+        let Some(name) = e.get("name").and_then(Json::as_str) else { continue };
+        if name.ends_with("_naive") {
+            continue;
+        }
+        let Some(g) = e.get("gflops").and_then(Json::as_f64) else { continue };
+        match best.iter_mut().find(|(n, _)| n == name) {
+            Some((_, b)) => *b = b.max(g),
+            None => best.push((name.to_string(), g)),
+        }
+    }
+    best
+}
+
+/// Maps a profiled tape-op name onto the kernel-bench family that
+/// measures it (`matmul` covers the transposed variants, `add_bias`
+/// covers the fused activations). Ops without a benchmarked kernel get
+/// no roofline.
+fn kernel_family(op: &str) -> Option<&'static str> {
+    match op {
+        "matmul" => Some("matmul"),
+        "add_bias" | "add_bias_act" => Some("add_bias"),
+        "softmax_ce" => Some("softmax"),
+        _ => None,
+    }
+}
+
+fn roofline_for(op: &str, best: &[(String, f64)]) -> Option<f64> {
+    let family = kernel_family(op)?;
+    best.iter()
+        .filter(|(n, _)| n.starts_with(family))
+        .map(|(_, g)| *g)
+        .fold(None, |acc: Option<f64>, g| Some(acc.map_or(g, |a| a.max(g))))
+}
+
+/// Prints the per-phase op table plus each phase's section breakdown.
+fn print_profile_table(profile: &adec_nn::profiler::Profile) {
+    let best = kernel_rooflines();
+    println!(
+        "{:<20} {:<16} {:>9} {:>12} {:>10} {:>9}  roofline",
+        "phase", "op", "calls", "wall_ms", "gflop", "gflop/s"
+    );
+    for phase in &profile.phases {
+        for op in &phase.ops {
+            let wall_ms = op.wall_ns as f64 / 1e6;
+            let gflop = op.flops as f64 / 1e9;
+            let rate = op.gflops();
+            let roof = match roofline_for(&op.name, &best) {
+                Some(peak) if peak > 0.0 => {
+                    format!("{:.0}% of {peak:.1}", rate / peak * 100.0)
+                }
+                _ => "-".to_string(),
+            };
+            println!(
+                "{:<20} {:<16} {:>9} {:>12.3} {:>10.3} {:>9.2}  {roof}",
+                phase.name, op.name, op.calls, wall_ms, gflop, rate
+            );
+        }
+        if !phase.sections.is_empty() {
+            let parts: Vec<String> = phase
+                .sections
+                .iter()
+                .map(|s| format!("{} {:.1}ms", s.name, s.wall_ns as f64 / 1e6))
+                .collect();
+            println!(
+                "{:<20} sections cover {:.1}% of {:.1}ms: {}",
+                phase.name,
+                phase.coverage() * 100.0,
+                phase.wall_ns as f64 / 1e6,
+                parts.join(", ")
+            );
+        }
+    }
+}
+
+/// Prints the per-op ns/call comparison and returns whether it passes
+/// `fail_above` (always true without a limit).
+fn print_profile_diff(
+    old: &adec_nn::profiler::Profile,
+    new: &adec_nn::profiler::Profile,
+    fail_above: Option<f64>,
+) -> bool {
+    println!(
+        "{:<20} {:<16} {:>13} {:>13} {:>9}",
+        "phase", "op", "old ns/call", "new ns/call", "delta"
+    );
+    let mut worst: Option<(f64, String)> = None;
+    for phase in &new.phases {
+        let old_phase = old.phase(&phase.name);
+        for op in &phase.ops {
+            let new_pc = if op.calls > 0 { op.wall_ns as f64 / op.calls as f64 } else { 0.0 };
+            let Some(old_op) = old_phase.and_then(|p| p.op(&op.name)).filter(|o| o.calls > 0)
+            else {
+                println!(
+                    "{:<20} {:<16} {:>13} {:>13.0} {:>9}",
+                    phase.name, op.name, "-", new_pc, "new"
+                );
+                continue;
+            };
+            let old_pc = old_op.wall_ns as f64 / old_op.calls as f64;
+            if old_pc <= 0.0 || op.calls == 0 {
+                continue;
+            }
+            let ratio = new_pc / old_pc;
+            println!(
+                "{:<20} {:<16} {:>13.0} {:>13.0} {:>+8.1}%",
+                phase.name,
+                op.name,
+                old_pc,
+                new_pc,
+                (ratio - 1.0) * 100.0
+            );
+            if worst.as_ref().map_or(true, |(w, _)| ratio > *w) {
+                worst = Some((ratio, format!("{}/{}", phase.name, op.name)));
+            }
+        }
+    }
+    match (fail_above, worst) {
+        (Some(limit), Some((w, name))) if w > 1.0 + limit => {
+            println!(
+                "prof diff: FAIL — {name} regressed {:.1}% (allowed {:.0}%)",
+                (w - 1.0) * 100.0,
+                limit * 100.0
+            );
+            false
+        }
+        (Some(limit), _) => {
+            println!("prof diff: ok — no op regressed more than {:.0}%", limit * 100.0);
+            true
+        }
+        (None, _) => true,
+    }
 }
 
 fn arch_for(size: Size) -> ArchPreset {
@@ -346,6 +572,12 @@ pub fn check(args: &Args) -> adec_analysis::Report {
 /// never alters the trajectory (the CLI test proves checkpoints stay
 /// bitwise identical with it on or off).
 ///
+/// With `--trace-out <path>` the tape-op profiler is enabled for the run
+/// and the accumulated `adec-prof/v1` profile is written afterwards. Like
+/// telemetry it is purely observational: the profiler only reads clocks,
+/// so the trajectory is bitwise identical with it on or off (proved by
+/// the CLI trace drill).
+///
 /// # Errors
 ///
 /// Returns a [`RunError`] carrying the failure class (usage, training,
@@ -361,7 +593,22 @@ pub fn run(args: &Args) -> Result<RunReport, RunError> {
         )
         .map_err(|e| RunError::Io(format!("telemetry log '{path}': {e}")))?;
     }
+    if args.trace_out.is_some() {
+        adec_nn::profiler::reset();
+        adec_nn::profiler::enable();
+    }
     let result = run_inner(args);
+    let result = if let Some(path) = &args.trace_out {
+        adec_nn::profiler::disable();
+        let profile = adec_nn::profiler::snapshot();
+        result.and_then(|report| {
+            std::fs::write(path, adec_nn::profiler::profile_to_json(&profile))
+                .map_err(|e| RunError::Io(format!("profile '{path}': {e}")))?;
+            Ok(report)
+        })
+    } else {
+        result
+    };
     if args.telemetry.is_some() {
         if let Ok(report) = &result {
             adec_obs::emit(
@@ -475,7 +722,7 @@ fn run_inner(args: &Args) -> Result<RunReport, RunError> {
             // lint:allow(obs-eprintln) -- operator console output, not diagnostics
             eprintln!("saved weights to {path}");
         }
-        let trace = if args.trace {
+        let trace = if args.progress {
             TraceConfig::curves(&ds.labels)
         } else {
             TraceConfig::default()
@@ -557,7 +804,7 @@ fn run_inner(args: &Args) -> Result<RunReport, RunError> {
             }
             _ => unreachable!("non-deep methods handled below"),
         };
-        if args.trace {
+        if args.progress {
             for p in &out.trace.points {
                 if let (Some(a), Some(n)) = (p.acc, p.nmi) {
                     // lint:allow(obs-eprintln) -- operator console output, not diagnostics
@@ -582,7 +829,7 @@ fn run_inner(args: &Args) -> Result<RunReport, RunError> {
                 let mut cfg = VadeConfig::fast(k);
                 cfg.vae_iterations = args.pretrain_iters;
                 cfg.cluster_iterations = args.iters;
-                if args.trace {
+                if args.progress {
                     cfg.trace = TraceConfig::curves(&ds.labels);
                 }
                 vade::run(&mut store, &ds.data, arch_for(args.size), &cfg, &mut rng).labels

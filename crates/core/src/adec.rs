@@ -183,6 +183,8 @@ impl Adec {
         rng: &mut SeedRng,
     ) -> Result<(Adec, ClusterOutput), TrainError> {
         let start = Instant::now();
+        let _prof_phase = adec_nn::profiler::phase("adec");
+        let prof_init = adec_nn::profiler::section("init");
         let n = data.rows();
         let input_dim = ae.input_dim();
 
@@ -264,6 +266,8 @@ impl Adec {
             }
         }
 
+        drop(prof_init);
+
         // ---- Clustering phase ----
         let mut trace = TrainTrace::default();
         let mut last_grad_norm: Option<f32> = None;
@@ -301,6 +305,7 @@ impl Adec {
             iterations = i + 1;
             let natural = i % cfg.update_interval == 0;
             if natural || force_refresh {
+                let _prof_refresh = adec_nn::profiler::section("refresh");
                 force_refresh = false;
                 let z = ae.embed(store, data);
                 let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
@@ -362,6 +367,7 @@ impl Adec {
                 y_prev = Some(y_pred);
             }
 
+            let _prof_step = adec_nn::profiler::section("step");
             faults.poison_centroids(i, store, mu_id);
             let idx = rng.sample_indices(n, cfg.batch_size.min(n));
             let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
@@ -425,6 +431,7 @@ impl Adec {
             }
         }
 
+        let _prof_final = adec_nn::profiler::section("finalize");
         let z = ae.embed(store, data);
         let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
         cfg.durability.write_final("adec", || Checkpoint {
@@ -485,6 +492,7 @@ fn encoder_step(
     let enc_ids: Vec<ParamId> = ae.encoder.param_ids();
 
     // Pass 1: clustering gradient (encoder + centroids).
+    let prof_kl = adec_nn::profiler::phase("adec.encoder.kl");
     let mut kl_tape = Tape::new();
     let kl_value;
     {
@@ -518,10 +526,12 @@ fn encoder_step(
         .map(|(_, g)| g.sq_norm())
         .sum::<f32>()
         .sqrt();
+    drop(prof_kl);
 
     if cfg.adversarial_weight.abs() > 0.0 {
         // Pass 2: adversarial gradient (encoder only; decoder and
         // discriminator frozen).
+        let _prof_adv = adec_nn::profiler::phase("adec.encoder.adv");
         let mut adv_tape = Tape::new();
         {
             let xv = adv_tape.leaf(x_b.clone());
@@ -574,6 +584,7 @@ fn decoder_step(
     opt: &mut Sgd,
     decoder_ids: &std::collections::HashSet<ParamId>,
 ) -> f32 {
+    let _prof = adec_nn::profiler::phase("adec.decoder");
     let z = ae.encoder.infer(store, x_b); // detached
     let mut tape = Tape::new();
     let zv = tape.leaf(z);
@@ -600,6 +611,7 @@ fn discriminator_step(
     opt: &mut Sgd,
     disc_ids: &std::collections::HashSet<ParamId>,
 ) -> f32 {
+    let _prof = adec_nn::profiler::phase("adec.discriminator");
     let mut tape = Tape::new();
     let rv = tape.leaf(real.clone());
     let r_logits = discriminator.forward(&mut tape, store, rv);

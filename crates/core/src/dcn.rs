@@ -108,6 +108,8 @@ impl Dcn {
         rng: &mut SeedRng,
     ) -> Result<ClusterOutput, TrainError> {
         let start = Instant::now();
+        let _prof_phase = adec_nn::profiler::phase("dcn");
+        let prof_init = adec_nn::profiler::section("init");
         let mu0 = init_centroids(ae, store, data, cfg.k, rng);
         let mu_id = store.register("dcn.centroids", mu0);
         crate::archspec::clustering_spec("dcn", ae, store, store.get(mu_id), "sgd+momentum").assert_valid();
@@ -154,6 +156,7 @@ impl Dcn {
             }
         }
 
+        drop(prof_init);
         let mut force_refresh = start_iter % cfg.update_interval != 0;
         let start_iter = if already_done { cfg.max_iter } else { start_iter };
         for i in start_iter..cfg.max_iter {
@@ -166,6 +169,7 @@ impl Dcn {
             iterations = i + 1;
             let natural = i % cfg.update_interval == 0;
             if natural || force_refresh {
+                let _prof_refresh = adec_nn::profiler::section("refresh");
                 force_refresh = false;
                 if let Err(fault) = guard.check_params(store) {
                     let rec = guard.recover(store, fault, i)?;
@@ -225,6 +229,7 @@ impl Dcn {
                 y_prev = Some(y_pred);
             }
 
+            let _prof_step = adec_nn::profiler::section("step");
             faults.poison_centroids(i, store, mu_id);
 
             let idx = rng.sample_indices(data.rows(), cfg.batch_size.min(data.rows()));
@@ -236,6 +241,7 @@ impl Dcn {
             let targets = store.get(mu_id).gather_rows(&assign);
 
             // Network update on L_r + (λ/2)‖z − M s‖².
+            let _prof_tape = adec_nn::profiler::phase("dcn.step");
             let mut tape = Tape::new();
             let xv = tape.leaf(x_b.clone());
             let z = ae.encoder.forward(&mut tape, store, xv);
@@ -273,6 +279,7 @@ impl Dcn {
             }
         }
 
+        let _prof_final = adec_nn::profiler::section("finalize");
         let z = ae.embed(store, data);
         let labels = nearest_centroids(&z, store.get(mu_id));
         cfg.durability.write_final("dcn", || Checkpoint {

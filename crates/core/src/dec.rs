@@ -160,6 +160,8 @@ impl Dec {
         rng: &mut SeedRng,
     ) -> Result<ClusterOutput, TrainError> {
         let start = Instant::now();
+        let _prof_phase = adec_nn::profiler::phase("dec");
+        let prof_init = adec_nn::profiler::section("init");
         let mu0 = init_centroids(ae, store, data, cfg.k, rng);
         let mu_id = store.register("dec.centroids", mu0);
         crate::archspec::clustering_spec("dec", ae, store, store.get(mu_id), "sgd+momentum").assert_valid();
@@ -194,6 +196,7 @@ impl Dec {
             }
         }
 
+        drop(prof_init);
         let mut force_refresh = start_iter % cfg.update_interval != 0;
         let start_iter = if already_done { cfg.max_iter } else { start_iter };
         for i in start_iter..cfg.max_iter {
@@ -206,6 +209,7 @@ impl Dec {
             iterations = i + 1;
             let natural = i % cfg.update_interval == 0;
             if natural || force_refresh {
+                let _prof_refresh = adec_nn::profiler::section("refresh");
                 force_refresh = false;
                 let z = ae.embed(store, data);
                 let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
@@ -260,12 +264,14 @@ impl Dec {
                 y_prev = Some(y_pred);
             }
 
+            let _prof_step = adec_nn::profiler::section("step");
             faults.poison_centroids(i, store, mu_id);
 
             let idx = rng.sample_indices(data.rows(), cfg.batch_size.min(data.rows()));
             let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
             let p_b = p_full.gather_rows(&idx);
 
+            let _prof_tape = adec_nn::profiler::phase("dec.kl");
             let mut tape = Tape::new();
             let xv = tape.leaf(x_b);
             let z = ae.encoder.forward(&mut tape, store, xv);
@@ -285,6 +291,7 @@ impl Dec {
             opt.step_filtered(&tape, store, |id| id == mu_id || encoder_ids.contains(&id));
         }
 
+        let _prof_final = adec_nn::profiler::section("finalize");
         let z = ae.embed(store, data);
         let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
         cfg.durability.write_final("dec", || Checkpoint {

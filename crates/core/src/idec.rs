@@ -114,6 +114,8 @@ impl Idec {
         rng: &mut SeedRng,
     ) -> Result<ClusterOutput, TrainError> {
         let start = Instant::now();
+        let _prof_phase = adec_nn::profiler::phase("idec");
+        let prof_init = adec_nn::profiler::section("init");
         let mu0 = init_centroids(ae, store, data, cfg.k, rng);
         let mu_id = store.register("idec.centroids", mu0);
         crate::archspec::clustering_spec("idec", ae, store, store.get(mu_id), "sgd+momentum").assert_valid();
@@ -148,6 +150,7 @@ impl Idec {
             }
         }
 
+        drop(prof_init);
         let mut force_refresh = start_iter % cfg.update_interval != 0;
         let start_iter = if already_done { cfg.max_iter } else { start_iter };
         for i in start_iter..cfg.max_iter {
@@ -160,6 +163,7 @@ impl Idec {
             iterations = i + 1;
             let natural = i % cfg.update_interval == 0;
             if natural || force_refresh {
+                let _prof_refresh = adec_nn::profiler::section("refresh");
                 force_refresh = false;
                 let z = ae.embed(store, data);
                 let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
@@ -216,12 +220,14 @@ impl Idec {
                 y_prev = Some(y_pred);
             }
 
+            let _prof_step = adec_nn::profiler::section("step");
             faults.poison_centroids(i, store, mu_id);
 
             let idx = rng.sample_indices(data.rows(), cfg.batch_size.min(data.rows()));
             let x_b = training_view(&data.gather_rows(&idx), cfg.augment, rng);
             let p_b = p_full.gather_rows(&idx);
 
+            let _prof_tape = adec_nn::profiler::phase("idec.step");
             let mut tape = Tape::new();
             let xv = tape.leaf(x_b.clone());
             let z = ae.encoder.forward(&mut tape, store, xv);
@@ -245,6 +251,7 @@ impl Idec {
             opt.step_filtered(&tape, store, |id| trainable.contains(&id));
         }
 
+        let _prof_final = adec_nn::profiler::section("finalize");
         let z = ae.embed(store, data);
         let q = soft_assignment(&z, store.get(mu_id), cfg.alpha);
         cfg.durability.write_final("idec", || Checkpoint {

@@ -60,6 +60,7 @@ pub mod jule;
 pub mod lite;
 pub mod phases;
 pub mod pretrain;
+pub mod profiling;
 pub mod session;
 pub mod theory;
 pub mod vade;

@@ -170,6 +170,8 @@ pub fn pretrain_autoencoder(
     cfg: &PretrainConfig,
     rng: &mut SeedRng,
 ) -> Result<PretrainStats, TrainError> {
+    let _prof_phase = adec_nn::profiler::phase("pretrain");
+    let prof_init = adec_nn::profiler::section("init");
     let ae_ids: std::collections::HashSet<ParamId> = ae.param_ids().into_iter().collect();
     let critic = if cfg.acai {
         Some(Mlp::new(
@@ -220,6 +222,7 @@ pub fn pretrain_autoencoder(
         }
     }
     let start_iter = if already_done { cfg.iterations } else { start_iter };
+    drop(prof_init);
 
     for i in start_iter..cfg.iterations {
         // A rollback re-enters the loop here; the macro keeps both
@@ -242,6 +245,7 @@ pub fn pretrain_autoencoder(
             });
         }
         if i % CHECKPOINT_STRIDE == 0 {
+            let _prof_refresh = adec_nn::profiler::section("refresh");
             if let Err(fault) = guard.check_params(store) {
                 recover!(fault);
             }
@@ -269,6 +273,7 @@ pub fn pretrain_autoencoder(
                 })?;
         }
 
+        let _prof_step = adec_nn::profiler::section("step");
         let (_, raw) = sample_batch(data, cfg.batch_size, rng);
         let x = maybe_augment(&raw, modality, cfg.augment, rng);
         let b = x.rows();
@@ -276,6 +281,7 @@ pub fn pretrain_autoencoder(
         // ---------------- Autoencoder step (eq. 8) ----------------
         let ae_loss;
         {
+            let _prof_tape = adec_nn::profiler::phase("pretrain.ae");
             let mut tape = Tape::new();
             let xv = tape.leaf(x.clone());
             let z = ae.encoder.forward(&mut tape, store, xv);
@@ -314,6 +320,7 @@ pub fn pretrain_autoencoder(
 
         // ---------------- Critic step (eq. 9) ----------------
         if let Some(critic) = &critic {
+            let _prof_tape = adec_nn::profiler::phase("pretrain.critic");
             // Recompute interpolants without gradient through the AE.
             let perm = rng.permutation(b);
             let x2 = x.gather_rows(&perm);
@@ -346,6 +353,7 @@ pub fn pretrain_autoencoder(
         }
     }
 
+    let _prof_final = adec_nn::profiler::section("finalize");
     cfg.durability.write_final("pretrain", || Checkpoint {
         phase: "pretrain".into(),
         iter: done_iterations as u64,

@@ -1,0 +1,135 @@
+//! Profiled end-to-end pipeline + manifest coverage checks.
+//!
+//! [`run_profiled_pipeline`] drives all five trainers (ACAI pretrain,
+//! DEC, IDEC, DCN, ADEC) on a small seeded benchmark with the
+//! `adec_nn::profiler` enabled and returns the accumulated
+//! [`Profile`] — the engine behind `adec prof`. The two checks turn a
+//! profile into pass/fail facts for tests and CI:
+//!
+//! - [`check_manifest_coverage`]: every op named in each phase-manifest
+//!   tape (`crate::phases`) must appear in the profile under that
+//!   phase, proving the runtime op attribution lines up with the
+//!   declared dataflow.
+//! - [`check_section_coverage`]: each trainer phase's coverage sections
+//!   must account for at least `min_fraction` of its measured wall
+//!   time, proving the report explains where the time went rather than
+//!   leaving it in an unattributed gap.
+
+use crate::autoencoder::ArchPreset;
+use crate::guard::TrainError;
+use crate::prelude::*;
+use adec_nn::profiler::{self, Profile};
+
+/// Trainer phase names the pipeline covers, in run order.
+pub const TRAINER_PHASES: [&str; 5] = ["pretrain", "dec", "idec", "dcn", "adec"];
+
+/// Iteration scale for [`run_profiled_pipeline`].
+#[derive(Debug, Clone, Copy)]
+pub struct ProfileScale {
+    /// Pretraining iterations.
+    pub pretrain_iters: usize,
+    /// Max iterations for each clustering trainer.
+    pub cluster_iters: usize,
+}
+
+impl ProfileScale {
+    /// A quick scale for tests and CI (a few seconds end to end).
+    pub fn quick() -> ProfileScale {
+        ProfileScale {
+            pretrain_iters: 60,
+            cluster_iters: 60,
+        }
+    }
+}
+
+/// Runs the five trainers on the Protein benchmark (Small size) with
+/// the tape-op profiler enabled, and returns the accumulated profile.
+/// Profiler state is reset first, so the result describes exactly this
+/// pipeline. The run is fully seeded and the profiler is observational
+/// only, so the trajectory is the same profiled or not.
+///
+/// # Errors
+///
+/// Propagates any [`TrainError`] from the underlying trainers.
+pub fn run_profiled_pipeline(seed: u64, scale: ProfileScale) -> Result<Profile, TrainError> {
+    use adec_datagen::{Benchmark, Size};
+    let ds = Benchmark::Protein.generate(Size::Small, seed);
+    let mut session = Session::new(&ds, ArchPreset::Small, seed);
+
+    profiler::reset();
+    profiler::enable();
+    // Disable on every exit path so a training error can't leave the
+    // process-global profiler on for unrelated code.
+    let result = (|| -> Result<(), TrainError> {
+        // ACAI pretraining, so the critic phase (`pretrain.critic`) runs.
+        session.pretrain(&PretrainConfig {
+            iterations: scale.pretrain_iters,
+            batch_size: 64,
+            ..PretrainConfig::acai_fast()
+        })?;
+        let mut dec_cfg = DecConfig::fast(ds.n_classes);
+        dec_cfg.max_iter = scale.cluster_iters;
+        session.run_dec(&dec_cfg)?;
+        session.restore_pretrained();
+        let mut idec_cfg = IdecConfig::fast(ds.n_classes);
+        idec_cfg.max_iter = scale.cluster_iters;
+        session.run_idec(&idec_cfg)?;
+        session.restore_pretrained();
+        let mut dcn_cfg = DcnConfig::fast(ds.n_classes);
+        dcn_cfg.max_iter = scale.cluster_iters;
+        session.run_dcn(&dcn_cfg)?;
+        session.restore_pretrained();
+        let mut adec_cfg = AdecConfig::fast(ds.n_classes);
+        adec_cfg.max_iter = scale.cluster_iters;
+        adec_cfg.disc_pretrain = scale.cluster_iters.min(20);
+        session.run_adec(&adec_cfg)?;
+        Ok(())
+    })();
+    profiler::disable();
+    result?;
+    Ok(profiler::snapshot())
+}
+
+/// Asserts that every op in every phase-manifest tape appears in the
+/// profile under the manifest's phase name. Returns the list of
+/// violations (empty = covered).
+pub fn check_manifest_coverage(profile: &Profile) -> Vec<String> {
+    let mut problems = Vec::new();
+    for tape in crate::phases::default_phase_tapes() {
+        let phase = tape.phase().to_string();
+        let Some(pp) = profile.phase(&phase) else {
+            problems.push(format!("phase {phase} missing from profile"));
+            continue;
+        };
+        let mut want: Vec<&str> = tape.ir.nodes.iter().map(|n| n.op.name()).collect();
+        want.sort_unstable();
+        want.dedup();
+        for op in want {
+            if pp.op(op).is_none() {
+                problems.push(format!("phase {phase}: op {op} not recorded"));
+            }
+        }
+    }
+    problems
+}
+
+/// Asserts that each trainer phase's sections cover at least
+/// `min_fraction` of its wall time. Returns violations (empty = ok).
+pub fn check_section_coverage(profile: &Profile, min_fraction: f64) -> Vec<String> {
+    let mut problems = Vec::new();
+    for name in TRAINER_PHASES {
+        let Some(pp) = profile.phase(name) else {
+            problems.push(format!("trainer phase {name} missing from profile"));
+            continue;
+        };
+        let cov = pp.coverage();
+        if cov < min_fraction {
+            problems.push(format!(
+                "trainer phase {name}: sections cover {:.1}% of wall time, need {:.1}%",
+                cov * 100.0,
+                min_fraction * 100.0
+            ));
+        }
+    }
+    problems
+}

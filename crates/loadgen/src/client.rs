@@ -115,6 +115,10 @@ pub struct RequestOutcome {
     pub service_latency_s: f64,
     /// Whether connection reuse was attempted and denied by the server.
     pub reuse_denied: bool,
+    /// The `x-request-id` the server echoed back, when one was present.
+    /// The client stamps `load-<index>` on every request, so this is how
+    /// a server-side trace exemplar is tied back to a schedule slot.
+    pub request_id: Option<String>,
 }
 
 /// Client tuning knobs.
@@ -227,7 +231,7 @@ fn execute(job: &Job, config: &ClientConfig) -> RequestOutcome {
     let raw = match job.kind {
         PayloadKind::Slowloris => slowloris_exchange(config),
         _ => {
-            let payload = render_http(&job.body);
+            let payload = render_http(job.index, &job.body);
             plain_exchange(config.addr, &payload)
         }
     };
@@ -251,18 +255,29 @@ fn execute(job: &Job, config: &ClientConfig) -> RequestOutcome {
         // The serve contract is one-request-per-connection; a reuse
         // attempt is denied whenever the response advertises the close.
         reuse_denied: config.conn == ConnStrategy::Reuse && head.contains("connection: close"),
+        request_id: header_value(&head, "x-request-id"),
     }
 }
 
-/// Renders a full `POST /assign` request for a body.
-fn render_http(body: &[u8]) -> Vec<u8> {
+/// Renders a full `POST /assign` request for a body, stamped with the
+/// schedule-slot request id (`load-<index>`) the server echoes back and
+/// attaches to its trace exemplars.
+fn render_http(index: usize, body: &[u8]) -> Vec<u8> {
     let mut payload = format!(
-        "POST /assign HTTP/1.1\r\nhost: adec-load\r\ncontent-length: {}\r\n\r\n",
+        "POST /assign HTTP/1.1\r\nhost: adec-load\r\nx-request-id: load-{index}\r\ncontent-length: {}\r\n\r\n",
         body.len()
     )
     .into_bytes();
     payload.extend_from_slice(body);
     payload
+}
+
+/// Pulls one header value out of a lowercased response head.
+fn header_value(head: &str, name: &str) -> Option<String> {
+    head.lines()
+        .filter_map(|l| l.split_once(':'))
+        .find(|(k, _)| k.trim() == name)
+        .map(|(_, v)| v.trim().to_string())
 }
 
 /// Connect, write (tolerating mid-write resets — an oversized body is
@@ -404,11 +419,19 @@ mod tests {
     }
 
     #[test]
-    fn http_rendering_declares_length() {
-        let p = render_http(b"1,2,3\n");
+    fn http_rendering_declares_length_and_stamps_request_id() {
+        let p = render_http(7, b"1,2,3\n");
         let text = String::from_utf8(p).unwrap();
         assert!(text.starts_with("POST /assign HTTP/1.1\r\n"));
+        assert!(text.contains("x-request-id: load-7\r\n"));
         assert!(text.contains("content-length: 6\r\n"));
         assert!(text.ends_with("\r\n\r\n1,2,3\n"));
+    }
+
+    #[test]
+    fn header_readback_from_lowercased_head() {
+        let head = "http/1.1 200 ok\r\nx-request-id: load-3\r\nconnection: close";
+        assert_eq!(header_value(head, "x-request-id"), Some("load-3".to_string()));
+        assert_eq!(header_value(head, "retry-after"), None);
     }
 }

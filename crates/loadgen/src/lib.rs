@@ -29,7 +29,9 @@ pub mod schedule;
 pub mod stats;
 
 pub use client::{run_schedule, ClientConfig, ConnStrategy, RequestOutcome, Tier};
-pub use report::{LoadReport, OutcomeCounts, Reconcile, ServerSide, Timing, REPORT_SCHEMA};
+pub use report::{
+    LoadReport, OutcomeCounts, Reconcile, ServerSide, Timing, TraceCheck, REPORT_SCHEMA,
+};
 pub use schedule::{Arrival, PayloadKind, PayloadMix, PlannedRequest, Schedule, ScheduleConfig};
 pub use stats::{quantile_from_buckets, LatencySummary, LOAD_LATENCY_BUCKETS};
 
@@ -192,6 +194,7 @@ pub fn run_load(config: &LoadConfig) -> Result<LoadReport, LoadError> {
         elapsed_s: elapsed,
     };
     report.reconcile = reconcile(before, after, report.outcomes.ok_200);
+    report.trace = check_traces(config.addr, &outcomes);
     report.server = match after {
         Some(s) => ServerSide {
             checked: true,
@@ -225,6 +228,73 @@ fn reconcile(before: Option<ServerScrape>, after: Option<ServerScrape>, ok_200: 
         consistent: delta == expected,
         detail: format!(
             "server served {delta} (scrape delta), client saw {ok_200} OK + 1 scrape = {expected}"
+        ),
+    }
+}
+
+/// Scrapes `/tracez` and reconciles every exemplar carrying a
+/// client-stamped (`load-<index>`) id against the client's own record of
+/// that schedule slot: the request must exist, the echoed id must agree,
+/// and the server's claimed end-to-end time must not exceed what the
+/// client observed (plus a small slack for the response's network tail).
+/// Inert — `checked: false` — when the server has tracing disabled or
+/// the scrape fails.
+fn check_traces(addr: SocketAddr, outcomes: &[client::RequestOutcome]) -> TraceCheck {
+    let Some((status, body)) = client::get(addr, "/tracez") else {
+        return TraceCheck::unchecked("/tracez unreachable");
+    };
+    if status != 200 {
+        return TraceCheck::unchecked(format!("/tracez answered {status}"));
+    }
+    let Ok(text) = String::from_utf8(body) else {
+        return TraceCheck::unchecked("/tracez body not UTF-8");
+    };
+    let Ok(doc) = adec_obs::json::Json::parse(&text) else {
+        return TraceCheck::unchecked("/tracez body did not parse");
+    };
+    if !matches!(doc.get("enabled"), Some(adec_obs::json::Json::Bool(true))) {
+        return TraceCheck::unchecked("server tracing disabled");
+    }
+    let Some(exemplars) = doc.get("exemplars").and_then(adec_obs::json::Json::as_arr) else {
+        return TraceCheck::unchecked("/tracez missing exemplars array");
+    };
+    let mut seen = 0u64;
+    let mut matched = 0u64;
+    let mut first_miss = String::new();
+    for ex in exemplars {
+        let Some(rid) = ex.get("request_id").and_then(adec_obs::json::Json::as_str) else {
+            continue;
+        };
+        let Some(index) = rid.strip_prefix("load-").and_then(|s| s.parse::<usize>().ok())
+        else {
+            continue; // server-minted or foreign id; not ours to check
+        };
+        // Only answered requests can be corroborated: on a disconnect or
+        // timeout the echoed id never reached the client, so those
+        // exemplars (retained as errors by tail sampling) are skipped.
+        if ex.get("status").and_then(adec_obs::json::Json::as_str) != Some("200") {
+            continue;
+        }
+        seen += 1;
+        let total_ms = ex.get("total_ms").and_then(adec_obs::json::Json::as_f64).unwrap_or(0.0);
+        let ok = outcomes.get(index).is_some_and(|o| {
+            o.index == index
+                && o.request_id.as_deref() == Some(rid)
+                && o.service_latency_s * 1e3 + 50.0 >= total_ms
+        });
+        if ok {
+            matched += 1;
+        } else if first_miss.is_empty() {
+            first_miss = format!("; first mismatch: {rid} ({total_ms}ms)");
+        }
+    }
+    TraceCheck {
+        checked: true,
+        exemplars: seen,
+        matched,
+        consistent: matched == seen,
+        detail: format!(
+            "{matched}/{seen} client-stamped /tracez exemplars reconciled{first_miss}"
         ),
     }
 }

@@ -143,6 +143,39 @@ impl Reconcile {
     }
 }
 
+/// The `/tracez` cross-check: every retained exemplar carrying a
+/// client-stamped id (`load-<index>`) must correspond to a request the
+/// client actually sent, whose echoed id matches, and whose
+/// client-observed service time is no shorter than the server's claimed
+/// end-to-end time — a server cannot have spent longer on a request than
+/// the client waited for it.
+#[derive(Debug, Clone)]
+pub struct TraceCheck {
+    /// Whether the server had tracing enabled and `/tracez` parsed.
+    pub checked: bool,
+    /// Exemplars with a client-stamped (`load-`) request id.
+    pub exemplars: u64,
+    /// Exemplars that reconciled against a client observation.
+    pub matched: u64,
+    /// `matched == exemplars`.
+    pub consistent: bool,
+    /// Human-readable summary.
+    pub detail: String,
+}
+
+impl TraceCheck {
+    /// The "tracing off / scrape unavailable" placeholder.
+    pub fn unchecked(detail: impl Into<String>) -> TraceCheck {
+        TraceCheck {
+            checked: false,
+            exemplars: 0,
+            matched: 0,
+            consistent: false,
+            detail: detail.into(),
+        }
+    }
+}
+
 /// Fleet-side readings from the closing `/metrics` scrape. All fields are
 /// `Option`s: a pre-fleet server (or the test stub) simply doesn't export
 /// them, and the harness must keep driving those too.
@@ -207,6 +240,8 @@ pub struct LoadReport {
     pub outcomes: OutcomeCounts,
     /// Server-side cross-check.
     pub reconcile: Reconcile,
+    /// `/tracez` exemplar cross-check (inert when tracing is off).
+    pub trace: TraceCheck,
     /// Fleet-side readings from the closing scrape.
     pub server: ServerSide,
     /// Wall-clock numbers.
@@ -256,6 +291,7 @@ impl LoadReport {
             ],
             outcomes: OutcomeCounts::default(),
             reconcile: Reconcile::unchecked("not yet reconciled"),
+            trace: TraceCheck::unchecked("not yet checked"),
             server: ServerSide::default(),
             timing: Timing {
                 latency: None,
@@ -341,6 +377,15 @@ impl LoadReport {
             r.consistent,
             r.detail.replace('\\', "\\\\").replace('"', "\\\""),
         ));
+        let tc = &self.trace;
+        out.push_str(&format!(
+            r#","trace":{{"checked":{},"exemplars":{},"matched":{},"consistent":{},"detail":"{}"}}"#,
+            tc.checked,
+            tc.exemplars,
+            tc.matched,
+            tc.consistent,
+            tc.detail.replace('\\', "\\\\").replace('"', "\\\""),
+        ));
         let s = &self.server;
         let opt = |v: Option<u64>| v.map_or_else(|| "null".to_string(), |n| n.to_string());
         out.push_str(&format!(
@@ -393,6 +438,7 @@ mod tests {
             sched_latency_s: 0.01,
             service_latency_s: 0.005,
             reuse_denied: false,
+            request_id: None,
         }
     }
 

@@ -52,6 +52,7 @@ pub mod layers;
 pub mod loss;
 pub mod optim;
 pub mod profile;
+pub mod profiler;
 pub mod store;
 pub mod tape;
 

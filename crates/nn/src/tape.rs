@@ -15,6 +15,7 @@
 use crate::store::{ParamId, ParamStore};
 use adec_tensor::kernels::{self, stable_sigmoid, FusedAct};
 use adec_tensor::Matrix;
+use std::time::Instant;
 
 /// Handle to a node on a [`Tape`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -97,6 +98,34 @@ enum Op {
     },
 }
 
+/// Stable op name matching [`IrOp::name`], so runtime profiles line up
+/// with phase-manifest op sets.
+fn op_name(op: &Op) -> &'static str {
+    match op {
+        Op::Leaf => "leaf",
+        Op::MatMul(..) => "matmul",
+        Op::AddBias(..) => "add_bias",
+        Op::AddBiasAct(..) => "add_bias_act",
+        Op::Add(..) => "add",
+        Op::Sub(..) => "sub",
+        Op::Mul(..) => "mul",
+        Op::Scale(..) => "scale",
+        Op::Relu(..) => "relu",
+        Op::Sigmoid(..) => "sigmoid",
+        Op::Tanh(..) => "tanh",
+        Op::Softplus(..) => "softplus",
+        Op::Exp(..) => "exp",
+        Op::Square(..) => "square",
+        Op::MeanAll(..) => "mean_all",
+        Op::SumAll(..) => "sum_all",
+        Op::RowSum(..) => "row_sum",
+        Op::RowScale(..) => "row_scale",
+        Op::BceWithLogits { .. } => "bce_with_logits",
+        Op::SoftmaxCe { .. } => "softmax_ce",
+        Op::DecKl { .. } => "dec_kl",
+    }
+}
+
 struct Node {
     value: Matrix,
     grad: Option<Matrix>,
@@ -109,6 +138,10 @@ struct Node {
 pub struct Tape {
     nodes: Vec<Node>,
     bindings: Vec<(ParamId, Var)>,
+    /// Profiler watermark: the instant the previous node was pushed.
+    /// Time between two pushes is attributed to the later op, since an
+    /// eager method computes its value immediately before pushing.
+    prof_mark: Option<Instant>,
 }
 
 impl Tape {
@@ -117,17 +150,59 @@ impl Tape {
         Tape {
             nodes: Vec::with_capacity(64),
             bindings: Vec::new(),
+            prof_mark: None,
         }
     }
 
     fn push(&mut self, value: Matrix, op: Op, needs_grad: bool) -> Var {
+        if crate::profiler::enabled() {
+            let now = Instant::now();
+            let dur = self
+                .prof_mark
+                .map(|m| now.duration_since(m).as_nanos() as u64)
+                .unwrap_or(0);
+            crate::profiler::record_op(op_name(&op), dur, self.op_flops(&op, &value));
+        }
         self.nodes.push(Node {
             value,
             grad: None,
             op,
             needs_grad,
         });
+        if crate::profiler::enabled() {
+            self.prof_mark = Some(Instant::now());
+        }
         Var(self.nodes.len() - 1)
+    }
+
+    /// Nominal forward FLOPs of `op` producing `out` (see the profiler
+    /// docs: 2·m·k·n for matmul, 1/element for arithmetic, 8/element
+    /// for transcendentals — a ranking model, not a hardware counter).
+    fn op_flops(&self, op: &Op, out: &Matrix) -> u64 {
+        let len = |v: &Var| self.nodes[v.0].value.len() as u64;
+        match op {
+            Op::Leaf => 0,
+            Op::MatMul(a, b) => {
+                let (m, k) = self.nodes[a.0].value.shape();
+                let n = self.nodes[b.0].value.cols();
+                2 * m as u64 * k as u64 * n as u64
+            }
+            Op::AddBias(..) | Op::Add(..) | Op::Sub(..) | Op::Mul(..) | Op::Scale(..) => {
+                out.len() as u64
+            }
+            Op::Relu(_) | Op::Square(_) => out.len() as u64,
+            Op::AddBiasAct(..) => 9 * out.len() as u64,
+            Op::Sigmoid(_) | Op::Tanh(_) | Op::Softplus(_) | Op::Exp(_) => 8 * out.len() as u64,
+            Op::MeanAll(a) | Op::SumAll(a) | Op::RowSum(a) => len(a),
+            Op::RowScale(a, _) => len(a),
+            Op::BceWithLogits { logits, .. } => 10 * len(logits),
+            Op::SoftmaxCe { softmax, .. } => 10 * softmax.len() as u64,
+            Op::DecKl { z, mu, .. } => {
+                let (n, d) = self.nodes[z.0].value.shape();
+                let k = self.nodes[mu.0].value.rows();
+                4 * n as u64 * k as u64 * d as u64
+            }
+        }
     }
 
     fn needs(&self, v: Var) -> bool {
@@ -473,6 +548,7 @@ impl Tape {
             };
             // Take the op out temporarily to appease the borrow checker.
             let op = std::mem::replace(&mut self.nodes[idx].op, Op::Leaf);
+            let prof_start = crate::profiler::enabled().then(Instant::now);
             match &op {
                 Op::Leaf => {}
                 Op::MatMul(a, b) => {
@@ -682,6 +758,12 @@ impl Tape {
                         self.accumulate(*mu, &dmu);
                     }
                 }
+            }
+            if let Some(t0) = prof_start {
+                // Backward of an op is roughly two forward-shaped passes
+                // (one gradient per input); merge into the same op row.
+                let flops = 2 * self.op_flops(&op, &self.nodes[idx].value);
+                crate::profiler::record_op(op_name(&op), t0.elapsed().as_nanos() as u64, flops);
             }
             self.nodes[idx].op = op;
         }

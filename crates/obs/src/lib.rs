@@ -31,6 +31,7 @@ pub mod json;
 pub mod prom;
 pub mod registry;
 pub mod span;
+pub mod trace;
 
 pub use event::{
     emit, flush_sink, install_jsonl_sink, shutdown_sink, sink_dropped_events, Event, Level,
@@ -39,4 +40,5 @@ pub use event::{
 pub use registry::{
     counter, global, histogram, Counter, Histogram, HistogramSnapshot, Registry, Snapshot,
 };
-pub use span::{span, Span, DURATION_BUCKETS};
+pub use span::{span, span_handle, Span, SpanHandle, DURATION_BUCKETS};
+pub use trace::{TraceContext, TraceRing, TraceTree};

@@ -24,8 +24,35 @@ pub struct Span {
 }
 
 /// Starts a span recording into the global histogram `{name}_seconds`.
+///
+/// Convenient but not free: every call formats the histogram name and
+/// takes the registry lock. Per-request and per-iteration call sites
+/// should resolve a [`SpanHandle`] once and call [`SpanHandle::start`].
 pub fn span(name: &str) -> Span {
     Span::on(histogram(&format!("{name}_seconds"), DURATION_BUCKETS))
+}
+
+/// A pre-resolved handle to the `{name}_seconds` histogram: pays the
+/// name formatting and registry lock once, then each [`SpanHandle::start`]
+/// is just an `Arc` clone and a clock sample.
+#[derive(Debug, Clone)]
+pub struct SpanHandle {
+    hist: Arc<Histogram>,
+}
+
+/// Resolves (registering on first use) the `{name}_seconds` histogram
+/// once, for hot paths that start many spans.
+pub fn span_handle(name: &str) -> SpanHandle {
+    SpanHandle {
+        hist: histogram(&format!("{name}_seconds"), DURATION_BUCKETS),
+    }
+}
+
+impl SpanHandle {
+    /// Starts a span against the cached histogram (no registry access).
+    pub fn start(&self) -> Span {
+        Span::on(Arc::clone(&self.hist))
+    }
 }
 
 impl Span {
@@ -63,6 +90,19 @@ mod tests {
         let snap = hist.snapshot();
         assert_eq!(snap.count(), 1);
         assert!(snap.sum >= 0.001, "slept 1ms, recorded {}", snap.sum);
+    }
+
+    #[test]
+    fn span_handle_reuses_one_histogram() {
+        let h = span_handle("adec_obs_handle_selftest");
+        for _ in 0..3 {
+            let _span = h.start();
+        }
+        let snap = crate::registry::global().snapshot();
+        assert!(snap
+            .histograms
+            .iter()
+            .any(|(n, s)| n == "adec_obs_handle_selftest_seconds" && s.count() == 3));
     }
 
     #[test]

@@ -1,0 +1,617 @@
+//! Causal tracing: span trees, a fixed-capacity ring of retained traces,
+//! and Chrome trace-event export.
+//!
+//! A *trace* is a tree of timed spans describing one unit of work (one
+//! serve request, one profiled phase). Spans are built through a
+//! **thread-local span stack**: [`begin`] installs a builder on the
+//! current thread, [`span`] opens an RAII child of whatever span is on
+//! top of the stack, and [`finish`] tears the builder down and returns
+//! the completed [`TraceTree`]. Crossing a thread boundary is an
+//! **explicit context handoff**: the sending side packages a
+//! [`TraceContext`] (trace id + monotonic timestamps), the receiving
+//! side calls [`begin_with`] and backfills the in-between time with
+//! [`add_complete_span`] (e.g. queue wait between an acceptor and a
+//! replica worker).
+//!
+//! Retention is **tail-based**: the caller decides *after* the work
+//! completes whether the tree is interesting (slow, error, shed) and
+//! only then offers it to a [`TraceRing`] — a fixed-capacity ring where
+//! writers never block: each writer claims a slot by one atomic
+//! `fetch_add` and then `try_lock`s only that slot; a contended slot
+//! costs a drop counter increment, never a wait. Readers snapshot the
+//! ring without disturbing sequence order.
+//!
+//! Determinism: nothing in this module feeds a value back into any
+//! computation. Timestamps are monotonic nanoseconds since a
+//! process-local anchor and exist only in exported output. When no
+//! builder is installed every entry point is a thread-local read plus a
+//! branch, so tracing that is "off" costs near zero.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+use crate::json::Json;
+
+/// Sentinel parent id for root-level spans.
+pub const NO_PARENT: u32 = u32::MAX;
+
+fn anchor() -> Instant {
+    static ANCHOR: OnceLock<Instant> = OnceLock::new();
+    *ANCHOR.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process-local trace epoch.
+pub fn now_ns() -> u64 {
+    // u64 nanoseconds overflow after ~584 years of uptime.
+    anchor().elapsed().as_nanos() as u64
+}
+
+/// Allocates a process-unique trace id (never 0).
+pub fn next_trace_id() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// One timed span inside a trace tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Position of this span in [`TraceTree::spans`] (dense, 0-based).
+    pub id: u32,
+    /// Index of the parent span, or [`NO_PARENT`] for root-level spans.
+    pub parent: u32,
+    /// Stage / operation name.
+    pub name: String,
+    /// Start, monotonic ns since the trace epoch.
+    pub start_ns: u64,
+    /// Duration in ns.
+    pub dur_ns: u64,
+}
+
+/// A completed trace: metadata plus the flattened span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceTree {
+    /// Ring sequence number; assigned by [`TraceRing::record`], 0 before.
+    pub seq: u64,
+    /// Process-unique trace id.
+    pub trace_id: u64,
+    /// Root name ("assign", "dec.kl", …).
+    pub name: String,
+    /// Free-form key/value annotations (request id, status, tier, …).
+    pub attrs: Vec<(String, String)>,
+    /// Start of the root, monotonic ns since the trace epoch.
+    pub start_ns: u64,
+    /// End-to-end duration in ns.
+    pub total_ns: u64,
+    /// Spans in creation order; parents always precede children.
+    pub spans: Vec<SpanRec>,
+}
+
+impl TraceTree {
+    /// Value of an attribute, if present.
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Root-level spans (the per-stage breakdown), in creation order.
+    pub fn stages(&self) -> impl Iterator<Item = &SpanRec> {
+        self.spans.iter().filter(|s| s.parent == NO_PARENT)
+    }
+}
+
+/// Context handed across a thread boundary (e.g. through a replica
+/// queue) so the receiving side can continue the same trace.
+#[derive(Debug, Clone, Copy)]
+pub struct TraceContext {
+    /// Trace id minted by the originating side.
+    pub trace_id: u64,
+    /// [`now_ns`] at the moment the work entered the handoff.
+    pub enqueued_ns: u64,
+}
+
+impl TraceContext {
+    /// Captures a fresh context on the originating side.
+    pub fn capture() -> TraceContext {
+        TraceContext {
+            trace_id: next_trace_id(),
+            enqueued_ns: now_ns(),
+        }
+    }
+}
+
+/// In-progress trace: span storage plus the open-span stack.
+#[derive(Debug)]
+struct TraceBuilder {
+    trace_id: u64,
+    name: String,
+    attrs: Vec<(String, String)>,
+    start_ns: u64,
+    spans: Vec<SpanRec>,
+    stack: Vec<u32>,
+}
+
+thread_local! {
+    static CURRENT: RefCell<Option<TraceBuilder>> = const { RefCell::new(None) };
+}
+
+/// Starts a new trace on this thread with a fresh id. Any trace already
+/// in progress on the thread is discarded.
+pub fn begin(name: &str) -> u64 {
+    let id = next_trace_id();
+    begin_with(
+        TraceContext {
+            trace_id: id,
+            enqueued_ns: now_ns(),
+        },
+        name,
+    );
+    id
+}
+
+/// Continues a trace handed over from another thread: the tree's start
+/// is the context's enqueue time, so time spent in the handoff can be
+/// backfilled with [`add_complete_span`].
+pub fn begin_with(ctx: TraceContext, name: &str) {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = Some(TraceBuilder {
+            trace_id: ctx.trace_id,
+            name: name.to_string(),
+            attrs: Vec::new(),
+            start_ns: ctx.enqueued_ns,
+            spans: Vec::new(),
+            stack: Vec::new(),
+        });
+    });
+}
+
+/// Whether a trace is being built on this thread.
+pub fn active() -> bool {
+    CURRENT.with(|c| c.borrow().is_some())
+}
+
+/// Attaches a key/value annotation to the current trace (no-op when
+/// no trace is active).
+pub fn attr(key: &str, value: &str) {
+    CURRENT.with(|c| {
+        if let Some(b) = c.borrow_mut().as_mut() {
+            b.attrs.push((key.to_string(), value.to_string()));
+        }
+    });
+}
+
+/// Records an already-elapsed span (e.g. queue wait measured from a
+/// [`TraceContext`]) as a child of the currently open span.
+pub fn add_complete_span(name: &str, start_ns: u64, dur_ns: u64) {
+    CURRENT.with(|c| {
+        if let Some(b) = c.borrow_mut().as_mut() {
+            let parent = b.stack.last().copied().unwrap_or(NO_PARENT);
+            let id = b.spans.len() as u32;
+            b.spans.push(SpanRec {
+                id,
+                parent,
+                name: name.to_string(),
+                start_ns,
+                dur_ns,
+            });
+        }
+    });
+}
+
+/// RAII guard for an open span; closes (records duration, pops the
+/// stack) on drop. A guard created while no trace is active is inert.
+#[derive(Debug)]
+pub struct TraceSpan {
+    id: Option<u32>,
+    start: Instant,
+}
+
+/// Opens a span as a child of the span on top of this thread's stack
+/// (or at root level if the stack is empty).
+pub fn span(name: &str) -> TraceSpan {
+    let id = CURRENT.with(|c| {
+        c.borrow_mut().as_mut().map(|b| {
+            let parent = b.stack.last().copied().unwrap_or(NO_PARENT);
+            let id = b.spans.len() as u32;
+            b.spans.push(SpanRec {
+                id,
+                parent,
+                name: name.to_string(),
+                start_ns: now_ns(),
+                dur_ns: 0,
+            });
+            b.stack.push(id);
+            id
+        })
+    });
+    TraceSpan {
+        id,
+        start: Instant::now(),
+    }
+}
+
+impl Drop for TraceSpan {
+    fn drop(&mut self) {
+        let Some(id) = self.id else { return };
+        let dur = self.start.elapsed().as_nanos() as u64;
+        CURRENT.with(|c| {
+            if let Some(b) = c.borrow_mut().as_mut() {
+                if let Some(s) = b.spans.get_mut(id as usize) {
+                    s.dur_ns = dur;
+                }
+                // Guards are strictly nested, but a builder swapped in by
+                // `begin` mid-span would desynchronize the stack; popping
+                // by value keeps it consistent either way.
+                if b.stack.last() == Some(&id) {
+                    b.stack.pop();
+                } else {
+                    b.stack.retain(|&x| x != id);
+                }
+            }
+        });
+    }
+}
+
+/// Completes the current trace and removes it from the thread. Returns
+/// `None` when no trace was active.
+pub fn finish() -> Option<TraceTree> {
+    CURRENT.with(|c| c.borrow_mut().take()).map(|b| {
+        let end = now_ns();
+        TraceTree {
+            seq: 0,
+            trace_id: b.trace_id,
+            name: b.name,
+            attrs: b.attrs,
+            start_ns: b.start_ns,
+            total_ns: end.saturating_sub(b.start_ns),
+            spans: b.spans,
+        }
+    })
+}
+
+/// Discards the current trace, if any (the not-sampled path).
+pub fn discard() {
+    CURRENT.with(|c| {
+        *c.borrow_mut() = None;
+    });
+}
+
+/// Fixed-capacity ring of retained trace trees.
+///
+/// Writers claim a slot with one `fetch_add` on the global sequence and
+/// then `try_lock` only their slot — they never block: if the slot is
+/// momentarily held (a reader snapshotting, or a lapped writer), the
+/// tree is dropped and counted. Natural wraparound (a newer trace
+/// replacing an older one) is eviction, not loss, and is counted
+/// separately.
+#[derive(Debug)]
+pub struct TraceRing {
+    seq: AtomicU64,
+    dropped: AtomicU64,
+    evicted: AtomicU64,
+    slots: Vec<Slot>,
+}
+
+#[derive(Debug)]
+struct Slot {
+    data: Mutex<Option<TraceTree>>,
+}
+
+impl TraceRing {
+    /// Creates a ring holding at most `capacity` traces.
+    pub fn new(capacity: usize) -> TraceRing {
+        assert!(capacity > 0, "trace ring capacity must be positive");
+        let mut slots = Vec::with_capacity(capacity);
+        for _ in 0..capacity {
+            slots.push(Slot {
+                data: Mutex::new(None),
+            });
+        }
+        TraceRing {
+            seq: AtomicU64::new(0),
+            dropped: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            slots,
+        }
+    }
+
+    /// Slot count.
+    pub fn capacity(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Offers a completed tree to the ring; stamps it with the claimed
+    /// sequence number. Never blocks: contended slots count as drops.
+    pub fn record(&self, mut tree: TraceTree) {
+        let seq = self.seq.fetch_add(1, Ordering::Relaxed);
+        tree.seq = seq;
+        debug_assert!(!self.slots.is_empty(), "ring constructed with capacity > 0");
+        let idx = (seq % self.slots.len() as u64) as usize;
+        let Some(slot) = self.slots.get(idx) else {
+            // Unreachable (idx < len by construction); counted, not panicked.
+            self.dropped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        match slot.data.try_lock() {
+            Ok(mut guard) => {
+                if guard.is_some() {
+                    self.evicted.fetch_add(1, Ordering::Relaxed);
+                }
+                *guard = Some(tree);
+            }
+            Err(_) => {
+                self.dropped.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Total record attempts so far.
+    pub fn recorded(&self) -> u64 {
+        self.seq.load(Ordering::Relaxed)
+    }
+
+    /// Trees lost to slot contention (writer met a held lock).
+    pub fn dropped(&self) -> u64 {
+        self.dropped.load(Ordering::Relaxed)
+    }
+
+    /// Trees overwritten by wraparound.
+    pub fn evicted(&self) -> u64 {
+        self.evicted.load(Ordering::Relaxed)
+    }
+
+    /// Copies the currently retained trees, oldest first (strictly
+    /// increasing `seq`).
+    pub fn snapshot(&self) -> Vec<TraceTree> {
+        let mut out: Vec<TraceTree> = Vec::with_capacity(self.slots.len());
+        for slot in &self.slots {
+            // Readers may block briefly; writers never do (they try_lock
+            // and drop instead), so the snapshot cannot deadlock a writer.
+            if let Ok(guard) = slot.data.lock() {
+                if let Some(tree) = guard.as_ref() {
+                    out.push(tree.clone());
+                }
+            }
+        }
+        out.sort_by_key(|t| t.seq);
+        debug_assert!(
+            out.windows(2).all(|w| match w {
+                [a, b] => a.seq < b.seq,
+                _ => true,
+            }),
+            "ring sequence numbers are unique"
+        );
+        out
+    }
+
+    /// The `n` slowest retained traces, slowest first.
+    pub fn slowest(&self, n: usize) -> Vec<TraceTree> {
+        let mut all = self.snapshot();
+        all.sort_by(|a, b| b.total_ns.cmp(&a.total_ns).then(a.seq.cmp(&b.seq)));
+        all.truncate(n);
+        all
+    }
+}
+
+// ---------------------------------------------------------------------
+// Chrome trace-event export + strict parser
+// ---------------------------------------------------------------------
+
+/// Renders trace trees as Chrome trace-event JSON (`chrome://tracing` /
+/// Perfetto "JSON Array Format", complete `"ph":"X"` events, µs
+/// timestamps). `tid` is the ring sequence so each trace gets its own
+/// row; span attrs ride in `args`.
+pub fn chrome_trace_json(trees: &[TraceTree]) -> String {
+    let mut out = String::with_capacity(256 + trees.len() * 256);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for tree in trees {
+        let tid = tree.seq;
+        // Root event covering the whole trace, carrying its attrs.
+        let mut args = format!("{{\"trace_id\":{}", tree.trace_id);
+        for (k, v) in &tree.attrs {
+            args.push_str(&format!(
+                ",\"{}\":\"{}\"",
+                crate::json::escape(k),
+                crate::json::escape(v)
+            ));
+        }
+        args.push('}');
+        push_event(
+            &mut out,
+            &mut first,
+            &tree.name,
+            tree.start_ns,
+            tree.total_ns,
+            tid,
+            &args,
+        );
+        for span in &tree.spans {
+            let args = format!(
+                "{{\"trace_id\":{},\"span\":{},\"parent\":{}}}",
+                tree.trace_id,
+                span.id,
+                if span.parent == NO_PARENT {
+                    -1i64
+                } else {
+                    span.parent as i64
+                }
+            );
+            push_event(
+                &mut out,
+                &mut first,
+                &span.name,
+                span.start_ns,
+                span.dur_ns,
+                tid,
+                &args,
+            );
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn push_event(
+    out: &mut String,
+    first: &mut bool,
+    name: &str,
+    start_ns: u64,
+    dur_ns: u64,
+    tid: u64,
+    args_json: &str,
+) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    out.push_str(&format!(
+        "{{\"name\":\"{}\",\"cat\":\"adec\",\"ph\":\"X\",\"ts\":{},\"dur\":{},\"pid\":1,\"tid\":{},\"args\":{}}}",
+        crate::json::escape(name),
+        start_ns / 1_000,
+        dur_ns.div_ceil(1_000),
+        tid,
+        args_json,
+    ));
+}
+
+/// One validated event from a Chrome trace-event document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeEvent {
+    /// Event name.
+    pub name: String,
+    /// Phase; this exporter only emits complete events (`"X"`).
+    pub ph: String,
+    /// Start timestamp, µs.
+    pub ts: u64,
+    /// Duration, µs.
+    pub dur: u64,
+    /// Process id.
+    pub pid: u64,
+    /// Thread id (ring sequence in this exporter).
+    pub tid: u64,
+}
+
+/// A validated Chrome trace-event document.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChromeTrace {
+    /// Events in document order.
+    pub events: Vec<ChromeEvent>,
+}
+
+impl ChromeTrace {
+    /// Events with the given name.
+    pub fn named(&self, name: &str) -> Vec<&ChromeEvent> {
+        self.events.iter().filter(|e| e.name == name).collect()
+    }
+}
+
+/// Strictly parses and validates a Chrome trace-event JSON document
+/// (mirror of the `/metrics` strict parser): top-level object with a
+/// `traceEvents` array; every event is an object with string `name`,
+/// `ph == "X"`, and non-negative integer `ts`/`dur`/`pid`/`tid`.
+pub fn check_chrome_trace(body: &str) -> Result<ChromeTrace, String> {
+    let doc = Json::parse(body).map_err(|e| format!("chrome trace: {e}"))?;
+    let Json::Obj(_) = &doc else {
+        return Err("chrome trace: top level must be an object".into());
+    };
+    let events_json = doc
+        .get("traceEvents")
+        .ok_or("chrome trace: missing traceEvents")?;
+    let arr = events_json
+        .as_arr()
+        .ok_or("chrome trace: traceEvents must be an array")?;
+    let mut events = Vec::with_capacity(arr.len());
+    for (i, ev) in arr.iter().enumerate() {
+        let Json::Obj(_) = ev else {
+            return Err(format!("chrome trace: event {i} is not an object"));
+        };
+        let name = ev
+            .get("name")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("chrome trace: event {i} missing string name"))?
+            .to_string();
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("chrome trace: event {i} missing string ph"))?
+            .to_string();
+        if ph != "X" {
+            return Err(format!(
+                "chrome trace: event {i} ({name}) has ph {ph:?}, expected \"X\""
+            ));
+        }
+        let field = |key: &str| -> Result<u64, String> {
+            ev.get(key)
+                .and_then(Json::as_u64)
+                .ok_or_else(|| format!("chrome trace: event {i} ({name}) missing integer {key}"))
+        };
+        let ts = field("ts")?;
+        let dur = field("dur")?;
+        let pid = field("pid")?;
+        let tid = field("tid")?;
+        events.push(ChromeEvent {
+            name,
+            ph,
+            ts,
+            dur,
+            pid,
+            tid,
+        });
+    }
+    Ok(ChromeTrace { events })
+}
+
+#[cfg(test)]
+#[allow(clippy::unwrap_used, clippy::indexing_slicing)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_stack_builds_parent_child_tree() {
+        begin("root_work");
+        attr("request_id", "r-1");
+        {
+            let _outer = span("outer");
+            let _inner = span("inner");
+        }
+        let _sibling = span("sibling");
+        drop(_sibling);
+        let tree = finish().unwrap();
+        assert_eq!(tree.name, "root_work");
+        assert_eq!(tree.attr("request_id"), Some("r-1"));
+        assert_eq!(tree.spans.len(), 3);
+        assert_eq!(tree.spans[0].name, "outer");
+        assert_eq!(tree.spans[0].parent, NO_PARENT);
+        assert_eq!(tree.spans[1].name, "inner");
+        assert_eq!(tree.spans[1].parent, 0);
+        assert_eq!(tree.spans[2].name, "sibling");
+        assert_eq!(tree.spans[2].parent, NO_PARENT);
+        assert!(!active());
+    }
+
+    #[test]
+    fn spans_without_active_trace_are_inert() {
+        discard();
+        let g = span("nothing");
+        drop(g);
+        assert!(finish().is_none());
+    }
+
+    #[test]
+    fn handoff_context_backfills_queue_wait() {
+        let ctx = TraceContext::capture();
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        let popped = now_ns();
+        begin_with(ctx, "assign");
+        add_complete_span("queue_wait", ctx.enqueued_ns, popped - ctx.enqueued_ns);
+        let tree = finish().unwrap();
+        assert_eq!(tree.trace_id, ctx.trace_id);
+        assert_eq!(tree.spans[0].name, "queue_wait");
+        assert!(tree.spans[0].dur_ns >= 1_000_000, "waited >= 1ms");
+        assert!(tree.total_ns >= tree.spans[0].dur_ns);
+    }
+}

@@ -17,6 +17,7 @@
 //! Every transition emits a `serve.replica.*` lifecycle event so the JSONL
 //! sink shows the full spawn → death → respawn story in `seq` order.
 
+use adec_obs::trace::TraceContext;
 use adec_obs::{emit, Event, Level};
 use adec_tensor::SeedRng;
 use std::collections::VecDeque;
@@ -38,8 +39,10 @@ const BACKOFF_JITTER_MS: u64 = 16;
 pub(crate) struct Replica {
     /// Slot index, stable across respawns (the `replica` metrics label).
     pub id: usize,
-    /// This replica's own connection queue: (stream, accept instant).
-    pub queue: Mutex<VecDeque<(TcpStream, Instant)>>,
+    /// This replica's own connection queue: (stream, accept instant,
+    /// trace context captured at enqueue — the explicit handoff that
+    /// lets the worker thread backfill queue wait into the span tree).
+    pub queue: Mutex<VecDeque<(TcpStream, Instant, TraceContext)>>,
     /// Wakes the replica's worker when work arrives or state changes.
     pub wake: Condvar,
     /// Incremented when the supervisor supersedes a wedged worker; a

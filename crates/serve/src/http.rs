@@ -124,6 +124,25 @@ pub struct Request {
     pub content_length: usize,
     /// The body bytes, exactly `content_length` long.
     pub body: Vec<u8>,
+    /// Sanitized `x-request-id` header, when the client sent a valid one
+    /// (≤ [`MAX_REQUEST_ID_LEN`] chars of `[A-Za-z0-9._-]`). Echoed back
+    /// on responses and attached to trace exemplars.
+    pub request_id: Option<String>,
+}
+
+/// Longest client request id accepted; longer or invalid ids are
+/// ignored rather than rejected (the id is observability metadata, not
+/// an input).
+pub const MAX_REQUEST_ID_LEN: usize = 64;
+
+/// Validates a client-supplied request id: 1..=64 chars, each
+/// alphanumeric or `.`/`_`/`-`.
+fn valid_request_id(value: &str) -> bool {
+    !value.is_empty()
+        && value.len() <= MAX_REQUEST_ID_LEN
+        && value
+            .chars()
+            .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
 }
 
 /// What [`parse_head`] concluded about a buffer.
@@ -200,6 +219,7 @@ pub fn parse_head(buf: &[u8], limits: &Limits) -> Result<HeadParse, HttpError> {
     }
 
     let mut content_length: usize = 0;
+    let mut request_id: Option<String> = None;
     for line in lines {
         let (name, value) = line
             .split_once(':')
@@ -217,6 +237,8 @@ pub fn parse_head(buf: &[u8], limits: &Limits) -> Result<HeadParse, HttpError> {
             return Err(HttpError::Unsupported("transfer-encoding"));
         } else if name.eq_ignore_ascii_case("expect") {
             return Err(HttpError::Unsupported("expect"));
+        } else if name.eq_ignore_ascii_case("x-request-id") && valid_request_id(value) {
+            request_id = Some(value.to_string());
         }
     }
     if content_length > limits.max_body_bytes {
@@ -231,6 +253,7 @@ pub fn parse_head(buf: &[u8], limits: &Limits) -> Result<HeadParse, HttpError> {
             path: path.to_string(),
             content_length,
             body: Vec::new(),
+            request_id,
         },
         body_start: head_end + 4,
     })

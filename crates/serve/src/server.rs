@@ -43,7 +43,8 @@ use crate::model::{AssignError, Assignment, ServeMode, MAX_FEATURE_MAGNITUDE};
 use crate::registry::{ModelRegistry, ModelVersion};
 use crate::InferenceModel;
 use adec_nn::checkpoint::crc32;
-use adec_obs::{counter, histogram, Counter, Histogram, DURATION_BUCKETS};
+use adec_obs::trace::{self, TraceContext, TraceRing, TraceTree};
+use adec_obs::{counter, histogram, span_handle, Counter, Histogram, SpanHandle, DURATION_BUCKETS};
 use std::io::Read;
 use std::net::{Ipv4Addr, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -61,6 +62,12 @@ const SUPERVISOR_TICK_MS: u64 = 20;
 
 /// Wedge-sleep slice, so an injected wedge still notices shutdown.
 const WEDGE_SLICE_MS: u64 = 25;
+
+/// Slots in the tail-sampling trace ring.
+const TRACE_RING_CAPACITY: usize = 128;
+
+/// Exemplars reported by `GET /tracez`.
+const TRACEZ_EXEMPLARS: usize = 16;
 
 /// Tuning knobs; every field has a safe default.
 #[derive(Debug, Clone)]
@@ -95,6 +102,11 @@ pub struct ServerConfig {
     pub limits: Limits,
     /// Drift-sentinel tuning (policy, window size, detector knobs).
     pub drift: DriftConfig,
+    /// Tail-based trace sampling: `None` disables request tracing
+    /// entirely, `Some(n)` retains the span tree of every request slower
+    /// than `n` ms (errors and shed requests are always retained), and
+    /// `Some(0)` retains everything.
+    pub trace_slow_ms: Option<u64>,
 }
 
 impl Default for ServerConfig {
@@ -113,6 +125,7 @@ impl Default for ServerConfig {
             seed: 0,
             limits: Limits::default(),
             drift: DriftConfig::default(),
+            trace_slow_ms: None,
         }
     }
 }
@@ -258,6 +271,9 @@ struct ObsMetrics {
     request_seconds: Arc<Histogram>,
     /// Fleet-wide queued total observed at each successful admission.
     queue_depth: Arc<Histogram>,
+    /// `/assign` parse + forward-pass latency; a cached [`SpanHandle`]
+    /// so the per-request hot path never touches the registry lock.
+    assign_eval: SpanHandle,
 }
 
 impl ObsMetrics {
@@ -280,6 +296,7 @@ impl ObsMetrics {
                 "adec_serve_queue_depth",
                 &[0.0, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0],
             ),
+            assign_eval: span_handle("adec_serve_assign_eval"),
         }
     }
 }
@@ -301,6 +318,9 @@ struct Shared {
     obs: ObsMetrics,
     /// Drift sentinel; inert when the checkpoint carried no profile.
     drift: DriftSentinel,
+    /// Tail-sampling ring of retained request traces; `None` when the
+    /// config disables tracing (the near-zero-cost-off path).
+    traces: Option<TraceRing>,
     addr: SocketAddr,
     started: Instant,
 }
@@ -388,6 +408,7 @@ impl ServerHandle {
             fleet_size,
             u64::from(addr.port()),
         );
+        let traces = config.trace_slow_ms.map(|_| TraceRing::new(TRACE_RING_CAPACITY));
         let shared = Arc::new(Shared {
             registry: ModelRegistry::new(model, alpha, source),
             replicas: (0..fleet_size).map(|i| Arc::new(Replica::new(i))).collect(),
@@ -398,6 +419,7 @@ impl ServerHandle {
             stats: Stats::default(),
             obs: ObsMetrics::new(),
             drift,
+            traces,
             addr,
             started: Instant::now(),
         });
@@ -708,7 +730,9 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
                 Ok(q) => q,
                 Err(poisoned) => poisoned.into_inner(),
             };
-            q.push_back((stream, accepted_at));
+            // The explicit context handoff: the worker thread continues
+            // this trace and backfills the queue wait from `enqueued_ns`.
+            q.push_back((stream, accepted_at, TraceContext::capture()));
         }
         let depth = shared.queued_total.fetch_add(1, Ordering::SeqCst) + 1;
         shared.obs.queue_depth.observe(depth as f64);
@@ -718,8 +742,8 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
 
 /// What a replica worker found when it went looking for work.
 enum Fetched {
-    /// A connection to serve.
-    Conn(TcpStream, Instant),
+    /// A connection to serve, with the trace context minted at admission.
+    Conn(TcpStream, Instant, TraceContext),
     /// A chaos/supersession flag changed; re-run the loop-top checks.
     Recheck,
     /// Shutdown with a dry queue: exit.
@@ -755,9 +779,9 @@ fn worker_loop(shared: &Shared, replica: &Replica, my_epoch: u64) {
                 {
                     break Fetched::Recheck;
                 }
-                if let Some((stream, at)) = q.pop_front() {
+                if let Some((stream, at, ctx)) = q.pop_front() {
                     shared.queued_total.fetch_sub(1, Ordering::SeqCst);
-                    break Fetched::Conn(stream, at);
+                    break Fetched::Conn(stream, at, ctx);
                 }
                 if shared.shutting_down.load(Ordering::SeqCst) {
                     break Fetched::Done;
@@ -768,19 +792,30 @@ fn worker_loop(shared: &Shared, replica: &Replica, my_epoch: u64) {
                 };
             }
         };
-        let (mut stream, accepted_at) = match fetched {
-            Fetched::Conn(stream, at) => (stream, at),
+        let (mut stream, accepted_at, ctx) = match fetched {
+            Fetched::Conn(stream, at, ctx) => (stream, at, ctx),
             Fetched::Recheck => continue,
             Fetched::Done => return,
         };
         replica.occupied.store(true, Ordering::SeqCst);
+        if shared.traces.is_some() {
+            trace::begin_with(ctx, "request");
+            let popped = trace::now_ns();
+            trace::add_complete_span(
+                "queue_wait",
+                ctx.enqueued_ns,
+                popped.saturating_sub(ctx.enqueued_ns),
+            );
+            trace::attr("replica", &replica.id.to_string());
+        }
         // The request handler is lint-proven panic-free; catch_unwind is
         // the last line of defence so a bug costs one 500, not a worker.
         let outcome = catch_unwind(AssertUnwindSafe(|| {
-            serve_connection(shared, replica, &mut stream);
+            serve_connection(shared, replica, &mut stream, ctx);
         }));
         if outcome.is_err() {
             shared.count(&shared.stats.caught_panics, &shared.obs.caught_panics);
+            trace::attr("status", "500");
             let _ = write_response(
                 &mut stream,
                 500,
@@ -788,6 +823,15 @@ fn worker_loop(shared: &Shared, replica: &Replica, my_epoch: u64) {
                 "application/json",
                 br#"{"error":"internal"}"#,
             );
+        }
+        // Tail-based sampling: decide retention only now that the
+        // request's fate (latency, status, tier) is known.
+        if let Some(ring) = &shared.traces {
+            if let Some(tree) = trace::finish() {
+                if retain_trace(&tree, shared.config.trace_slow_ms.unwrap_or(0)) {
+                    ring.record(tree);
+                }
+            }
         }
         replica.mark_idle();
         replica.occupied.store(false, Ordering::SeqCst);
@@ -831,22 +875,25 @@ fn wedge_sleep(shared: &Shared, replica: &Replica, my_epoch: u64, wedge: u64) {
 /// an infinite loop or deadlock — would otherwise stall the replica
 /// forever. Marking busy before the read would make every slow-loris drip
 /// look wedged and put the supervisor into a supersession loop.
-fn serve_connection(shared: &Shared, replica: &Replica, stream: &mut TcpStream) {
+fn serve_connection(shared: &Shared, replica: &Replica, stream: &mut TcpStream, ctx: TraceContext) {
     // The read window charges the peer's sending pace, not fleet queue
     // wait: it opens when a worker starts reading, so a request that sat
     // queued behind a killed or wedged replica still gets its full
     // budget. (Reported latency still runs from `accepted_at`, so queue
     // wait is never hidden from the tail.)
     let read_deadline = Instant::now() + Duration::from_millis(shared.config.read_deadline_ms);
+    let decode_span = trace::span("decode");
     let request = match read_request(stream, &shared.config.limits, read_deadline) {
         Ok(req) => req,
         Err(HttpError::Disconnected) => {
+            trace::attr("status", "disconnect");
             shared.count(&shared.stats.disconnects, &shared.obs.disconnects);
             return;
         }
         Err(err) => {
             shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             if let Some(status) = err.status() {
+                trace::attr("status", &status.to_string());
                 let body = format!(r#"{{"error":"{}","detail":"{err}"}}"#, err.reason());
                 let _ = write_response(stream, status, &[], "application/json", body.as_bytes());
             }
@@ -857,9 +904,32 @@ fn serve_connection(shared: &Shared, replica: &Replica, stream: &mut TcpStream) 
             return;
         }
     };
+    drop(decode_span);
+    // Request id: the client's (sanitized) header, or a server-minted id
+    // derived from the trace id; echoed on `/assign` responses.
+    let rid = request
+        .request_id
+        .clone()
+        .unwrap_or_else(|| format!("srv-{}", ctx.trace_id));
+    trace::attr("request_id", &rid);
     replica.mark_busy(shared.now_ms());
     let mv = shared.registry.current();
-    route(shared, stream, &request, &mv, replica.id);
+    route(shared, stream, &request, &mv, replica.id, &rid);
+}
+
+/// Tail-sampling decision for a completed request trace: errors and shed
+/// requests are always retained; everything else only above the slow
+/// threshold. `slow_ms == 0` retains every request.
+fn retain_trace(tree: &TraceTree, slow_ms: u64) -> bool {
+    if slow_ms == 0 {
+        return true;
+    }
+    let errored = tree
+        .attr("status")
+        .is_some_and(|s| s == "disconnect" || s.parse::<u16>().is_ok_and(|n| n >= 400));
+    errored
+        || tree.attr("shed") == Some("true")
+        || tree.total_ns >= slow_ms.saturating_mul(1_000_000)
 }
 
 /// Routes a parsed request; every arm answers exactly once.
@@ -869,6 +939,7 @@ fn route(
     request: &Request,
     mv: &Arc<ModelVersion>,
     replica_id: usize,
+    rid: &str,
 ) {
     let draining = shared.shutting_down.load(Ordering::SeqCst);
     match (request.method, request.path.as_str()) {
@@ -969,6 +1040,24 @@ fn route(
             shared.count(&shared.stats.served, &shared.obs.served);
             let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
         }
+        (Method::Get, p) if p == "/tracez" || p.starts_with("/tracez?") => {
+            let chrome = p
+                .split_once('?')
+                .is_some_and(|(_, q)| q.split('&').any(|kv| kv == "format=chrome"));
+            let body = render_tracez(shared, chrome);
+            shared.count(&shared.stats.served, &shared.obs.served);
+            let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+        }
+        (_, p) if p == "/tracez" || p.starts_with("/tracez?") => {
+            shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
+            let _ = write_response(
+                stream,
+                405,
+                &[],
+                "application/json",
+                br#"{"error":"method-not-allowed"}"#,
+            );
+        }
         (Method::Post, "/shutdown") => {
             shared.count(&shared.stats.served, &shared.obs.served);
             let _ = write_response(
@@ -987,7 +1076,7 @@ fn route(
         (Method::Post, "/chaos/wedge-replica") => {
             handle_chaos(shared, stream, request, ChaosOp::Wedge);
         }
-        (Method::Post, "/assign") => handle_assign(shared, stream, request, mv, replica_id),
+        (Method::Post, "/assign") => handle_assign(shared, stream, request, mv, replica_id, rid),
         (
             _,
             "/healthz" | "/readyz" | "/driftz" | "/statz" | "/metrics" | "/shutdown" | "/assign"
@@ -1081,6 +1170,62 @@ fn render_fleet_metrics(shared: &Shared) -> String {
         ));
     }
     out
+}
+
+/// `GET /tracez`: the tail-sampled trace exemplars, slowest first, each
+/// with its per-stage breakdown (queue wait, decode, eval, drift,
+/// encode). `chrome == true` renders the retained traces as Chrome
+/// trace-event JSON instead (the `?format=chrome` variant).
+fn render_tracez(shared: &Shared, chrome: bool) -> String {
+    let Some(ring) = &shared.traces else {
+        if chrome {
+            return r#"{"traceEvents":[]}"#.to_string();
+        }
+        return concat!(
+            r#"{"enabled":false,"slow_ms":null,"capacity":0,"retained":0,"#,
+            r#""recorded":0,"dropped":0,"evicted":0,"exemplars":[]}"#
+        )
+        .to_string();
+    };
+    if chrome {
+        return trace::chrome_trace_json(&ring.snapshot());
+    }
+    let retained = ring.snapshot().len();
+    let mut body = format!(
+        r#"{{"enabled":true,"slow_ms":{},"capacity":{},"retained":{},"recorded":{},"dropped":{},"evicted":{},"exemplars":["#,
+        shared.config.trace_slow_ms.unwrap_or(0),
+        ring.capacity(),
+        retained,
+        ring.recorded(),
+        ring.dropped(),
+        ring.evicted(),
+    );
+    for (i, t) in ring.slowest(TRACEZ_EXEMPLARS).iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        body.push_str(&format!(
+            r#"{{"request_id":"{}","trace_id":{},"status":"{}","tier":"{}","total_ms":{:.3},"stages":["#,
+            json_escape(t.attr("request_id").unwrap_or("")),
+            t.trace_id,
+            json_escape(t.attr("status").unwrap_or("")),
+            json_escape(t.attr("tier").unwrap_or("")),
+            t.total_ns as f64 / 1e6, // lint:allow(as-narrowing)
+        ));
+        for (j, s) in t.stages().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            body.push_str(&format!(
+                r#"{{"name":"{}","ms":{:.3}}}"#,
+                json_escape(&s.name),
+                s.dur_ns as f64 / 1e6, // lint:allow(as-narrowing)
+            ));
+        }
+        body.push_str("]}");
+    }
+    body.push_str("]}");
+    body
 }
 
 /// `GET /driftz`: the sentinel's full state as JSON, one detector object
@@ -1227,7 +1372,9 @@ fn handle_assign(
     request: &Request,
     mv: &Arc<ModelVersion>,
     replica_id: usize,
+    rid: &str,
 ) {
+    let rid_header: [(&str, &str); 1] = [("x-request-id", rid)];
     let compute_deadline =
         Instant::now() + Duration::from_millis(shared.config.deadline_ms);
     // Sample queue pressure once, at entry: every chunk of this request
@@ -1240,24 +1387,34 @@ fn handle_assign(
         ServeMode::worse(shed_tier(depth, shared.config.max_inflight), shared.drift.shed_contribution());
     let model = &mv.model;
     let effective = model.effective_mode(pressure);
+    trace::attr("tier", effective.as_str());
+    if pressure != ServeMode::Full {
+        // Load shedding (not checkpoint degradation) marks the trace as
+        // always-retain under tail sampling.
+        trace::attr("shed", "true");
+    }
     let want = model.input_dim();
+    let eval_timer = shared.obs.assign_eval.start();
+    let eval_span = trace::span("eval");
     let rows = match parse_csv_body(&request.body, want) {
         Ok(rows) => rows,
         Err(msg) => {
+            trace::attr("status", "400");
             shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
             let body = format!(r#"{{"error":"bad-body","detail":"{msg}"}}"#);
-            let _ = write_response(stream, 400, &[], "application/json", body.as_bytes());
+            let _ = write_response(stream, 400, &rid_header, "application/json", body.as_bytes());
             return;
         }
     };
     let mut assignments: Vec<Assignment> = Vec::with_capacity(rows.len());
     for chunk in rows.chunks(ASSIGN_CHUNK_ROWS) {
         if Instant::now() >= compute_deadline {
+            trace::attr("status", "503");
             shared.count(&shared.stats.deadline_expired, &shared.obs.deadline_expired);
             let _ = write_response(
                 stream,
                 503,
-                &[("retry-after", "1")],
+                &[("retry-after", "1"), ("x-request-id", rid)],
                 "application/json",
                 br#"{"error":"deadline","detail":"compute deadline exceeded"}"#,
             );
@@ -1268,13 +1425,17 @@ fn handle_assign(
         match model.assign_with_tier(&x, pressure) {
             Ok(mut batch) => assignments.append(&mut batch),
             Err(err) => {
+                trace::attr("status", "400");
                 shared.count(&shared.stats.client_errors, &shared.obs.client_errors);
                 let body = format!(r#"{{"error":"bad-input","detail":"{err}"}}"#);
-                let _ = write_response(stream, 400, &[], "application/json", body.as_bytes());
+                let _ = write_response(stream, 400, &rid_header, "application/json", body.as_bytes());
                 return;
             }
         }
     }
+    drop(eval_span);
+    drop(eval_timer);
+    trace::attr("status", "200");
     shared.count(&shared.stats.served, &shared.obs.served);
     mv.count_served();
     let (tier_local, tier_global) = match effective {
@@ -1290,11 +1451,14 @@ fn handle_assign(
     // modes it sees. The drift flag appears only above observe policy, so
     // observe-mode responses stay byte-identical to a sentinel-less run.
     let drift_flag = shared.drift.stamps_responses().then(|| shared.drift.alarmed());
+    let encode_span = trace::span("encode");
     let body = render_assignments(&effective, &model.phase, mv.version, drift_flag, &assignments);
-    let _ = write_response(stream, 200, &[], "application/json", body.as_bytes());
+    let _ = write_response(stream, 200, &rid_header, "application/json", body.as_bytes());
+    drop(encode_span);
     // Feed the sentinel after answering: detection rides the request path
     // but never delays the response it learned from.
     if shared.drift.enabled() {
+        let _drift_span = trace::span("drift");
         let data: Vec<f32> = rows.iter().flatten().copied().collect();
         let x = adec_tensor::Matrix::from_vec(rows.len(), want, data);
         if let Some(batch) = model.drift_stats(&x) {
